@@ -1,0 +1,27 @@
+//! Bench: every truth-discovery algorithm on DS1 — the Time(s) column of
+//! the paper's Table 4 (the standard-algorithm rows).
+//!
+//! Expected shape (paper): MajorityVote ≪ TruthFinder ≈ DEPEN < Accu ≈
+//! AccuSim (the dependence machinery dominates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use td_algorithms::registry::all_algorithms;
+use tdac_bench::ds1_bench;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let data = ds1_bench(150);
+    let view = data.dataset.view_all();
+    let mut group = c.benchmark_group("table4_time/standard_algorithms");
+    group.sample_size(10);
+    for algo in all_algorithms() {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &view, |b, v| {
+            b.iter(|| black_box(algo.discover(v)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

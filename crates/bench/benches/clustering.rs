@@ -1,0 +1,80 @@
+//! Bench: the clustering substrate on truth-vector-shaped binary
+//! matrices — the ablation bench for DESIGN.md's "k-means vs. PAM vs.
+//! hierarchical" and "silhouette sweep cost" design choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clustering::{
+    select_k, silhouette_paper, Agglomerative, Hamming, KMeans, KMeansConfig, Linkage, Matrix,
+    Pam, PamConfig,
+};
+
+/// A binary matrix with `rows` truth vectors of `cols` dimensions and a
+/// planted 3-group structure.
+fn planted(rows: usize, cols: usize) -> Matrix {
+    let mut data = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let group = r % 3;
+        let row: Vec<f64> = (0..cols)
+            .map(|c| {
+                let on = (c / (cols / 3).max(1)).min(2) == group;
+                // Mostly-clean group pattern with deterministic noise.
+                if (r * 31 + c * 17) % 11 == 0 {
+                    f64::from(!on as u8 as u32)
+                } else {
+                    f64::from(on as u8 as u32)
+                }
+            })
+            .collect();
+        data.push(row);
+    }
+    Matrix::from_rows(&data)
+}
+
+fn bench_clusterers(c: &mut Criterion) {
+    let data = planted(62, 240);
+    let mut group = c.benchmark_group("ablation/clusterers_62x240");
+    group.sample_size(10);
+
+    group.bench_function("kmeans_k3_10restarts", |b| {
+        let km = KMeans::new(KMeansConfig::with_k(3));
+        b.iter(|| black_box(km.fit(&data).expect("fit")));
+    });
+    group.bench_function("pam_k3", |b| {
+        let pam = Pam::new(PamConfig::with_k(3));
+        b.iter(|| black_box(pam.fit(&data, &Hamming).expect("fit")));
+    });
+    group.bench_function("hierarchical_avg_k3", |b| {
+        let agg = Agglomerative::new(Linkage::Average);
+        b.iter(|| black_box(agg.fit(&data, 3, &Hamming).expect("fit")));
+    });
+    group.bench_function("silhouette_k3", |b| {
+        let asg = KMeans::new(KMeansConfig::with_k(3))
+            .fit(&data)
+            .expect("fit")
+            .assignments;
+        b.iter(|| black_box(silhouette_paper(&data, &asg, &Hamming)));
+    });
+    group.finish();
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/silhouette_sweep");
+    group.sample_size(10);
+    for n_attrs in [6usize, 32, 62] {
+        let data = planted(n_attrs, 240);
+        group.bench_with_input(BenchmarkId::from_parameter(n_attrs), &data, |b, d| {
+            b.iter(|| {
+                black_box(
+                    select_k(d, 2..=d.n_rows() - 1, &Hamming, KMeansConfig::with_k(0))
+                        .expect("sweep"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clusterers, bench_k_sweep);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Bench: TD-AC vs the AccuGenPartition brute force — the headline
+//! running-time comparison of the paper (Table 4's Time column shows
+//! AccuGenPartition ≈ 200× the standard algorithms; TD-AC stays within a
+//! small factor of one base run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use td_algorithms::MajorityVote;
+use tdac_bench::ds1_tiny;
+use tdac_core::{AccuGenPartition, Tdac, TdacConfig, Weighting};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let data = ds1_tiny();
+    let base = MajorityVote;
+    let mut group = c.benchmark_group("table4_time/partitioning_strategies");
+    group.sample_size(10);
+
+    group.bench_function("base_alone", |b| {
+        use td_algorithms::TruthDiscovery;
+        let view = data.dataset.view_all();
+        b.iter(|| black_box(base.discover(&view)));
+    });
+
+    group.bench_function("tdac", |b| {
+        let tdac = Tdac::new(TdacConfig::default());
+        b.iter(|| black_box(tdac.run(&base, &data.dataset).expect("run")));
+    });
+
+    group.bench_function("accugen_avg_parallel", |b| {
+        let brute = AccuGenPartition::default();
+        b.iter(|| {
+            black_box(
+                brute
+                    .run(&base, &data.dataset, Weighting::Avg)
+                    .expect("run"),
+            )
+        });
+    });
+
+    group.bench_function("accugen_avg_sequential", |b| {
+        let brute = AccuGenPartition {
+            parallel: false,
+            ..Default::default()
+        };
+        b.iter(|| {
+            black_box(
+                brute
+                    .run(&base, &data.dataset, Weighting::Avg)
+                    .expect("run"),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Bench: scalability sweeps the paper's conclusion worries about —
+//! running time as objects and sources grow (the "optimization of the
+//! running time … when the number of attributes, objects and sources is
+//! very large" perspective), including the crossbeam-parallel
+//! AccuGenPartition as the paper's suggested parallelization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use datagen::{generate_synthetic, SyntheticConfig};
+use td_algorithms::{Accu, MajorityVote, TruthDiscovery};
+use tdac_core::{Tdac, TdacConfig};
+
+fn bench_objects_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability/tdac_vs_objects");
+    group.sample_size(10);
+    for n_objects in [50usize, 100, 200, 400] {
+        let data = generate_synthetic(&SyntheticConfig::ds1().scaled(n_objects));
+        group.throughput(Throughput::Elements(data.dataset.n_claims() as u64));
+        let tdac = Tdac::new(TdacConfig::default());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_objects),
+            &data.dataset,
+            |b, d| {
+                b.iter(|| black_box(tdac.run(&MajorityVote, d).expect("run")));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sources_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability/accu_vs_sources");
+    group.sample_size(10);
+    for n_sources in [10usize, 20, 40] {
+        let mut cfg = SyntheticConfig::ds1().scaled(100);
+        cfg.n_sources = n_sources;
+        let data = generate_synthetic(&cfg);
+        let view = data.dataset.view_all();
+        let accu = Accu::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n_sources), &view, |b, v| {
+            b.iter(|| black_box(accu.discover(v)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_attribute_sweep(c: &mut Criterion) {
+    // The k ∈ [2, |A|-1] sweep is TD-AC's own scaling risk: quadratic-ish
+    // in |A|.
+    let mut group = c.benchmark_group("scalability/tdac_vs_attributes");
+    group.sample_size(10);
+    for n_attrs in [6usize, 12, 24] {
+        let mut cfg = SyntheticConfig::ds1().scaled(60);
+        cfg.n_attributes = n_attrs;
+        // Planted partition: consecutive pairs.
+        cfg.partition = (0..n_attrs).step_by(2).map(|a| vec![a, a + 1]).collect();
+        let data = generate_synthetic(&cfg);
+        let tdac = Tdac::new(TdacConfig::default());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_attrs),
+            &data.dataset,
+            |b, d| {
+                b.iter(|| black_box(tdac.run(&MajorityVote, d).expect("run")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_objects_sweep,
+    bench_sources_sweep,
+    bench_attribute_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Bench: the phases of a TD-AC run (truth vectors → k sweep → per-group
+//! discovery) and TD-AC vs its base on the semi-synthetic Exam workload —
+//! the Time(s) columns of Tables 6 and 7, whose shape is "TD-AC ≈ one
+//! extra base run plus a cheap clustering step".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clustering::{silhouette_paper, Hamming, KMeans, KMeansConfig};
+use td_algorithms::{TruthDiscovery, TruthFinder};
+use tdac_bench::exam_bench;
+use tdac_core::{truth_vector_matrix, Tdac, TdacConfig};
+
+fn bench_phases(c: &mut Criterion) {
+    let (dataset, _) = exam_bench(62, 120);
+    let view = dataset.view_all();
+    let tf = TruthFinder::default();
+
+    let mut group = c.benchmark_group("tdac_phases/exam62");
+    group.sample_size(10);
+
+    group.bench_function("phase1_truth_vectors", |b| {
+        b.iter(|| black_box(truth_vector_matrix(&tf, &view)));
+    });
+
+    let (matrix, _) = truth_vector_matrix(&tf, &view);
+    group.bench_function("phase2_single_kmeans_k4", |b| {
+        let km = KMeans::new(KMeansConfig::with_k(4));
+        b.iter(|| black_box(km.fit(&matrix).expect("fit")));
+    });
+    group.bench_function("phase2_silhouette_k4", |b| {
+        let asg = KMeans::new(KMeansConfig::with_k(4))
+            .fit(&matrix)
+            .expect("fit")
+            .assignments;
+        b.iter(|| black_box(silhouette_paper(&matrix, &asg, &Hamming)));
+    });
+
+    group.bench_function("full_pipeline", |b| {
+        let tdac = Tdac::new(TdacConfig::default());
+        b.iter(|| black_box(tdac.run(&tf, &dataset).expect("run")));
+    });
+
+    group.bench_function("base_alone", |b| {
+        b.iter(|| black_box(tf.discover(&view)));
+    });
+
+    group.finish();
+}
+
+fn bench_exam_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_7_time/tdac_truthfinder");
+    group.sample_size(10);
+    for n_attrs in [32usize, 62, 124] {
+        let (dataset, _) = exam_bench(n_attrs, 120);
+        let tf = TruthFinder::default();
+        let tdac = Tdac::new(TdacConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n_attrs), &dataset, |b, d| {
+            b.iter(|| black_box(tdac.run(&tf, d).expect("run")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases, bench_exam_sizes);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! The benches regenerate the *shape* of every running-time column in the
+//! paper (Tables 4, 6, 7, 9): who is fast, who is slow, and by roughly
+//! what factor — absolute seconds differ from the authors' Python on a
+//! laptop, as documented in EXPERIMENTS.md.
+
+use datagen::{generate_exam, generate_synthetic, ExamConfig, SyntheticConfig, SyntheticDataset};
+use td_model::{Dataset, GroundTruth};
+
+/// DS1 scaled for per-iteration benches (big enough to dominate setup).
+pub fn ds1_bench(n_objects: usize) -> SyntheticDataset {
+    generate_synthetic(&SyntheticConfig::ds1().scaled(n_objects))
+}
+
+/// DS1 tiny, for the brute-force comparison (Bell(6) = 203 partitions).
+pub fn ds1_tiny() -> SyntheticDataset {
+    generate_synthetic(&SyntheticConfig::ds1().scaled(25))
+}
+
+/// An Exam slice for the semi-synthetic timing shape.
+pub fn exam_bench(n_attributes: usize, n_students: usize) -> (Dataset, GroundTruth) {
+    let mut cfg = ExamConfig::new(n_attributes, 100);
+    cfg.n_students = n_students;
+    generate_exam(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(ds1_bench(10).dataset.n_objects(), 10);
+        assert_eq!(ds1_tiny().dataset.n_attributes(), 6);
+        let (d, _) = exam_bench(32, 40);
+        assert_eq!(d.n_attributes(), 32);
+    }
+}

@@ -1,0 +1,175 @@
+//! Distance metrics over dense vectors.
+
+/// A dissimilarity measure between two equal-length vectors.
+///
+/// Implementations must be symmetric and return `0` for identical
+/// vectors; they need not satisfy the triangle inequality (cosine
+/// distance does not).
+pub trait Metric {
+    /// Distance between `a` and `b`.
+    ///
+    /// Callers guarantee `a.len() == b.len()`.
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Short name for reports and ablation tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Euclidean (L2) distance — what k-means centroids minimize.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Euclidean;
+
+/// Squared Euclidean distance — the inertia term of the paper's Eq. 3.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SqEuclidean;
+
+/// Manhattan (L1) distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Manhattan;
+
+/// Hamming distance, `Σ |a_i - b_i|` — the paper's Eq. 2 similarity
+/// between attribute truth vectors. On 0/1 vectors this counts
+/// disagreeing positions; on fractional vectors it degrades gracefully to
+/// L1 (which is why the paper can use it interchangeably with k-means
+/// geometry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hamming;
+
+/// Cosine distance, `1 - cos(a, b)`; two zero vectors are at distance 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cosine;
+
+impl Metric for Euclidean {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        SqEuclidean.distance(a, b).sqrt()
+    }
+
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+impl Metric for SqEuclidean {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "sq-euclidean"
+    }
+}
+
+impl Metric for Manhattan {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "manhattan"
+    }
+}
+
+impl Metric for Hamming {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        // Identical to L1 on arbitrary reals; exact disagreement count on
+        // the 0/1 vectors the paper builds.
+        Manhattan.distance(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "hamming"
+    }
+}
+
+impl Metric for Cosine {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
+        for (&x, &y) in a.iter().zip(b) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 && nb == 0.0 {
+            return 0.0;
+        }
+        if na == 0.0 || nb == 0.0 {
+            return 1.0;
+        }
+        (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [1.0, 0.0, 1.0];
+    const B: [f64; 3] = [0.0, 0.0, 1.0];
+
+    #[test]
+    fn euclidean_cases() {
+        assert_eq!(Euclidean.distance(&A, &A), 0.0);
+        assert_eq!(Euclidean.distance(&A, &B), 1.0);
+        assert_eq!(Euclidean.distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn sq_euclidean_is_square() {
+        assert_eq!(SqEuclidean.distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn hamming_counts_disagreements_on_binary() {
+        assert_eq!(Hamming.distance(&A, &B), 1.0);
+        assert_eq!(Hamming.distance(&[1.0, 1.0, 0.0], &[0.0, 0.0, 1.0]), 3.0);
+        assert_eq!(Hamming.distance(&A, &A), 0.0);
+    }
+
+    #[test]
+    fn manhattan_on_reals() {
+        assert_eq!(Manhattan.distance(&[1.5, -1.0], &[0.5, 1.0]), 3.0);
+    }
+
+    #[test]
+    fn cosine_cases() {
+        assert!(Cosine.distance(&[1.0, 0.0], &[2.0, 0.0]).abs() < 1e-12);
+        assert!((Cosine.distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(Cosine.distance(&[0.0], &[0.0]), 0.0);
+        assert_eq!(Cosine.distance(&[0.0], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn all_metrics_are_symmetric_and_reflexive() {
+        let metrics: Vec<Box<dyn Metric>> = vec![
+            Box::new(Euclidean),
+            Box::new(SqEuclidean),
+            Box::new(Manhattan),
+            Box::new(Hamming),
+            Box::new(Cosine),
+        ];
+        let x = [0.3, 1.7, -2.0];
+        let y = [1.0, 0.0, 0.5];
+        for m in &metrics {
+            assert_eq!(m.distance(&x, &x), 0.0, "{}", m.name());
+            assert!(
+                (m.distance(&x, &y) - m.distance(&y, &x)).abs() < 1e-12,
+                "{}",
+                m.name()
+            );
+            assert!(m.distance(&x, &y) >= 0.0, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Agglomerative hierarchical clustering (single / complete / average
+//! linkage), cut at a requested number of clusters.
+//!
+//! Second clustering ablation for TD-AC: hierarchical clustering needs no
+//! `k` restarts and no centroid geometry, making it a natural alternative
+//! for grouping attribute truth vectors. The naive `O(n³)` implementation
+//! is more than fast enough for attribute counts in the hundreds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::Metric;
+use crate::error::ClusterError;
+use crate::matrix::Matrix;
+
+/// Inter-cluster distance definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chains easily).
+    Single,
+    /// Maximum pairwise distance (compact clusters).
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// Agglomerative clusterer.
+#[derive(Debug, Clone, Copy)]
+pub struct Agglomerative {
+    linkage: Linkage,
+}
+
+impl Agglomerative {
+    /// A clusterer with the given linkage.
+    pub fn new(linkage: Linkage) -> Self {
+        Self { linkage }
+    }
+
+    /// The configured linkage.
+    pub fn linkage(&self) -> Linkage {
+        self.linkage
+    }
+
+    /// Merges rows of `data` bottom-up under `metric` until exactly `k`
+    /// clusters remain; returns one cluster index per observation
+    /// (indices `0..k`, renumbered by first appearance).
+    pub fn fit(
+        &self,
+        data: &Matrix,
+        k: usize,
+        metric: &dyn Metric,
+    ) -> Result<Vec<usize>, ClusterError> {
+        let n = data.n_rows();
+        if k == 0 {
+            return Err(ClusterError::ZeroK);
+        }
+        if n == 0 {
+            return Err(ClusterError::EmptyInput);
+        }
+        if k > n {
+            return Err(ClusterError::TooFewObservations { k, n });
+        }
+
+        // Active clusters as member lists; start with singletons.
+        let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        // Pairwise observation distances, precomputed.
+        let mut dist = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = metric.distance(data.row(i), data.row(j));
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+
+        let linkage_dist = |a: &[usize], b: &[usize]| -> f64 {
+            let mut acc = match self.linkage {
+                Linkage::Single => f64::INFINITY,
+                Linkage::Complete => f64::NEG_INFINITY,
+                Linkage::Average => 0.0,
+            };
+            for &i in a {
+                for &j in b {
+                    let d = dist[i * n + j];
+                    match self.linkage {
+                        Linkage::Single => acc = acc.min(d),
+                        Linkage::Complete => acc = acc.max(d),
+                        Linkage::Average => acc += d,
+                    }
+                }
+            }
+            if self.linkage == Linkage::Average {
+                acc / (a.len() * b.len()) as f64
+            } else {
+                acc
+            }
+        };
+
+        while clusters.len() > k {
+            let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::INFINITY);
+            for i in 0..clusters.len() {
+                for j in (i + 1)..clusters.len() {
+                    let d = linkage_dist(&clusters[i], &clusters[j]);
+                    if d < bd {
+                        bd = d;
+                        bi = i;
+                        bj = j;
+                    }
+                }
+            }
+            let merged = clusters.swap_remove(bj);
+            clusters[bi].extend(merged);
+        }
+
+        // Renumber clusters by their smallest member for determinism.
+        let mut order: Vec<usize> = (0..clusters.len()).collect();
+        order.sort_by_key(|&c| *clusters[c].iter().min().expect("non-empty cluster"));
+        let mut assignments = vec![0usize; n];
+        for (new_id, &c) in order.iter().enumerate() {
+            for &obs in &clusters[c] {
+                assignments[obs] = new_id;
+            }
+        }
+        Ok(assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{Euclidean, Hamming};
+
+    fn blobs() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0],
+            vec![0.5],
+            vec![1.0],
+            vec![20.0],
+            vec![20.5],
+            vec![21.0],
+        ])
+    }
+
+    #[test]
+    fn all_linkages_separate_blobs() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let asg = Agglomerative::new(linkage).fit(&blobs(), 2, &Euclidean).unwrap();
+            assert_eq!(asg[0], asg[1]);
+            assert_eq!(asg[1], asg[2]);
+            assert_eq!(asg[3], asg[4]);
+            assert_ne!(asg[0], asg[3], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_keeps_singletons() {
+        let asg = Agglomerative::new(Linkage::Average)
+            .fit(&blobs(), 6, &Euclidean)
+            .unwrap();
+        let mut sorted = asg.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let asg = Agglomerative::new(Linkage::Complete)
+            .fit(&blobs(), 1, &Euclidean)
+            .unwrap();
+        assert!(asg.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn errors_on_bad_k() {
+        let data = blobs();
+        let agg = Agglomerative::new(Linkage::Single);
+        assert!(matches!(agg.fit(&data, 0, &Euclidean), Err(ClusterError::ZeroK)));
+        assert!(matches!(
+            agg.fit(&data, 7, &Euclidean),
+            Err(ClusterError::TooFewObservations { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_vectors_with_hamming() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, 1.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        let asg = Agglomerative::new(Linkage::Average)
+            .fit(&data, 2, &Hamming)
+            .unwrap();
+        assert_eq!(asg[0], asg[1]);
+        assert_eq!(asg[2], asg[3]);
+        assert_ne!(asg[0], asg[2]);
+    }
+
+    #[test]
+    fn cluster_ids_are_dense_and_ordered_by_first_member() {
+        let asg = Agglomerative::new(Linkage::Average)
+            .fit(&blobs(), 2, &Euclidean)
+            .unwrap();
+        assert_eq!(asg[0], 0, "first observation defines cluster 0");
+        assert!(asg.iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    fn single_linkage_chains_where_complete_does_not() {
+        // A chain of equidistant points plus one distant pair: single
+        // linkage keeps the chain together.
+        let data = Matrix::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![100.0],
+            vec![101.0],
+        ]);
+        let single = Agglomerative::new(Linkage::Single)
+            .fit(&data, 2, &Euclidean)
+            .unwrap();
+        assert!(single[..4].iter().all(|&c| c == single[0]));
+        assert_eq!(single[4], single[5]);
+        assert_ne!(single[0], single[4]);
+    }
+}

@@ -1,0 +1,382 @@
+//! Lloyd's k-means with k-means++ initialization, seeded restarts and
+//! empty-cluster repair — the optimizer behind TD-AC's Eq. 3.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::distance::{Metric, SqEuclidean};
+use crate::error::ClusterError;
+use crate::matrix::Matrix;
+
+/// Centroid initialization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Init {
+    /// D²-weighted seeding (Arthur & Vassilvitskii 2007) — the default.
+    KMeansPlusPlus,
+    /// Uniformly random distinct observations.
+    Random,
+}
+
+/// Configuration of a [`KMeans`] run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Lloyd iteration cap per restart.
+    pub max_iterations: u32,
+    /// Stop when the inertia improvement falls below this value.
+    pub tolerance: f64,
+    /// Independent restarts; the lowest-inertia run wins.
+    pub n_init: u32,
+    /// Initialization strategy.
+    pub init: Init,
+    /// RNG seed — identical seeds give identical clusterings.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Defaults (aside from `k`, which has no sensible default):
+    /// 100 iterations, tolerance `1e-9`, 10 restarts, k-means++, seed 42.
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k,
+            max_iterations: 100,
+            tolerance: 1e-9,
+            n_init: 10,
+            init: Init::KMeansPlusPlus,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of a k-means fit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster index of every observation.
+    pub assignments: Vec<usize>,
+    /// Final centroids, `k` rows.
+    pub centroids: Matrix,
+    /// Sum of squared distances of observations to their centroid
+    /// (the paper's inertia objective, Eq. 3).
+    pub inertia: f64,
+    /// Lloyd iterations of the winning restart.
+    pub iterations: u32,
+}
+
+impl KMeansResult {
+    /// Observation indices grouped per cluster, preserving observation
+    /// order inside each group.
+    pub fn clusters(&self, k: usize) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); k];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            groups[c].push(i);
+        }
+        groups
+    }
+}
+
+/// Lloyd's algorithm. See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeans {
+    config: KMeansConfig,
+}
+
+impl KMeans {
+    /// A k-means instance with the given configuration.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KMeansConfig {
+        &self.config
+    }
+
+    /// Fits `k` clusters to the rows of `data`.
+    pub fn fit(&self, data: &Matrix) -> Result<KMeansResult, ClusterError> {
+        let n = data.n_rows();
+        let k = self.config.k;
+        if k == 0 {
+            return Err(ClusterError::ZeroK);
+        }
+        if n == 0 {
+            return Err(ClusterError::EmptyInput);
+        }
+        if k > n {
+            return Err(ClusterError::TooFewObservations { k, n });
+        }
+
+        let mut best: Option<KMeansResult> = None;
+        for restart in 0..self.config.n_init.max(1) {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                self.config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(restart as u64 + 1)),
+            );
+            let run = self.single_run(data, &mut rng);
+            if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
+                best = Some(run);
+            }
+        }
+        Ok(best.expect("n_init >= 1"))
+    }
+
+    fn single_run(&self, data: &Matrix, rng: &mut ChaCha8Rng) -> KMeansResult {
+        let (n, d, k) = (data.n_rows(), data.n_cols(), self.config.k);
+        let metric = SqEuclidean;
+        let mut centroids = match self.config.init {
+            Init::KMeansPlusPlus => init_plus_plus(data, k, rng),
+            Init::Random => init_random(data, k, rng),
+        };
+        let mut assignments = vec![0usize; n];
+        let mut counts = vec![0usize; k];
+        let mut inertia = f64::INFINITY;
+        let mut iterations = 0u32;
+
+        loop {
+            iterations += 1;
+            // Assignment step.
+            let mut new_inertia = 0.0;
+            for i in 0..n {
+                let row = data.row(i);
+                let mut best_c = 0usize;
+                let mut best_d = f64::INFINITY;
+                for c in 0..k {
+                    let dist = metric.distance(row, centroids.row(c));
+                    if dist < best_d {
+                        best_d = dist;
+                        best_c = c;
+                    }
+                }
+                assignments[i] = best_c;
+                new_inertia += best_d;
+            }
+
+            // Update step.
+            let mut next = Matrix::zeros(k, d);
+            counts.iter_mut().for_each(|c| *c = 0);
+            for i in 0..n {
+                let c = assignments[i];
+                counts[c] += 1;
+                let row = data.row(i);
+                let cr = next.row_mut(c);
+                for j in 0..d {
+                    cr[j] += row[j];
+                }
+            }
+            // Empty-cluster repair: move the observation farthest from its
+            // centroid into each empty cluster (a classic, deterministic
+            // fix that keeps exactly k non-empty clusters).
+            for c in 0..k {
+                if counts[c] == 0 {
+                    let (mut far_i, mut far_d) = (0usize, -1.0);
+                    for i in 0..n {
+                        if counts[assignments[i]] > 1 {
+                            let dist = metric.distance(data.row(i), centroids.row(assignments[i]));
+                            if dist > far_d {
+                                far_d = dist;
+                                far_i = i;
+                            }
+                        }
+                    }
+                    let old = assignments[far_i];
+                    counts[old] -= 1;
+                    let row = data.row(far_i);
+                    let or = next.row_mut(old);
+                    for j in 0..d {
+                        or[j] -= row[j];
+                    }
+                    assignments[far_i] = c;
+                    counts[c] = 1;
+                    let cr = next.row_mut(c);
+                    for j in 0..d {
+                        cr[j] += row[j];
+                    }
+                }
+            }
+            for c in 0..k {
+                let cnt = counts[c].max(1) as f64;
+                let cr = next.row_mut(c);
+                for j in 0..d {
+                    cr[j] /= cnt;
+                }
+            }
+            centroids = next;
+
+            let improved = inertia - new_inertia > self.config.tolerance;
+            inertia = new_inertia;
+            if !improved || iterations >= self.config.max_iterations {
+                break;
+            }
+        }
+
+        // Recompute the final inertia against the final centroids.
+        let mut final_inertia = 0.0;
+        for i in 0..n {
+            final_inertia += metric.distance(data.row(i), centroids.row(assignments[i]));
+        }
+
+        KMeansResult {
+            assignments,
+            centroids,
+            inertia: final_inertia,
+            iterations,
+        }
+    }
+}
+
+fn init_random(data: &Matrix, k: usize, rng: &mut ChaCha8Rng) -> Matrix {
+    let mut idx: Vec<usize> = (0..data.n_rows()).collect();
+    idx.shuffle(rng);
+    let mut c = Matrix::zeros(k, data.n_cols());
+    for (ci, &i) in idx.iter().take(k).enumerate() {
+        c.row_mut(ci).copy_from_slice(data.row(i));
+    }
+    c
+}
+
+fn init_plus_plus(data: &Matrix, k: usize, rng: &mut ChaCha8Rng) -> Matrix {
+    let n = data.n_rows();
+    let metric = SqEuclidean;
+    let mut centers: Vec<usize> = Vec::with_capacity(k);
+    centers.push(rng.gen_range(0..n));
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| metric.distance(data.row(i), data.row(centers[0])))
+        .collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a center; pick any
+            // non-center deterministically, else repeat a center.
+            (0..n).find(|i| !centers.contains(i)).unwrap_or(0)
+        } else {
+            WeightedIndex::new(d2.iter().map(|&w| w.max(0.0)))
+                .map(|w| w.sample(rng))
+                .unwrap_or(0)
+        };
+        centers.push(next);
+        for i in 0..n {
+            let dist = metric.distance(data.row(i), data.row(next));
+            if dist < d2[i] {
+                d2[i] = dist;
+            }
+        }
+    }
+    let mut c = Matrix::zeros(k, data.n_cols());
+    for (ci, &i) in centers.iter().enumerate() {
+        c.row_mut(ci).copy_from_slice(data.row(i));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs on a line.
+    fn blobs() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.1],
+            vec![0.1, 0.0],
+            vec![0.05, 0.05],
+            vec![10.0, 10.1],
+            vec![10.1, 10.0],
+            vec![10.05, 9.95],
+        ])
+    }
+
+    #[test]
+    fn separates_obvious_blobs() {
+        let r = KMeans::new(KMeansConfig::with_k(2)).fit(&blobs()).unwrap();
+        assert_eq!(r.assignments.len(), 6);
+        let a = r.assignments[0];
+        assert!(r.assignments[..3].iter().all(|&c| c == a));
+        let b = r.assignments[3];
+        assert!(r.assignments[3..].iter().all(|&c| c == b));
+        assert_ne!(a, b);
+        assert!(r.inertia < 0.1, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn every_point_is_assigned_and_every_cluster_nonempty() {
+        let r = KMeans::new(KMeansConfig::with_k(3)).fit(&blobs()).unwrap();
+        assert!(r.assignments.iter().all(|&c| c < 3));
+        let groups = r.clusters(3);
+        assert!(groups.iter().all(|g| !g.is_empty()), "{groups:?}");
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![9.0]]);
+        let r = KMeans::new(KMeansConfig::with_k(3)).fit(&data).unwrap();
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![2.0, 4.0]]);
+        let r = KMeans::new(KMeansConfig::with_k(1)).fit(&data).unwrap();
+        assert_eq!(r.centroids.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        let data = blobs();
+        assert_eq!(
+            KMeans::new(KMeansConfig::with_k(0)).fit(&data).unwrap_err(),
+            ClusterError::ZeroK
+        );
+        assert_eq!(
+            KMeans::new(KMeansConfig::with_k(7)).fit(&data).unwrap_err(),
+            ClusterError::TooFewObservations { k: 7, n: 6 }
+        );
+        let empty = Matrix::from_rows(&[]);
+        assert_eq!(
+            KMeans::new(KMeansConfig::with_k(1)).fit(&empty).unwrap_err(),
+            ClusterError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let cfg = KMeansConfig::with_k(2);
+        let r1 = KMeans::new(cfg).fit(&data).unwrap();
+        let r2 = KMeans::new(cfg).fit(&data).unwrap();
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.inertia, r2.inertia);
+    }
+
+    #[test]
+    fn random_init_also_works() {
+        let mut cfg = KMeansConfig::with_k(2);
+        cfg.init = Init::Random;
+        let r = KMeans::new(cfg).fit(&blobs()).unwrap();
+        assert!(r.inertia < 0.1);
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let data = Matrix::from_rows(&vec![vec![1.0]; 5]);
+        let r = KMeans::new(KMeansConfig::with_k(2)).fit(&data).unwrap();
+        assert_eq!(r.assignments.len(), 5);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn binary_truth_vectors_cluster_by_pattern() {
+        // The paper's use case: 0/1 rows, correlated attribute groups.
+        let data = Matrix::from_rows(&[
+            vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 0.0, 0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 1.0, 0.0, 1.0],
+        ]);
+        let r = KMeans::new(KMeansConfig::with_k(2)).fit(&data).unwrap();
+        assert_eq!(r.assignments[0], r.assignments[1]);
+        assert_eq!(r.assignments[2], r.assignments[3]);
+        assert_ne!(r.assignments[0], r.assignments[2]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Silhouette-guided selection of the number of clusters — the
+//! `k ∈ [2, |A|-1]` sweep of TD-AC's Algorithm 1 (lines 6–18).
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::Metric;
+use crate::error::ClusterError;
+use crate::kmeans::{KMeans, KMeansConfig, KMeansResult};
+use crate::matrix::Matrix;
+use crate::silhouette::silhouette_paper;
+
+/// The outcome of a k sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KSelection {
+    /// The selected number of clusters.
+    pub best_k: usize,
+    /// The winning clustering.
+    pub best_result: KMeansResult,
+    /// The winning partition's silhouette value.
+    pub best_silhouette: f64,
+    /// Every `(k, silhouette)` evaluated, in sweep order — the raw series
+    /// behind elbow/diagnostic plots.
+    pub scores: Vec<(usize, f64)>,
+}
+
+/// Sweeps `k` over `k_range`, fitting k-means for each and scoring the
+/// partition with the paper's macro-averaged silhouette under `metric`;
+/// returns the best. Ties keep the *smallest* k (Algorithm 1's strict
+/// `<` comparison), which also biases TD-AC toward coarser partitions —
+/// coarser partitions give the base algorithm more evidence per group.
+///
+/// `base` supplies every parameter of the inner k-means except `k`.
+pub fn select_k(
+    data: &Matrix,
+    k_range: std::ops::RangeInclusive<usize>,
+    metric: &dyn Metric,
+    base: KMeansConfig,
+) -> Result<KSelection, ClusterError> {
+    if data.n_rows() == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    let lo = *k_range.start();
+    let hi = (*k_range.end()).min(data.n_rows());
+    if lo > hi || lo == 0 {
+        return Err(ClusterError::EmptyKRange);
+    }
+
+    let mut best: Option<(usize, KMeansResult, f64)> = None;
+    let mut scores = Vec::with_capacity(hi - lo + 1);
+    for k in lo..=hi {
+        let result = KMeans::new(KMeansConfig { k, ..base }).fit(data)?;
+        let sil = silhouette_paper(data, &result.assignments, metric);
+        scores.push((k, sil));
+        let better = match &best {
+            None => true,
+            Some((_, _, best_sil)) => sil > *best_sil,
+        };
+        if better {
+            best = Some((k, result, sil));
+        }
+    }
+    let (best_k, best_result, best_silhouette) = best.expect("non-empty sweep");
+    Ok(KSelection {
+        best_k,
+        best_result,
+        best_silhouette,
+        scores,
+    })
+}
+
+/// The outcome of an elbow sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElbowSelection {
+    /// The k at the inertia curve's elbow.
+    pub best_k: usize,
+    /// The winning clustering.
+    pub best_result: KMeansResult,
+    /// Every `(k, inertia)` evaluated, in sweep order.
+    pub inertias: Vec<(usize, f64)>,
+}
+
+/// Alternative model selection for the ablation study: the **elbow
+/// method**. Fits k-means for every `k` in the range and picks the point
+/// of maximum curvature of the inertia curve (the "kneedle" distance to
+/// the chord between the endpoints). Unlike the silhouette it never
+/// inspects cluster shape, only the optimization objective — cheaper but
+/// blinder, which is exactly what the ablation quantifies.
+pub fn select_k_elbow(
+    data: &Matrix,
+    k_range: std::ops::RangeInclusive<usize>,
+    base: KMeansConfig,
+) -> Result<ElbowSelection, ClusterError> {
+    if data.n_rows() == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    let lo = *k_range.start();
+    let hi = (*k_range.end()).min(data.n_rows());
+    if lo > hi || lo == 0 {
+        return Err(ClusterError::EmptyKRange);
+    }
+
+    let mut fits = Vec::with_capacity(hi - lo + 1);
+    for k in lo..=hi {
+        let result = KMeans::new(KMeansConfig { k, ..base }).fit(data)?;
+        fits.push((k, result));
+    }
+    let inertias: Vec<(usize, f64)> = fits.iter().map(|(k, r)| (*k, r.inertia)).collect();
+
+    // Kneedle: distance of each point to the chord from first to last,
+    // in (k, inertia) space normalized to the unit square.
+    let best_idx = if inertias.len() <= 2 {
+        0
+    } else {
+        let (k0, i0) = inertias[0];
+        let (k1, i1) = *inertias.last().expect("non-empty");
+        let k_span = (k1 - k0) as f64;
+        let i_span = (i0 - i1).abs().max(1e-12);
+        let mut best = 0usize;
+        let mut best_d = f64::NEG_INFINITY;
+        for (idx, &(k, inertia)) in inertias.iter().enumerate() {
+            let x = (k - k0) as f64 / k_span;
+            let y = (i0 - inertia) / i_span; // 0 at start, ~1 at end
+            let d = y - x; // distance above the chord y = x
+            if d > best_d {
+                best_d = d;
+                best = idx;
+            }
+        }
+        best
+    };
+
+    let (best_k, best_result) = fits.swap_remove(best_idx);
+    Ok(ElbowSelection {
+        best_k,
+        best_result,
+        inertias,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{Euclidean, Hamming};
+
+    fn three_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for center in [0.0, 50.0, 100.0] {
+            for off in [0.0, 0.4, 0.8, 1.2] {
+                rows.push(vec![center + off, center - off]);
+            }
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn finds_three_blobs() {
+        let sel = select_k(&three_blobs(), 2..=8, &Euclidean, KMeansConfig::with_k(0)).unwrap();
+        assert_eq!(sel.best_k, 3, "scores: {:?}", sel.scores);
+        assert!(sel.best_silhouette > 0.9);
+        assert_eq!(sel.scores.len(), 7);
+    }
+
+    #[test]
+    fn range_is_clamped_to_n() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0]]);
+        let sel = select_k(&data, 2..=50, &Euclidean, KMeansConfig::with_k(0)).unwrap();
+        assert!(sel.best_k <= 3);
+        assert_eq!(sel.scores.len(), 2); // k = 2, 3
+    }
+
+    #[test]
+    fn errors_on_degenerate_ranges() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = 3..=2;
+        assert!(matches!(
+            select_k(&data, inverted, &Euclidean, KMeansConfig::with_k(0)),
+            Err(ClusterError::EmptyKRange)
+        ));
+        let empty = Matrix::from_rows(&[]);
+        assert!(matches!(
+            select_k(&empty, 2..=3, &Euclidean, KMeansConfig::with_k(0)),
+            Err(ClusterError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn tie_prefers_smaller_k() {
+        // Identical points: silhouette 0 for every k; the sweep keeps the
+        // first (smallest) k.
+        let data = Matrix::from_rows(&vec![vec![1.0]; 6]);
+        let sel = select_k(&data, 2..=5, &Euclidean, KMeansConfig::with_k(0)).unwrap();
+        assert_eq!(sel.best_k, 2);
+    }
+
+    #[test]
+    fn elbow_finds_three_blobs() {
+        let sel = select_k_elbow(&three_blobs(), 1..=8, KMeansConfig::with_k(0)).unwrap();
+        assert_eq!(sel.best_k, 3, "inertias: {:?}", sel.inertias);
+        assert_eq!(sel.inertias.len(), 8);
+        // Inertia is non-increasing in k.
+        for w in sel.inertias.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn elbow_errors_match_silhouette_sweep() {
+        let empty = Matrix::from_rows(&[]);
+        assert!(matches!(
+            select_k_elbow(&empty, 1..=3, KMeansConfig::with_k(0)),
+            Err(ClusterError::EmptyInput)
+        ));
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = 3..=2;
+        assert!(matches!(
+            select_k_elbow(&data, inverted, KMeansConfig::with_k(0)),
+            Err(ClusterError::EmptyKRange)
+        ));
+    }
+
+    #[test]
+    fn elbow_with_tiny_range_picks_first() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![9.0]]);
+        let sel = select_k_elbow(&data, 2..=3, KMeansConfig::with_k(0)).unwrap();
+        assert_eq!(sel.best_k, 2);
+    }
+
+    #[test]
+    fn truth_vector_shape_from_paper_running_example() {
+        // Table 2 of the paper: rows = attributes Q1..Q3 over 6
+        // (object, source) columns; Q1 and Q3 are identical, Q2 differs.
+        let data = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0],
+            vec![0.0, 0.0, 1.0, 1.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0],
+        ]);
+        let sel = select_k(&data, 2..=2, &Hamming, KMeansConfig::with_k(0)).unwrap();
+        let asg = &sel.best_result.assignments;
+        assert_eq!(asg[0], asg[2], "Q1 and Q3 are correlated");
+        assert_ne!(asg[0], asg[1], "Q2 stands apart");
+    }
+}

@@ -1,0 +1,316 @@
+//! k-medoids via PAM (Partitioning Around Medoids; Kaufman & Rousseeuw).
+//!
+//! The ablation counterpart to k-means: TD-AC defines its attribute
+//! similarity with the Hamming distance (Eq. 2) but optimizes Euclidean
+//! inertia; PAM optimizes *any* metric directly, so comparing the two
+//! quantifies how much that mismatch costs (spoiler from our ablation
+//! bench: on binary truth vectors, very little).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::distance::Metric;
+use crate::error::ClusterError;
+use crate::matrix::Matrix;
+
+/// Configuration of a [`Pam`] run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PamConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Swap-phase iteration cap.
+    pub max_iterations: u32,
+    /// RNG seed for the BUILD fallback shuffle.
+    pub seed: u64,
+}
+
+impl PamConfig {
+    /// Defaults besides `k`: 100 swap rounds, seed 42.
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k,
+            max_iterations: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of a PAM fit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PamResult {
+    /// Cluster index of every observation.
+    pub assignments: Vec<usize>,
+    /// Observation index of each cluster's medoid.
+    pub medoids: Vec<usize>,
+    /// Total distance of observations to their medoid.
+    pub cost: f64,
+    /// Swap iterations performed.
+    pub iterations: u32,
+}
+
+/// PAM clusterer (greedy BUILD + steepest-descent SWAP).
+#[derive(Debug, Clone, Copy)]
+pub struct Pam {
+    config: PamConfig,
+}
+
+impl Pam {
+    /// A PAM instance with the given configuration.
+    pub fn new(config: PamConfig) -> Self {
+        Self { config }
+    }
+
+    /// Fits `k` medoids to the rows of `data` under `metric`.
+    pub fn fit(&self, data: &Matrix, metric: &dyn Metric) -> Result<PamResult, ClusterError> {
+        let n = data.n_rows();
+        // Precompute the full distance matrix (n ≤ a few hundred
+        // attributes in every TD-AC workload).
+        let mut dist = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = metric.distance(data.row(i), data.row(j));
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        self.fit_from_distances(&dist, n)
+    }
+
+    /// Fits `k` medoids from a precomputed row-major `n×n` distance
+    /// matrix (used by the missing-data-aware TD-AC variant, whose masked
+    /// distance has no feature-vector form).
+    ///
+    /// # Panics
+    /// Panics if `dist.len() != n * n`.
+    pub fn fit_from_distances(&self, dist: &[f64], n: usize) -> Result<PamResult, ClusterError> {
+        assert_eq!(dist.len(), n * n, "distance matrix must be n×n");
+        let k = self.config.k;
+        if k == 0 {
+            return Err(ClusterError::ZeroK);
+        }
+        if n == 0 {
+            return Err(ClusterError::EmptyInput);
+        }
+        if k > n {
+            return Err(ClusterError::TooFewObservations { k, n });
+        }
+        let d = |a: usize, b: usize| dist[a * n + b];
+
+        // BUILD: first medoid minimizes total distance; each next medoid
+        // maximizes cost reduction.
+        let mut medoids: Vec<usize> = Vec::with_capacity(k);
+        let first = (0..n)
+            .min_by(|&a, &b| {
+                let ca: f64 = (0..n).map(|j| d(a, j)).sum();
+                let cb: f64 = (0..n).map(|j| d(b, j)).sum();
+                ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+            })
+            .expect("n > 0");
+        medoids.push(first);
+        let mut nearest: Vec<f64> = (0..n).map(|j| d(first, j)).collect();
+        while medoids.len() < k {
+            let mut best_gain = f64::NEG_INFINITY;
+            let mut best_i = usize::MAX;
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                let gain: f64 = (0..n)
+                    .map(|j| (nearest[j] - d(cand, j)).max(0.0))
+                    .sum();
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_i = cand;
+                }
+            }
+            if best_i == usize::MAX {
+                // All points already medoids (duplicates); pick arbitrary.
+                let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+                let mut pool: Vec<usize> =
+                    (0..n).filter(|i| !medoids.contains(i)).collect();
+                pool.shuffle(&mut rng);
+                best_i = pool.first().copied().unwrap_or(0);
+            }
+            medoids.push(best_i);
+            for j in 0..n {
+                nearest[j] = nearest[j].min(d(best_i, j));
+            }
+        }
+
+        // SWAP: steepest descent over (medoid, non-medoid) exchanges.
+        let cost_of = |meds: &[usize]| -> f64 {
+            (0..n)
+                .map(|j| {
+                    meds.iter()
+                        .map(|&m| d(m, j))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum()
+        };
+        let mut cost = cost_of(&medoids);
+        let mut iterations = 0u32;
+        loop {
+            iterations += 1;
+            let mut best_swap: Option<(usize, usize, f64)> = None;
+            for mi in 0..k {
+                for cand in 0..n {
+                    if medoids.contains(&cand) {
+                        continue;
+                    }
+                    let mut trial = medoids.clone();
+                    trial[mi] = cand;
+                    let c = cost_of(&trial);
+                    if c + 1e-12 < cost
+                        && best_swap.is_none_or(|(_, _, bc)| c < bc)
+                    {
+                        best_swap = Some((mi, cand, c));
+                    }
+                }
+            }
+            match best_swap {
+                Some((mi, cand, c)) => {
+                    medoids[mi] = cand;
+                    cost = c;
+                }
+                None => break,
+            }
+            if iterations >= self.config.max_iterations {
+                break;
+            }
+        }
+
+        let assignments: Vec<usize> = (0..n)
+            .map(|j| {
+                medoids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        d(a, j).partial_cmp(&d(b, j)).unwrap().then(a.cmp(&b))
+                    })
+                    .map(|(ci, _)| ci)
+                    .expect("k > 0")
+            })
+            .collect();
+
+        Ok(PamResult {
+            assignments,
+            medoids,
+            cost,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{Euclidean, Hamming};
+
+    fn blobs() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0],
+            vec![0.2],
+            vec![0.4],
+            vec![10.0],
+            vec![10.2],
+            vec![10.4],
+        ])
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let r = Pam::new(PamConfig::with_k(2)).fit(&blobs(), &Euclidean).unwrap();
+        assert_eq!(r.assignments[0], r.assignments[1]);
+        assert_eq!(r.assignments[0], r.assignments[2]);
+        assert_eq!(r.assignments[3], r.assignments[4]);
+        assert_ne!(r.assignments[0], r.assignments[3]);
+        // Medoids are the middle points of each blob.
+        let mut meds = r.medoids.clone();
+        meds.sort_unstable();
+        assert_eq!(meds, vec![1, 4]);
+    }
+
+    #[test]
+    fn medoids_are_observations() {
+        let data = blobs();
+        let r = Pam::new(PamConfig::with_k(3)).fit(&data, &Euclidean).unwrap();
+        assert_eq!(r.medoids.len(), 3);
+        for &m in &r.medoids {
+            assert!(m < data.n_rows());
+        }
+        // Each medoid is assigned to its own cluster.
+        for (ci, &m) in r.medoids.iter().enumerate() {
+            assert_eq!(r.assignments[m], ci);
+        }
+    }
+
+    #[test]
+    fn hamming_binary_clustering() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, 1.0, 1.0, 0.0],
+            vec![1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 1.0, 1.0],
+        ]);
+        let r = Pam::new(PamConfig::with_k(2)).fit(&data, &Hamming).unwrap();
+        assert_eq!(r.assignments[0], r.assignments[1]);
+        assert_eq!(r.assignments[2], r.assignments[3]);
+        assert_ne!(r.assignments[0], r.assignments[2]);
+    }
+
+    #[test]
+    fn errors_mirror_kmeans() {
+        let data = blobs();
+        assert!(matches!(
+            Pam::new(PamConfig::with_k(0)).fit(&data, &Euclidean),
+            Err(ClusterError::ZeroK)
+        ));
+        assert!(matches!(
+            Pam::new(PamConfig::with_k(99)).fit(&data, &Euclidean),
+            Err(ClusterError::TooFewObservations { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = blobs();
+        let r1 = Pam::new(PamConfig::with_k(2)).fit(&data, &Euclidean).unwrap();
+        let r2 = Pam::new(PamConfig::with_k(2)).fit(&data, &Euclidean).unwrap();
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.medoids, r2.medoids);
+    }
+
+    #[test]
+    fn duplicates_do_not_break_build() {
+        let data = Matrix::from_rows(&vec![vec![1.0]; 4]);
+        let r = Pam::new(PamConfig::with_k(2)).fit(&data, &Euclidean).unwrap();
+        assert_eq!(r.assignments.len(), 4);
+        assert!(r.cost < 1e-12);
+    }
+
+    #[test]
+    fn distance_matrix_entry_point_matches_feature_fit() {
+        let data = blobs();
+        let n = data.n_rows();
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                dist[i * n + j] = Euclidean.distance(data.row(i), data.row(j));
+            }
+        }
+        let pam = Pam::new(PamConfig::with_k(2));
+        let a = pam.fit(&data, &Euclidean).unwrap();
+        let b = pam.fit_from_distances(&dist, n).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.medoids, b.medoids);
+        assert!((a.cost - b.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "n×n")]
+    fn distance_matrix_size_is_checked() {
+        let _ = Pam::new(PamConfig::with_k(1)).fit_from_distances(&[0.0; 3], 2);
+    }
+}

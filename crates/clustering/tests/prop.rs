@@ -1,0 +1,121 @@
+//! Property tests for the clustering stack.
+
+use proptest::prelude::*;
+
+use tdac_clustering::{
+    silhouette_paper, silhouette_samples, Agglomerative, Euclidean, Hamming, KMeans,
+    KMeansConfig, Linkage, Matrix, Pam, PamConfig, SqEuclidean, Metric,
+};
+
+fn arb_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..10, 1usize..5).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, cols..=cols),
+            rows..=rows,
+        )
+        .prop_map(move |data| Matrix::from_rows(&data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kmeans_invariants(data in arb_matrix(), k in 1usize..5) {
+        let k = k.min(data.n_rows());
+        let fit = KMeans::new(KMeansConfig::with_k(k)).fit(&data).expect("fit");
+        // Every observation assigned a valid cluster.
+        prop_assert_eq!(fit.assignments.len(), data.n_rows());
+        prop_assert!(fit.assignments.iter().all(|&c| c < k));
+        // No cluster is empty (empty-cluster repair guarantee).
+        let groups = fit.clusters(k);
+        prop_assert!(groups.iter().all(|g| !g.is_empty()));
+        // Reported inertia equals the recomputed objective.
+        let recomputed: f64 = (0..data.n_rows())
+            .map(|i| SqEuclidean.distance(data.row(i), fit.centroids.row(fit.assignments[i])))
+            .sum();
+        prop_assert!((fit.inertia - recomputed).abs() < 1e-6 * (1.0 + recomputed));
+    }
+
+    #[test]
+    fn kmeans_inertia_never_increases_with_k(data in arb_matrix()) {
+        let n = data.n_rows();
+        let mut prev = f64::INFINITY;
+        for k in 1..=n.min(4) {
+            let fit = KMeans::new(KMeansConfig::with_k(k)).fit(&data).expect("fit");
+            // Randomized restarts make strict monotonicity almost sure but
+            // not guaranteed; allow a small slack.
+            prop_assert!(fit.inertia <= prev * 1.05 + 1e-9,
+                "k={k}: {} vs prev {prev}", fit.inertia);
+            prev = fit.inertia.min(prev);
+        }
+    }
+
+    #[test]
+    fn pam_medoids_are_members_of_their_cluster(data in arb_matrix(), k in 1usize..4) {
+        let k = k.min(data.n_rows());
+        let fit = Pam::new(PamConfig::with_k(k)).fit(&data, &Euclidean).expect("fit");
+        prop_assert_eq!(fit.medoids.len(), k);
+        for (ci, &m) in fit.medoids.iter().enumerate() {
+            prop_assert!(m < data.n_rows());
+            prop_assert_eq!(fit.assignments[m], ci);
+        }
+        // Cost equals the recomputed sum of nearest-medoid distances.
+        let recomputed: f64 = (0..data.n_rows())
+            .map(|i| {
+                fit.medoids
+                    .iter()
+                    .map(|&m| Euclidean.distance(data.row(i), data.row(m)))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        prop_assert!((fit.cost - recomputed).abs() < 1e-6 * (1.0 + recomputed));
+    }
+
+    #[test]
+    fn hierarchical_produces_exactly_k_dense_clusters(
+        data in arb_matrix(),
+        k in 1usize..5,
+        linkage_pick in 0usize..3,
+    ) {
+        let k = k.min(data.n_rows());
+        let linkage = [Linkage::Single, Linkage::Complete, Linkage::Average][linkage_pick];
+        let asg = Agglomerative::new(linkage).fit(&data, k, &Hamming).expect("fit");
+        prop_assert_eq!(asg.len(), data.n_rows());
+        let mut ids: Vec<usize> = asg.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), k);
+        prop_assert_eq!(*ids.last().expect("non-empty"), k - 1, "dense ids");
+    }
+
+    #[test]
+    fn silhouette_bounds_hold_for_any_clusterer(data in arb_matrix(), k in 2usize..4) {
+        let k = k.min(data.n_rows());
+        let fit = KMeans::new(KMeansConfig::with_k(k)).fit(&data).expect("fit");
+        for c in silhouette_samples(&data, &fit.assignments, &Euclidean) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+        }
+        let s = silhouette_paper(&data, &fit.assignments, &Euclidean);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+    }
+
+    #[test]
+    fn metrics_satisfy_identity_and_symmetry(
+        a in proptest::collection::vec(-50.0f64..50.0, 1..6),
+        b_seed in proptest::collection::vec(-50.0f64..50.0, 1..6),
+    ) {
+        let n = a.len().min(b_seed.len());
+        let (a, b) = (&a[..n], &b_seed[..n]);
+        let metrics: Vec<Box<dyn Metric>> = vec![
+            Box::new(Euclidean),
+            Box::new(SqEuclidean),
+            Box::new(Hamming),
+        ];
+        for m in &metrics {
+            prop_assert!(m.distance(a, a).abs() < 1e-9, "{}", m.name());
+            prop_assert!((m.distance(a, b) - m.distance(b, a)).abs() < 1e-9);
+            prop_assert!(m.distance(a, b) >= 0.0);
+        }
+    }
+}

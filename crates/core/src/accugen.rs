@@ -1,0 +1,494 @@
+//! AccuGenPartition — the brute-force baseline from Ba, Horincar,
+//! Senellart & Wu (*Truth Finding with Attribute Partitioning*,
+//! WebDB 2015) that TD-AC improves on.
+//!
+//! The baseline enumerates **every** set partition of the attribute set
+//! (Bell(|A|) of them), runs the base algorithm on every group of every
+//! partition, and keeps the partition maximizing a weighting function
+//! over the learned source reliabilities:
+//!
+//! * [`Weighting::Max`] — mean over groups of the *maximum* source
+//!   reliability in the group (a partition is good when each group has
+//!   at least one source the algorithm can pin its trust on);
+//! * [`Weighting::Avg`] — mean over groups of the *average* source
+//!   reliability (a partition is good when trust is high across the
+//!   board);
+//! * the **Oracle** variant scores each partition by its actual accuracy
+//!   against ground truth — an upper bound no realizable strategy can
+//!   beat, reported in the paper's Tables 4–5.
+//!
+//! The point of the exercise is the cost: Bell(6) = 203 partitions means
+//! hundreds of base-algorithm runs where TD-AC needs |A|-2 k-means fits
+//! and one run per group of a single partition. The experiment harness
+//! reproduces exactly that blow-up (the paper's ~200× Time column).
+//! Partition evaluation is embarrassingly parallel; `run*` methods use
+//! crossbeam scoped threads when `parallel` is enabled, with a
+//! deterministic reduction.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use td_algorithms::{TruthDiscovery, TruthResult};
+use td_metrics::evaluate_fn;
+use td_model::{Dataset, GroundTruth};
+
+use crate::partition::{all_partitions, bell_number, AttributePartition};
+
+/// Reliability-based partition scoring functions from the WebDB 2015
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Weighting {
+    /// Mean over groups of the maximum per-group source reliability.
+    Max,
+    /// Mean over groups of the average per-group source reliability.
+    Avg,
+}
+
+impl fmt::Display for Weighting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Weighting::Max => write!(f, "Max"),
+            Weighting::Avg => write!(f, "Avg"),
+        }
+    }
+}
+
+/// Errors from an AccuGenPartition run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccuGenError {
+    /// The dataset has no attributes.
+    NoAttributes,
+    /// Refusing to enumerate Bell(n) partitions beyond the guard.
+    TooManyAttributes {
+        /// Attribute count.
+        n: usize,
+        /// Bell(n), the number of partitions that would be enumerated.
+        bell: u64,
+        /// The configured guard.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AccuGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccuGenError::NoAttributes => write!(f, "dataset has no attributes"),
+            AccuGenError::TooManyAttributes { n, bell, limit } => write!(
+                f,
+                "{n} attributes ⇒ Bell({n}) = {bell} partitions exceeds the \
+                 guard of {limit} attributes; brute force is intractable here \
+                 (that is the paper's point — use TD-AC)"
+            ),
+        }
+    }
+}
+
+impl Error for AccuGenError {}
+
+/// The outcome of an AccuGenPartition run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccuGenOutcome {
+    /// Merged predictions of the winning partition.
+    pub result: TruthResult,
+    /// The winning partition.
+    pub partition: AttributePartition,
+    /// Its score under the weighting function (or its oracle accuracy).
+    pub score: f64,
+    /// How many partitions were evaluated (Bell(|A|)).
+    pub n_partitions: u64,
+}
+
+/// The brute-force baseline. See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct AccuGenPartition {
+    /// Evaluate partitions on scoped worker threads.
+    pub parallel: bool,
+    /// Refuse to run beyond this many attributes (Bell growth guard).
+    pub max_attributes: usize,
+}
+
+impl Default for AccuGenPartition {
+    fn default() -> Self {
+        Self {
+            parallel: true,
+            max_attributes: 10,
+        }
+    }
+}
+
+/// One evaluated partition, before reduction.
+struct Scored {
+    index: usize,
+    score: f64,
+    result: TruthResult,
+    partition: AttributePartition,
+}
+
+impl AccuGenPartition {
+    /// Runs the baseline with a reliability weighting function.
+    pub fn run(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        dataset: &Dataset,
+        weighting: Weighting,
+    ) -> Result<AccuGenOutcome, AccuGenError> {
+        self.search(dataset, |partition| {
+            self.evaluate_weighted(base, dataset, partition, weighting)
+        })
+    }
+
+    /// Runs the oracle variant: each partition is scored by the accuracy
+    /// of its merged predictions against `truth`.
+    pub fn run_oracle(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        dataset: &Dataset,
+        truth: &GroundTruth,
+    ) -> Result<AccuGenOutcome, AccuGenError> {
+        self.search(dataset, |partition| {
+            let result = run_partition(base, dataset, partition);
+            let report = evaluate_fn(dataset, truth, |o, a| result.prediction(o, a));
+            (report.accuracy, result)
+        })
+    }
+
+    fn search(
+        &self,
+        dataset: &Dataset,
+        score_fn: impl Fn(&AttributePartition) -> (f64, TruthResult) + Sync,
+    ) -> Result<AccuGenOutcome, AccuGenError> {
+        let attrs: Vec<_> = dataset.attribute_ids().collect();
+        let n = attrs.len();
+        if n == 0 {
+            return Err(AccuGenError::NoAttributes);
+        }
+        if n > self.max_attributes {
+            return Err(AccuGenError::TooManyAttributes {
+                n,
+                bell: bell_number(n),
+                limit: self.max_attributes,
+            });
+        }
+
+        let partitions = all_partitions(&attrs);
+        let n_partitions = partitions.len() as u64;
+
+        let best = if self.parallel && partitions.len() > 1 {
+            let n_threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+                .min(partitions.len());
+            let chunk = partitions.len().div_ceil(n_threads);
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = partitions
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(ci, ps)| {
+                        let score_fn = &score_fn;
+                        s.spawn(move |_| {
+                            let mut best: Option<Scored> = None;
+                            for (i, p) in ps.iter().enumerate() {
+                                let index = ci * chunk + i;
+                                let (score, result) = score_fn(p);
+                                if better(best.as_ref(), score, index) {
+                                    best = Some(Scored {
+                                        index,
+                                        score,
+                                        result,
+                                        partition: p.clone(),
+                                    });
+                                }
+                            }
+                            best
+                        })
+                    })
+                    .collect();
+                let mut best: Option<Scored> = None;
+                for h in handles {
+                    if let Some(cand) = h.join().expect("worker panicked") {
+                        if better(best.as_ref(), cand.score, cand.index) {
+                            best = Some(cand);
+                        }
+                    }
+                }
+                best
+            })
+            .expect("crossbeam scope")
+        } else {
+            let mut best: Option<Scored> = None;
+            for (index, p) in partitions.iter().enumerate() {
+                let (score, result) = score_fn(p);
+                if better(best.as_ref(), score, index) {
+                    best = Some(Scored {
+                        index,
+                        score,
+                        result,
+                        partition: p.clone(),
+                    });
+                }
+            }
+            best
+        };
+
+        let best = best.expect("at least one partition");
+        Ok(AccuGenOutcome {
+            result: best.result,
+            partition: best.partition,
+            score: best.score,
+            n_partitions,
+        })
+    }
+
+    /// Greedy bottom-up exploration — the cheap alternative among the
+    /// WebDB'15 paper's strategies. Starts from the all-singletons
+    /// partition and repeatedly applies the group merge that most
+    /// improves the weighting score, stopping at a local optimum. Costs
+    /// `O(|A|³)` base runs instead of Bell(|A|), at the price of local
+    /// optima — exactly the trade-off TD-AC's clustering removes.
+    pub fn run_greedy(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        dataset: &Dataset,
+        weighting: Weighting,
+    ) -> Result<AccuGenOutcome, AccuGenError> {
+        let attrs: Vec<_> = dataset.attribute_ids().collect();
+        if attrs.is_empty() {
+            return Err(AccuGenError::NoAttributes);
+        }
+        let mut current =
+            AttributePartition::new(attrs.iter().map(|&a| vec![a]).collect());
+        let (mut score, mut result) =
+            self.evaluate_weighted(base, dataset, &current, weighting);
+        let mut evaluated = 1u64;
+
+        loop {
+            let groups = current.groups();
+            let mut best: Option<(AttributePartition, f64, TruthResult)> = None;
+            for i in 0..groups.len() {
+                for j in (i + 1)..groups.len() {
+                    let mut merged: Vec<Vec<_>> = groups.to_vec();
+                    let g = merged.remove(j);
+                    merged[i].extend(g);
+                    let candidate = AttributePartition::new(merged);
+                    let (s, r) = self.evaluate_weighted(base, dataset, &candidate, weighting);
+                    evaluated += 1;
+                    if s > score && best.as_ref().is_none_or(|(_, bs, _)| s > *bs) {
+                        best = Some((candidate, s, r));
+                    }
+                }
+            }
+            match best {
+                Some((p, s, r)) => {
+                    current = p;
+                    score = s;
+                    result = r;
+                }
+                None => break,
+            }
+        }
+
+        Ok(AccuGenOutcome {
+            result,
+            partition: current,
+            score,
+            n_partitions: evaluated,
+        })
+    }
+
+    fn evaluate_weighted(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        dataset: &Dataset,
+        partition: &AttributePartition,
+        weighting: Weighting,
+    ) -> (f64, TruthResult) {
+        let mut merged = TruthResult::with_sources(0, 0.0);
+        let mut group_scores = Vec::with_capacity(partition.len());
+        for group in partition.groups() {
+            let view = dataset.view_of(group);
+            let partial = base.discover(&view);
+            // Only sources actually claiming inside the group carry
+            // information about the partition's quality.
+            let active: Vec<f64> = dataset
+                .source_ids()
+                .filter(|&s| view.claims_of_source(s).next().is_some())
+                .map(|s| partial.source_trust[s.index()])
+                .collect();
+            if !active.is_empty() {
+                let score = match weighting {
+                    Weighting::Max => active.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    Weighting::Avg => active.iter().sum::<f64>() / active.len() as f64,
+                };
+                group_scores.push(score);
+            }
+            merged.absorb(&partial);
+        }
+        let score = if group_scores.is_empty() {
+            0.0
+        } else {
+            group_scores.iter().sum::<f64>() / group_scores.len() as f64
+        };
+        (score, merged)
+    }
+}
+
+/// Strictly-better comparison with a deterministic index tie-break, so
+/// parallel and sequential searches pick the same winner.
+fn better(current: Option<&Scored>, score: f64, index: usize) -> bool {
+    match current {
+        None => true,
+        Some(c) => score > c.score || (score == c.score && index < c.index),
+    }
+}
+
+/// Runs `base` once per group of `partition` and merges the results.
+pub fn run_partition(
+    base: &dyn TruthDiscovery,
+    dataset: &Dataset,
+    partition: &AttributePartition,
+) -> TruthResult {
+    let mut merged = TruthResult::with_sources(0, 0.0);
+    for group in partition.groups() {
+        let view = dataset.view_of(group);
+        merged.absorb(&base.discover(&view));
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_algorithms::MajorityVote;
+    use td_model::{DatasetBuilder, Value};
+
+    /// Four attributes in two planted groups (sources specialize), with
+    /// ground truth.
+    fn dataset() -> (Dataset, GroundTruth, AttributePartition) {
+        let mut b = DatasetBuilder::new();
+        for o in 0..5 {
+            let obj = format!("o{o}");
+            for a in ["a0", "a1"] {
+                b.claim("g1", &obj, a, Value::int(o)).unwrap();
+                b.claim("g2", &obj, a, Value::int(o)).unwrap();
+                b.claim("h1", &obj, a, Value::int(500 + o)).unwrap();
+                b.claim("h2", &obj, a, Value::int(600 + o)).unwrap();
+                b.truth(&obj, a, Value::int(o));
+            }
+            for a in ["b0", "b1"] {
+                b.claim("g1", &obj, a, Value::int(700 + o)).unwrap();
+                b.claim("g2", &obj, a, Value::int(800 + o)).unwrap();
+                b.claim("h1", &obj, a, Value::int(o)).unwrap();
+                b.claim("h2", &obj, a, Value::int(o)).unwrap();
+                b.truth(&obj, a, Value::int(o));
+            }
+        }
+        let (d, t) = b.build_with_truth();
+        let ga: Vec<_> = ["a0", "a1"].iter().map(|a| d.attribute_id(a).unwrap()).collect();
+        let gb: Vec<_> = ["b0", "b1"].iter().map(|a| d.attribute_id(a).unwrap()).collect();
+        (d, t, AttributePartition::new(vec![ga, gb]))
+    }
+
+    use td_model::Dataset;
+
+    #[test]
+    fn oracle_finds_a_perfect_partition() {
+        let (d, t, _planted) = dataset();
+        let out = AccuGenPartition::default()
+            .run_oracle(&MajorityVote, &d, &t)
+            .unwrap();
+        assert_eq!(out.n_partitions, bell_number(4));
+        assert!(
+            out.score > 0.99,
+            "oracle should reach near-perfect accuracy, got {}",
+            out.score
+        );
+    }
+
+    #[test]
+    fn weighted_variants_run_and_score() {
+        let (d, _, _) = dataset();
+        for w in [Weighting::Max, Weighting::Avg] {
+            let out = AccuGenPartition::default().run(&MajorityVote, &d, w).unwrap();
+            assert_eq!(out.n_partitions, 15);
+            assert!(out.score.is_finite());
+            assert_eq!(out.result.len(), d.n_cells(), "{w}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let (d, t, _) = dataset();
+        let par = AccuGenPartition {
+            parallel: true,
+            ..Default::default()
+        };
+        let seq = AccuGenPartition {
+            parallel: false,
+            ..Default::default()
+        };
+        let o1 = par.run_oracle(&MajorityVote, &d, &t).unwrap();
+        let o2 = seq.run_oracle(&MajorityVote, &d, &t).unwrap();
+        assert_eq!(o1.partition, o2.partition);
+        assert_eq!(o1.score, o2.score);
+        let w1 = par.run(&MajorityVote, &d, Weighting::Avg).unwrap();
+        let w2 = seq.run(&MajorityVote, &d, Weighting::Avg).unwrap();
+        assert_eq!(w1.partition, w2.partition);
+        assert_eq!(w1.score, w2.score);
+    }
+
+    #[test]
+    fn attribute_guard_refuses_blowup() {
+        let mut b = DatasetBuilder::new();
+        for a in 0..12 {
+            b.claim("s", "o", &format!("a{a}"), Value::int(1)).unwrap();
+        }
+        let d = b.build();
+        let err = AccuGenPartition::default()
+            .run(&MajorityVote, &d, Weighting::Max)
+            .unwrap_err();
+        assert!(matches!(err, AccuGenError::TooManyAttributes { n: 12, .. }));
+        assert!(err.to_string().contains("TD-AC"));
+    }
+
+    #[test]
+    fn greedy_is_cheaper_and_sound() {
+        let (d, _, _) = dataset();
+        let brute = AccuGenPartition::default();
+        let greedy = brute.run_greedy(&MajorityVote, &d, Weighting::Avg).unwrap();
+        let full = brute.run(&MajorityVote, &d, Weighting::Avg).unwrap();
+        // Greedy evaluates far fewer partitions than Bell(n) can require
+        // at larger n; at n = 4 it is bounded by singletons + merges.
+        assert!(greedy.n_partitions <= 15 + 4);
+        // Its local optimum can't beat the exhaustive optimum.
+        assert!(greedy.score <= full.score + 1e-9);
+        assert_eq!(greedy.result.len(), d.n_cells());
+        assert_eq!(greedy.partition.n_attributes(), 4);
+    }
+
+    #[test]
+    fn greedy_on_empty_dataset_errors() {
+        let d = DatasetBuilder::new().build();
+        assert!(AccuGenPartition::default()
+            .run_greedy(&MajorityVote, &d, Weighting::Max)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let d = DatasetBuilder::new().build();
+        assert_eq!(
+            AccuGenPartition::default()
+                .run(&MajorityVote, &d, Weighting::Max)
+                .unwrap_err(),
+            AccuGenError::NoAttributes
+        );
+    }
+
+    #[test]
+    fn run_partition_covers_all_cells_once() {
+        let (d, _, planted) = dataset();
+        let r = run_partition(&MajorityVote, &d, &planted);
+        assert_eq!(r.len(), d.n_cells());
+    }
+}

@@ -1,0 +1,127 @@
+//! Configuration of the TD-AC pipeline.
+
+use clustering::{Cosine, Euclidean, Hamming, Linkage, Metric};
+use serde::{Deserialize, Serialize};
+
+/// Which distance the silhouette model selection uses.
+///
+/// The paper defines attribute similarity with the Hamming distance
+/// (Eq. 2) — the default — but the inner k-means always optimizes
+/// Euclidean inertia (Eq. 3), exactly as in the paper. On 0/1 truth
+/// vectors, Hamming = L1 = squared L2, so the choices coincide there and
+/// only diverge on the fractional centroids; the variants exist for the
+/// ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Hamming / L1 (the paper's Eq. 2).
+    Hamming,
+    /// Euclidean (L2).
+    Euclidean,
+    /// Cosine distance.
+    Cosine,
+}
+
+impl MetricKind {
+    /// The metric object behind the kind.
+    pub fn as_metric(self) -> &'static dyn Metric {
+        match self {
+            MetricKind::Hamming => &Hamming,
+            MetricKind::Euclidean => &Euclidean,
+            MetricKind::Cosine => &Cosine,
+        }
+    }
+}
+
+/// Which clusterer groups the attribute truth vectors.
+///
+/// The paper uses k-means; PAM and agglomerative clustering are provided
+/// for the design-choice ablations called out in DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterMethod {
+    /// Lloyd's k-means with k-means++ (the paper's choice).
+    KMeans,
+    /// k-medoids (PAM) under the silhouette metric.
+    Pam,
+    /// Agglomerative clustering with the given linkage.
+    Hierarchical(Linkage),
+}
+
+/// Full TD-AC configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TdacConfig {
+    /// Smallest k to try (Algorithm 1: 2).
+    pub k_min: usize,
+    /// Largest k to try; `None` means `|A| - 1` as in Algorithm 1.
+    pub k_max: Option<usize>,
+    /// Distance used by the silhouette index.
+    pub metric: MetricKind,
+    /// Clustering algorithm.
+    pub method: ClusterMethod,
+    /// k-means restarts per k.
+    pub n_init: u32,
+    /// RNG seed for the clusterer.
+    pub seed: u64,
+    /// If the silhouette of the best partition falls at or below this
+    /// value, TD-AC falls back to the un-partitioned run (no structure
+    /// found ⇒ partitioning would only starve the base algorithm of
+    /// evidence). `None` disables the fallback — strict Algorithm 1.
+    pub min_silhouette: Option<f64>,
+    /// Missing-data-aware mode (the paper's future-work perspective (i)):
+    /// cluster with the *masked* Hamming distance over co-observed
+    /// coordinates (see [`crate::masked`]) using PAM, instead of plain
+    /// k-means over Eq. 1 vectors. Helps on sparse data (low DCR).
+    pub missing_aware: bool,
+    /// Run the base algorithm on the partition's groups on scoped worker
+    /// threads (the paper's future-work perspective (ii)). Results are
+    /// merged in deterministic group order.
+    pub parallel: bool,
+}
+
+impl Default for TdacConfig {
+    fn default() -> Self {
+        Self {
+            k_min: 2,
+            k_max: None,
+            metric: MetricKind::Hamming,
+            method: ClusterMethod::KMeans,
+            n_init: 10,
+            seed: 42,
+            min_silhouette: None,
+            missing_aware: false,
+            parallel: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_kinds_resolve() {
+        assert_eq!(MetricKind::Hamming.as_metric().name(), "hamming");
+        assert_eq!(MetricKind::Euclidean.as_metric().name(), "euclidean");
+        assert_eq!(MetricKind::Cosine.as_metric().name(), "cosine");
+    }
+
+    #[test]
+    fn default_matches_algorithm_one() {
+        let c = TdacConfig::default();
+        assert_eq!(c.k_min, 2);
+        assert_eq!(c.k_max, None);
+        assert_eq!(c.metric, MetricKind::Hamming);
+        assert_eq!(c.method, ClusterMethod::KMeans);
+        assert!(c.min_silhouette.is_none());
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = TdacConfig {
+            method: ClusterMethod::Hierarchical(Linkage::Average),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TdacConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.method, c.method);
+    }
+}

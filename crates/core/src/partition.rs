@@ -1,0 +1,290 @@
+//! Attribute partitions: the search space of the truth-discovery-with-
+//! attribute-partitioning problem.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use td_model::AttributeId;
+
+/// A partition of a set of attributes into disjoint, jointly exhaustive
+/// groups.
+///
+/// Stored in *canonical form*: attributes sorted within each group,
+/// groups sorted by their smallest attribute. Canonicalization makes
+/// partition equality, hashing and the paper's Table 5 comparisons
+/// well-defined.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttributePartition {
+    groups: Vec<Vec<AttributeId>>,
+}
+
+impl AttributePartition {
+    /// Builds a partition from groups, canonicalizing. Empty groups are
+    /// dropped.
+    pub fn new(mut groups: Vec<Vec<AttributeId>>) -> Self {
+        groups.retain(|g| !g.is_empty());
+        for g in groups.iter_mut() {
+            g.sort_unstable();
+            g.dedup();
+        }
+        groups.sort_by_key(|g| g[0]);
+        Self { groups }
+    }
+
+    /// The single-group (trivial) partition over `attributes`.
+    pub fn whole(attributes: &[AttributeId]) -> Self {
+        Self::new(vec![attributes.to_vec()])
+    }
+
+    /// Builds a partition from per-attribute cluster assignments:
+    /// `attributes[i]` goes to group `assignments[i]`.
+    ///
+    /// # Panics
+    /// Panics if the two slices have different lengths.
+    pub fn from_assignments(attributes: &[AttributeId], assignments: &[usize]) -> Self {
+        assert_eq!(attributes.len(), assignments.len());
+        let mut by_cluster: HashMap<usize, Vec<AttributeId>> = HashMap::new();
+        for (&a, &c) in attributes.iter().zip(assignments) {
+            by_cluster.entry(c).or_default().push(a);
+        }
+        Self::new(by_cluster.into_values().collect())
+    }
+
+    /// The groups, canonical order.
+    pub fn groups(&self) -> &[Vec<AttributeId>] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no groups (empty attribute set).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Total number of attributes across groups.
+    pub fn n_attributes(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// The group index containing `attribute`, if any.
+    pub fn group_of(&self, attribute: AttributeId) -> Option<usize> {
+        self.groups
+            .iter()
+            .position(|g| g.binary_search(&attribute).is_ok())
+    }
+
+    /// Whether `self` and `other` group the same attribute set
+    /// identically (canonical equality).
+    pub fn same_grouping(&self, other: &AttributePartition) -> bool {
+        self == other
+    }
+
+    /// Rand index between two partitions of the same attribute set: the
+    /// fraction of attribute pairs on which the partitions agree
+    /// (together/apart). `1.0` means identical groupings; used to compare
+    /// recovered vs. planted partitions (paper Table 5).
+    pub fn rand_index(&self, other: &AttributePartition) -> f64 {
+        let attrs: Vec<AttributeId> = self.groups.iter().flatten().copied().collect();
+        let n = attrs.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let together_self = self.group_of(attrs[i]) == self.group_of(attrs[j]);
+                let together_other = other.group_of(attrs[i]) == other.group_of(attrs[j]);
+                agree += usize::from(together_self == together_other);
+                total += 1;
+            }
+        }
+        agree as f64 / total as f64
+    }
+}
+
+impl fmt::Display for AttributePartition {
+    /// Paper-style rendering with 1-based attribute indices:
+    /// `[(1,2),(4,6),(3,5)]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (gi, g) in self.groups.iter().enumerate() {
+            if gi > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "(")?;
+            for (ai, a) in g.iter().enumerate() {
+                if ai > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", a.0 + 1)?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Enumerates **all** set partitions of `attributes` via restricted
+/// growth strings, in a deterministic order. There are Bell(n) of them —
+/// 203 for the paper's 6 synthetic attributes, but combinatorially
+/// explosive beyond ~12 (use [`bell_number`] to check before calling).
+pub fn all_partitions(attributes: &[AttributeId]) -> Vec<AttributePartition> {
+    let n = attributes.len();
+    if n == 0 {
+        return vec![AttributePartition::new(vec![])];
+    }
+    let mut out = Vec::with_capacity(bell_number(n).min(1 << 24) as usize);
+    // Restricted growth string: rgs[0] = 0; rgs[i] <= max(rgs[..i]) + 1.
+    let mut rgs = vec![0usize; n];
+    loop {
+        let n_groups = rgs.iter().copied().max().unwrap_or(0) + 1;
+        let mut groups: Vec<Vec<AttributeId>> = vec![Vec::new(); n_groups];
+        for (i, &g) in rgs.iter().enumerate() {
+            groups[g].push(attributes[i]);
+        }
+        out.push(AttributePartition::new(groups));
+
+        // Next restricted growth string (odometer with the RGS bound).
+        let mut i = n;
+        loop {
+            if i == 1 {
+                return out;
+            }
+            i -= 1;
+            let prefix_max = rgs[..i].iter().copied().max().unwrap_or(0);
+            if rgs[i] <= prefix_max {
+                rgs[i] += 1;
+                for r in rgs.iter_mut().skip(i + 1) {
+                    *r = 0;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// The Bell number B(n): how many set partitions an `n`-attribute set
+/// has. Computed with the Bell triangle; saturates at `u64::MAX`.
+pub fn bell_number(n: usize) -> u64 {
+    if n == 0 {
+        return 1;
+    }
+    let mut row = vec![1u64];
+    for _ in 1..n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().expect("non-empty row"));
+        for &x in &row {
+            let prev = *next.last().expect("non-empty");
+            next.push(prev.saturating_add(x));
+        }
+        row = next;
+    }
+    *row.last().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttributeId {
+        AttributeId::new(i)
+    }
+
+    #[test]
+    fn canonicalization() {
+        let p1 = AttributePartition::new(vec![vec![a(3), a(1)], vec![a(0), a(2)]]);
+        let p2 = AttributePartition::new(vec![vec![a(2), a(0)], vec![a(1), a(3)]]);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.groups()[0], vec![a(0), a(2)]);
+        assert_eq!(p1.len(), 2);
+        assert_eq!(p1.n_attributes(), 4);
+    }
+
+    #[test]
+    fn empty_groups_are_dropped() {
+        let p = AttributePartition::new(vec![vec![], vec![a(0)], vec![]]);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn group_of_lookup() {
+        let p = AttributePartition::new(vec![vec![a(0), a(1)], vec![a(2)]]);
+        assert_eq!(p.group_of(a(1)), Some(0));
+        assert_eq!(p.group_of(a(2)), Some(1));
+        assert_eq!(p.group_of(a(9)), None);
+    }
+
+    #[test]
+    fn from_assignments_mirrors_clustering_output() {
+        let attrs = [a(0), a(1), a(2), a(3)];
+        let p = AttributePartition::from_assignments(&attrs, &[1, 0, 1, 2]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.group_of(a(0)), p.group_of(a(2)));
+        assert_ne!(p.group_of(a(1)), p.group_of(a(3)));
+    }
+
+    #[test]
+    fn display_is_paper_style_one_based() {
+        let p = AttributePartition::new(vec![vec![a(0), a(1)], vec![a(3), a(5)], vec![a(2), a(4)]]);
+        assert_eq!(p.to_string(), "[(1,2),(3,5),(4,6)]");
+    }
+
+    #[test]
+    fn bell_numbers_match_oeis() {
+        let expect = [1u64, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975];
+        for (n, &b) in expect.iter().enumerate() {
+            assert_eq!(bell_number(n), b, "B({n})");
+        }
+    }
+
+    #[test]
+    fn enumeration_count_is_bell() {
+        for n in 0..=7 {
+            let attrs: Vec<AttributeId> = (0..n as u32).map(a).collect();
+            let parts = all_partitions(&attrs);
+            assert_eq!(parts.len() as u64, bell_number(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates_and_is_exhaustive() {
+        let attrs: Vec<AttributeId> = (0..5u32).map(a).collect();
+        let parts = all_partitions(&attrs);
+        let unique: std::collections::HashSet<_> = parts.iter().cloned().collect();
+        assert_eq!(unique.len(), parts.len());
+        for p in &parts {
+            assert_eq!(p.n_attributes(), 5);
+        }
+        // The two extremes are present.
+        assert!(parts.iter().any(|p| p.len() == 1));
+        assert!(parts.iter().any(|p| p.len() == 5));
+    }
+
+    #[test]
+    fn rand_index_behaviour() {
+        let p1 = AttributePartition::new(vec![vec![a(0), a(1)], vec![a(2), a(3)]]);
+        let p2 = AttributePartition::new(vec![vec![a(0), a(1)], vec![a(2), a(3)]]);
+        assert_eq!(p1.rand_index(&p2), 1.0);
+        let p3 = AttributePartition::new(vec![vec![a(0), a(2)], vec![a(1), a(3)]]);
+        let ri = p1.rand_index(&p3);
+        assert!(ri < 1.0);
+        assert!(ri >= 0.0);
+        // Singleton partition vs itself.
+        let s = AttributePartition::new(vec![vec![a(0)]]);
+        assert_eq!(s.rand_index(&s), 1.0);
+    }
+
+    #[test]
+    fn whole_partition() {
+        let p = AttributePartition::whole(&[a(2), a(0), a(1)]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.groups()[0], vec![a(0), a(1), a(2)]);
+    }
+}

@@ -1,0 +1,477 @@
+//! TD-AC — Algorithm 1 of the paper.
+
+use std::error::Error;
+use std::fmt;
+
+use clustering::{
+    silhouette_paper, silhouette_paper_dist, Agglomerative, ClusterError, KMeans, KMeansConfig,
+    Matrix, Pam, PamConfig,
+};
+use serde::{Deserialize, Serialize};
+use td_algorithms::{TruthDiscovery, TruthResult};
+use td_model::{Dataset, DatasetView};
+
+use crate::config::{ClusterMethod, TdacConfig};
+use crate::masked::MaskedTruthVectors;
+use crate::partition::AttributePartition;
+use crate::truth_vectors::truth_vector_matrix;
+
+/// Errors from a TD-AC run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TdacError {
+    /// The view has no attributes to partition.
+    NoAttributes,
+    /// The inner clusterer failed.
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for TdacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdacError::NoAttributes => write!(f, "dataset view has no attributes"),
+            TdacError::Cluster(e) => write!(f, "clustering failed: {e}"),
+        }
+    }
+}
+
+impl Error for TdacError {}
+
+impl From<ClusterError> for TdacError {
+    fn from(e: ClusterError) -> Self {
+        TdacError::Cluster(e)
+    }
+}
+
+/// Everything a TD-AC run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TdacOutcome {
+    /// The merged truth predictions (Algorithm 1's `results`).
+    pub result: TruthResult,
+    /// The selected attribute partition.
+    pub partition: AttributePartition,
+    /// Silhouette value of the selected partition.
+    pub silhouette: f64,
+    /// Every `(k, silhouette)` evaluated during the sweep.
+    pub k_scores: Vec<(usize, f64)>,
+    /// `true` when TD-AC fell back to the un-partitioned base run
+    /// (fewer than 3 attributes, or silhouette below the configured
+    /// floor).
+    pub fallback: bool,
+}
+
+/// The TD-AC algorithm. See the crate docs for the pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Tdac {
+    config: TdacConfig,
+}
+
+impl Tdac {
+    /// A TD-AC instance with the given configuration.
+    pub fn new(config: TdacConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TdacConfig {
+        &self.config
+    }
+
+    /// Runs TD-AC over the whole dataset with base algorithm `base`
+    /// (the paper's `F`).
+    pub fn run(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        dataset: &Dataset,
+    ) -> Result<TdacOutcome, TdacError> {
+        self.run_view(base, &dataset.view_all())
+    }
+
+    /// Runs TD-AC over an arbitrary view.
+    pub fn run_view(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        view: &DatasetView<'_>,
+    ) -> Result<TdacOutcome, TdacError> {
+        let attrs = view.attributes().to_vec();
+        let n = attrs.len();
+        if n == 0 {
+            return Err(TdacError::NoAttributes);
+        }
+
+        // Algorithm 1 sweeps k ∈ [2, |A|-1]; with |A| ≤ 2 the range is
+        // empty and partitioning is meaningless — run the base algorithm
+        // unpartitioned.
+        let k_hi = self.config.k_max.unwrap_or(n.saturating_sub(1)).min(n.saturating_sub(1));
+        if n < 3 || self.config.k_min > k_hi {
+            return Ok(self.fallback(base, view, Vec::new()));
+        }
+
+        // Step 2 + 3: attribute truth vectors from the base algorithm's
+        // reference truth, then the silhouette-guided sweep (strict `>`
+        // keeps the smallest k on ties, like Algorithm 1's comparison).
+        let mut best: Option<(f64, Vec<usize>, usize)> = None;
+        let mut k_scores = Vec::with_capacity(k_hi - self.config.k_min + 1);
+        if self.config.missing_aware {
+            // Future-work variant: masked distances + PAM (k-means has no
+            // feature-space form for the masked metric).
+            let (masked, _reference) = MaskedTruthVectors::build(base, view);
+            let dist = masked.distance_matrix();
+            for k in self.config.k_min..=k_hi {
+                let assignments = Pam::new(PamConfig {
+                    seed: self.config.seed,
+                    ..PamConfig::with_k(k)
+                })
+                .fit_from_distances(&dist, n)?
+                .assignments;
+                let sil = silhouette_paper_dist(&dist, n, &assignments);
+                k_scores.push((k, sil));
+                if best.as_ref().is_none_or(|(b, _, _)| sil > *b) {
+                    best = Some((sil, assignments, k));
+                }
+            }
+        } else {
+            let (matrix, _reference) = truth_vector_matrix(base, view);
+            let metric = self.config.metric.as_metric();
+            for k in self.config.k_min..=k_hi {
+                let assignments = self.cluster(&matrix, k)?;
+                let sil = silhouette_paper(&matrix, &assignments, metric);
+                k_scores.push((k, sil));
+                if best.as_ref().is_none_or(|(b, _, _)| sil > *b) {
+                    best = Some((sil, assignments, k));
+                }
+            }
+        }
+        let (silhouette, assignments, _k) = best.expect("non-empty sweep");
+
+        if let Some(floor) = self.config.min_silhouette {
+            if silhouette <= floor {
+                return Ok(self.fallback(base, view, k_scores));
+            }
+        }
+
+        let partition = AttributePartition::from_assignments(&attrs, &assignments);
+
+        // Step 4: base truth discovery per group, merged in group order
+        // (deterministic whether sequential or parallel).
+        let dataset = view.dataset();
+        let partials: Vec<TruthResult> = if self.config.parallel && partition.len() > 1 {
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = partition
+                    .groups()
+                    .iter()
+                    .map(|group| {
+                        s.spawn(move |_| {
+                            let sub = dataset.view_of(group);
+                            base.discover(&sub)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("group worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope")
+        } else {
+            partition
+                .groups()
+                .iter()
+                .map(|group| base.discover(&dataset.view_of(group)))
+                .collect()
+        };
+        let mut result = TruthResult::with_sources(0, 0.0);
+        for partial in &partials {
+            result.absorb(partial);
+        }
+        // `absorb` averages trust pairwise (exponentially weighting later
+        // partials); replace with the proper element-wise mean over all
+        // per-group runs.
+        if let Some(first) = partials.first() {
+            let n_sources = first.source_trust.len();
+            let mut mean = vec![0.0f64; n_sources];
+            for partial in &partials {
+                for (m, &t) in mean.iter_mut().zip(&partial.source_trust) {
+                    *m += t;
+                }
+            }
+            for m in mean.iter_mut() {
+                *m /= partials.len() as f64;
+            }
+            result.source_trust = mean;
+        }
+        // The paper reports TD-AC as a single logical iteration.
+        result.iterations = 1;
+
+        Ok(TdacOutcome {
+            result,
+            partition,
+            silhouette,
+            k_scores,
+            fallback: false,
+        })
+    }
+
+    fn fallback(
+        &self,
+        base: &dyn TruthDiscovery,
+        view: &DatasetView<'_>,
+        k_scores: Vec<(usize, f64)>,
+    ) -> TdacOutcome {
+        let mut result = base.discover(view);
+        result.iterations = 1;
+        TdacOutcome {
+            result,
+            partition: AttributePartition::whole(view.attributes()),
+            silhouette: 0.0,
+            k_scores,
+            fallback: true,
+        }
+    }
+
+    fn cluster(&self, data: &Matrix, k: usize) -> Result<Vec<usize>, ClusterError> {
+        match self.config.method {
+            ClusterMethod::KMeans => {
+                let cfg = KMeansConfig {
+                    k,
+                    n_init: self.config.n_init,
+                    seed: self.config.seed,
+                    ..KMeansConfig::with_k(k)
+                };
+                Ok(KMeans::new(cfg).fit(data)?.assignments)
+            }
+            ClusterMethod::Pam => {
+                let cfg = PamConfig {
+                    seed: self.config.seed,
+                    ..PamConfig::with_k(k)
+                };
+                Ok(Pam::new(cfg)
+                    .fit(data, self.config.metric.as_metric())?
+                    .assignments)
+            }
+            ClusterMethod::Hierarchical(linkage) => {
+                Agglomerative::new(linkage).fit(data, k, self.config.metric.as_metric())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustering::Linkage;
+    use crate::config::MetricKind;
+    use td_algorithms::{Accu, MajorityVote};
+    use td_model::{DatasetBuilder, Value};
+
+    /// Two planted attribute groups with opposite source reliabilities:
+    /// sources g1, g2 are right on attributes a0..a2; sources h1, h2 on
+    /// a3..a5; a fifth source answers randomly-ish (fixed wrong values).
+    fn correlated_dataset() -> (Dataset, AttributePartition) {
+        let mut b = DatasetBuilder::new();
+        for o in 0..6 {
+            let obj = format!("o{o}");
+            for ai in 0..3u32 {
+                let a = format!("a{ai}");
+                b.claim("g1", &obj, &a, Value::int(o)).unwrap();
+                b.claim("g2", &obj, &a, Value::int(o)).unwrap();
+                b.claim("h1", &obj, &a, Value::int(1000 + o + ai as i64)).unwrap();
+                b.claim("h2", &obj, &a, Value::int(2000 + o + ai as i64)).unwrap();
+            }
+            for ai in 3..6u32 {
+                let a = format!("a{ai}");
+                b.claim("g1", &obj, &a, Value::int(3000 + o + ai as i64)).unwrap();
+                b.claim("g2", &obj, &a, Value::int(4000 + o + ai as i64)).unwrap();
+                b.claim("h1", &obj, &a, Value::int(o)).unwrap();
+                b.claim("h2", &obj, &a, Value::int(o)).unwrap();
+            }
+        }
+        let d = b.build();
+        let group_a: Vec<_> = (0..3).map(|i| d.attribute_id(&format!("a{i}")).unwrap()).collect();
+        let group_b: Vec<_> = (3..6).map(|i| d.attribute_id(&format!("a{i}")).unwrap()).collect();
+        let planted = AttributePartition::new(vec![group_a, group_b]);
+        (d, planted)
+    }
+
+    use td_model::Dataset;
+
+    #[test]
+    fn recovers_planted_partition() {
+        let (d, planted) = correlated_dataset();
+        let out = Tdac::new(TdacConfig::default()).run(&MajorityVote, &d).unwrap();
+        assert!(!out.fallback);
+        assert_eq!(
+            out.partition, planted,
+            "TD-AC should recover the planted grouping; got {} (sil {:.3}, scores {:?})",
+            out.partition, out.silhouette, out.k_scores
+        );
+        assert!(out.silhouette > 0.5);
+    }
+
+    #[test]
+    fn predicts_every_cell_exactly_once() {
+        let (d, _) = correlated_dataset();
+        let out = Tdac::new(TdacConfig::default()).run(&MajorityVote, &d).unwrap();
+        assert_eq!(out.result.len(), d.n_cells());
+        assert_eq!(out.result.iterations, 1);
+    }
+
+    #[test]
+    fn k_scores_cover_algorithm_one_range() {
+        let (d, _) = correlated_dataset();
+        let out = Tdac::new(TdacConfig::default()).run(&MajorityVote, &d).unwrap();
+        let ks: Vec<usize> = out.k_scores.iter().map(|&(k, _)| k).collect();
+        assert_eq!(ks, vec![2, 3, 4, 5], "k ∈ [2, |A|-1] for |A| = 6");
+    }
+
+    #[test]
+    fn two_attribute_dataset_falls_back() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a1", Value::int(1)).unwrap();
+        b.claim("s1", "o", "a2", Value::int(2)).unwrap();
+        let d = b.build();
+        let out = Tdac::new(TdacConfig::default()).run(&MajorityVote, &d).unwrap();
+        assert!(out.fallback);
+        assert_eq!(out.partition.len(), 1);
+        assert_eq!(out.result.len(), 2);
+    }
+
+    #[test]
+    fn empty_view_is_an_error() {
+        let d = DatasetBuilder::new().build();
+        let err = Tdac::new(TdacConfig::default()).run(&MajorityVote, &d).unwrap_err();
+        assert_eq!(err, TdacError::NoAttributes);
+    }
+
+    #[test]
+    fn silhouette_floor_triggers_fallback() {
+        let (d, _) = correlated_dataset();
+        let out = Tdac::new(TdacConfig {
+            min_silhouette: Some(2.0), // unreachable: always falls back
+            ..Default::default()
+        })
+        .run(&MajorityVote, &d)
+        .unwrap();
+        assert!(out.fallback);
+        assert_eq!(out.result.len(), d.n_cells());
+    }
+
+    #[test]
+    fn ablation_clusterers_also_recover_structure() {
+        let (d, planted) = correlated_dataset();
+        for method in [
+            ClusterMethod::Pam,
+            ClusterMethod::Hierarchical(Linkage::Average),
+        ] {
+            let out = Tdac::new(TdacConfig {
+                method,
+                ..Default::default()
+            })
+            .run(&MajorityVote, &d)
+            .unwrap();
+            assert_eq!(out.partition, planted, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn works_with_iterative_base_algorithm() {
+        let (d, _) = correlated_dataset();
+        let out = Tdac::new(TdacConfig::default()).run(&Accu::default(), &d).unwrap();
+        assert_eq!(out.result.len(), d.n_cells());
+        assert_eq!(out.result.iterations, 1, "TD-AC reports one logical pass");
+    }
+
+    #[test]
+    fn metric_kinds_all_run() {
+        let (d, _) = correlated_dataset();
+        for metric in [MetricKind::Hamming, MetricKind::Euclidean, MetricKind::Cosine] {
+            let out = Tdac::new(TdacConfig {
+                metric,
+                ..Default::default()
+            })
+            .run(&MajorityVote, &d)
+            .unwrap();
+            assert!(!out.result.is_empty(), "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (d, _) = correlated_dataset();
+        let t = Tdac::new(TdacConfig::default());
+        let o1 = t.run(&MajorityVote, &d).unwrap();
+        let o2 = t.run(&MajorityVote, &d).unwrap();
+        assert_eq!(o1.partition, o2.partition);
+        assert_eq!(o1.silhouette, o2.silhouette);
+        assert_eq!(o1.k_scores, o2.k_scores);
+    }
+
+    #[test]
+    fn parallel_mode_matches_sequential() {
+        let (d, _) = correlated_dataset();
+        let seq = Tdac::new(TdacConfig::default()).run(&Accu::default(), &d).unwrap();
+        let par = Tdac::new(TdacConfig {
+            parallel: true,
+            ..Default::default()
+        })
+        .run(&Accu::default(), &d)
+        .unwrap();
+        assert_eq!(seq.partition, par.partition);
+        assert_eq!(seq.result.len(), par.result.len());
+        for o in d.object_ids() {
+            for a in d.attribute_ids() {
+                assert_eq!(seq.result.prediction(o, a), par.result.prediction(o, a));
+            }
+        }
+    }
+
+    #[test]
+    fn missing_aware_mode_recovers_structure() {
+        let (d, planted) = correlated_dataset();
+        let out = Tdac::new(TdacConfig {
+            missing_aware: true,
+            ..Default::default()
+        })
+        .run(&MajorityVote, &d)
+        .unwrap();
+        assert_eq!(out.partition, planted, "masked PAM should find the same grouping");
+        assert_eq!(out.result.len(), d.n_cells());
+        assert!(!out.fallback);
+    }
+
+    #[test]
+    fn missing_aware_handles_sparse_views() {
+        // Drop half the claims: masked mode must still run and predict
+        // every remaining cell.
+        let mut b = DatasetBuilder::new();
+        for o in 0..6 {
+            let obj = format!("o{o}");
+            for a in 0..4 {
+                let attr = format!("a{a}");
+                if (o + a) % 2 == 0 {
+                    b.claim("s1", &obj, &attr, Value::int(o as i64)).unwrap();
+                    b.claim("s2", &obj, &attr, Value::int(100)).unwrap();
+                }
+            }
+        }
+        let d = b.build();
+        let out = Tdac::new(TdacConfig {
+            missing_aware: true,
+            ..Default::default()
+        })
+        .run(&MajorityVote, &d)
+        .unwrap();
+        assert_eq!(out.result.len(), d.n_cells());
+    }
+
+    #[test]
+    fn run_on_attribute_subset_view() {
+        let (d, _) = correlated_dataset();
+        let subset: Vec<_> = d.attribute_ids().take(4).collect();
+        let view = d.view_of(&subset);
+        let out = Tdac::new(TdacConfig::default())
+            .run_view(&MajorityVote, &view)
+            .unwrap();
+        assert_eq!(out.partition.n_attributes(), 4);
+        assert_eq!(out.result.len(), view.n_cells());
+    }
+}

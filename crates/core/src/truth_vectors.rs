@@ -1,0 +1,179 @@
+//! Attribute truth vectors — the paper's abstract representation of the
+//! truth in the data (§3.1, Eq. 1).
+//!
+//! For a reference truth `v_F(a, o)` produced by a base algorithm, the
+//! truth vector of attribute `a` has one coordinate per `(object,
+//! source)` pair:
+//!
+//! ```text
+//! x(a, o, s) = 1  if v(a, o, s) exists and equals v_F(a, o)
+//!              0  otherwise
+//! ```
+//!
+//! Two attributes end up with nearby truth vectors exactly when sources
+//! perform equally well on them — i.e. when they are structurally
+//! correlated — which is what lets plain k-means recover the hidden
+//! attribute grouping.
+
+use clustering::Matrix;
+use td_algorithms::{TruthDiscovery, TruthResult};
+use td_model::DatasetView;
+
+/// Runs `base` on `view` and builds the truth-vector matrix: one row per
+/// attribute of the view (in `view.attributes()` order), one column per
+/// `(object, source)` pair (objects × sources of the parent dataset,
+/// lexicographic).
+///
+/// Returns the matrix and the base run's result (so TD-AC can reuse the
+/// reference truth instead of re-running `F`).
+pub fn truth_vector_matrix(
+    base: &dyn TruthDiscovery,
+    view: &DatasetView<'_>,
+) -> (Matrix, TruthResult) {
+    let reference = base.discover(view);
+    let matrix = truth_vectors_from_result(view, &reference);
+    (matrix, reference)
+}
+
+/// Builds the truth-vector matrix against an already-computed reference
+/// truth (Eq. 1 verbatim; useful for testing and for oracle variants
+/// where the reference is the ground truth).
+pub fn truth_vectors_from_result(view: &DatasetView<'_>, reference: &TruthResult) -> Matrix {
+    let dataset = view.dataset();
+    let n_objects = dataset.n_objects();
+    let n_sources = dataset.n_sources();
+    let attrs = view.attributes();
+    let n_attrs = attrs.len();
+
+    // Row index per attribute id for O(1) scatter.
+    let mut row_of = vec![usize::MAX; dataset.n_attributes()];
+    for (r, a) in attrs.iter().enumerate() {
+        row_of[a.index()] = r;
+    }
+
+    let mut m = Matrix::zeros(n_attrs, n_objects * n_sources);
+    for cell in view.cells() {
+        let Some(truth) = reference.prediction(cell.object, cell.attribute) else {
+            continue;
+        };
+        let row = row_of[cell.attribute.index()];
+        for claim in view.cell_claims(cell) {
+            if claim.value == truth {
+                let col = cell.object.index() * n_sources + claim.source.index();
+                m.set(row, col, 1.0);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_algorithms::MajorityVote;
+    use td_model::{Dataset, DatasetBuilder, Value};
+
+    /// The paper's running example (Table 1): objects FB and CS, three
+    /// questions, three sources.
+    fn running_example() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let rows: &[(&str, &str, &str, Value)] = &[
+            ("s1", "FB", "Q1", Value::text("Algeria")),
+            ("s2", "FB", "Q1", Value::text("Senegal")),
+            ("s3", "FB", "Q1", Value::text("Algeria")),
+            ("s1", "FB", "Q2", Value::int(2000)),
+            ("s2", "FB", "Q2", Value::int(2019)),
+            ("s3", "FB", "Q2", Value::int(1994)),
+            ("s1", "FB", "Q3", Value::int(12)),
+            ("s2", "FB", "Q3", Value::int(11)),
+            ("s3", "FB", "Q3", Value::int(12)),
+            ("s1", "CS", "Q1", Value::text("Linus Torvalds")),
+            ("s2", "CS", "Q1", Value::text("Bill Gates")),
+            ("s3", "CS", "Q1", Value::text("Steve Jobs")),
+            ("s1", "CS", "Q2", Value::int(1830)),
+            ("s2", "CS", "Q2", Value::int(1991)),
+            ("s3", "CS", "Q2", Value::int(1991)),
+            ("s1", "CS", "Q3", Value::int(7)),
+            ("s2", "CS", "Q3", Value::int(8)),
+            ("s3", "CS", "Q3", Value::int(10)),
+        ];
+        for (s, o, a, v) in rows {
+            b.claim(s, o, a, v.clone()).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matrix_shape_is_attrs_by_object_source_pairs() {
+        let d = running_example();
+        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        assert_eq!(m.n_rows(), 3); // Q1..Q3
+        assert_eq!(m.n_cols(), 2 * 3); // 2 objects × 3 sources
+    }
+
+    #[test]
+    fn entries_match_equation_one_with_majority_reference() {
+        let d = running_example();
+        let (m, reference) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        // Majority on FB-Q1: Algeria (2 votes). s1 and s3 match.
+        let fb = d.object_id("FB").unwrap();
+        let q1 = d.attribute_id("Q1").unwrap();
+        assert_eq!(
+            reference.prediction(fb, q1),
+            Some(d.value_id(&Value::text("Algeria")).unwrap())
+        );
+        let n_sources = d.n_sources();
+        let s = |name: &str| d.source_id(name).unwrap().index();
+        let row_q1 = m.row(q1.index());
+        let col = |o: usize, src: usize| o * n_sources + src;
+        assert_eq!(row_q1[col(fb.index(), s("s1"))], 1.0);
+        assert_eq!(row_q1[col(fb.index(), s("s2"))], 0.0);
+        assert_eq!(row_q1[col(fb.index(), s("s3"))], 1.0);
+    }
+
+    #[test]
+    fn missing_claims_are_zero() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a", Value::int(1)).unwrap();
+        b.claim("s2", "o", "a", Value::int(1)).unwrap();
+        b.source("absent");
+        let d = b.build();
+        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        let absent = d.source_id("absent").unwrap();
+        assert_eq!(m.get(0, absent.index()), 0.0, "no claim ⇒ 0 (Eq. 1)");
+    }
+
+    #[test]
+    fn correlated_attributes_have_identical_rows() {
+        // Two attributes answered identically by every source must yield
+        // identical truth vectors.
+        let mut b = DatasetBuilder::new();
+        for o in ["o1", "o2"] {
+            for (s, v) in [("s1", 1), ("s2", 1), ("s3", 9)] {
+                b.claim(s, o, "a1", Value::int(v)).unwrap();
+                b.claim(s, o, "a2", Value::int(v)).unwrap();
+            }
+        }
+        let d = b.build();
+        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        assert_eq!(m.row(0), m.row(1));
+    }
+
+    #[test]
+    fn view_restriction_shrinks_rows_not_columns() {
+        let d = running_example();
+        let q2 = d.attribute_id("Q2").unwrap();
+        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_of(&[q2]));
+        assert_eq!(m.n_rows(), 1);
+        assert_eq!(m.n_cols(), 6);
+    }
+
+    #[test]
+    fn values_are_binary() {
+        let d = running_example();
+        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        for v in m.as_slice() {
+            assert!(*v == 0.0 || *v == 1.0);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Dataset corruption operators — failure injection for robustness
+//! tests and coverage/copier sweeps.
+//!
+//! Each operator takes a dataset (plus truth where relevant) and returns
+//! a corrupted copy; compositions express workloads like "the Stocks
+//! simulator, but with 30 % of claims dropped and a 5-source copier
+//! clique injected". Used by the robustness integration tests and the
+//! scalability benches.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use td_model::{Dataset, DatasetBuilder, GroundTruth, Value};
+
+use crate::util::coin;
+
+/// Removes each claim independently with probability `drop_rate` —
+/// the coverage degradation knob behind the paper's DCR analysis.
+///
+/// Returns the thinned dataset plus the ground truth re-interned into
+/// its (fresh) value table — corrupted datasets have their own id
+/// spaces, so the original truth's `ValueId`s must not be reused.
+pub fn drop_claims(
+    dataset: &Dataset,
+    truth: &GroundTruth,
+    drop_rate: f64,
+    seed: u64,
+) -> (Dataset, GroundTruth) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new();
+    copy_roster(dataset, &mut b);
+    for claim in dataset.claims() {
+        if coin(&mut rng, drop_rate) {
+            continue;
+        }
+        copy_claim(dataset, claim, &mut b);
+    }
+    copy_truth(dataset, truth, &mut b);
+    b.build_with_truth()
+}
+
+/// Adds `n_copiers` new sources that replicate a randomly chosen
+/// existing source's claims verbatim (with probability `fidelity` per
+/// claim) — the adversarial structure Depen/Accu's dependence detection
+/// exists for.
+pub fn inject_copiers(
+    dataset: &Dataset,
+    truth: &GroundTruth,
+    n_copiers: usize,
+    fidelity: f64,
+    seed: u64,
+) -> (Dataset, GroundTruth) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new();
+    copy_roster(dataset, &mut b);
+    for claim in dataset.claims() {
+        copy_claim(dataset, claim, &mut b);
+    }
+    copy_truth(dataset, truth, &mut b);
+    let n_sources = dataset.n_sources();
+    if n_sources == 0 {
+        return b.build_with_truth();
+    }
+    for c in 0..n_copiers {
+        let victim = td_model::SourceId::new(rng.gen_range(0..n_sources) as u32);
+        let copier = format!("copier-{c:02}");
+        for claim in dataset.claims_of_source(victim) {
+            if !coin(&mut rng, fidelity) {
+                continue;
+            }
+            b.claim(
+                &copier,
+                dataset.object_name(claim.object),
+                dataset.attribute_name(claim.attribute),
+                dataset.value(claim.value).clone(),
+            )
+            .expect("copier writes each cell once");
+        }
+    }
+    b.build_with_truth()
+}
+
+/// Flips each claim that currently matches the truth to a uniformly
+/// random wrong integer with probability `noise_rate` (integer-valued
+/// datasets only; non-int claims are left alone).
+pub fn add_noise(
+    dataset: &Dataset,
+    truth: &GroundTruth,
+    noise_rate: f64,
+    seed: u64,
+) -> (Dataset, GroundTruth) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new();
+    copy_roster(dataset, &mut b);
+    copy_truth(dataset, truth, &mut b);
+    for claim in dataset.claims() {
+        let mut value = dataset.value(claim.value).clone();
+        let is_true = truth.get(claim.object, claim.attribute) == Some(claim.value);
+        if is_true && coin(&mut rng, noise_rate) {
+            if let Value::Int(x) = value {
+                value = Value::Int(x + rng.gen_range(1..=1000));
+            }
+        }
+        b.claim(
+            dataset.source_name(claim.source),
+            dataset.object_name(claim.object),
+            dataset.attribute_name(claim.attribute),
+            value,
+        )
+        .expect("one claim per cell per source");
+    }
+    b.build_with_truth()
+}
+
+fn copy_truth(dataset: &Dataset, truth: &GroundTruth, b: &mut DatasetBuilder) {
+    for (o, a, v) in truth.iter() {
+        b.truth(
+            dataset.object_name(o),
+            dataset.attribute_name(a),
+            dataset.value(v).clone(),
+        );
+    }
+}
+
+fn copy_roster(dataset: &Dataset, b: &mut DatasetBuilder) {
+    for s in dataset.source_ids() {
+        b.source(dataset.source_name(s));
+    }
+    for o in dataset.object_ids() {
+        b.object(dataset.object_name(o));
+    }
+    for a in dataset.attribute_ids() {
+        b.attribute(dataset.attribute_name(a));
+    }
+}
+
+fn copy_claim(dataset: &Dataset, claim: &td_model::Claim, b: &mut DatasetBuilder) {
+    b.claim(
+        dataset.source_name(claim.source),
+        dataset.object_name(claim.object),
+        dataset.attribute_name(claim.attribute),
+        dataset.value(claim.value).clone(),
+    )
+    .expect("copy of a valid dataset cannot conflict");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate_synthetic, SyntheticConfig};
+    use td_model::stats::data_coverage_rate;
+
+    fn base() -> (Dataset, GroundTruth) {
+        let d = generate_synthetic(&SyntheticConfig::ds1().scaled(20));
+        (d.dataset, d.truth)
+    }
+
+    #[test]
+    fn drop_claims_reduces_coverage() {
+        let (d, t) = base();
+        let (dropped, _) = drop_claims(&d, &t, 0.4, 1);
+        assert!(dropped.n_claims() < d.n_claims());
+        assert!(dropped.n_claims() > d.n_claims() / 3);
+        assert!(data_coverage_rate(&dropped) < data_coverage_rate(&d));
+        // Roster is preserved even if a source lost all claims.
+        assert_eq!(dropped.n_sources(), d.n_sources());
+        assert_eq!(dropped.n_attributes(), d.n_attributes());
+    }
+
+    #[test]
+    fn drop_zero_is_identity_in_counts() {
+        let (d, t) = base();
+        let (same, _) = drop_claims(&d, &t, 0.0, 1);
+        assert_eq!(same.n_claims(), d.n_claims());
+        assert_eq!(same.n_cells(), d.n_cells());
+    }
+
+    #[test]
+    fn injected_copiers_replicate_their_victim() {
+        let (d, t) = base();
+        let (with_copiers, _) = inject_copiers(&d, &t, 3, 1.0, 7);
+        assert_eq!(with_copiers.n_sources(), d.n_sources() + 3);
+        // Every copier claim matches some original source's claim value.
+        for c in 0..3 {
+            let copier = with_copiers.source_id(&format!("copier-{c:02}")).unwrap();
+            let n = with_copiers.claims_of_source(copier).count();
+            assert!(n > 0, "copier-{c:02} copied nothing");
+            for claim in with_copiers.claims_of_source(copier) {
+                let cell_claims: Vec<_> = with_copiers
+                    .cells()
+                    .iter()
+                    .find(|cell| (cell.object, cell.attribute) == claim.cell())
+                    .map(|cell| with_copiers.cell_claims(cell))
+                    .unwrap()
+                    .to_vec();
+                assert!(
+                    cell_claims
+                        .iter()
+                        .any(|c2| c2.source != claim.source && c2.value == claim.value),
+                    "copier claim must duplicate an existing value"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_fidelity_copies_fewer_claims() {
+        let (d, t) = base();
+        let (full, _) = inject_copiers(&d, &t, 1, 1.0, 3);
+        let (partial, _) = inject_copiers(&d, &t, 1, 0.3, 3);
+        let count = |ds: &Dataset| {
+            let id = ds.source_id("copier-00").unwrap();
+            ds.claims_of_source(id).count()
+        };
+        assert!(count(&partial) < count(&full));
+    }
+
+    #[test]
+    fn truth_is_reinterned_into_the_new_value_table() {
+        let (d, t) = base();
+        let (dropped, nt) = drop_claims(&d, &t, 0.5, 1);
+        assert_eq!(nt.len(), t.len());
+        for (o, a, v) in nt.iter() {
+            // The re-interned id must resolve in the NEW dataset and
+            // denote the same payload as the original truth.
+            let new_val = dropped.value(v);
+            let old_o = d.object_id(dropped.object_name(o)).unwrap();
+            let old_a = d.attribute_id(dropped.attribute_name(a)).unwrap();
+            let old_val = d.value(t.get(old_o, old_a).unwrap());
+            assert_eq!(new_val, old_val);
+        }
+    }
+
+    #[test]
+    fn noise_flips_true_claims_only() {
+        let (d, t) = base();
+        let (noisy, nt) = add_noise(&d, &t, 1.0, 9);
+        assert_eq!(noisy.n_claims(), d.n_claims());
+        // Every previously-true integer claim is now false.
+        for cell in noisy.cells() {
+            let truth = nt.get(cell.object, cell.attribute).unwrap();
+            let truth_val = noisy.value(truth);
+            for claim in noisy.cell_claims(cell) {
+                assert_ne!(
+                    noisy.value(claim.value),
+                    truth_val,
+                    "full-rate noise leaves no true claims"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let (d, t) = base();
+        let (same, nt) = add_noise(&d, &t, 0.0, 9);
+        assert_eq!(same.n_claims(), d.n_claims());
+        assert_eq!(nt.len(), t.len());
+    }
+
+    #[test]
+    fn operators_are_deterministic() {
+        let (d, t) = base();
+        assert_eq!(
+            drop_claims(&d, &t, 0.3, 5).0.n_claims(),
+            drop_claims(&d, &t, 0.3, 5).0.n_claims()
+        );
+        assert_ne!(
+            drop_claims(&d, &t, 0.3, 5).0.n_claims(),
+            drop_claims(&d, &t, 0.3, 6).0.n_claims(),
+            "different seeds should (almost surely) differ"
+        );
+    }
+}

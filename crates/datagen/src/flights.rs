@@ -1,0 +1,234 @@
+//! Simulator shaped to the **Flights** deep-web dataset of Li et al.
+//! (VLDB 2013), per the paper's Table 8: 38 sources × 100 flights × 6
+//! attributes, ≈ 8 600 observations, DCR ≈ 66 %.
+//!
+//! Structure that matters for TD-AC: flight-status sites split into a
+//! few *primary* feeds and many aggregators that **copy** one of the
+//! primaries (the original study's headline finding), and the six
+//! attributes group into *scheduled* times (accurately published
+//! everywhere), *actual* times (where the copying hurts) and *gates*.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use td_model::{Dataset, DatasetBuilder, GroundTruth, Value};
+
+use crate::util::coin;
+
+/// The 6 flight attributes, grouped (0 = scheduled, 1 = actual, 2 = gate).
+const ATTRIBUTES: [(&str, usize); 6] = [
+    ("sched_dep", 0),
+    ("sched_arr", 0),
+    ("actual_dep", 1),
+    ("actual_arr", 1),
+    ("dep_gate", 2),
+    ("arr_gate", 2),
+];
+
+/// Parameters of the Flights simulator.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlightsConfig {
+    /// Number of sources (paper: 38).
+    pub n_sources: usize,
+    /// Number of primary (non-copying) feeds among them.
+    pub n_primaries: usize,
+    /// Number of flights (paper: 100).
+    pub n_objects: usize,
+    /// Probability a source tracks a flight at all.
+    pub p_covers_object: f64,
+    /// Probability a tracking source fills a given attribute.
+    pub p_covers_attribute: f64,
+    /// Reliability of primaries per attribute group
+    /// (scheduled / actual / gate).
+    pub primary_reliability: [f64; 3],
+    /// Probability a copier reproduces its primary verbatim (else it
+    /// reports independently at aggregator quality).
+    pub p_copy: f64,
+    /// Aggregators' own per-group reliability when not copying.
+    pub aggregator_reliability: [f64; 3],
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlightsConfig {
+    fn default() -> Self {
+        Self {
+            n_sources: 38,
+            n_primaries: 6,
+            n_objects: 100,
+            p_covers_object: 0.55,
+            p_covers_attribute: 0.69,
+            primary_reliability: [0.98, 0.85, 0.80],
+            p_copy: 0.8,
+            aggregator_reliability: [0.95, 0.55, 0.50],
+            seed: 0xF11_687,
+        }
+    }
+}
+
+/// Runs the simulator.
+pub fn generate_flights(config: &FlightsConfig) -> (Dataset, GroundTruth) {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut b = DatasetBuilder::new();
+
+    let sources: Vec<_> = (0..config.n_sources)
+        .map(|s| b.source(&format!("flight-site-{s:02}")))
+        .collect();
+    let objects: Vec<_> = (0..config.n_objects)
+        .map(|o| b.object(&format!("FL{o:04}")))
+        .collect();
+    let attributes: Vec<_> = ATTRIBUTES
+        .iter()
+        .map(|(name, _)| b.attribute(name))
+        .collect();
+
+    // Copier wiring: every non-primary copies a fixed primary.
+    let primary_of: Vec<Option<usize>> = (0..config.n_sources)
+        .map(|s| {
+            if s < config.n_primaries {
+                None
+            } else {
+                Some(rng.gen_range(0..config.n_primaries))
+            }
+        })
+        .collect();
+
+    for (oi, &obj) in objects.iter().enumerate() {
+        let covering: Vec<usize> = (0..config.n_sources)
+            .filter(|_| coin(&mut rng, config.p_covers_object))
+            .collect();
+        for (ai, &attr) in attributes.iter().enumerate() {
+            let group = ATTRIBUTES[ai].1;
+            // Truth: minutes-since-midnight style integers / gate numbers.
+            let truth = 100 + ((oi * 37 + ai * 11) % 1_300) as i64;
+            let truth_id = b.value(Value::int(truth));
+            b.truth_ids(obj, attr, truth_id);
+
+            // What each primary publishes for this cell (computed first,
+            // because copiers reproduce it).
+            let primary_claims: Vec<i64> = (0..config.n_primaries)
+                .map(|p| {
+                    if coin(&mut rng, config.primary_reliability[group]) {
+                        truth
+                    } else {
+                        // Off-by-some-minutes mistakes, deterministic-ish
+                        // per primary so copies are visibly identical.
+                        truth + 5 + (p as i64 * 7 + ai as i64) % 45
+                    }
+                })
+                .collect();
+
+            for &si in &covering {
+                if !coin(&mut rng, config.p_covers_attribute) {
+                    continue;
+                }
+                let value = match primary_of[si] {
+                    None => primary_claims[si],
+                    Some(p) => {
+                        if coin(&mut rng, config.p_copy) {
+                            primary_claims[p]
+                        } else if coin(&mut rng, config.aggregator_reliability[group]) {
+                            truth
+                        } else {
+                            truth + 3 + (si as i64 * 13) % 60
+                        }
+                    }
+                };
+                let v = b.value(Value::int(value));
+                b.claim_ids(sources[si], obj, attr, v).expect("fresh cell");
+            }
+        }
+    }
+
+    b.build_with_truth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_model::stats::DatasetStats;
+
+    #[test]
+    fn shape_matches_paper_table8() {
+        let (d, t) = generate_flights(&FlightsConfig::default());
+        let st = DatasetStats::of(&d);
+        assert_eq!(st.n_sources, 38);
+        assert_eq!(st.n_objects, 100);
+        assert_eq!(st.n_attributes, 6);
+        assert!(
+            (7_000..=10_500).contains(&st.n_observations),
+            "≈ 8.6k observations, got {}",
+            st.n_observations
+        );
+        assert!(
+            (60.0..=76.0).contains(&st.dcr),
+            "DCR ≈ 66, got {:.1}",
+            st.dcr
+        );
+        assert_eq!(t.len(), 600);
+    }
+
+    #[test]
+    fn copiers_echo_their_primary() {
+        let cfg = FlightsConfig {
+            p_copy: 1.0,
+            ..Default::default()
+        };
+        let (d, _) = generate_flights(&cfg);
+        // With p_copy = 1, every aggregator claim equals some primary's
+        // claim for the same cell whenever that primary covers it; at
+        // minimum, identical wrong values must appear across sources.
+        let mut echoed = 0usize;
+        let mut total = 0usize;
+        for cell in d.cells() {
+            let claims = d.cell_claims(cell);
+            for c in claims {
+                if c.source.index() >= cfg.n_primaries {
+                    total += 1;
+                    if claims
+                        .iter()
+                        .any(|p| p.source.index() < cfg.n_primaries && p.value == c.value)
+                    {
+                        echoed += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            echoed as f64 / total as f64 > 0.5,
+            "copier claims should frequently match a visible primary: {echoed}/{total}"
+        );
+    }
+
+    #[test]
+    fn scheduled_attributes_are_cleaner_than_actuals() {
+        let (d, t) = generate_flights(&FlightsConfig::default());
+        let accuracy_of = |prefix: &str| -> f64 {
+            let (mut right, mut total) = (0usize, 0usize);
+            for cell in d.cells() {
+                if !d.attribute_name(cell.attribute).starts_with(prefix) {
+                    continue;
+                }
+                let truth = t.get(cell.object, cell.attribute).unwrap();
+                for c in d.cell_claims(cell) {
+                    total += 1;
+                    right += usize::from(c.value == truth);
+                }
+            }
+            right as f64 / total as f64
+        };
+        assert!(
+            accuracy_of("sched") > accuracy_of("actual"),
+            "scheduled times are easier than actuals"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = generate_flights(&FlightsConfig::default());
+        let (b, _) = generate_flights(&FlightsConfig::default());
+        assert_eq!(a.n_claims(), b.n_claims());
+    }
+}

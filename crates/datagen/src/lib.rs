@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # tdac-datagen — workload generators for the TD-AC experiments
+//!
+//! The paper evaluates on three families of data; none of the non-trivial
+//! ones are redistributable, so this crate rebuilds each as a seeded,
+//! parameterized simulator (see DESIGN.md §2 for the substitution
+//! arguments):
+//!
+//! * [`synthetic`] — a re-derivation of the synthetic generator of
+//!   Ba et al. (WebDB 2015): attributes carry a *planted partition*, each
+//!   source draws one reliability level per attribute group from the
+//!   configuration's `{m1, m2, m3}` profile, and claims are true with
+//!   that probability. Presets [`synthetic::SyntheticConfig::ds1`],
+//!   [`synthetic::SyntheticConfig::ds2`] and
+//!   [`synthetic::SyntheticConfig::ds3`] reproduce the paper's DS1–DS3
+//!   (6 attributes × 1000 objects × 10 sources = 60 000 observations).
+//! * [`exam`] — the private 248-student × 124-question admission-exam
+//!   dataset, rebuilt structurally: 9 domains with the paper's
+//!   mandatory / either-or / optional participation rules (which is what
+//!   produces the 81 % / 55 % / 36 % coverage of the 32/62/124-attribute
+//!   slices), per-student per-domain skill, and synthetic false answers
+//!   drawn from ranges of size 25/50/100/1000.
+//! * [`stocks`] / [`flights`] — simulators shaped to the Li et al.
+//!   (VLDB 2013) deep-web datasets' published statistics (paper Table 8),
+//!   with heterogeneous per-source quality (Stocks) and copier cliques
+//!   (Flights).
+//!
+//! All generators take an explicit seed and are bit-for-bit reproducible.
+
+pub mod corrupt;
+pub mod exam;
+pub mod flights;
+pub mod stocks;
+pub mod synthetic;
+pub(crate) mod util;
+
+pub use corrupt::{add_noise, drop_claims, inject_copiers};
+pub use exam::{generate_exam, ExamConfig};
+pub use flights::{generate_flights, FlightsConfig};
+pub use stocks::{generate_stocks, StocksConfig};
+pub use synthetic::{generate_synthetic, SyntheticConfig, SyntheticDataset};

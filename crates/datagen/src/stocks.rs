@@ -1,0 +1,208 @@
+//! Simulator shaped to the **Stocks** deep-web dataset of Li et al.
+//! (VLDB 2013), per the paper's Table 8: 55 sources × 100 objects × 15
+//! attributes, ≈ 57 000 observations, DCR ≈ 75 %.
+//!
+//! Structure that matters for TD-AC: the 15 attributes fall into three
+//! natural groups — *prices* (open/close/high/low/last), *volumes*
+//! (volume, average volume, shares outstanding) and *fundamentals*
+//! (EPS, P/E, yield, dividend, market cap, 52-week high/low) — and
+//! financial sources are known to differ in quality per group (real-time
+//! feeds get prices right but copy stale fundamentals, and vice versa).
+//! Each source draws one reliability level per group; wrong values are
+//! drawn from a small per-cell pool of plausible mistakes so that errors
+//! collide across sources the way stale quotes really do.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use td_model::{Dataset, DatasetBuilder, GroundTruth, Value};
+
+use crate::util::coin;
+
+/// The 15 stock attributes, grouped.
+const ATTRIBUTES: [(&str, usize); 15] = [
+    ("open", 0),
+    ("close", 0),
+    ("high", 0),
+    ("low", 0),
+    ("last", 0),
+    ("volume", 1),
+    ("avg_volume", 1),
+    ("shares", 1),
+    ("eps", 2),
+    ("pe_ratio", 2),
+    ("yield", 2),
+    ("dividend", 2),
+    ("market_cap", 2),
+    ("wk52_high", 2),
+    ("wk52_low", 2),
+];
+
+/// Parameters of the Stocks simulator.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StocksConfig {
+    /// Number of sources (paper: 55).
+    pub n_sources: usize,
+    /// Number of stock symbols (paper: 100).
+    pub n_objects: usize,
+    /// Probability a source lists a symbol at all.
+    pub p_covers_object: f64,
+    /// Probability a covering source fills a given attribute.
+    pub p_covers_attribute: f64,
+    /// Reliability levels drawn per `(source, attribute group)`.
+    pub levels: [f64; 3],
+    /// Distinct wrong variants circulating per cell (stale quotes).
+    pub n_error_variants: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StocksConfig {
+    fn default() -> Self {
+        Self {
+            n_sources: 55,
+            n_objects: 100,
+            p_covers_object: 0.92,
+            p_covers_attribute: 0.75,
+            levels: [0.95, 0.75, 0.55],
+            n_error_variants: 3,
+            seed: 0x57_0C_C5,
+        }
+    }
+}
+
+/// Runs the simulator.
+pub fn generate_stocks(config: &StocksConfig) -> (Dataset, GroundTruth) {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut b = DatasetBuilder::new();
+
+    let sources: Vec<_> = (0..config.n_sources)
+        .map(|s| b.source(&format!("finance-site-{s:02}")))
+        .collect();
+    let objects: Vec<_> = (0..config.n_objects)
+        .map(|o| b.object(&format!("TICK{o:03}")))
+        .collect();
+    let attributes: Vec<_> = ATTRIBUTES
+        .iter()
+        .map(|(name, _)| b.attribute(name))
+        .collect();
+
+    // Per-(source, group) reliability.
+    let reliability: Vec<[f64; 3]> = (0..config.n_sources)
+        .map(|_| {
+            [
+                config.levels[rng.gen_range(0..3)],
+                config.levels[rng.gen_range(0..3)],
+                config.levels[rng.gen_range(0..3)],
+            ]
+        })
+        .collect();
+
+    for (oi, &obj) in objects.iter().enumerate() {
+        // Which sources list this symbol.
+        let covering: Vec<usize> = (0..config.n_sources)
+            .filter(|_| coin(&mut rng, config.p_covers_object))
+            .collect();
+        for (ai, &attr) in attributes.iter().enumerate() {
+            let group = ATTRIBUTES[ai].1;
+            // Truth in integer cents / shares, deterministic per cell.
+            let truth = 1_000 + ((oi * 131 + ai * 17) % 90_000) as i64;
+            let truth_id = b.value(Value::int(truth));
+            b.truth_ids(obj, attr, truth_id);
+            // Plausible circulating mistakes for this cell (stale or
+            // misparsed values shared by several bad sources).
+            let variants: Vec<i64> = (0..config.n_error_variants)
+                .map(|_| {
+                    let bump = rng.gen_range(1..=50) * if coin(&mut rng, 0.5) { 1 } else { -1 };
+                    (truth + bump).max(1)
+                })
+                .collect();
+            for &si in &covering {
+                if !coin(&mut rng, config.p_covers_attribute) {
+                    continue;
+                }
+                let value = if coin(&mut rng, reliability[si][group]) {
+                    truth
+                } else {
+                    variants[rng.gen_range(0..variants.len())]
+                };
+                let v = b.value(Value::int(value));
+                b.claim_ids(sources[si], obj, attr, v).expect("fresh cell");
+            }
+        }
+    }
+
+    b.build_with_truth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_model::stats::DatasetStats;
+
+    #[test]
+    fn shape_matches_paper_table8() {
+        let (d, t) = generate_stocks(&StocksConfig::default());
+        let st = DatasetStats::of(&d);
+        assert_eq!(st.n_sources, 55);
+        assert_eq!(st.n_objects, 100);
+        assert_eq!(st.n_attributes, 15);
+        assert!(
+            (50_000..=64_000).contains(&st.n_observations),
+            "≈ 57k observations, got {}",
+            st.n_observations
+        );
+        assert!(
+            (69.0..=81.0).contains(&st.dcr),
+            "DCR ≈ 75, got {:.1}",
+            st.dcr
+        );
+        assert_eq!(t.len(), 1_500);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = generate_stocks(&StocksConfig::default());
+        let (b, _) = generate_stocks(&StocksConfig::default());
+        assert_eq!(a.n_claims(), b.n_claims());
+    }
+
+    #[test]
+    fn errors_collide_across_sources() {
+        // Error pooling means some wrong value should be claimed by at
+        // least two sources somewhere.
+        let (d, t) = generate_stocks(&StocksConfig::default());
+        let mut shared_error = false;
+        for cell in d.cells() {
+            let truth = t.get(cell.object, cell.attribute).unwrap();
+            let mut wrong_counts = std::collections::HashMap::new();
+            for c in d.cell_claims(cell) {
+                if c.value != truth {
+                    *wrong_counts.entry(c.value).or_insert(0u32) += 1;
+                }
+            }
+            if wrong_counts.values().any(|&n| n >= 2) {
+                shared_error = true;
+                break;
+            }
+        }
+        assert!(shared_error, "stale-quote errors must collide");
+    }
+
+    #[test]
+    fn truth_is_claimed_by_a_majority_of_good_sources_somewhere() {
+        let (d, t) = generate_stocks(&StocksConfig::default());
+        let mut truth_claimed = 0usize;
+        for cell in d.cells() {
+            let truth = t.get(cell.object, cell.attribute).unwrap();
+            if d.cell_claims(cell).iter().any(|c| c.value == truth) {
+                truth_claimed += 1;
+            }
+        }
+        assert!(
+            truth_claimed as f64 / d.n_cells() as f64 > 0.95,
+            "truth should be claimable nearly everywhere"
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! The WebDB 2015 synthetic generator, re-derived.
+//!
+//! The generator plants an attribute partition and gives every source one
+//! reliability level *per attribute group*, drawn from the
+//! configuration's level profile (the `{m1, m2, m3}` of the paper's
+//! Table 3). A source is then consistently good or bad on all attributes
+//! of a group — the *structural correlation* TD-AC is designed to
+//! exploit. DS1's `{1.0, 0.0, 1.0}` makes sources deterministic per
+//! group; DS3's `{1.0, 0.2, 0.8}` relaxes the assumption with noisy
+//! reliabilities.
+//!
+//! Erring sources mostly agree on one *canonical* false value per cell
+//! ([`SyntheticConfig::false_unification`]). This is what makes the
+//! workload adversarial, matching the paper's Table 4 where the
+//! un-partitioned algorithms lose badly: the bad camp of a group forms a
+//! unified voting bloc (and a copy-detection target), so global trust
+//! estimation gets misled while partition-local estimation — and Accu's
+//! dependence analysis — can recover the truth.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use td_model::{Dataset, DatasetBuilder, GroundTruth, Value};
+
+use crate::util::{coin, false_int};
+
+/// Parameters of the synthetic generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of attributes (paper: 6).
+    pub n_attributes: usize,
+    /// Number of objects (paper: 1000).
+    pub n_objects: usize,
+    /// Number of sources (paper: 10).
+    pub n_sources: usize,
+    /// Planted partition of `0..n_attributes` (groups must be disjoint
+    /// and exhaustive).
+    pub partition: Vec<Vec<usize>>,
+    /// Reliability levels; each `(source, group)` pair draws one
+    /// uniformly (Table 3's `m1, m2, m3`).
+    pub levels: Vec<f64>,
+    /// Size of each attribute's value domain (truth plus `domain - 1`
+    /// false candidates).
+    pub domain: i64,
+    /// Probability a source covers a given cell (1.0 reproduces the
+    /// paper's 60 000 observations).
+    pub coverage: f64,
+    /// Probability an erring source claims the cell's canonical false
+    /// value instead of a uniform one — unified wrong camps (see the
+    /// module docs).
+    pub false_unification: f64,
+    /// Half-width of the uniform jitter applied to each drawn
+    /// reliability level (clamped to `[0.02, 0.98]`). Real sources are
+    /// never exactly deterministic; without jitter the sharp DS1 levels
+    /// make every algorithm trivially perfect, which contradicts the
+    /// paper's own Table 4a.
+    pub level_jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// DS1 (paper Tables 3 & 5): planted partition
+    /// `[(1,2),(4,6),(3),(5)]`, levels `{1.0, 0.0, 1.0}` — the paper's
+    /// exact working setting (sharp per-group reliabilities).
+    pub fn ds1() -> Self {
+        Self {
+            n_attributes: 6,
+            n_objects: 1000,
+            n_sources: 10,
+            partition: vec![vec![0, 1], vec![3, 5], vec![2], vec![4]],
+            levels: vec![1.0, 0.0, 1.0],
+            domain: 20,
+            coverage: 1.0,
+            false_unification: 0.8,
+            level_jitter: 0.15,
+            seed: 8,
+        }
+    }
+
+    /// DS2: planted partition `[(2,5),(1,4),(3,6)]`, levels
+    /// `{1.0, 0.0, 0.8}`.
+    pub fn ds2() -> Self {
+        Self {
+            partition: vec![vec![1, 4], vec![0, 3], vec![2, 5]],
+            levels: vec![1.0, 0.0, 0.8],
+            seed: 18,
+            ..Self::ds1()
+        }
+    }
+
+    /// DS3: planted partition `[(1,6,3),(2,4,5)]`, levels
+    /// `{1.0, 0.2, 0.8}` — the robustness configuration that relaxes the
+    /// working assumptions.
+    pub fn ds3() -> Self {
+        Self {
+            partition: vec![vec![0, 5, 2], vec![1, 3, 4]],
+            levels: vec![1.0, 0.2, 0.8],
+            seed: 8,
+            ..Self::ds1()
+        }
+    }
+
+    /// A scaled-down variant for fast tests and CI: same structure,
+    /// fewer objects.
+    pub fn scaled(mut self, n_objects: usize) -> Self {
+        self.n_objects = n_objects;
+        self
+    }
+}
+
+/// A generated synthetic dataset with its provenance.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The claims.
+    pub dataset: Dataset,
+    /// Full ground truth (every cell).
+    pub truth: GroundTruth,
+    /// The planted partition as dataset attribute ids (the paper's
+    /// Table 5 "Synthetic data generator" row).
+    pub planted: tdac_partition::Planted,
+    /// The reliability each source drew for each planted group
+    /// (`reliability[source][group]`), for diagnostics and oracle
+    /// analyses.
+    pub reliability: Vec<Vec<f64>>,
+}
+
+/// Minimal partition mirror so `datagen` does not depend on `tdac-core`
+/// (which depends back on nothing here, but keeping the dependency
+/// one-way lets the core crate consume generated data in its tests).
+pub mod tdac_partition {
+    use serde::{Deserialize, Serialize};
+    use td_model::AttributeId;
+
+    /// The planted grouping, as groups of attribute ids.
+    #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct Planted {
+        /// Groups of attribute ids (disjoint, exhaustive).
+        pub groups: Vec<Vec<AttributeId>>,
+    }
+}
+
+/// Runs the generator.
+///
+/// # Panics
+/// Panics if the planted partition does not cover `0..n_attributes`
+/// exactly, if `levels` is empty, or if `domain < 2`.
+pub fn generate_synthetic(config: &SyntheticConfig) -> SyntheticDataset {
+    let n_attrs = config.n_attributes;
+    let mut seen = vec![false; n_attrs];
+    for g in &config.partition {
+        for &a in g {
+            assert!(a < n_attrs, "attribute {a} out of range");
+            assert!(!seen[a], "attribute {a} in two groups");
+            seen[a] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "partition must cover all attributes");
+    assert!(!config.levels.is_empty(), "need at least one reliability level");
+    assert!(config.domain >= 2, "domain must offer a false value");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut b = DatasetBuilder::new();
+
+    // Pre-register entities so ids are dense and in canonical order.
+    let sources: Vec<_> = (0..config.n_sources)
+        .map(|s| b.source(&format!("s{s}")))
+        .collect();
+    let objects: Vec<_> = (0..config.n_objects)
+        .map(|o| b.object(&format!("o{o}")))
+        .collect();
+    let attributes: Vec<_> = (0..n_attrs)
+        .map(|a| b.attribute(&format!("a{a}")))
+        .collect();
+
+    // Group index per attribute.
+    let mut group_of = vec![0usize; n_attrs];
+    for (gi, g) in config.partition.iter().enumerate() {
+        for &a in g {
+            group_of[a] = gi;
+        }
+    }
+
+    // Per-(source, group) reliability drawn from the level profile.
+    let n_groups = config.partition.len();
+    let j = config.level_jitter;
+    let draw_level = |rng: &mut ChaCha8Rng| {
+        let level = config.levels[rng.gen_range(0..config.levels.len())];
+        if j <= 0.0 {
+            return level;
+        }
+        (level + rng.gen_range(-j..=j)).clamp(0.02, 0.98)
+    };
+    let reliability: Vec<Vec<f64>> = (0..config.n_sources)
+        .map(|_| (0..n_groups).map(|_| draw_level(&mut rng)).collect())
+        .collect();
+
+    // Ground truth: a fixed value per cell inside the domain.
+    // Claims: covered cells answer truthfully with the source's group
+    // reliability, otherwise a uniform false value.
+    for (oi, &obj) in objects.iter().enumerate() {
+        for (ai, &attr) in attributes.iter().enumerate() {
+            let truth = ((oi + ai * 7) % config.domain as usize) as i64 + 1;
+            let truth_id = b.value(Value::int(truth));
+            b.truth_ids(obj, attr, truth_id);
+            for (si, &src) in sources.iter().enumerate() {
+                if !coin(&mut rng, config.coverage) {
+                    continue;
+                }
+                let r = reliability[si][group_of[ai]];
+                let value = if coin(&mut rng, r) {
+                    truth
+                } else if r < 0.5 && coin(&mut rng, config.false_unification) {
+                    // Systematically-bad sources propagate the same rumor:
+                    // the canonical lie for this cell (shared bloc). Good
+                    // sources' occasional errors stay idiosyncratic.
+                    (truth % config.domain) + 1
+                } else {
+                    false_int(&mut rng, config.domain, truth)
+                };
+                let v = b.value(Value::int(value));
+                b.claim_ids(src, obj, attr, v).expect("fresh cell");
+            }
+        }
+    }
+
+    let planted = tdac_partition::Planted {
+        groups: config
+            .partition
+            .iter()
+            .map(|g| {
+                let mut ids: Vec<_> = g.iter().map(|&a| attributes[a]).collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect(),
+    };
+
+    let (dataset, truth) = b.build_with_truth();
+    SyntheticDataset {
+        dataset,
+        truth,
+        planted,
+        reliability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig::ds1().scaled(30)
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let d = generate_synthetic(&small());
+        assert_eq!(d.dataset.n_sources(), 10);
+        assert_eq!(d.dataset.n_objects(), 30);
+        assert_eq!(d.dataset.n_attributes(), 6);
+        // Full coverage: every (source, object, attribute) claimed.
+        assert_eq!(d.dataset.n_claims(), 10 * 30 * 6);
+        assert_eq!(d.truth.len(), 30 * 6);
+    }
+
+    #[test]
+    fn full_scale_ds1_has_sixty_thousand_observations() {
+        let d = generate_synthetic(&SyntheticConfig::ds1());
+        assert_eq!(d.dataset.n_claims(), 60_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_synthetic(&small());
+        let b = generate_synthetic(&small());
+        assert_eq!(a.dataset.n_claims(), b.dataset.n_claims());
+        assert_eq!(a.reliability, b.reliability);
+        let mut cfg = small();
+        cfg.seed ^= 1;
+        let c = generate_synthetic(&cfg);
+        assert_ne!(a.reliability, c.reliability, "different seed, different draw");
+    }
+
+    #[test]
+    fn perfect_sources_are_always_right() {
+        let mut cfg = small();
+        cfg.level_jitter = 0.0; // keep the 1.0 level exactly (clamped to 0.98 otherwise)
+        let d = generate_synthetic(&cfg);
+        // Any (source, group) with reliability 1.0 must match truth on
+        // every claim of that group's attributes.
+        for (si, rels) in d.reliability.iter().enumerate() {
+            for (gi, &r) in rels.iter().enumerate() {
+                if r < 1.0 {
+                    continue;
+                }
+                let group = &d.planted.groups[gi];
+                let src = d.dataset.source_id(&format!("s{si}")).unwrap();
+                for claim in d.dataset.claims_of_source(src) {
+                    if group.contains(&claim.attribute) {
+                        let t = d.truth.get(claim.object, claim.attribute).unwrap();
+                        assert_eq!(claim.value, t, "reliability-1.0 source was wrong");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_reliability_sources_are_never_right() {
+        let mut cfg = small();
+        cfg.levels = vec![0.0];
+        cfg.level_jitter = 0.0;
+        let d = generate_synthetic(&cfg);
+        for claim in d.dataset.claims() {
+            let t = d.truth.get(claim.object, claim.attribute).unwrap();
+            assert_ne!(claim.value, t);
+        }
+    }
+
+    #[test]
+    fn coverage_thins_claims() {
+        let mut cfg = small();
+        cfg.coverage = 0.5;
+        let d = generate_synthetic(&cfg);
+        let full = 10 * 30 * 6;
+        assert!(d.dataset.n_claims() < full);
+        assert!(d.dataset.n_claims() > full / 4, "not catastrophically thin");
+    }
+
+    #[test]
+    fn planted_partition_covers_all_attributes() {
+        let d = generate_synthetic(&small());
+        let total: usize = d.planted.groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+        assert_eq!(d.planted.groups.len(), 4, "DS1 has four planted groups");
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all attributes")]
+    fn rejects_non_covering_partition() {
+        let mut cfg = small();
+        cfg.partition = vec![vec![0, 1]];
+        generate_synthetic(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "two groups")]
+    fn rejects_overlapping_partition() {
+        let mut cfg = small();
+        cfg.partition = vec![vec![0, 1, 2], vec![2, 3, 4, 5]];
+        generate_synthetic(&cfg);
+    }
+
+    #[test]
+    fn truth_values_live_in_domain() {
+        let d = generate_synthetic(&small());
+        for (_, _, v) in d.truth.iter() {
+            match d.dataset.value(v) {
+                Value::Int(x) => assert!((1..=20).contains(x)),
+                other => panic!("unexpected truth value {other:?}"),
+            }
+        }
+    }
+}

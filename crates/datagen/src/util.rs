@@ -1,0 +1,55 @@
+//! Small shared helpers for the generators.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Draws a false answer: an integer in `1..=range` different from
+/// `truth`. Requires `range >= 2` so a false value exists.
+pub fn false_int(rng: &mut ChaCha8Rng, range: i64, truth: i64) -> i64 {
+    debug_assert!(range >= 2, "need at least one false value");
+    loop {
+        let v = rng.gen_range(1..=range);
+        if v != truth {
+            return v;
+        }
+    }
+}
+
+/// Bernoulli draw.
+pub fn coin(rng: &mut ChaCha8Rng, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn false_int_avoids_truth_and_stays_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = false_int(&mut rng, 5, 3);
+            assert!((1..=5).contains(&v));
+            assert_ne!(v, 3);
+        }
+    }
+
+    #[test]
+    fn false_int_works_with_binary_domain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert_eq!(false_int(&mut rng, 2, 1), 2);
+            assert_eq!(false_int(&mut rng, 2, 2), 1);
+        }
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| coin(&mut rng, 0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "{heads}");
+        assert!((0..1_000).all(|_| !coin(&mut rng, 0.0)));
+        assert!((0..1_000).all(|_| coin(&mut rng, 1.0)));
+    }
+}

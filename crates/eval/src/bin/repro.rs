@@ -1,0 +1,194 @@
+//! `repro` — regenerate every table and figure of the TD-AC paper.
+//!
+//! ```text
+//! repro <experiment> [--scale small|medium|full] [--json <path>]
+//!
+//! experiments:
+//!   table3 table4 table5 fig1   (synthetic group; any one runs the group)
+//!   table6 fig2                 (semi-synthetic, 62 attributes)
+//!   table7 fig3                 (semi-synthetic, 124 attributes)
+//!   table8 table9 fig4 fig5     (real-data group)
+//!   ablation                    (design-choice ablations)
+//!   missing                     (sparse-data extension comparison)
+//!   scalability                 (runtime growth sweeps)
+//!   extended                    (full algorithm roster incl. DART/Ensemble)
+//!   seeds                       (stability across fresh generator seeds)
+//!   all                         (everything)
+//! ```
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use tdac_eval::experiments::{ablation, extended, missing, real, scalability, seeds, semisynth, synthetic};
+use tdac_eval::figures::render_figure;
+use tdac_eval::scale::Scale;
+use tdac_eval::tables::render_table;
+
+const USAGE: &str = "usage: repro <experiment> [--scale small|medium|full] [--json <path>]\n\
+experiments: table3 table4 table5 fig1 table6 fig2 table7 fig3 table8 table9 fig4 fig5 ablation missing scalability extended seeds all";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut experiment: Option<String> = None;
+    let mut scale = Scale::Full;
+    let mut json_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(s) = args.get(i).and_then(|v| Scale::parse(v)) else {
+                    eprintln!("invalid --scale (small|medium|full)\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                scale = s;
+            }
+            "--json" => {
+                i += 1;
+                let Some(p) = args.get(i) else {
+                    eprintln!("--json needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                json_path = Some(p.clone());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if experiment.is_none() => experiment = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let Some(experiment) = experiment else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    eprintln!("# repro {experiment} --scale {scale}");
+    let mut json_blobs: Vec<(String, serde_json::Value)> = Vec::new();
+
+    let run_synthetic = |json: &mut Vec<(String, serde_json::Value)>| {
+        let exp = synthetic::run(scale, true);
+        print!("{}", synthetic::render_table3(&exp.table3));
+        println!();
+        for t in &exp.table4 {
+            print!("{}", render_table(t));
+            println!();
+        }
+        print!("{}", exp.table5.render());
+        println!();
+        print!("{}", render_figure(&exp.fig1, 50));
+        json.push(("synthetic".into(), serde_json::to_value(&exp).expect("serialize")));
+    };
+    let run_semisynth = |json: &mut Vec<(String, serde_json::Value)>, n_attrs: usize| {
+        let exp = semisynth::run(scale, n_attrs);
+        for t in &exp.tables {
+            print!("{}", render_table(t));
+            println!();
+        }
+        print!("{}", render_figure(&exp.figure, 50));
+        json.push((
+            format!("semisynth{n_attrs}"),
+            serde_json::to_value(&exp).expect("serialize"),
+        ));
+    };
+    let run_real = |json: &mut Vec<(String, serde_json::Value)>| {
+        let exp = real::run(scale);
+        print!("{}", real::render_table8(&exp.table8));
+        println!();
+        for t in &exp.table9 {
+            print!("{}", render_table(t));
+            println!();
+        }
+        print!("{}", render_figure(&exp.fig4, 50));
+        println!();
+        print!("{}", render_figure(&exp.fig5, 50));
+        json.push(("real".into(), serde_json::to_value(&exp).expect("serialize")));
+    };
+    let run_ablation = |json: &mut Vec<(String, serde_json::Value)>| {
+        let exp = ablation::run(scale);
+        print!("{}", ablation::render(&exp));
+        json.push(("ablation".into(), serde_json::to_value(&exp).expect("serialize")));
+    };
+    let run_scalability = |json: &mut Vec<(String, serde_json::Value)>| {
+        let exp = scalability::run(scale);
+        print!("{}", scalability::render(&exp));
+        json.push(("scalability".into(), serde_json::to_value(&exp).expect("serialize")));
+    };
+    let run_extended = |json: &mut Vec<(String, serde_json::Value)>| {
+        let exp = extended::run(scale);
+        for t in &exp.tables {
+            print!("{}", render_table(t));
+            println!();
+        }
+        json.push(("extended".into(), serde_json::to_value(&exp).expect("serialize")));
+    };
+    let run_seeds = |json: &mut Vec<(String, serde_json::Value)>| {
+        let exp = seeds::run(scale);
+        print!("{}", seeds::render(&exp));
+        json.push(("seeds".into(), serde_json::to_value(&exp).expect("serialize")));
+    };
+    let run_missing = |json: &mut Vec<(String, serde_json::Value)>| {
+        let exp = missing::run(scale);
+        for t in &exp.tables {
+            print!("{}", render_table(t));
+            println!();
+        }
+        json.push(("missing".into(), serde_json::to_value(&exp).expect("serialize")));
+    };
+
+    match experiment.as_str() {
+        "table3" | "table4" | "table5" | "fig1" | "synthetic" => run_synthetic(&mut json_blobs),
+        "table6" | "fig2" => run_semisynth(&mut json_blobs, 62),
+        "table7" | "fig3" => run_semisynth(&mut json_blobs, 124),
+        "table8" | "table9" | "fig4" | "fig5" | "real" => run_real(&mut json_blobs),
+        "ablation" => run_ablation(&mut json_blobs),
+        "missing" => run_missing(&mut json_blobs),
+        "scalability" => run_scalability(&mut json_blobs),
+        "extended" => run_extended(&mut json_blobs),
+        "seeds" => run_seeds(&mut json_blobs),
+        "all" => {
+            run_synthetic(&mut json_blobs);
+            println!();
+            run_semisynth(&mut json_blobs, 62);
+            println!();
+            run_semisynth(&mut json_blobs, 124);
+            println!();
+            run_real(&mut json_blobs);
+            println!();
+            run_ablation(&mut json_blobs);
+            println!();
+            run_missing(&mut json_blobs);
+            println!();
+            run_scalability(&mut json_blobs);
+            println!();
+            run_extended(&mut json_blobs);
+            println!();
+            run_seeds(&mut json_blobs);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = json_path {
+        let map: serde_json::Map<String, serde_json::Value> = json_blobs.into_iter().collect();
+        let body = serde_json::to_string_pretty(&serde_json::Value::Object(map))
+            .expect("serialize experiment output");
+        if let Err(e) = fs::write(&path, body) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# wrote {path}");
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,190 @@
+//! `tdc` — run truth discovery on a JSON dataset from the command line.
+//!
+//! ```text
+//! tdc run   --input data.json|claims.csv [--truth truth.csv] --algo accu
+//!           [--tdac] [--parallel] [--masked] [--output predictions.json]
+//! tdc stats --input data.json|claims.csv [--truth truth.csv]
+//! tdc algos
+//! ```
+//!
+//! Inputs ending in `.csv` are parsed as claims tables
+//! (`source,object,attribute,value` with header; see `td_model::csv`),
+//! optionally with a `--truth` CSV (`object,attribute,value`). Anything
+//! else is read as the `td-model` JSON bundle. When ground truth is
+//! available an evaluation report is printed after the predictions.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use td_algorithms::{algorithm_by_name, registry::all_algorithms, TruthDiscovery};
+use td_metrics::{evaluate_fn, Stopwatch};
+use td_model::{csv, json, Dataset, DatasetStats, GroundTruth};
+use tdac_core::{Tdac, TdacConfig};
+
+const USAGE: &str = "usage:\n  tdc run --input <data.json|claims.csv> [--truth <truth.csv>] \
+--algo <name> [--tdac] [--masked] [--parallel] [--output <predictions.json>]\n  \
+tdc stats --input <data.json|claims.csv> [--truth <truth.csv>]\n  tdc algos";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("algos") => {
+            for algo in all_algorithms() {
+                println!("{}", algo.name());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str, truth_path: Option<&str>) -> Result<(Dataset, Option<GroundTruth>), String> {
+    let body = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".csv") {
+        match truth_path {
+            Some(tp) => {
+                let truth_body =
+                    fs::read_to_string(tp).map_err(|e| format!("cannot read {tp}: {e}"))?;
+                let (d, t) = csv::dataset_from_csv_with_truth(&body, &truth_body)
+                    .map_err(|e| e.to_string())?;
+                Ok((d, Some(t)))
+            }
+            None => csv::dataset_from_csv(&body)
+                .map(|d| (d, None))
+                .map_err(|e| e.to_string()),
+        }
+    } else {
+        json::from_json(&body).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let Some(input) = flag_value(args, "--input") else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let truth_path = flag_value(args, "--truth");
+    match load(&input, truth_path.as_deref()) {
+        Ok((dataset, truth)) => {
+            let st = DatasetStats::of(&dataset);
+            println!("sources      : {}", st.n_sources);
+            println!("objects      : {}", st.n_objects);
+            println!("attributes   : {}", st.n_attributes);
+            println!("observations : {}", st.n_observations);
+            println!("DCR          : {:.1} %", st.dcr);
+            println!(
+                "ground truth : {}",
+                truth.map_or("absent".to_string(), |t| format!("{} cells", t.len()))
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(input) = flag_value(args, "--input") else {
+        eprintln!("--input is required\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(algo_name) = flag_value(args, "--algo") else {
+        eprintln!("--algo is required (see `tdc algos`)\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(algo) = algorithm_by_name(&algo_name) else {
+        eprintln!("unknown algorithm {algo_name:?}; see `tdc algos`");
+        return ExitCode::FAILURE;
+    };
+    let wrap_tdac = has_flag(args, "--tdac") || has_flag(args, "--masked");
+    let output = flag_value(args, "--output");
+
+    let truth_path = flag_value(args, "--truth");
+    let (dataset, truth) = match load(&input, truth_path.as_deref()) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let sw = Stopwatch::start();
+    let (result, partition) = if wrap_tdac {
+        let config = TdacConfig {
+            missing_aware: has_flag(args, "--masked"),
+            parallel: has_flag(args, "--parallel"),
+            ..Default::default()
+        };
+        match Tdac::new(config).run(algo.as_ref(), &dataset) {
+            Ok(out) => (out.result, Some(out.partition.to_string())),
+            Err(e) => {
+                eprintln!("TD-AC failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        (algo.discover(&dataset.view_all()), None)
+    };
+    let elapsed = sw.elapsed_secs();
+
+    eprintln!(
+        "# {}{} on {}: {} predictions in {elapsed:.3}s",
+        algo.name(),
+        if wrap_tdac { " (TD-AC)" } else { "" },
+        input,
+        result.len()
+    );
+    if let Some(p) = &partition {
+        eprintln!("# partition: {p}");
+    }
+
+    // Emit predictions (stdout or --output) as JSON lines of
+    // {object, attribute, value, confidence}.
+    let mut rows: Vec<serde_json::Value> = Vec::with_capacity(result.len());
+    let mut sorted: Vec<_> = result.iter().collect();
+    sorted.sort_by_key(|&(o, a, _, _)| (o, a));
+    for (o, a, v, c) in sorted {
+        rows.push(serde_json::json!({
+            "object": dataset.object_name(o),
+            "attribute": dataset.attribute_name(a),
+            "value": dataset.value(v).to_string(),
+            "confidence": c,
+        }));
+    }
+    let body = serde_json::to_string_pretty(&rows).expect("serialize predictions");
+    match output {
+        Some(path) => {
+            if let Err(e) = fs::write(&path, body) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("# wrote {path}");
+        }
+        None => println!("{body}"),
+    }
+
+    if let Some(truth) = truth {
+        let report = evaluate_fn(&dataset, &truth, |o, a| result.prediction(o, a));
+        eprintln!("# evaluation: {report}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}

@@ -1,0 +1,10 @@
+//! One module per paper experiment group.
+
+pub mod ablation;
+pub mod extended;
+pub mod missing;
+pub mod real;
+pub mod scalability;
+pub mod seeds;
+pub mod semisynth;
+pub mod synthetic;

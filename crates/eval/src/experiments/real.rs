@@ -1,0 +1,176 @@
+//! The real-data experiments (on the Table 8-shaped simulators):
+//! Tables 8, 9a–e and Figures 4–5.
+
+use serde::{Deserialize, Serialize};
+
+use datagen::{generate_exam, generate_flights, generate_stocks, ExamConfig, FlightsConfig, StocksConfig};
+use td_algorithms::{Accu, TruthFinder};
+use td_model::{Dataset, DatasetStats, GroundTruth};
+use tdac_core::TdacConfig;
+
+use crate::figures::FigureResult;
+use crate::runner::{run_standard, run_tdac};
+use crate::scale::Scale;
+use crate::tables::TableResult;
+
+/// The DCR threshold the paper splits Figures 4 and 5 on.
+pub const DCR_SPLIT: f64 = 60.0;
+
+/// Output of the real-data experiment group.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RealExperiment {
+    /// Table 8: per-dataset statistics.
+    pub table8: Vec<(String, DatasetStats)>,
+    /// Tables 9a–e: per-dataset performance.
+    pub table9: Vec<TableResult>,
+    /// Figure 4: impact of TD-AC where DCR ≥ 66 %.
+    pub fig4: FigureResult,
+    /// Figure 5: impact of TD-AC where DCR ≤ 55 %.
+    pub fig5: FigureResult,
+}
+
+/// Generates the five real-dataset configurations at the given scale, in
+/// the paper's Table 9 order.
+pub fn datasets(scale: Scale) -> Vec<(String, Dataset, GroundTruth)> {
+    let mut out = Vec::new();
+    for n_attrs in [32usize, 62, 124] {
+        let mut cfg = ExamConfig::new(n_attrs, 25);
+        cfg.n_students = scale.exam_students();
+        let (d, t) = generate_exam(&cfg);
+        out.push((format!("Exam {n_attrs}"), d, t));
+    }
+    let (d, t) = generate_stocks(&StocksConfig {
+        n_objects: scale.stocks_objects(),
+        ..Default::default()
+    });
+    out.push(("Stocks".to_string(), d, t));
+    let (d, t) = generate_flights(&FlightsConfig {
+        n_objects: scale.flights_objects(),
+        ..Default::default()
+    });
+    out.push(("Flights".to_string(), d, t));
+    out
+}
+
+/// Runs the whole real-data experiment group.
+pub fn run(scale: Scale) -> RealExperiment {
+    let data = datasets(scale);
+
+    let table8: Vec<(String, DatasetStats)> = data
+        .iter()
+        .map(|(name, d, _)| (name.clone(), DatasetStats::of(d)))
+        .collect();
+
+    let mut table9 = Vec::new();
+    let mut high_cov = Vec::new();
+    let mut low_cov = Vec::new();
+    let mut series: Vec<String> = Vec::new();
+
+    for (idx, (name, dataset, truth)) in data.iter().enumerate() {
+        let sub = (b'a' + idx as u8) as char;
+        let accu = Accu::default();
+        let tf = TruthFinder::default();
+        let mut rows = Vec::new();
+        rows.push(run_standard(&accu, dataset, truth));
+        rows.push(run_tdac(&accu, dataset, truth, TdacConfig::default()).0);
+        rows.push(run_standard(&tf, dataset, truth));
+        rows.push(run_tdac(&tf, dataset, truth, TdacConfig::default()).0);
+
+        if series.is_empty() {
+            series = rows.iter().map(|r| r.algorithm.clone()).collect();
+        }
+        let accuracies: Vec<f64> = rows.iter().map(|r| r.accuracy).collect();
+        let dcr = table8[idx].1.dcr;
+        if dcr >= DCR_SPLIT {
+            high_cov.push((name.clone(), accuracies));
+        } else {
+            low_cov.push((name.clone(), accuracies));
+        }
+
+        table9.push(TableResult {
+            id: format!("table9{sub}"),
+            title: format!("Performance on {name} (DCR {dcr:.0} %)"),
+            rows,
+        });
+    }
+
+    RealExperiment {
+        table8,
+        table9,
+        fig4: FigureResult {
+            id: "fig4".into(),
+            title: "Impact of TD-AC on real datasets with DCR ≥ 66".into(),
+            series: series.clone(),
+            groups: high_cov,
+        },
+        fig5: FigureResult {
+            id: "fig5".into(),
+            title: "Impact of TD-AC on real datasets with DCR ≤ 55".into(),
+            series,
+            groups: low_cov,
+        },
+    }
+}
+
+/// Renders Table 8 as text.
+pub fn render_table8(table8: &[(String, DatasetStats)]) -> String {
+    let mut out = String::from("== table8 — Statistics about the real datasets ==\n");
+    let w = table8.iter().map(|(n, _)| n.len()).max().unwrap_or(8).max(8);
+    out.push_str(&format!(
+        "{:<w$}  {:>8}  {:>8}  {:>11}  {:>13}  {:>8}\n",
+        "Dataset", "Sources", "Objects", "Attributes", "Observations", "DCR (%)"
+    ));
+    for (name, st) in table8 {
+        out.push_str(&format!(
+            "{:<w$}  {:>8}  {:>8}  {:>11}  {:>13}  {:>8.0}\n",
+            name, st.n_sources, st.n_objects, st.n_attributes, st.n_observations, st.dcr
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn cached() -> &'static RealExperiment {
+        static CACHE: OnceLock<RealExperiment> = OnceLock::new();
+        CACHE.get_or_init(|| run(Scale::Small))
+    }
+
+    #[test]
+    fn produces_all_artifacts() {
+        let exp = cached();
+        assert_eq!(exp.table8.len(), 5);
+        assert_eq!(exp.table9.len(), 5);
+        assert_eq!(
+            exp.fig4.groups.len() + exp.fig5.groups.len(),
+            5,
+            "every dataset lands in exactly one figure"
+        );
+        for t in &exp.table9 {
+            assert_eq!(t.rows.len(), 4);
+        }
+    }
+
+    #[test]
+    fn coverage_split_is_faithful() {
+        let exp = cached();
+        // Exam 124 is the sparsest configuration — it must be in fig5.
+        assert!(
+            exp.fig5.groups.iter().any(|(g, _)| g == "Exam 124"),
+            "fig5 groups: {:?}",
+            exp.fig5.groups.iter().map(|(g, _)| g).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn table8_renders_all_rows() {
+        let exp = cached();
+        let s = render_table8(&exp.table8);
+        for name in ["Exam 32", "Exam 62", "Exam 124", "Stocks", "Flights"] {
+            assert!(s.contains(name), "missing {name} in:\n{s}");
+        }
+    }
+}

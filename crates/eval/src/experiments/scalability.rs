@@ -1,0 +1,169 @@
+//! Scalability experiment — the paper's closing concern: *"the running
+//! time … become\[s\] important when the number of attributes, objects and
+//! sources is very large"*.
+//!
+//! Sweeps each axis independently on DS1-shaped workloads and records
+//! TD-AC's wall-clock (with its base algorithm's as the reference),
+//! including the crossbeam-parallel variant the paper proposes as future
+//! work. Complements the Criterion benches with a one-shot recorded
+//! table in `results.json`.
+
+use serde::{Deserialize, Serialize};
+
+use datagen::{generate_synthetic, SyntheticConfig};
+use td_algorithms::{Accu, TruthDiscovery};
+use td_metrics::Stopwatch;
+use tdac_core::{Tdac, TdacConfig};
+
+use crate::scale::Scale;
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Axis value (objects / sources / attributes).
+    pub x: usize,
+    /// Observations in the generated dataset.
+    pub n_claims: usize,
+    /// Base algorithm alone, seconds.
+    pub base_s: f64,
+    /// TD-AC (sequential), seconds.
+    pub tdac_s: f64,
+    /// TD-AC (parallel groups), seconds.
+    pub tdac_parallel_s: f64,
+}
+
+/// The three sweeps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalabilityExperiment {
+    /// Varying object count.
+    pub objects: Vec<ScalePoint>,
+    /// Varying source count.
+    pub sources: Vec<ScalePoint>,
+    /// Varying attribute count.
+    pub attributes: Vec<ScalePoint>,
+}
+
+fn measure(cfg: &SyntheticConfig, x: usize) -> ScalePoint {
+    let data = generate_synthetic(cfg);
+    let base = Accu::default();
+    let view = data.dataset.view_all();
+    let (_, base_d) = Stopwatch::time(|| base.discover(&view));
+    let (_, tdac_d) = Stopwatch::time(|| {
+        Tdac::new(TdacConfig::default())
+            .run(&base, &data.dataset)
+            .expect("TD-AC run")
+    });
+    let (_, par_d) = Stopwatch::time(|| {
+        Tdac::new(TdacConfig {
+            parallel: true,
+            ..Default::default()
+        })
+        .run(&base, &data.dataset)
+        .expect("TD-AC run")
+    });
+    ScalePoint {
+        x,
+        n_claims: data.dataset.n_claims(),
+        base_s: base_d.as_secs_f64(),
+        tdac_s: tdac_d.as_secs_f64(),
+        tdac_parallel_s: par_d.as_secs_f64(),
+    }
+}
+
+/// Runs the three sweeps. Sizes scale with `scale`.
+pub fn run(scale: Scale) -> ScalabilityExperiment {
+    let unit = match scale {
+        Scale::Small => 1usize,
+        Scale::Medium => 4,
+        Scale::Full => 10,
+    };
+
+    let objects = [25, 50, 100, 200]
+        .into_iter()
+        .map(|o| {
+            let n = o * unit;
+            measure(&SyntheticConfig::ds1().scaled(n), n)
+        })
+        .collect();
+
+    let sources = [10, 20, 40]
+        .into_iter()
+        .map(|s| {
+            let mut cfg = SyntheticConfig::ds1().scaled(25 * unit);
+            cfg.n_sources = s;
+            measure(&cfg, s)
+        })
+        .collect();
+
+    let attributes = [6, 12, 24]
+        .into_iter()
+        .map(|a| {
+            let mut cfg = SyntheticConfig::ds1().scaled(25 * unit);
+            cfg.n_attributes = a;
+            cfg.partition = (0..a).step_by(2).map(|i| vec![i, i + 1]).collect();
+            measure(&cfg, a)
+        })
+        .collect();
+
+    ScalabilityExperiment {
+        objects,
+        sources,
+        attributes,
+    }
+}
+
+/// Renders the sweeps as text.
+pub fn render(exp: &ScalabilityExperiment) -> String {
+    let mut out = String::from("== scalability — runtime growth (Accu base) ==\n");
+    for (axis, points) in [
+        ("objects", &exp.objects),
+        ("sources", &exp.sources),
+        ("attributes", &exp.attributes),
+    ] {
+        out.push_str(&format!(
+            "{axis:>10}  {:>10}  {:>9}  {:>9}  {:>12}\n",
+            "claims", "base(s)", "tdac(s)", "tdac-par(s)"
+        ));
+        for p in points {
+            out.push_str(&format!(
+                "{:>10}  {:>10}  {:>9.4}  {:>9.4}  {:>12.4}\n",
+                p.x, p.n_claims, p.base_s, p.tdac_s, p.tdac_parallel_s
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_produce_all_points() {
+        let exp = run(Scale::Small);
+        assert_eq!(exp.objects.len(), 4);
+        assert_eq!(exp.sources.len(), 3);
+        assert_eq!(exp.attributes.len(), 3);
+        for p in exp.objects.iter().chain(&exp.sources).chain(&exp.attributes) {
+            assert!(p.n_claims > 0);
+            assert!(p.base_s >= 0.0 && p.tdac_s >= 0.0 && p.tdac_parallel_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn claims_grow_with_objects() {
+        let exp = run(Scale::Small);
+        for w in exp.objects.windows(2) {
+            assert!(w[1].n_claims > w[0].n_claims);
+        }
+    }
+
+    #[test]
+    fn render_lists_axes() {
+        let exp = run(Scale::Small);
+        let s = render(&exp);
+        assert!(s.contains("objects"));
+        assert!(s.contains("sources"));
+        assert!(s.contains("attributes"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Seed-sweep stability — the honesty check for our generator seeds.
+//!
+//! DESIGN.md documents that the DS1–DS3 presets fix specific seeds so the
+//! committed tables exhibit the paper's ordering deterministically. This
+//! experiment quantifies what happens *across* seeds: for each
+//! configuration it re-draws the reliability assignment `n_seeds` times
+//! and reports the distribution of Accu vs. TD-AC(F=Accu) accuracy, the
+//! TD-AC win/tie/loss record, and the mean partition Rand index against
+//! the planted grouping.
+//!
+//! The headline statistic to look at is `mean_delta` (TD-AC minus base):
+//! positive across the sweep means the committed tables are typical, not
+//! cherry-picked.
+
+use serde::{Deserialize, Serialize};
+
+use datagen::{generate_synthetic, SyntheticConfig};
+use td_algorithms::{Accu, TruthDiscovery};
+use td_metrics::evaluate_fn;
+use tdac_core::{AttributePartition, Tdac, TdacConfig};
+
+use crate::scale::Scale;
+
+/// Sweep summary for one synthetic configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeedSweep {
+    /// Configuration label (DS1/DS2/DS3).
+    pub dataset: String,
+    /// Seeds evaluated.
+    pub n_seeds: usize,
+    /// Per-seed `(accu_accuracy, tdac_accuracy)` pairs.
+    pub points: Vec<(f64, f64)>,
+    /// Mean Accu accuracy.
+    pub mean_base: f64,
+    /// Mean TD-AC accuracy.
+    pub mean_tdac: f64,
+    /// Mean (TD-AC − Accu) accuracy delta.
+    pub mean_delta: f64,
+    /// Sample standard deviation of the delta.
+    pub std_delta: f64,
+    /// Seeds where TD-AC beat / tied (±0.005) / lost to Accu.
+    pub wins: usize,
+    /// Ties within ±0.005.
+    pub ties: usize,
+    /// Losses beyond 0.005.
+    pub losses: usize,
+    /// Mean Rand index of TD-AC's partition vs the planted one.
+    pub mean_rand_index: f64,
+}
+
+/// The three sweeps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeedsExperiment {
+    /// One sweep per configuration.
+    pub sweeps: Vec<SeedSweep>,
+}
+
+/// Runs the sweep: `n_seeds` fresh draws per configuration.
+pub fn run(scale: Scale) -> SeedsExperiment {
+    let n_seeds = match scale {
+        Scale::Small => 5,
+        Scale::Medium => 10,
+        Scale::Full => 20,
+    };
+    let n_objects = scale.synthetic_objects().min(250); // sweep cost control
+
+    let sweeps = [
+        ("DS1", SyntheticConfig::ds1()),
+        ("DS2", SyntheticConfig::ds2()),
+        ("DS3", SyntheticConfig::ds3()),
+    ]
+    .into_iter()
+    .map(|(name, base_cfg)| {
+        let mut points = Vec::with_capacity(n_seeds);
+        let mut ris = Vec::with_capacity(n_seeds);
+        for seed in 0..n_seeds as u64 {
+            let mut cfg = base_cfg.clone().scaled(n_objects);
+            cfg.seed = 1000 + seed; // disjoint from the committed presets
+            let data = generate_synthetic(&cfg);
+            let planted = AttributePartition::new(data.planted.groups.clone());
+            let base = Accu::default();
+            let plain = base.discover(&data.dataset.view_all());
+            let base_acc =
+                evaluate_fn(&data.dataset, &data.truth, |o, a| plain.prediction(o, a)).accuracy;
+            let out = Tdac::new(TdacConfig::default())
+                .run(&base, &data.dataset)
+                .expect("TD-AC run");
+            let tdac_acc =
+                evaluate_fn(&data.dataset, &data.truth, |o, a| out.result.prediction(o, a))
+                    .accuracy;
+            points.push((base_acc, tdac_acc));
+            ris.push(out.partition.rand_index(&planted));
+        }
+        let n = points.len() as f64;
+        let mean_base = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_tdac = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let deltas: Vec<f64> = points.iter().map(|p| p.1 - p.0).collect();
+        let mean_delta = deltas.iter().sum::<f64>() / n;
+        let var = deltas.iter().map(|d| (d - mean_delta).powi(2)).sum::<f64>()
+            / (n - 1.0).max(1.0);
+        let wins = deltas.iter().filter(|&&d| d > 0.005).count();
+        let losses = deltas.iter().filter(|&&d| d < -0.005).count();
+        SeedSweep {
+            dataset: name.to_string(),
+            n_seeds,
+            mean_base,
+            mean_tdac,
+            mean_delta,
+            std_delta: var.sqrt(),
+            wins,
+            ties: points.len() - wins - losses,
+            losses,
+            mean_rand_index: ris.iter().sum::<f64>() / n,
+            points,
+        }
+    })
+    .collect();
+
+    SeedsExperiment { sweeps }
+}
+
+/// Renders the sweep as text.
+pub fn render(exp: &SeedsExperiment) -> String {
+    let mut out = String::from(
+        "== seeds — TD-AC vs Accu across fresh generator seeds ==\n\
+         dataset  seeds  mean(Accu)  mean(TD-AC)  mean Δ    σ(Δ)    W/T/L   mean RI\n",
+    );
+    for s in &exp.sweeps {
+        out.push_str(&format!(
+            "{:>7}  {:>5}  {:>10.3}  {:>11.3}  {:>+6.3}  {:>6.3}  {:>2}/{}/{}  {:>7.2}\n",
+            s.dataset,
+            s.n_seeds,
+            s.mean_base,
+            s.mean_tdac,
+            s.mean_delta,
+            s.std_delta,
+            s.wins,
+            s.ties,
+            s.losses,
+            s.mean_rand_index
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn cached() -> &'static SeedsExperiment {
+        static CACHE: OnceLock<SeedsExperiment> = OnceLock::new();
+        CACHE.get_or_init(|| run(Scale::Small))
+    }
+
+    #[test]
+    fn sweep_covers_three_configs() {
+        let exp = cached();
+        assert_eq!(exp.sweeps.len(), 3);
+        for s in &exp.sweeps {
+            assert_eq!(s.points.len(), s.n_seeds);
+            assert_eq!(s.wins + s.ties + s.losses, s.n_seeds);
+            assert!((0.0..=1.0).contains(&s.mean_base));
+            assert!((0.0..=1.0).contains(&s.mean_tdac));
+            assert!((0.0..=1.0).contains(&s.mean_rand_index));
+            assert!(s.std_delta >= 0.0);
+        }
+    }
+
+    #[test]
+    fn tdac_does_not_systematically_lose() {
+        // Across fresh seeds TD-AC must not collapse relative to its base.
+        // On the relaxed DS3 a small average deficit is expected at test
+        // scale (short truth vectors make the clustering noisier) — the
+        // paper's own framing is that TD-AC "does not degrade the
+        // performances" outside its working setting, not that it always
+        // wins; the sharp DS1 must still break even.
+        let exp = cached();
+        for s in &exp.sweeps {
+            let floor = if s.dataset == "DS1" { -0.005 } else { -0.05 };
+            assert!(
+                s.mean_delta > floor,
+                "{}: mean Δ {:.3} — TD-AC systematically losing",
+                s.dataset,
+                s.mean_delta
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let exp = cached();
+        let text = render(exp);
+        for s in &exp.sweeps {
+            assert!(text.contains(&s.dataset));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The semi-synthetic (Exam-based) experiments: Tables 6a–d, 7a–d and
+//! Figures 2–3.
+
+use serde::{Deserialize, Serialize};
+
+use datagen::{generate_exam, ExamConfig};
+use td_algorithms::{Accu, TruthFinder};
+use tdac_core::TdacConfig;
+
+use crate::figures::FigureResult;
+use crate::runner::{run_standard, run_tdac};
+use crate::scale::Scale;
+use crate::tables::TableResult;
+
+/// The false-answer range sizes of §4.3.
+pub const RANGES: [i64; 4] = [25, 50, 100, 1000];
+
+/// Output of one semi-synthetic sweep (one attribute count).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SemisynthExperiment {
+    /// Attribute-prefix size (62 or 124 in the paper).
+    pub n_attributes: usize,
+    /// One sub-table per false-value range (the paper's (a)–(d)).
+    pub tables: Vec<TableResult>,
+    /// The pairwise accuracy comparison (Figure 2 for 62 attributes,
+    /// Figure 3 for 124).
+    pub figure: FigureResult,
+}
+
+/// Runs the sweep for one attribute count (62 ⇒ Table 6 + Figure 2,
+/// 124 ⇒ Table 7 + Figure 3).
+pub fn run(scale: Scale, n_attributes: usize) -> SemisynthExperiment {
+    let (table_no, fig_no) = if n_attributes <= 62 { (6, 2) } else { (7, 3) };
+    let mut tables = Vec::new();
+    let mut groups = Vec::new();
+    let mut series: Vec<String> = Vec::new();
+
+    for (idx, &range) in RANGES.iter().enumerate() {
+        let sub = (b'a' + idx as u8) as char;
+        let mut cfg = ExamConfig::new(n_attributes, range);
+        cfg.n_students = scale.exam_students();
+        let (dataset, truth) = generate_exam(&cfg);
+
+        let accu = Accu::default();
+        let tf = TruthFinder::default();
+        let mut rows = Vec::new();
+        rows.push(run_standard(&accu, &dataset, &truth));
+        rows.push(run_tdac(&accu, &dataset, &truth, TdacConfig::default()).0);
+        rows.push(run_standard(&tf, &dataset, &truth));
+        rows.push(run_tdac(&tf, &dataset, &truth, TdacConfig::default()).0);
+
+        if series.is_empty() {
+            series = rows.iter().map(|r| r.algorithm.clone()).collect();
+        }
+        groups.push((format!("Range {range}"), rows.iter().map(|r| r.accuracy).collect()));
+        tables.push(TableResult {
+            id: format!("table{table_no}{sub}"),
+            title: format!(
+                "Semi-synthetic Exam with {n_attributes} attributes, false-value range {range}"
+            ),
+            rows,
+        });
+    }
+
+    SemisynthExperiment {
+        n_attributes,
+        tables,
+        figure: FigureResult {
+            id: format!("fig{fig_no}"),
+            title: format!(
+                "Impact of TD-AC on Accu and TruthFinder (semi-synthetic, \
+                 {n_attributes} attributes)"
+            ),
+            series,
+            groups,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn cached32() -> &'static SemisynthExperiment {
+        static CACHE: OnceLock<SemisynthExperiment> = OnceLock::new();
+        CACHE.get_or_init(|| run(Scale::Small, 32))
+    }
+
+    #[test]
+    fn sweep_produces_four_subtables_and_figure() {
+        let exp = cached32();
+        assert_eq!(exp.tables.len(), 4);
+        for t in &exp.tables {
+            assert_eq!(t.rows.len(), 4);
+            assert!(t.rows[0].algorithm == "Accu");
+            assert!(t.rows[1].algorithm.starts_with("TD-AC"));
+        }
+        assert_eq!(exp.figure.groups.len(), 4);
+        assert_eq!(exp.figure.series.len(), 4);
+    }
+
+    #[test]
+    fn tdac_does_not_collapse_base_accuracy() {
+        // The paper's claim for semi-synthetic data: combining a base
+        // algorithm with TD-AC "does not highly deteriorate" it.
+        let exp = cached32();
+        for t in &exp.tables {
+            let accu = t.row("Accu").unwrap().accuracy;
+            let tdac = t.row("TD-AC (F=Accu)").unwrap().accuracy;
+            assert!(
+                tdac > accu - 0.15,
+                "{}: TD-AC {tdac:.3} collapsed vs Accu {accu:.3}",
+                t.id
+            );
+        }
+    }
+
+    #[test]
+    fn table_ids_follow_paper_numbering() {
+        // 32 attributes uses the 62-attribute numbering branch.
+        let exp = cached32();
+        assert_eq!(exp.tables[0].id, "table6a");
+        assert_eq!(exp.tables[3].id, "table6d");
+        assert_eq!(exp.figure.id, "fig2");
+    }
+}

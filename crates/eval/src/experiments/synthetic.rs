@@ -1,0 +1,255 @@
+//! The synthetic-data experiments: Tables 3, 4a–c, 5 and Figure 1.
+
+use serde::{Deserialize, Serialize};
+
+use datagen::{generate_synthetic, SyntheticConfig, SyntheticDataset};
+use td_algorithms::{standard_algorithms, Accu};
+use tdac_core::{AttributePartition, TdacConfig, Weighting};
+
+use crate::figures::FigureResult;
+use crate::runner::{run_accugen, run_accugen_oracle, run_standard, run_tdac};
+use crate::scale::Scale;
+use crate::tables::TableResult;
+
+/// Everything the synthetic experiment group produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticExperiment {
+    /// Table 3: the three configurations' reliability levels.
+    pub table3: Vec<(String, Vec<f64>)>,
+    /// Tables 4a–c: full performance comparisons on DS1–3.
+    pub table4: Vec<TableResult>,
+    /// Table 5: partitions chosen by each strategy per dataset.
+    pub table5: PartitionTable,
+    /// Figure 1: accuracy of every algorithm on DS1–3.
+    pub fig1: FigureResult,
+}
+
+/// Table 5's shape: one row per partitioning strategy, one column per
+/// dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionTable {
+    /// `(strategy, [partition string per dataset])` rows.
+    pub rows: Vec<(String, Vec<String>)>,
+    /// Dataset column labels.
+    pub datasets: Vec<String>,
+}
+
+impl PartitionTable {
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== table5 — Partitions chosen by each strategy ==\n");
+        let w0 = self
+            .rows
+            .iter()
+            .map(|(s, _)| s.len())
+            .max()
+            .unwrap_or(8)
+            .max("Strategy".len());
+        let widths: Vec<usize> = self
+            .datasets
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                self.rows
+                    .iter()
+                    .map(|(_, cols)| cols.get(i).map_or(0, String::len))
+                    .max()
+                    .unwrap_or(0)
+                    .max(d.len())
+            })
+            .collect();
+        out.push_str(&format!("{:<w0$}", "Strategy"));
+        for (i, d) in self.datasets.iter().enumerate() {
+            out.push_str(&format!("  {:<width$}", d, width = widths[i]));
+        }
+        out.push('\n');
+        for (strategy, cols) in &self.rows {
+            out.push_str(&format!("{strategy:<w0$}"));
+            for (i, c) in cols.iter().enumerate() {
+                out.push_str(&format!("  {:<width$}", c, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Generates DS1–3 at the given scale.
+pub fn datasets(scale: Scale) -> Vec<(String, SyntheticDataset)> {
+    [
+        ("DS1", SyntheticConfig::ds1()),
+        ("DS2", SyntheticConfig::ds2()),
+        ("DS3", SyntheticConfig::ds3()),
+    ]
+    .into_iter()
+    .map(|(name, cfg)| {
+        (
+            name.to_string(),
+            generate_synthetic(&cfg.scaled(scale.synthetic_objects())),
+        )
+    })
+    .collect()
+}
+
+/// Runs the whole synthetic experiment group.
+///
+/// `with_accugen` toggles the brute-force baseline (the expensive part;
+/// integration tests at small scale keep it on, quick smoke tests can
+/// drop it).
+pub fn run(scale: Scale, with_accugen: bool) -> SyntheticExperiment {
+    let table3 = vec![
+        ("DS1".to_string(), SyntheticConfig::ds1().levels),
+        ("DS2".to_string(), SyntheticConfig::ds2().levels),
+        ("DS3".to_string(), SyntheticConfig::ds3().levels),
+    ];
+
+    let mut table4 = Vec::new();
+    let mut table5_rows: Vec<(String, Vec<String>)> = vec![
+        ("Synthetic data generator".to_string(), Vec::new()),
+        ("AccuGenPartition (Max)".to_string(), Vec::new()),
+        ("AccuGenPartition (Avg)".to_string(), Vec::new()),
+        ("AccuGenPartition (Oracle)".to_string(), Vec::new()),
+        ("TD-AC (F=Accu)".to_string(), Vec::new()),
+    ];
+    let mut fig1_groups = Vec::new();
+    let mut fig1_series: Vec<String> = Vec::new();
+
+    for (idx, (name, data)) in datasets(scale).into_iter().enumerate() {
+        let sub = (b'a' + idx as u8) as char;
+        let mut rows = Vec::new();
+        for algo in standard_algorithms() {
+            rows.push(run_standard(algo.as_ref(), &data.dataset, &data.truth));
+        }
+        let base = Accu::default();
+        let planted = AttributePartition::new(data.planted.groups.clone());
+        table5_rows[0].1.push(planted.to_string());
+        if with_accugen {
+            let (max_row, max_out) =
+                run_accugen(&base, &data.dataset, &data.truth, Weighting::Max);
+            let (avg_row, avg_out) =
+                run_accugen(&base, &data.dataset, &data.truth, Weighting::Avg);
+            let (oracle_row, oracle_out) =
+                run_accugen_oracle(&base, &data.dataset, &data.truth);
+            table5_rows[1].1.push(max_out.partition.to_string());
+            table5_rows[2].1.push(avg_out.partition.to_string());
+            table5_rows[3].1.push(oracle_out.partition.to_string());
+            rows.push(max_row);
+            rows.push(avg_row);
+            rows.push(oracle_row);
+        } else {
+            for r in &mut table5_rows[1..4] {
+                r.1.push("-".to_string());
+            }
+        }
+        let (tdac_row, tdac_out) = run_tdac(&base, &data.dataset, &data.truth, TdacConfig::default());
+        table5_rows[4].1.push(tdac_out.partition.to_string());
+        rows.push(tdac_row);
+
+        if fig1_series.is_empty() {
+            fig1_series = rows.iter().map(|r| r.algorithm.clone()).collect();
+        }
+        fig1_groups.push((name.clone(), rows.iter().map(|r| r.accuracy).collect()));
+
+        table4.push(TableResult {
+            id: format!("table4{sub}"),
+            title: format!("Performance measures on {name}"),
+            rows,
+        });
+    }
+
+    SyntheticExperiment {
+        table3,
+        table4,
+        table5: PartitionTable {
+            rows: table5_rows,
+            datasets: vec!["DS1".into(), "DS2".into(), "DS3".into()],
+        },
+        fig1: FigureResult {
+            id: "fig1".into(),
+            title: "Accuracy of all tested algorithms on DS1, DS2 and DS3".into(),
+            series: fig1_series,
+            groups: fig1_groups,
+        },
+    }
+}
+
+/// Renders Table 3 as text.
+pub fn render_table3(table3: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::from(
+        "== table3 — Reliability level profiles of the synthetic configurations ==\n",
+    );
+    out.push_str("     DS1  DS2  DS3\n");
+    let n_levels = table3.iter().map(|(_, l)| l.len()).max().unwrap_or(0);
+    for li in 0..n_levels {
+        out.push_str(&format!("m{}  ", li + 1));
+        for (_, levels) in table3 {
+            out.push_str(&format!("{:>4.1} ", levels.get(li).copied().unwrap_or(f64::NAN)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The group is expensive even at small scale; run it once and share
+    /// across the assertions.
+    fn cached() -> &'static SyntheticExperiment {
+        static CACHE: OnceLock<SyntheticExperiment> = OnceLock::new();
+        CACHE.get_or_init(|| run(Scale::Small, true))
+    }
+
+    #[test]
+    fn small_scale_runs_end_to_end() {
+        let exp = cached();
+        assert_eq!(exp.table4.len(), 3);
+        for t in &exp.table4 {
+            assert_eq!(t.rows.len(), 9, "5 standard + 3 AccuGen + TD-AC");
+        }
+        assert_eq!(exp.table5.rows.len(), 5);
+        assert_eq!(exp.fig1.groups.len(), 3);
+        assert_eq!(exp.fig1.series.len(), 9);
+    }
+
+    #[test]
+    fn tdac_beats_unpartitioned_accu_on_ds1() {
+        let exp = cached();
+        let t4a = &exp.table4[0];
+        let accu = t4a.row("Accu").unwrap();
+        let tdac = t4a.row("TD-AC (F=Accu)").unwrap();
+        assert!(
+            tdac.accuracy >= accu.accuracy,
+            "TD-AC {:.3} must not lose to Accu {:.3} on the structured DS1",
+            tdac.accuracy,
+            accu.accuracy
+        );
+    }
+
+    #[test]
+    fn table3_renders() {
+        let exp_levels = vec![
+            ("DS1".to_string(), vec![1.0, 0.0, 1.0]),
+            ("DS2".to_string(), vec![1.0, 0.0, 0.8]),
+            ("DS3".to_string(), vec![1.0, 0.2, 0.8]),
+        ];
+        let s = render_table3(&exp_levels);
+        assert!(s.contains("m1"));
+        assert!(s.contains("m3"));
+        assert!(s.contains("0.2"));
+    }
+
+    #[test]
+    fn partition_table_renders() {
+        let pt = PartitionTable {
+            rows: vec![("TD-AC".into(), vec!["[(1,2)]".into(), "[(1),(2)]".into()])],
+            datasets: vec!["DS1".into(), "DS2".into()],
+        };
+        let s = pt.render();
+        assert!(s.contains("TD-AC"));
+        assert!(s.contains("[(1,2)]"));
+        assert!(s.contains("DS2"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure data series and their text rendering.
+//!
+//! The paper's figures are bar charts; here each figure is a named set of
+//! `(group, series values)` rows rendered as horizontal ASCII bars plus a
+//! CSV block, so the exact numbers can be re-plotted with any tool.
+
+use serde::{Deserialize, Serialize};
+
+/// One reproduced figure: grouped series of accuracy values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Paper artifact id, e.g. `"fig1"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Series labels (the legend).
+    pub series: Vec<String>,
+    /// `(group label, one value per series)` rows.
+    pub groups: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureResult {
+    /// The value of `series` in `group`, if present.
+    pub fn value(&self, group: &str, series: &str) -> Option<f64> {
+        let si = self.series.iter().position(|s| s == series)?;
+        self.groups
+            .iter()
+            .find(|(g, _)| g == group)
+            .and_then(|(_, vs)| vs.get(si))
+            .copied()
+    }
+}
+
+/// Renders a figure as ASCII bars (scaled to `width` characters for the
+/// value 1.0) followed by a CSV block.
+pub fn render_figure(fig: &FigureResult, width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {} — {} ==\n", fig.id, fig.title));
+    let label_w = fig
+        .groups
+        .iter()
+        .map(|(g, _)| g.len())
+        .chain(fig.series.iter().map(String::len))
+        .max()
+        .unwrap_or(0);
+    for (group, values) in &fig.groups {
+        out.push_str(&format!("{group}\n"));
+        for (si, v) in values.iter().enumerate() {
+            let bar = "#".repeat(((v.clamp(0.0, 1.0)) * width as f64).round() as usize);
+            out.push_str(&format!(
+                "  {:<label_w$} |{bar:<width$}| {v:.3}\n",
+                fig.series[si]
+            ));
+        }
+    }
+    out.push_str("\n-- csv --\n");
+    out.push_str(&format!("group,{}\n", fig.series.join(",")));
+    for (group, values) in &fig.groups {
+        let vals: Vec<String> = values.iter().map(|v| format!("{v:.4}")).collect();
+        out.push_str(&format!("{group},{}\n", vals.join(",")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureResult {
+        FigureResult {
+            id: "fig1".into(),
+            title: "Accuracy on DS1-3".into(),
+            series: vec!["Accu".into(), "TD-AC (F=Accu)".into()],
+            groups: vec![
+                ("DS1".into(), vec![0.838, 0.930]),
+                ("DS2".into(), vec![0.828, 0.940]),
+            ],
+        }
+    }
+
+    #[test]
+    fn value_lookup() {
+        let f = sample();
+        assert_eq!(f.value("DS1", "Accu"), Some(0.838));
+        assert_eq!(f.value("DS2", "TD-AC (F=Accu)"), Some(0.940));
+        assert_eq!(f.value("DS9", "Accu"), None);
+        assert_eq!(f.value("DS1", "Nope"), None);
+    }
+
+    #[test]
+    fn render_contains_bars_and_csv() {
+        let s = render_figure(&sample(), 40);
+        assert!(s.contains("DS1"));
+        assert!(s.contains("#"));
+        assert!(s.contains("-- csv --"));
+        assert!(s.contains("group,Accu,TD-AC (F=Accu)"));
+        assert!(s.contains("DS2,0.8280,0.9400"));
+    }
+
+    #[test]
+    fn bars_scale_with_value() {
+        let f = FigureResult {
+            id: "x".into(),
+            title: "t".into(),
+            series: vec!["a".into()],
+            groups: vec![("g".into(), vec![0.5])],
+        };
+        let s = render_figure(&f, 10);
+        assert!(s.contains("#####"), "{s}");
+        assert!(!s.contains("######"), "half bar only: {s}");
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let f = FigureResult {
+            id: "x".into(),
+            title: "t".into(),
+            series: vec!["a".into()],
+            groups: vec![("g".into(), vec![7.0])],
+        };
+        let s = render_figure(&f, 10);
+        assert!(s.contains(&"#".repeat(10)));
+        assert!(!s.contains(&"#".repeat(11)));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+// Numeric kernels index several parallel arrays in lockstep; iterator
+// rewrites obscure them without gain.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::vec_init_then_push)]
+
+//! # tdac-eval — the experiment harness
+//!
+//! Regenerates every table and figure of the TD-AC paper's evaluation
+//! (§4) on the simulated workloads from `tdac-datagen`:
+//!
+//! | Paper artifact | Module | `repro` subcommand |
+//! |---|---|---|
+//! | Table 3 (synthetic configs) | [`experiments::synthetic`] | `table3` |
+//! | Tables 4a–c (DS1–3 performance) | [`experiments::synthetic`] | `table4` |
+//! | Table 5 (chosen partitions) | [`experiments::synthetic`] | `table5` |
+//! | Figure 1 (accuracy bars) | [`experiments::synthetic`] | `fig1` |
+//! | Tables 6a–d (semi-synth, 62 attrs) | [`experiments::semisynth`] | `table6` |
+//! | Tables 7a–d (semi-synth, 124 attrs) | [`experiments::semisynth`] | `table7` |
+//! | Figures 2–3 (pairwise impact) | [`experiments::semisynth`] | `fig2`, `fig3` |
+//! | Table 8 (real dataset statistics) | [`experiments::real`] | `table8` |
+//! | Tables 9a–e (real datasets) | [`experiments::real`] | `table9` |
+//! | Figures 4–5 (impact by DCR) | [`experiments::real`] | `fig4`, `fig5` |
+//! | Design ablations (ours) | [`experiments::ablation`] | `ablation` |
+//! | Sparse-data extension (masked TD-AC) | [`experiments::missing`] | `missing` |
+//! | Runtime growth sweeps | [`experiments::scalability`] | `scalability` |
+//! | Extended roster incl. DART / Ensemble / greedy exploration | [`experiments::extended`] | `extended` |
+//!
+//! Every experiment takes a [`Scale`] so integration tests can exercise
+//! the full pipeline on scaled-down workloads, while `--scale full`
+//! reproduces the paper's sizes. All output is both human-readable
+//! (aligned text tables, ASCII bar charts) and machine-readable (JSON).
+
+pub mod experiments;
+pub mod figures;
+pub mod runner;
+pub mod scale;
+pub mod tables;
+
+pub use runner::{run_accugen, run_accugen_oracle, run_standard, run_tdac, AlgoRow};
+pub use scale::Scale;
+pub use tables::{render_table, TableResult};

@@ -1,0 +1,180 @@
+//! Timed, evaluated runs of the algorithms under comparison.
+
+use serde::{Deserialize, Serialize};
+
+use td_algorithms::TruthDiscovery;
+use td_metrics::{evaluate_fn, Stopwatch};
+use td_model::{Dataset, GroundTruth};
+use tdac_core::{AccuGenOutcome, AccuGenPartition, Tdac, TdacConfig, TdacOutcome, Weighting};
+
+/// One row of a paper-style performance table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlgoRow {
+    /// Algorithm label, paper style (e.g. `"TD-AC (F=Accu)"`).
+    pub algorithm: String,
+    /// Instance-level precision.
+    pub precision: f64,
+    /// Instance-level recall.
+    pub recall: f64,
+    /// Instance-level accuracy.
+    pub accuracy: f64,
+    /// F1-measure.
+    pub f1: f64,
+    /// Wall-clock seconds.
+    pub time_s: f64,
+    /// Iterations, when the algorithm reports them (the paper prints `-`
+    /// for AccuGenPartition).
+    pub iterations: Option<u32>,
+    /// Partition chosen, for the partitioning strategies (Table 5).
+    pub partition: Option<String>,
+}
+
+/// Runs a standard (un-partitioned) algorithm, timed and evaluated.
+pub fn run_standard(
+    algo: &dyn TruthDiscovery,
+    dataset: &Dataset,
+    truth: &GroundTruth,
+) -> AlgoRow {
+    let sw = Stopwatch::start();
+    let result = algo.discover(&dataset.view_all());
+    let time_s = sw.elapsed_secs();
+    let report = evaluate_fn(dataset, truth, |o, a| result.prediction(o, a));
+    AlgoRow {
+        algorithm: algo.name().to_string(),
+        precision: report.precision,
+        recall: report.recall,
+        accuracy: report.accuracy,
+        f1: report.f1,
+        time_s,
+        iterations: Some(result.iterations),
+        partition: None,
+    }
+}
+
+/// Runs TD-AC with the given base algorithm, timed and evaluated.
+pub fn run_tdac(
+    base: &(dyn TruthDiscovery + Sync),
+    dataset: &Dataset,
+    truth: &GroundTruth,
+    config: TdacConfig,
+) -> (AlgoRow, TdacOutcome) {
+    let sw = Stopwatch::start();
+    let outcome = Tdac::new(config)
+        .run(base, dataset)
+        .expect("TD-AC run failed on a non-empty dataset");
+    let time_s = sw.elapsed_secs();
+    let report = evaluate_fn(dataset, truth, |o, a| outcome.result.prediction(o, a));
+    let row = AlgoRow {
+        algorithm: format!("TD-AC (F={})", base.name()),
+        precision: report.precision,
+        recall: report.recall,
+        accuracy: report.accuracy,
+        f1: report.f1,
+        time_s,
+        iterations: Some(1),
+        partition: Some(outcome.partition.to_string()),
+    };
+    (row, outcome)
+}
+
+/// Runs the AccuGenPartition baseline with a weighting function.
+pub fn run_accugen(
+    base: &(dyn TruthDiscovery + Sync),
+    dataset: &Dataset,
+    truth: &GroundTruth,
+    weighting: Weighting,
+) -> (AlgoRow, AccuGenOutcome) {
+    let sw = Stopwatch::start();
+    let outcome = AccuGenPartition::default()
+        .run(base, dataset, weighting)
+        .expect("AccuGenPartition run failed");
+    let time_s = sw.elapsed_secs();
+    let report = evaluate_fn(dataset, truth, |o, a| outcome.result.prediction(o, a));
+    let row = AlgoRow {
+        algorithm: format!("AccuGenPartition ({weighting})"),
+        precision: report.precision,
+        recall: report.recall,
+        accuracy: report.accuracy,
+        f1: report.f1,
+        time_s,
+        iterations: None,
+        partition: Some(outcome.partition.to_string()),
+    };
+    (row, outcome)
+}
+
+/// Runs the AccuGenPartition oracle (scores partitions by ground truth).
+pub fn run_accugen_oracle(
+    base: &(dyn TruthDiscovery + Sync),
+    dataset: &Dataset,
+    truth: &GroundTruth,
+) -> (AlgoRow, AccuGenOutcome) {
+    let sw = Stopwatch::start();
+    let outcome = AccuGenPartition::default()
+        .run_oracle(base, dataset, truth)
+        .expect("AccuGenPartition oracle run failed");
+    let time_s = sw.elapsed_secs();
+    let report = evaluate_fn(dataset, truth, |o, a| outcome.result.prediction(o, a));
+    let row = AlgoRow {
+        algorithm: "AccuGenPartition (Oracle)".to_string(),
+        precision: report.precision,
+        recall: report.recall,
+        accuracy: report.accuracy,
+        f1: report.f1,
+        time_s,
+        iterations: None,
+        partition: Some(outcome.partition.to_string()),
+    };
+    (row, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_algorithms::MajorityVote;
+    use td_model::{DatasetBuilder, Value};
+
+    fn tiny() -> (Dataset, GroundTruth) {
+        let mut b = DatasetBuilder::new();
+        for o in 0..4 {
+            let obj = format!("o{o}");
+            for a in ["a0", "a1", "a2", "a3"] {
+                b.claim("good1", &obj, a, Value::int(o)).unwrap();
+                b.claim("good2", &obj, a, Value::int(o)).unwrap();
+                b.claim("bad", &obj, a, Value::int(100 + o)).unwrap();
+                b.truth(&obj, a, Value::int(o));
+            }
+        }
+        b.build_with_truth()
+    }
+
+    #[test]
+    fn standard_row_is_complete() {
+        let (d, t) = tiny();
+        let row = run_standard(&MajorityVote, &d, &t);
+        assert_eq!(row.algorithm, "MajorityVote");
+        assert!((row.accuracy - 1.0).abs() < 1e-9);
+        assert!(row.time_s >= 0.0);
+        assert_eq!(row.iterations, Some(1));
+        assert!(row.partition.is_none());
+    }
+
+    #[test]
+    fn tdac_row_carries_partition() {
+        let (d, t) = tiny();
+        let (row, outcome) = run_tdac(&MajorityVote, &d, &t, TdacConfig::default());
+        assert!(row.algorithm.starts_with("TD-AC"));
+        assert_eq!(row.partition.as_deref(), Some(outcome.partition.to_string().as_str()));
+        assert!(row.accuracy > 0.9);
+    }
+
+    #[test]
+    fn accugen_rows_have_no_iterations() {
+        let (d, t) = tiny();
+        let (row, out) = run_accugen(&MajorityVote, &d, &t, Weighting::Avg);
+        assert!(row.iterations.is_none());
+        assert_eq!(out.n_partitions, 15);
+        let (orow, _) = run_accugen_oracle(&MajorityVote, &d, &t);
+        assert!(orow.accuracy >= row.accuracy - 1e-9, "oracle is an upper bound here");
+    }
+}

@@ -1,0 +1,108 @@
+//! Experiment scaling: paper-size vs. test-size workloads.
+
+use serde::{Deserialize, Serialize};
+
+/// How big the generated workloads are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Scaled-down sizes for CI and integration tests (seconds).
+    Small,
+    /// A medium size that preserves all qualitative effects (tens of
+    /// seconds).
+    Medium,
+    /// The paper's exact sizes (minutes, dominated by AccuGenPartition —
+    /// which is the point).
+    Full,
+}
+
+impl Scale {
+    /// Objects per synthetic dataset (paper: 1000).
+    pub fn synthetic_objects(self) -> usize {
+        match self {
+            Scale::Small => 60,
+            Scale::Medium => 250,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// Students in the Exam simulation (paper: 248).
+    pub fn exam_students(self) -> usize {
+        match self {
+            Scale::Small => 60,
+            Scale::Medium => 120,
+            Scale::Full => 248,
+        }
+    }
+
+    /// Objects in the Stocks simulation (paper: 100).
+    pub fn stocks_objects(self) -> usize {
+        match self {
+            Scale::Small => 20,
+            Scale::Medium => 50,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Objects in the Flights simulation (paper: 100).
+    pub fn flights_objects(self) -> usize {
+        match self {
+            Scale::Small => 25,
+            Scale::Medium => 50,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Parses a CLI scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" | "s" => Some(Scale::Small),
+            "medium" | "m" => Some(Scale::Medium),
+            "full" | "f" | "paper" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Small => write!(f, "small"),
+            Scale::Medium => write!(f, "medium"),
+            Scale::Full => write!(f, "full"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("M"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Full));
+        assert_eq!(Scale::parse("gigantic"), None);
+    }
+
+    #[test]
+    fn full_scale_matches_paper() {
+        assert_eq!(Scale::Full.synthetic_objects(), 1000);
+        assert_eq!(Scale::Full.exam_students(), 248);
+        assert_eq!(Scale::Full.stocks_objects(), 100);
+        assert_eq!(Scale::Full.flights_objects(), 100);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Small.synthetic_objects() < Scale::Medium.synthetic_objects());
+        assert!(Scale::Medium.synthetic_objects() < Scale::Full.synthetic_objects());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for s in [Scale::Small, Scale::Medium, Scale::Full] {
+            assert_eq!(Scale::parse(&s.to_string()), Some(s));
+        }
+    }
+}

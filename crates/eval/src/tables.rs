@@ -1,0 +1,171 @@
+//! Rendering experiment results as aligned text tables (the shape of the
+//! paper's Tables 4, 6, 7, 9) and as JSON.
+
+use serde::{Deserialize, Serialize};
+
+use crate::runner::AlgoRow;
+
+/// One reproduced table (or sub-table) of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableResult {
+    /// Paper artifact id, e.g. `"table4a"`.
+    pub id: String,
+    /// Human title, e.g. `"Performance measures on DS1"`.
+    pub title: String,
+    /// The rows.
+    pub rows: Vec<AlgoRow>,
+}
+
+impl TableResult {
+    /// Looks up a row by its algorithm label.
+    pub fn row(&self, algorithm: &str) -> Option<&AlgoRow> {
+        self.rows.iter().find(|r| r.algorithm == algorithm)
+    }
+}
+
+/// Renders a table in the paper's column layout.
+pub fn render_table(table: &TableResult) -> String {
+    let mut headers = vec![
+        "Algorithm".to_string(),
+        "Precision".to_string(),
+        "Recall".to_string(),
+        "Accuracy".to_string(),
+        "F1-measure".to_string(),
+        "Time(s)".to_string(),
+        "#Iteration".to_string(),
+    ];
+    let with_partition = table.rows.iter().any(|r| r.partition.is_some());
+    if with_partition {
+        headers.push("Partition".to_string());
+    }
+
+    let mut grid: Vec<Vec<String>> = vec![headers];
+    for r in &table.rows {
+        let mut row = vec![
+            r.algorithm.clone(),
+            format!("{:.3}", r.precision),
+            format!("{:.3}", r.recall),
+            format!("{:.3}", r.accuracy),
+            format!("{:.3}", r.f1),
+            format_time(r.time_s),
+            r.iterations.map_or_else(|| "-".to_string(), |i| i.to_string()),
+        ];
+        if with_partition {
+            row.push(r.partition.clone().unwrap_or_else(|| "-".to_string()));
+        }
+        grid.push(row);
+    }
+
+    let n_cols = grid[0].len();
+    let widths: Vec<usize> = (0..n_cols)
+        .map(|c| grid.iter().map(|row| row[c].len()).max().unwrap_or(0))
+        .collect();
+
+    let mut out = String::new();
+    out.push_str(&format!("== {} — {} ==\n", table.id, table.title));
+    for (ri, row) in grid.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{cell:<width$}", width = widths[c]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Seconds with adaptive precision (paper prints integers above 1 s).
+fn format_time(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0}")
+    } else if t >= 1.0 {
+        format!("{t:.1}")
+    } else {
+        format!("{t:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableResult {
+        TableResult {
+            id: "table4a".into(),
+            title: "Performance measures on DS1".into(),
+            rows: vec![
+                AlgoRow {
+                    algorithm: "MajorityVote".into(),
+                    precision: 0.602,
+                    recall: 0.667,
+                    accuracy: 0.806,
+                    f1: 0.633,
+                    time_s: 0.4521,
+                    iterations: Some(1),
+                    partition: None,
+                },
+                AlgoRow {
+                    algorithm: "TD-AC (F=Accu)".into(),
+                    precision: 0.853,
+                    recall: 0.870,
+                    accuracy: 0.930,
+                    f1: 0.861,
+                    time_s: 3.2,
+                    iterations: Some(1),
+                    partition: Some("[(1,2),(4,6),(3,5)]".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_all_columns() {
+        let s = render_table(&sample());
+        assert!(s.contains("Algorithm"));
+        assert!(s.contains("Precision"));
+        assert!(s.contains("MajorityVote"));
+        assert!(s.contains("0.602"));
+        assert!(s.contains("[(1,2),(4,6),(3,5)]"));
+        assert!(s.contains("table4a"));
+    }
+
+    #[test]
+    fn columns_align() {
+        let s = render_table(&sample());
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator, two data rows (plus the title line).
+        assert_eq!(lines.len(), 5);
+        // The numeric columns start at the same offset in both data rows.
+        let header_prec = lines[1].find("Precision");
+        assert!(header_prec.is_some());
+    }
+
+    #[test]
+    fn time_formatting_is_adaptive() {
+        assert_eq!(format_time(0.1234), "0.123");
+        assert_eq!(format_time(12.34), "12.3");
+        assert_eq!(format_time(1234.6), "1235");
+    }
+
+    #[test]
+    fn row_lookup() {
+        let t = sample();
+        assert!(t.row("MajorityVote").is_some());
+        assert!(t.row("Nope").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TableResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows.len(), 2);
+        assert_eq!(back.id, "table4a");
+    }
+}

@@ -1,0 +1,400 @@
+//! Shared machinery for iterative truth-discovery algorithms: per-cell
+//! candidate grouping, numerically-stable softmax, convergence tests, and
+//! a precomputed per-view workspace.
+
+use td_model::{
+    AttributeId, Claim, DatasetView, ObjectId, SourceId, ValueId, ValueSimilarity,
+};
+
+/// One distinct claimed value of a cell with its supporter count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The distinct value.
+    pub value: ValueId,
+    /// Number of sources claiming it in this cell.
+    pub count: u32,
+    /// Working score (meaning is algorithm-specific).
+    pub score: f64,
+}
+
+/// Groups a cell's claims into distinct candidates.
+///
+/// `cands` receives one entry per distinct value (scores zeroed) and
+/// `claim_cand[i]` receives the candidate index of `claims[i]`. Both
+/// buffers are caller-owned scratch, reused across cells to avoid per-cell
+/// allocation. Candidates appear in order of first claim, and cells are
+/// small (at most one claim per source), so the quadratic scan is cheap
+/// and deterministic.
+pub fn group_candidates(claims: &[Claim], cands: &mut Vec<Candidate>, claim_cand: &mut Vec<u32>) {
+    cands.clear();
+    claim_cand.clear();
+    for claim in claims {
+        let idx = match cands.iter().position(|c| c.value == claim.value) {
+            Some(i) => {
+                cands[i].count += 1;
+                i
+            }
+            None => {
+                cands.push(Candidate {
+                    value: claim.value,
+                    count: 1,
+                    score: 0.0,
+                });
+                cands.len() - 1
+            }
+        };
+        claim_cand.push(idx as u32);
+    }
+}
+
+/// Index of the winning candidate: highest score, ties broken toward the
+/// smallest [`ValueId`] so results never depend on grouping order.
+pub fn argmax_candidate(cands: &[Candidate]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, c) in cands.iter().enumerate() {
+        match best {
+            None => best = Some(i),
+            Some(b) => {
+                let cb = &cands[b];
+                if c.score > cb.score || (c.score == cb.score && c.value < cb.value) {
+                    best = Some(i);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Replaces candidate scores (interpreted as log-odds / vote counts) by a
+/// probability distribution via the max-shifted softmax. Safe on extreme
+/// scores; an all-`-inf` input degrades to uniform.
+pub fn softmax_scores(cands: &mut [Candidate]) {
+    if cands.is_empty() {
+        return;
+    }
+    let max = cands
+        .iter()
+        .map(|c| c.score)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        let u = 1.0 / cands.len() as f64;
+        for c in cands.iter_mut() {
+            c.score = u;
+        }
+        return;
+    }
+    let mut sum = 0.0;
+    for c in cands.iter_mut() {
+        c.score = (c.score - max).exp();
+        sum += c.score;
+    }
+    for c in cands.iter_mut() {
+        c.score /= sum;
+    }
+}
+
+/// Cosine similarity between two equal-length vectors; `1.0` for two
+/// zero vectors (they are "as aligned as possible").
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Largest absolute element-wise difference between two vectors.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Clamps a probability-like score away from the 0 / 1 extremes so
+/// log-odds stay finite (Dong et al. and Yin et al. both require this).
+#[inline]
+pub fn clamp_unit(p: f64, eps: f64) -> f64 {
+    p.clamp(eps, 1.0 - eps)
+}
+
+/// Precomputed per-cell structure of a dataset view.
+///
+/// Iterative algorithms walk the same cells dozens of times; grouping
+/// claims into candidates and (optionally) evaluating pairwise value
+/// similarities once up front turns every subsequent iteration into pure
+/// arithmetic over flat vectors.
+#[derive(Debug, Clone)]
+pub struct CellData {
+    /// Object of the cell.
+    pub object: ObjectId,
+    /// Attribute of the cell.
+    pub attribute: AttributeId,
+    /// Distinct claimed values, in order of first claim.
+    pub values: Vec<ValueId>,
+    /// Supporter count per candidate (parallel to `values`).
+    pub counts: Vec<u32>,
+    /// Source of each claim of the cell.
+    pub claim_sources: Vec<SourceId>,
+    /// Candidate index of each claim (parallel to `claim_sources`).
+    pub claim_cand: Vec<u32>,
+    /// Row-major `k×k` pairwise similarity matrix over `values`; empty
+    /// when similarity was not requested.
+    pub sim: Vec<f64>,
+}
+
+impl CellData {
+    /// Number of distinct candidates.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Similarity between candidates `i` and `j` (requires the matrix).
+    #[inline]
+    pub fn sim(&self, i: usize, j: usize) -> f64 {
+        self.sim[i * self.values.len() + j]
+    }
+}
+
+/// A fully materialized working copy of a view, shared by all iterative
+/// algorithms in this crate.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// One entry per non-empty cell of the view.
+    pub cells: Vec<CellData>,
+    /// Global source-id-space size.
+    pub n_sources: usize,
+    /// Number of claims each source has inside the view.
+    pub claims_per_source: Vec<u32>,
+}
+
+impl Workspace {
+    /// Builds the workspace; pass a [`ValueSimilarity`] to also
+    /// precompute per-cell pairwise similarity matrices.
+    pub fn build(view: &DatasetView<'_>, similarity: Option<&ValueSimilarity>) -> Self {
+        let n_sources = view.n_sources();
+        let mut claims_per_source = vec![0u32; n_sources];
+        let mut cells = Vec::with_capacity(view.n_cells());
+        let mut cands: Vec<Candidate> = Vec::new();
+        let mut claim_cand: Vec<u32> = Vec::new();
+
+        for cell in view.cells() {
+            let claims = view.cell_claims(cell);
+            group_candidates(claims, &mut cands, &mut claim_cand);
+            let values: Vec<ValueId> = cands.iter().map(|c| c.value).collect();
+            let counts: Vec<u32> = cands.iter().map(|c| c.count).collect();
+            let claim_sources: Vec<SourceId> = claims.iter().map(|c| c.source).collect();
+            for s in &claim_sources {
+                claims_per_source[s.index()] += 1;
+            }
+            let sim = match similarity {
+                Some(vs) => {
+                    let k = values.len();
+                    let mut m = vec![0.0; k * k];
+                    for i in 0..k {
+                        m[i * k + i] = 1.0;
+                        for j in (i + 1)..k {
+                            let s = vs.sim(view.value(values[i]), view.value(values[j]));
+                            m[i * k + j] = s;
+                            m[j * k + i] = s;
+                        }
+                    }
+                    m
+                }
+                None => Vec::new(),
+            };
+            cells.push(CellData {
+                object: cell.object,
+                attribute: cell.attribute,
+                values,
+                counts,
+                claim_sources,
+                claim_cand: claim_cand.clone(),
+                sim,
+            });
+        }
+
+        Self {
+            cells,
+            n_sources,
+            claims_per_source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_model::{AttributeId, ObjectId, SourceId};
+
+    fn claim(s: u32, v: u32) -> Claim {
+        Claim::new(
+            SourceId::new(s),
+            ObjectId::new(0),
+            AttributeId::new(0),
+            ValueId::new(v),
+        )
+    }
+
+    #[test]
+    fn grouping_counts_supporters() {
+        let claims = vec![claim(0, 5), claim(1, 7), claim(2, 5), claim(3, 5)];
+        let mut cands = Vec::new();
+        let mut map = Vec::new();
+        group_candidates(&claims, &mut cands, &mut map);
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].value, ValueId::new(5));
+        assert_eq!(cands[0].count, 3);
+        assert_eq!(cands[1].value, ValueId::new(7));
+        assert_eq!(cands[1].count, 1);
+        assert_eq!(map, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn grouping_reuses_buffers() {
+        let mut cands = vec![Candidate {
+            value: ValueId::new(9),
+            count: 99,
+            score: 1.0,
+        }];
+        let mut map = vec![42];
+        group_candidates(&[claim(0, 1)], &mut cands, &mut map);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].count, 1);
+        assert_eq!(cands[0].score, 0.0);
+        assert_eq!(map, vec![0]);
+    }
+
+    #[test]
+    fn argmax_prefers_score_then_small_id() {
+        let mut cands = vec![
+            Candidate {
+                value: ValueId::new(3),
+                count: 1,
+                score: 0.5,
+            },
+            Candidate {
+                value: ValueId::new(1),
+                count: 1,
+                score: 0.5,
+            },
+            Candidate {
+                value: ValueId::new(2),
+                count: 1,
+                score: 0.4,
+            },
+        ];
+        assert_eq!(argmax_candidate(&cands), Some(1), "tie toward smaller id");
+        cands[2].score = 0.9;
+        assert_eq!(argmax_candidate(&cands), Some(2));
+        assert_eq!(argmax_candidate(&[]), None);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let mut cands = vec![
+            Candidate {
+                value: ValueId::new(0),
+                count: 1,
+                score: 1000.0,
+            },
+            Candidate {
+                value: ValueId::new(1),
+                count: 1,
+                score: 998.0,
+            },
+        ];
+        softmax_scores(&mut cands);
+        let sum: f64 = cands.iter().map(|c| c.score).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(cands[0].score > cands[1].score);
+        assert!(cands.iter().all(|c| c.score.is_finite()));
+    }
+
+    #[test]
+    fn softmax_handles_degenerate_inputs() {
+        let mut empty: Vec<Candidate> = vec![];
+        softmax_scores(&mut empty);
+        let mut inf = vec![
+            Candidate {
+                value: ValueId::new(0),
+                count: 1,
+                score: f64::NEG_INFINITY,
+            },
+            Candidate {
+                value: ValueId::new(1),
+                count: 1,
+                score: f64::NEG_INFINITY,
+            },
+        ];
+        softmax_scores(&mut inf);
+        assert!((inf[0].score - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_behaviour() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0], &[0.0]), 1.0);
+        assert_eq!(cosine_similarity(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_peak() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 1.0]), 1.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn clamp_unit_bounds() {
+        assert_eq!(clamp_unit(1.5, 1e-6), 1.0 - 1e-6);
+        assert_eq!(clamp_unit(-0.2, 1e-6), 1e-6);
+        assert_eq!(clamp_unit(0.5, 1e-6), 0.5);
+    }
+
+    #[test]
+    fn workspace_mirrors_view_structure() {
+        use td_model::{DatasetBuilder, Value, ValueSimilarity};
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a", Value::text("x")).unwrap();
+        b.claim("s2", "o", "a", Value::text("x")).unwrap();
+        b.claim("s3", "o", "a", Value::text("y")).unwrap();
+        b.claim("s1", "o", "b", Value::int(1)).unwrap();
+        let d = b.build();
+        let ws = Workspace::build(&d.view_all(), None);
+        assert_eq!(ws.cells.len(), 2);
+        assert_eq!(ws.n_sources, 3);
+        let cell_a = ws
+            .cells
+            .iter()
+            .find(|c| c.attribute == d.attribute_id("a").unwrap())
+            .unwrap();
+        assert_eq!(cell_a.k(), 2);
+        assert_eq!(cell_a.counts, vec![2, 1]);
+        assert_eq!(cell_a.claim_sources.len(), 3);
+        assert!(cell_a.sim.is_empty());
+        let s1 = d.source_id("s1").unwrap();
+        assert_eq!(ws.claims_per_source[s1.index()], 2);
+
+        let ws_sim = Workspace::build(&d.view_all(), Some(&ValueSimilarity::default()));
+        let cell_a = ws_sim
+            .cells
+            .iter()
+            .find(|c| c.attribute == d.attribute_id("a").unwrap())
+            .unwrap();
+        assert_eq!(cell_a.sim.len(), 4);
+        assert_eq!(cell_a.sim(0, 0), 1.0);
+        assert_eq!(cell_a.sim(0, 1), cell_a.sim(1, 0));
+    }
+}

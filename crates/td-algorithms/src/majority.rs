@@ -1,0 +1,151 @@
+//! Majority voting — the simplest baseline and TD-AC's default reference
+//! algorithm for building attribute truth vectors.
+
+use td_model::DatasetView;
+
+use crate::common::{argmax_candidate, group_candidates, Candidate};
+use crate::result::TruthResult;
+use crate::traits::TruthDiscovery;
+
+/// Per-cell plurality vote.
+///
+/// Each cell's winner is the value claimed by the most sources (ties
+/// toward the smallest value id, making the algorithm deterministic); its
+/// confidence is the winner's vote share. A source's reported trust is
+/// the fraction of its claims that agree with the local majority — not
+/// used by the vote itself, but handy as an initializer and for
+/// diagnostics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVote;
+
+impl TruthDiscovery for MajorityVote {
+    fn name(&self) -> &'static str {
+        "MajorityVote"
+    }
+
+    fn discover(&self, view: &DatasetView<'_>) -> TruthResult {
+        let n_sources = view.n_sources();
+        let mut result = TruthResult::with_sources(n_sources, 0.0);
+        result.iterations = 1;
+
+        let mut agree = vec![0u64; n_sources];
+        let mut total = vec![0u64; n_sources];
+        let mut cands: Vec<Candidate> = Vec::new();
+        let mut claim_cand: Vec<u32> = Vec::new();
+
+        for cell in view.cells() {
+            let claims = view.cell_claims(cell);
+            group_candidates(claims, &mut cands, &mut claim_cand);
+            for c in cands.iter_mut() {
+                c.score = c.count as f64;
+            }
+            let Some(win) = argmax_candidate(&cands) else {
+                continue;
+            };
+            let winner = cands[win];
+            let share = winner.count as f64 / claims.len() as f64;
+            result.set_prediction(cell.object, cell.attribute, winner.value, share);
+            for claim in claims {
+                let s = claim.source.index();
+                total[s] += 1;
+                if claim.value == winner.value {
+                    agree[s] += 1;
+                }
+            }
+        }
+
+        for s in 0..n_sources {
+            result.source_trust[s] = if total[s] == 0 {
+                0.5
+            } else {
+                agree[s] as f64 / total[s] as f64
+            };
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_model::{DatasetBuilder, Value};
+
+    #[test]
+    fn plurality_wins() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a", Value::text("x")).unwrap();
+        b.claim("s2", "o", "a", Value::text("x")).unwrap();
+        b.claim("s3", "o", "a", Value::text("y")).unwrap();
+        let d = b.build();
+        let r = MajorityVote.discover(&d.view_all());
+        let o = d.object_id("o").unwrap();
+        let a = d.attribute_id("a").unwrap();
+        assert_eq!(r.prediction(o, a), Some(d.value_id(&Value::text("x")).unwrap()));
+        assert!((r.confidence(o, a).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn tie_breaks_to_first_interned_value() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a", Value::text("x")).unwrap(); // interned first
+        b.claim("s2", "o", "a", Value::text("y")).unwrap();
+        let d = b.build();
+        let r = MajorityVote.discover(&d.view_all());
+        let o = d.object_id("o").unwrap();
+        let a = d.attribute_id("a").unwrap();
+        assert_eq!(r.prediction(o, a), Some(d.value_id(&Value::text("x")).unwrap()));
+    }
+
+    #[test]
+    fn source_trust_is_majority_agreement_rate() {
+        let mut b = DatasetBuilder::new();
+        // Two cells; s3 agrees with the majority once out of twice.
+        b.claim("s1", "o", "a1", Value::int(1)).unwrap();
+        b.claim("s2", "o", "a1", Value::int(1)).unwrap();
+        b.claim("s3", "o", "a1", Value::int(2)).unwrap();
+        b.claim("s1", "o", "a2", Value::int(5)).unwrap();
+        b.claim("s2", "o", "a2", Value::int(5)).unwrap();
+        b.claim("s3", "o", "a2", Value::int(5)).unwrap();
+        let d = b.build();
+        let r = MajorityVote.discover(&d.view_all());
+        let s3 = d.source_id("s3").unwrap();
+        assert!((r.source_trust[s3.index()] - 0.5).abs() < 1e-12);
+        let s1 = d.source_id("s1").unwrap();
+        assert!((r.source_trust[s1.index()] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_sources_get_neutral_trust() {
+        let mut b = DatasetBuilder::new();
+        b.source("idle");
+        b.claim("busy", "o", "a", Value::int(1)).unwrap();
+        let d = b.build();
+        let r = MajorityVote.discover(&d.view_all());
+        let idle = d.source_id("idle").unwrap();
+        assert_eq!(r.source_trust[idle.index()], 0.5);
+    }
+
+    #[test]
+    fn respects_view_restriction() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a1", Value::int(1)).unwrap();
+        b.claim("s1", "o", "a2", Value::int(2)).unwrap();
+        let d = b.build();
+        let a1 = d.attribute_id("a1").unwrap();
+        let a2 = d.attribute_id("a2").unwrap();
+        let r = MajorityVote.discover(&d.view_of(&[a1]));
+        let o = d.object_id("o").unwrap();
+        assert!(r.prediction(o, a1).is_some());
+        assert!(r.prediction(o, a2).is_none());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn empty_view_yields_empty_result() {
+        let d = DatasetBuilder::new().build();
+        let r = MajorityVote.discover(&d.view_all());
+        assert!(r.is_empty());
+        assert_eq!(r.iterations, 1);
+    }
+}

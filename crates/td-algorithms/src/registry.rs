@@ -1,0 +1,99 @@
+//! Name-based algorithm lookup for CLIs and experiment configs.
+
+use crate::accu::{Accu, AccuSim, Depen};
+use crate::crh::Crh;
+use crate::estimates::{ThreeEstimates, TwoEstimates};
+use crate::fixpoint::{AverageLog, Investment, PooledInvestment, Sums};
+use crate::majority::MajorityVote;
+use crate::traits::TruthDiscovery;
+use crate::truthfinder::TruthFinder;
+
+/// Instantiates an algorithm (with default hyper-parameters) from its
+/// paper-style name. Matching is case-insensitive and tolerant of the
+/// aliases seen in the literature (`"vote"`, `"2-estimates"`, …).
+pub fn algorithm_by_name(name: &str) -> Option<Box<dyn TruthDiscovery + Send + Sync>> {
+    let n = name.to_ascii_lowercase();
+    Some(match n.as_str() {
+        "majorityvote" | "majority" | "vote" | "mv" => Box::new(MajorityVote),
+        "truthfinder" | "tf" => Box::new(TruthFinder::default()),
+        "depen" | "dep" => Box::new(Depen::default()),
+        "accu" | "accuracy" => Box::new(Accu::default()),
+        "accusim" | "accu-sim" => Box::new(AccuSim::default()),
+        "sums" | "hubs" => Box::new(Sums::default()),
+        "averagelog" | "avglog" | "average-log" => Box::new(AverageLog::default()),
+        "investment" | "invest" => Box::new(Investment::default()),
+        "pooledinvestment" | "pooled" | "pooled-investment" => {
+            Box::new(PooledInvestment::default())
+        }
+        "crh" | "conflict-resolution" => Box::new(Crh::default()),
+        "2-estimates" | "twoestimates" | "2est" => Box::new(TwoEstimates::default()),
+        "3-estimates" | "threeestimates" | "3est" => Box::new(ThreeEstimates::default()),
+        _ => return None,
+    })
+}
+
+/// The five standard algorithms the paper evaluates (§4.1), in its order.
+pub fn standard_algorithms() -> Vec<Box<dyn TruthDiscovery + Send + Sync>> {
+    vec![
+        Box::new(MajorityVote),
+        Box::new(TruthFinder::default()),
+        Box::new(Depen::default()),
+        Box::new(Accu::default()),
+        Box::new(AccuSim::default()),
+    ]
+}
+
+/// Every algorithm in this crate, standard five first.
+pub fn all_algorithms() -> Vec<Box<dyn TruthDiscovery + Send + Sync>> {
+    let mut v = standard_algorithms();
+    v.push(Box::new(Sums::default()));
+    v.push(Box::new(AverageLog::default()));
+    v.push(Box::new(Investment::default()));
+    v.push(Box::new(PooledInvestment::default()));
+    v.push(Box::new(Crh::default()));
+    v.push(Box::new(TwoEstimates::default()));
+    v.push(Box::new(ThreeEstimates::default()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive_and_aliased() {
+        assert_eq!(algorithm_by_name("TruthFinder").unwrap().name(), "TruthFinder");
+        assert_eq!(algorithm_by_name("accu").unwrap().name(), "Accu");
+        assert_eq!(algorithm_by_name("VOTE").unwrap().name(), "MajorityVote");
+        assert_eq!(algorithm_by_name("2est").unwrap().name(), "2-Estimates");
+        assert!(algorithm_by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn standard_set_matches_paper_order() {
+        let names: Vec<_> = standard_algorithms().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["MajorityVote", "TruthFinder", "DEPEN", "Accu", "AccuSim"]
+        );
+    }
+
+    #[test]
+    fn all_algorithms_have_unique_names() {
+        let algos = all_algorithms();
+        let mut names: Vec<_> = algos.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 12);
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12, "duplicate algorithm names");
+    }
+
+    #[test]
+    fn every_registered_name_roundtrips() {
+        for algo in all_algorithms() {
+            let again = algorithm_by_name(algo.name())
+                .unwrap_or_else(|| panic!("{} not resolvable by its own name", algo.name()));
+            assert_eq!(again.name(), algo.name());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The output of a truth-discovery run.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use td_model::{AttributeId, ObjectId, ValueId};
+
+/// The complete outcome of one truth-discovery run over a dataset view.
+///
+/// Besides the headline prediction per cell, the result carries the
+/// selected value's confidence, the final per-source trust vector (in the
+/// *global* source id space — TD-AC relies on this to merge per-partition
+/// results), and the number of outer iterations performed (the paper's
+/// `#Iteration` column).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "TruthResultRepr", into = "TruthResultRepr")]
+pub struct TruthResult {
+    predictions: HashMap<(ObjectId, AttributeId), (ValueId, f64)>,
+    /// Final trust / accuracy score per source, indexed by `SourceId`.
+    pub source_trust: Vec<f64>,
+    /// Outer iterations until convergence (1 for single-pass algorithms).
+    pub iterations: u32,
+}
+
+/// JSON-friendly shadow of [`TruthResult`] (tuple map keys are not
+/// representable in JSON).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TruthResultRepr {
+    /// `(object, attribute, value, confidence)` rows, sorted by cell.
+    pub predictions: Vec<(ObjectId, AttributeId, ValueId, f64)>,
+    /// See [`TruthResult::source_trust`].
+    pub source_trust: Vec<f64>,
+    /// See [`TruthResult::iterations`].
+    pub iterations: u32,
+}
+
+impl From<TruthResultRepr> for TruthResult {
+    fn from(r: TruthResultRepr) -> Self {
+        TruthResult {
+            predictions: r
+                .predictions
+                .into_iter()
+                .map(|(o, a, v, c)| ((o, a), (v, c)))
+                .collect(),
+            source_trust: r.source_trust,
+            iterations: r.iterations,
+        }
+    }
+}
+
+impl From<TruthResult> for TruthResultRepr {
+    fn from(r: TruthResult) -> Self {
+        let mut predictions: Vec<_> = r
+            .predictions
+            .into_iter()
+            .map(|((o, a), (v, c))| (o, a, v, c))
+            .collect();
+        predictions.sort_by_key(|&(o, a, _, _)| (o, a));
+        TruthResultRepr {
+            predictions,
+            source_trust: r.source_trust,
+            iterations: r.iterations,
+        }
+    }
+}
+
+impl TruthResult {
+    /// Creates an empty result with `n_sources` default-trust slots.
+    pub fn with_sources(n_sources: usize, default_trust: f64) -> Self {
+        Self {
+            predictions: HashMap::new(),
+            source_trust: vec![default_trust; n_sources],
+            iterations: 0,
+        }
+    }
+
+    /// Records the selected value and its confidence for a cell.
+    pub fn set_prediction(
+        &mut self,
+        object: ObjectId,
+        attribute: AttributeId,
+        value: ValueId,
+        confidence: f64,
+    ) {
+        self.predictions.insert((object, attribute), (value, confidence));
+    }
+
+    /// The selected value for a cell, if any.
+    pub fn prediction(&self, object: ObjectId, attribute: AttributeId) -> Option<ValueId> {
+        self.predictions.get(&(object, attribute)).map(|&(v, _)| v)
+    }
+
+    /// The confidence of the selected value for a cell, if any.
+    pub fn confidence(&self, object: ObjectId, attribute: AttributeId) -> Option<f64> {
+        self.predictions.get(&(object, attribute)).map(|&(_, c)| c)
+    }
+
+    /// Number of cells with a prediction.
+    pub fn len(&self) -> usize {
+        self.predictions.len()
+    }
+
+    /// Whether no prediction was made.
+    pub fn is_empty(&self) -> bool {
+        self.predictions.is_empty()
+    }
+
+    /// Iterates `(object, attribute, value, confidence)` (unspecified
+    /// order).
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, AttributeId, ValueId, f64)> + '_ {
+        self.predictions
+            .iter()
+            .map(|(&(o, a), &(v, c))| (o, a, v, c))
+    }
+
+    /// Merges another result into this one — the aggregation step of
+    /// TD-AC (Algorithm 1, lines 20-24). Predictions are unioned (the
+    /// partitions are disjoint so no cell can collide; on a collision the
+    /// later result wins). Source trust is averaged element-wise and the
+    /// iteration counter takes the max, mirroring "one logical pass".
+    pub fn absorb(&mut self, other: &TruthResult) {
+        for (&(o, a), &(v, c)) in &other.predictions {
+            self.predictions.insert((o, a), (v, c));
+        }
+        if self.source_trust.len() == other.source_trust.len() {
+            for (t, &u) in self.source_trust.iter_mut().zip(&other.source_trust) {
+                *t = (*t + u) / 2.0;
+            }
+        } else if self.source_trust.is_empty() {
+            self.source_trust = other.source_trust.clone();
+        }
+        self.iterations = self.iterations.max(other.iterations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oa(o: u32, a: u32) -> (ObjectId, AttributeId) {
+        (ObjectId::new(o), AttributeId::new(a))
+    }
+
+    #[test]
+    fn set_and_get_predictions() {
+        let mut r = TruthResult::with_sources(2, 0.8);
+        let (o, a) = oa(0, 0);
+        assert!(r.is_empty());
+        r.set_prediction(o, a, ValueId::new(7), 0.9);
+        assert_eq!(r.prediction(o, a), Some(ValueId::new(7)));
+        assert_eq!(r.confidence(o, a), Some(0.9));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.source_trust, vec![0.8, 0.8]);
+    }
+
+    #[test]
+    fn absorb_unions_disjoint_predictions() {
+        let mut a = TruthResult::with_sources(2, 0.5);
+        a.set_prediction(ObjectId::new(0), AttributeId::new(0), ValueId::new(1), 1.0);
+        a.iterations = 3;
+        let mut b = TruthResult::with_sources(2, 1.0);
+        b.set_prediction(ObjectId::new(0), AttributeId::new(1), ValueId::new(2), 0.5);
+        b.iterations = 5;
+        a.absorb(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.source_trust, vec![0.75, 0.75]);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut r = TruthResult::with_sources(0, 0.0);
+        r.set_prediction(ObjectId::new(1), AttributeId::new(2), ValueId::new(3), 0.4);
+        let rows: Vec<_> = r.iter().collect();
+        assert_eq!(
+            rows,
+            vec![(ObjectId::new(1), AttributeId::new(2), ValueId::new(3), 0.4)]
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! The algorithm abstraction TD-AC composes over.
+
+use td_model::DatasetView;
+
+use crate::result::TruthResult;
+
+/// A truth-discovery algorithm: given conflicting claims, select the true
+/// value of every `(object, attribute)` cell.
+///
+/// Implementations must be:
+///
+/// * **View-polymorphic** — operate on any [`DatasetView`], whether the
+///   whole dataset or one attribute cluster of a TD-AC partition;
+/// * **Deterministic** — identical inputs produce identical outputs
+///   (required for reproducible experiments and for TD-AC's truth-vector
+///   construction to be stable);
+/// * **Global-id-preserving** — `source_trust` is indexed by the parent
+///   dataset's `SourceId` space even when the view restricts attributes.
+pub trait TruthDiscovery {
+    /// Human-readable algorithm name as it appears in the paper's tables
+    /// (e.g. `"TruthFinder"`, `"Accu"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the algorithm over `view` and returns its predictions.
+    fn discover(&self, view: &DatasetView<'_>) -> TruthResult;
+}
+
+// Allow passing algorithms around as trait objects (the TD-AC API takes
+// `&dyn TruthDiscovery` so callers can pick the base algorithm at runtime,
+// exactly like the paper's `F` parameter).
+impl<T: TruthDiscovery + ?Sized> TruthDiscovery for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn discover(&self, view: &DatasetView<'_>) -> TruthResult {
+        (**self).discover(view)
+    }
+}
+
+impl<T: TruthDiscovery + ?Sized> TruthDiscovery for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn discover(&self, view: &DatasetView<'_>) -> TruthResult {
+        (**self).discover(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::majority::MajorityVote;
+    use td_model::{DatasetBuilder, Value};
+
+    #[test]
+    fn trait_objects_and_references_work() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s", "o", "a", Value::int(1)).unwrap();
+        let d = b.build();
+        let algo = MajorityVote;
+        let by_ref: &dyn TruthDiscovery = &algo;
+        let boxed: Box<dyn TruthDiscovery> = Box::new(MajorityVote);
+        assert_eq!(by_ref.name(), "MajorityVote");
+        assert_eq!(boxed.name(), "MajorityVote");
+        assert_eq!(by_ref.discover(&d.view_all()).len(), 1);
+        assert_eq!(boxed.discover(&d.view_all()).len(), 1);
+        // &T blanket impl:
+        assert_eq!(algo.discover(&d.view_all()).len(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Behavioral conformance suite: scenarios every truth-discovery
+//! algorithm in the crate must handle identically at the contract level
+//! (and sensibly at the semantic level).
+
+use td_algorithms::registry::all_algorithms;
+use td_algorithms::{Dart, Ensemble, MajorityVote, TruthDiscovery, TruthFinder};
+use td_model::{Dataset, DatasetBuilder, Value};
+
+/// Everything under test: the 12 registry algorithms plus the composite
+/// ones that are not name-registered.
+fn roster() -> Vec<Box<dyn TruthDiscovery + Send + Sync>> {
+    let mut v = all_algorithms();
+    v.push(Box::new(Dart::default()));
+    v.push(Box::new(Ensemble::new(vec![
+        Box::new(MajorityVote),
+        Box::new(TruthFinder::default()),
+    ])));
+    v
+}
+
+#[test]
+fn unanimous_consensus_is_always_respected() {
+    // Every source agrees on every cell: no algorithm may deviate.
+    let mut b = DatasetBuilder::new();
+    for o in 0..3 {
+        let obj = format!("o{o}");
+        for a in ["a", "b"] {
+            for s in ["s1", "s2", "s3"] {
+                b.claim(s, &obj, a, Value::int(o * 10)).unwrap();
+            }
+        }
+    }
+    let d = b.build();
+    for algo in roster() {
+        let r = algo.discover(&d.view_all());
+        for o in 0..3 {
+            let obj = d.object_id(&format!("o{o}")).unwrap();
+            for a in ["a", "b"] {
+                let attr = d.attribute_id(a).unwrap();
+                assert_eq!(
+                    r.prediction(obj, attr),
+                    d.value_id(&Value::int(o * 10)),
+                    "{} broke a unanimous consensus",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_source_claims_are_taken_at_face_value() {
+    let mut b = DatasetBuilder::new();
+    b.claim("solo", "o", "a", Value::text("only-answer")).unwrap();
+    let d = b.build();
+    for algo in roster() {
+        let r = algo.discover(&d.view_all());
+        let o = d.object_id("o").unwrap();
+        let a = d.attribute_id("a").unwrap();
+        assert_eq!(
+            r.prediction(o, a),
+            d.value_id(&Value::text("only-answer")),
+            "{}",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn overwhelming_majorities_win_everywhere() {
+    // 9 agreeing sources vs 1 dissenter on every cell.
+    let mut b = DatasetBuilder::new();
+    for o in 0..4 {
+        let obj = format!("o{o}");
+        for a in ["x", "y"] {
+            for s in 0..9 {
+                b.claim(&format!("s{s}"), &obj, a, Value::int(o)).unwrap();
+            }
+            b.claim("dissenter", &obj, a, Value::int(999)).unwrap();
+        }
+    }
+    let d = b.build();
+    for algo in roster() {
+        let r = algo.discover(&d.view_all());
+        for o in 0..4 {
+            let obj = d.object_id(&format!("o{o}")).unwrap();
+            for a in ["x", "y"] {
+                let attr = d.attribute_id(a).unwrap();
+                assert_eq!(
+                    r.prediction(obj, attr),
+                    d.value_id(&Value::int(o)),
+                    "{} overruled a 9:1 majority",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn results_are_stable_across_repeated_runs() {
+    let d = mixed_dataset();
+    for algo in roster() {
+        let r1 = algo.discover(&d.view_all());
+        let r2 = algo.discover(&d.view_all());
+        assert_eq!(r1.len(), r2.len(), "{}", algo.name());
+        assert_eq!(r1.iterations, r2.iterations, "{}", algo.name());
+        assert_eq!(r1.source_trust, r2.source_trust, "{}", algo.name());
+        for cell in d.cells() {
+            assert_eq!(
+                r1.prediction(cell.object, cell.attribute),
+                r2.prediction(cell.object, cell.attribute),
+                "{}",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn attribute_views_restrict_prediction_scope() {
+    let d = mixed_dataset();
+    let keep: Vec<_> = d.attribute_ids().take(1).collect();
+    let view = d.view_of(&keep);
+    for algo in roster() {
+        let r = algo.discover(&view);
+        for (o, a, _, _) in r.iter() {
+            assert_eq!(a, keep[0], "{} predicted outside its view", algo.name());
+            let _ = o;
+        }
+        assert_eq!(
+            r.source_trust.len(),
+            d.n_sources(),
+            "{} lost the global source space",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn confidences_and_trust_are_finite_unit_interval() {
+    let d = mixed_dataset();
+    for algo in roster() {
+        let r = algo.discover(&d.view_all());
+        for (_, _, _, c) in r.iter() {
+            assert!(c.is_finite() && (0.0..=1.0 + 1e-9).contains(&c), "{}", algo.name());
+        }
+        for &t in &r.source_trust {
+            assert!(t.is_finite() && (-1e-9..=1.0 + 1e-9).contains(&t), "{}", algo.name());
+        }
+    }
+}
+
+/// Mixed workload: honest majority, one liar, one sparse specialist,
+/// text + int values, and a cell with a unanimous answer.
+fn mixed_dataset() -> Dataset {
+    let mut b = DatasetBuilder::new();
+    for o in 0..5 {
+        let obj = format!("o{o}");
+        b.claim("good1", &obj, "num", Value::int(o)).unwrap();
+        b.claim("good2", &obj, "num", Value::int(o)).unwrap();
+        b.claim("liar", &obj, "num", Value::int(o + 50)).unwrap();
+        b.claim("good1", &obj, "label", Value::text(format!("name{o}"))).unwrap();
+        b.claim("good2", &obj, "label", Value::text(format!("name{o}"))).unwrap();
+        b.claim("liar", &obj, "label", Value::text("junk")).unwrap();
+        if o % 2 == 0 {
+            b.claim("specialist", &obj, "num", Value::int(o)).unwrap();
+        }
+        for s in ["good1", "good2", "liar", "specialist"] {
+            b.claim(s, &obj, "unanimous", Value::bool(true)).unwrap();
+        }
+    }
+    b.build()
+}

@@ -1,0 +1,143 @@
+//! Binary confusion counts and the derived measures.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated binary confusion counts over claimed-value instances.
+///
+/// See the crate docs for what constitutes an instance. All derived
+/// measures return `0.0` on an empty denominator (the standard convention
+/// for degenerate splits) so callers never see NaN.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives: selected values that are the ground truth.
+    pub tp: u64,
+    /// False positives: selected values that are not the ground truth.
+    pub fp: u64,
+    /// False negatives: claimed ground-truth values that were not selected.
+    pub fn_: u64,
+    /// True negatives: unselected values that are indeed not the truth.
+    pub tn: u64,
+}
+
+impl Confusion {
+    /// An all-zero confusion.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of instances.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// `TP / (TP + FP)` — how often a selected value is true.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// `TP / (TP + FN)` — how often a claimed truth is selected.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// `(TP + TN) / total` — overall labeling accuracy.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// `FP + FN` as a fraction of total — the complement of accuracy.
+    pub fn error_rate(&self) -> f64 {
+        ratio(self.fp + self.fn_, self.total())
+    }
+
+    /// Merges another confusion into this one (e.g. per-partition results
+    /// of a TD-AC run, or per-attribute breakdowns).
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(tp: u64, fp: u64, fn_: u64, tn: u64) -> Confusion {
+        Confusion { tp, fp, fn_, tn }
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let m = c(10, 0, 0, 30);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.error_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_counts_yield_zero_not_nan() {
+        let m = Confusion::new();
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // 6 instances: 2 TP, 1 FP, 1 FN, 2 TN.
+        let m = c(2, 1, 1, 2);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.error_rate() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let m = c(1, 1, 3, 0); // p = 0.5, r = 0.25
+        let expect = 2.0 * 0.5 * 0.25 / 0.75;
+        assert!((m.f1() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = c(1, 2, 3, 4);
+        a.merge(&c(10, 20, 30, 40));
+        assert_eq!(a, c(11, 22, 33, 44));
+        assert_eq!(a.total(), 110);
+    }
+
+    #[test]
+    fn accuracy_exceeds_precision_with_many_true_negatives() {
+        // Mirrors the paper's tables: value-level TN inflate accuracy above
+        // precision on cells with many distinct false candidates.
+        let m = c(60, 40, 20, 300);
+        assert!(m.accuracy() > m.precision());
+        assert!(m.recall() > m.precision());
+    }
+}

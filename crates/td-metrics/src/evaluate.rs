@@ -1,0 +1,273 @@
+//! Scoring a prediction set against ground truth.
+
+use std::collections::HashMap;
+
+use td_model::{AttributeId, Dataset, DatasetView, GroundTruth, ObjectId, ValueId};
+
+use crate::confusion::Confusion;
+use crate::report::EvalReport;
+
+/// A prediction set: the value an algorithm selected as true per cell.
+pub type Predictions = HashMap<(ObjectId, AttributeId), ValueId>;
+
+/// Evaluates `predictions` over every cell of `dataset` that has a known
+/// ground truth.
+///
+/// See the crate docs for the instance-level counting semantics. Cells
+/// without a known truth are skipped; cells the algorithm abstained on
+/// (no prediction) contribute an FN when the truth was claimed.
+pub fn evaluate(dataset: &Dataset, truth: &GroundTruth, predictions: &Predictions) -> EvalReport {
+    evaluate_fn(dataset, truth, |o, a| predictions.get(&(o, a)).copied())
+}
+
+/// Like [`evaluate`] but with a prediction lookup closure, avoiding an
+/// intermediate map when the caller already holds a richer result type.
+pub fn evaluate_fn(
+    dataset: &Dataset,
+    truth: &GroundTruth,
+    lookup: impl Fn(ObjectId, AttributeId) -> Option<ValueId>,
+) -> EvalReport {
+    evaluate_view(&dataset.view_all(), truth, lookup)
+}
+
+/// Evaluates over the cells of a [`DatasetView`] only — used to score a
+/// single attribute cluster of a TD-AC run in isolation.
+pub fn evaluate_view(
+    view: &DatasetView<'_>,
+    truth: &GroundTruth,
+    lookup: impl Fn(ObjectId, AttributeId) -> Option<ValueId>,
+) -> EvalReport {
+    let mut conf = Confusion::new();
+    let mut n_cells = 0u64;
+    let mut n_correct = 0u64;
+    // Reused scratch for per-cell distinct values; cells are small.
+    let mut distinct: Vec<ValueId> = Vec::new();
+
+    for cell in view.cells() {
+        let Some(true_value) = truth.get(cell.object, cell.attribute) else {
+            continue;
+        };
+        n_cells += 1;
+        distinct.clear();
+        for claim in view.cell_claims(cell) {
+            if !distinct.contains(&claim.value) {
+                distinct.push(claim.value);
+            }
+        }
+        let predicted = lookup(cell.object, cell.attribute);
+        if predicted == Some(true_value) {
+            n_correct += 1;
+        }
+        let mut truth_seen = false;
+        for &v in &distinct {
+            let actual = v == true_value;
+            truth_seen |= actual;
+            match (predicted == Some(v), actual) {
+                (true, true) => conf.tp += 1,
+                (true, false) => conf.fp += 1,
+                (false, true) => conf.fn_ += 1,
+                (false, false) => conf.tn += 1,
+            }
+        }
+        // A prediction outside the claimed candidates is still a
+        // classification act: right if it names the (unclaimed) truth,
+        // wrong otherwise.
+        if let Some(p) = predicted {
+            if !distinct.contains(&p) {
+                if p == true_value {
+                    conf.tp += 1;
+                } else {
+                    conf.fp += 1;
+                    // The unclaimed-truth case adds no FN (see crate docs);
+                    // but if the truth *was* claimed it was already counted.
+                }
+            }
+        }
+        let _ = truth_seen;
+    }
+
+    EvalReport::from_confusion(conf, n_cells, n_correct)
+}
+
+/// Per-attribute evaluation breakdown: one report per attribute with at
+/// least one truth-bearing cell, keyed by attribute id.
+///
+/// This is the diagnostic view behind TD-AC's analysis: comparing the
+/// per-attribute reports of a global run against a partitioned run shows
+/// *which* attribute group the global trust estimate sacrificed.
+pub fn evaluate_per_attribute(
+    dataset: &Dataset,
+    truth: &GroundTruth,
+    lookup: impl Fn(ObjectId, AttributeId) -> Option<ValueId>,
+) -> Vec<(AttributeId, EvalReport)> {
+    let mut out = Vec::new();
+    for a in dataset.attribute_ids() {
+        let view = dataset.view_of(&[a]);
+        let report = evaluate_view(&view, truth, &lookup);
+        if report.n_cells > 0 {
+            out.push((a, report));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_model::{DatasetBuilder, Value};
+
+    /// Dataset: one object, two attributes. a1 candidates {x(2 votes), y},
+    /// truth x. a2 candidates {p, q}, truth r (unclaimed).
+    fn fixture() -> (Dataset, GroundTruth) {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a1", Value::text("x")).unwrap();
+        b.claim("s2", "o", "a1", Value::text("x")).unwrap();
+        b.claim("s3", "o", "a1", Value::text("y")).unwrap();
+        b.claim("s1", "o", "a2", Value::text("p")).unwrap();
+        b.claim("s2", "o", "a2", Value::text("q")).unwrap();
+        b.truth("o", "a1", Value::text("x"));
+        b.truth("o", "a2", Value::text("r"));
+        b.build_with_truth()
+    }
+
+    fn ids(d: &Dataset) -> (ObjectId, AttributeId, AttributeId) {
+        (
+            d.object_id("o").unwrap(),
+            d.attribute_id("a1").unwrap(),
+            d.attribute_id("a2").unwrap(),
+        )
+    }
+
+    #[test]
+    fn correct_and_unclaimable_cells() {
+        let (d, t) = fixture();
+        let (o, a1, a2) = ids(&d);
+        let mut preds = Predictions::new();
+        preds.insert((o, a1), d.value_id(&Value::text("x")).unwrap());
+        preds.insert((o, a2), d.value_id(&Value::text("p")).unwrap());
+        let r = evaluate(&d, &t, &preds);
+        // a1: x selected -> TP; y -> TN. a2: p -> FP; q -> TN. Truth r was
+        // never claimed: no FN.
+        assert_eq!(r.confusion.tp, 1);
+        assert_eq!(r.confusion.fp, 1);
+        assert_eq!(r.confusion.fn_, 0);
+        assert_eq!(r.confusion.tn, 2);
+        assert_eq!(r.n_cells, 2);
+        assert_eq!(r.n_correct, 1);
+        assert!(r.recall > r.precision, "unclaimed truth hurts precision only");
+    }
+
+    #[test]
+    fn wrong_pick_with_claimed_truth_costs_fn() {
+        let (d, t) = fixture();
+        let (o, a1, _) = ids(&d);
+        let mut preds = Predictions::new();
+        preds.insert((o, a1), d.value_id(&Value::text("y")).unwrap());
+        let r = evaluate(&d, &t, &preds);
+        // a1 only prediction: y -> FP, x (claimed truth) -> FN.
+        // a2 abstained: p, q -> TN (truth unclaimed).
+        assert_eq!(r.confusion.tp, 0);
+        assert_eq!(r.confusion.fp, 1);
+        assert_eq!(r.confusion.fn_, 1);
+        assert_eq!(r.confusion.tn, 2);
+        assert_eq!(r.n_correct, 0);
+    }
+
+    #[test]
+    fn abstention_on_claimed_truth_costs_fn() {
+        let (d, t) = fixture();
+        let r = evaluate(&d, &t, &Predictions::new());
+        // a1: x -> FN, y -> TN; a2: p, q -> TN.
+        assert_eq!(r.confusion.fn_, 1);
+        assert_eq!(r.confusion.tn, 3);
+        assert_eq!(r.confusion.tp + r.confusion.fp, 0);
+    }
+
+    #[test]
+    fn prediction_outside_candidates_counts() {
+        let (d, t) = fixture();
+        let (o, _, a2) = ids(&d);
+        // Predict the unclaimed truth r for a2 (an oracle could); r is
+        // interned in d's value table because it is the recorded truth.
+        let r_id = d.value_id(&Value::text("r")).unwrap();
+        let mut preds = Predictions::new();
+        preds.insert((o, a2), r_id);
+        let rep = evaluate(&d, &t, &preds);
+        // a2: predicted r (unclaimed, correct) -> TP, p and q -> TN.
+        // a1 abstained: x -> FN, y -> TN.
+        assert_eq!(rep.confusion.tp, 1);
+        assert_eq!(rep.confusion.fn_, 1);
+        assert_eq!(rep.confusion.tn, 3);
+        assert_eq!(rep.n_correct, 1);
+    }
+
+    #[test]
+    fn cells_without_truth_are_skipped() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a", Value::int(1)).unwrap();
+        let (d, t) = b.build_with_truth(); // empty truth
+        let r = evaluate(&d, &t, &Predictions::new());
+        assert_eq!(r.n_cells, 0);
+        assert_eq!(r.confusion.total(), 0);
+    }
+
+    #[test]
+    fn view_restriction_scores_subset_only() {
+        let (d, t) = fixture();
+        let (o, a1, _) = ids(&d);
+        let mut preds = Predictions::new();
+        preds.insert((o, a1), d.value_id(&Value::text("x")).unwrap());
+        let view = d.view_of(&[a1]);
+        let r = evaluate_view(&view, &t, |o, a| preds.get(&(o, a)).copied());
+        assert_eq!(r.n_cells, 1);
+        assert_eq!(r.confusion.tp, 1);
+        assert_eq!(r.confusion.tn, 1);
+        assert_eq!(r.accuracy, 1.0);
+    }
+
+    #[test]
+    fn per_attribute_breakdown_sums_to_global() {
+        let (d, t) = fixture();
+        let (o, a1, a2) = ids(&d);
+        let mut preds = Predictions::new();
+        preds.insert((o, a1), d.value_id(&Value::text("x")).unwrap());
+        preds.insert((o, a2), d.value_id(&Value::text("p")).unwrap());
+        let global = evaluate(&d, &t, &preds);
+        let per_attr = evaluate_per_attribute(&d, &t, |o, a| preds.get(&(o, a)).copied());
+        assert_eq!(per_attr.len(), 2);
+        let merged = EvalReport::merged(
+            &per_attr.iter().map(|(_, r)| *r).collect::<Vec<_>>(),
+        );
+        assert_eq!(merged.confusion, global.confusion);
+        assert_eq!(merged.n_cells, global.n_cells);
+        // a1 was answered right, a2 wrong: the breakdown shows it.
+        let r1 = per_attr.iter().find(|(a, _)| *a == a1).unwrap().1;
+        let r2 = per_attr.iter().find(|(a, _)| *a == a2).unwrap().1;
+        assert_eq!(r1.n_correct, 1);
+        assert_eq!(r2.n_correct, 0);
+    }
+
+    #[test]
+    fn per_attribute_skips_truthless_attributes() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s", "o", "with-truth", Value::int(1)).unwrap();
+        b.claim("s", "o", "no-truth", Value::int(2)).unwrap();
+        b.truth("o", "with-truth", Value::int(1));
+        let (d, t) = b.build_with_truth();
+        let per_attr = evaluate_per_attribute(&d, &t, |_, _| None);
+        assert_eq!(per_attr.len(), 1);
+        assert_eq!(per_attr[0].0, d.attribute_id("with-truth").unwrap());
+    }
+
+    #[test]
+    fn duplicate_claims_of_same_value_count_once() {
+        // x claimed by two sources is ONE candidate instance.
+        let (d, t) = fixture();
+        let (o, a1, _) = ids(&d);
+        let mut preds = Predictions::new();
+        preds.insert((o, a1), d.value_id(&Value::text("x")).unwrap());
+        let view = d.view_of(&[a1]);
+        let r = evaluate_view(&view, &t, |o, a| preds.get(&(o, a)).copied());
+        assert_eq!(r.confusion.total(), 2, "x and y, not three claims");
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # td-metrics — evaluation metrics for truth discovery
+//!
+//! Implements the measures the TD-AC paper reports in every table:
+//! *precision*, *recall*, *accuracy*, *F1-measure* (plus execution time,
+//! handled by [`timing`]) and the *Data Coverage Rate* re-exported from
+//! `td-model`.
+//!
+//! ## Counting semantics
+//!
+//! Metrics are computed at the granularity of **distinct claimed values**,
+//! the convention of the truth-discovery literature (Waguih &
+//! Berti-Equille 2014): for every `(object, attribute)` cell with known
+//! ground truth, each distinct value claimed by some source is a binary
+//! classification instance — the algorithm labels the single value it
+//! selects as *true* and every other candidate as *false*:
+//!
+//! * **TP** — selected value is the ground truth;
+//! * **FP** — selected value is not the ground truth;
+//! * **FN** — the ground truth was claimed by someone but not selected;
+//! * **TN** — an unselected candidate that is indeed not the truth.
+//!
+//! When the ground truth was claimed by *no* source the algorithm cannot
+//! recall it: selecting anything yields an FP but no FN, which is exactly
+//! why the paper's tables show recall ≥ precision on noisy datasets.
+
+pub mod confusion;
+pub mod evaluate;
+pub mod report;
+pub mod timing;
+
+pub use confusion::Confusion;
+pub use evaluate::{evaluate, evaluate_fn, evaluate_per_attribute, evaluate_view, Predictions};
+pub use report::EvalReport;
+pub use timing::Stopwatch;
+
+pub use td_model::stats::data_coverage_rate;

@@ -1,0 +1,152 @@
+//! The evaluation report bundling all derived measures.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::confusion::Confusion;
+
+/// All measures the paper's tables report for one algorithm on one
+/// dataset (time and iteration count are attached by the harness, which
+/// owns the clock).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Instance-level precision.
+    pub precision: f64,
+    /// Instance-level recall.
+    pub recall: f64,
+    /// Instance-level accuracy.
+    pub accuracy: f64,
+    /// F1-measure.
+    pub f1: f64,
+    /// Fraction of evaluated cells whose selected value equals the truth
+    /// (cell-level accuracy; a complementary, coarser view).
+    pub cell_accuracy: f64,
+    /// Number of cells with known truth that were evaluated.
+    pub n_cells: u64,
+    /// Number of those cells answered exactly right.
+    pub n_correct: u64,
+    /// The raw counts behind the ratios.
+    pub confusion: Confusion,
+}
+
+impl EvalReport {
+    /// Builds a report from raw counts.
+    pub fn from_confusion(confusion: Confusion, n_cells: u64, n_correct: u64) -> Self {
+        Self {
+            precision: confusion.precision(),
+            recall: confusion.recall(),
+            accuracy: confusion.accuracy(),
+            f1: confusion.f1(),
+            cell_accuracy: if n_cells == 0 {
+                0.0
+            } else {
+                n_correct as f64 / n_cells as f64
+            },
+            n_cells,
+            n_correct,
+            confusion,
+        }
+    }
+
+    /// Merges per-partition reports (e.g. the partial results of a TD-AC
+    /// run) into one overall report by summing the underlying counts.
+    pub fn merged(reports: &[EvalReport]) -> Self {
+        let mut conf = Confusion::new();
+        let mut n_cells = 0;
+        let mut n_correct = 0;
+        for r in reports {
+            conf.merge(&r.confusion);
+            n_cells += r.n_cells;
+            n_correct += r.n_correct;
+        }
+        Self::from_confusion(conf, n_cells, n_correct)
+    }
+}
+
+impl fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "precision={:.3} recall={:.3} accuracy={:.3} f1={:.3} ({} / {} cells exact)",
+            self.precision, self.recall, self.accuracy, self.f1, self.n_correct, self.n_cells
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_measures_match_confusion() {
+        let conf = Confusion {
+            tp: 3,
+            fp: 1,
+            fn_: 1,
+            tn: 5,
+        };
+        let r = EvalReport::from_confusion(conf, 4, 3);
+        assert_eq!(r.precision, conf.precision());
+        assert_eq!(r.recall, conf.recall());
+        assert_eq!(r.accuracy, conf.accuracy());
+        assert_eq!(r.f1, conf.f1());
+        assert!((r.cell_accuracy - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_equals_pooled_counts() {
+        let a = EvalReport::from_confusion(
+            Confusion {
+                tp: 2,
+                fp: 0,
+                fn_: 1,
+                tn: 3,
+            },
+            3,
+            2,
+        );
+        let b = EvalReport::from_confusion(
+            Confusion {
+                tp: 1,
+                fp: 2,
+                fn_: 0,
+                tn: 4,
+            },
+            3,
+            1,
+        );
+        let m = EvalReport::merged(&[a, b]);
+        assert_eq!(m.confusion.tp, 3);
+        assert_eq!(m.confusion.fp, 2);
+        assert_eq!(m.n_cells, 6);
+        assert_eq!(m.n_correct, 3);
+        // Pooled micro-precision, not the average of the two precisions.
+        assert!((m.precision - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_of_empty_is_zeroes() {
+        let m = EvalReport::merged(&[]);
+        assert_eq!(m.n_cells, 0);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.cell_accuracy, 0.0);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let r = EvalReport::from_confusion(
+            Confusion {
+                tp: 1,
+                fp: 0,
+                fn_: 0,
+                tn: 1,
+            },
+            1,
+            1,
+        );
+        let s = r.to_string();
+        assert!(s.contains("precision=1.000"));
+        assert!(s.contains("1 / 1 cells"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Wall-clock measurement helper used by the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// A simple monotonic stopwatch.
+///
+/// The harness, not the algorithms, owns the clock: algorithms stay pure
+/// and deterministic, and the same run can be timed or not without
+/// touching algorithm code.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64` (the unit of the paper's Time(s) columns).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Times a closure, returning its output and the elapsed duration.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let sw = Self::start();
+        let out = f();
+        (out, sw.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn time_returns_closure_output() {
+        let (out, d) = Stopwatch::time(|| 21 * 2);
+        assert_eq!(out, 42);
+        assert!(d >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,60 @@
+//! The atomic observation: one source asserting one value for one cell.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AttributeId, ObjectId, SourceId, ValueId};
+
+/// A single observation `(source, object, attribute) → value`.
+///
+/// Claims are stored interned: the value payload lives in the dataset's
+/// value table and is referenced by [`ValueId`]. A dataset holds at most
+/// one claim per `(source, object, attribute)` triple (enforced by
+/// [`crate::DatasetBuilder`]), matching the one-claim-per-cell-per-source
+/// assumption of the truth-discovery problem statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Claim {
+    /// The asserting source.
+    pub source: SourceId,
+    /// The object the claim is about.
+    pub object: ObjectId,
+    /// The attribute of the object the claim is about.
+    pub attribute: AttributeId,
+    /// The asserted (interned) value.
+    pub value: ValueId,
+}
+
+impl Claim {
+    /// Creates a claim from its four components.
+    pub fn new(source: SourceId, object: ObjectId, attribute: AttributeId, value: ValueId) -> Self {
+        Self {
+            source,
+            object,
+            attribute,
+            value,
+        }
+    }
+
+    /// The `(object, attribute)` cell this claim targets.
+    #[inline]
+    pub fn cell(&self) -> (ObjectId, AttributeId) {
+        (self.object, self.attribute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_projects_object_and_attribute() {
+        let c = Claim::new(
+            SourceId::new(1),
+            ObjectId::new(2),
+            AttributeId::new(3),
+            ValueId::new(4),
+        );
+        assert_eq!(c.cell(), (ObjectId::new(2), AttributeId::new(3)));
+        assert_eq!(c.source, SourceId::new(1));
+        assert_eq!(c.value, ValueId::new(4));
+    }
+}

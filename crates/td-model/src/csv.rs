@@ -1,0 +1,326 @@
+//! CSV import/export of claims and ground truth.
+//!
+//! The interchange format used by the public truth-discovery corpora
+//! (DAFNA, the Li et al. deep-web datasets) is a claims table. This
+//! module reads and writes:
+//!
+//! ```csv
+//! source,object,attribute,value
+//! site-a,afcon2019,winner,Algeria
+//! site-b,afcon2019,winner,Senegal
+//! ```
+//!
+//! plus an optional truth table (`object,attribute,value`). Values are
+//! parsed as `Int` when they lex as integers, `Float` for decimals,
+//! `Bool` for `true`/`false`, `Text` otherwise — override per column is
+//! not needed for the reproduction datasets. The parser is hand-rolled
+//! (RFC-4180 quoting: quoted fields, doubled quotes, embedded commas and
+//! newlines) to stay inside the approved dependency set.
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::ModelError;
+use crate::truth::GroundTruth;
+use crate::value::Value;
+
+/// Parses one CSV record starting at `input[pos..]`; returns the fields
+/// and the position after the record's line terminator.
+fn parse_record(input: &str, mut pos: usize) -> Result<(Vec<String>, usize), ModelError> {
+    let bytes = input.as_bytes();
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        if in_quotes {
+            match c {
+                b'"' => {
+                    if bytes.get(pos + 1) == Some(&b'"') {
+                        field.push('"');
+                        pos += 2;
+                    } else {
+                        in_quotes = false;
+                        pos += 1;
+                    }
+                }
+                _ => {
+                    // Preserve multi-byte characters: find the char at pos.
+                    let ch = input[pos..].chars().next().expect("in-bounds char");
+                    field.push(ch);
+                    pos += ch.len_utf8();
+                }
+            }
+        } else {
+            match c {
+                b'"' => {
+                    if !field.is_empty() {
+                        return Err(ModelError::Parse(format!(
+                            "unexpected quote inside unquoted field at byte {pos}"
+                        )));
+                    }
+                    in_quotes = true;
+                    pos += 1;
+                }
+                b',' => {
+                    fields.push(std::mem::take(&mut field));
+                    pos += 1;
+                }
+                b'\r' => {
+                    pos += 1;
+                    if bytes.get(pos) == Some(&b'\n') {
+                        pos += 1;
+                    }
+                    fields.push(field);
+                    return Ok((fields, pos));
+                }
+                b'\n' => {
+                    pos += 1;
+                    fields.push(field);
+                    return Ok((fields, pos));
+                }
+                _ => {
+                    let ch = input[pos..].chars().next().expect("in-bounds char");
+                    field.push(ch);
+                    pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+    if in_quotes {
+        return Err(ModelError::Parse("unterminated quoted field".into()));
+    }
+    fields.push(field);
+    Ok((fields, pos))
+}
+
+/// Parses a CSV document into records, skipping blank lines.
+fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, ModelError> {
+    let mut records = Vec::new();
+    let mut pos = 0;
+    while pos < input.len() {
+        let (fields, next) = parse_record(input, pos)?;
+        pos = next;
+        if fields.len() == 1 && fields[0].is_empty() {
+            continue; // blank line
+        }
+        records.push(fields);
+    }
+    Ok(records)
+}
+
+/// Infers the [`Value`] type of a CSV cell.
+pub fn parse_value(s: &str) -> Value {
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        if !f.is_nan() {
+            return Value::Float(f);
+        }
+    }
+    match s {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::text(s),
+    }
+}
+
+/// Quotes a CSV field if needed.
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Reads a claims CSV (`source,object,attribute,value`, with header) into
+/// a dataset. Rows with a wrong field count or conflicting claims are
+/// errors.
+pub fn dataset_from_csv(claims_csv: &str) -> Result<Dataset, ModelError> {
+    let mut builder = DatasetBuilder::new();
+    read_claims_into(claims_csv, &mut builder)?;
+    Ok(builder.build())
+}
+
+/// Reads claims plus a truth CSV (`object,attribute,value`, with header).
+pub fn dataset_from_csv_with_truth(
+    claims_csv: &str,
+    truth_csv: &str,
+) -> Result<(Dataset, GroundTruth), ModelError> {
+    let mut builder = DatasetBuilder::new();
+    read_claims_into(claims_csv, &mut builder)?;
+    let records = parse_csv(truth_csv)?;
+    for (i, rec) in records.iter().enumerate().skip(1) {
+        if rec.len() != 3 {
+            return Err(ModelError::Parse(format!(
+                "truth row {i}: expected 3 fields, got {}",
+                rec.len()
+            )));
+        }
+        builder.truth(&rec[0], &rec[1], parse_value(&rec[2]));
+    }
+    Ok(builder.build_with_truth())
+}
+
+fn read_claims_into(claims_csv: &str, builder: &mut DatasetBuilder) -> Result<(), ModelError> {
+    let records = parse_csv(claims_csv)?;
+    if records.is_empty() {
+        return Err(ModelError::Parse("empty claims CSV".into()));
+    }
+    for (i, rec) in records.iter().enumerate().skip(1) {
+        if rec.len() != 4 {
+            return Err(ModelError::Parse(format!(
+                "claims row {i}: expected 4 fields, got {}",
+                rec.len()
+            )));
+        }
+        builder.claim(&rec[0], &rec[1], &rec[2], parse_value(&rec[3]))?;
+    }
+    Ok(())
+}
+
+/// Writes a dataset's claims as CSV (with header).
+pub fn dataset_to_csv(dataset: &Dataset) -> String {
+    let mut out = String::from("source,object,attribute,value\n");
+    for claim in dataset.claims() {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            quote(dataset.source_name(claim.source)),
+            quote(dataset.object_name(claim.object)),
+            quote(dataset.attribute_name(claim.attribute)),
+            quote(&dataset.value(claim.value).to_string()),
+        ));
+    }
+    out
+}
+
+/// Writes a ground truth as CSV (with header), resolving names through
+/// `dataset`.
+pub fn truth_to_csv(dataset: &Dataset, truth: &GroundTruth) -> String {
+    let mut rows: Vec<_> = truth.iter().collect();
+    rows.sort_by_key(|&(o, a, _)| (o, a));
+    let mut out = String::from("object,attribute,value\n");
+    for (o, a, v) in rows {
+        out.push_str(&format!(
+            "{},{},{}\n",
+            quote(dataset.object_name(o)),
+            quote(dataset.attribute_name(a)),
+            quote(&dataset.value(v).to_string()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLAIMS: &str = "source,object,attribute,value\n\
+                          s1,o1,a1,Algeria\n\
+                          s2,o1,a1,Senegal\n\
+                          s1,o1,a2,2019\n\
+                          s2,o1,a2,1994\n";
+
+    #[test]
+    fn roundtrip_claims() {
+        let d = dataset_from_csv(CLAIMS).unwrap();
+        assert_eq!(d.n_sources(), 2);
+        assert_eq!(d.n_claims(), 4);
+        let csv = dataset_to_csv(&d);
+        let d2 = dataset_from_csv(&csv).unwrap();
+        assert_eq!(d2.n_claims(), 4);
+        assert!(
+            d2.value_id(&Value::int(2019)).is_some(),
+            "numeric values survive the roundtrip as ints"
+        );
+    }
+
+    #[test]
+    fn truth_roundtrip() {
+        let truth_csv = "object,attribute,value\no1,a1,Algeria\no1,a2,2019\n";
+        let (d, t) = dataset_from_csv_with_truth(CLAIMS, truth_csv).unwrap();
+        assert_eq!(t.len(), 2);
+        let o = d.object_id("o1").unwrap();
+        let a = d.attribute_id("a1").unwrap();
+        assert_eq!(d.value(t.get(o, a).unwrap()), &Value::text("Algeria"));
+        let back = truth_to_csv(&d, &t);
+        let (_, t2) = dataset_from_csv_with_truth(CLAIMS, &back).unwrap();
+        assert_eq!(t2.len(), 2);
+    }
+
+    #[test]
+    fn value_type_inference() {
+        assert_eq!(parse_value("42"), Value::Int(42));
+        assert_eq!(parse_value("-7"), Value::Int(-7));
+        assert_eq!(parse_value("2.5"), Value::Float(2.5));
+        assert_eq!(parse_value("true"), Value::Bool(true));
+        assert_eq!(parse_value("false"), Value::Bool(false));
+        assert_eq!(parse_value("Algeria"), Value::text("Algeria"));
+        assert_eq!(parse_value(""), Value::text(""));
+        assert_eq!(parse_value("NaN"), Value::text("NaN"), "NaN stays text");
+    }
+
+    #[test]
+    fn quoting_handles_commas_quotes_and_newlines() {
+        let tricky = "source,object,attribute,value\n\
+                      \"s,1\",o,a,\"He said \"\"hi\"\"\"\n\
+                      s2,o,a,\"line1\nline2\"\n";
+        let d = dataset_from_csv(tricky).unwrap();
+        assert_eq!(d.n_claims(), 2);
+        assert!(d.source_id("s,1").is_some());
+        let csv = dataset_to_csv(&d);
+        let d2 = dataset_from_csv(&csv).unwrap();
+        assert_eq!(d2.n_claims(), 2);
+        assert!(d2.source_id("s,1").is_some());
+        assert!(d2.value_id(&Value::text("line1\nline2")).is_some());
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let crlf = "source,object,attribute,value\r\ns1,o,a,1\r\ns2,o,a,2\r\n";
+        let d = dataset_from_csv(crlf).unwrap();
+        assert_eq!(d.n_claims(), 2);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let gappy = "source,object,attribute,value\n\ns1,o,a,1\n\n\ns2,o,a,2\n";
+        let d = dataset_from_csv(gappy).unwrap();
+        assert_eq!(d.n_claims(), 2);
+    }
+
+    #[test]
+    fn wrong_field_count_is_an_error() {
+        let bad = "source,object,attribute,value\ns1,o,a\n";
+        let err = dataset_from_csv(bad).unwrap_err();
+        assert!(err.to_string().contains("expected 4 fields"));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let bad = "source,object,attribute,value\ns1,o,a,\"oops\n";
+        assert!(matches!(dataset_from_csv(bad), Err(ModelError::Parse(_))));
+    }
+
+    #[test]
+    fn conflicting_rows_surface_the_model_error() {
+        let bad = "source,object,attribute,value\ns1,o,a,1\ns1,o,a,2\n";
+        assert!(matches!(
+            dataset_from_csv(bad),
+            Err(ModelError::ConflictingClaim { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(dataset_from_csv("").is_err());
+    }
+
+    #[test]
+    fn unicode_fields_survive() {
+        let claims = "source,object,attribute,value\nsrc-é,objet,propriété,Sénégal\n";
+        let d = dataset_from_csv(claims).unwrap();
+        assert!(d.source_id("src-é").is_some());
+        assert!(d.value_id(&Value::text("Sénégal")).is_some());
+    }
+}

@@ -1,0 +1,569 @@
+//! The immutable, index-accelerated claim collection and its builder.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use crate::claim::Claim;
+use crate::error::ModelError;
+use crate::ids::{AttributeId, Interner, ObjectId, SourceId, ValueId};
+use crate::truth::GroundTruth;
+use crate::value::Value;
+use crate::view::DatasetView;
+
+/// One `(object, attribute)` cell together with the contiguous range of
+/// its claims inside the dataset's claim vector.
+///
+/// Cells are the unit the truth-discovery problem is defined over: each
+/// cell has exactly one true value among the (conflicting) claimed ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    /// The object of this cell.
+    pub object: ObjectId,
+    /// The attribute of this cell.
+    pub attribute: AttributeId,
+    claims_start: u32,
+    claims_end: u32,
+}
+
+impl Cell {
+    /// Range of this cell's claims inside [`Dataset::claims`].
+    #[inline]
+    pub fn claim_range(&self) -> Range<usize> {
+        self.claims_start as usize..self.claims_end as usize
+    }
+
+    /// Number of claims (sources) covering this cell.
+    #[inline]
+    pub fn n_claims(&self) -> usize {
+        (self.claims_end - self.claims_start) as usize
+    }
+}
+
+/// An immutable truth-discovery dataset: interned sources, objects,
+/// attributes and values, plus claims sorted by `(attribute, object,
+/// source)` with per-attribute and per-source indexes.
+///
+/// Construct with [`DatasetBuilder`]. The sort order is what makes
+/// [`DatasetView`] (restriction to an attribute subset) a zero-copy
+/// operation: all the cells of one attribute are contiguous.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    sources: Interner,
+    objects: Interner,
+    attributes: Interner,
+    values: Vec<Value>,
+    claims: Vec<Claim>,
+    cells: Vec<Cell>,
+    /// `attribute.index() -> range` of that attribute's cells in `cells`.
+    cells_by_attr: Vec<(u32, u32)>,
+    /// `source.index() -> indices into claims`, ascending.
+    by_source: Vec<Vec<u32>>,
+}
+
+impl Dataset {
+    /// Number of registered sources (including any without claims).
+    pub fn n_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of registered objects.
+    pub fn n_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of registered attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of distinct interned values.
+    pub fn n_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total number of claims (observations).
+    pub fn n_claims(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Number of non-empty `(object, attribute)` cells.
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// All claims, sorted by `(attribute, object, source)`.
+    pub fn claims(&self) -> &[Claim] {
+        &self.claims
+    }
+
+    /// All non-empty cells, sorted by `(attribute, object)`.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The claims of one cell (each from a distinct source).
+    pub fn cell_claims(&self, cell: &Cell) -> &[Claim] {
+        &self.claims[cell.claim_range()]
+    }
+
+    /// The cells of a single attribute, contiguous by construction.
+    pub fn cells_of_attribute(&self, attribute: AttributeId) -> &[Cell] {
+        match self.cells_by_attr.get(attribute.index()) {
+            Some(&(s, e)) => &self.cells[s as usize..e as usize],
+            None => &[],
+        }
+    }
+
+    /// Indices (into [`Dataset::claims`]) of one source's claims.
+    pub fn claim_indices_of_source(&self, source: SourceId) -> &[u32] {
+        self.by_source
+            .get(source.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over one source's claims.
+    pub fn claims_of_source(&self, source: SourceId) -> impl Iterator<Item = &Claim> {
+        self.claim_indices_of_source(source)
+            .iter()
+            .map(|&i| &self.claims[i as usize])
+    }
+
+    /// Resolves a value id to its payload.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this dataset.
+    pub fn value(&self, id: ValueId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// Looks up the id of an already-interned value.
+    pub fn value_id(&self, value: &Value) -> Option<ValueId> {
+        // The value table is small relative to claims and this lookup is
+        // off the hot path (evaluation only), so a linear scan keeps the
+        // struct serde-friendly without a skipped index field.
+        self.values
+            .iter()
+            .position(|v| v == value)
+            .map(|i| ValueId::new(i as u32))
+    }
+
+    /// Name of a source.
+    pub fn source_name(&self, id: SourceId) -> &str {
+        self.sources.name(id.0).expect("source id out of range")
+    }
+
+    /// Name of an object.
+    pub fn object_name(&self, id: ObjectId) -> &str {
+        self.objects.name(id.0).expect("object id out of range")
+    }
+
+    /// Name of an attribute.
+    pub fn attribute_name(&self, id: AttributeId) -> &str {
+        self.attributes.name(id.0).expect("attribute id out of range")
+    }
+
+    /// Id of a named source.
+    pub fn source_id(&self, name: &str) -> Option<SourceId> {
+        self.sources.get(name).map(SourceId::new)
+    }
+
+    /// Id of a named object.
+    pub fn object_id(&self, name: &str) -> Option<ObjectId> {
+        self.objects.get(name).map(ObjectId::new)
+    }
+
+    /// Id of a named attribute.
+    pub fn attribute_id(&self, name: &str) -> Option<AttributeId> {
+        self.attributes.get(name).map(AttributeId::new)
+    }
+
+    /// All source ids.
+    pub fn source_ids(&self) -> impl Iterator<Item = SourceId> {
+        (0..self.n_sources() as u32).map(SourceId::new)
+    }
+
+    /// All object ids.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.n_objects() as u32).map(ObjectId::new)
+    }
+
+    /// All attribute ids.
+    pub fn attribute_ids(&self) -> impl Iterator<Item = AttributeId> {
+        (0..self.n_attributes() as u32).map(AttributeId::new)
+    }
+
+    /// A view spanning every attribute (the un-partitioned dataset).
+    pub fn view_all(&self) -> DatasetView<'_> {
+        DatasetView::all(self)
+    }
+
+    /// A view restricted to `attributes`.
+    pub fn view_of(&self, attributes: &[AttributeId]) -> DatasetView<'_> {
+        DatasetView::of(self, attributes)
+    }
+
+    /// Rebuilds skipped interner indexes after deserialization.
+    pub(crate) fn rebuild_indexes(&mut self) {
+        self.sources.rebuild_index();
+        self.objects.rebuild_index();
+        self.attributes.rebuild_index();
+    }
+}
+
+/// Incremental [`Dataset`] constructor.
+///
+/// Accepts claims by entity *name* (convenient, self-interning) or by
+/// pre-interned ids (fast path for generators). Duplicate identical
+/// claims are ignored; conflicting re-assertions are an error.
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    sources: Interner,
+    objects: Interner,
+    attributes: Interner,
+    values: Vec<Value>,
+    value_index: HashMap<Value, ValueId>,
+    /// `(source, object, attribute) -> value`; detects conflicts.
+    claims: HashMap<(u32, u32, u32), ValueId>,
+    truth: HashMap<(ObjectId, AttributeId), ValueId>,
+}
+
+impl DatasetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or looks up) a source by name.
+    pub fn source(&mut self, name: &str) -> SourceId {
+        SourceId::new(self.sources.intern(name))
+    }
+
+    /// Registers (or looks up) an object by name.
+    pub fn object(&mut self, name: &str) -> ObjectId {
+        ObjectId::new(self.objects.intern(name))
+    }
+
+    /// Registers (or looks up) an attribute by name.
+    pub fn attribute(&mut self, name: &str) -> AttributeId {
+        AttributeId::new(self.attributes.intern(name))
+    }
+
+    /// Interns a value.
+    pub fn value(&mut self, value: Value) -> ValueId {
+        if let Some(&id) = self.value_index.get(&value) {
+            return id;
+        }
+        let id = ValueId::new(self.values.len() as u32);
+        self.values.push(value.clone());
+        self.value_index.insert(value, id);
+        id
+    }
+
+    /// Adds a claim by entity names.
+    ///
+    /// Returns [`ModelError::ConflictingClaim`] if `source` already
+    /// asserted a *different* value for this cell; re-asserting the same
+    /// value is a no-op.
+    pub fn claim(
+        &mut self,
+        source: &str,
+        object: &str,
+        attribute: &str,
+        value: Value,
+    ) -> Result<(), ModelError> {
+        let s = self.source(source);
+        let o = self.object(object);
+        let a = self.attribute(attribute);
+        let v = self.value(value);
+        self.claim_ids(s, o, a, v).map_err(|_| ModelError::ConflictingClaim {
+            source: source.to_owned(),
+            object: object.to_owned(),
+            attribute: attribute.to_owned(),
+        })
+    }
+
+    /// Adds a claim by pre-interned ids (generator fast path).
+    ///
+    /// The error carries resolved names when available.
+    pub fn claim_ids(
+        &mut self,
+        source: SourceId,
+        object: ObjectId,
+        attribute: AttributeId,
+        value: ValueId,
+    ) -> Result<(), ModelError> {
+        match self.claims.insert((source.0, object.0, attribute.0), value) {
+            None => Ok(()),
+            Some(prev) if prev == value => Ok(()),
+            Some(prev) => {
+                // Restore the original claim before reporting the conflict.
+                self.claims.insert((source.0, object.0, attribute.0), prev);
+                Err(ModelError::ConflictingClaim {
+                    source: self.sources.name(source.0).unwrap_or("?").to_owned(),
+                    object: self.objects.name(object.0).unwrap_or("?").to_owned(),
+                    attribute: self.attributes.name(attribute.0).unwrap_or("?").to_owned(),
+                })
+            }
+        }
+    }
+
+    /// Records the ground-truth value of a cell (by names).
+    pub fn truth(&mut self, object: &str, attribute: &str, value: Value) {
+        let o = self.object(object);
+        let a = self.attribute(attribute);
+        let v = self.value(value);
+        self.truth.insert((o, a), v);
+    }
+
+    /// Records the ground-truth value of a cell (by ids).
+    pub fn truth_ids(&mut self, object: ObjectId, attribute: AttributeId, value: ValueId) {
+        self.truth.insert((object, attribute), value);
+    }
+
+    /// Number of claims accumulated so far.
+    pub fn n_claims(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Finalizes into a [`Dataset`], discarding any recorded ground truth.
+    pub fn build(self) -> Dataset {
+        self.build_with_truth().0
+    }
+
+    /// Finalizes into a [`Dataset`] plus the recorded [`GroundTruth`].
+    pub fn build_with_truth(self) -> (Dataset, GroundTruth) {
+        let mut claims: Vec<Claim> = self
+            .claims
+            .into_iter()
+            .map(|((s, o, a), v)| {
+                Claim::new(SourceId::new(s), ObjectId::new(o), AttributeId::new(a), v)
+            })
+            .collect();
+        claims.sort_unstable_by_key(|c| (c.attribute, c.object, c.source));
+
+        // Group contiguous runs of equal (attribute, object) into cells.
+        let mut cells: Vec<Cell> = Vec::new();
+        let mut i = 0usize;
+        while i < claims.len() {
+            let (a, o) = (claims[i].attribute, claims[i].object);
+            let start = i;
+            while i < claims.len() && claims[i].attribute == a && claims[i].object == o {
+                i += 1;
+            }
+            cells.push(Cell {
+                object: o,
+                attribute: a,
+                claims_start: start as u32,
+                claims_end: i as u32,
+            });
+        }
+
+        // Per-attribute ranges over the cell vector.
+        let n_attrs = self.attributes.len();
+        let mut cells_by_attr = vec![(0u32, 0u32); n_attrs];
+        let mut j = 0usize;
+        for a in 0..n_attrs {
+            let start = j;
+            while j < cells.len() && cells[j].attribute.index() == a {
+                j += 1;
+            }
+            cells_by_attr[a] = (start as u32, j as u32);
+        }
+
+        // Per-source claim indexes.
+        let mut by_source = vec![Vec::new(); self.sources.len()];
+        for (idx, c) in claims.iter().enumerate() {
+            by_source[c.source.index()].push(idx as u32);
+        }
+
+        let dataset = Dataset {
+            sources: self.sources,
+            objects: self.objects,
+            attributes: self.attributes,
+            values: self.values,
+            claims,
+            cells,
+            cells_by_attr,
+            by_source,
+        };
+        (dataset, GroundTruth::from_map(self.truth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn running_example() -> (Dataset, GroundTruth) {
+        // Table 1 of the paper: two topics x three questions, three sources.
+        let mut b = DatasetBuilder::new();
+        let rows: &[(&str, &str, &str, Value)] = &[
+            ("s1", "FB", "Q1", Value::text("Algeria")),
+            ("s1", "FB", "Q2", Value::int(2000)),
+            ("s1", "FB", "Q3", Value::int(12)),
+            ("s2", "FB", "Q1", Value::text("Senegal")),
+            ("s2", "FB", "Q2", Value::int(2019)),
+            ("s2", "FB", "Q3", Value::int(11)),
+            ("s3", "FB", "Q1", Value::text("Algeria")),
+            ("s3", "FB", "Q2", Value::int(1994)),
+            ("s3", "FB", "Q3", Value::int(12)),
+            ("s1", "CS", "Q1", Value::text("Linus Torvalds")),
+            ("s1", "CS", "Q2", Value::int(1830)),
+            ("s1", "CS", "Q3", Value::int(7)),
+            ("s2", "CS", "Q1", Value::text("Bill Gates")),
+            ("s2", "CS", "Q2", Value::int(1991)),
+            ("s2", "CS", "Q3", Value::int(8)),
+            ("s3", "CS", "Q1", Value::text("Steve Jobs")),
+            ("s3", "CS", "Q2", Value::int(1991)),
+            ("s3", "CS", "Q3", Value::int(10)),
+        ];
+        for (s, o, a, v) in rows {
+            b.claim(s, o, a, v.clone()).unwrap();
+        }
+        b.truth("FB", "Q1", Value::text("Algeria"));
+        b.truth("FB", "Q2", Value::int(2019));
+        b.truth("FB", "Q3", Value::int(11));
+        b.truth("CS", "Q1", Value::text("Linus Torvalds"));
+        b.truth("CS", "Q2", Value::int(1991));
+        b.truth("CS", "Q3", Value::int(10));
+        b.build_with_truth()
+    }
+
+    #[test]
+    fn builder_counts_entities() {
+        let (d, t) = running_example();
+        assert_eq!(d.n_sources(), 3);
+        assert_eq!(d.n_objects(), 2);
+        assert_eq!(d.n_attributes(), 3);
+        assert_eq!(d.n_claims(), 18);
+        assert_eq!(d.n_cells(), 6);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn claims_are_sorted_by_attribute_object_source() {
+        let (d, _) = running_example();
+        let keys: Vec<_> = d
+            .claims()
+            .iter()
+            .map(|c| (c.attribute, c.object, c.source))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn cells_partition_the_claims() {
+        let (d, _) = running_example();
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for cell in d.cells() {
+            let r = cell.claim_range();
+            assert_eq!(r.start, prev_end, "cells must tile the claim vector");
+            prev_end = r.end;
+            covered += r.len();
+            for c in d.cell_claims(cell) {
+                assert_eq!(c.cell(), (cell.object, cell.attribute));
+            }
+        }
+        assert_eq!(covered, d.n_claims());
+    }
+
+    #[test]
+    fn cells_of_attribute_are_complete() {
+        let (d, _) = running_example();
+        for a in d.attribute_ids() {
+            let cells = d.cells_of_attribute(a);
+            assert_eq!(cells.len(), 2, "each question asked about both topics");
+            for c in cells {
+                assert_eq!(c.attribute, a);
+            }
+        }
+    }
+
+    #[test]
+    fn by_source_index_is_consistent() {
+        let (d, _) = running_example();
+        for s in d.source_ids() {
+            let claims: Vec<_> = d.claims_of_source(s).collect();
+            assert_eq!(claims.len(), 6);
+            assert!(claims.iter().all(|c| c.source == s));
+        }
+    }
+
+    #[test]
+    fn duplicate_identical_claim_is_noop() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s", "o", "a", Value::int(1)).unwrap();
+        b.claim("s", "o", "a", Value::int(1)).unwrap();
+        assert_eq!(b.n_claims(), 1);
+    }
+
+    #[test]
+    fn conflicting_claim_is_error_and_preserves_original() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s", "o", "a", Value::int(1)).unwrap();
+        let err = b.claim("s", "o", "a", Value::int(2)).unwrap_err();
+        assert!(matches!(err, ModelError::ConflictingClaim { .. }));
+        let d = b.build();
+        assert_eq!(d.n_claims(), 1);
+        let cell = &d.cells()[0];
+        let v = d.cell_claims(cell)[0].value;
+        assert_eq!(d.value(v), &Value::int(1));
+    }
+
+    #[test]
+    fn name_id_roundtrip() {
+        let (d, _) = running_example();
+        let s = d.source_id("s2").unwrap();
+        assert_eq!(d.source_name(s), "s2");
+        let o = d.object_id("CS").unwrap();
+        assert_eq!(d.object_name(o), "CS");
+        let a = d.attribute_id("Q3").unwrap();
+        assert_eq!(d.attribute_name(a), "Q3");
+        assert!(d.source_id("nope").is_none());
+    }
+
+    #[test]
+    fn value_id_lookup() {
+        let (d, _) = running_example();
+        let id = d.value_id(&Value::text("Algeria")).unwrap();
+        assert_eq!(d.value(id), &Value::text("Algeria"));
+        assert!(d.value_id(&Value::text("Morocco")).is_none());
+    }
+
+    #[test]
+    fn truth_values_are_interned_even_if_unclaimed() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s", "o", "a", Value::int(1)).unwrap();
+        b.truth("o", "a", Value::int(42)); // nobody claimed 42
+        let (d, t) = b.build_with_truth();
+        let o = d.object_id("o").unwrap();
+        let a = d.attribute_id("a").unwrap();
+        let v = t.get(o, a).unwrap();
+        assert_eq!(d.value(v), &Value::int(42));
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let d = DatasetBuilder::new().build();
+        assert_eq!(d.n_claims(), 0);
+        assert_eq!(d.n_cells(), 0);
+        assert!(d.cells().is_empty());
+    }
+
+    #[test]
+    fn sources_without_claims_are_retained() {
+        let mut b = DatasetBuilder::new();
+        b.source("idle");
+        b.claim("busy", "o", "a", Value::int(1)).unwrap();
+        let d = b.build();
+        assert_eq!(d.n_sources(), 2);
+        let idle = d.source_id("idle").unwrap();
+        assert_eq!(d.claims_of_source(idle).count(), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for dataset construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building, validating or (de)serializing datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The same source asserted two different values for one cell.
+    ConflictingClaim {
+        /// Source name as given to the builder.
+        source: String,
+        /// Object name as given to the builder.
+        object: String,
+        /// Attribute name as given to the builder.
+        attribute: String,
+    },
+    /// A named entity was not found in the dataset.
+    UnknownEntity {
+        /// Which entity class ("source", "object", "attribute").
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The dataset JSON could not be parsed.
+    Parse(String),
+    /// Ground truth references a cell absent from the dataset and the
+    /// caller asked for strict matching.
+    TruthForUnknownCell {
+        /// Object name.
+        object: String,
+        /// Attribute name.
+        attribute: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ConflictingClaim {
+                source,
+                object,
+                attribute,
+            } => write!(
+                f,
+                "source {source:?} asserted two different values for cell \
+                 ({object:?}, {attribute:?})"
+            ),
+            ModelError::UnknownEntity { kind, name } => {
+                write!(f, "unknown {kind}: {name:?}")
+            }
+            ModelError::Parse(msg) => write!(f, "dataset parse error: {msg}"),
+            ModelError::TruthForUnknownCell { object, attribute } => write!(
+                f,
+                "ground truth given for cell ({object:?}, {attribute:?}) \
+                 which has no claims in the dataset"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = ModelError::ConflictingClaim {
+            source: "s".into(),
+            object: "o".into(),
+            attribute: "a".into(),
+        };
+        assert!(e.to_string().contains("two different values"));
+        let e = ModelError::UnknownEntity {
+            kind: "source",
+            name: "ghost".into(),
+        };
+        assert!(e.to_string().contains("unknown source"));
+        let e = ModelError::Parse("bad token".into());
+        assert!(e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&ModelError::Parse(String::new()));
+    }
+}

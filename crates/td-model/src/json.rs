@@ -1,0 +1,108 @@
+//! JSON (de)serialization of datasets and ground truth.
+//!
+//! Datasets are serialized with their indexes included (they are small
+//! relative to the claims), while interner reverse maps are rebuilt on
+//! load. The format is a stable, versioned envelope so experiment inputs
+//! and generated workloads can be archived and replayed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::error::ModelError;
+use crate::truth::GroundTruth;
+
+/// Current envelope version; bump on breaking layout changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Serialized bundle of a dataset plus optional ground truth.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct DatasetBundle {
+    /// Envelope version ([`FORMAT_VERSION`] at write time).
+    pub version: u32,
+    /// The dataset proper.
+    pub dataset: Dataset,
+    /// Ground truth, when known.
+    pub truth: Option<GroundTruth>,
+}
+
+/// Serializes `dataset` (and `truth` if given) to a JSON string.
+pub fn to_json(dataset: &Dataset, truth: Option<&GroundTruth>) -> String {
+    let bundle = DatasetBundle {
+        version: FORMAT_VERSION,
+        dataset: dataset.clone(),
+        truth: truth.cloned(),
+    };
+    serde_json::to_string(&bundle).expect("dataset serialization cannot fail")
+}
+
+/// Parses a bundle previously produced by [`to_json`], rebuilding the
+/// interner lookup indexes.
+pub fn from_json(json: &str) -> Result<(Dataset, Option<GroundTruth>), ModelError> {
+    let mut bundle: DatasetBundle =
+        serde_json::from_str(json).map_err(|e| ModelError::Parse(e.to_string()))?;
+    if bundle.version != FORMAT_VERSION {
+        return Err(ModelError::Parse(format!(
+            "unsupported dataset format version {} (expected {FORMAT_VERSION})",
+            bundle.version
+        )));
+    }
+    bundle.dataset.rebuild_indexes();
+    Ok((bundle.dataset, bundle.truth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::value::Value;
+
+    fn sample() -> (Dataset, GroundTruth) {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a", Value::text("x")).unwrap();
+        b.claim("s2", "o", "a", Value::text("y")).unwrap();
+        b.claim("s1", "o", "b", Value::int(3)).unwrap();
+        b.truth("o", "a", Value::text("x"));
+        b.build_with_truth()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let (d, t) = sample();
+        let json = to_json(&d, Some(&t));
+        let (d2, t2) = from_json(&json).unwrap();
+        let t2 = t2.unwrap();
+        assert_eq!(d2.n_sources(), d.n_sources());
+        assert_eq!(d2.n_claims(), d.n_claims());
+        assert_eq!(d2.n_cells(), d.n_cells());
+        assert_eq!(t2.len(), t.len());
+        // Interner lookups must work after rebuild.
+        let s1 = d2.source_id("s1").unwrap();
+        assert_eq!(d2.source_name(s1), "s1");
+        let o = d2.object_id("o").unwrap();
+        let a = d2.attribute_id("a").unwrap();
+        let v = t2.get(o, a).unwrap();
+        assert_eq!(d2.value(v), &Value::text("x"));
+    }
+
+    #[test]
+    fn roundtrip_without_truth() {
+        let (d, _) = sample();
+        let json = to_json(&d, None);
+        let (_, t) = from_json(&json).unwrap();
+        assert!(t.is_none());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let (d, _) = sample();
+        let json = to_json(&d, None).replace("\"version\":1", "\"version\":999");
+        let err = from_json(&json).unwrap_err();
+        assert!(matches!(err, ModelError::Parse(_)));
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(from_json("not json"), Err(ModelError::Parse(_))));
+    }
+}

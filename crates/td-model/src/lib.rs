@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+// Numeric kernels index several parallel arrays in lockstep; iterator
+// rewrites obscure them without gain.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::vec_init_then_push)]
+
+//! # td-model — data model substrate for truth discovery
+//!
+//! This crate provides the structured world assumed by the TD-AC paper
+//! (Tossou & Ba, EDBT 2021) and the whole classic truth-discovery
+//! literature: a collection of **sources** `S` making **claims** about the
+//! **attributes** `A` of real-world **objects** `O`, in a *one-truth*
+//! setting where every `(object, attribute)` cell has exactly one true
+//! value and possibly many conflicting false ones, and where a source may
+//! cover only part of the objects/attributes (missing data).
+//!
+//! The central types are:
+//!
+//! * [`Dataset`] — an immutable, index-accelerated collection of claims,
+//!   built through [`DatasetBuilder`]. Sources, objects, attributes and
+//!   values are interned into dense `u32` ids so algorithms can use flat
+//!   vectors instead of hash maps on hot paths.
+//! * [`DatasetView`] — a borrowed restriction of a dataset to a subset of
+//!   attributes. TD-AC runs its base algorithm once per attribute cluster;
+//!   views make that possible without copying any claims.
+//! * [`GroundTruth`] — the reference assignment of true values used for
+//!   evaluation (and by *oracle* baselines).
+//! * [`Value`] — a typed claim payload with total equality/hash semantics
+//!   (including floats) plus a tunable similarity measure used by
+//!   similarity-aware algorithms such as TruthFinder and AccuSim.
+//!
+//! ```
+//! use td_model::{DatasetBuilder, Value};
+//!
+//! let mut b = DatasetBuilder::new();
+//! b.claim("source-1", "afcon-2019", "winner", Value::text("Algeria")).unwrap();
+//! b.claim("source-2", "afcon-2019", "winner", Value::text("Senegal")).unwrap();
+//! b.claim("source-3", "afcon-2019", "winner", Value::text("Algeria")).unwrap();
+//! let dataset = b.build();
+//!
+//! assert_eq!(dataset.n_sources(), 3);
+//! assert_eq!(dataset.n_objects(), 1);
+//! assert_eq!(dataset.n_attributes(), 1);
+//! assert_eq!(dataset.n_claims(), 3);
+//! ```
+
+pub mod claim;
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod ids;
+pub mod json;
+pub mod similarity;
+pub mod stats;
+pub mod truth;
+pub mod value;
+pub mod view;
+
+pub use claim::Claim;
+pub use dataset::{Cell, Dataset, DatasetBuilder};
+pub use error::ModelError;
+pub use ids::{AttributeId, Interner, ObjectId, SourceId, ValueId};
+pub use similarity::{SimilarityConfig, ValueSimilarity};
+pub use stats::DatasetStats;
+pub use truth::GroundTruth;
+pub use value::Value;
+pub use view::DatasetView;

@@ -1,0 +1,205 @@
+//! Graded similarity between claim values.
+//!
+//! Two of the paper's base algorithms need more than exact equality:
+//! TruthFinder [Yin et al. 2008] lets similar values *imply* (support)
+//! each other, and AccuSim [Dong et al. 2009] extends Accu the same way.
+//! [`ValueSimilarity`] provides the `sim(v1, v2) ∈ [0, 1]` measure they
+//! consume: normalized Levenshtein for text, relative closeness for
+//! numbers, identity for booleans, `0` across kinds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// Tuning knobs for [`ValueSimilarity`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimilarityConfig {
+    /// Scale of numeric closeness: similarity is
+    /// `max(0, 1 - |a-b| / (numeric_scale * max(|a|, |b|, 1)))`.
+    /// `1.0` means values twice apart (relative) have similarity 0.
+    pub numeric_scale: f64,
+    /// If `false`, text values are only similar when equal (similarity is
+    /// then 1 or 0). Saves the Levenshtein cost on large categorical
+    /// domains where partial matches are meaningless.
+    pub fuzzy_text: bool,
+}
+
+impl Default for SimilarityConfig {
+    fn default() -> Self {
+        Self {
+            numeric_scale: 1.0,
+            fuzzy_text: true,
+        }
+    }
+}
+
+/// Stateless similarity evaluator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSimilarity {
+    config: SimilarityConfig,
+}
+
+impl ValueSimilarity {
+    /// Evaluator with the given configuration.
+    pub fn new(config: SimilarityConfig) -> Self {
+        Self { config }
+    }
+
+    /// Similarity in `[0, 1]`; `1` iff the values are equal (up to float
+    /// canonicalization), `0` across kinds.
+    pub fn sim(&self, a: &Value, b: &Value) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        match (a, b) {
+            (Value::Text(x), Value::Text(y))
+                if self.config.fuzzy_text => {
+                    normalized_levenshtein(x, y)
+                }
+            (Value::Int(x), Value::Int(y)) => self.numeric_sim(*x as f64, *y as f64),
+            (Value::Float(x), Value::Float(y)) => self.numeric_sim(*x, *y),
+            // Unequal booleans, or values of different kinds.
+            _ => 0.0,
+        }
+    }
+
+    fn numeric_sim(&self, x: f64, y: f64) -> f64 {
+        let scale = self.config.numeric_scale * x.abs().max(y.abs()).max(1.0);
+        (1.0 - (x - y).abs() / scale).max(0.0)
+    }
+}
+
+/// Levenshtein edit distance between two strings, over Unicode scalar
+/// values, computed with the classic two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity normalized to `[0, 1]`:
+/// `1 - distance / max(len_a, len_b)`; `1.0` for two empty strings.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(levenshtein("algeria", "nigeria"), levenshtein("nigeria", "algeria"));
+    }
+
+    #[test]
+    fn levenshtein_handles_unicode() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn normalized_levenshtein_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        let s = normalized_levenshtein("Linus Torvalds", "Linux Torvalds");
+        assert!(s > 0.9 && s < 1.0);
+    }
+
+    #[test]
+    fn identical_values_have_similarity_one() {
+        let vs = ValueSimilarity::default();
+        assert_eq!(vs.sim(&Value::text("x"), &Value::text("x")), 1.0);
+        assert_eq!(vs.sim(&Value::int(5), &Value::int(5)), 1.0);
+        assert_eq!(vs.sim(&Value::float(2.5), &Value::float(2.5)), 1.0);
+        assert_eq!(vs.sim(&Value::bool(true), &Value::bool(true)), 1.0);
+    }
+
+    #[test]
+    fn cross_kind_similarity_is_zero() {
+        let vs = ValueSimilarity::default();
+        assert_eq!(vs.sim(&Value::int(1), &Value::text("1")), 0.0);
+        assert_eq!(vs.sim(&Value::bool(true), &Value::int(1)), 0.0);
+    }
+
+    #[test]
+    fn close_numbers_are_similar() {
+        let vs = ValueSimilarity::default();
+        let close = vs.sim(&Value::int(1991), &Value::int(1994));
+        let far = vs.sim(&Value::int(1991), &Value::int(1830));
+        assert!(close > 0.99, "close years nearly identical: {close}");
+        assert!(far < close);
+        assert!((0.0..=1.0).contains(&far));
+    }
+
+    #[test]
+    fn numeric_scale_controls_strictness() {
+        let strict = ValueSimilarity::new(SimilarityConfig {
+            numeric_scale: 0.01,
+            fuzzy_text: true,
+        });
+        let lax = ValueSimilarity::default();
+        let a = Value::int(100);
+        let b = Value::int(105);
+        assert!(strict.sim(&a, &b) < lax.sim(&a, &b));
+    }
+
+    #[test]
+    fn fuzzy_text_can_be_disabled() {
+        let exact = ValueSimilarity::new(SimilarityConfig {
+            numeric_scale: 1.0,
+            fuzzy_text: false,
+        });
+        assert_eq!(exact.sim(&Value::text("abc"), &Value::text("abd")), 0.0);
+        assert_eq!(exact.sim(&Value::text("abc"), &Value::text("abc")), 1.0);
+    }
+
+    #[test]
+    fn unequal_booleans_are_dissimilar() {
+        let vs = ValueSimilarity::default();
+        assert_eq!(vs.sim(&Value::bool(true), &Value::bool(false)), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let vs = ValueSimilarity::default();
+        let pairs = [
+            (Value::text("Algeria"), Value::text("Nigeria")),
+            (Value::int(3), Value::int(9)),
+            (Value::float(0.5), Value::float(0.7)),
+        ];
+        for (a, b) in &pairs {
+            assert!((vs.sim(a, b) - vs.sim(b, a)).abs() < 1e-12);
+        }
+    }
+}

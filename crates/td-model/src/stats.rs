@@ -1,0 +1,168 @@
+//! Dataset statistics, including the paper's Data Coverage Rate (DCR).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Summary statistics of a dataset, matching the columns of the paper's
+/// Table 8 (sources, objects, attributes, observations, DCR).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of sources.
+    pub n_sources: usize,
+    /// Number of objects.
+    pub n_objects: usize,
+    /// Number of attributes.
+    pub n_attributes: usize,
+    /// Number of observations (claims).
+    pub n_observations: usize,
+    /// Data Coverage Rate in percent, per the paper's §4.4 formula.
+    pub dcr: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of `dataset`.
+    pub fn of(dataset: &Dataset) -> Self {
+        Self {
+            n_sources: dataset.n_sources(),
+            n_objects: dataset.n_objects(),
+            n_attributes: dataset.n_attributes(),
+            n_observations: dataset.n_claims(),
+            dcr: data_coverage_rate(dataset),
+        }
+    }
+}
+
+/// Data Coverage Rate (paper §4.4):
+///
+/// ```text
+/// DCR = (1 - Σ_o (|S_o|·|A_o| - Σ_{s∈S_o} |A_{o,s}|) / Σ_o (|S_o|·|A_o|)) · 100
+///     =  Σ_o Σ_{s∈S_o} |A_{o,s}|  /  Σ_o (|S_o|·|A_o|)  · 100
+/// ```
+///
+/// where `S_o` is the set of sources with at least one claim about object
+/// `o`, `A_o` the set of attributes of `o` claimed by anyone, and
+/// `A_{o,s}` the attributes of `o` claimed by source `s`. A dataset where
+/// every covering source answers every covered attribute of every object
+/// has `DCR = 100`; sparse per-source coverage drives it down. Returns
+/// `100.0` for an empty dataset (vacuously fully covered).
+pub fn data_coverage_rate(dataset: &Dataset) -> f64 {
+    let n_obj = dataset.n_objects();
+    if n_obj == 0 || dataset.n_claims() == 0 {
+        return 100.0;
+    }
+    // Per object: which sources touch it, which attributes it has, and how
+    // many (source, attribute) slots are filled.
+    let n_src = dataset.n_sources();
+    let mut sources_of_obj = vec![0usize; n_obj]; // |S_o|
+    let mut attrs_of_obj = vec![0usize; n_obj]; // |A_o|
+    let mut filled_of_obj = vec![0usize; n_obj]; // Σ_s |A_{o,s}|
+
+    // Mark (object, source) pairs via a per-object bitset over sources.
+    let mut seen_source = vec![false; n_obj * n_src];
+    for cell in dataset.cells() {
+        let o = cell.object.index();
+        attrs_of_obj[o] += 1;
+        filled_of_obj[o] += cell.n_claims();
+        for claim in dataset.cell_claims(cell) {
+            let slot = o * n_src + claim.source.index();
+            if !seen_source[slot] {
+                seen_source[slot] = true;
+                sources_of_obj[o] += 1;
+            }
+        }
+    }
+
+    let total_slots: usize = (0..n_obj).map(|o| sources_of_obj[o] * attrs_of_obj[o]).sum();
+    if total_slots == 0 {
+        return 100.0;
+    }
+    let filled: usize = filled_of_obj.iter().sum();
+    filled as f64 / total_slots as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn full_coverage_is_100() {
+        let mut b = DatasetBuilder::new();
+        for s in ["s1", "s2", "s3"] {
+            for o in ["o1", "o2"] {
+                for a in ["a1", "a2"] {
+                    b.claim(s, o, a, Value::int(1)).unwrap();
+                }
+            }
+        }
+        let d = b.build();
+        assert!((data_coverage_rate(&d) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_coverage_is_50() {
+        // Two sources, one object, two attributes; each source answers
+        // exactly one attribute: slots = 2 sources * 2 attrs = 4, filled 2.
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a1", Value::int(1)).unwrap();
+        b.claim("s2", "o", "a2", Value::int(2)).unwrap();
+        let d = b.build();
+        assert!((data_coverage_rate(&d) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_is_vacuously_covered() {
+        let d = DatasetBuilder::new().build();
+        assert_eq!(data_coverage_rate(&d), 100.0);
+    }
+
+    #[test]
+    fn uncovered_attributes_of_other_objects_do_not_count() {
+        // o1 has attributes a1, a2; o2 only a1. Coverage is per object.
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o1", "a1", Value::int(1)).unwrap();
+        b.claim("s1", "o1", "a2", Value::int(1)).unwrap();
+        b.claim("s1", "o2", "a1", Value::int(1)).unwrap();
+        let d = b.build();
+        // s1 fully covers both objects' claimed attribute sets.
+        assert!((data_coverage_rate(&d) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_report_counts() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a1", Value::int(1)).unwrap();
+        b.claim("s2", "o", "a1", Value::int(2)).unwrap();
+        let d = b.build();
+        let st = DatasetStats::of(&d);
+        assert_eq!(st.n_sources, 2);
+        assert_eq!(st.n_objects, 1);
+        assert_eq!(st.n_attributes, 1);
+        assert_eq!(st.n_observations, 2);
+        assert!((st.dcr - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dcr_decreases_with_sparsity() {
+        // Dense dataset vs the same with claims removed.
+        let mut dense = DatasetBuilder::new();
+        let mut sparse = DatasetBuilder::new();
+        for s in 0..4 {
+            for a in 0..4 {
+                dense
+                    .claim(&format!("s{s}"), "o", &format!("a{a}"), Value::int(1))
+                    .unwrap();
+                if (s + a) % 2 == 0 {
+                    sparse
+                        .claim(&format!("s{s}"), "o", &format!("a{a}"), Value::int(1))
+                        .unwrap();
+                }
+            }
+        }
+        let d_dense = dense.build();
+        let d_sparse = sparse.build();
+        assert!(data_coverage_rate(&d_sparse) < data_coverage_rate(&d_dense));
+    }
+}

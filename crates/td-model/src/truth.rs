@@ -1,0 +1,178 @@
+//! Ground-truth assignments used for evaluation and oracle baselines.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AttributeId, ObjectId, ValueId};
+
+/// The reference assignment of true values per `(object, attribute)` cell.
+///
+/// Ground truth is *evaluation metadata*, deliberately separate from
+/// [`crate::Dataset`]: truth-discovery algorithms never see it, while the
+/// metrics crate and the paper's *Oracle* partitioning baseline do. Truth
+/// may be partial — real datasets (Stocks, Flights in the paper) only have
+/// a gold standard for a subset of cells.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "Vec<TruthEntry>", into = "Vec<TruthEntry>")]
+pub struct GroundTruth {
+    entries: HashMap<(ObjectId, AttributeId), ValueId>,
+}
+
+/// JSON-friendly representation of one ground-truth entry (tuple map keys
+/// are not representable in JSON, so the map round-trips as a list).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TruthEntry {
+    /// Object of the cell.
+    pub object: ObjectId,
+    /// Attribute of the cell.
+    pub attribute: AttributeId,
+    /// True value of the cell.
+    pub value: ValueId,
+}
+
+impl From<Vec<TruthEntry>> for GroundTruth {
+    fn from(v: Vec<TruthEntry>) -> Self {
+        GroundTruth {
+            entries: v
+                .into_iter()
+                .map(|e| ((e.object, e.attribute), e.value))
+                .collect(),
+        }
+    }
+}
+
+impl From<GroundTruth> for Vec<TruthEntry> {
+    fn from(t: GroundTruth) -> Self {
+        let mut v: Vec<TruthEntry> = t
+            .entries
+            .into_iter()
+            .map(|((object, attribute), value)| TruthEntry {
+                object,
+                attribute,
+                value,
+            })
+            .collect();
+        v.sort_by_key(|e| (e.object, e.attribute));
+        v
+    }
+}
+
+impl GroundTruth {
+    /// Creates an empty ground truth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing map.
+    pub fn from_map(entries: HashMap<(ObjectId, AttributeId), ValueId>) -> Self {
+        Self { entries }
+    }
+
+    /// Records the true value of a cell, replacing any previous entry.
+    pub fn set(&mut self, object: ObjectId, attribute: AttributeId, value: ValueId) {
+        self.entries.insert((object, attribute), value);
+    }
+
+    /// The true value of a cell, if known.
+    pub fn get(&self, object: ObjectId, attribute: AttributeId) -> Option<ValueId> {
+        self.entries.get(&(object, attribute)).copied()
+    }
+
+    /// Whether the cell has a known truth.
+    pub fn contains(&self, object: ObjectId, attribute: AttributeId) -> bool {
+        self.entries.contains_key(&(object, attribute))
+    }
+
+    /// Number of cells with known truth.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no truth is known at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `((object, attribute), value)` entries
+    /// (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, AttributeId, ValueId)> + '_ {
+        self.entries.iter().map(|(&(o, a), &v)| (o, a, v))
+    }
+
+    /// Restricts the truth to the given attributes (used when evaluating a
+    /// single partition of a TD-AC run in isolation).
+    pub fn restricted_to(&self, attributes: &[AttributeId]) -> GroundTruth {
+        let keep: std::collections::HashSet<AttributeId> = attributes.iter().copied().collect();
+        GroundTruth {
+            entries: self
+                .entries
+                .iter()
+                .filter(|((_, a), _)| keep.contains(a))
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oa(o: u32, a: u32) -> (ObjectId, AttributeId) {
+        (ObjectId::new(o), AttributeId::new(a))
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = GroundTruth::new();
+        assert!(t.is_empty());
+        let (o, a) = oa(0, 1);
+        t.set(o, a, ValueId::new(9));
+        assert_eq!(t.get(o, a), Some(ValueId::new(9)));
+        assert!(t.contains(o, a));
+        assert!(!t.contains(ObjectId::new(1), a));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut t = GroundTruth::new();
+        let (o, a) = oa(0, 0);
+        t.set(o, a, ValueId::new(1));
+        t.set(o, a, ValueId::new(2));
+        assert_eq!(t.get(o, a), Some(ValueId::new(2)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn restriction_keeps_only_requested_attributes() {
+        let mut t = GroundTruth::new();
+        t.set(ObjectId::new(0), AttributeId::new(0), ValueId::new(0));
+        t.set(ObjectId::new(0), AttributeId::new(1), ValueId::new(1));
+        t.set(ObjectId::new(1), AttributeId::new(1), ValueId::new(2));
+        let r = t.restricted_to(&[AttributeId::new(1)]);
+        assert_eq!(r.len(), 2);
+        assert!(r.get(ObjectId::new(0), AttributeId::new(0)).is_none());
+        assert_eq!(
+            r.get(ObjectId::new(1), AttributeId::new(1)),
+            Some(ValueId::new(2))
+        );
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let mut t = GroundTruth::new();
+        t.set(ObjectId::new(0), AttributeId::new(0), ValueId::new(5));
+        t.set(ObjectId::new(2), AttributeId::new(3), ValueId::new(6));
+        let mut got: Vec<_> = t.iter().collect();
+        got.sort_by_key(|&(o, a, _)| (o, a));
+        assert_eq!(
+            got,
+            vec![
+                (ObjectId::new(0), AttributeId::new(0), ValueId::new(5)),
+                (ObjectId::new(2), AttributeId::new(3), ValueId::new(6)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Typed claim values with total equality and hashing.
+//!
+//! Truth-discovery algorithms vote over *exact* value identity, so
+//! [`Value`] implements `Eq` and `Hash` for every variant — floats are
+//! compared by canonicalized bit pattern (`-0.0 == 0.0`, `NaN` is
+//! rejected at construction). Similarity-aware algorithms (TruthFinder's
+//! implication, AccuSim) additionally need a graded notion of closeness,
+//! provided by [`crate::similarity`].
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+/// A claim payload: the value a source asserts for an `(object, attribute)`
+/// cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "t", content = "v")]
+pub enum Value {
+    /// Free text (answers, names, categorical labels).
+    Text(String),
+    /// Integer data (years, counts).
+    Int(i64),
+    /// Floating point data (prices, coordinates). Never NaN.
+    Float(f64),
+    /// Boolean data.
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Convenience constructor for integer values.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Constructs a float value, panicking on NaN (NaN would break the
+    /// one-truth voting semantics — two NaN claims would never agree).
+    pub fn float(f: f64) -> Self {
+        assert!(!f.is_nan(), "NaN is not a valid claim value");
+        Value::Float(f)
+    }
+
+    /// Fallible float constructor, returning `None` on NaN.
+    pub fn try_float(f: f64) -> Option<Self> {
+        if f.is_nan() {
+            None
+        } else {
+            Some(Value::Float(f))
+        }
+    }
+
+    /// Convenience constructor for boolean values.
+    pub fn bool(b: bool) -> Self {
+        Value::Bool(b)
+    }
+
+    /// Short lowercase name of the variant, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Text(_) => "text",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+        }
+    }
+
+    /// Canonical bit pattern used for float equality: `-0.0` folds onto
+    /// `0.0` so the two compare (and hash) equal.
+    fn float_bits(f: f64) -> u64 {
+        if f == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => Self::float_bits(*a) == Self::float_bits(*b),
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Text(s) => {
+                0u8.hash(state);
+                s.hash(state);
+            }
+            Value::Int(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                Self::float_bits(*f).hash(state);
+            }
+            Value::Bool(b) => {
+                3u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::text(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_within_variants() {
+        assert_eq!(Value::text("Algeria"), Value::text("Algeria"));
+        assert_ne!(Value::text("Algeria"), Value::text("Senegal"));
+        assert_eq!(Value::int(2019), Value::int(2019));
+        assert_eq!(Value::bool(true), Value::bool(true));
+        assert_ne!(Value::bool(true), Value::bool(false));
+    }
+
+    #[test]
+    fn cross_variant_values_never_equal() {
+        assert_ne!(Value::int(1), Value::float(1.0));
+        assert_ne!(Value::text("1"), Value::int(1));
+        assert_ne!(Value::bool(true), Value::int(1));
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        assert_eq!(Value::float(0.0), Value::float(-0.0));
+        assert_eq!(hash_of(&Value::float(0.0)), hash_of(&Value::float(-0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = Value::float(f64::NAN);
+    }
+
+    #[test]
+    fn try_float_filters_nan() {
+        assert!(Value::try_float(f64::NAN).is_none());
+        assert_eq!(Value::try_float(1.5), Some(Value::Float(1.5)));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::text("x")), hash_of(&Value::text("x")));
+        assert_eq!(hash_of(&Value::int(7)), hash_of(&Value::int(7)));
+    }
+
+    #[test]
+    fn display_renders_payload() {
+        assert_eq!(Value::text("abc").to_string(), "abc");
+        assert_eq!(Value::int(-4).to_string(), "-4");
+        assert_eq!(Value::float(2.5).to_string(), "2.5");
+        assert_eq!(Value::bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for v in [
+            Value::text("hello"),
+            Value::int(42),
+            Value::float(3.25),
+            Value::bool(true),
+        ] {
+            let json = serde_json::to_string(&v).unwrap();
+            let back: Value = serde_json::from_str(&json).unwrap();
+            assert_eq!(v, back);
+        }
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::text("").kind(), "text");
+        assert_eq!(Value::int(0).kind(), "int");
+        assert_eq!(Value::float(0.0).kind(), "float");
+        assert_eq!(Value::bool(false).kind(), "bool");
+    }
+}

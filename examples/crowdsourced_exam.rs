@@ -1,0 +1,52 @@
+//! Crowdsourcing scenario: grade a multi-domain exam answered by
+//! hundreds of students with no answer key, using truth discovery — and
+//! show how TD-AC's attribute partitioning reacts to domain structure.
+//!
+//! This is the paper's §4.3/§4.4 Exam workload (here: the structural
+//! simulator, since the original data is private).
+//!
+//! ```sh
+//! cargo run --release --example crowdsourced_exam
+//! ```
+
+use td_ac::algorithms::{TruthDiscovery, TruthFinder};
+use td_ac::core::{Tdac, TdacConfig};
+use td_ac::data::{generate_exam, ExamConfig};
+use td_ac::metrics::{data_coverage_rate, evaluate_fn};
+
+fn main() {
+    for n_attrs in [32usize, 62, 124] {
+        let cfg = ExamConfig::new(n_attrs, 100);
+        let (dataset, truth) = generate_exam(&cfg);
+        let dcr = data_coverage_rate(&dataset);
+        println!(
+            "Exam slice with {n_attrs} questions: {} students, {} answers, DCR {dcr:.0} %",
+            dataset.n_sources(),
+            dataset.n_claims()
+        );
+
+        // Grade with TruthFinder alone…
+        let tf = TruthFinder::default();
+        let alone = tf.discover(&dataset.view_all());
+        let alone_report = evaluate_fn(&dataset, &truth, |o, a| alone.prediction(o, a));
+
+        // …and wrapped in TD-AC.
+        let outcome = Tdac::new(TdacConfig::default())
+            .run(&tf, &dataset)
+            .expect("TD-AC run");
+        let tdac_report = evaluate_fn(&dataset, &truth, |o, a| outcome.result.prediction(o, a));
+
+        println!("  TruthFinder alone : {alone_report}");
+        println!("  TD-AC(TruthFinder): {tdac_report}");
+        println!(
+            "  TD-AC grouped the {} questions into {} clusters (silhouette {:.3})",
+            n_attrs,
+            outcome.partition.len(),
+            outcome.silhouette
+        );
+        // The paper's observation: the sparser the data (lower DCR), the
+        // less clustering can help — watch the silhouette shrink across
+        // the three slices.
+        println!();
+    }
+}

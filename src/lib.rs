@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! # td-ac — Efficient Data Partitioning based Truth Discovery
+//!
+//! A from-scratch Rust reproduction of **TD-AC** (Tossou & Ba, EDBT
+//! 2021): truth discovery for conflicting multi-source data whose
+//! attributes are *structurally correlated* — sources exhibit different
+//! reliability on different groups of attributes. TD-AC recovers those
+//! hidden groups by clustering *attribute truth vectors* with k-means
+//! under silhouette model selection, then runs any base truth-discovery
+//! algorithm per group.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`model`] — datasets, claims, views, ground truth ([`td_model`]);
+//! * [`metrics`] — precision / recall / accuracy / F1 / DCR
+//!   ([`td_metrics`]);
+//! * [`algorithms`] — 12 classic truth-discovery algorithms
+//!   ([`td_algorithms`]);
+//! * [`cluster`] — the hand-written clustering stack ([`clustering`]);
+//! * [`core`] — TD-AC itself and the AccuGenPartition baseline
+//!   ([`tdac_core`]);
+//! * [`data`] — the workload generators ([`datagen`]);
+//! * [`eval`] — the table/figure reproduction harness ([`tdac_eval`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use td_ac::model::{DatasetBuilder, Value};
+//! use td_ac::algorithms::{MajorityVote, TruthDiscovery};
+//! use td_ac::core::{Tdac, TdacConfig};
+//!
+//! let mut b = DatasetBuilder::new();
+//! // Three sources disagree about one fact…
+//! b.claim("site-a", "afcon2019", "winner", Value::text("Algeria")).unwrap();
+//! b.claim("site-b", "afcon2019", "winner", Value::text("Senegal")).unwrap();
+//! b.claim("site-c", "afcon2019", "winner", Value::text("Algeria")).unwrap();
+//! let dataset = b.build();
+//!
+//! // …a base algorithm resolves it…
+//! let result = MajorityVote.discover(&dataset.view_all());
+//!
+//! // …and TD-AC wraps any such algorithm with attribute partitioning.
+//! let tdac = Tdac::new(TdacConfig::default());
+//! let outcome = tdac.run(&MajorityVote, &dataset).unwrap();
+//! assert_eq!(outcome.result.len(), result.len());
+//! ```
+
+pub use clustering as cluster;
+pub use datagen as data;
+pub use td_algorithms as algorithms;
+pub use td_metrics as metrics;
+pub use td_model as model;
+pub use tdac_core as core;
+pub use tdac_eval as eval;
+
+/// The crate version, for diagnostics.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        // Touch one symbol from every re-exported crate.
+        let _ = crate::model::Value::int(1);
+        let _ = crate::metrics::Confusion::new();
+        let _ = crate::algorithms::MajorityVote;
+        let _ = crate::cluster::KMeansConfig::with_k(2);
+        let _ = crate::core::TdacConfig::default();
+        let _ = crate::data::SyntheticConfig::ds1();
+        let _ = crate::eval::Scale::Small;
+        assert!(!crate::VERSION.is_empty());
+    }
+}

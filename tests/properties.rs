@@ -1,0 +1,166 @@
+//! Property-based integration tests: invariants that must hold for any
+//! randomly-shaped dataset, not just the paper's workloads.
+
+use proptest::prelude::*;
+
+use td_ac::algorithms::{registry::all_algorithms, MajorityVote, TruthDiscovery};
+use td_ac::cluster::{silhouette_paper, silhouette_samples, Hamming, KMeans, KMeansConfig, Matrix};
+use td_ac::core::{all_partitions, bell_number, AttributePartition, Tdac, TdacConfig};
+use td_ac::metrics::evaluate_fn;
+use td_ac::model::{AttributeId, Dataset, DatasetBuilder, GroundTruth, Value};
+
+/// Strategy: a random dataset with `n_sources × n_objects × n_attrs`
+/// shape and claims drawn from a small integer domain, plus full ground
+/// truth.
+fn arb_dataset() -> impl Strategy<Value = (Dataset, GroundTruth)> {
+    (2usize..6, 1usize..5, 1usize..6, 2i64..6, any::<u64>()).prop_map(
+        |(n_sources, n_objects, n_attrs, domain, seed)| {
+            // Deterministic pseudo-random fill from the seed.
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut b = DatasetBuilder::new();
+            for o in 0..n_objects {
+                for a in 0..n_attrs {
+                    let truth = (next() % domain as u64) as i64;
+                    b.truth(&format!("o{o}"), &format!("a{a}"), Value::int(truth));
+                    for s in 0..n_sources {
+                        if next() % 10 < 8 {
+                            let v = (next() % domain as u64) as i64;
+                            b.claim(
+                                &format!("s{s}"),
+                                &format!("o{o}"),
+                                &format!("a{a}"),
+                                Value::int(v),
+                            )
+                            .expect("fresh cell");
+                        }
+                    }
+                }
+            }
+            b.build_with_truth()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_algorithm_predicts_only_claimed_values((dataset, _truth) in arb_dataset()) {
+        for algo in all_algorithms() {
+            let r = algo.discover(&dataset.view_all());
+            prop_assert_eq!(r.len(), dataset.n_cells(), "{}", algo.name());
+            for cell in dataset.cells() {
+                let p = r.prediction(cell.object, cell.attribute)
+                    .expect("cell predicted");
+                prop_assert!(
+                    dataset.cell_claims(cell).iter().any(|c| c.value == p),
+                    "{} predicted an unclaimed value", algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn source_trust_is_finite_and_bounded((dataset, _truth) in arb_dataset()) {
+        for algo in all_algorithms() {
+            let r = algo.discover(&dataset.view_all());
+            prop_assert_eq!(r.source_trust.len(), dataset.n_sources());
+            for &t in &r.source_trust {
+                prop_assert!(t.is_finite(), "{} trust not finite", algo.name());
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&t),
+                    "{} trust {t} out of [0,1]", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_are_bounded_and_consistent((dataset, truth) in arb_dataset()) {
+        let r = MajorityVote.discover(&dataset.view_all());
+        let rep = evaluate_fn(&dataset, &truth, |o, a| r.prediction(o, a));
+        for v in [rep.precision, rep.recall, rep.accuracy, rep.f1, rep.cell_accuracy] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // F1 lies between min and max of precision/recall.
+        if rep.precision > 0.0 && rep.recall > 0.0 {
+            prop_assert!(rep.f1 <= rep.precision.max(rep.recall) + 1e-12);
+            prop_assert!(rep.f1 >= rep.precision.min(rep.recall) - 1e-12);
+        }
+        prop_assert_eq!(rep.n_cells, dataset.n_cells() as u64);
+    }
+
+    #[test]
+    fn tdac_predicts_every_cell_once((dataset, _truth) in arb_dataset()) {
+        let out = Tdac::new(TdacConfig::default())
+            .run(&MajorityVote, &dataset)
+            .expect("TD-AC on non-empty dataset");
+        prop_assert_eq!(out.result.len(), dataset.n_cells());
+        // Partition is a true partition of the attribute set.
+        let mut seen: Vec<AttributeId> =
+            out.partition.groups().iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let mut expect: Vec<AttributeId> = dataset.attribute_ids().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn silhouette_is_bounded_on_random_binary_matrices(
+        rows in 2usize..8,
+        cols in 1usize..6,
+        seed in any::<u64>(),
+        k in 2usize..4,
+    ) {
+        let k = k.min(rows);
+        let mut state = seed | 1;
+        let mut next = move || { state ^= state << 13; state ^= state >> 7; state };
+        let data = Matrix::from_rows(
+            &(0..rows)
+                .map(|_| (0..cols).map(|_| (next() % 2) as f64).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+        );
+        let fit = KMeans::new(KMeansConfig::with_k(k)).fit(&data).expect("fit");
+        for c in silhouette_samples(&data, &fit.assignments, &Hamming) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+        }
+        let s = silhouette_paper(&data, &fit.assignments, &Hamming);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+    }
+
+    #[test]
+    fn partition_enumeration_matches_bell(n in 0usize..7) {
+        let attrs: Vec<AttributeId> = (0..n as u32).map(AttributeId::new).collect();
+        let parts = all_partitions(&attrs);
+        prop_assert_eq!(parts.len() as u64, bell_number(n));
+        for p in &parts {
+            prop_assert_eq!(p.n_attributes(), n);
+        }
+    }
+
+    #[test]
+    fn rand_index_is_reflexive_and_bounded(
+        assignment in proptest::collection::vec(0usize..3, 2..8),
+    ) {
+        let attrs: Vec<AttributeId> =
+            (0..assignment.len() as u32).map(AttributeId::new).collect();
+        let p = AttributePartition::from_assignments(&attrs, &assignment);
+        prop_assert!((p.rand_index(&p) - 1.0).abs() < 1e-12);
+        let whole = AttributePartition::whole(&attrs);
+        let ri = p.rand_index(&whole);
+        prop_assert!((0.0..=1.0).contains(&ri));
+    }
+
+    #[test]
+    fn dataset_roundtrips_through_json((dataset, truth) in arb_dataset()) {
+        let json = td_ac::model::json::to_json(&dataset, Some(&truth));
+        let (back, t2) = td_ac::model::json::from_json(&json).expect("parse");
+        prop_assert_eq!(back.n_claims(), dataset.n_claims());
+        prop_assert_eq!(back.n_cells(), dataset.n_cells());
+        prop_assert_eq!(t2.expect("truth").len(), truth.len());
+    }
+}
