@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use td_algorithms::MajorityVote;
 use tdac_bench::ds1_tiny;
-use tdac_core::{AccuGenPartition, Tdac, TdacConfig, Weighting};
+use tdac_core::{AccuGenPartition, Parallelism, Tdac, TdacConfig, Weighting};
 
 fn bench_partitioning(c: &mut Criterion) {
     let data = ds1_tiny();
@@ -40,7 +40,7 @@ fn bench_partitioning(c: &mut Criterion) {
 
     group.bench_function("accugen_avg_sequential", |b| {
         let brute = AccuGenPartition {
-            parallel: false,
+            parallelism: Parallelism::Threads(1),
             ..Default::default()
         };
         b.iter(|| {

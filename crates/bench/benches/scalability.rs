@@ -1,7 +1,7 @@
 //! Bench: scalability sweeps the paper's conclusion worries about —
 //! running time as objects and sources grow (the "optimization of the
 //! running time … when the number of attributes, objects and sources is
-//! very large" perspective), including the crossbeam-parallel
+//! very large" perspective), including the rayon-parallel
 //! AccuGenPartition as the paper's suggested parallelization.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};

@@ -1,11 +1,17 @@
-//! Distance metrics over dense vectors.
+//! Distance metrics over dense vectors, plus the shared pairwise
+//! distance-matrix kernel every distance-based entry point builds on.
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
 
 /// A dissimilarity measure between two equal-length vectors.
 ///
 /// Implementations must be symmetric and return `0` for identical
 /// vectors; they need not satisfy the triangle inequality (cosine
-/// distance does not).
-pub trait Metric {
+/// distance does not). `Sync` is required so distance matrices can be
+/// filled from worker threads; metrics are stateless in practice.
+pub trait Metric: Sync {
     /// Distance between `a` and `b`.
     ///
     /// Callers guarantee `a.len() == b.len()`.
@@ -112,6 +118,35 @@ impl Metric for Cosine {
     }
 }
 
+/// The full pairwise distance matrix over the rows of `data`, row-major
+/// `n×n` with a zero diagonal.
+///
+/// The upper triangle is computed in parallel (one strip of
+/// `dist(i, i+1..n)` per row) and mirrored, so every entry is evaluated
+/// exactly once and the result is bit-identical at any thread count.
+/// This is the shared cache the TD-AC k-sweep, PAM and hierarchical
+/// clustering all reuse instead of recomputing `O(n²·d)` distances.
+pub fn pairwise_distances(data: &Matrix, metric: &dyn Metric) -> Vec<f64> {
+    let n = data.n_rows();
+    let strips: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            ((i + 1)..n)
+                .map(|j| metric.distance(data.row(i), data.row(j)))
+                .collect()
+        })
+        .collect();
+    let mut dist = vec![0.0f64; n * n];
+    for (i, strip) in strips.iter().enumerate() {
+        for (off, &d) in strip.iter().enumerate() {
+            let j = i + 1 + off;
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    dist
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +184,43 @@ mod tests {
         assert!((Cosine.distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
         assert_eq!(Cosine.distance(&[0.0], &[0.0]), 0.0);
         assert_eq!(Cosine.distance(&[0.0], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn pairwise_distances_matches_direct_evaluation() {
+        let data = Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![3.0, -2.0],
+            vec![0.5, 0.5],
+            vec![-1.0, 4.0],
+        ]);
+        let n = data.n_rows();
+        for metric in [&Euclidean as &dyn Metric, &Hamming, &Cosine] {
+            let dist = pairwise_distances(&data, metric);
+            assert_eq!(dist.len(), n * n);
+            for i in 0..n {
+                // The diagonal is pinned to exactly 0 by construction
+                // (cosine's sqrt rounding can make distance(x, x) ≈ 1e-16).
+                assert_eq!(dist[i * n + i], 0.0);
+                for j in 0..n {
+                    if i != j {
+                        assert_eq!(
+                            dist[i * n + j],
+                            metric.distance(data.row(i.min(j)), data.row(i.max(j))),
+                            "{} ({i},{j})",
+                            metric.name()
+                        );
+                    }
+                    assert_eq!(dist[i * n + j], dist[j * n + i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_distances_of_empty_matrix() {
+        assert!(pairwise_distances(&Matrix::from_rows(&[]), &Euclidean).is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::distance::Metric;
+use crate::distance::{pairwise_distances, Metric};
 use crate::error::ClusterError;
 use crate::matrix::Matrix;
 
@@ -49,7 +49,26 @@ impl Agglomerative {
         k: usize,
         metric: &dyn Metric,
     ) -> Result<Vec<usize>, ClusterError> {
-        let n = data.n_rows();
+        // Pairwise observation distances, precomputed (upper triangle in
+        // parallel); the merge loop itself works off the matrix only.
+        let dist = pairwise_distances(data, metric);
+        self.fit_from_distances(&dist, data.n_rows(), k)
+    }
+
+    /// Like [`Agglomerative::fit`], but from a precomputed row-major
+    /// `n×n` distance matrix — so the TD-AC k-sweep can reuse one shared
+    /// matrix across every `k` instead of recomputing `O(n²·d)` distances
+    /// per cut.
+    ///
+    /// # Panics
+    /// Panics if `dist.len() != n * n`.
+    pub fn fit_from_distances(
+        &self,
+        dist: &[f64],
+        n: usize,
+        k: usize,
+    ) -> Result<Vec<usize>, ClusterError> {
+        assert_eq!(dist.len(), n * n, "distance matrix must be n×n");
         if k == 0 {
             return Err(ClusterError::ZeroK);
         }
@@ -62,15 +81,6 @@ impl Agglomerative {
 
         // Active clusters as member lists; start with singletons.
         let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
-        // Pairwise observation distances, precomputed.
-        let mut dist = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = metric.distance(data.row(i), data.row(j));
-                dist[i * n + j] = d;
-                dist[j * n + i] = d;
-            }
-        }
 
         let linkage_dist = |a: &[usize], b: &[usize]| -> f64 {
             let mut acc = match self.linkage {
@@ -204,6 +214,25 @@ mod tests {
             .unwrap();
         assert_eq!(asg[0], 0, "first observation defines cluster 0");
         assert!(asg.iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    fn distance_matrix_entry_point_matches_feature_fit() {
+        let data = blobs();
+        let n = data.n_rows();
+        let dist = crate::distance::pairwise_distances(&data, &Euclidean);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let agg = Agglomerative::new(linkage);
+            let from_features = agg.fit(&data, 2, &Euclidean).unwrap();
+            let from_dist = agg.fit_from_distances(&dist, n, 2).unwrap();
+            assert_eq!(from_features, from_dist, "{linkage:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n×n")]
+    fn distance_matrix_size_is_checked() {
+        let _ = Agglomerative::new(Linkage::Average).fit_from_distances(&[0.0; 3], 2, 1);
     }
 
     #[test]

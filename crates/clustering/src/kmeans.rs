@@ -5,6 +5,7 @@ use rand::distributions::{Distribution, WeightedIndex};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::distance::{Metric, SqEuclidean};
@@ -109,12 +110,23 @@ impl KMeans {
             return Err(ClusterError::TooFewObservations { k, n });
         }
 
+        // Restarts are independent (each derives its RNG from its restart
+        // index alone), so they run in parallel; folding the collected
+        // runs in restart order with the strict `<` keeps the earliest
+        // lowest-inertia run, exactly as the sequential loop did.
+        let runs: Vec<KMeansResult> = (0..self.config.n_init.max(1) as usize)
+            .into_par_iter()
+            .map(|restart| {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    self.config
+                        .seed
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(restart as u64 + 1)),
+                );
+                self.single_run(data, &mut rng)
+            })
+            .collect();
         let mut best: Option<KMeansResult> = None;
-        for restart in 0..self.config.n_init.max(1) {
-            let mut rng = ChaCha8Rng::seed_from_u64(
-                self.config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(restart as u64 + 1)),
-            );
-            let run = self.single_run(data, &mut rng);
+        for run in runs {
             if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
                 best = Some(run);
             }
@@ -136,19 +148,29 @@ impl KMeans {
 
         loop {
             iterations += 1;
-            // Assignment step.
-            let mut new_inertia = 0.0;
-            for i in 0..n {
-                let row = data.row(i);
-                let mut best_c = 0usize;
-                let mut best_d = f64::INFINITY;
-                for c in 0..k {
-                    let dist = metric.distance(row, centroids.row(c));
-                    if dist < best_d {
-                        best_d = dist;
-                        best_c = c;
+            // Assignment step: rows are independent, so label them in
+            // parallel; the inertia is summed over the collected labels in
+            // row order, keeping the total bit-identical to a sequential
+            // pass at any thread count.
+            let centroids_ref = &centroids;
+            let labeled: Vec<(usize, f64)> = (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let row = data.row(i);
+                    let mut best_c = 0usize;
+                    let mut best_d = f64::INFINITY;
+                    for c in 0..k {
+                        let dist = metric.distance(row, centroids_ref.row(c));
+                        if dist < best_d {
+                            best_d = dist;
+                            best_c = c;
+                        }
                     }
-                }
+                    (best_c, best_d)
+                })
+                .collect();
+            let mut new_inertia = 0.0;
+            for (i, (best_c, best_d)) in labeled.into_iter().enumerate() {
                 assignments[i] = best_c;
                 new_inertia += best_d;
             }
@@ -363,6 +385,25 @@ mod tests {
         let r = KMeans::new(KMeansConfig::with_k(2)).fit(&data).unwrap();
         assert_eq!(r.assignments.len(), 5);
         assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_fit() {
+        let data = blobs();
+        let cfg = KMeansConfig::with_k(2);
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| KMeans::new(cfg).fit(&data).unwrap());
+        let four = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| KMeans::new(cfg).fit(&data).unwrap());
+        assert_eq!(one.assignments, four.assignments);
+        assert_eq!(one.inertia.to_bits(), four.inertia.to_bits());
+        assert_eq!(one.iterations, four.iterations);
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Silhouette-guided selection of the number of clusters — the
 //! `k ∈ [2, |A|-1]` sweep of TD-AC's Algorithm 1 (lines 6–18).
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::distance::Metric;
+use crate::distance::{pairwise_distances, Metric};
 use crate::error::ClusterError;
 use crate::kmeans::{KMeans, KMeansConfig, KMeansResult};
 use crate::matrix::Matrix;
-use crate::silhouette::silhouette_paper;
+use crate::silhouette::silhouette_paper_dist;
 
 /// The outcome of a k sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,11 +46,28 @@ pub fn select_k(
         return Err(ClusterError::EmptyKRange);
     }
 
+    // The pairwise distance matrix is identical for every k, so it is
+    // computed exactly once and shared across the sweep; each k then only
+    // pays for its own k-means fit plus an O(n²) silhouette read. The
+    // per-k evaluations are independent and run in parallel; the winner
+    // is picked by a sequential scan in k order with the same strict `>`
+    // the sequential sweep used (ties keep the smallest k).
+    let n = data.n_rows();
+    let dist = pairwise_distances(data, metric);
+    let ks: Vec<usize> = (lo..=hi).collect();
+    let evals: Vec<Result<(KMeansResult, f64), ClusterError>> = ks
+        .par_iter()
+        .map(|&k| {
+            let result = KMeans::new(KMeansConfig { k, ..base }).fit(data)?;
+            let sil = silhouette_paper_dist(&dist, n, &result.assignments);
+            Ok((result, sil))
+        })
+        .collect();
+
     let mut best: Option<(usize, KMeansResult, f64)> = None;
-    let mut scores = Vec::with_capacity(hi - lo + 1);
-    for k in lo..=hi {
-        let result = KMeans::new(KMeansConfig { k, ..base }).fit(data)?;
-        let sil = silhouette_paper(data, &result.assignments, metric);
+    let mut scores = Vec::with_capacity(ks.len());
+    for (&k, eval) in ks.iter().zip(evals) {
+        let (result, sil) = eval?;
         scores.push((k, sil));
         let better = match &best {
             None => true,
@@ -99,10 +117,16 @@ pub fn select_k_elbow(
         return Err(ClusterError::EmptyKRange);
     }
 
-    let mut fits = Vec::with_capacity(hi - lo + 1);
-    for k in lo..=hi {
-        let result = KMeans::new(KMeansConfig { k, ..base }).fit(data)?;
-        fits.push((k, result));
+    // Per-k fits are independent; run them in parallel and re-collect in
+    // k order (first error in k order wins, as in the sequential loop).
+    let ks: Vec<usize> = (lo..=hi).collect();
+    let results: Vec<Result<KMeansResult, ClusterError>> = ks
+        .par_iter()
+        .map(|&k| KMeans::new(KMeansConfig { k, ..base }).fit(data))
+        .collect();
+    let mut fits = Vec::with_capacity(ks.len());
+    for (&k, result) in ks.iter().zip(results) {
+        fits.push((k, result?));
     }
     let inertias: Vec<(usize, f64)> = fits.iter().map(|(k, r)| (*k, r.inertia)).collect();
 

@@ -9,9 +9,10 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::distance::Metric;
+use crate::distance::{pairwise_distances, Metric};
 use crate::error::ClusterError;
 use crate::matrix::Matrix;
 
@@ -64,18 +65,10 @@ impl Pam {
 
     /// Fits `k` medoids to the rows of `data` under `metric`.
     pub fn fit(&self, data: &Matrix, metric: &dyn Metric) -> Result<PamResult, ClusterError> {
-        let n = data.n_rows();
         // Precompute the full distance matrix (n ≤ a few hundred
-        // attributes in every TD-AC workload).
-        let mut dist = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = metric.distance(data.row(i), data.row(j));
-                dist[i * n + j] = d;
-                dist[j * n + i] = d;
-            }
-        }
-        self.fit_from_distances(&dist, n)
+        // attributes in every TD-AC workload), upper triangle in parallel.
+        let dist = pairwise_distances(data, metric);
+        self.fit_from_distances(&dist, data.n_rows())
     }
 
     /// Fits `k` medoids from a precomputed row-major `n×n` distance
@@ -153,20 +146,28 @@ impl Pam {
         let mut iterations = 0u32;
         loop {
             iterations += 1;
-            let mut best_swap: Option<(usize, usize, f64)> = None;
-            for mi in 0..k {
-                for cand in 0..n {
-                    if medoids.contains(&cand) {
-                        continue;
-                    }
-                    let mut trial = medoids.clone();
+            // Evaluate every (medoid, candidate) exchange in parallel,
+            // then pick the winner with a sequential scan in the same
+            // (mi, cand) order the old nested loop used — same strict
+            // `<` rule, so the chosen swap is identical at any thread
+            // count.
+            let swaps: Vec<(usize, usize)> = (0..k)
+                .flat_map(|mi| (0..n).map(move |cand| (mi, cand)))
+                .filter(|&(_, cand)| !medoids.contains(&cand))
+                .collect();
+            let medoids_ref = &medoids;
+            let costs: Vec<f64> = swaps
+                .par_iter()
+                .map(|&(mi, cand)| {
+                    let mut trial = medoids_ref.clone();
                     trial[mi] = cand;
-                    let c = cost_of(&trial);
-                    if c + 1e-12 < cost
-                        && best_swap.is_none_or(|(_, _, bc)| c < bc)
-                    {
-                        best_swap = Some((mi, cand, c));
-                    }
+                    cost_of(&trial)
+                })
+                .collect();
+            let mut best_swap: Option<(usize, usize, f64)> = None;
+            for (&(mi, cand), &c) in swaps.iter().zip(&costs) {
+                if c + 1e-12 < cost && best_swap.is_none_or(|(_, _, bc)| c < bc) {
+                    best_swap = Some((mi, cand, c));
                 }
             }
             match best_swap {

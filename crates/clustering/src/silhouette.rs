@@ -1,6 +1,8 @@
 //! The silhouette index (Rousseeuw 1987), in both the standard global
 //! form and the macro-averaged form the TD-AC paper uses (Eqs. 5–7).
 
+use rayon::prelude::*;
+
 use crate::distance::Metric;
 use crate::matrix::Matrix;
 
@@ -24,36 +26,39 @@ pub fn silhouette_samples(data: &Matrix, assignments: &[usize], metric: &dyn Met
         s
     };
 
-    let mut coeffs = vec![0.0; n];
-    // Mean distance from i to every cluster, computed in one pass per i.
-    let mut mean_to = vec![0.0f64; k];
-    for i in 0..n {
-        let ci = assignments[i];
-        if sizes[ci] <= 1 {
-            coeffs[i] = 0.0;
-            continue;
-        }
-        mean_to.iter_mut().for_each(|m| *m = 0.0);
-        for j in 0..n {
-            if i != j {
-                mean_to[assignments[j]] += metric.distance(data.row(i), data.row(j));
+    // Samples are independent: each one scans all n others, so the work
+    // parallelizes over i with a per-worker `mean_to` buffer. The inner j
+    // loop keeps its sequential order, so every coefficient is
+    // bit-identical at any thread count.
+    let sizes = &sizes;
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let ci = assignments[i];
+            if sizes[ci] <= 1 {
+                return 0.0;
             }
-        }
-        let alpha = mean_to[ci] / (sizes[ci] - 1) as f64;
-        let mut beta = f64::INFINITY;
-        for (c, &sz) in sizes.iter().enumerate() {
-            if c != ci && sz > 0 {
-                beta = beta.min(mean_to[c] / sz as f64);
+            // Mean distance from i to every cluster, in one pass.
+            let mut mean_to = vec![0.0f64; k];
+            for j in 0..n {
+                if i != j {
+                    mean_to[assignments[j]] += metric.distance(data.row(i), data.row(j));
+                }
             }
-        }
-        if !beta.is_finite() {
-            coeffs[i] = 0.0; // only one non-empty cluster
-            continue;
-        }
-        let denom = alpha.max(beta);
-        coeffs[i] = if denom == 0.0 { 0.0 } else { (beta - alpha) / denom };
-    }
-    coeffs
+            let alpha = mean_to[ci] / (sizes[ci] - 1) as f64;
+            let mut beta = f64::INFINITY;
+            for (c, &sz) in sizes.iter().enumerate() {
+                if c != ci && sz > 0 {
+                    beta = beta.min(mean_to[c] / sz as f64);
+                }
+            }
+            if !beta.is_finite() {
+                return 0.0; // only one non-empty cluster
+            }
+            let denom = alpha.max(beta);
+            if denom == 0.0 { 0.0 } else { (beta - alpha) / denom }
+        })
+        .collect()
 }
 
 /// Standard silhouette score: the mean of all per-sample coefficients.
@@ -88,33 +93,36 @@ pub fn silhouette_samples_dist(dist: &[f64], n: usize, assignments: &[usize]) ->
         }
         s
     };
-    let mut coeffs = vec![0.0; n];
-    let mut mean_to = vec![0.0f64; k];
-    for i in 0..n {
-        let ci = assignments[i];
-        if sizes[ci] <= 1 {
-            continue;
-        }
-        mean_to.iter_mut().for_each(|m| *m = 0.0);
-        for j in 0..n {
-            if i != j {
-                mean_to[assignments[j]] += dist[i * n + j];
+    // Same parallel-over-samples shape as `silhouette_samples`, reading
+    // the precomputed matrix instead of re-evaluating the metric.
+    let sizes = &sizes;
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let ci = assignments[i];
+            if sizes[ci] <= 1 {
+                return 0.0;
             }
-        }
-        let alpha = mean_to[ci] / (sizes[ci] - 1) as f64;
-        let mut beta = f64::INFINITY;
-        for (c, &sz) in sizes.iter().enumerate() {
-            if c != ci && sz > 0 {
-                beta = beta.min(mean_to[c] / sz as f64);
+            let mut mean_to = vec![0.0f64; k];
+            for j in 0..n {
+                if i != j {
+                    mean_to[assignments[j]] += dist[i * n + j];
+                }
             }
-        }
-        if !beta.is_finite() {
-            continue;
-        }
-        let denom = alpha.max(beta);
-        coeffs[i] = if denom == 0.0 { 0.0 } else { (beta - alpha) / denom };
-    }
-    coeffs
+            let alpha = mean_to[ci] / (sizes[ci] - 1) as f64;
+            let mut beta = f64::INFINITY;
+            for (c, &sz) in sizes.iter().enumerate() {
+                if c != ci && sz > 0 {
+                    beta = beta.min(mean_to[c] / sz as f64);
+                }
+            }
+            if !beta.is_finite() {
+                return 0.0;
+            }
+            let denom = alpha.max(beta);
+            if denom == 0.0 { 0.0 } else { (beta - alpha) / denom }
+        })
+        .collect()
 }
 
 /// The paper's macro-averaged partition silhouette over a precomputed

@@ -21,19 +21,23 @@
 //! hundreds of base-algorithm runs where TD-AC needs |A|-2 k-means fits
 //! and one run per group of a single partition. The experiment harness
 //! reproduces exactly that blow-up (the paper's ~200× Time column).
-//! Partition evaluation is embarrassingly parallel; `run*` methods use
-//! crossbeam scoped threads when `parallel` is enabled, with a
-//! deterministic reduction.
+//! Partition evaluation is embarrassingly parallel; the search streams
+//! set partitions lazily (restricted-growth-string order) through rayon's
+//! `par_bridge`, so the Bell(n)-sized space is never materialized, and
+//! reduces with an order-insensitive `(score, index)` total order — the
+//! winner is identical at any thread count.
 
 use std::error::Error;
 use std::fmt;
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use td_algorithms::{TruthDiscovery, TruthResult};
 use td_metrics::evaluate_fn;
 use td_model::{Dataset, GroundTruth};
 
-use crate::partition::{all_partitions, bell_number, AttributePartition};
+use crate::config::Parallelism;
+use crate::partition::{bell_number, partitions_iter, AttributePartition};
 
 /// Reliability-based partition scoring functions from the WebDB 2015
 /// paper.
@@ -102,8 +106,9 @@ pub struct AccuGenOutcome {
 /// The brute-force baseline. See module docs.
 #[derive(Debug, Clone, Copy)]
 pub struct AccuGenPartition {
-    /// Evaluate partitions on scoped worker threads.
-    pub parallel: bool,
+    /// Thread budget for the partition scan ([`Parallelism::Threads`]
+    /// pins a pool; `Threads(1)` forces a sequential scan).
+    pub parallelism: Parallelism,
     /// Refuse to run beyond this many attributes (Bell growth guard).
     pub max_attributes: usize,
 }
@@ -111,7 +116,7 @@ pub struct AccuGenPartition {
 impl Default for AccuGenPartition {
     fn default() -> Self {
         Self {
-            parallel: true,
+            parallelism: Parallelism::Auto,
             max_attributes: 10,
         }
     }
@@ -171,65 +176,26 @@ impl AccuGenPartition {
             });
         }
 
-        let partitions = all_partitions(&attrs);
-        let n_partitions = partitions.len() as u64;
-
-        let best = if self.parallel && partitions.len() > 1 {
-            let n_threads = std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(4)
-                .min(partitions.len());
-            let chunk = partitions.len().div_ceil(n_threads);
-            crossbeam::scope(|s| {
-                let handles: Vec<_> = partitions
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(ci, ps)| {
-                        let score_fn = &score_fn;
-                        s.spawn(move |_| {
-                            let mut best: Option<Scored> = None;
-                            for (i, p) in ps.iter().enumerate() {
-                                let index = ci * chunk + i;
-                                let (score, result) = score_fn(p);
-                                if better(best.as_ref(), score, index) {
-                                    best = Some(Scored {
-                                        index,
-                                        score,
-                                        result,
-                                        partition: p.clone(),
-                                    });
-                                }
-                            }
-                            best
-                        })
-                    })
-                    .collect();
-                let mut best: Option<Scored> = None;
-                for h in handles {
-                    if let Some(cand) = h.join().expect("worker panicked") {
-                        if better(best.as_ref(), cand.score, cand.index) {
-                            best = Some(cand);
-                        }
-                    }
-                }
-                best
-            })
-            .expect("crossbeam scope")
-        } else {
-            let mut best: Option<Scored> = None;
-            for (index, p) in partitions.iter().enumerate() {
-                let (score, result) = score_fn(p);
-                if better(best.as_ref(), score, index) {
-                    best = Some(Scored {
+        // Stream partitions lazily: workers pull from the RGS odometer on
+        // demand, fold locally with `better`, and the worker accumulators
+        // are combined with the same total order — never materializing
+        // the Bell(n)-sized vector the old scan chunked over.
+        let n_partitions = bell_number(n);
+        let best = self.parallelism.install(|| {
+            partitions_iter(&attrs)
+                .enumerate()
+                .par_bridge()
+                .map(|(index, partition)| {
+                    let (score, result) = score_fn(&partition);
+                    Some(Scored {
                         index,
                         score,
                         result,
-                        partition: p.clone(),
-                    });
-                }
-            }
-            best
-        };
+                        partition,
+                    })
+                })
+                .reduce(|| None, better)
+        });
 
         let best = best.expect("at least one partition");
         Ok(AccuGenOutcome {
@@ -303,7 +269,7 @@ impl AccuGenPartition {
         partition: &AttributePartition,
         weighting: Weighting,
     ) -> (f64, TruthResult) {
-        let mut merged = TruthResult::with_sources(0, 0.0);
+        let mut partials = Vec::with_capacity(partition.len());
         let mut group_scores = Vec::with_capacity(partition.len());
         for group in partition.groups() {
             let view = dataset.view_of(group);
@@ -322,23 +288,32 @@ impl AccuGenPartition {
                 };
                 group_scores.push(score);
             }
-            merged.absorb(&partial);
+            partials.push(partial);
         }
         let score = if group_scores.is_empty() {
             0.0
         } else {
             group_scores.iter().sum::<f64>() / group_scores.len() as f64
         };
-        (score, merged)
+        (score, TruthResult::merge_all(&partials))
     }
 }
 
-/// Strictly-better comparison with a deterministic index tie-break, so
-/// parallel and sequential searches pick the same winner.
-fn better(current: Option<&Scored>, score: f64, index: usize) -> bool {
-    match current {
-        None => true,
-        Some(c) => score > c.score || (score == c.score && index < c.index),
+/// Reduction operator for the streamed scan: higher score wins, ties
+/// broken by the smaller enumeration index. This is a total order over
+/// `(score, index)`, so worker-local folds combined in any order pick
+/// the same winner as a sequential fold — the reason the search is
+/// bit-deterministic at every thread count.
+fn better(a: Option<Scored>, b: Option<Scored>) -> Option<Scored> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(a), Some(b)) => {
+            if b.score > a.score || (b.score == a.score && b.index < a.index) {
+                Some(b)
+            } else {
+                Some(a)
+            }
+        }
     }
 }
 
@@ -348,12 +323,12 @@ pub fn run_partition(
     dataset: &Dataset,
     partition: &AttributePartition,
 ) -> TruthResult {
-    let mut merged = TruthResult::with_sources(0, 0.0);
-    for group in partition.groups() {
-        let view = dataset.view_of(group);
-        merged.absorb(&base.discover(&view));
-    }
-    merged
+    let partials: Vec<TruthResult> = partition
+        .groups()
+        .iter()
+        .map(|group| base.discover(&dataset.view_of(group)))
+        .collect();
+    TruthResult::merge_all(&partials)
 }
 
 #[cfg(test)]
@@ -420,21 +395,29 @@ mod tests {
     fn parallel_and_sequential_agree() {
         let (d, t, _) = dataset();
         let par = AccuGenPartition {
-            parallel: true,
+            parallelism: crate::config::Parallelism::Auto,
             ..Default::default()
         };
         let seq = AccuGenPartition {
-            parallel: false,
+            parallelism: crate::config::Parallelism::Threads(1),
             ..Default::default()
         };
         let o1 = par.run_oracle(&MajorityVote, &d, &t).unwrap();
         let o2 = seq.run_oracle(&MajorityVote, &d, &t).unwrap();
         assert_eq!(o1.partition, o2.partition);
-        assert_eq!(o1.score, o2.score);
+        assert_eq!(o1.score.to_bits(), o2.score.to_bits());
+        let p1: std::collections::BTreeMap<_, _> =
+            o1.result.iter().map(|(o, a, v, c)| ((o, a), (v, c.to_bits()))).collect();
+        let p2: std::collections::BTreeMap<_, _> =
+            o2.result.iter().map(|(o, a, v, c)| ((o, a), (v, c.to_bits()))).collect();
+        assert_eq!(p1, p2);
         let w1 = par.run(&MajorityVote, &d, Weighting::Avg).unwrap();
         let w2 = seq.run(&MajorityVote, &d, Weighting::Avg).unwrap();
         assert_eq!(w1.partition, w2.partition);
-        assert_eq!(w1.score, w2.score);
+        assert_eq!(w1.score.to_bits(), w2.score.to_bits());
+        let t1: Vec<u64> = w1.result.source_trust.iter().map(|t| t.to_bits()).collect();
+        let t2: Vec<u64> = w2.result.source_trust.iter().map(|t| t.to_bits()).collect();
+        assert_eq!(t1, t2);
     }
 
     #[test]

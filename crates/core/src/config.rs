@@ -32,6 +32,54 @@ impl MetricKind {
     }
 }
 
+/// How much of the machine the pipeline may use.
+///
+/// The paper's future-work perspective (ii) proposes parallelizing the
+/// per-group truth-discovery runs; this setting governs that and every
+/// other data-parallel kernel (distance matrices, the k-sweep, k-means
+/// restarts, PAM swaps, AccuGen's partition scan). All parallel
+/// reductions are index-deterministic, so the outcome is bit-identical
+/// at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Use rayon's default pool (all available cores, or
+    /// `RAYON_NUM_THREADS` when set).
+    Auto,
+    /// Pin to exactly this many worker threads; `Threads(1)` runs
+    /// everything sequentially.
+    Threads(usize),
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::Auto
+    }
+}
+
+impl Parallelism {
+    /// The pinned thread count, or `None` for [`Parallelism::Auto`].
+    pub fn threads(self) -> Option<usize> {
+        match self {
+            Parallelism::Auto => None,
+            Parallelism::Threads(n) => Some(n.max(1)),
+        }
+    }
+
+    /// Runs `f` under this parallelism setting: `Auto` uses the global
+    /// pool; `Threads(n)` installs a pool pinned to `n` workers for the
+    /// duration of the call.
+    pub fn install<R>(self, f: impl FnOnce() -> R) -> R {
+        match self.threads() {
+            None => f(),
+            Some(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("build thread pool")
+                .install(f),
+        }
+    }
+}
+
 /// Which clusterer groups the attribute truth vectors.
 ///
 /// The paper uses k-means; PAM and agglomerative clustering are provided
@@ -71,10 +119,11 @@ pub struct TdacConfig {
     /// coordinates (see [`crate::masked`]) using PAM, instead of plain
     /// k-means over Eq. 1 vectors. Helps on sparse data (low DCR).
     pub missing_aware: bool,
-    /// Run the base algorithm on the partition's groups on scoped worker
-    /// threads (the paper's future-work perspective (ii)). Results are
-    /// merged in deterministic group order.
-    pub parallel: bool,
+    /// Thread budget for every parallel kernel in the pipeline —
+    /// per-group base-algorithm runs (the paper's future-work
+    /// perspective (ii)), the shared distance matrix, the k-sweep, and
+    /// the clusterers. Deterministic at any setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TdacConfig {
@@ -88,7 +137,7 @@ impl Default for TdacConfig {
             seed: 42,
             min_silhouette: None,
             missing_aware: false,
-            parallel: false,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -118,10 +167,29 @@ mod tests {
     fn config_serde_roundtrip() {
         let c = TdacConfig {
             method: ClusterMethod::Hierarchical(Linkage::Average),
+            parallelism: Parallelism::Threads(3),
             ..Default::default()
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: TdacConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.method, c.method);
+        assert_eq!(back.parallelism, c.parallelism);
+    }
+
+    #[test]
+    fn parallelism_resolves_threads() {
+        assert_eq!(Parallelism::Auto.threads(), None);
+        assert_eq!(Parallelism::Threads(4).threads(), Some(4));
+        // Threads(0) is clamped to one worker rather than "auto".
+        assert_eq!(Parallelism::Threads(0).threads(), Some(1));
+    }
+
+    #[test]
+    fn parallelism_install_pins_pool() {
+        Parallelism::Threads(2).install(|| {
+            assert_eq!(rayon::current_num_threads(), 2);
+        });
+        let out = Parallelism::Auto.install(|| 7);
+        assert_eq!(out, 7);
     }
 }

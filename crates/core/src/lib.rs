@@ -76,9 +76,9 @@ pub mod tdac;
 pub mod truth_vectors;
 
 pub use accugen::{AccuGenError, AccuGenOutcome, AccuGenPartition, Weighting};
-pub use config::{ClusterMethod, MetricKind, TdacConfig};
+pub use config::{ClusterMethod, MetricKind, Parallelism, TdacConfig};
 pub use masked::MaskedTruthVectors;
 pub use object_clustering::{ObjectPartition, Tdoc, TdocOutcome};
-pub use partition::{all_partitions, bell_number, AttributePartition};
+pub use partition::{all_partitions, bell_number, partitions_iter, AttributePartition, PartitionIter};
 pub use tdac::{Tdac, TdacError, TdacOutcome};
 pub use truth_vectors::{truth_vector_matrix, truth_vectors_from_result};

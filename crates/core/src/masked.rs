@@ -19,6 +19,7 @@
 //! coordinate fall back to the neutral half-distance `L/2`.
 
 use clustering::Matrix;
+use rayon::prelude::*;
 use td_algorithms::{TruthDiscovery, TruthResult};
 use td_model::DatasetView;
 
@@ -104,13 +105,20 @@ impl MaskedTruthVectors {
         diff / co as f64 * len as f64
     }
 
-    /// The full pairwise masked-distance matrix (row-major `n×n`).
+    /// The full pairwise masked-distance matrix (row-major `n×n`). The
+    /// upper triangle is computed in parallel (one strip per row) and
+    /// mirrored — every entry evaluated exactly once, bit-identical at
+    /// any thread count.
     pub fn distance_matrix(&self) -> Vec<f64> {
         let n = self.n_attributes();
+        let strips: Vec<Vec<f64>> = (0..n)
+            .into_par_iter()
+            .map(|i| ((i + 1)..n).map(|j| self.masked_distance(i, j)).collect())
+            .collect();
         let mut d = vec![0.0; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let v = self.masked_distance(i, j);
+        for (i, strip) in strips.iter().enumerate() {
+            for (off, &v) in strip.iter().enumerate() {
+                let j = i + 1 + off;
                 d[i * n + j] = v;
                 d[j * n + i] = v;
             }

@@ -131,31 +131,44 @@ impl fmt::Display for AttributePartition {
     }
 }
 
-/// Enumerates **all** set partitions of `attributes` via restricted
-/// growth strings, in a deterministic order. There are Bell(n) of them —
-/// 203 for the paper's 6 synthetic attributes, but combinatorially
-/// explosive beyond ~12 (use [`bell_number`] to check before calling).
-pub fn all_partitions(attributes: &[AttributeId]) -> Vec<AttributePartition> {
-    let n = attributes.len();
-    if n == 0 {
-        return vec![AttributePartition::new(vec![])];
-    }
-    let mut out = Vec::with_capacity(bell_number(n).min(1 << 24) as usize);
-    // Restricted growth string: rgs[0] = 0; rgs[i] <= max(rgs[..i]) + 1.
-    let mut rgs = vec![0usize; n];
-    loop {
+/// Lazy enumeration of all set partitions of an attribute set via
+/// restricted growth strings. Yields in the same deterministic order as
+/// [`all_partitions`] without ever materializing the Bell(n)-sized list —
+/// AccuGenPartition streams this through `par_bridge`, keeping memory
+/// O(n) per worker even for attribute counts where Bell(n) is millions.
+#[derive(Debug, Clone)]
+pub struct PartitionIter {
+    attributes: Vec<AttributeId>,
+    /// Restricted growth string: rgs[0] = 0; rgs[i] <= max(rgs[..i]) + 1.
+    /// `None` once exhausted.
+    rgs: Option<Vec<usize>>,
+}
+
+impl Iterator for PartitionIter {
+    type Item = AttributePartition;
+
+    fn next(&mut self) -> Option<AttributePartition> {
+        let rgs = self.rgs.as_mut()?;
+        let n = rgs.len();
+        if n == 0 {
+            // Bell(0) = 1: the empty set has exactly one partition.
+            self.rgs = None;
+            return Some(AttributePartition::new(vec![]));
+        }
         let n_groups = rgs.iter().copied().max().unwrap_or(0) + 1;
         let mut groups: Vec<Vec<AttributeId>> = vec![Vec::new(); n_groups];
         for (i, &g) in rgs.iter().enumerate() {
-            groups[g].push(attributes[i]);
+            groups[g].push(self.attributes[i]);
         }
-        out.push(AttributePartition::new(groups));
+        let current = AttributePartition::new(groups);
 
-        // Next restricted growth string (odometer with the RGS bound).
+        // Advance to the next restricted growth string (odometer with the
+        // RGS bound), or mark the stream exhausted.
         let mut i = n;
         loop {
             if i == 1 {
-                return out;
+                self.rgs = None;
+                break;
             }
             i -= 1;
             let prefix_max = rgs[..i].iter().copied().max().unwrap_or(0);
@@ -167,7 +180,28 @@ pub fn all_partitions(attributes: &[AttributeId]) -> Vec<AttributePartition> {
                 break;
             }
         }
+        Some(current)
     }
+}
+
+/// Streams **all** set partitions of `attributes` lazily, in a
+/// deterministic order. There are Bell(n) of them — 203 for the paper's
+/// 6 synthetic attributes, but combinatorially explosive beyond ~12 (use
+/// [`bell_number`] to check, or bound consumption with `take`).
+pub fn partitions_iter(attributes: &[AttributeId]) -> PartitionIter {
+    PartitionIter {
+        attributes: attributes.to_vec(),
+        rgs: Some(vec![0usize; attributes.len()]),
+    }
+}
+
+/// Materializes **all** set partitions of `attributes` (see
+/// [`partitions_iter`] for the streaming form and the ordering contract).
+pub fn all_partitions(attributes: &[AttributeId]) -> Vec<AttributePartition> {
+    let mut out =
+        Vec::with_capacity(bell_number(attributes.len()).min(1 << 24) as usize);
+    out.extend(partitions_iter(attributes));
+    out
 }
 
 /// The Bell number B(n): how many set partitions an `n`-attribute set
@@ -265,6 +299,25 @@ mod tests {
         // The two extremes are present.
         assert!(parts.iter().any(|p| p.len() == 1));
         assert!(parts.iter().any(|p| p.len() == 5));
+    }
+
+    #[test]
+    fn lazy_iterator_matches_materialized_order() {
+        for n in 0..=6u32 {
+            let attrs: Vec<AttributeId> = (0..n).map(a).collect();
+            let lazy: Vec<AttributePartition> = partitions_iter(&attrs).collect();
+            assert_eq!(lazy, all_partitions(&attrs), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn lazy_iterator_is_resumable_midstream() {
+        let attrs: Vec<AttributeId> = (0..6u32).map(a).collect();
+        let mut it = partitions_iter(&attrs);
+        let head: Vec<_> = it.by_ref().take(100).collect();
+        let tail: Vec<_> = it.collect();
+        assert_eq!(head.len(), 100);
+        assert_eq!(head.len() as u64 + tail.len() as u64, bell_number(6));
     }
 
     #[test]

@@ -4,9 +4,10 @@ use std::error::Error;
 use std::fmt;
 
 use clustering::{
-    silhouette_paper, silhouette_paper_dist, Agglomerative, ClusterError, KMeans, KMeansConfig,
+    pairwise_distances, silhouette_paper_dist, Agglomerative, ClusterError, KMeans, KMeansConfig,
     Matrix, Pam, PamConfig,
 };
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use td_algorithms::{TruthDiscovery, TruthResult};
 use td_model::{Dataset, DatasetView};
@@ -87,7 +88,22 @@ impl Tdac {
     }
 
     /// Runs TD-AC over an arbitrary view.
+    ///
+    /// Every parallel kernel inside (distance matrices, the k-sweep, the
+    /// per-group base runs) executes under the configured
+    /// [`crate::config::Parallelism`]; the outcome is bit-identical at
+    /// any thread count.
     pub fn run_view(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        view: &DatasetView<'_>,
+    ) -> Result<TdacOutcome, TdacError> {
+        self.config
+            .parallelism
+            .install(|| self.run_view_inner(base, view))
+    }
+
+    fn run_view_inner(
         &self,
         base: &(dyn TruthDiscovery + Sync),
         view: &DatasetView<'_>,
@@ -107,38 +123,52 @@ impl Tdac {
         }
 
         // Step 2 + 3: attribute truth vectors from the base algorithm's
-        // reference truth, then the silhouette-guided sweep (strict `>`
-        // keeps the smallest k on ties, like Algorithm 1's comparison).
-        let mut best: Option<(f64, Vec<usize>, usize)> = None;
-        let mut k_scores = Vec::with_capacity(k_hi - self.config.k_min + 1);
-        if self.config.missing_aware {
+        // reference truth, then the silhouette-guided sweep. Both sweep
+        // variants compute the pairwise distance matrix exactly **once**
+        // and drive every k's clustering and silhouette from that shared
+        // cache, turning the per-k O(n²·d) distance work into O(n²)
+        // lookups. Independent k values are evaluated in parallel; the
+        // winner is then picked by a sequential scan in k order (strict
+        // `>` keeps the smallest k on ties, like Algorithm 1's
+        // comparison), so the outcome matches the sequential sweep
+        // bit-for-bit.
+        let ks: Vec<usize> = (self.config.k_min..=k_hi).collect();
+        let evals: Vec<Result<(Vec<usize>, f64), ClusterError>> = if self.config.missing_aware {
             // Future-work variant: masked distances + PAM (k-means has no
             // feature-space form for the masked metric).
             let (masked, _reference) = MaskedTruthVectors::build(base, view);
             let dist = masked.distance_matrix();
-            for k in self.config.k_min..=k_hi {
-                let assignments = Pam::new(PamConfig {
-                    seed: self.config.seed,
-                    ..PamConfig::with_k(k)
+            ks.par_iter()
+                .map(|&k| {
+                    let assignments = Pam::new(PamConfig {
+                        seed: self.config.seed,
+                        ..PamConfig::with_k(k)
+                    })
+                    .fit_from_distances(&dist, n)?
+                    .assignments;
+                    let sil = silhouette_paper_dist(&dist, n, &assignments);
+                    Ok((assignments, sil))
                 })
-                .fit_from_distances(&dist, n)?
-                .assignments;
-                let sil = silhouette_paper_dist(&dist, n, &assignments);
-                k_scores.push((k, sil));
-                if best.as_ref().is_none_or(|(b, _, _)| sil > *b) {
-                    best = Some((sil, assignments, k));
-                }
-            }
+                .collect()
         } else {
             let (matrix, _reference) = truth_vector_matrix(base, view);
-            let metric = self.config.metric.as_metric();
-            for k in self.config.k_min..=k_hi {
-                let assignments = self.cluster(&matrix, k)?;
-                let sil = silhouette_paper(&matrix, &assignments, metric);
-                k_scores.push((k, sil));
-                if best.as_ref().is_none_or(|(b, _, _)| sil > *b) {
-                    best = Some((sil, assignments, k));
-                }
+            let dist = pairwise_distances(&matrix, self.config.metric.as_metric());
+            ks.par_iter()
+                .map(|&k| {
+                    let assignments = self.cluster_cached(&matrix, &dist, k)?;
+                    let sil = silhouette_paper_dist(&dist, n, &assignments);
+                    Ok((assignments, sil))
+                })
+                .collect()
+        };
+
+        let mut best: Option<(f64, Vec<usize>, usize)> = None;
+        let mut k_scores = Vec::with_capacity(ks.len());
+        for (&k, eval) in ks.iter().zip(evals) {
+            let (assignments, sil) = eval?;
+            k_scores.push((k, sil));
+            if best.as_ref().is_none_or(|(b, _, _)| sil > *b) {
+                best = Some((sil, assignments, k));
             }
         }
         let (silhouette, assignments, _k) = best.expect("non-empty sweep");
@@ -151,54 +181,17 @@ impl Tdac {
 
         let partition = AttributePartition::from_assignments(&attrs, &assignments);
 
-        // Step 4: base truth discovery per group, merged in group order
-        // (deterministic whether sequential or parallel).
+        // Step 4: base truth discovery per group (the paper's future-work
+        // perspective (ii)), in parallel; partials are collected in group
+        // order and merged symmetrically (union of predictions,
+        // element-wise mean trust).
         let dataset = view.dataset();
-        let partials: Vec<TruthResult> = if self.config.parallel && partition.len() > 1 {
-            crossbeam::scope(|s| {
-                let handles: Vec<_> = partition
-                    .groups()
-                    .iter()
-                    .map(|group| {
-                        s.spawn(move |_| {
-                            let sub = dataset.view_of(group);
-                            base.discover(&sub)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("group worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope")
-        } else {
-            partition
-                .groups()
-                .iter()
-                .map(|group| base.discover(&dataset.view_of(group)))
-                .collect()
-        };
-        let mut result = TruthResult::with_sources(0, 0.0);
-        for partial in &partials {
-            result.absorb(partial);
-        }
-        // `absorb` averages trust pairwise (exponentially weighting later
-        // partials); replace with the proper element-wise mean over all
-        // per-group runs.
-        if let Some(first) = partials.first() {
-            let n_sources = first.source_trust.len();
-            let mut mean = vec![0.0f64; n_sources];
-            for partial in &partials {
-                for (m, &t) in mean.iter_mut().zip(&partial.source_trust) {
-                    *m += t;
-                }
-            }
-            for m in mean.iter_mut() {
-                *m /= partials.len() as f64;
-            }
-            result.source_trust = mean;
-        }
+        let partials: Vec<TruthResult> = partition
+            .groups()
+            .par_iter()
+            .map(|group| base.discover(&dataset.view_of(group)))
+            .collect();
+        let mut result = TruthResult::merge_all(&partials);
         // The paper reports TD-AC as a single logical iteration.
         result.iterations = 1;
 
@@ -228,7 +221,17 @@ impl Tdac {
         }
     }
 
-    fn cluster(&self, data: &Matrix, k: usize) -> Result<Vec<usize>, ClusterError> {
+    /// One clustering of `data` into `k` groups, reusing the shared
+    /// pairwise distance matrix wherever the method allows: PAM and
+    /// hierarchical clustering are purely distance-based and never touch
+    /// the feature vectors again; k-means still optimizes Eq. 3 inertia
+    /// in feature space (centroids have no distance-matrix form).
+    fn cluster_cached(
+        &self,
+        data: &Matrix,
+        dist: &[f64],
+        k: usize,
+    ) -> Result<Vec<usize>, ClusterError> {
         match self.config.method {
             ClusterMethod::KMeans => {
                 let cfg = KMeansConfig {
@@ -244,12 +247,10 @@ impl Tdac {
                     seed: self.config.seed,
                     ..PamConfig::with_k(k)
                 };
-                Ok(Pam::new(cfg)
-                    .fit(data, self.config.metric.as_metric())?
-                    .assignments)
+                Ok(Pam::new(cfg).fit_from_distances(dist, data.n_rows())?.assignments)
             }
             ClusterMethod::Hierarchical(linkage) => {
-                Agglomerative::new(linkage).fit(data, k, self.config.metric.as_metric())
+                Agglomerative::new(linkage).fit_from_distances(dist, data.n_rows(), k)
             }
         }
     }
@@ -259,7 +260,7 @@ impl Tdac {
 mod tests {
     use super::*;
     use clustering::Linkage;
-    use crate::config::MetricKind;
+    use crate::config::{MetricKind, Parallelism};
     use td_algorithms::{Accu, MajorityVote};
     use td_model::{DatasetBuilder, Value};
 
@@ -406,22 +407,83 @@ mod tests {
     }
 
     #[test]
-    fn parallel_mode_matches_sequential() {
+    fn thread_count_does_not_change_the_outcome() {
+        // The acceptance bar for the parallel execution layer: one worker
+        // vs. the full pool must agree on every observable field of the
+        // outcome, bit-for-bit on the floats.
         let (d, _) = correlated_dataset();
-        let seq = Tdac::new(TdacConfig::default()).run(&Accu::default(), &d).unwrap();
-        let par = Tdac::new(TdacConfig {
-            parallel: true,
-            ..Default::default()
-        })
-        .run(&Accu::default(), &d)
-        .unwrap();
-        assert_eq!(seq.partition, par.partition);
-        assert_eq!(seq.result.len(), par.result.len());
-        for o in d.object_ids() {
-            for a in d.attribute_ids() {
-                assert_eq!(seq.result.prediction(o, a), par.result.prediction(o, a));
+        for base in [&Accu::default() as &(dyn TruthDiscovery + Sync), &MajorityVote] {
+            let seq = Tdac::new(TdacConfig {
+                parallelism: Parallelism::Threads(1),
+                ..Default::default()
+            })
+            .run(base, &d)
+            .unwrap();
+            let par = Tdac::new(TdacConfig {
+                parallelism: Parallelism::Auto,
+                ..Default::default()
+            })
+            .run(base, &d)
+            .unwrap();
+            assert_eq!(seq.partition, par.partition);
+            assert_eq!(seq.silhouette.to_bits(), par.silhouette.to_bits());
+            assert_eq!(seq.k_scores.len(), par.k_scores.len());
+            for (a, b) in seq.k_scores.iter().zip(&par.k_scores) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
             }
+            assert_eq!(seq.result.len(), par.result.len());
+            for o in d.object_ids() {
+                for a in d.attribute_ids() {
+                    assert_eq!(seq.result.prediction(o, a), par.result.prediction(o, a));
+                    assert_eq!(
+                        seq.result.confidence(o, a).map(f64::to_bits),
+                        par.result.confidence(o, a).map(f64::to_bits)
+                    );
+                }
+            }
+            let seq_trust: Vec<u64> = seq.result.source_trust.iter().map(|t| t.to_bits()).collect();
+            let par_trust: Vec<u64> = par.result.source_trust.iter().map(|t| t.to_bits()).collect();
+            assert_eq!(seq_trust, par_trust);
         }
+    }
+
+    #[test]
+    fn cached_distance_sweep_matches_feature_space_scores() {
+        // The k-sweep scores every k from the shared distance matrix;
+        // those silhouettes must be bit-identical to evaluating the
+        // metric directly in feature space (the pre-cache behaviour).
+        let (d, _) = correlated_dataset();
+        let out = Tdac::new(TdacConfig::default()).run(&MajorityVote, &d).unwrap();
+        let (matrix, _) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        let metric = MetricKind::Hamming.as_metric();
+        assert!(!out.k_scores.is_empty());
+        for &(k, sil) in &out.k_scores {
+            let cfg = KMeansConfig {
+                k,
+                n_init: 10,
+                seed: 42,
+                ..KMeansConfig::with_k(k)
+            };
+            let asg = KMeans::new(cfg).fit(&matrix).unwrap().assignments;
+            let expect = clustering::silhouette_paper(&matrix, &asg, metric);
+            assert_eq!(sil.to_bits(), expect.to_bits(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn masked_sweep_is_thread_count_invariant() {
+        let (d, _) = correlated_dataset();
+        let cfg = |parallelism| TdacConfig {
+            missing_aware: true,
+            parallelism,
+            ..Default::default()
+        };
+        let seq = Tdac::new(cfg(Parallelism::Threads(1))).run(&MajorityVote, &d).unwrap();
+        let par = Tdac::new(cfg(Parallelism::Auto)).run(&MajorityVote, &d).unwrap();
+        assert_eq!(seq.partition, par.partition);
+        assert_eq!(seq.silhouette.to_bits(), par.silhouette.to_bits());
+        assert_eq!(seq.k_scores, par.k_scores);
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl SyntheticConfig {
             coverage: 1.0,
             false_unification: 0.8,
             level_jitter: 0.15,
-            seed: 8,
+            seed: 17,
         }
     }
 

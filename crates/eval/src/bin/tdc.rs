@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use td_algorithms::{algorithm_by_name, registry::all_algorithms, TruthDiscovery};
 use td_metrics::{evaluate_fn, Stopwatch};
 use td_model::{csv, json, Dataset, DatasetStats, GroundTruth};
-use tdac_core::{Tdac, TdacConfig};
+use tdac_core::{Parallelism, Tdac, TdacConfig};
 
 const USAGE: &str = "usage:\n  tdc run --input <data.json|claims.csv> [--truth <truth.csv>] \
 --algo <name> [--tdac] [--masked] [--parallel] [--output <predictions.json>]\n  \
@@ -120,7 +120,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let (result, partition) = if wrap_tdac {
         let config = TdacConfig {
             missing_aware: has_flag(args, "--masked"),
-            parallel: has_flag(args, "--parallel"),
+            parallelism: if has_flag(args, "--parallel") {
+                Parallelism::Auto
+            } else {
+                Parallelism::Threads(1)
+            },
             ..Default::default()
         };
         match Tdac::new(config).run(algo.as_ref(), &dataset) {

@@ -138,7 +138,7 @@ pub fn run(scale: Scale) -> AblationExperiment {
     variants.push((
         "parallel per-group execution".into(),
         TdacConfig {
-            parallel: true,
+            parallelism: tdac_core::Parallelism::Auto,
             ..Default::default()
         },
     ));

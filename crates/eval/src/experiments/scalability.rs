@@ -4,7 +4,7 @@
 //!
 //! Sweeps each axis independently on DS1-shaped workloads and records
 //! TD-AC's wall-clock (with its base algorithm's as the reference),
-//! including the crossbeam-parallel variant the paper proposes as future
+//! including the rayon-parallel variant the paper proposes as future
 //! work. Complements the Criterion benches with a one-shot recorded
 //! table in `results.json`.
 
@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use datagen::{generate_synthetic, SyntheticConfig};
 use td_algorithms::{Accu, TruthDiscovery};
 use td_metrics::Stopwatch;
-use tdac_core::{Tdac, TdacConfig};
+use tdac_core::{Parallelism, Tdac, TdacConfig};
 
 use crate::scale::Scale;
 
@@ -49,13 +49,16 @@ fn measure(cfg: &SyntheticConfig, x: usize) -> ScalePoint {
     let view = data.dataset.view_all();
     let (_, base_d) = Stopwatch::time(|| base.discover(&view));
     let (_, tdac_d) = Stopwatch::time(|| {
-        Tdac::new(TdacConfig::default())
-            .run(&base, &data.dataset)
-            .expect("TD-AC run")
+        Tdac::new(TdacConfig {
+            parallelism: Parallelism::Threads(1),
+            ..Default::default()
+        })
+        .run(&base, &data.dataset)
+        .expect("TD-AC run")
     });
     let (_, par_d) = Stopwatch::time(|| {
         Tdac::new(TdacConfig {
-            parallel: true,
+            parallelism: Parallelism::Auto,
             ..Default::default()
         })
         .run(&base, &data.dataset)

@@ -132,6 +132,45 @@ impl TruthResult {
         }
         self.iterations = self.iterations.max(other.iterations);
     }
+
+    /// Merges a batch of per-partition results symmetrically — the
+    /// aggregation step of TD-AC (Algorithm 1, lines 20-24) for a whole
+    /// partition at once. Predictions are unioned (partitions are
+    /// disjoint so no cell can collide; on a collision the later partial
+    /// wins), source trust is the element-wise **arithmetic mean over
+    /// all partials** (unlike chaining [`TruthResult::absorb`], which
+    /// exponentially down-weights earlier partials), and the iteration
+    /// counter takes the max. Partials with a mismatched (non-empty)
+    /// trust length contribute predictions but not trust.
+    pub fn merge_all(partials: &[TruthResult]) -> TruthResult {
+        let mut merged = TruthResult::default();
+        let trust_len = partials
+            .iter()
+            .map(|p| p.source_trust.len())
+            .find(|&l| l > 0)
+            .unwrap_or(0);
+        let mut trust_sum = vec![0.0; trust_len];
+        let mut trust_n = 0usize;
+        for p in partials {
+            for (&(o, a), &(v, c)) in &p.predictions {
+                merged.predictions.insert((o, a), (v, c));
+            }
+            if p.source_trust.len() == trust_len && trust_len > 0 {
+                for (s, &t) in trust_sum.iter_mut().zip(&p.source_trust) {
+                    *s += t;
+                }
+                trust_n += 1;
+            }
+            merged.iterations = merged.iterations.max(p.iterations);
+        }
+        if trust_n > 0 {
+            merged.source_trust = trust_sum
+                .into_iter()
+                .map(|s| s / trust_n as f64)
+                .collect();
+        }
+        merged
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +205,49 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(a.iterations, 5);
         assert_eq!(a.source_trust, vec![0.75, 0.75]);
+    }
+
+    #[test]
+    fn merge_all_averages_trust_symmetrically() {
+        let mut parts = Vec::new();
+        for (i, trust) in [0.2, 0.4, 0.9].iter().enumerate() {
+            let mut p = TruthResult::with_sources(2, *trust);
+            p.set_prediction(
+                ObjectId::new(i as u32),
+                AttributeId::new(0),
+                ValueId::new(i as u32),
+                1.0,
+            );
+            p.iterations = i as u32 + 1;
+            parts.push(p);
+        }
+        let merged = TruthResult::merge_all(&parts);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.iterations, 3);
+        // Plain mean of [0.2, 0.4, 0.9] — chained absorb would give the
+        // last partial half the weight ((0.2/2 + 0.4/2)/2 + 0.9/2 = 0.6).
+        for t in &merged.source_trust {
+            assert!((t - 0.5).abs() < 1e-12, "expected 0.5, got {t}");
+        }
+    }
+
+    #[test]
+    fn merge_all_of_empty_slice_is_empty() {
+        let merged = TruthResult::merge_all(&[]);
+        assert!(merged.is_empty());
+        assert!(merged.source_trust.is_empty());
+        assert_eq!(merged.iterations, 0);
+    }
+
+    #[test]
+    fn merge_all_skips_mismatched_trust_lengths() {
+        let mut a = TruthResult::with_sources(2, 0.5);
+        a.set_prediction(ObjectId::new(0), AttributeId::new(0), ValueId::new(1), 1.0);
+        let mut b = TruthResult::with_sources(3, 1.0);
+        b.set_prediction(ObjectId::new(0), AttributeId::new(1), ValueId::new(2), 0.5);
+        let merged = TruthResult::merge_all(&[a, b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.source_trust, vec![0.5, 0.5]);
     }
 
     #[test]

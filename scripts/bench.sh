@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the TD-AC criterion benches (tdac_pipeline, clustering,
+# partitioning) and aggregates their per-bench medians into
+# BENCH_tdac.json at the repo root.
+#
+# The vendored criterion shim emits one JSON line per benchmark when
+# TDAC_BENCH_JSON is set; this script collects those lines into a single
+# JSON object keyed by "group/name" with the median ns per iteration.
+#
+# Usage: scripts/bench.sh [extra cargo bench args...]
+#   TDAC_BENCH_SAMPLES=<n>   override sample count (default: per-group)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+tmp="$repo_root/.bench_lines.bench.tmp.json"
+out="$repo_root/BENCH_tdac.json"
+rm -f "$tmp"
+
+for bench in tdac_pipeline clustering partitioning; do
+    echo "== cargo bench --bench $bench =="
+    TDAC_BENCH_JSON="$tmp" cargo bench --offline -p tdac-bench --bench "$bench" "$@"
+done
+
+# Fold the JSON lines into one object: {"id": median_ns, ...}
+python3 - "$tmp" "$out" <<'PY'
+import json, sys
+
+lines_path, out_path = sys.argv[1], sys.argv[2]
+benches = {}
+with open(lines_path) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        benches[rec["id"]] = {
+            "median_ns": rec["median_ns"],
+            "samples": rec["samples"],
+        }
+with open(out_path, "w") as f:
+    json.dump({"benches": benches}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(benches)} benches)")
+PY
+rm -f "$tmp"

@@ -1,0 +1,195 @@
+//! Vendored property-testing shim with the subset of the `proptest` API
+//! this workspace uses: `Strategy` (with `prop_map` / `prop_flat_map`),
+//! range and tuple strategies, `any::<T>()`, `collection::vec`,
+//! `string_regex` for `[class]{m,n}` patterns, `prop_oneof!`, and the
+//! `proptest!` test macro.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports the panic from the test
+//!   body directly; the inputs for the failing case are reproducible
+//!   because the per-case RNG is seeded from the test name and case
+//!   index only.
+//! - Regex strategies support exactly one shape: a single character
+//!   class with a bounded repetition (`[...]{m,n}` / `[...]{n}`), which
+//!   is all the workspace's tests use.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+///
+/// Without shrinking there is nothing to unwind gently, so this is a
+/// plain `assert!` with the same formatting arguments.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a `proptest!` body (plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Uniform choice between heterogeneous strategies for the same value
+/// type. Each arm is boxed; the branch is picked uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn name(pattern in strategy, ...) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case as u64,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::gen(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("ranges", 0);
+        for _ in 0..200 {
+            let u = Strategy::gen(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&u));
+            let i = Strategy::gen(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&i));
+            let f = Strategy::gen(&(-1.5f64..2.5), &mut rng);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let strat = (1usize..4, 10i64..20).prop_map(|(a, b)| a as i64 + b);
+        let mut rng = crate::test_runner::TestRng::for_case("tuples", 1);
+        for _ in 0..100 {
+            let v = Strategy::gen(&strat, &mut rng);
+            assert!((11..23).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flat_map_uses_inner_value() {
+        let strat = (2usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0usize..10, n..=n)
+        });
+        let mut rng = crate::test_runner::TestRng::for_case("flat", 2);
+        for _ in 0..50 {
+            let v = Strategy::gen(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_regex_respects_class_and_length() {
+        let strat = crate::string::string_regex("[a-c]{2,4}").expect("valid");
+        let mut rng = crate::test_runner::TestRng::for_case("re", 3);
+        for _ in 0..100 {
+            let s = Strategy::gen(&strat, &mut rng);
+            assert!((2..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn string_literal_is_a_strategy() {
+        let mut rng = crate::test_runner::TestRng::for_case("lit", 4);
+        let s = Strategy::gen(&"[ -~\n\"]{0,30}", &mut rng);
+        assert!(s.chars().count() <= 30);
+        assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let strat = prop_oneof![
+            (0usize..1).prop_map(|_| 0u8),
+            (0usize..1).prop_map(|_| 1u8),
+            (0usize..1).prop_map(|_| 2u8),
+        ];
+        let mut rng = crate::test_runner::TestRng::for_case("oneof", 5);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[Strategy::gen(&strat, &mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn same_case_is_reproducible() {
+        let gen_once = || {
+            let mut rng = crate::test_runner::TestRng::for_case("repro", 7);
+            Strategy::gen(&crate::collection::vec(0u64..1000, 5..10), &mut rng)
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_works((a, b) in (0usize..5, 0usize..5), extra in any::<bool>()) {
+            prop_assert!(a < 5 && b < 5);
+            let _ = extra;
+            prop_assert_eq!(a + b, b + a, "commutativity {} {}", a, b);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Regex-shaped string strategies.
+//!
+//! Supports exactly the pattern family the workspace's tests use: one
+//! character class with a bounded repetition — `[class]{m,n}` or
+//! `[class]{n}`. Classes may contain literal characters, `a-b` ranges,
+//! and the escapes `\n`, `\t`, `\r`, `\\`, `\"`, `\-`, `\]`.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Error for unsupported or malformed patterns.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Strategy producing strings matching a `[class]{m,n}` pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    alphabet: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn gen(&self, rng: &mut TestRng) -> String {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        (0..len)
+            .map(|_| self.alphabet[rng.gen_range(0..self.alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parses `pattern` into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let err = || Error(pattern.to_string());
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+
+    if chars.get(pos) != Some(&'[') {
+        return Err(err());
+    }
+    pos += 1;
+
+    // Character class body: literals, escapes, and `a-b` ranges.
+    let mut class: Vec<char> = Vec::new();
+    let read_char = |pos: &mut usize| -> Result<Option<char>, Error> {
+        match chars.get(*pos) {
+            None => Err(err()),
+            Some(']') => Ok(None),
+            Some('\\') => {
+                *pos += 1;
+                let c = chars.get(*pos).ok_or_else(err)?;
+                *pos += 1;
+                Ok(Some(match c {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    '\\' | '"' | '-' | ']' => *c,
+                    _ => return Err(err()),
+                }))
+            }
+            Some(&c) => {
+                *pos += 1;
+                Ok(Some(c))
+            }
+        }
+    };
+    loop {
+        let Some(start) = read_char(&mut pos)? else { break };
+        // `a-b` range, unless the '-' is the last char before ']'.
+        if chars.get(pos) == Some(&'-') && chars.get(pos + 1) != Some(&']') {
+            pos += 1;
+            let end = read_char(&mut pos)?.ok_or_else(err)?;
+            if end < start {
+                return Err(err());
+            }
+            class.extend(start..=end);
+        } else {
+            class.push(start);
+        }
+    }
+    if class.is_empty() {
+        return Err(err());
+    }
+    pos += 1; // consume ']'
+
+    // Repetition: `{n}` or `{m,n}`.
+    if chars.get(pos) != Some(&'{') {
+        return Err(err());
+    }
+    pos += 1;
+    let rest: String = chars[pos..].iter().collect();
+    let Some(close) = rest.find('}') else { return Err(err()) };
+    if !rest[close + 1..].is_empty() {
+        return Err(err());
+    }
+    let bounds = &rest[..close];
+    let (min_len, max_len) = match bounds.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().map_err(|_| err())?,
+            hi.parse().map_err(|_| err())?,
+        ),
+        None => {
+            let n: usize = bounds.parse().map_err(|_| err())?;
+            (n, n)
+        }
+    };
+    if min_len > max_len {
+        return Err(err());
+    }
+
+    Ok(RegexGeneratorStrategy { alphabet: class, min_len, max_len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_printable_ascii_class() {
+        let s = string_regex("[ -~]{1,12}").expect("valid");
+        assert_eq!(s.alphabet.len(), 95);
+        assert_eq!((s.min_len, s.max_len), (1, 12));
+    }
+
+    #[test]
+    fn parses_escapes_and_fixed_count() {
+        let s = string_regex("[ -~\n\"]{3}").expect("valid");
+        assert!(s.alphabet.contains(&'\n'));
+        assert!(s.alphabet.contains(&'"'));
+        assert_eq!((s.min_len, s.max_len), (3, 3));
+    }
+
+    #[test]
+    fn rejects_unsupported_patterns() {
+        for bad in ["abc", "[a-z]*", "[]{1,2}", "[a-z]{2,", "[z-a]{1}"] {
+            assert!(string_regex(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+}

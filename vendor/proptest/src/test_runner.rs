@@ -1,0 +1,61 @@
+//! Per-case configuration and RNG for the `proptest!` macro.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Runner configuration. Only the case count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self { cases }
+    }
+}
+
+/// Deterministic per-case RNG.
+///
+/// Seeded from the fully-qualified test name and case index only, so a
+/// failing case is reproducible by rerunning the same test binary — no
+/// persistence file needed.
+#[derive(Debug, Clone)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// RNG for case number `case` of the named test.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self(ChaCha8Rng::seed_from_u64(
+            hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

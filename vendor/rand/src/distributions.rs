@@ -1,0 +1,163 @@
+//! Distributions: `Standard` and `WeightedIndex`.
+
+use crate::{unit_f64, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: `f64` uniform in `[0, 1)`,
+/// integers over their full range, fair bools.
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f64(rng) as f32
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Failure constructing a [`WeightedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight iterator was empty.
+    NoItem,
+    /// A weight was negative or NaN.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            WeightedError::NoItem => "no weights provided",
+            WeightedError::InvalidWeight => "negative or NaN weight",
+            WeightedError::AllWeightsZero => "all weights are zero",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices proportionally to a list of non-negative weights.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler from an iterator of weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Into<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w: f64 = w.into();
+            if !(w >= 0.0) {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(Self { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = unit_f64(rng) * self.total;
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        idx.min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Lcg(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let w = WeightedIndex::new([0.0, 1.0, 0.0, 2.0]).unwrap();
+        let mut rng = Lcg::seed_from_u64(9);
+        for _ in 0..500 {
+            let i = w.sample(&mut rng);
+            assert!(i == 1 || i == 3, "index {i} has zero weight");
+        }
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_input() {
+        assert_eq!(
+            WeightedIndex::new(std::iter::empty::<f64>()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(WeightedIndex::new([-1.0]).unwrap_err(), WeightedError::InvalidWeight);
+        assert_eq!(WeightedIndex::new([0.0, 0.0]).unwrap_err(), WeightedError::AllWeightsZero);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let a = Lcg::seed_from_u64(42).next_u64();
+        let b = Lcg::seed_from_u64(42).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, Lcg::seed_from_u64(43).next_u64());
+    }
+}

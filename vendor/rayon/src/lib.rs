@@ -1,0 +1,729 @@
+//! Minimal vendored rayon shim.
+//!
+//! The build environment has no network access, so the real `rayon`
+//! cannot be fetched. This shim provides the subset of rayon's API the
+//! workspace uses — `par_iter` / `into_par_iter` / `par_chunks` /
+//! `par_bridge`, `map` / `for_each` / `collect` / `reduce`, thread pools
+//! with `install`, and `current_num_threads` — built on
+//! `std::thread::scope`.
+//!
+//! # Determinism contract (stronger than rayon's)
+//!
+//! Every driver that materializes results (`run`, and everything built on
+//! it: `collect`, `for_each` ordering of side-effect-free maps, …)
+//! returns them in **source order**, and `reduce` folds them **in source
+//! order** — so any `map → collect`/`reduce` chain produces the exact
+//! sequence of `f` applications and fold steps a sequential loop would,
+//! bit-identical at any thread count. The only exception is
+//! `par_bridge().map(...).reduce(...)`, which folds worker-locally to
+//! keep memory bounded; there the operation must be order-insensitive
+//! (e.g. an argmax with a total-order tie-break), which rayon requires of
+//! `reduce` anyway.
+//!
+//! # Scheduling
+//!
+//! Work is split into one contiguous chunk per thread (no work
+//! stealing); threads are scoped per call rather than pooled. That is a
+//! deliberate simplification: the workspace's parallel regions are
+//! coarse (per-`k` sweeps, per-group algorithm runs, `O(n²)` kernels),
+//! where chunked splitting is within noise of a stealing scheduler.
+//! Nested parallel calls run inline on the worker thread (depth-1
+//! parallelism), which both bounds oversubscription and keeps nested
+//! results deterministic.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::Mutex;
+
+// ------------------------------------------------------- thread counting
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set on shim worker threads so nested parallel calls run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads parallel calls on this thread will use.
+///
+/// Resolution order: nested-in-worker (always 1) → `ThreadPool::install`
+/// override → `RAYON_NUM_THREADS` env var → `available_parallelism`.
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    default_num_threads()
+}
+
+fn default_num_threads() -> usize {
+    // Resolved once per process, like rayon's global pool: `env::var` is
+    // cheap but `available_parallelism` reads cgroup files on Linux
+    // (~10 µs/call), which would otherwise tax every parallel call.
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Error building a [`ThreadPool`] (kept for API compatibility; the shim
+/// builder cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count; `0` means "use the default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { n: self.num_threads.unwrap_or_else(default_num_threads) })
+    }
+}
+
+/// A "pool": in this shim, a scoped thread-count override. Threads are
+/// spawned per parallel call, not kept alive.
+#[derive(Debug)]
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// call it makes (on this thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = OVERRIDE.with(|o| o.replace(Some(self.n)));
+        let guard = RestoreOverride(prev);
+        let out = op();
+        drop(guard);
+        out
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+}
+
+struct RestoreOverride(Option<usize>);
+
+impl Drop for RestoreOverride {
+    fn drop(&mut self) {
+        OVERRIDE.with(|o| o.set(self.0));
+    }
+}
+
+// --------------------------------------------------------------- driving
+
+/// Splits `0..len` into at most `n` contiguous ranges of near-equal size.
+fn split_ranges(len: usize, n: usize) -> Vec<Range<usize>> {
+    let n = n.clamp(1, len.max(1));
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Runs `work` over each chunk (one scoped thread per chunk when more
+/// than one) and concatenates the per-chunk outputs **in chunk order**.
+fn drive_chunks<C: Send, R: Send>(
+    chunks: Vec<C>,
+    work: &(dyn Fn(C) -> Vec<R> + Sync),
+) -> Vec<R> {
+    if chunks.len() <= 1 {
+        return chunks.into_iter().flat_map(work).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    work(c)
+                })
+            })
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------- traits
+
+/// A parallel iterator over `Item`s with source-order result delivery.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Applies `f` to every item in parallel, returning the results in
+    /// **source order**. This is the primitive every adapter builds on.
+    fn run<R: Send>(self, f: &(dyn Fn(Self::Item) -> R + Sync)) -> Vec<R>;
+
+    /// Map + fold without necessarily materializing all mapped values
+    /// (the bridge overrides this to stream). The default materializes
+    /// via [`run`](Self::run) and folds in source order.
+    fn map_reduce<R: Send>(
+        self,
+        map: &(dyn Fn(Self::Item) -> R + Sync),
+        identity: &(dyn Fn() -> R + Sync),
+        op: &(dyn Fn(R, R) -> R + Sync),
+    ) -> R {
+        self.run(map).into_iter().fold(identity(), |a, b| op(a, b))
+    }
+
+    /// Transforms each item with `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Transforms each item, dropping `None` results (order preserved).
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Sync,
+        R: Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Runs `f` on every item for its side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.run(&move |x| f(x));
+    }
+
+    /// Collects results in source order into any `FromIterator`.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.run(&|x| x).into_iter().collect()
+    }
+
+    /// Reduces all items with `op`, starting each fold arm from
+    /// `identity()`. Folds in source order (except after `par_bridge`,
+    /// which folds worker-locally — `op` must be order-insensitive
+    /// there, as rayon itself requires).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        self.map_reduce(&|x| x, &identity, &op)
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.run(&|_| ()).len()
+    }
+}
+
+/// Types convertible into a [`ParallelIterator`] by value.
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` sugar: parallel iteration over `&self`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: Send + 'a;
+
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = <&'a C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+// --------------------------------------------------------------- sources
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn run<R: Send>(self, f: &(dyn Fn(Self::Item) -> R + Sync)) -> Vec<R> {
+        let slice = self.slice;
+        let ranges = split_ranges(slice.len(), current_num_threads());
+        drive_chunks(ranges, &|range: Range<usize>| {
+            slice[range].iter().map(f).collect()
+        })
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self.as_slice() }
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct VecIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn run<R: Send>(self, f: &(dyn Fn(Self::Item) -> R + Sync)) -> Vec<R> {
+        let mut items = self.items;
+        let ranges = split_ranges(items.len(), current_num_threads());
+        // Split the Vec into one owned chunk per range (back to front so
+        // split_off is O(chunk)).
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
+        for range in ranges.iter().rev() {
+            chunks.push(items.split_off(range.start));
+        }
+        chunks.reverse();
+        drive_chunks(chunks, &|chunk: Vec<T>| chunk.into_iter().map(f).collect())
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecIter { items: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn run<R: Send>(self, f: &(dyn Fn(Self::Item) -> R + Sync)) -> Vec<R> {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let ranges = split_ranges(len, current_num_threads());
+        drive_chunks(ranges, &|range: Range<usize>| {
+            (start + range.start..start + range.end).map(f).collect()
+        })
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> Self::Iter {
+        RangeIter { range: self }
+    }
+}
+
+/// `par_chunks`: parallel iteration over non-overlapping subslices.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits into `chunk_size`-sized pieces (last may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> VecIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> VecIter<&[T]> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be non-zero");
+        VecIter { items: self.chunks(chunk_size).collect() }
+    }
+}
+
+// -------------------------------------------------------------- adapters
+
+/// See [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn run<R2: Send>(self, f2: &(dyn Fn(Self::Item) -> R2 + Sync)) -> Vec<R2> {
+        let f = self.f;
+        let composed = move |x: B::Item| f2(f(x));
+        self.base.run(&composed)
+    }
+
+    fn map_reduce<R2: Send>(
+        self,
+        map: &(dyn Fn(Self::Item) -> R2 + Sync),
+        identity: &(dyn Fn() -> R2 + Sync),
+        op: &(dyn Fn(R2, R2) -> R2 + Sync),
+    ) -> R2 {
+        let f = self.f;
+        let composed = move |x: B::Item| map(f(x));
+        self.base.map_reduce(&composed, identity, op)
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> Option<R> + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn run<R2: Send>(self, f2: &(dyn Fn(Self::Item) -> R2 + Sync)) -> Vec<R2> {
+        let f = self.f;
+        let composed = move |x: B::Item| f(x).map(f2);
+        let results = self.base.run(&composed);
+        results.into_iter().flatten().collect()
+    }
+
+    fn map_reduce<R2: Send>(
+        self,
+        map: &(dyn Fn(Self::Item) -> R2 + Sync),
+        identity: &(dyn Fn() -> R2 + Sync),
+        op: &(dyn Fn(R2, R2) -> R2 + Sync),
+    ) -> R2 {
+        let f = self.f;
+        // `identity()` must be neutral for `op` (rayon's contract), so
+        // folding it in for filtered-out items is a no-op.
+        let composed = move |x: B::Item| match f(x) {
+            Some(y) => map(y),
+            None => identity(),
+        };
+        self.base.map_reduce(&composed, identity, op)
+    }
+}
+
+// ---------------------------------------------------------------- bridge
+
+/// Converts any `Iterator + Send` into a parallel iterator. See
+/// [`ParallelBridge`].
+pub struct IterBridge<I> {
+    iter: I,
+}
+
+/// `par_bridge()`: drive a sequential iterator from multiple threads.
+/// Items are pulled lazily under a lock, so `Bell(n)`-sized streams never
+/// materialize.
+pub trait ParallelBridge: Iterator + Send + Sized
+where
+    Self::Item: Send,
+{
+    /// Bridges `self` into a [`ParallelIterator`].
+    fn par_bridge(self) -> IterBridge<Self> {
+        IterBridge { iter: self }
+    }
+}
+
+impl<I: Iterator + Send> ParallelBridge for I where I::Item: Send {}
+
+impl<I: Iterator + Send> ParallelIterator for IterBridge<I>
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn run<R: Send>(self, f: &(dyn Fn(Self::Item) -> R + Sync)) -> Vec<R> {
+        let n = current_num_threads();
+        if n <= 1 {
+            return self.iter.map(f).collect();
+        }
+        // Tag items with their sequence number while pulling under the
+        // lock, then restore source order.
+        let source = Mutex::new(self.iter.enumerate());
+        let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    s.spawn(|| {
+                        IN_WORKER.with(|w| w.set(true));
+                        let mut local = Vec::new();
+                        loop {
+                            let next = source.lock().expect("bridge lock").next();
+                            match next {
+                                Some((seq, item)) => local.push((seq, f(item))),
+                                None => break,
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut all = Vec::new();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => all.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            all
+        });
+        tagged.sort_by_key(|&(seq, _)| seq);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    fn map_reduce<R: Send>(
+        self,
+        map: &(dyn Fn(Self::Item) -> R + Sync),
+        identity: &(dyn Fn() -> R + Sync),
+        op: &(dyn Fn(R, R) -> R + Sync),
+    ) -> R {
+        let n = current_num_threads();
+        if n <= 1 {
+            return self.iter.map(map).fold(identity(), |a, b| op(a, b));
+        }
+        // Stream: each worker folds locally; worker accumulators are
+        // combined in worker order. `op` must be order-insensitive.
+        let source = Mutex::new(self.iter);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    s.spawn(|| {
+                        IN_WORKER.with(|w| w.set(true));
+                        let mut acc = identity();
+                        loop {
+                            let next = source.lock().expect("bridge lock").next();
+                            match next {
+                                Some(item) => acc = op(acc, map(item)),
+                                None => break,
+                            }
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            let mut acc = identity();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => acc = op(acc, part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            acc
+        })
+    }
+}
+
+/// Commonly used items, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelBridge, ParallelIterator,
+        ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_vec_preserves_order() {
+        let v: Vec<String> = (0..257).map(|i| i.to_string()).collect();
+        let out: Vec<String> = v.clone().into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out.len(), 257);
+        assert_eq!(out[0], "0!");
+        assert_eq!(out[256], "256!");
+    }
+
+    #[test]
+    fn range_source_matches_sequential() {
+        let par: Vec<usize> = (3..103).into_par_iter().map(|i| i * i).collect();
+        let seq: Vec<usize> = (3..103).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn reduce_folds_in_source_order() {
+        // String concatenation is order-sensitive: equality with the
+        // sequential fold proves ordered reduction.
+        let v: Vec<usize> = (0..100).collect();
+        let par = v
+            .par_iter()
+            .map(|x| x.to_string())
+            .reduce(String::new, |a, b| a + &b);
+        let seq = (0..100).map(|x| x.to_string()).fold(String::new(), |a, b| a + &b);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_bridge_run_restores_order() {
+        let out: Vec<usize> = (0..500).par_bridge().map(|x| x + 1).collect();
+        assert_eq!(out, (1..501).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_bridge_streaming_reduce_is_deterministic() {
+        // Order-insensitive op (max by value, min index tie-break).
+        let pick = |a: Option<(usize, u64)>, b: Option<(usize, u64)>| match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some((ia, va)), Some((ib, vb))) => {
+                if vb > va || (vb == va && ib < ia) {
+                    Some((ib, vb))
+                } else {
+                    Some((ia, va))
+                }
+            }
+        };
+        let score = |i: usize| (i as u64 * 2654435761) % 1000;
+        for _ in 0..5 {
+            let best = (0..10_000)
+                .par_bridge()
+                .map(|i| Some((i, score(i))))
+                .reduce(|| None, pick);
+            let seq = (0..10_000).map(|i| Some((i, score(i)))).fold(None, pick);
+            assert_eq!(best, seq);
+        }
+    }
+
+    #[test]
+    fn filter_map_keeps_order() {
+        let out: Vec<usize> = (0..100)
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .collect();
+        let seq: Vec<usize> = (0..100).filter(|x| x % 3 == 0).collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn par_chunks_covers_slice() {
+        let v: Vec<usize> = (0..103).collect();
+        let sums: Vec<usize> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<usize>(), v.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn pool_install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+        });
+        let pool3 = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool3.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let out: Vec<usize> = (0..10).into_par_iter().map(|x| x).collect();
+            assert_eq!(out, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline() {
+        let out: Vec<usize> = (0..8)
+            .into_par_iter()
+            .map(|i| {
+                // Inside a worker, nested calls must see one thread.
+                let inner: Vec<usize> = (0..4).into_par_iter().map(|j| i * 10 + j).collect();
+                inner.into_iter().sum()
+            })
+            .collect();
+        let seq: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..100usize).into_par_iter().for_each(|i| {
+                if i == 57 {
+                    panic!("boom");
+                }
+            });
+        });
+    }
+}

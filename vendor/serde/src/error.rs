@@ -1,0 +1,31 @@
+//! Deserialization error type for the serde shim.
+
+use std::fmt;
+
+/// A deserialization (or, rarely, serialization) failure with a
+/// human-readable message and breadcrumb context.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self { msg: msg.to_string() }
+    }
+
+    /// Prefixes the message with a location breadcrumb such as
+    /// `"Dataset.claims"`.
+    pub fn context(self, what: &str) -> Self {
+        Self { msg: format!("{what}: {}", self.msg) }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

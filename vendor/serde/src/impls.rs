@@ -1,0 +1,340 @@
+//! Trait impls for std types, plus the shared compact JSON writer.
+
+use crate::{Deserialize, Error, Map, Number, Serialize, Value};
+
+// ------------------------------------------------------------- Serialize
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as u64;
+                match i64::try_from(v) {
+                    Ok(i) => Value::Number(Number::Int(i)),
+                    Err(_) => Value::Number(Number::UInt(v)),
+                }
+            }
+        }
+    )*};
+}
+ser_unsigned!(u64, usize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() {
+                    Value::Number(Number::Float(f))
+                } else {
+                    // JSON has no NaN/Inf; serialize as null (JS behavior).
+                    Value::Null
+                }
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+impl<V: Serialize> Serialize for Map<String, V> {
+    fn to_value(&self) -> Value {
+        self.iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect::<Map>()
+            .into_object()
+    }
+}
+
+impl Map<String, Value> {
+    fn into_object(self) -> Value {
+        Value::Object(self)
+    }
+}
+
+// ----------------------------------------------------------- Deserialize
+
+fn type_err<T>(expected: &str, v: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!("expected {expected}, got {}", v.kind())))
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => type_err("string", v),
+        }
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => type_err("bool", v),
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => *n,
+                    _ => return type_err(stringify!($t), v),
+                };
+                let out = match n {
+                    Number::Int(i) => <$t>::try_from(i).ok(),
+                    Number::UInt(u) => <$t>::try_from(u).ok(),
+                    Number::Float(_) => None,
+                };
+                out.ok_or_else(|| {
+                    Error::custom(format!("number out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            // Non-finite floats serialize as null; accept the round-trip.
+            Value::Null => Ok(f64::NAN),
+            _ => type_err("f64", v),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            _ => T::from_value(v).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => type_err("array", v),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        items.try_into().map_err(|_| {
+            Error::custom(format!("expected array of length {N}, got {got}"))
+        })
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($n:literal; $($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = match v {
+                    Value::Array(a) if a.len() == $n => a,
+                    Value::Array(a) => {
+                        return Err(Error::custom(format!(
+                            "expected array of length {}, got {}", $n, a.len()
+                        )))
+                    }
+                    _ => return type_err("array", v),
+                };
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; A: 0)
+    (2; A: 0, B: 1)
+    (3; A: 0, B: 1, C: 2)
+    (4; A: 0, B: 1, C: 2, D: 3)
+    (5; A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+// ---------------------------------------------------------- JSON writing
+
+/// Writes `v` as compact JSON (`{"key":value}`, no whitespace). Shared by
+/// `Value`'s `Display` impl and the vendored `serde_json`.
+#[doc(hidden)]
+pub fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Writes a number the way serde_json does: integers bare, floats with
+/// Rust's shortest round-trip representation (which always keeps a `.0`
+/// or exponent, so the lexical integer/float distinction survives).
+#[doc(hidden)]
+pub fn write_number(out: &mut String, n: Number) {
+    use std::fmt::Write;
+    match n {
+        Number::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::Float(f) if f.is_finite() => {
+            let _ = write!(out, "{f:?}");
+        }
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+/// Writes `s` as a JSON string literal with escapes.
+#[doc(hidden)]
+pub fn write_escaped(out: &mut String, s: &str) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

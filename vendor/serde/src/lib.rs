@@ -1,0 +1,40 @@
+//! Minimal vendored serde shim.
+//!
+//! The build environment has no network access, so the real `serde` crate
+//! cannot be fetched. This shim keeps the workspace's public API surface
+//! (`derive(Serialize, Deserialize)`, `serde_json::to_string`/`from_str`,
+//! …) working by (de)serializing through an in-memory [`Value`] tree
+//! instead of serde's visitor architecture. `serde_json` (also vendored)
+//! renders that tree to JSON text and parses it back.
+//!
+//! The programming model is intentionally tiny:
+//! - [`Serialize`] converts `self` into a [`Value`].
+//! - [`Deserialize`] reconstructs `Self` from a `&Value`.
+//! - Objects preserve insertion order ([`Map`] is a `Vec` of pairs), so
+//!   struct fields serialize in declaration order, matching what the
+//!   workspace's tests expect of serde_json output.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::{Map, Number, Value};
+
+#[doc(hidden)]
+pub use impls::{write_compact, write_escaped, write_number};
+
+/// Serialize `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of `v`, failing with a descriptive [`Error`] on
+    /// shape mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}

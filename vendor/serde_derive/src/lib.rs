@@ -1,0 +1,558 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim.
+//!
+//! The build environment has no network access, so the real `serde_derive`
+//! (and its `syn`/`quote` dependency tree) is unavailable. This crate
+//! parses the item token stream directly and emits impls of the shim's
+//! value-tree traits (`serde::Serialize::to_value` /
+//! `serde::Deserialize::from_value`) as source text.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields (`#[serde(skip)]` honoured per field)
+//! - tuple structs (newtypes serialize as their inner value, matching
+//!   serde; `#[serde(transparent)]` is accepted and implied)
+//! - unit structs
+//! - enums of unit / newtype / tuple variants, externally tagged by
+//!   default or adjacently tagged via `#[serde(tag = "…", content = "…")]`
+//! - container-level `#[serde(from = "T", into = "T")]`
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(gen_serialize(&item))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(gen_deserialize(&item))
+}
+
+fn emit(code: String) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive shim generated invalid Rust: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------- parsing
+
+#[derive(Default)]
+struct Attrs {
+    tag: Option<String>,
+    content: Option<String>,
+    from: Option<String>,
+    into: Option<String>,
+    skip: bool,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    arity: usize, // 0 = unit, 1 = newtype, n = tuple
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: Attrs,
+    body: Body,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+        }
+    }
+}
+
+/// Collects `#[...]` attribute groups, folding any `#[serde(...)]` content
+/// into `attrs`; stops at the first non-attribute token.
+fn parse_attrs(c: &mut Cursor, attrs: &mut Attrs) {
+    while c.at_punct('#') {
+        c.next();
+        let group = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if inner.at_ident("serde") {
+            inner.next();
+            if let Some(TokenTree::Group(args)) = inner.next() {
+                parse_serde_args(Cursor::new(args.stream()), attrs);
+            }
+        }
+    }
+}
+
+/// Parses `tag = "…", content = "…", from = "…", into = "…", skip,
+/// transparent, …` inside `#[serde(...)]`. Unknown bare idents are ignored
+/// (e.g. `transparent`, which is implied for newtypes here).
+fn parse_serde_args(mut c: Cursor, attrs: &mut Attrs) {
+    while c.peek().is_some() {
+        let key = c.expect_ident();
+        let value = if c.at_punct('=') {
+            c.next();
+            match c.next() {
+                Some(TokenTree::Literal(l)) => Some(unquote(&l.to_string())),
+                other => panic!("serde_derive shim: expected string after `{key} =`, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("content", Some(v)) => attrs.content = Some(v),
+            ("from", Some(v)) => attrs.from = Some(v),
+            ("into", Some(v)) => attrs.into = Some(v),
+            ("skip", None) => attrs.skip = true,
+            ("transparent", None) => {}
+            (other, _) => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    let s = lit.trim();
+    let s = s.strip_prefix('"').unwrap_or(s);
+    let s = s.strip_suffix('"').unwrap_or(s);
+    s.to_string()
+}
+
+/// Skips a type (or any token run) up to a top-level `,`, tracking angle
+/// bracket depth so `Vec<(A, B)>`-style commas do not terminate early.
+fn skip_until_top_comma(c: &mut Cursor) {
+    let mut angle_depth: i32 = 0;
+    while let Some(t) = c.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        c.next();
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let mut attrs = Attrs::default();
+    parse_attrs(&mut c, &mut attrs);
+    // Visibility: `pub`, `pub(crate)`, …
+    if c.at_ident("pub") {
+        c.next();
+        if matches!(c.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            c.next();
+        }
+    }
+    let kind = c.expect_ident();
+    let name = c.expect_ident();
+    if c.at_punct('<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+    let body = match kind.as_str() {
+        "struct" => parse_struct_body(&mut c),
+        "enum" => parse_enum_body(&mut c),
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    };
+    Item { name, attrs, body }
+}
+
+fn parse_struct_body(c: &mut Cursor) -> Body {
+    match c.peek() {
+        None => Body::Unit,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = count_top_level_fields(g.stream());
+            Body::Tuple(n)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Body::Named(parse_named_fields(g.stream()))
+        }
+        other => panic!("serde_derive shim: unexpected struct body: {other:?}"),
+    }
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut n = 0;
+    while c.peek().is_some() {
+        skip_until_top_comma(&mut c);
+        n += 1;
+        c.next(); // the comma, if any
+    }
+    n
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let mut attrs = Attrs::default();
+        parse_attrs(&mut c, &mut attrs);
+        if c.peek().is_none() {
+            break;
+        }
+        if c.at_ident("pub") {
+            c.next();
+            if matches!(
+                c.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                c.next();
+            }
+        }
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_until_top_comma(&mut c);
+        c.next(); // trailing comma, if any
+        fields.push(Field { name, skip: attrs.skip });
+    }
+    fields
+}
+
+fn parse_enum_body(c: &mut Cursor) -> Body {
+    let group = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+    };
+    let mut c = Cursor::new(group.stream());
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let mut attrs = Attrs::default();
+        parse_attrs(&mut c, &mut attrs);
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let arity = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                c.next();
+                n
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive shim: struct enum variants are not supported (`{name}`)")
+            }
+            _ => 0,
+        };
+        // Skip an explicit discriminant, if any.
+        if c.at_punct('=') {
+            skip_until_top_comma(&mut c);
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, arity });
+    }
+    Body::Enum(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn var_bindings(arity: usize) -> (String, Vec<String>) {
+    let names: Vec<String> = (0..arity).map(|i| format!("__f{i}")).collect();
+    (names.join(", "), names)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.attrs.into {
+        format!(
+            "let __repr: {into} = ::core::convert::Into::into(\
+             <Self as ::core::clone::Clone>::clone(self));\
+             ::serde::Serialize::to_value(&__repr)"
+        )
+    } else {
+        match &item.body {
+            Body::Unit => "::serde::Value::Null".to_string(),
+            Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Body::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+            }
+            Body::Named(fields) => {
+                let mut s = String::from("let mut __m = ::serde::Map::new();");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    s.push_str(&format!(
+                        "__m.insert(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0}));",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__m)");
+                s
+            }
+            Body::Enum(variants) => gen_serialize_enum(item, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             #[allow(unused_mut, unused_variables, clippy::all)]\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        let (pat, binds) = var_bindings(v.arity);
+        let payload = match v.arity {
+            0 => None,
+            1 => Some(format!("::serde::Serialize::to_value({})", binds[0])),
+            _ => {
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                Some(format!("::serde::Value::Array(::std::vec![{}])", elems.join(", ")))
+            }
+        };
+        let lhs = if v.arity == 0 {
+            format!("{name}::{vn}")
+        } else {
+            format!("{name}::{vn}({pat})")
+        };
+        let rhs = match (&item.attrs.tag, &item.attrs.content) {
+            (Some(tag), content) => {
+                // Adjacently tagged: {"tag": "Variant", "content": payload}
+                let mut s = String::from("{ let mut __m = ::serde::Map::new();");
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{tag}\"), \
+                     ::serde::Value::String(::std::string::String::from(\"{vn}\")));"
+                ));
+                if let (Some(content), Some(payload)) = (content, &payload) {
+                    s.push_str(&format!(
+                        "__m.insert(::std::string::String::from(\"{content}\"), {payload});"
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__m) }");
+                s
+            }
+            (None, _) => match &payload {
+                // Externally tagged: "Variant" or {"Variant": payload}
+                None => format!(
+                    "::serde::Value::String(::std::string::String::from(\"{vn}\"))"
+                ),
+                Some(payload) => format!(
+                    "{{ let mut __m = ::serde::Map::new();\
+                     __m.insert(::std::string::String::from(\"{vn}\"), {payload});\
+                     ::serde::Value::Object(__m) }}"
+                ),
+            },
+        };
+        arms.push_str(&format!("{lhs} => {rhs},\n"));
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from) = &item.attrs.from {
+        format!(
+            "let __repr: {from} = ::serde::Deserialize::from_value(__v)?;\
+             ::core::result::Result::Ok(::core::convert::From::from(__repr))"
+        )
+    } else {
+        match &item.body {
+            Body::Unit => format!("::core::result::Result::Ok({name})"),
+            Body::Tuple(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            Body::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(\
+                             __arr.get({i}).unwrap_or(&::serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __arr = __v.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for {name}\"))?;\
+                     ::core::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+            Body::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!(
+                            "{}: ::core::default::Default::default(),",
+                            f.name
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{0}: ::serde::Deserialize::from_value(\
+                             __obj.get(\"{0}\").unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| e.context(\"{name}.{0}\"))?,",
+                            f.name
+                        ));
+                    }
+                }
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for {name}\"))?;\
+                     ::core::result::Result::Ok({name} {{ {inits} }})"
+                )
+            }
+            Body::Enum(variants) => gen_deserialize_enum(item, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             #[allow(unused_variables, clippy::all)]\n\
+             fn from_value(__v: &::serde::Value) \
+             -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Builds the expression reconstructing variant `v` from `__content`
+/// (a `&Value` holding the payload).
+fn variant_from_content(name: &str, v: &Variant) -> String {
+    match v.arity {
+        0 => format!("::core::result::Result::Ok({name}::{})", v.name),
+        1 => format!(
+            "::core::result::Result::Ok({name}::{}(\
+             ::serde::Deserialize::from_value(__content)?))",
+            v.name
+        ),
+        n => {
+            let elems: Vec<String> = (0..n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                         __arr.get({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let __arr = __content.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array payload for {name}::{}\"))?;\
+                 ::core::result::Result::Ok({name}::{}({})) }}",
+                v.name,
+                v.name,
+                elems.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    if let Some(tag) = &item.attrs.tag {
+        let content_key = item.attrs.content.clone().unwrap_or_else(|| "content".to_string());
+        let mut arms = String::new();
+        for v in variants {
+            arms.push_str(&format!("\"{}\" => {},\n", v.name, variant_from_content(name, v)));
+        }
+        format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+             ::serde::Error::custom(\"expected object for {name}\"))?;\
+             let __tag = match __obj.get(\"{tag}\") {{\
+                 ::core::option::Option::Some(::serde::Value::String(s)) => s.as_str(),\
+                 _ => return ::core::result::Result::Err(\
+                     ::serde::Error::custom(\"missing `{tag}` tag for {name}\")),\
+             }};\
+             let __content = __obj.get(\"{content_key}\").unwrap_or(&::serde::Value::Null);\
+             match __tag {{\n{arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+             }}"
+        )
+    } else {
+        // Externally tagged.
+        let mut unit_arms = String::new();
+        for v in variants.iter().filter(|v| v.arity == 0) {
+            unit_arms.push_str(&format!(
+                "\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n",
+                v.name
+            ));
+        }
+        let mut payload_arms = String::new();
+        for v in variants.iter().filter(|v| v.arity > 0) {
+            payload_arms.push_str(&format!(
+                "\"{}\" => {},\n",
+                v.name,
+                variant_from_content(name, v)
+            ));
+        }
+        format!(
+            "match __v {{\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::core::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                 }},\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\
+                     let (__k, __content) = __m.iter().next().expect(\"len checked\");\
+                     match __k.as_str() {{\n{payload_arms}\
+                         __other => ::core::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                     }}\
+                 }}\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                     \"expected string or single-key object for {name}\")),\
+             }}"
+        )
+    }
+}

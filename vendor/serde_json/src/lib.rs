@@ -1,0 +1,186 @@
+//! Minimal vendored serde_json shim.
+//!
+//! Renders the vendored serde [`Value`] tree to JSON text and parses JSON
+//! text back. Output conventions match real serde_json where the
+//! workspace depends on them:
+//! - `to_string` is compact (`{"key":value}`) with object keys in
+//!   insertion (= struct declaration) order;
+//! - `to_string_pretty` indents with two spaces;
+//! - floats print with a decimal point or exponent (`1.0`, not `1`), so
+//!   the integer/float lexical distinction round-trips.
+
+mod parse;
+
+use std::fmt;
+
+pub use serde::{Map, Number, Value};
+use serde::{Deserialize, Serialize};
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Self { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self::new(e)
+    }
+}
+
+/// Result alias used by this crate's API.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    serde::write_compact(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse::parse(s).map_err(Error::new)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                serde::write_escaped(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => serde::write_compact(out, other),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Builds a [`Value`] from JSON-looking syntax. Supports `null`, array
+/// literals of expressions, object literals with string-literal keys and
+/// expression values, and bare expressions (anything [`Serialize`]).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![
+            $( $crate::to_value(&$elem).expect("json! value") ),*
+        ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        let mut __m = $crate::Map::new();
+        $(
+            __m.insert(
+                ::std::string::String::from($key),
+                $crate::to_value(&$val).expect("json! value"),
+            );
+        )*
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value") };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        let v: Value = from_str(r#"{"a":1,"b":[true,null,"x"],"c":-2.5}"#).unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null,"x"],"c":-2.5}"#);
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&42i64).unwrap(), "42");
+    }
+
+    #[test]
+    fn pretty_indents_two_spaces() {
+        let v: Value = from_str(r#"{"a":[1]}"#).unwrap();
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line\nquote\"back\\slash\ttab\u{1}";
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({"name": "x", "n": 3, "ok": true});
+        assert_eq!(to_string(&v).unwrap(), r#"{"name":"x","n":3,"ok":true}"#);
+        assert!(json!(null).is_null());
+        assert_eq!(json!([1, 2]).as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage_and_trailing() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{}{}").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+    }
+}
