@@ -3,8 +3,9 @@
 use proptest::prelude::*;
 
 use tdac_clustering::{
-    silhouette_paper, silhouette_samples, Agglomerative, Euclidean, Hamming, KMeans,
-    KMeansConfig, Linkage, Matrix, Pam, PamConfig, SqEuclidean, Metric,
+    pairwise_distances, silhouette_paper, silhouette_paper_dist, silhouette_samples,
+    silhouette_samples_dist, Agglomerative, Euclidean, Hamming, KMeans, KMeansConfig, Linkage,
+    Matrix, Pam, PamConfig, SqEuclidean, Metric,
 };
 
 fn arb_matrix() -> impl Strategy<Value = Matrix> {
@@ -98,6 +99,57 @@ proptest! {
         }
         let s = silhouette_paper(&data, &fit.assignments, &Euclidean);
         prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+    }
+
+    #[test]
+    fn silhouette_is_invariant_under_label_relabeling(
+        data in arb_matrix(),
+        k in 2usize..4,
+        shift in 1usize..4,
+    ) {
+        // Cluster *names* carry no information: applying a permutation to
+        // the label ids must leave every per-sample coefficient — and
+        // hence the paper's mean — bitwise unchanged.
+        let k = k.min(data.n_rows());
+        let fit = KMeans::new(KMeansConfig::with_k(k)).fit(&data).expect("fit");
+        let relabeled: Vec<usize> =
+            fit.assignments.iter().map(|&c| (c + shift) % k).collect();
+        let original = silhouette_samples(&data, &fit.assignments, &Euclidean);
+        let renamed = silhouette_samples(&data, &relabeled, &Euclidean);
+        for (i, (a, b)) in original.iter().zip(&renamed).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "sample {} moved", i);
+        }
+        // The macro-average sums per-cluster means in label order, so
+        // relabeling reorders one float summation: equal up to roundoff,
+        // not bitwise.
+        let sp = silhouette_paper(&data, &fit.assignments, &Euclidean);
+        let sr = silhouette_paper(&data, &relabeled, &Euclidean);
+        prop_assert!((sp - sr).abs() <= 1e-12, "{sp} vs {sr}");
+    }
+
+    #[test]
+    fn cached_distance_silhouette_matches_feature_space(
+        data in arb_matrix(),
+        k in 2usize..4,
+    ) {
+        // The TD-AC k-sweep evaluates every k from one shared pairwise
+        // distance matrix; the cached path must agree with direct
+        // feature-space evaluation bit-for-bit, per sample.
+        let k = k.min(data.n_rows());
+        let fit = KMeans::new(KMeansConfig::with_k(k)).fit(&data).expect("fit");
+        let n = data.n_rows();
+        for metric in [&Euclidean as &dyn Metric, &Hamming] {
+            let dist = pairwise_distances(&data, metric);
+            let direct = silhouette_samples(&data, &fit.assignments, metric);
+            let cached = silhouette_samples_dist(&dist, n, &fit.assignments);
+            for (i, (a, b)) in direct.iter().zip(&cached).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} sample {}", metric.name(), i);
+            }
+            prop_assert_eq!(
+                silhouette_paper(&data, &fit.assignments, metric).to_bits(),
+                silhouette_paper_dist(&dist, n, &fit.assignments).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -251,6 +251,86 @@ mod tests {
     }
 
     #[test]
+    fn merge_all_of_single_partial_is_identity() {
+        let mut p = TruthResult::with_sources(3, 0.7);
+        p.set_prediction(ObjectId::new(0), AttributeId::new(0), ValueId::new(1), 0.9);
+        p.set_prediction(ObjectId::new(1), AttributeId::new(2), ValueId::new(3), 0.4);
+        p.iterations = 6;
+        let merged = TruthResult::merge_all(std::slice::from_ref(&p));
+        assert_eq!(merged.len(), p.len());
+        for (o, a, v, c) in p.iter() {
+            assert_eq!(merged.prediction(o, a), Some(v));
+            assert_eq!(merged.confidence(o, a).map(f64::to_bits), Some(c.to_bits()));
+        }
+        assert_eq!(merged.source_trust, p.source_trust);
+        assert_eq!(merged.iterations, 6);
+    }
+
+    #[test]
+    fn merge_all_later_partial_wins_on_overlap() {
+        // Partitions are disjoint in TD-AC, but the documented collision
+        // semantics (later partial wins) must hold for robustness.
+        let (o, a) = oa(0, 0);
+        let mut first = TruthResult::with_sources(2, 0.5);
+        first.set_prediction(o, a, ValueId::new(1), 0.9);
+        first.set_prediction(ObjectId::new(1), AttributeId::new(0), ValueId::new(7), 0.3);
+        let mut second = TruthResult::with_sources(2, 0.5);
+        second.set_prediction(o, a, ValueId::new(2), 0.6);
+        let merged = TruthResult::merge_all(&[first.clone(), second.clone()]);
+        assert_eq!(merged.prediction(o, a), Some(ValueId::new(2)));
+        assert_eq!(merged.confidence(o, a), Some(0.6));
+        // The non-colliding cell survives from the earlier partial.
+        assert_eq!(
+            merged.prediction(ObjectId::new(1), AttributeId::new(0)),
+            Some(ValueId::new(7))
+        );
+        assert_eq!(merged.len(), 2);
+        // Swapping the order flips the winner.
+        let flipped = TruthResult::merge_all(&[second, first]);
+        assert_eq!(flipped.prediction(o, a), Some(ValueId::new(1)));
+    }
+
+    #[test]
+    fn merge_all_of_two_agrees_with_pairwise_absorb() {
+        // With exactly two partials the symmetric mean and the chained
+        // pairwise mean coincide — bitwise, since both compute (a+b)/2.
+        let mut a = TruthResult::with_sources(3, 0.0);
+        a.source_trust = vec![0.1, 0.625, 0.9375];
+        a.set_prediction(ObjectId::new(0), AttributeId::new(0), ValueId::new(1), 0.75);
+        a.iterations = 2;
+        let mut b = TruthResult::with_sources(3, 0.0);
+        b.source_trust = vec![0.3, 0.5, 0.0625];
+        b.set_prediction(ObjectId::new(1), AttributeId::new(1), ValueId::new(2), 0.5);
+        b.iterations = 7;
+        let merged = TruthResult::merge_all(&[a.clone(), b.clone()]);
+        let mut absorbed = a.clone();
+        absorbed.absorb(&b);
+        assert_eq!(merged.len(), absorbed.len());
+        for (o, at, v, c) in merged.iter() {
+            assert_eq!(absorbed.prediction(o, at), Some(v));
+            assert_eq!(absorbed.confidence(o, at).map(f64::to_bits), Some(c.to_bits()));
+        }
+        let bits = |r: &TruthResult| -> Vec<u64> {
+            r.source_trust.iter().map(|t| t.to_bits()).collect()
+        };
+        assert_eq!(bits(&merged), bits(&absorbed));
+        assert_eq!(merged.iterations, absorbed.iterations);
+    }
+
+    #[test]
+    fn merge_all_ignores_empty_partials_for_trust() {
+        // A default (trustless) partial contributes predictions but must
+        // not drag the trust mean toward zero.
+        let mut with_trust = TruthResult::with_sources(2, 0.8);
+        with_trust.set_prediction(ObjectId::new(0), AttributeId::new(0), ValueId::new(1), 1.0);
+        let mut trustless = TruthResult::default();
+        trustless.set_prediction(ObjectId::new(0), AttributeId::new(1), ValueId::new(2), 0.5);
+        let merged = TruthResult::merge_all(&[with_trust, trustless]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.source_trust, vec![0.8, 0.8]);
+    }
+
+    #[test]
     fn iter_yields_all() {
         let mut r = TruthResult::with_sources(0, 0.0);
         r.set_prediction(ObjectId::new(1), AttributeId::new(2), ValueId::new(3), 0.4);

@@ -1,0 +1,151 @@
+//! Metamorphic properties of the evaluation layer: relations between
+//! reports that must hold for *any* dataset, truth, and prediction set.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use td_metrics::{evaluate_fn, evaluate_per_attribute, EvalReport, Predictions};
+use td_model::{AttributeId, Dataset, DatasetBuilder, GroundTruth, ObjectId, Value, ValueId};
+
+const N_SOURCES: u32 = 3;
+const N_OBJECTS: u32 = 4;
+const N_ATTRS: u32 = 4;
+const N_VALUES: u32 = 5;
+
+/// A raw claim quadruple `(source, object, attribute, value)`.
+type Quad = (u32, u32, u32, u32);
+
+/// A random world: claims, a truth value per cell slot, and a predicted
+/// value per cell slot (slots without claims are simply never evaluated).
+fn world() -> impl Strategy<Value = (Vec<Quad>, Vec<u32>, Vec<u32>)> {
+    let slots = (N_OBJECTS * N_ATTRS) as usize;
+    (
+        proptest::collection::vec(
+            (0u32..N_SOURCES, 0u32..N_OBJECTS, 0u32..N_ATTRS, 0u32..N_VALUES),
+            1..40,
+        ),
+        proptest::collection::vec(0u32..N_VALUES, slots..=slots),
+        proptest::collection::vec(0u32..N_VALUES + 1, slots..=slots),
+    )
+}
+
+/// Builds the dataset plus truth and predictions maps. A predicted slot
+/// equal to `N_VALUES` encodes abstention (no prediction for the cell).
+fn build(
+    claims: &[Quad],
+    truths: &[u32],
+    preds: &[u32],
+) -> (Dataset, GroundTruth, Predictions) {
+    let mut b = DatasetBuilder::new();
+    let mut values: Vec<ValueId> = Vec::new();
+    for v in 0..N_VALUES {
+        values.push(b.value(Value::int(v as i64)));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for &(s, o, a, v) in claims {
+        if seen.insert((s, o, a)) {
+            b.claim(
+                &format!("s{s}"),
+                &format!("o{o}"),
+                &format!("a{a}"),
+                Value::int(v as i64),
+            )
+            .expect("first claim per cell slot");
+        }
+    }
+    let dataset = b.build();
+    let mut truth = GroundTruth::new();
+    let mut predictions: Predictions = HashMap::new();
+    for o in 0..N_OBJECTS {
+        for a in 0..N_ATTRS {
+            let (Some(oid), Some(aid)) = (
+                dataset.object_id(&format!("o{o}")),
+                dataset.attribute_id(&format!("a{a}")),
+            ) else {
+                continue;
+            };
+            let slot = (o * N_ATTRS + a) as usize;
+            truth.set(oid, aid, values[truths[slot] as usize]);
+            if preds[slot] < N_VALUES {
+                predictions.insert((oid, aid), values[preds[slot] as usize]);
+            }
+        }
+    }
+    (dataset, truth, predictions)
+}
+
+fn lookup(p: &Predictions) -> impl Fn(ObjectId, AttributeId) -> Option<ValueId> + '_ {
+    move |o, a| p.get(&(o, a)).copied()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting the evaluation per attribute and merging the partial
+    /// reports must reproduce the global report exactly: same raw counts,
+    /// and — since the ratios are derived from those counts by the same
+    /// code path — bitwise-identical measures. This is the identity that
+    /// lets TD-AC score per-group runs independently.
+    #[test]
+    fn per_attribute_merge_reproduces_the_global_report(
+        (claims, truths, preds) in world(),
+    ) {
+        let (dataset, truth, predictions) = build(&claims, &truths, &preds);
+        let global = evaluate_fn(&dataset, &truth, lookup(&predictions));
+        let parts = evaluate_per_attribute(&dataset, &truth, lookup(&predictions));
+        let part_reports: Vec<EvalReport> = parts.iter().map(|(_, r)| *r).collect();
+        let merged = EvalReport::merged(&part_reports);
+        prop_assert_eq!(merged.confusion, global.confusion);
+        prop_assert_eq!(merged.n_cells, global.n_cells);
+        prop_assert_eq!(merged.n_correct, global.n_correct);
+        prop_assert_eq!(merged.precision.to_bits(), global.precision.to_bits());
+        prop_assert_eq!(merged.recall.to_bits(), global.recall.to_bits());
+        prop_assert_eq!(merged.accuracy.to_bits(), global.accuracy.to_bits());
+        prop_assert_eq!(merged.f1.to_bits(), global.f1.to_bits());
+        prop_assert_eq!(merged.cell_accuracy.to_bits(), global.cell_accuracy.to_bits());
+    }
+
+    /// Correcting one wrong (or abstained) cell to its ground truth is a
+    /// pure improvement: exactly one more exact cell, one more true
+    /// positive, and recall / cell accuracy that never decrease.
+    #[test]
+    fn correcting_one_cell_strictly_improves(
+        (claims, truths, preds) in world(),
+    ) {
+        let (dataset, truth, mut predictions) = build(&claims, &truths, &preds);
+        // Find an evaluated cell whose prediction misses the truth.
+        let wrong = dataset.view_all().cells().find_map(|cell| {
+            let t = truth.get(cell.object, cell.attribute)?;
+            match predictions.get(&(cell.object, cell.attribute)) {
+                Some(&p) if p == t => None,
+                _ => Some((cell.object, cell.attribute, t)),
+            }
+        });
+        // All-correct draws satisfy the property vacuously.
+        if let Some((o, a, t)) = wrong {
+            let before = evaluate_fn(&dataset, &truth, lookup(&predictions));
+            predictions.insert((o, a), t);
+            let after = evaluate_fn(&dataset, &truth, lookup(&predictions));
+            prop_assert_eq!(after.n_cells, before.n_cells);
+            prop_assert_eq!(after.n_correct, before.n_correct + 1);
+            prop_assert_eq!(after.confusion.tp, before.confusion.tp + 1);
+            prop_assert!(after.recall >= before.recall,
+                "recall regressed: {} -> {}", before.recall, after.recall);
+            prop_assert!(after.cell_accuracy > before.cell_accuracy);
+        }
+    }
+
+    /// Sanity envelope for any report: counts are consistent and every
+    /// derived ratio stays inside [0, 1].
+    #[test]
+    fn reports_stay_inside_their_envelope((claims, truths, preds) in world()) {
+        let (dataset, truth, predictions) = build(&claims, &truths, &preds);
+        let r = evaluate_fn(&dataset, &truth, lookup(&predictions));
+        prop_assert!(r.n_correct <= r.n_cells);
+        prop_assert_eq!(r.confusion.tp as u64 >= r.n_correct, true,
+            "every exact cell contributes a TP");
+        for m in [r.precision, r.recall, r.accuracy, r.f1, r.cell_accuracy] {
+            prop_assert!((0.0..=1.0).contains(&m), "measure {m} out of range");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Golden snapshot driver.
+//!
+//! * `td-verify` — recompute the DS1 table and check it against the
+//!   committed snapshot (exit 1 on divergence).
+//! * `td-verify --bless` — regenerate the snapshot in place; review and
+//!   commit the diff.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        [] => match td_verify::check_ds1() {
+            Ok(()) => {
+                println!("golden check passed: {}", td_verify::golden::golden_path().display());
+                ExitCode::SUCCESS
+            }
+            Err(diff) => {
+                eprintln!("{diff}");
+                ExitCode::FAILURE
+            }
+        },
+        ["--bless"] => match td_verify::bless_ds1() {
+            Ok(path) => {
+                println!("blessed {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("blessing failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!("usage: td-verify [--bless]   (got {other:?})");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # td-verify — the workspace's verification harness
+//!
+//! Three independent layers of evidence that the TD-AC stack computes
+//! what the paper says, documented in `docs/VERIFICATION.md`:
+//!
+//! 1. **Differential oracles** ([`oracle`], [`worlds`]) — TD-AC checked
+//!    against the brute-force AccuGenPartition search on separable
+//!    micro-worlds where the exact optimum is known, against a replay of
+//!    its own chosen partition on any input, and against itself at
+//!    pinned thread counts (`Threads(1)` / `Threads(2)` / `Threads(8)`),
+//!    all compared through bit-exact [`fingerprint`]s.
+//! 2. **Metamorphic invariants** (the `tests/` suites of this crate and
+//!    of `clustering` / `td-metrics`) — properties that must hold under
+//!    input transformations: relabeling sources/objects, shuffling claim
+//!    order, duplicating claims, removing claims (DCR monotonicity).
+//! 3. **Paper-conformance goldens** ([`golden`]) — committed DS1 preset
+//!    tables checked bit-exactly by tier-1, regenerable only through the
+//!    explicit `--bless` flow.
+//!
+//! The expensive Bell-number oracle cases (`|A|` = 7 / 8, up to 4140
+//! partitions per sweep) sit behind the `expensive-oracles` feature so
+//! the default test run stays fast; `scripts/verify.sh` turns them on.
+
+pub mod fingerprint;
+pub mod golden;
+pub mod oracle;
+pub mod worlds;
+
+pub use fingerprint::{assert_bit_identical, OutcomeFingerprint, ResultFingerprint};
+pub use golden::{bless_ds1, check_ds1, compute_ds1, Ds1Golden};
+pub use worlds::{separable_world, SmallWorld};

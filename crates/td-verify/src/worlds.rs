@@ -1,0 +1,154 @@
+//! Hand-built *separable* micro-worlds for the differential oracles.
+//!
+//! The worlds are small enough (Bell(|A|) partitions fit in seconds) for
+//! AccuGenPartition's exhaustive search to act as a ground-truth oracle,
+//! yet structured so the exact optimum is knowable in closed form:
+//!
+//! * attributes come in planted groups;
+//! * every group has two **specialist** sources that claim the true
+//!   value on every cell of their group;
+//! * outside its group a specialist claims a wrong value that is unique
+//!   to `(source, attribute, object)` — wrong claims never agree.
+//!
+//! Consequently every cell has exactly two votes for the truth and one
+//! vote for each wrong value, so per-cell plurality is correct on *any*
+//! attribute sub-view. A perfect-accuracy partition exists (every
+//! partition is one), the exhaustive oracle must reach accuracy 1.0, and
+//! TD-AC must tie it — an exact differential target with no tolerance.
+
+use td_model::{Dataset, DatasetBuilder, GroundTruth, Value};
+use tdac_core::AttributePartition;
+
+/// A micro-world: claims, full ground truth, and the planted grouping.
+#[derive(Debug, Clone)]
+pub struct SmallWorld {
+    /// The claims.
+    pub dataset: Dataset,
+    /// Truth for every cell.
+    pub truth: GroundTruth,
+    /// The planted attribute grouping (as interned ids).
+    pub planted: AttributePartition,
+}
+
+/// Builds a separable world with `group_sizes.len()` planted groups of
+/// the given sizes and `n_objects` objects. Attribute count is the sum
+/// of the sizes; source count is `2 × groups`.
+///
+/// # Panics
+/// If any group is empty or there are no objects.
+pub fn separable_world(group_sizes: &[usize], n_objects: usize) -> SmallWorld {
+    assert!(!group_sizes.is_empty() && group_sizes.iter().all(|&g| g > 0));
+    assert!(n_objects > 0);
+
+    let n_groups = group_sizes.len();
+    let attr_name = |g: usize, i: usize| format!("g{g}a{i}");
+    let mut b = DatasetBuilder::new();
+    for o in 0..n_objects {
+        let obj = format!("o{o}");
+        let mut attr_index = 0i64;
+        for (g, &size) in group_sizes.iter().enumerate() {
+            for i in 0..size {
+                let a = attr_name(g, i);
+                let truth = Value::int(o as i64);
+                b.truth(&obj, &a, truth.clone());
+                for sg in 0..n_groups {
+                    for variant in 0..2usize {
+                        let src = format!("s{sg}_{variant}");
+                        let value = if sg == g {
+                            truth.clone()
+                        } else {
+                            // Unique per (source, attribute, object):
+                            // wrong camps never form.
+                            let src_index = (2 * sg + variant) as i64;
+                            Value::int(
+                                1_000_000 * (src_index + 1)
+                                    + 1_000 * attr_index
+                                    + o as i64
+                                    + 100,
+                            )
+                        };
+                        b.claim(&src, &obj, &a, value).expect("no conflicts by construction");
+                    }
+                }
+                attr_index += 1;
+            }
+        }
+    }
+    let (dataset, truth) = b.build_with_truth();
+
+    let groups = group_sizes
+        .iter()
+        .enumerate()
+        .map(|(g, &size)| {
+            (0..size)
+                .map(|i| {
+                    dataset
+                        .attribute_id(&attr_name(g, i))
+                        .expect("attribute was registered")
+                })
+                .collect()
+        })
+        .collect();
+    SmallWorld {
+        dataset,
+        truth,
+        planted: AttributePartition::new(groups),
+    }
+}
+
+/// The default (fast) differential corpus: group shapes with
+/// `|A| ∈ {3, 4, 5, 6}` — up to Bell(6) = 203 partitions per oracle run.
+pub fn standard_worlds() -> Vec<SmallWorld> {
+    vec![
+        separable_world(&[2, 1], 4),
+        separable_world(&[2, 2], 5),
+        separable_world(&[3, 2], 5),
+        separable_world(&[2, 2, 2], 6),
+    ]
+}
+
+/// The expensive corpus gated behind the `expensive-oracles` feature:
+/// `|A| ∈ {7, 8}` — Bell(7) = 877 and Bell(8) = 4140 partitions, i.e.
+/// thousands of base-algorithm sweeps per case.
+pub fn expensive_worlds() -> Vec<SmallWorld> {
+    vec![separable_world(&[4, 3], 4), separable_world(&[4, 4], 4)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_algorithms::{MajorityVote, TruthDiscovery};
+
+    #[test]
+    fn world_shape_matches_request() {
+        let w = separable_world(&[2, 3], 4);
+        assert_eq!(w.dataset.n_attributes(), 5);
+        assert_eq!(w.dataset.n_objects(), 4);
+        assert_eq!(w.dataset.n_sources(), 4);
+        assert_eq!(w.dataset.n_cells(), 20);
+        assert_eq!(w.truth.len(), 20);
+        assert_eq!(w.planted.len(), 2);
+        assert_eq!(w.planted.n_attributes(), 5);
+    }
+
+    #[test]
+    fn plurality_is_exactly_right_everywhere() {
+        // The load-bearing construction property: two votes for the
+        // truth, singleton wrong votes.
+        let w = separable_world(&[2, 2, 1], 3);
+        let r = MajorityVote.discover(&w.dataset.view_all());
+        for (o, a, v) in w.truth.iter() {
+            assert_eq!(r.prediction(o, a), Some(v), "cell ({o}, {a})");
+        }
+    }
+
+    #[test]
+    fn corpora_have_the_advertised_sizes() {
+        let standard: Vec<usize> =
+            standard_worlds().iter().map(|w| w.dataset.n_attributes()).collect();
+        assert_eq!(standard, vec![3, 4, 5, 6]);
+        let expensive: Vec<usize> =
+            expensive_worlds().iter().map(|w| w.dataset.n_attributes()).collect();
+        assert_eq!(expensive, vec![7, 8]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Thread-count and cache determinism: the same configuration must
+//! produce the same bits at `Threads(1)`, `Threads(2)`, `Threads(8)`,
+//! and `Auto`, and the shared distance-matrix k-sweep must match direct
+//! per-k recomputation exactly.
+
+use datagen::{generate_synthetic, SyntheticConfig};
+use td_algorithms::{Accu, MajorityVote};
+use td_verify::oracle::{
+    check_accugen_thread_invariance, check_cached_sweep, check_thread_invariance,
+};
+use td_verify::worlds::separable_world;
+
+/// `0` means [`tdac_core::Parallelism::Auto`].
+const THREADS: &[usize] = &[2, 8, 0];
+
+#[test]
+fn tdac_is_bit_identical_across_thread_counts_on_ds1() {
+    let ds1 = generate_synthetic(&SyntheticConfig::ds1().scaled(60));
+    check_thread_invariance(&MajorityVote, &ds1.dataset, THREADS);
+    check_thread_invariance(&Accu::default(), &ds1.dataset, THREADS);
+}
+
+#[test]
+fn tdac_is_bit_identical_across_thread_counts_on_noisy_data() {
+    // DS3 relaxes the working assumptions (noisy reliabilities), so the
+    // sweep's silhouettes are less clear-cut — a better stress of the
+    // index-deterministic reductions than a clean separable world.
+    let ds3 = generate_synthetic(&SyntheticConfig::ds3().scaled(40));
+    check_thread_invariance(&MajorityVote, &ds3.dataset, THREADS);
+    let world = separable_world(&[3, 3], 6);
+    check_thread_invariance(&Accu::default(), &world.dataset, THREADS);
+}
+
+#[test]
+fn accugen_scan_is_bit_identical_across_thread_counts() {
+    // The streamed Bell-number scan reduces worker-local winners with a
+    // (score, index) total order; any thread count must pick the same
+    // partition with the same score bits.
+    let world = separable_world(&[2, 2], 5);
+    check_accugen_thread_invariance(&MajorityVote, &world.dataset, &world.truth, THREADS);
+    let ds1 = generate_synthetic(&SyntheticConfig::ds1().scaled(15));
+    check_accugen_thread_invariance(&MajorityVote, &ds1.dataset, &ds1.truth, &[2, 8]);
+}
+
+#[test]
+fn cached_k_sweep_matches_direct_silhouette_recomputation() {
+    let ds1 = generate_synthetic(&SyntheticConfig::ds1().scaled(50));
+    check_cached_sweep(&MajorityVote, &ds1.dataset);
+    check_cached_sweep(&Accu::default(), &ds1.dataset);
+    check_cached_sweep(&MajorityVote, &separable_world(&[2, 2, 2], 6).dataset);
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    // Same seed, same machine, same bits — twice in a row.
+    use td_verify::OutcomeFingerprint;
+    use tdac_core::{Tdac, TdacConfig};
+    let ds1 = generate_synthetic(&SyntheticConfig::ds1().scaled(30));
+    let run = || {
+        OutcomeFingerprint::of(
+            &Tdac::new(TdacConfig::default())
+                .run(&Accu::default(), &ds1.dataset)
+                .expect("non-empty"),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,102 @@
+//! Differential oracles: TD-AC against the exhaustive AccuGenPartition
+//! search, against a replay of its own chosen partition, and against
+//! partition-independent baselines.
+//!
+//! The fast corpus covers |A| ≤ 6 (Bell(6) = 203 partitions per oracle
+//! sweep). The |A| = 7 / 8 cases — 877 and 4140 partitions — live
+//! behind the `expensive-oracles` feature:
+//! `cargo test -p td-verify --features expensive-oracles`.
+
+use datagen::{generate_synthetic, SyntheticConfig};
+use td_algorithms::{Accu, MajorityVote};
+use td_verify::oracle::{
+    check_accugen_majority_invariance, check_majority_partition_invariance,
+    check_oracle_dominance, check_small_world_exact, check_tdac_consistency,
+};
+use td_verify::worlds::standard_worlds;
+
+#[test]
+fn tdac_ties_the_exhaustive_oracle_on_separable_worlds() {
+    for world in standard_worlds() {
+        check_small_world_exact(&MajorityVote, &world);
+    }
+}
+
+#[test]
+fn tdac_ties_the_oracle_with_an_iterative_base() {
+    for world in standard_worlds() {
+        check_small_world_exact(&Accu::default(), &world);
+    }
+}
+
+#[test]
+fn majority_vote_is_partition_invariant_on_any_dataset() {
+    // Per-cell voting cannot see the attribute partition, so TD-AC(MV)
+    // must equal the global vote on arbitrary (non-separable,
+    // noisy) data — all three synthetic presets included.
+    for config in [
+        SyntheticConfig::ds1().scaled(40),
+        SyntheticConfig::ds2().scaled(40),
+        SyntheticConfig::ds3().scaled(40),
+    ] {
+        let world = generate_synthetic(&config);
+        check_majority_partition_invariance(&world.dataset);
+    }
+    for world in standard_worlds() {
+        check_majority_partition_invariance(&world.dataset);
+    }
+}
+
+#[test]
+fn accugen_majority_agrees_with_the_global_vote() {
+    for world in standard_worlds() {
+        check_accugen_majority_invariance(&world.dataset);
+    }
+}
+
+#[test]
+fn exhaustive_oracle_dominates_tdac() {
+    // The oracle maximizes accuracy over every partition, TD-AC picks
+    // one — dominance is exact, even on noisy non-separable data.
+    let ds1 = generate_synthetic(&SyntheticConfig::ds1().scaled(25));
+    check_oracle_dominance(&MajorityVote, &ds1.dataset, &ds1.truth);
+    check_oracle_dominance(&Accu::default(), &ds1.dataset, &ds1.truth);
+    for world in standard_worlds() {
+        check_oracle_dominance(&MajorityVote, &world.dataset, &world.truth);
+        check_oracle_dominance(&Accu::default(), &world.dataset, &world.truth);
+    }
+}
+
+#[test]
+fn tdac_replays_its_own_partition_bit_for_bit() {
+    let ds1 = generate_synthetic(&SyntheticConfig::ds1().scaled(60));
+    check_tdac_consistency(&MajorityVote, &ds1.dataset);
+    check_tdac_consistency(&Accu::default(), &ds1.dataset);
+    for world in standard_worlds() {
+        check_tdac_consistency(&MajorityVote, &world.dataset);
+        check_tdac_consistency(&Accu::default(), &world.dataset);
+    }
+}
+
+#[cfg(feature = "expensive-oracles")]
+mod expensive {
+    use super::*;
+    use td_verify::worlds::expensive_worlds;
+
+    #[test]
+    fn bell_7_and_8_oracles_still_tie_tdac() {
+        for world in expensive_worlds() {
+            check_small_world_exact(&MajorityVote, &world);
+            check_oracle_dominance(&MajorityVote, &world.dataset, &world.truth);
+            check_tdac_consistency(&MajorityVote, &world.dataset);
+        }
+    }
+
+    #[test]
+    fn bell_7_oracle_ties_with_an_iterative_base() {
+        // Accu over 877 partitions; the 4140-partition case stays
+        // MajorityVote-only to bound the feature's runtime.
+        let world = &expensive_worlds()[0];
+        check_small_world_exact(&Accu::default(), world);
+    }
+}

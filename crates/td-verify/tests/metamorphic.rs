@@ -1,0 +1,276 @@
+//! Metamorphic invariants over randomly generated claim sets: input
+//! transformations that must not change (or must change in a known
+//! direction) the pipeline's observable outputs.
+//!
+//! Identifier interning makes raw ids sensitive to first-appearance
+//! order, so the properties compare *resolved* facts — names and
+//! [`td_model::Value`]s — with confidences still compared bitwise
+//! (MajorityVote computes integer vote ratios, which are exact).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use td_algorithms::{MajorityVote, TruthDiscovery, TruthResult};
+use td_model::stats::data_coverage_rate;
+use td_model::{AttributeId, Dataset, DatasetBuilder, ObjectId, Value, ValueId};
+use td_verify::oracle::{check_tdac_consistency, check_thread_invariance};
+use td_verify::worlds::separable_world;
+
+const N_SOURCES: u32 = 4;
+const N_OBJECTS: u32 = 4;
+const N_ATTRS: u32 = 5;
+const N_VALUES: u32 = 6;
+
+/// A raw claim quadruple `(source, object, attribute, value)`.
+type Quad = (u32, u32, u32, u32);
+
+fn quads() -> impl Strategy<Value = Vec<Quad>> {
+    proptest::collection::vec(
+        (0u32..N_SOURCES, 0u32..N_OBJECTS, 0u32..N_ATTRS, 0u32..N_VALUES),
+        1..40,
+    )
+}
+
+/// Keeps the first claim per `(source, object, attribute)` cell slot, so
+/// rebuilding any permutation of the list is conflict-free.
+fn dedupe(claims: &[Quad]) -> Vec<Quad> {
+    let mut seen = std::collections::HashSet::new();
+    claims
+        .iter()
+        .filter(|&&(s, o, a, _)| seen.insert((s, o, a)))
+        .copied()
+        .collect()
+}
+
+/// Builds a dataset with all identifier namespaces pre-registered in a
+/// fixed order, so interned ids do not depend on claim order.
+fn build(claims: &[Quad]) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    for s in 0..N_SOURCES {
+        b.source(&format!("s{s}"));
+    }
+    for o in 0..N_OBJECTS {
+        b.object(&format!("o{o}"));
+    }
+    for a in 0..N_ATTRS {
+        b.attribute(&format!("a{a}"));
+    }
+    // Values too: MajorityVote breaks vote ties toward the smallest
+    // ValueId, so tie outcomes are only order-independent if value
+    // interning order is fixed up front.
+    for v in 0..N_VALUES {
+        b.value(Value::int(v as i64));
+    }
+    for &(s, o, a, v) in claims {
+        b.claim(
+            &format!("s{s}"),
+            &format!("o{o}"),
+            &format!("a{a}"),
+            Value::int(v as i64),
+        )
+        .expect("claims are deduped per cell slot");
+    }
+    b.build()
+}
+
+/// The resolved (interning-independent) image of a result's predictions:
+/// `(object name, attribute name) → (value, confidence bits)`.
+fn resolved(dataset: &Dataset, result: &TruthResult) -> BTreeMap<(String, String), (Value, u64)> {
+    result
+        .iter()
+        .map(|(o, a, v, c)| {
+            (
+                (
+                    dataset.object_name(o).to_string(),
+                    dataset.attribute_name(a).to_string(),
+                ),
+                (dataset.value(v).clone(), c.to_bits()),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shuffling the claim feed must not change anything: the builder
+    /// canonicalizes claims, so voting results are bit-identical.
+    #[test]
+    fn claim_order_shuffling_is_invariant(claims in quads(), rot in 0usize..40) {
+        let claims = dedupe(&claims);
+        let mut shuffled = claims.clone();
+        shuffled.reverse();
+        let len = shuffled.len().max(1);
+        shuffled.rotate_left(rot % len);
+        let (a, b) = (build(&claims), build(&shuffled));
+        let (ra, rb) = (
+            MajorityVote.discover(&a.view_all()),
+            MajorityVote.discover(&b.view_all()),
+        );
+        prop_assert_eq!(resolved(&a, &ra), resolved(&b, &rb));
+        let ta: Vec<u64> = ra.source_trust.iter().map(|t| t.to_bits()).collect();
+        let tb: Vec<u64> = rb.source_trust.iter().map(|t| t.to_bits()).collect();
+        prop_assert_eq!(ta, tb);
+        prop_assert_eq!(
+            data_coverage_rate(&a).to_bits(),
+            data_coverage_rate(&b).to_bits()
+        );
+    }
+
+    /// Renaming the sources (a permutation) must permute the trust
+    /// vector and leave every prediction untouched.
+    #[test]
+    fn source_relabeling_permutes_trust_only(claims in quads(), shift in 1u32..4) {
+        let claims = dedupe(&claims);
+        let perm = |s: u32| (s + shift) % N_SOURCES;
+        let relabeled: Vec<Quad> =
+            claims.iter().map(|&(s, o, a, v)| (perm(s), o, a, v)).collect();
+        let (base, renamed) = (build(&claims), build(&relabeled));
+        let (rb, rr) = (
+            MajorityVote.discover(&base.view_all()),
+            MajorityVote.discover(&renamed.view_all()),
+        );
+        prop_assert_eq!(resolved(&base, &rb), resolved(&renamed, &rr));
+        for s in 0..N_SOURCES {
+            prop_assert_eq!(
+                rb.source_trust[s as usize].to_bits(),
+                rr.source_trust[perm(s) as usize].to_bits(),
+                "trust of s{} must move with the relabeling", s
+            );
+        }
+    }
+
+    /// Renaming the objects must carry each cell's prediction along.
+    #[test]
+    fn object_relabeling_carries_predictions(claims in quads(), shift in 1u32..4) {
+        let claims = dedupe(&claims);
+        let perm = |o: u32| (o + shift) % N_OBJECTS;
+        let relabeled: Vec<Quad> =
+            claims.iter().map(|&(s, o, a, v)| (s, perm(o), a, v)).collect();
+        let (base, renamed) = (build(&claims), build(&relabeled));
+        let (rb, rr) = (
+            MajorityVote.discover(&base.view_all()),
+            MajorityVote.discover(&renamed.view_all()),
+        );
+        let mapped: BTreeMap<_, _> = resolved(&base, &rb)
+            .into_iter()
+            .map(|((o, a), val)| {
+                let idx: u32 = o.trim_start_matches('o').parse().expect("oN name");
+                ((format!("o{}", perm(idx)), a), val)
+            })
+            .collect();
+        prop_assert_eq!(mapped, resolved(&renamed, &rr));
+    }
+
+    /// Re-asserting existing claims is a no-op: the duplicated feed
+    /// builds the same dataset, results, and DCR.
+    #[test]
+    fn duplicate_claims_are_idempotent(claims in quads()) {
+        let claims = dedupe(&claims);
+        let doubled: Vec<Quad> =
+            claims.iter().chain(claims.iter()).copied().collect();
+        let (once, twice) = (build(&claims), build(&doubled));
+        prop_assert_eq!(once.n_claims(), twice.n_claims());
+        let (ro, rt) = (
+            MajorityVote.discover(&once.view_all()),
+            MajorityVote.discover(&twice.view_all()),
+        );
+        prop_assert_eq!(resolved(&once, &ro), resolved(&twice, &rt));
+        prop_assert_eq!(
+            data_coverage_rate(&once).to_bits(),
+            data_coverage_rate(&twice).to_bits()
+        );
+    }
+
+    /// Removing a claim whose source keeps other claims on the object
+    /// and whose cell keeps other claims leaves `|S_o|` and `|A_o|`
+    /// intact while emptying one `(source, attribute)` slot — DCR must
+    /// *strictly* decrease (coverage monotonicity, paper §4.4).
+    #[test]
+    fn dcr_strictly_decreases_when_a_covered_claim_is_removed(claims in quads()) {
+        let claims = dedupe(&claims);
+        let removable = claims.iter().position(|&(s, o, a, _)| {
+            let source_keeps_object = claims
+                .iter()
+                .any(|&(s2, o2, a2, _)| s2 == s && o2 == o && a2 != a);
+            let cell_keeps_claims = claims
+                .iter()
+                .any(|&(s2, o2, a2, _)| o2 == o && a2 == a && s2 != s);
+            source_keeps_object && cell_keeps_claims
+        });
+        // Sparse draws may have no removable claim; the property is
+        // vacuously true there.
+        if let Some(i) = removable {
+            let mut fewer = claims.clone();
+            fewer.remove(i);
+            let before = data_coverage_rate(&build(&claims));
+            let after = data_coverage_rate(&build(&fewer));
+            prop_assert!(
+                after < before,
+                "removing a guarded claim must lower DCR: {before} -> {after}"
+            );
+        }
+    }
+
+    /// `merge_all` over disjoint partials is order-insensitive:
+    /// predictions and iteration count exactly, mean trust to within
+    /// float summation reorder error.
+    #[test]
+    fn merge_all_is_permutation_invariant(
+        trusts in proptest::collection::vec(0.0f64..1.0, 2..6),
+        rot in 1usize..6,
+    ) {
+        let n_sources = 3;
+        let partials: Vec<TruthResult> = trusts
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let mut p = TruthResult::with_sources(n_sources, t);
+                // Disjoint cells: partial i owns attribute i.
+                p.set_prediction(
+                    ObjectId::new(0),
+                    AttributeId::new(i as u32),
+                    ValueId::new(i as u32),
+                    t,
+                );
+                p.iterations = i as u32;
+                p
+            })
+            .collect();
+        let mut rotated = partials.clone();
+        rotated.rotate_left(rot % partials.len());
+        let (a, b) = (TruthResult::merge_all(&partials), TruthResult::merge_all(&rotated));
+        let rows = |r: &TruthResult| -> BTreeMap<(ObjectId, AttributeId), (ValueId, u64)> {
+            r.iter().map(|(o, at, v, c)| ((o, at), (v, c.to_bits()))).collect()
+        };
+        prop_assert_eq!(rows(&a), rows(&b));
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.source_trust.len(), b.source_trust.len());
+        for (x, y) in a.source_trust.iter().zip(&b.source_trust) {
+            prop_assert!((x - y).abs() < 1e-12, "trust {x} vs {y}");
+        }
+    }
+
+    /// Random separable worlds: TD-AC must replay its chosen partition
+    /// bit-for-bit and agree with itself across thread counts.
+    #[test]
+    fn tdac_determinism_on_random_worlds(
+        sizes in proptest::collection::vec(1usize..4, 2..4),
+        n_objects in 2usize..5,
+    ) {
+        let world = separable_world(&sizes, n_objects);
+        check_tdac_consistency(&MajorityVote, &world.dataset);
+        check_thread_invariance(&MajorityVote, &world.dataset, &[2]);
+    }
+
+    /// TD-AC(MV) equals the global vote on arbitrary random claim sets,
+    /// not just curated worlds (partition invariance of per-cell
+    /// algorithms).
+    #[test]
+    fn majority_partition_invariance_on_random_claims(claims in quads()) {
+        let dataset = build(&dedupe(&claims));
+        if dataset.n_attributes() > 0 {
+            td_verify::oracle::check_majority_partition_invariance(&dataset);
+        }
+    }
+}

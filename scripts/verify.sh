@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification sweep: tier-1 gate, the whole workspace test set,
+# and the td-verify harness including the Bell(7)/Bell(8) oracles that
+# the default feature set skips. See docs/VERIFICATION.md for what each
+# layer proves.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: default tests (includes the DS1 golden gate) =="
+cargo test --offline -q
+
+echo "== workspace suites (differential / determinism / metamorphic) =="
+cargo test --offline -q --workspace
+
+echo "== expensive oracles: Bell(7)/Bell(8) brute-force differentials =="
+cargo test --offline -q -p td-verify --features expensive-oracles
+
+echo "verify: all green"

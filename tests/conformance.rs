@@ -1,0 +1,19 @@
+//! Paper-conformance gate: the committed DS1 golden snapshot must match
+//! a fresh recomputation bit-for-bit.
+//!
+//! This runs in the default `cargo test -q` (tier-1), so any change that
+//! silently moves a result — an algorithm tweak, a generator change, a
+//! clustering or merge refactor — fails here with a field-level diff.
+//! Intentional changes are blessed explicitly:
+//!
+//! ```text
+//! cargo run -p td-verify -- --bless   # or TDAC_BLESS=1 cargo test
+//! git diff crates/td-verify/goldens/  # review like any code change
+//! ```
+
+#[test]
+fn ds1_results_match_the_committed_golden() {
+    if let Err(diff) = td_verify::check_ds1() {
+        panic!("{diff}");
+    }
+}

@@ -24,12 +24,17 @@ pub fn any<T: Arbitrary>() -> T::Strategy {
 pub struct Any<T>(std::marker::PhantomData<T>);
 
 macro_rules! impl_any {
-    ($($t:ty => |$rng:ident| $draw:expr;)*) => {$(
+    ($($t:ty => |$rng:ident| $draw:expr, |$value:ident| $shrink:expr;)*) => {$(
         impl Strategy for Any<$t> {
             type Value = $t;
 
             fn gen(&self, $rng: &mut TestRng) -> $t {
                 $draw
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let $value = *value;
+                $shrink
             }
         }
 
@@ -43,12 +48,44 @@ macro_rules! impl_any {
     )*};
 }
 
+// Full-domain integers shrink toward zero by halving; booleans toward
+// `false`. Candidates are deduplicated by construction (0, v/2, and the
+// predecessor coincide only near zero, where the guards drop them).
+macro_rules! uint_toward_zero {
+    ($v:ident) => {{
+        let mut out = Vec::new();
+        if $v != 0 {
+            out.push(0);
+            if $v / 2 != 0 {
+                out.push($v / 2);
+            }
+            if $v > 2 {
+                out.push($v - 1);
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! sint_toward_zero {
+    ($v:ident) => {{
+        let mut out = Vec::new();
+        if $v != 0 {
+            out.push(0);
+            if $v / 2 != 0 {
+                out.push($v / 2);
+            }
+        }
+        out
+    }};
+}
+
 impl_any! {
-    bool => |rng| rng.next_u64() & 1 == 1;
-    u8 => |rng| rng.next_u64() as u8;
-    u32 => |rng| rng.next_u32();
-    u64 => |rng| rng.next_u64();
-    usize => |rng| rng.next_u64() as usize;
-    i32 => |rng| rng.next_u32() as i32;
-    i64 => |rng| rng.next_u64() as i64;
+    bool => |rng| rng.next_u64() & 1 == 1, |v| if v { vec![false] } else { Vec::new() };
+    u8 => |rng| rng.next_u64() as u8, |v| uint_toward_zero!(v);
+    u32 => |rng| rng.next_u32(), |v| uint_toward_zero!(v);
+    u64 => |rng| rng.next_u64(), |v| uint_toward_zero!(v);
+    usize => |rng| rng.next_u64() as usize, |v| uint_toward_zero!(v);
+    i32 => |rng| rng.next_u32() as i32, |v| sint_toward_zero!(v);
+    i64 => |rng| rng.next_u64() as i64, |v| sint_toward_zero!(v);
 }

@@ -45,11 +45,46 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = rng.gen_range(self.size.lo..=self.size.hi);
         (0..len).map(|_| self.element.gen(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        // Truncate toward the minimum length first (big jumps): the
+        // shortest allowed prefix, then the half-way prefix.
+        let len = value.len();
+        let lo = self.size.lo.min(len);
+        for target in [lo, lo + (len - lo) / 2] {
+            if target < len && !out.iter().any(|v| v.len() == target) {
+                out.push(value[..target].to_vec());
+            }
+        }
+        // Removing any single element also shortens the vec, and unlike
+        // a prefix cut it can discard a passing element that precedes
+        // the failing one.
+        if len > self.size.lo {
+            for i in 0..len {
+                let mut next = value.clone();
+                next.remove(i);
+                out.push(next);
+            }
+        }
+        // Then shrink elements in place, one position at a time.
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.element.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }

@@ -5,10 +5,15 @@
 //! `proptest!` test macro.
 //!
 //! Differences from the real crate, by design:
-//! - **No shrinking.** A failing case reports the panic from the test
-//!   body directly; the inputs for the failing case are reproducible
-//!   because the per-case RNG is seeded from the test name and case
-//!   index only.
+//! - **Minimal shrinking.** On a failing case the runner greedily
+//!   simplifies the inputs — integers halve toward the range start,
+//!   collections and strings truncate toward their minimum length,
+//!   tuples shrink component-wise — and reports the smallest input that
+//!   still fails (see [`test_runner::run_property`]). Values produced
+//!   through `prop_map` / `prop_flat_map` / `prop_oneof!` are reported
+//!   as drawn (those combinators cannot invert their transformation).
+//!   Failing cases stay reproducible because the per-case RNG is seeded
+//!   from the test name and case index only.
 //! - Regex strategies support exactly one shape: a single character
 //!   class with a bounded repetition (`[...]{m,n}` / `[...]{n}`), which
 //!   is all the workspace's tests use.
@@ -85,16 +90,17 @@ macro_rules! __proptest_fns {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::test_runner::Config = $config;
-                for __case in 0..__config.cases {
-                    let mut __rng = $crate::test_runner::TestRng::for_case(
-                        concat!(module_path!(), "::", stringify!($name)),
-                        __case as u64,
-                    );
-                    $(
-                        let $pat = $crate::strategy::Strategy::gen(&($strat), &mut __rng);
-                    )+
-                    $body
-                }
+                // All arguments combine into one tuple strategy so the
+                // runner can shrink them jointly; generation order (and
+                // hence the RNG stream) matches drawing each argument in
+                // sequence, keeping historical cases reproducible.
+                let __strategy = ($($strat,)+);
+                $crate::test_runner::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__config,
+                    __strategy,
+                    |($($pat,)+)| $body,
+                );
             }
         )*
     };
@@ -191,5 +197,77 @@ mod tests {
             let _ = extra;
             prop_assert_eq!(a + b, b + a, "commutativity {} {}", a, b);
         }
+    }
+
+    #[test]
+    fn shrinking_reports_a_minimal_counterexample() {
+        // Property: "every drawn integer is below 40" — false for most of
+        // the range. The minimal failing input under toward-start
+        // shrinking is exactly 40.
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_property(
+                "shrink-int",
+                &crate::test_runner::Config::with_cases(16),
+                10usize..1000,
+                |v| assert!(v < 40, "too big: {v}"),
+            );
+        });
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(e) => *e.downcast::<String>().expect("string panic"),
+        };
+        assert!(
+            msg.contains("minimal failing input: 40"),
+            "shrinking should land on the boundary, got:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn shrinking_truncates_collections() {
+        // Property: "no vec contains an element ≥ 5". Minimal failing
+        // input is the shortest vec (length 1) holding the smallest
+        // failing element (5).
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_property(
+                "shrink-vec",
+                &crate::test_runner::Config::with_cases(16),
+                crate::collection::vec(0usize..100, 1..8),
+                |v| assert!(v.iter().all(|&x| x < 5), "bad vec {v:?}"),
+            );
+        });
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(e) => *e.downcast::<String>().expect("string panic"),
+        };
+        assert!(
+            msg.contains("minimal failing input: [5]"),
+            "expected the one-element vec [5], got:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn tuple_components_shrink_independently() {
+        let strat = (0usize..10, 0usize..10);
+        let cands = Strategy::shrink(&strat, &(4, 0));
+        // Only the first component can shrink; every candidate keeps the
+        // second at 0.
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|&(_, b)| b == 0));
+        assert!(cands.contains(&(0, 0)) && cands.contains(&(2, 0)) && cands.contains(&(3, 0)));
+    }
+
+    #[test]
+    fn passing_properties_never_shrink() {
+        // Must complete without panicking (and without touching the
+        // panic hook).
+        crate::test_runner::run_property(
+            "always-pass",
+            &crate::test_runner::Config::with_cases(32),
+            (0usize..100, crate::collection::vec(0i64..10, 0..5)),
+            |(a, v)| {
+                assert!(a < 100);
+                assert!(v.len() < 5);
+            },
+        );
     }
 }

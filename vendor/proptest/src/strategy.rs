@@ -17,6 +17,18 @@ pub trait Strategy {
     /// Draws one value.
     fn gen(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a previously generated value, most
+    /// aggressive first. The runner greedily re-tests candidates and
+    /// keeps any that still fail, so minimal counterexamples only need
+    /// each step to stay inside the strategy's domain. Combinators that
+    /// cannot invert their transformation (`prop_map`, `prop_flat_map`,
+    /// `prop_oneof!`) return no candidates — shrinking then stops at the
+    /// originally drawn value, which matches the shim's "minimal, not
+    /// optimal" contract.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Transforms produced values with `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -53,6 +65,10 @@ impl<T> Strategy for BoxedStrategy<T> {
 
     fn gen(&self, rng: &mut TestRng) -> T {
         self.0.gen(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink(value)
     }
 }
 
@@ -125,13 +141,41 @@ where
     }
 }
 
-macro_rules! impl_range_strategy {
+// Shrinking a range-drawn number moves it toward the range's start: the
+// start itself, the midpoint, and the predecessor. Every candidate stays
+// inside the range by construction.
+macro_rules! int_shrink {
+    ($t:ty) => {
+        fn int_candidates(start: $t, value: $t) -> Vec<$t> {
+            let mut out = Vec::new();
+            if value > start {
+                out.push(start);
+                // Midpoint toward the start ("halve integers").
+                let mid = start + (value - start) / 2;
+                if mid != start && mid != value {
+                    out.push(mid);
+                }
+                if value - 1 != start {
+                    out.push(value - 1);
+                }
+            }
+            out
+        }
+    };
+}
+
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
 
             fn gen(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.start..self.end)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink!($t);
+                int_candidates(self.start, *value)
             }
         }
 
@@ -141,11 +185,62 @@ macro_rules! impl_range_strategy {
             fn gen(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(*self.start()..=*self.end())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink!($t);
+                int_candidates(*self.start(), *value)
+            }
         }
     )*};
 }
 
-impl_range_strategy!(usize, u32, u64, i32, i64, f32, f64);
+impl_int_range_strategy!(usize, u32, u64, i32, i64);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value != self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2.0;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(*self.start()..=*self.end())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value != *self.start() {
+                    out.push(*self.start());
+                    let mid = *self.start() + (*value - *self.start()) / 2.0;
+                    if mid != *self.start() && mid != *value {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
 
 /// String literals act as regex strategies (`"[ -~]{0,40}"` in a
 /// `proptest!` argument position), matching real-proptest behaviour.
@@ -157,11 +252,20 @@ impl Strategy for &str {
             .expect("string literal used as a strategy must be a supported regex")
             .gen(rng)
     }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        crate::string::string_regex(self)
+            .map(|s| s.shrink(value))
+            .unwrap_or_default()
+    }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($(($($name:ident),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             fn gen(&self, rng: &mut TestRng) -> Self::Value {
@@ -169,15 +273,28 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.gen(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Shrink one component at a time, cloning the rest.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     )*};
 }
 
 impl_tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
-    (A, B, C, D, E, F)
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
 }

@@ -39,6 +39,23 @@ impl Strategy for RegexGeneratorStrategy {
             .map(|_| self.alphabet[rng.gen_range(0..self.alphabet.len())])
             .collect()
     }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        // Truncate toward the pattern's minimum repetition count; every
+        // candidate still matches `[class]{m,n}` because it is a prefix
+        // of a matching string.
+        let len = value.chars().count();
+        let mut out = Vec::new();
+        for target in [self.min_len, self.min_len + (len.saturating_sub(self.min_len)) / 2, len.saturating_sub(1)] {
+            if target < len && target >= self.min_len {
+                let cand: String = value.chars().take(target).collect();
+                if !out.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Parses `pattern` into a string strategy.

@@ -1,7 +1,12 @@
-//! Per-case configuration and RNG for the `proptest!` macro.
+//! Per-case configuration, RNG, and the property runner (with greedy
+//! shrinking) behind the `proptest!` macro.
+
+use std::panic::{self, AssertUnwindSafe};
 
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+use crate::strategy::Strategy;
 
 /// Runner configuration. Only the case count is honoured.
 #[derive(Debug, Clone, Copy)]
@@ -57,5 +62,76 @@ impl RngCore for TestRng {
 
     fn next_u64(&mut self) -> u64 {
         self.0.next_u64()
+    }
+}
+
+/// Upper bound on shrink attempts per failing case. Shrinking is a
+/// debugging aid, not a proof search; a fixed budget keeps failing runs
+/// fast even when every candidate also fails.
+const SHRINK_BUDGET: u32 = 256;
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Runs one property: `config.cases` random cases drawn from `strategy`,
+/// each fed to `body`. On the first failing case the input is greedily
+/// shrunk via [`Strategy::shrink`] — a candidate is kept whenever the
+/// body still panics on it — and the test then fails reporting the
+/// *minimal* input found, not the raw generated one.
+///
+/// This is the engine behind the `proptest!` macro; call it directly for
+/// properties whose argument list the macro grammar cannot express.
+pub fn run_property<S, F>(name: &str, config: &Config, strategy: S, body: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value),
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(name, case as u64);
+        let input = strategy.gen(&mut rng);
+        let fails = |v: &S::Value| -> Option<String> {
+            panic::catch_unwind(AssertUnwindSafe(|| body(v.clone())))
+                .err()
+                .map(|e| panic_message(e.as_ref()))
+        };
+        // The default panic hook already printed the original failure's
+        // backtrace; silence it for the shrink re-runs so a failing
+        // property does not flood the test log.
+        let Some(mut message) = fails(&input) else {
+            continue;
+        };
+        let prev_hook = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        let mut minimal = input;
+        let mut budget = SHRINK_BUDGET;
+        'shrinking: while budget > 0 {
+            for candidate in strategy.shrink(&minimal) {
+                if budget == 0 {
+                    break 'shrinking;
+                }
+                budget -= 1;
+                if let Some(m) = fails(&candidate) {
+                    minimal = candidate;
+                    message = m;
+                    continue 'shrinking; // restart from the new minimum
+                }
+            }
+            break; // no candidate still fails: local minimum reached
+        }
+        panic::set_hook(prev_hook);
+        panic!(
+            "proptest: property {name} failed at case {case} \
+             ({} shrink attempts)\nminimal failing input: {minimal:?}\n\
+             panic: {message}",
+            SHRINK_BUDGET - budget,
+        );
     }
 }
