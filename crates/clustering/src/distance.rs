@@ -127,6 +127,19 @@ impl Metric for Cosine {
 /// This is the shared cache the TD-AC k-sweep, PAM and hierarchical
 /// clustering all reuse instead of recomputing `O(n²·d)` distances.
 pub fn pairwise_distances(data: &Matrix, metric: &dyn Metric) -> Vec<f64> {
+    pairwise_distances_observed(data, metric, &td_obs::Observer::disabled())
+}
+
+/// [`pairwise_distances`] with instrumentation: bumps
+/// [`td_obs::Counter::DistanceEvals`] by the number of upper-triangle
+/// entries actually evaluated (`n·(n−1)/2`). One aggregate increment per
+/// call — the hot inner loop is untouched, and a disabled observer costs
+/// a single branch.
+pub fn pairwise_distances_observed(
+    data: &Matrix,
+    metric: &dyn Metric,
+    observer: &td_obs::Observer,
+) -> Vec<f64> {
     let n = data.n_rows();
     let strips: Vec<Vec<f64>> = (0..n)
         .into_par_iter()
@@ -136,6 +149,10 @@ pub fn pairwise_distances(data: &Matrix, metric: &dyn Metric) -> Vec<f64> {
                 .collect()
         })
         .collect();
+    observer.incr(
+        td_obs::Counter::DistanceEvals,
+        (n as u64 * n.saturating_sub(1) as u64) / 2,
+    );
     let mut dist = vec![0.0f64; n * n];
     for (i, strip) in strips.iter().enumerate() {
         for (off, &d) in strip.iter().enumerate() {

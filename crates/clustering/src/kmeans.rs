@@ -98,6 +98,18 @@ impl KMeans {
 
     /// Fits `k` clusters to the rows of `data`.
     pub fn fit(&self, data: &Matrix) -> Result<KMeansResult, ClusterError> {
+        self.fit_observed(data, &td_obs::Observer::disabled())
+    }
+
+    /// [`KMeans::fit`] with instrumentation: bumps
+    /// [`td_obs::Counter::KMeansIterations`] by the Lloyd iterations
+    /// summed over *all* restarts (the real work done, not just the
+    /// winner's count). Observation never alters the fit.
+    pub fn fit_observed(
+        &self,
+        data: &Matrix,
+        observer: &td_obs::Observer,
+    ) -> Result<KMeansResult, ClusterError> {
         let n = data.n_rows();
         let k = self.config.k;
         if k == 0 {
@@ -125,6 +137,10 @@ impl KMeans {
                 self.single_run(data, &mut rng)
             })
             .collect();
+        observer.incr(
+            td_obs::Counter::KMeansIterations,
+            runs.iter().map(|r| r.iterations as u64).sum(),
+        );
         let mut best: Option<KMeansResult> = None;
         for run in runs {
             if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {

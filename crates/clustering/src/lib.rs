@@ -38,7 +38,10 @@ pub mod matrix;
 pub mod pam;
 pub mod silhouette;
 
-pub use distance::{pairwise_distances, Cosine, Euclidean, Hamming, Manhattan, Metric, SqEuclidean};
+pub use distance::{
+    pairwise_distances, pairwise_distances_observed, Cosine, Euclidean, Hamming, Manhattan, Metric,
+    SqEuclidean,
+};
 pub use error::ClusterError;
 pub use hierarchical::{Agglomerative, Linkage};
 pub use kmeans::{Init, KMeans, KMeansConfig, KMeansResult};

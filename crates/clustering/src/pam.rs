@@ -78,6 +78,21 @@ impl Pam {
     /// # Panics
     /// Panics if `dist.len() != n * n`.
     pub fn fit_from_distances(&self, dist: &[f64], n: usize) -> Result<PamResult, ClusterError> {
+        self.fit_from_distances_observed(dist, n, &td_obs::Observer::disabled())
+    }
+
+    /// [`Pam::fit_from_distances`] with instrumentation: bumps
+    /// [`td_obs::Counter::PamIterations`] by the SWAP rounds performed.
+    /// Observation never alters the fit.
+    ///
+    /// # Panics
+    /// Panics if `dist.len() != n * n`.
+    pub fn fit_from_distances_observed(
+        &self,
+        dist: &[f64],
+        n: usize,
+        observer: &td_obs::Observer,
+    ) -> Result<PamResult, ClusterError> {
         assert_eq!(dist.len(), n * n, "distance matrix must be n×n");
         let k = self.config.k;
         if k == 0 {
@@ -195,6 +210,7 @@ impl Pam {
             })
             .collect();
 
+        observer.incr(td_obs::Counter::PamIterations, iterations as u64);
         Ok(PamResult {
             assignments,
             medoids,

@@ -35,6 +35,7 @@ use serde::{Deserialize, Serialize};
 use td_algorithms::{TruthDiscovery, TruthResult};
 use td_metrics::evaluate_fn;
 use td_model::{Dataset, GroundTruth};
+use td_obs::{Counter, Observer, RunProfile};
 
 use crate::config::Parallelism;
 use crate::partition::{bell_number, partitions_iter, AttributePartition};
@@ -99,18 +100,27 @@ pub struct AccuGenOutcome {
     pub partition: AttributePartition,
     /// Its score under the weighting function (or its oracle accuracy).
     pub score: f64,
-    /// How many partitions were evaluated (Bell(|A|)).
+    /// How many partitions were evaluated (Bell(|A|) for the exhaustive
+    /// scans, the number of local-search steps for the greedy variant).
     pub n_partitions: u64,
+    /// Per-phase timings and work-unit counters for this run when
+    /// `observer` is enabled; `None` with the default handle. Always
+    /// this run's delta, even when the handle is reused.
+    pub profile: Option<RunProfile>,
 }
 
 /// The brute-force baseline. See module docs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AccuGenPartition {
     /// Thread budget for the partition scan ([`Parallelism::Threads`]
     /// pins a pool; `Threads(1)` forces a sequential scan).
     pub parallelism: Parallelism,
     /// Refuse to run beyond this many attributes (Bell growth guard).
     pub max_attributes: usize,
+    /// Instrumentation handle (disabled by default); records partitions
+    /// scanned and per-run base-algorithm work, exposed on the outcome's
+    /// `profile`.
+    pub observer: Observer,
 }
 
 impl Default for AccuGenPartition {
@@ -118,6 +128,7 @@ impl Default for AccuGenPartition {
         Self {
             parallelism: Parallelism::Auto,
             max_attributes: 10,
+            observer: Observer::disabled(),
         }
     }
 }
@@ -131,7 +142,21 @@ struct Scored {
 }
 
 impl AccuGenPartition {
-    /// Runs the baseline with a reliability weighting function.
+    // The three entry points (`run`, `run_oracle`, `run_greedy`) share
+    // one signature shape on purpose: `(&self, base, dataset, <scoring
+    // input>) -> Result<AccuGenOutcome, AccuGenError>`, where the last
+    // parameter is the only thing that differs (a `Weighting`, a
+    // `GroundTruth`, a `Weighting` again). Every variant replays the
+    // winning partition through the same per-group machinery as
+    // [`run_partition`], so their outcomes are directly comparable.
+
+    /// Runs the exhaustive Bell(|A|) scan, scoring each partition with
+    /// the reliability `weighting` function.
+    ///
+    /// Signature shape: `(&self, base, dataset, scoring-input) ->
+    /// Result<AccuGenOutcome, AccuGenError>` — shared by
+    /// [`AccuGenPartition::run_oracle`] and
+    /// [`AccuGenPartition::run_greedy`].
     pub fn run(
         &self,
         base: &(dyn TruthDiscovery + Sync),
@@ -143,8 +168,9 @@ impl AccuGenPartition {
         })
     }
 
-    /// Runs the oracle variant: each partition is scored by the accuracy
-    /// of its merged predictions against `truth`.
+    /// Runs the exhaustive scan with oracle scoring: each partition is
+    /// scored by the accuracy of its merged predictions against
+    /// `truth`. Same signature shape as [`AccuGenPartition::run`].
     pub fn run_oracle(
         &self,
         base: &(dyn TruthDiscovery + Sync),
@@ -152,7 +178,7 @@ impl AccuGenPartition {
         truth: &GroundTruth,
     ) -> Result<AccuGenOutcome, AccuGenError> {
         self.search(dataset, |partition| {
-            let result = run_partition(base, dataset, partition);
+            let result = run_partition_observed(base, dataset, partition, &self.observer);
             let report = evaluate_fn(dataset, truth, |o, a| result.prediction(o, a));
             (report.accuracy, result)
         })
@@ -180,12 +206,15 @@ impl AccuGenPartition {
         // demand, fold locally with `better`, and the worker accumulators
         // are combined with the same total order — never materializing
         // the Bell(n)-sized vector the old scan chunked over.
+        let baseline = self.observer.profile();
         let n_partitions = bell_number(n);
         let best = self.parallelism.install(|| {
+            let _scan = self.observer.span("partition_scan");
             partitions_iter(&attrs)
                 .enumerate()
                 .par_bridge()
                 .map(|(index, partition)| {
+                    self.observer.incr(Counter::PartitionsScanned, 1);
                     let (score, result) = score_fn(&partition);
                     Some(Scored {
                         index,
@@ -203,6 +232,15 @@ impl AccuGenPartition {
             partition: best.partition,
             score: best.score,
             n_partitions,
+            profile: self.profile_delta(baseline),
+        })
+    }
+
+    /// This run's profile delta against the snapshot taken at entry.
+    fn profile_delta(&self, baseline: Option<RunProfile>) -> Option<RunProfile> {
+        self.observer.profile().map(|p| match &baseline {
+            Some(b) => p.delta_since(b),
+            None => p,
         })
     }
 
@@ -212,6 +250,8 @@ impl AccuGenPartition {
     /// improves the weighting score, stopping at a local optimum. Costs
     /// `O(|A|³)` base runs instead of Bell(|A|), at the price of local
     /// optima — exactly the trade-off TD-AC's clustering removes.
+    ///
+    /// Same signature shape as [`AccuGenPartition::run`].
     pub fn run_greedy(
         &self,
         base: &(dyn TruthDiscovery + Sync),
@@ -222,8 +262,11 @@ impl AccuGenPartition {
         if attrs.is_empty() {
             return Err(AccuGenError::NoAttributes);
         }
+        let baseline = self.observer.profile();
+        let _scan = self.observer.span("partition_scan");
         let mut current =
             AttributePartition::new(attrs.iter().map(|&a| vec![a]).collect());
+        self.observer.incr(Counter::PartitionsScanned, 1);
         let (mut score, mut result) =
             self.evaluate_weighted(base, dataset, &current, weighting);
         let mut evaluated = 1u64;
@@ -237,6 +280,7 @@ impl AccuGenPartition {
                     let g = merged.remove(j);
                     merged[i].extend(g);
                     let candidate = AttributePartition::new(merged);
+                    self.observer.incr(Counter::PartitionsScanned, 1);
                     let (s, r) = self.evaluate_weighted(base, dataset, &candidate, weighting);
                     evaluated += 1;
                     if s > score && best.as_ref().is_none_or(|(_, bs, _)| s > *bs) {
@@ -254,11 +298,13 @@ impl AccuGenPartition {
             }
         }
 
+        drop(_scan);
         Ok(AccuGenOutcome {
             result,
             partition: current,
             score,
             n_partitions: evaluated,
+            profile: self.profile_delta(baseline),
         })
     }
 
@@ -273,7 +319,7 @@ impl AccuGenPartition {
         let mut group_scores = Vec::with_capacity(partition.len());
         for group in partition.groups() {
             let view = dataset.view_of(group);
-            let partial = base.discover(&view);
+            let partial = base.discover_observed(&view, &self.observer);
             // Only sources actually claiming inside the group carry
             // information about the partition's quality.
             let active: Vec<f64> = dataset
@@ -317,16 +363,33 @@ fn better(a: Option<Scored>, b: Option<Scored>) -> Option<Scored> {
     }
 }
 
-/// Runs `base` once per group of `partition` and merges the results.
+/// Runs `base` once per group of `partition` and merges the results —
+/// the shared replay primitive behind every AccuGen entry point and the
+/// differential oracles in td-verify. This is the *low-level* building
+/// block: it does no searching and returns a bare [`TruthResult`];
+/// prefer [`AccuGenPartition::run`] / [`AccuGenPartition::run_oracle`] /
+/// [`AccuGenPartition::run_greedy`] (which return a full
+/// [`AccuGenOutcome`]) unless you already know the partition.
 pub fn run_partition(
     base: &dyn TruthDiscovery,
     dataset: &Dataset,
     partition: &AttributePartition,
 ) -> TruthResult {
+    run_partition_observed(base, dataset, partition, &Observer::disabled())
+}
+
+/// [`run_partition`] with instrumentation: each per-group base run is
+/// recorded against `observer`. Observation never changes the result.
+pub fn run_partition_observed(
+    base: &dyn TruthDiscovery,
+    dataset: &Dataset,
+    partition: &AttributePartition,
+    observer: &Observer,
+) -> TruthResult {
     let partials: Vec<TruthResult> = partition
         .groups()
         .iter()
-        .map(|group| base.discover(&dataset.view_of(group)))
+        .map(|group| base.discover_observed(&dataset.view_of(group), observer))
         .collect();
     TruthResult::merge_all(&partials)
 }

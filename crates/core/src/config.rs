@@ -2,6 +2,9 @@
 
 use clustering::{Cosine, Euclidean, Hamming, Linkage, Metric};
 use serde::{Deserialize, Serialize};
+use td_obs::Observer;
+
+use crate::tdac::TdacError;
 
 /// Which distance the silhouette model selection uses.
 ///
@@ -95,7 +98,11 @@ pub enum ClusterMethod {
 }
 
 /// Full TD-AC configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+///
+/// Construct it as a plain struct (every field is public, and
+/// `..Default::default()` fills the rest), or through the validating
+/// [`TdacConfig::builder`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TdacConfig {
     /// Smallest k to try (Algorithm 1: 2).
     pub k_min: usize,
@@ -124,6 +131,14 @@ pub struct TdacConfig {
     /// perspective (ii)), the shared distance matrix, the k-sweep, and
     /// the clusterers. Deterministic at any setting.
     pub parallelism: Parallelism,
+    /// Instrumentation handle. The default is disabled (near-zero
+    /// overhead); clone an [`Observer::enabled`] handle in to collect
+    /// per-phase timings and work-unit counters on the outcome's
+    /// `profile` field. Observation never changes results — see
+    /// `docs/OBSERVABILITY.md`. Not serialized: configs deserialize with
+    /// observation off.
+    #[serde(skip)]
+    pub observer: Observer,
 }
 
 impl Default for TdacConfig {
@@ -138,7 +153,122 @@ impl Default for TdacConfig {
             min_silhouette: None,
             missing_aware: false,
             parallelism: Parallelism::default(),
+            observer: Observer::disabled(),
         }
+    }
+}
+
+impl TdacConfig {
+    /// A [`TdacConfigBuilder`] initialized with the defaults.
+    ///
+    /// The builder's [`TdacConfigBuilder::build`] validates the
+    /// combination (`k_min >= 2`, `k_max >= k_min`, `n_init >= 1`) and
+    /// returns [`TdacError::InvalidConfig`] on nonsense, which plain
+    /// struct construction cannot catch until run time.
+    pub fn builder() -> TdacConfigBuilder {
+        TdacConfigBuilder {
+            config: TdacConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`TdacConfig`]; see [`TdacConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct TdacConfigBuilder {
+    config: TdacConfig,
+}
+
+impl TdacConfigBuilder {
+    /// Smallest k of the sweep (Algorithm 1 starts at 2).
+    pub fn k_min(mut self, k_min: usize) -> Self {
+        self.config.k_min = k_min;
+        self
+    }
+
+    /// Largest k of the sweep; unset means `|A| - 1` as in Algorithm 1.
+    pub fn k_max(mut self, k_max: usize) -> Self {
+        self.config.k_max = Some(k_max);
+        self
+    }
+
+    /// Distance used by the silhouette index.
+    pub fn metric(mut self, metric: MetricKind) -> Self {
+        self.config.metric = metric;
+        self
+    }
+
+    /// Clustering algorithm.
+    pub fn method(mut self, method: ClusterMethod) -> Self {
+        self.config.method = method;
+        self
+    }
+
+    /// k-means restarts per k (must be at least 1).
+    pub fn n_init(mut self, n_init: u32) -> Self {
+        self.config.n_init = n_init;
+        self
+    }
+
+    /// RNG seed for the clusterer.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Silhouette floor below which TD-AC falls back to the
+    /// un-partitioned run.
+    pub fn min_silhouette(mut self, floor: f64) -> Self {
+        self.config.min_silhouette = Some(floor);
+        self
+    }
+
+    /// Missing-data-aware mode (masked distances + PAM).
+    pub fn missing_aware(mut self, on: bool) -> Self {
+        self.config.missing_aware = on;
+        self
+    }
+
+    /// Thread budget for every parallel kernel.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Instrumentation handle (clone of an [`Observer::enabled`] to
+    /// collect a profile).
+    pub fn observer(mut self, observer: Observer) -> Self {
+        self.config.observer = observer;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// [`TdacError::InvalidConfig`] when `k_min < 2` (a 1-cluster
+    /// "partition" defeats Algorithm 1), `k_max < k_min` (empty sweep),
+    /// or `n_init == 0` (no k-means restart would run).
+    pub fn build(self) -> Result<TdacConfig, TdacError> {
+        let c = &self.config;
+        if c.k_min < 2 {
+            return Err(TdacError::InvalidConfig(format!(
+                "k_min must be at least 2, got {}",
+                c.k_min
+            )));
+        }
+        if let Some(k_max) = c.k_max {
+            if k_max < c.k_min {
+                return Err(TdacError::InvalidConfig(format!(
+                    "k_max ({k_max}) must not be below k_min ({})",
+                    c.k_min
+                )));
+            }
+        }
+        if c.n_init == 0 {
+            return Err(TdacError::InvalidConfig(
+                "n_init must be at least 1".to_string(),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -182,6 +312,84 @@ mod tests {
         assert_eq!(Parallelism::Threads(4).threads(), Some(4));
         // Threads(0) is clamped to one worker rather than "auto".
         assert_eq!(Parallelism::Threads(0).threads(), Some(1));
+    }
+
+    #[test]
+    fn builder_defaults_match_plain_default() {
+        let built = TdacConfig::builder().build().unwrap();
+        let plain = TdacConfig::default();
+        assert_eq!(built.k_min, plain.k_min);
+        assert_eq!(built.k_max, plain.k_max);
+        assert_eq!(built.metric, plain.metric);
+        assert_eq!(built.method, plain.method);
+        assert_eq!(built.n_init, plain.n_init);
+        assert_eq!(built.seed, plain.seed);
+        assert_eq!(built.min_silhouette, plain.min_silhouette);
+        assert_eq!(built.missing_aware, plain.missing_aware);
+        assert_eq!(built.parallelism, plain.parallelism);
+        assert!(!built.observer.is_enabled());
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let obs = Observer::enabled();
+        let c = TdacConfig::builder()
+            .k_min(3)
+            .k_max(5)
+            .metric(MetricKind::Euclidean)
+            .method(ClusterMethod::Pam)
+            .n_init(4)
+            .seed(7)
+            .min_silhouette(0.25)
+            .missing_aware(true)
+            .parallelism(Parallelism::Threads(2))
+            .observer(obs)
+            .build()
+            .unwrap();
+        assert_eq!(c.k_min, 3);
+        assert_eq!(c.k_max, Some(5));
+        assert_eq!(c.metric, MetricKind::Euclidean);
+        assert_eq!(c.method, ClusterMethod::Pam);
+        assert_eq!(c.n_init, 4);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.min_silhouette, Some(0.25));
+        assert!(c.missing_aware);
+        assert_eq!(c.parallelism, Parallelism::Threads(2));
+        assert!(c.observer.is_enabled());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        for (builder, needle) in [
+            (TdacConfig::builder().k_min(1), "k_min"),
+            (TdacConfig::builder().k_min(0), "k_min"),
+            (TdacConfig::builder().k_min(4).k_max(3), "k_max"),
+            (TdacConfig::builder().n_init(0), "n_init"),
+        ] {
+            let err = builder.build().unwrap_err();
+            match &err {
+                TdacError::InvalidConfig(msg) => {
+                    assert!(msg.contains(needle), "{err} should mention {needle}")
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+        // The k_max check only fires against the configured k_min.
+        assert!(TdacConfig::builder().k_min(3).k_max(3).build().is_ok());
+    }
+
+    #[test]
+    fn config_deserializes_with_observation_off() {
+        // `observer` is #[serde(skip)]: round-tripping an enabled config
+        // comes back disabled, so persisted configs never observe.
+        let c = TdacConfig {
+            observer: Observer::enabled(),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("observer"));
+        let back: TdacConfig = serde_json::from_str(&json).unwrap();
+        assert!(!back.observer.is_enabled());
     }
 
     #[test]

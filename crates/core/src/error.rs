@@ -1,0 +1,126 @@
+//! The workspace-level error type.
+//!
+//! Each layer of the pipeline keeps its own precise error
+//! ([`TdacError`], [`AccuGenError`], [`ClusterError`], [`ModelError`]);
+//! [`TdError`] unifies them so an application driving several layers can
+//! propagate everything with one `?`-compatible type instead of matching
+//! four. Every `From` impl is lossless — the source error is carried
+//! verbatim and reachable through [`std::error::Error::source`].
+
+use std::error::Error;
+use std::fmt;
+
+use clustering::ClusterError;
+use td_model::ModelError;
+
+use crate::accugen::AccuGenError;
+use crate::tdac::TdacError;
+
+/// Any error the TD-AC workspace can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TdError {
+    /// A TD-AC / TD-OC pipeline error.
+    Tdac(TdacError),
+    /// An AccuGenPartition baseline error.
+    AccuGen(AccuGenError),
+    /// A clustering-layer error.
+    Cluster(ClusterError),
+    /// A data-model error (conflicting claims, unknown entities, parse
+    /// failures).
+    Model(ModelError),
+}
+
+impl fmt::Display for TdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdError::Tdac(e) => write!(f, "td-ac: {e}"),
+            TdError::AccuGen(e) => write!(f, "accugen: {e}"),
+            TdError::Cluster(e) => write!(f, "clustering: {e}"),
+            TdError::Model(e) => write!(f, "model: {e}"),
+        }
+    }
+}
+
+impl Error for TdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TdError::Tdac(e) => Some(e),
+            TdError::AccuGen(e) => Some(e),
+            TdError::Cluster(e) => Some(e),
+            TdError::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<TdacError> for TdError {
+    fn from(e: TdacError) -> Self {
+        TdError::Tdac(e)
+    }
+}
+
+impl From<AccuGenError> for TdError {
+    fn from(e: AccuGenError) -> Self {
+        TdError::AccuGen(e)
+    }
+}
+
+impl From<ClusterError> for TdError {
+    fn from(e: ClusterError) -> Self {
+        TdError::Cluster(e)
+    }
+}
+
+impl From<ModelError> for TdError {
+    fn from(e: ModelError) -> Self {
+        TdError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_the_source_error() {
+        let e: TdError = TdacError::NoAttributes.into();
+        assert_eq!(e, TdError::Tdac(TdacError::NoAttributes));
+
+        let e: TdError = AccuGenError::NoAttributes.into();
+        assert_eq!(e, TdError::AccuGen(AccuGenError::NoAttributes));
+
+        let e: TdError = ClusterError::ZeroK.into();
+        assert_eq!(e, TdError::Cluster(ClusterError::ZeroK));
+
+        let e: TdError = ModelError::Parse("bad row".into()).into();
+        assert_eq!(e, TdError::Model(ModelError::Parse("bad row".into())));
+    }
+
+    #[test]
+    fn display_names_the_layer_and_source_is_set() {
+        let cases: Vec<(TdError, &str)> = vec![
+            (TdacError::NoAttributes.into(), "td-ac:"),
+            (AccuGenError::NoAttributes.into(), "accugen:"),
+            (ClusterError::ZeroK.into(), "clustering:"),
+            (ModelError::Parse("x".into()).into(), "model:"),
+        ];
+        for (err, prefix) in cases {
+            assert!(err.to_string().starts_with(prefix), "{err}");
+            assert!(err.source().is_some(), "{err}");
+        }
+    }
+
+    #[test]
+    fn question_mark_unifies_layers() {
+        // The point of TdError: one signature covers errors from several
+        // layers without explicit mapping.
+        fn mixed(fail_cluster: bool) -> Result<(), TdError> {
+            if fail_cluster {
+                Err(ClusterError::ZeroK)?;
+            }
+            Err(TdacError::NoAttributes)?;
+            Ok(())
+        }
+        assert_eq!(mixed(true), Err(TdError::Cluster(ClusterError::ZeroK)));
+        assert_eq!(mixed(false), Err(TdError::Tdac(TdacError::NoAttributes)));
+    }
+}

@@ -69,16 +69,29 @@
 
 pub mod accugen;
 pub mod config;
+pub mod error;
 pub mod masked;
 pub mod object_clustering;
 pub mod partition;
 pub mod tdac;
 pub mod truth_vectors;
 
-pub use accugen::{AccuGenError, AccuGenOutcome, AccuGenPartition, Weighting};
-pub use config::{ClusterMethod, MetricKind, Parallelism, TdacConfig};
+pub use accugen::{
+    run_partition, run_partition_observed, AccuGenError, AccuGenOutcome, AccuGenPartition,
+    Weighting,
+};
+pub use config::{
+    ClusterMethod, MetricKind, Parallelism, TdacConfig, TdacConfigBuilder,
+};
+pub use error::TdError;
 pub use masked::MaskedTruthVectors;
 pub use object_clustering::{ObjectPartition, Tdoc, TdocOutcome};
 pub use partition::{all_partitions, bell_number, partitions_iter, AttributePartition, PartitionIter};
 pub use tdac::{Tdac, TdacError, TdacOutcome};
-pub use truth_vectors::{truth_vector_matrix, truth_vectors_from_result};
+pub use truth_vectors::{
+    truth_vector_matrix, truth_vector_matrix_observed, truth_vectors_from_result,
+};
+
+// Re-export the observability vocabulary so downstream crates can enable
+// profiling without a direct td-obs dependency.
+pub use td_obs::{Counter, Observer, RunProfile};

@@ -38,7 +38,18 @@ impl MaskedTruthVectors {
     /// truth (like [`crate::truth_vector_matrix`] but tracking
     /// observedness).
     pub fn build(base: &dyn TruthDiscovery, view: &DatasetView<'_>) -> (Self, TruthResult) {
-        let reference = base.discover(view);
+        Self::build_observed(base, view, &td_obs::Observer::disabled())
+    }
+
+    /// [`MaskedTruthVectors::build`] with instrumentation: the reference
+    /// base run is recorded against `observer`. Observation never
+    /// changes the vectors or the reference.
+    pub fn build_observed(
+        base: &dyn TruthDiscovery,
+        view: &DatasetView<'_>,
+        observer: &td_obs::Observer,
+    ) -> (Self, TruthResult) {
+        let reference = base.discover_observed(view, observer);
         let this = Self::from_result(view, &reference);
         (this, reference)
     }
@@ -110,7 +121,18 @@ impl MaskedTruthVectors {
     /// mirrored — every entry evaluated exactly once, bit-identical at
     /// any thread count.
     pub fn distance_matrix(&self) -> Vec<f64> {
+        self.distance_matrix_observed(&td_obs::Observer::disabled())
+    }
+
+    /// [`MaskedTruthVectors::distance_matrix`] with instrumentation:
+    /// bumps [`td_obs::Counter::DistanceEvals`] by the `n·(n−1)/2`
+    /// masked distances evaluated. Observation never changes the matrix.
+    pub fn distance_matrix_observed(&self, observer: &td_obs::Observer) -> Vec<f64> {
         let n = self.n_attributes();
+        observer.incr(
+            td_obs::Counter::DistanceEvals,
+            (n as u64 * n.saturating_sub(1) as u64) / 2,
+        );
         let strips: Vec<Vec<f64>> = (0..n)
             .into_par_iter()
             .map(|i| ((i + 1)..n).map(|j| self.masked_distance(i, j)).collect())

@@ -64,7 +64,7 @@ pub struct TdocOutcome {
 }
 
 /// The TD-OC algorithm (object-clustering dual of [`crate::Tdac`]).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Tdoc {
     config: TdacConfig,
 }
@@ -76,11 +76,17 @@ impl Tdoc {
     }
 
     /// Runs TD-OC over `dataset` with base algorithm `base`.
+    ///
+    /// Same signature shape as [`crate::Tdac::run`] (the `+ Sync` bound
+    /// keeps the two interchangeable even though TD-OC's sweep is
+    /// currently sequential). Observation via the config's
+    /// [`td_obs::Observer`] uses the same span taxonomy as TD-AC.
     pub fn run(
         &self,
-        base: &dyn TruthDiscovery,
+        base: &(dyn TruthDiscovery + Sync),
         dataset: &Dataset,
     ) -> Result<TdocOutcome, TdacError> {
+        let obs = &self.config.observer;
         let n_objects = dataset.n_objects();
         if n_objects == 0 {
             return Err(TdacError::NoAttributes);
@@ -91,7 +97,10 @@ impl Tdoc {
             .unwrap_or(n_objects.saturating_sub(1))
             .min(n_objects.saturating_sub(1));
         if n_objects < 3 || self.config.k_min > k_hi {
-            let mut result = base.discover(&dataset.view_all());
+            let mut result = {
+                let _s = obs.span("per_group_run");
+                base.discover_observed(&dataset.view_all(), obs)
+            };
             result.iterations = 1;
             return Ok(TdocOutcome {
                 result,
@@ -106,7 +115,8 @@ impl Tdoc {
 
         // Object truth vectors: row per object, column per
         // (attribute, source) pair.
-        let reference = base.discover(&dataset.view_all());
+        let _tv = obs.span("truth_vectors");
+        let reference = base.discover_observed(&dataset.view_all(), obs);
         let n_sources = dataset.n_sources();
         let n_attrs = dataset.n_attributes();
         let mut matrix = Matrix::zeros(n_objects, n_attrs * n_sources);
@@ -122,23 +132,31 @@ impl Tdoc {
             }
         }
 
+        drop(_tv);
+
         let metric = self.config.metric.as_metric();
+        let _sweep = obs.span("k_sweep");
         let mut best: Option<(f64, Vec<usize>)> = None;
         let mut k_scores = Vec::new();
         for k in self.config.k_min..=k_hi {
+            let _sk = obs.span_with(|| format!("k_sweep/k={k}"));
             let cfg = KMeansConfig {
                 k,
                 n_init: self.config.n_init,
                 seed: self.config.seed,
                 ..KMeansConfig::with_k(k)
             };
-            let assignments = KMeans::new(cfg).fit(&matrix)?.assignments;
+            let assignments = {
+                let _c = obs.span("cluster");
+                KMeans::new(cfg).fit_observed(&matrix, obs)?.assignments
+            };
             let sil = silhouette_paper(&matrix, &assignments, metric);
             k_scores.push((k, sil));
             if best.as_ref().is_none_or(|(b, _)| sil > *b) {
                 best = Some((sil, assignments));
             }
         }
+        drop(_sweep);
         let (silhouette, assignments) = best.expect("non-empty sweep");
 
         // Group objects.
@@ -151,10 +169,11 @@ impl Tdoc {
         groups.sort_by_key(|g| g[0]);
 
         // Run the base per object group on claim-filtered clones.
+        let _pg = obs.span("per_group_run");
         let mut result = TruthResult::with_sources(0, 0.0);
         for group in &groups {
             let sub = object_subset(dataset, group);
-            let partial = base.discover(&sub.view_all());
+            let partial = base.discover_observed(&sub.view_all(), obs);
             // Map the subset's ids back to the parent's (names are
             // preserved, so translate through them).
             for (o, a, v, c) in partial.iter() {

@@ -197,6 +197,13 @@ pub fn partitions_iter(attributes: &[AttributeId]) -> PartitionIter {
 
 /// Materializes **all** set partitions of `attributes` (see
 /// [`partitions_iter`] for the streaming form and the ordering contract).
+///
+/// **Deprecation note:** every production path now streams partitions
+/// through [`partitions_iter`] — materializing Bell(n) partitions up
+/// front costs memory for nothing. This function survives only for
+/// tests and property harnesses that genuinely need the full list;
+/// prefer the iterator (plus `take`/`collect` where needed) in new
+/// code.
 pub fn all_partitions(attributes: &[AttributeId]) -> Vec<AttributePartition> {
     let mut out =
         Vec::with_capacity(bell_number(attributes.len()).min(1 << 24) as usize);

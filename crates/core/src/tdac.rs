@@ -4,18 +4,19 @@ use std::error::Error;
 use std::fmt;
 
 use clustering::{
-    pairwise_distances, silhouette_paper_dist, Agglomerative, ClusterError, KMeans, KMeansConfig,
-    Matrix, Pam, PamConfig,
+    pairwise_distances_observed, silhouette_paper_dist, Agglomerative, ClusterError, KMeans,
+    KMeansConfig, Matrix, Pam, PamConfig,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use td_algorithms::{TruthDiscovery, TruthResult};
 use td_model::{Dataset, DatasetView};
+use td_obs::{Counter, RunProfile};
 
 use crate::config::{ClusterMethod, TdacConfig};
 use crate::masked::MaskedTruthVectors;
 use crate::partition::AttributePartition;
-use crate::truth_vectors::truth_vector_matrix;
+use crate::truth_vectors::truth_vector_matrix_observed;
 
 /// Errors from a TD-AC run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +25,9 @@ pub enum TdacError {
     NoAttributes,
     /// The inner clusterer failed.
     Cluster(ClusterError),
+    /// [`crate::config::TdacConfigBuilder::build`] rejected the
+    /// configuration; the message says which constraint failed.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for TdacError {
@@ -31,6 +35,7 @@ impl fmt::Display for TdacError {
         match self {
             TdacError::NoAttributes => write!(f, "dataset view has no attributes"),
             TdacError::Cluster(e) => write!(f, "clustering failed: {e}"),
+            TdacError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -58,10 +63,15 @@ pub struct TdacOutcome {
     /// (fewer than 3 attributes, or silhouette below the configured
     /// floor).
     pub fallback: bool,
+    /// Per-phase timings and work-unit counters recorded during this
+    /// run, when the config carries an enabled
+    /// [`td_obs::Observer`]; `None` with the default (disabled) handle.
+    /// Always the *delta* for this run, even when the handle is reused.
+    pub profile: Option<RunProfile>,
 }
 
 /// The TD-AC algorithm. See the crate docs for the pipeline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Tdac {
     config: TdacConfig,
 }
@@ -79,6 +89,11 @@ impl Tdac {
 
     /// Runs TD-AC over the whole dataset with base algorithm `base`
     /// (the paper's `F`).
+    ///
+    /// This is a thin wrapper: exactly [`Tdac::run_view`] on
+    /// `dataset.view_all()`. All behaviour (parallelism, observation,
+    /// fallback) is defined there — the two entry points can never
+    /// drift.
     pub fn run(
         &self,
         base: &(dyn TruthDiscovery + Sync),
@@ -87,20 +102,29 @@ impl Tdac {
         self.run_view(base, &dataset.view_all())
     }
 
-    /// Runs TD-AC over an arbitrary view.
+    /// Runs TD-AC over an arbitrary view — the canonical entry point.
     ///
     /// Every parallel kernel inside (distance matrices, the k-sweep, the
     /// per-group base runs) executes under the configured
     /// [`crate::config::Parallelism`]; the outcome is bit-identical at
-    /// any thread count.
+    /// any thread count. When the config carries an enabled
+    /// [`td_obs::Observer`], the outcome's `profile` holds this run's
+    /// phase timings and counter deltas.
     pub fn run_view(
         &self,
         base: &(dyn TruthDiscovery + Sync),
         view: &DatasetView<'_>,
     ) -> Result<TdacOutcome, TdacError> {
-        self.config
+        let baseline = self.config.observer.profile();
+        let mut outcome = self
+            .config
             .parallelism
-            .install(|| self.run_view_inner(base, view))
+            .install(|| self.run_view_inner(base, view))?;
+        outcome.profile = self.config.observer.profile().map(|p| match &baseline {
+            Some(b) => p.delta_since(b),
+            None => p,
+        });
+        Ok(outcome)
     }
 
     fn run_view_inner(
@@ -132,30 +156,57 @@ impl Tdac {
         // `>` keeps the smallest k on ties, like Algorithm 1's
         // comparison), so the outcome matches the sequential sweep
         // bit-for-bit.
+        let obs = &self.config.observer;
         let ks: Vec<usize> = (self.config.k_min..=k_hi).collect();
         let evals: Vec<Result<(Vec<usize>, f64), ClusterError>> = if self.config.missing_aware {
             // Future-work variant: masked distances + PAM (k-means has no
             // feature-space form for the masked metric).
-            let (masked, _reference) = MaskedTruthVectors::build(base, view);
-            let dist = masked.distance_matrix();
+            let (masked, _reference) = {
+                let _s = obs.span("truth_vectors");
+                MaskedTruthVectors::build_observed(base, view, obs)
+            };
+            let dist = {
+                let _s = obs.span("distance_matrix");
+                obs.incr(Counter::DistCacheMisses, 1);
+                masked.distance_matrix_observed(obs)
+            };
+            let _sweep = obs.span("k_sweep");
             ks.par_iter()
                 .map(|&k| {
-                    let assignments = Pam::new(PamConfig {
-                        seed: self.config.seed,
-                        ..PamConfig::with_k(k)
-                    })
-                    .fit_from_distances(&dist, n)?
-                    .assignments;
+                    let _sk = obs.span_with(|| format!("k_sweep/k={k}"));
+                    obs.incr(Counter::DistCacheHits, 1);
+                    let assignments = {
+                        let _c = obs.span("cluster");
+                        Pam::new(PamConfig {
+                            seed: self.config.seed,
+                            ..PamConfig::with_k(k)
+                        })
+                        .fit_from_distances_observed(&dist, n, obs)?
+                        .assignments
+                    };
                     let sil = silhouette_paper_dist(&dist, n, &assignments);
                     Ok((assignments, sil))
                 })
                 .collect()
         } else {
-            let (matrix, _reference) = truth_vector_matrix(base, view);
-            let dist = pairwise_distances(&matrix, self.config.metric.as_metric());
+            let (matrix, _reference) = {
+                let _s = obs.span("truth_vectors");
+                truth_vector_matrix_observed(base, view, obs)
+            };
+            let dist = {
+                let _s = obs.span("distance_matrix");
+                obs.incr(Counter::DistCacheMisses, 1);
+                pairwise_distances_observed(&matrix, self.config.metric.as_metric(), obs)
+            };
+            let _sweep = obs.span("k_sweep");
             ks.par_iter()
                 .map(|&k| {
-                    let assignments = self.cluster_cached(&matrix, &dist, k)?;
+                    let _sk = obs.span_with(|| format!("k_sweep/k={k}"));
+                    obs.incr(Counter::DistCacheHits, 1);
+                    let assignments = {
+                        let _c = obs.span("cluster");
+                        self.cluster_cached(&matrix, &dist, k)?
+                    };
                     let sil = silhouette_paper_dist(&dist, n, &assignments);
                     Ok((assignments, sil))
                 })
@@ -186,12 +237,18 @@ impl Tdac {
         // order and merged symmetrically (union of predictions,
         // element-wise mean trust).
         let dataset = view.dataset();
-        let partials: Vec<TruthResult> = partition
-            .groups()
-            .par_iter()
-            .map(|group| base.discover(&dataset.view_of(group)))
-            .collect();
-        let mut result = TruthResult::merge_all(&partials);
+        let partials: Vec<TruthResult> = {
+            let _s = obs.span("per_group_run");
+            partition
+                .groups()
+                .par_iter()
+                .map(|group| base.discover_observed(&dataset.view_of(group), obs))
+                .collect()
+        };
+        let mut result = {
+            let _s = obs.span("merge");
+            TruthResult::merge_all(&partials)
+        };
         // The paper reports TD-AC as a single logical iteration.
         result.iterations = 1;
 
@@ -201,6 +258,7 @@ impl Tdac {
             silhouette,
             k_scores,
             fallback: false,
+            profile: None,
         })
     }
 
@@ -210,7 +268,11 @@ impl Tdac {
         view: &DatasetView<'_>,
         k_scores: Vec<(usize, f64)>,
     ) -> TdacOutcome {
-        let mut result = base.discover(view);
+        let obs = &self.config.observer;
+        let mut result = {
+            let _s = obs.span("per_group_run");
+            base.discover_observed(view, obs)
+        };
         result.iterations = 1;
         TdacOutcome {
             result,
@@ -218,6 +280,7 @@ impl Tdac {
             silhouette: 0.0,
             k_scores,
             fallback: true,
+            profile: None,
         }
     }
 
@@ -232,6 +295,7 @@ impl Tdac {
         dist: &[f64],
         k: usize,
     ) -> Result<Vec<usize>, ClusterError> {
+        let obs = &self.config.observer;
         match self.config.method {
             ClusterMethod::KMeans => {
                 let cfg = KMeansConfig {
@@ -240,14 +304,16 @@ impl Tdac {
                     seed: self.config.seed,
                     ..KMeansConfig::with_k(k)
                 };
-                Ok(KMeans::new(cfg).fit(data)?.assignments)
+                Ok(KMeans::new(cfg).fit_observed(data, obs)?.assignments)
             }
             ClusterMethod::Pam => {
                 let cfg = PamConfig {
                     seed: self.config.seed,
                     ..PamConfig::with_k(k)
                 };
-                Ok(Pam::new(cfg).fit_from_distances(dist, data.n_rows())?.assignments)
+                Ok(Pam::new(cfg)
+                    .fit_from_distances_observed(dist, data.n_rows(), obs)?
+                    .assignments)
             }
             ClusterMethod::Hierarchical(linkage) => {
                 Agglomerative::new(linkage).fit_from_distances(dist, data.n_rows(), k)
@@ -261,8 +327,10 @@ mod tests {
     use super::*;
     use clustering::Linkage;
     use crate::config::{MetricKind, Parallelism};
+    use crate::truth_vectors::truth_vector_matrix;
     use td_algorithms::{Accu, MajorityVote};
     use td_model::{DatasetBuilder, Value};
+    use td_obs::Observer;
 
     /// Two planted attribute groups with opposite source reliabilities:
     /// sources g1, g2 are right on attributes a0..a2; sources h1, h2 on
@@ -523,6 +591,118 @@ mod tests {
         .run(&MajorityVote, &d)
         .unwrap();
         assert_eq!(out.result.len(), d.n_cells());
+    }
+
+    #[test]
+    fn observer_counts_match_closed_forms() {
+        // The satellite acceptance check: on the 6-attribute fixture the
+        // shared distance matrix is built once, so the distance-eval
+        // counter must equal the closed form n·(n−1)/2 exactly, and the
+        // sweep must hit the cache once per k ∈ [2, 5].
+        let (d, _) = correlated_dataset();
+        let obs = Observer::enabled();
+        let out = Tdac::new(TdacConfig {
+            observer: obs.clone(),
+            ..Default::default()
+        })
+        .run(&MajorityVote, &d)
+        .unwrap();
+        let profile = out.profile.as_ref().expect("enabled observer ⇒ profile");
+        let n = 6u64;
+        assert_eq!(profile.counter("distance_evals"), Some(n * (n - 1) / 2));
+        assert_eq!(profile.counter("dist_cache_misses"), Some(1));
+        assert_eq!(profile.counter("dist_cache_hits"), Some(4));
+        // Reference run + one run per group of the winning 2-partition,
+        // each a single MajorityVote pass.
+        assert_eq!(profile.counter("fixpoint_iterations"), Some(3));
+        assert_eq!(profile.counter("fixpoint_iterations/MajorityVote"), Some(3));
+        // Lloyd ran for every k and restart at least once each.
+        assert!(profile.counter("kmeans_iterations").unwrap() >= 4 * 10);
+        assert_eq!(profile.counter("pam_iterations"), Some(0));
+        // Span taxonomy is present with sane hit counts.
+        for phase in ["truth_vectors", "distance_matrix", "k_sweep", "per_group_run", "merge"] {
+            assert_eq!(profile.phase(phase).map(|p| p.count), Some(1), "{phase}");
+        }
+        assert_eq!(profile.phases_under("k_sweep/").count(), 4);
+        assert_eq!(profile.phase("cluster").map(|p| p.count), Some(4));
+    }
+
+    #[test]
+    fn observation_does_not_change_the_outcome() {
+        let (d, _) = correlated_dataset();
+        let plain = Tdac::new(TdacConfig::default()).run(&MajorityVote, &d).unwrap();
+        let observed = Tdac::new(TdacConfig {
+            observer: Observer::enabled(),
+            ..Default::default()
+        })
+        .run(&MajorityVote, &d)
+        .unwrap();
+        assert!(plain.profile.is_none());
+        assert!(observed.profile.is_some());
+        assert_eq!(plain.partition, observed.partition);
+        assert_eq!(plain.silhouette.to_bits(), observed.silhouette.to_bits());
+        assert_eq!(plain.k_scores, observed.k_scores);
+    }
+
+    #[test]
+    fn reused_observer_reports_per_run_deltas() {
+        // One handle across two runs: the second outcome's profile must
+        // cover only the second run, not the running totals.
+        let (d, _) = correlated_dataset();
+        let obs = Observer::enabled();
+        let t = Tdac::new(TdacConfig {
+            observer: obs.clone(),
+            ..Default::default()
+        });
+        let first = t.run(&MajorityVote, &d).unwrap();
+        let second = t.run(&MajorityVote, &d).unwrap();
+        let (p1, p2) = (first.profile.unwrap(), second.profile.unwrap());
+        assert_eq!(
+            p1.counter("distance_evals"),
+            p2.counter("distance_evals"),
+            "identical runs must report identical deltas"
+        );
+        assert_eq!(p1.counter("fixpoint_iterations"), p2.counter("fixpoint_iterations"));
+        // The handle itself holds the running total of both runs.
+        assert_eq!(
+            obs.profile().unwrap().counter("distance_evals"),
+            p1.counter("distance_evals").map(|v| v * 2)
+        );
+    }
+
+    #[test]
+    fn missing_aware_mode_also_profiles() {
+        let (d, _) = correlated_dataset();
+        let out = Tdac::new(TdacConfig {
+            missing_aware: true,
+            observer: Observer::enabled(),
+            ..Default::default()
+        })
+        .run(&MajorityVote, &d)
+        .unwrap();
+        let profile = out.profile.unwrap();
+        assert_eq!(profile.counter("distance_evals"), Some(15));
+        assert!(profile.counter("pam_iterations").unwrap() >= 4);
+        assert_eq!(profile.counter("kmeans_iterations"), Some(0));
+    }
+
+    #[test]
+    fn fallback_runs_are_profiled_too() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a1", Value::int(1)).unwrap();
+        b.claim("s1", "o", "a2", Value::int(2)).unwrap();
+        let d = b.build();
+        let out = Tdac::new(TdacConfig {
+            observer: Observer::enabled(),
+            ..Default::default()
+        })
+        .run(&MajorityVote, &d)
+        .unwrap();
+        assert!(out.fallback);
+        let profile = out.profile.unwrap();
+        assert_eq!(profile.counter("fixpoint_iterations"), Some(1));
+        assert_eq!(profile.phase("per_group_run").map(|p| p.count), Some(1));
+        assert_eq!(profile.counter("distance_evals"), Some(0));
     }
 
     #[test]

@@ -30,7 +30,18 @@ pub fn truth_vector_matrix(
     base: &dyn TruthDiscovery,
     view: &DatasetView<'_>,
 ) -> (Matrix, TruthResult) {
-    let reference = base.discover(view);
+    truth_vector_matrix_observed(base, view, &td_obs::Observer::disabled())
+}
+
+/// [`truth_vector_matrix`] with instrumentation: the reference base run
+/// is recorded against `observer` (fixpoint iterations, per-algorithm
+/// label). Observation never changes the matrix or the reference.
+pub fn truth_vector_matrix_observed(
+    base: &dyn TruthDiscovery,
+    view: &DatasetView<'_>,
+    observer: &td_obs::Observer,
+) -> (Matrix, TruthResult) {
+    let reference = base.discover_observed(view, observer);
     let matrix = truth_vectors_from_result(view, &reference);
     (matrix, reference)
 }

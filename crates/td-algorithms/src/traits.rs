@@ -23,6 +23,19 @@ pub trait TruthDiscovery {
 
     /// Runs the algorithm over `view` and returns its predictions.
     fn discover(&self, view: &DatasetView<'_>) -> TruthResult;
+
+    /// [`TruthDiscovery::discover`] with instrumentation: records the
+    /// run's fixpoint iteration count against `observer` (globally and
+    /// under the per-algorithm label `fixpoint_iterations/<name>`).
+    ///
+    /// Provided — implementors never override it, so observation cannot
+    /// change what an algorithm computes; with a disabled observer it is
+    /// exactly `discover`.
+    fn discover_observed(&self, view: &DatasetView<'_>, observer: &td_obs::Observer) -> TruthResult {
+        let result = self.discover(view);
+        observer.record_discovery(self.name(), result.iterations as u64);
+        result
+    }
 }
 
 // Allow passing algorithms around as trait objects (the TD-AC API takes
@@ -68,5 +81,36 @@ mod tests {
         assert_eq!(boxed.discover(&d.view_all()).len(), 1);
         // &T blanket impl:
         assert_eq!(algo.discover(&d.view_all()).len(), 1);
+    }
+
+    #[test]
+    fn discover_observed_matches_discover_and_records_iterations() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a", Value::int(1)).unwrap();
+        b.claim("s2", "o", "a", Value::int(1)).unwrap();
+        let d = b.build();
+        let plain = MajorityVote.discover(&d.view_all());
+        let obs = td_obs::Observer::enabled();
+        let observed = MajorityVote.discover_observed(&d.view_all(), &obs);
+        assert_eq!(
+            observed.iter().collect::<Vec<_>>(),
+            plain.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(observed.iterations, plain.iterations);
+        let profile = obs.profile().unwrap();
+        assert_eq!(
+            profile.counter("fixpoint_iterations"),
+            Some(plain.iterations as u64)
+        );
+        assert_eq!(
+            profile.counter("fixpoint_iterations/MajorityVote"),
+            Some(plain.iterations as u64)
+        );
+        // Disabled observers leave the result identical too.
+        let off = MajorityVote.discover_observed(&d.view_all(), &td_obs::Observer::disabled());
+        assert_eq!(
+            off.iter().collect::<Vec<_>>(),
+            plain.iter().collect::<Vec<_>>()
+        );
     }
 }

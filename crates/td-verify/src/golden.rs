@@ -97,8 +97,16 @@ pub fn golden_path() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/goldens/ds1.json"))
 }
 
-/// Recomputes the DS1 table from scratch.
+/// Recomputes the DS1 table from scratch with the default TD-AC config.
 pub fn compute_ds1() -> Ds1Golden {
+    compute_ds1_with(&TdacConfig::default())
+}
+
+/// Recomputes the DS1 table with a caller-supplied TD-AC config. The
+/// committed golden uses [`TdacConfig::default`]; the observer-neutrality
+/// harness passes an observer-enabled config and asserts the table is
+/// bit-identical either way.
+pub fn compute_ds1_with(tdac_config: &TdacConfig) -> Ds1Golden {
     let config = SyntheticConfig::ds1().scaled(DS1_GOLDEN_OBJECTS);
     let world = generate_synthetic(&config);
     let planted = tdac_core::AttributePartition::new(world.planted.groups.clone());
@@ -109,7 +117,7 @@ pub fn compute_ds1() -> Ds1Golden {
             let plain = base.discover(&world.dataset.view_all());
             let plain_report =
                 evaluate_fn(&world.dataset, &world.truth, |o, a| plain.prediction(o, a));
-            let outcome = Tdac::new(TdacConfig::default())
+            let outcome = Tdac::new(tdac_config.clone())
                 .run(base.as_ref(), &world.dataset)
                 .expect("DS1 is non-empty");
             let tdac_report = evaluate_fn(&world.dataset, &world.truth, |o, a| {
@@ -180,7 +188,7 @@ pub fn check_ds1() -> Result<(), String> {
 }
 
 /// First field-level difference between two snapshots, or `None`.
-fn diff_ds1(committed: &Ds1Golden, fresh: &Ds1Golden) -> Option<String> {
+pub fn diff_ds1(committed: &Ds1Golden, fresh: &Ds1Golden) -> Option<String> {
     if committed == fresh {
         return None;
     }

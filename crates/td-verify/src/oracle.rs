@@ -198,6 +198,65 @@ pub fn check_thread_invariance(
     reference
 }
 
+/// Observation is read-only: attaching an enabled [`tdac_core::Observer`]
+/// to the config may never change a single bit of the outcome, at any
+/// thread count. Runs TD-AC observer-off and observer-on at `Threads(1)`
+/// plus every entry of `threads` (`0` meaning [`Parallelism::Auto`]) and
+/// asserts all fingerprints equal the observer-off `Threads(1)`
+/// reference. Also asserts the enabled runs actually produced a profile
+/// (so neutrality isn't vacuous) and the disabled runs did not.
+pub fn check_observer_neutrality(
+    base: &(dyn TruthDiscovery + Sync),
+    dataset: &Dataset,
+    threads: &[usize],
+) -> OutcomeFingerprint {
+    let run = |parallelism, observer: tdac_core::Observer| {
+        Tdac::new(TdacConfig {
+            parallelism,
+            observer,
+            ..TdacConfig::default()
+        })
+        .run(base, dataset)
+        .expect("non-empty dataset")
+    };
+    let baseline = run(Parallelism::Threads(1), tdac_core::Observer::disabled());
+    assert!(baseline.profile.is_none(), "disabled observer produced a profile");
+    let reference = OutcomeFingerprint::of(&baseline);
+    let mut cases = vec![Parallelism::Threads(1)];
+    cases.extend(threads.iter().map(|&n| {
+        if n == 0 {
+            Parallelism::Auto
+        } else {
+            Parallelism::Threads(n)
+        }
+    }));
+    for &parallelism in &cases {
+        let observed = run(parallelism, tdac_core::Observer::enabled());
+        let profile = observed
+            .profile
+            .as_ref()
+            .unwrap_or_else(|| panic!("enabled observer at {parallelism:?} produced no profile"));
+        assert!(
+            profile.counter("distance_evals").unwrap_or(0) > 0
+                || profile.counter("fixpoint_iterations").unwrap_or(0) > 0,
+            "profile at {parallelism:?} recorded no work — observation was a no-op"
+        );
+        let got = OutcomeFingerprint::of(&observed);
+        assert_eq!(
+            got, reference,
+            "observer-enabled run at {parallelism:?} diverges from the observer-off Threads(1) reference"
+        );
+        // Off must equal off too (guards against the observer field
+        // perturbing unrelated config state).
+        let off = OutcomeFingerprint::of(&run(parallelism, tdac_core::Observer::disabled()));
+        assert_eq!(
+            off, reference,
+            "observer-off run at {parallelism:?} diverges from Threads(1)"
+        );
+    }
+    reference
+}
+
 /// AccuGen's streamed partition scan must pick the same winner with the
 /// same score and result at every thread count (the `(score, index)`
 /// total-order reduction).
@@ -235,7 +294,7 @@ pub fn check_accugen_thread_invariance(
 /// pairwise distances — must reproduce the cached scores bit-for-bit.
 pub fn check_cached_sweep(base: &(dyn TruthDiscovery + Sync), dataset: &Dataset) {
     let config = TdacConfig::default();
-    let outcome = Tdac::new(config)
+    let outcome = Tdac::new(config.clone())
         .run(base, dataset)
         .expect("non-empty dataset");
     assert!(

@@ -1,0 +1,43 @@
+//! Observer neutrality: attaching an enabled `td_obs::Observer` to the
+//! TD-AC config collects spans and counters but may never change a
+//! single output bit — at any thread count, on any dataset, including
+//! the committed DS1 golden tables.
+
+use datagen::{generate_synthetic, SyntheticConfig};
+use td_algorithms::{Accu, MajorityVote};
+use td_verify::golden::{compute_ds1, compute_ds1_with, diff_ds1};
+use td_verify::oracle::check_observer_neutrality;
+use td_verify::worlds::separable_world;
+use tdac_core::{Observer, TdacConfig};
+
+/// `0` means [`tdac_core::Parallelism::Auto`].
+const THREADS: &[usize] = &[2, 8, 0];
+
+#[test]
+fn observation_is_bit_neutral_on_ds1() {
+    let ds1 = generate_synthetic(&SyntheticConfig::ds1().scaled(60));
+    check_observer_neutrality(&MajorityVote, &ds1.dataset, THREADS);
+    check_observer_neutrality(&Accu::default(), &ds1.dataset, THREADS);
+}
+
+#[test]
+fn observation_is_bit_neutral_on_noisy_data() {
+    // DS3's muddier silhouettes stress the sweep's tie-breaking more
+    // than a clean separable world does.
+    let ds3 = generate_synthetic(&SyntheticConfig::ds3().scaled(40));
+    check_observer_neutrality(&MajorityVote, &ds3.dataset, THREADS);
+    let world = separable_world(&[3, 3], 6);
+    check_observer_neutrality(&Accu::default(), &world.dataset, THREADS);
+}
+
+#[test]
+fn ds1_golden_tables_are_identical_with_observation_enabled() {
+    let plain = compute_ds1();
+    let observed = compute_ds1_with(&TdacConfig {
+        observer: Observer::enabled(),
+        ..TdacConfig::default()
+    });
+    if let Some(diff) = diff_ds1(&plain, &observed) {
+        panic!("enabling observation moved a DS1 golden field: {diff}");
+    }
+}

@@ -30,8 +30,9 @@ fn main() {
         let alone = tf.discover(&dataset.view_all());
         let alone_report = evaluate_fn(&dataset, &truth, |o, a| alone.prediction(o, a));
 
-        // …and wrapped in TD-AC.
-        let outcome = Tdac::new(TdacConfig::default())
+        // …and wrapped in TD-AC (builder-validated config).
+        let config = TdacConfig::builder().build().expect("valid config");
+        let outcome = Tdac::new(config)
             .run(&tf, &dataset)
             .expect("TD-AC run");
         let tdac_report = evaluate_fn(&dataset, &truth, |o, a| outcome.result.prediction(o, a));

@@ -97,7 +97,14 @@ fn main() {
     let alone_report = evaluate_fn(&data.dataset, &data.truth, |o, a| alone.prediction(o, a));
     println!("{} alone   : {alone_report}", algo.name());
 
-    let outcome = Tdac::new(TdacConfig::default())
+    // The builder rejects impossible sweeps (k_min < 2, empty restart
+    // budget, …) before any work happens.
+    let config = TdacConfig::builder()
+        .n_init(10)
+        .seed(42)
+        .build()
+        .expect("k range and restarts are valid");
+    let outcome = Tdac::new(config)
         .run(&algo, &data.dataset)
         .expect("TD-AC run");
     let wrapped_report =

@@ -6,7 +6,7 @@
 //! ```
 
 use td_ac::algorithms::{MajorityVote, TruthDiscovery, TruthFinder};
-use td_ac::core::{Tdac, TdacConfig};
+use td_ac::core::{Observer, Tdac, TdacConfig};
 use td_ac::model::{DatasetBuilder, Value};
 
 fn main() {
@@ -71,7 +71,13 @@ fn main() {
     }
 
     // 2. TD-AC wraps the base algorithm with attribute partitioning.
-    let outcome = Tdac::new(TdacConfig::default())
+    // The builder validates the k range and restart count up front; the
+    // observer collects phase timings and work counters for step 3.
+    let config = TdacConfig::builder()
+        .observer(Observer::enabled())
+        .build()
+        .expect("default k range is valid");
+    let outcome = Tdac::new(config)
         .run(&TruthFinder::default(), &dataset)
         .expect("TD-AC run");
     println!(
@@ -91,5 +97,15 @@ fn main() {
                 );
             }
         }
+    }
+
+    // 3. Where did the time go? The outcome carries the run's profile.
+    let profile = outcome.profile.expect("observer was enabled");
+    println!("\n— profile (docs/OBSERVABILITY.md explains each entry)");
+    for p in &profile.phases {
+        println!("  {:<14} {:>8.1} µs  ×{}", p.path, p.total_ns as f64 / 1e3, p.count);
+    }
+    for c in profile.counters.iter().filter(|c| c.value > 0) {
+        println!("  {:<30} {}", c.name, c.value);
     }
 }

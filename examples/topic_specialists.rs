@@ -53,7 +53,8 @@ fn main() {
 
     // Attribute partitioning cannot help here: every attribute has the
     // same mixed-reliability profile.
-    let tdac = Tdac::new(TdacConfig::default()).run(&base, &dataset).unwrap();
+    let config = TdacConfig::builder().build().expect("valid config");
+    let tdac = Tdac::new(config.clone()).run(&base, &dataset).unwrap();
     let tdac_acc = evaluate_fn(&dataset, &truth, |o, a| tdac.result.prediction(o, a));
     println!(
         "TD-AC (attributes) : {tdac_acc}  — partition {}",
@@ -62,7 +63,7 @@ fn main() {
 
     // Object partitioning separates matches from companies, and within
     // each topic the local majority + generalist pin the truth.
-    let tdoc = Tdoc::new(TdacConfig::default()).run(&base, &dataset).unwrap();
+    let tdoc = Tdoc::new(config).run(&base, &dataset).unwrap();
     let tdoc_acc = evaluate_fn(&dataset, &truth, |o, a| tdoc.result.prediction(o, a));
     println!(
         "TD-OC (objects)    : {tdoc_acc}  — {} object groups (silhouette {:.3})",

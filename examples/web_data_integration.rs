@@ -28,7 +28,7 @@ fn main() {
     let plain_report = evaluate_fn(&stocks, &stocks_truth, |o, a| plain.prediction(o, a));
     println!("  Accu alone  : {plain_report}");
 
-    let outcome = Tdac::new(TdacConfig::default())
+    let outcome = Tdac::new(TdacConfig::builder().build().expect("valid config"))
         .run(&accu, &stocks)
         .expect("TD-AC run");
     let tdac_report = evaluate_fn(&stocks, &stocks_truth, |o, a| outcome.result.prediction(o, a));

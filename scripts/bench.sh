@@ -7,27 +7,44 @@
 # TDAC_BENCH_JSON is set; this script collects those lines into a single
 # JSON object keyed by "group/name" with the median ns per iteration.
 #
-# Usage: scripts/bench.sh [extra cargo bench args...]
+# Usage: scripts/bench.sh [--profile] [extra cargo bench args...]
+#   --profile                also run the observer-instrumented DS1
+#                            pipeline (crates/bench/src/bin/tdac_profile)
+#                            and fold its per-phase wall times + counter
+#                            deltas into BENCH_tdac.json under "profile"
 #   TDAC_BENCH_SAMPLES=<n>   override sample count (default: per-group)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
+profile=0
+if [[ "${1:-}" == "--profile" ]]; then
+    profile=1
+    shift
+fi
+
 tmp="$repo_root/.bench_lines.bench.tmp.json"
+profile_tmp="$repo_root/.bench_profile.bench.tmp.json"
 out="$repo_root/BENCH_tdac.json"
-rm -f "$tmp"
+rm -f "$tmp" "$profile_tmp"
 
 for bench in tdac_pipeline clustering partitioning; do
     echo "== cargo bench --bench $bench =="
     TDAC_BENCH_JSON="$tmp" cargo bench --offline -p tdac-bench --bench "$bench" "$@"
 done
 
-# Fold the JSON lines into one object: {"id": median_ns, ...}
-python3 - "$tmp" "$out" <<'PY'
-import json, sys
+if [[ "$profile" == 1 ]]; then
+    echo "== cargo run --bin tdac_profile (observer-instrumented DS1) =="
+    cargo run --offline --release -q -p tdac-bench --bin tdac_profile > "$profile_tmp"
+fi
 
-lines_path, out_path = sys.argv[1], sys.argv[2]
+# Fold the JSON lines into one object: {"id": median_ns, ...}; with
+# --profile, attach the tdac_profile document under "profile".
+python3 - "$tmp" "$out" "$profile_tmp" <<'PY'
+import json, os, sys
+
+lines_path, out_path, profile_path = sys.argv[1], sys.argv[2], sys.argv[3]
 benches = {}
 with open(lines_path) as f:
     for line in f:
@@ -39,9 +56,14 @@ with open(lines_path) as f:
             "median_ns": rec["median_ns"],
             "samples": rec["samples"],
         }
+doc = {"benches": benches}
+if os.path.exists(profile_path):
+    with open(profile_path) as f:
+        doc["profile"] = json.load(f)
 with open(out_path, "w") as f:
-    json.dump({"benches": benches}, f, indent=2, sort_keys=True)
+    json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote {out_path} ({len(benches)} benches)")
+extra = " + profile" if "profile" in doc else ""
+print(f"wrote {out_path} ({len(benches)} benches{extra})")
 PY
-rm -f "$tmp"
+rm -f "$tmp" "$profile_tmp"

@@ -19,6 +19,9 @@ cargo test --offline -q
 echo "== workspace suites (differential / determinism / metamorphic) =="
 cargo test --offline -q --workspace
 
+echo "== observer determinism: profiles on vs off, all thread counts =="
+cargo test --offline -q -p td-verify --test observer
+
 echo "== expensive oracles: Bell(7)/Bell(8) brute-force differentials =="
 cargo test --offline -q -p td-verify --features expensive-oracles
 

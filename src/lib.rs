@@ -54,6 +54,11 @@ pub use td_model as model;
 pub use tdac_core as core;
 pub use tdac_eval as eval;
 
+// The cross-layer vocabulary, hoisted to the root so applications can
+// `?` any workspace error and profile any run without digging into the
+// per-crate modules.
+pub use tdac_core::{Observer, RunProfile, TdError};
+
 /// The crate version, for diagnostics.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
@@ -69,6 +74,9 @@ mod tests {
         let _ = crate::core::TdacConfig::default();
         let _ = crate::data::SyntheticConfig::ds1();
         let _ = crate::eval::Scale::Small;
+        let _ = crate::Observer::disabled();
+        let _ = crate::RunProfile::default();
+        let _: crate::TdError = crate::core::TdacError::NoAttributes.into();
         assert!(!crate::VERSION.is_empty());
     }
 }
