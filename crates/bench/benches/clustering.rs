@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use clustering::{
-    select_k, silhouette_paper, Agglomerative, Hamming, KMeans, KMeansConfig, Linkage, Matrix,
-    Pam, PamConfig,
+    select_k, silhouette_paper, Agglomerative, BitMatrix, DistanceOptions, Hamming, KMeans,
+    KMeansConfig, KernelPolicy, Linkage, Matrix, Pam, PamConfig,
 };
 
 /// A binary matrix with `rows` truth vectors of `cols` dimensions and a
@@ -76,5 +76,28 @@ fn bench_k_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_clusterers, bench_k_sweep);
+fn bench_hamming_kernels(c: &mut Criterion) {
+    // The tentpole comparison: the dense f64 reference loop vs the
+    // bit-packed XOR+popcount kernel on the same pairwise Hamming
+    // matrix. Wide truth-vector-shaped inputs (≥ 256 object-source
+    // columns) are where packing pays; scripts/bench.sh folds the
+    // dense/packed pair into BENCH_tdac.json with the speedup.
+    for (rows, cols) in [(64usize, 256usize), (64, 1024)] {
+        let data = planted(rows, cols);
+        let packed = BitMatrix::pack(&data).expect("planted matrices are binary");
+        let mut group = c.benchmark_group(format!("kernel/pairwise_hamming_{rows}x{cols}"));
+        group.sample_size(20);
+        group.bench_function("dense", |b| {
+            let opts = DistanceOptions::builder().kernel(KernelPolicy::Dense).build();
+            b.iter(|| black_box(opts.pairwise(&data, &Hamming)));
+        });
+        group.bench_function("packed", |b| {
+            let opts = DistanceOptions::builder().kernel(KernelPolicy::Packed).build();
+            b.iter(|| black_box(opts.pairwise(&packed, &Hamming)));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_clusterers, bench_k_sweep, bench_hamming_kernels);
 criterion_main!(benches);

@@ -19,11 +19,12 @@ fn bench_phases(c: &mut Criterion) {
     let mut group = c.benchmark_group("tdac_phases/exam62");
     group.sample_size(10);
 
+    let obs = tdac_core::Observer::disabled();
     group.bench_function("phase1_truth_vectors", |b| {
-        b.iter(|| black_box(truth_vector_matrix(&tf, &view)));
+        b.iter(|| black_box(truth_vector_matrix(&tf, &view, &obs)));
     });
 
-    let (matrix, _) = truth_vector_matrix(&tf, &view);
+    let (matrix, _) = truth_vector_matrix(&tf, &view, &obs);
     group.bench_function("phase2_single_kmeans_k4", |b| {
         let km = KMeans::new(KMeansConfig::with_k(4));
         b.iter(|| black_box(km.fit(&matrix).expect("fit")));

@@ -1,8 +1,18 @@
 //! Distance metrics over dense vectors, plus the shared pairwise
 //! distance-matrix kernel every distance-based entry point builds on.
+//!
+//! The kernel is representation-aware: callers hand it [`Rows`] — a
+//! dense [`Matrix`], a packed [`BitMatrix`], or both — and it picks the
+//! bit-packed XOR+popcount path whenever the data is binary and the
+//! metric counts bit disagreements ([`Metric::counts_bits_on_binary`]),
+//! falling back to the dense `f64` loop otherwise. The two paths are
+//! bit-identical on their shared envelope (distances are exact integer
+//! counts, exactly representable in `f64`); `docs/KERNELS.md` has the
+//! full dispatch table.
 
 use rayon::prelude::*;
 
+use crate::bitmatrix::{BitMatrix, KernelPolicy};
 use crate::matrix::Matrix;
 
 /// A dissimilarity measure between two equal-length vectors.
@@ -19,6 +29,15 @@ pub trait Metric: Sync {
 
     /// Short name for reports and ablation tables.
     fn name(&self) -> &'static str;
+
+    /// True when, restricted to 0/1 vectors, this metric equals the
+    /// exact count of disagreeing positions — the envelope in which the
+    /// packed popcount kernel of [`pairwise_distances`] is bit-identical
+    /// to the dense path. Defaults to `false`; [`Hamming`] and
+    /// [`Manhattan`] (identical on 0/1 data) opt in.
+    fn counts_bits_on_binary(&self) -> bool {
+        false
+    }
 }
 
 /// Euclidean (L2) distance — what k-means centroids minimize.
@@ -81,6 +100,12 @@ impl Metric for Manhattan {
     fn name(&self) -> &'static str {
         "manhattan"
     }
+
+    fn counts_bits_on_binary(&self) -> bool {
+        // |x − y| on 0/1 entries is the disagreement indicator, and the
+        // sequential f64 sum of exact small integers is exact.
+        true
+    }
 }
 
 impl Metric for Hamming {
@@ -92,6 +117,10 @@ impl Metric for Hamming {
 
     fn name(&self) -> &'static str {
         "hamming"
+    }
+
+    fn counts_bits_on_binary(&self) -> bool {
+        true
     }
 }
 
@@ -118,7 +147,131 @@ impl Metric for Cosine {
     }
 }
 
-/// The full pairwise distance matrix over the rows of `data`, row-major
+/// The observation rows a distance computation runs over, in whichever
+/// representations the caller happens to hold.
+///
+/// `&Matrix` and `&BitMatrix` both convert via `Into`, so existing
+/// call sites read unchanged (`pairwise_distances(&matrix, …)`).
+/// Carrying `Dual` lets the kernel pick per metric without ever
+/// re-packing or densifying: packed popcount for bit-counting metrics,
+/// dense floats for everything else.
+#[derive(Clone, Copy)]
+pub enum Rows<'a> {
+    /// Dense `f64` rows only; the kernel may pack them on the fly when
+    /// they are binary and the metric counts bits.
+    Dense(&'a Matrix),
+    /// Packed rows only; densified (via [`BitMatrix::to_dense`]) when a
+    /// non-bit-counting metric needs floats.
+    Packed(&'a BitMatrix),
+    /// Both representations of the same data — the kernel trusts that
+    /// they agree and never converts.
+    Dual {
+        /// The dense representation.
+        dense: &'a Matrix,
+        /// The packed representation of the same rows.
+        packed: &'a BitMatrix,
+    },
+}
+
+impl Rows<'_> {
+    /// Number of observation rows.
+    pub fn n_rows(&self) -> usize {
+        match self {
+            Rows::Dense(m) => m.n_rows(),
+            Rows::Packed(b) => b.n_rows(),
+            Rows::Dual { dense, .. } => dense.n_rows(),
+        }
+    }
+
+    /// Number of columns (dimensions).
+    pub fn n_cols(&self) -> usize {
+        match self {
+            Rows::Dense(m) => m.n_cols(),
+            Rows::Packed(b) => b.n_cols(),
+            Rows::Dual { dense, .. } => dense.n_cols(),
+        }
+    }
+}
+
+impl<'a> From<&'a Matrix> for Rows<'a> {
+    fn from(m: &'a Matrix) -> Self {
+        Rows::Dense(m)
+    }
+}
+
+impl<'a> From<&'a BitMatrix> for Rows<'a> {
+    fn from(b: &'a BitMatrix) -> Self {
+        Rows::Packed(b)
+    }
+}
+
+/// Options for a pairwise distance-matrix build, mirroring
+/// `TdacConfig::builder()` in shape: a plain struct with public fields,
+/// a `Default` that matches the bare [`pairwise_distances`] call, and an
+/// infallible builder.
+///
+/// ```
+/// use tdac_clustering::{DistanceOptions, Hamming, KernelPolicy, Matrix};
+///
+/// let data = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 1.0]]);
+/// let opts = DistanceOptions::builder()
+///     .kernel(KernelPolicy::Packed)
+///     .build();
+/// let dist = opts.pairwise(&data, &Hamming);
+/// assert_eq!(dist, vec![0.0, 1.0, 1.0, 0.0]);
+/// ```
+#[derive(Clone, Default)]
+pub struct DistanceOptions {
+    /// Which kernel the build may use (default [`KernelPolicy::Auto`]).
+    pub kernel: KernelPolicy,
+    /// Instrumentation sink (default disabled).
+    pub observer: td_obs::Observer,
+}
+
+impl DistanceOptions {
+    /// Starts a builder with the defaults of [`DistanceOptions::default`].
+    pub fn builder() -> DistanceOptionsBuilder {
+        DistanceOptionsBuilder {
+            opts: Self::default(),
+        }
+    }
+
+    /// Builds the pairwise distance matrix under these options; see
+    /// [`pairwise_distances`] for the output contract.
+    pub fn pairwise<'a>(&self, data: impl Into<Rows<'a>>, metric: &dyn Metric) -> Vec<f64> {
+        pairwise_impl(data.into(), metric, self.kernel, &self.observer)
+    }
+}
+
+/// Builder for [`DistanceOptions`]; every field has a default, so
+/// `build()` cannot fail.
+#[derive(Clone, Default)]
+pub struct DistanceOptionsBuilder {
+    opts: DistanceOptions,
+}
+
+impl DistanceOptionsBuilder {
+    /// Sets the kernel policy.
+    #[must_use]
+    pub fn kernel(mut self, kernel: KernelPolicy) -> Self {
+        self.opts.kernel = kernel;
+        self
+    }
+
+    /// Sets the observer.
+    #[must_use]
+    pub fn observer(mut self, observer: td_obs::Observer) -> Self {
+        self.opts.observer = observer;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> DistanceOptions {
+        self.opts
+    }
+}
+
+/// The full pairwise distance matrix over `data`'s rows, row-major
 /// `n×n` with a zero diagonal.
 ///
 /// The upper triangle is computed in parallel (one strip of
@@ -126,33 +279,41 @@ impl Metric for Cosine {
 /// exactly once and the result is bit-identical at any thread count.
 /// This is the shared cache the TD-AC k-sweep, PAM and hierarchical
 /// clustering all reuse instead of recomputing `O(n²·d)` distances.
-pub fn pairwise_distances(data: &Matrix, metric: &dyn Metric) -> Vec<f64> {
-    pairwise_distances_observed(data, metric, &td_obs::Observer::disabled())
+///
+/// Under the default [`KernelPolicy::Auto`] the build dispatches to the
+/// bit-packed popcount kernel when the rows are (or pack to) binary and
+/// `metric.counts_bits_on_binary()`; the result is bit-identical to the
+/// dense path either way. Instrumentation: bumps
+/// [`td_obs::Counter::DistanceEvals`] by the `n·(n−1)/2` upper-triangle
+/// entries, plus [`td_obs::Counter::PackedKernelInvocations`] /
+/// [`td_obs::Counter::WordsXored`] when the packed kernel ran — one
+/// aggregate increment per build, never in the hot loop. Use
+/// [`DistanceOptions`] to pin the kernel explicitly.
+pub fn pairwise_distances<'a>(
+    data: impl Into<Rows<'a>>,
+    metric: &dyn Metric,
+    observer: &td_obs::Observer,
+) -> Vec<f64> {
+    pairwise_impl(data.into(), metric, KernelPolicy::Auto, observer)
 }
 
-/// [`pairwise_distances`] with instrumentation: bumps
-/// [`td_obs::Counter::DistanceEvals`] by the number of upper-triangle
-/// entries actually evaluated (`n·(n−1)/2`). One aggregate increment per
-/// call — the hot inner loop is untouched, and a disabled observer costs
-/// a single branch.
+/// Deprecated alias of [`pairwise_distances`], kept for one release
+/// while callers migrate to the unified entry point.
+#[deprecated(
+    note = "merged into `pairwise_distances(data, metric, observer)`; \
+            use that or `DistanceOptions::pairwise`"
+)]
 pub fn pairwise_distances_observed(
     data: &Matrix,
     metric: &dyn Metric,
     observer: &td_obs::Observer,
 ) -> Vec<f64> {
-    let n = data.n_rows();
-    let strips: Vec<Vec<f64>> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            ((i + 1)..n)
-                .map(|j| metric.distance(data.row(i), data.row(j)))
-                .collect()
-        })
-        .collect();
-    observer.incr(
-        td_obs::Counter::DistanceEvals,
-        (n as u64 * n.saturating_sub(1) as u64) / 2,
-    );
+    pairwise_distances(data, metric, observer)
+}
+
+/// Mirrors parallel upper-triangle strips into a row-major `n×n`
+/// symmetric matrix with a zero diagonal.
+fn mirror_strips(strips: Vec<Vec<f64>>, n: usize) -> Vec<f64> {
     let mut dist = vec![0.0f64; n * n];
     for (i, strip) in strips.iter().enumerate() {
         for (off, &d) in strip.iter().enumerate() {
@@ -164,12 +325,77 @@ pub fn pairwise_distances_observed(
     dist
 }
 
+fn pairwise_impl(
+    rows: Rows<'_>,
+    metric: &dyn Metric,
+    kernel: KernelPolicy,
+    observer: &td_obs::Observer,
+) -> Vec<f64> {
+    let n = rows.n_rows();
+    if n < 2 {
+        // Nothing to evaluate: no counter traffic, no kernel choice.
+        return vec![0.0; n * n];
+    }
+    let pairs = (n as u64) * (n as u64 - 1) / 2;
+
+    if kernel != KernelPolicy::Dense && metric.counts_bits_on_binary() {
+        // Packed storage outlives the borrow when a dense-only input
+        // packs on the fly.
+        let on_the_fly;
+        let packed: Option<&BitMatrix> = match rows {
+            Rows::Packed(b) | Rows::Dual { packed: b, .. } => Some(b),
+            Rows::Dense(m) => {
+                on_the_fly = BitMatrix::pack(m);
+                on_the_fly.as_ref()
+            }
+        };
+        if let Some(bm) = packed {
+            let strips: Vec<Vec<f64>> = (0..n)
+                .into_par_iter()
+                .map(|i| ((i + 1)..n).map(|j| bm.hamming(i, j) as f64).collect())
+                .collect();
+            observer.incr(td_obs::Counter::DistanceEvals, pairs);
+            observer.incr(td_obs::Counter::PackedKernelInvocations, 1);
+            observer.incr(
+                td_obs::Counter::WordsXored,
+                pairs * bm.words_per_row() as u64,
+            );
+            return mirror_strips(strips, n);
+        }
+        // Non-binary data: fall through to the dense path.
+    }
+
+    let densified;
+    let data: &Matrix = match rows {
+        Rows::Dense(m) | Rows::Dual { dense: m, .. } => m,
+        Rows::Packed(b) => {
+            densified = b.to_dense();
+            &densified
+        }
+    };
+    let strips: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            ((i + 1)..n)
+                .map(|j| metric.distance(data.row(i), data.row(j)))
+                .collect()
+        })
+        .collect();
+    observer.incr(td_obs::Counter::DistanceEvals, pairs);
+    mirror_strips(strips, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use td_obs::Observer;
 
     const A: [f64; 3] = [1.0, 0.0, 1.0];
     const B: [f64; 3] = [0.0, 0.0, 1.0];
+
+    fn disabled() -> Observer {
+        Observer::disabled()
+    }
 
     #[test]
     fn euclidean_cases() {
@@ -204,6 +430,15 @@ mod tests {
     }
 
     #[test]
+    fn only_bit_counting_metrics_opt_into_the_packed_kernel() {
+        assert!(Hamming.counts_bits_on_binary());
+        assert!(Manhattan.counts_bits_on_binary());
+        assert!(!Euclidean.counts_bits_on_binary());
+        assert!(!SqEuclidean.counts_bits_on_binary());
+        assert!(!Cosine.counts_bits_on_binary());
+    }
+
+    #[test]
     fn pairwise_distances_matches_direct_evaluation() {
         let data = Matrix::from_rows(&[
             vec![0.0, 1.0],
@@ -214,7 +449,7 @@ mod tests {
         ]);
         let n = data.n_rows();
         for metric in [&Euclidean as &dyn Metric, &Hamming, &Cosine] {
-            let dist = pairwise_distances(&data, metric);
+            let dist = pairwise_distances(&data, metric, &disabled());
             assert_eq!(dist.len(), n * n);
             for i in 0..n {
                 // The diagonal is pinned to exactly 0 by construction
@@ -237,7 +472,128 @@ mod tests {
 
     #[test]
     fn pairwise_distances_of_empty_matrix() {
-        assert!(pairwise_distances(&Matrix::from_rows(&[]), &Euclidean).is_empty());
+        assert!(pairwise_distances(&Matrix::from_rows(&[]), &Euclidean, &disabled()).is_empty());
+    }
+
+    #[test]
+    fn tiny_inputs_skip_counter_traffic() {
+        // Regression: the old code bumped DistanceEvals by
+        // n·(n−1)/2 even for n ∈ {0, 1}, surviving only thanks to
+        // saturating_sub. The early return must leave all counters at 0.
+        for rows in [0usize, 1] {
+            let observer = Observer::enabled();
+            let data = Matrix::zeros(rows, 4);
+            let dist = pairwise_distances(&data, &Hamming, &observer);
+            assert_eq!(dist.len(), rows * rows);
+            let profile = observer.profile().unwrap();
+            assert_eq!(profile.counter("distance_evals"), Some(0), "n = {rows}");
+            assert_eq!(profile.counter("packed_kernel_invocations"), Some(0));
+            assert_eq!(profile.counter("words_xored"), Some(0));
+        }
+    }
+
+    #[test]
+    fn deprecated_shim_still_answers() {
+        let data = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 1.0]]);
+        #[allow(deprecated)]
+        let dist = pairwise_distances_observed(&data, &Hamming, &disabled());
+        assert_eq!(dist, pairwise_distances(&data, &Hamming, &disabled()));
+    }
+
+    #[test]
+    fn packed_and_dense_kernels_are_bit_identical_on_binary_data() {
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|r| (0..130).map(|c| f64::from(u8::from((r * 7 + c * 3) % 5 < 2))).collect())
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let dense = DistanceOptions::builder()
+            .kernel(KernelPolicy::Dense)
+            .build()
+            .pairwise(&data, &Hamming);
+        let packed = DistanceOptions::builder()
+            .kernel(KernelPolicy::Packed)
+            .build()
+            .pairwise(&data, &Hamming);
+        let auto = pairwise_distances(&data, &Hamming, &disabled());
+        assert_eq!(dense.len(), packed.len());
+        for (i, (d, p)) in dense.iter().zip(&packed).enumerate() {
+            assert_eq!(d.to_bits(), p.to_bits(), "entry {i}");
+        }
+        assert_eq!(packed, auto, "Auto picks the packed kernel on this input");
+    }
+
+    #[test]
+    fn packed_kernel_counters_fire_only_on_the_packed_path() {
+        let data = Matrix::from_rows(&[
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+        ]);
+        let packed_obs = Observer::enabled();
+        pairwise_distances(&data, &Hamming, &packed_obs);
+        let p = packed_obs.profile().unwrap();
+        assert_eq!(p.counter("distance_evals"), Some(6));
+        assert_eq!(p.counter("packed_kernel_invocations"), Some(1));
+        // 3 columns → 1 word per row, 6 pairs.
+        assert_eq!(p.counter("words_xored"), Some(6));
+
+        let dense_obs = Observer::enabled();
+        DistanceOptions::builder()
+            .kernel(KernelPolicy::Dense)
+            .observer(dense_obs.clone())
+            .build()
+            .pairwise(&data, &Hamming);
+        let d = dense_obs.profile().unwrap();
+        assert_eq!(d.counter("distance_evals"), Some(6));
+        assert_eq!(d.counter("packed_kernel_invocations"), Some(0));
+        assert_eq!(d.counter("words_xored"), Some(0));
+    }
+
+    #[test]
+    fn non_binary_data_falls_back_to_dense_under_any_policy() {
+        let data = Matrix::from_rows(&[vec![0.5, 1.0], vec![1.0, 0.0], vec![0.0, 0.25]]);
+        let observer = Observer::enabled();
+        let dist = DistanceOptions::builder()
+            .kernel(KernelPolicy::Packed)
+            .observer(observer.clone())
+            .build()
+            .pairwise(&data, &Hamming);
+        let reference = DistanceOptions::builder()
+            .kernel(KernelPolicy::Dense)
+            .build()
+            .pairwise(&data, &Hamming);
+        assert_eq!(dist, reference);
+        let p = observer.profile().unwrap();
+        assert_eq!(p.counter("packed_kernel_invocations"), Some(0), "nothing to pack");
+        assert_eq!(p.counter("distance_evals"), Some(3));
+    }
+
+    #[test]
+    fn packed_rows_densify_for_non_bit_metrics() {
+        let data = Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]]);
+        let bits = BitMatrix::pack(&data).unwrap();
+        let via_packed = pairwise_distances(&bits, &Euclidean, &disabled());
+        let via_dense = pairwise_distances(&data, &Euclidean, &disabled());
+        assert_eq!(via_packed, via_dense);
+    }
+
+    #[test]
+    fn dual_rows_use_the_packed_side_for_hamming() {
+        let data = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let bits = BitMatrix::pack(&data).unwrap();
+        let observer = Observer::enabled();
+        let dual = pairwise_distances(
+            Rows::Dual {
+                dense: &data,
+                packed: &bits,
+            },
+            &Hamming,
+            &observer,
+        );
+        assert_eq!(dual, pairwise_distances(&data, &Hamming, &disabled()));
+        let p = observer.profile().unwrap();
+        assert_eq!(p.counter("packed_kernel_invocations"), Some(1));
     }
 
     #[test]

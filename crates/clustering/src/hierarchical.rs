@@ -51,7 +51,7 @@ impl Agglomerative {
     ) -> Result<Vec<usize>, ClusterError> {
         // Pairwise observation distances, precomputed (upper triangle in
         // parallel); the merge loop itself works off the matrix only.
-        let dist = pairwise_distances(data, metric);
+        let dist = pairwise_distances(data, metric, &td_obs::Observer::disabled());
         self.fit_from_distances(&dist, data.n_rows(), k)
     }
 
@@ -220,7 +220,8 @@ mod tests {
     fn distance_matrix_entry_point_matches_feature_fit() {
         let data = blobs();
         let n = data.n_rows();
-        let dist = crate::distance::pairwise_distances(&data, &Euclidean);
+        let dist =
+            crate::distance::pairwise_distances(&data, &Euclidean, &td_obs::Observer::disabled());
         for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
             let agg = Agglomerative::new(linkage);
             let from_features = agg.fit(&data, 2, &Euclidean).unwrap();

@@ -53,7 +53,7 @@ pub fn select_k(
     // is picked by a sequential scan in k order with the same strict `>`
     // the sequential sweep used (ties keep the smallest k).
     let n = data.n_rows();
-    let dist = pairwise_distances(data, metric);
+    let dist = pairwise_distances(data, metric, &td_obs::Observer::disabled());
     let ks: Vec<usize> = (lo..=hi).collect();
     let evals: Vec<Result<(KMeansResult, f64), ClusterError>> = ks
         .par_iter()

@@ -13,8 +13,13 @@
 //!
 //! * [`matrix::Matrix`] — a dense row-major `f64` matrix (the attribute
 //!   truth-vector matrix of the paper's §3.1);
-//! * [`distance`] — the metric zoo: Euclidean, squared Euclidean,
-//!   Manhattan, Hamming (the paper's Eq. 2), cosine;
+//! * [`bitmatrix::BitMatrix`] — the same rows packed into `u64` words
+//!   (plus an optional validity mask), feeding the XOR+popcount Hamming
+//!   kernel;
+//! * [`distance`] — the metric zoo (Euclidean, squared Euclidean,
+//!   Manhattan, Hamming — the paper's Eq. 2 — cosine) and the
+//!   representation-aware pairwise kernel ([`distance::Rows`],
+//!   [`distance::DistanceOptions`], [`bitmatrix::KernelPolicy`]);
 //! * [`kmeans`] — Lloyd's algorithm with k-means++ or random
 //!   initialization, multiple seeded restarts and empty-cluster repair;
 //! * [`silhouette`] — per-sample, per-cluster and partition-level
@@ -29,6 +34,7 @@
 //! Everything is deterministic given a seed, and all entry points return
 //! typed errors instead of panicking on degenerate input.
 
+pub mod bitmatrix;
 pub mod distance;
 pub mod error;
 pub mod hierarchical;
@@ -38,9 +44,12 @@ pub mod matrix;
 pub mod pam;
 pub mod silhouette;
 
+pub use bitmatrix::{BitMatrix, KernelPolicy};
+#[allow(deprecated)]
+pub use distance::pairwise_distances_observed;
 pub use distance::{
-    pairwise_distances, pairwise_distances_observed, Cosine, Euclidean, Hamming, Manhattan, Metric,
-    SqEuclidean,
+    pairwise_distances, Cosine, DistanceOptions, DistanceOptionsBuilder, Euclidean, Hamming,
+    Manhattan, Metric, Rows, SqEuclidean,
 };
 pub use error::ClusterError;
 pub use hierarchical::{Agglomerative, Linkage};

@@ -67,7 +67,7 @@ impl Pam {
     pub fn fit(&self, data: &Matrix, metric: &dyn Metric) -> Result<PamResult, ClusterError> {
         // Precompute the full distance matrix (n ≤ a few hundred
         // attributes in every TD-AC workload), upper triangle in parallel.
-        let dist = pairwise_distances(data, metric);
+        let dist = pairwise_distances(data, metric, &td_obs::Observer::disabled());
         self.fit_from_distances(&dist, data.n_rows())
     }
 

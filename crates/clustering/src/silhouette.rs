@@ -3,8 +3,30 @@
 
 use rayon::prelude::*;
 
-use crate::distance::Metric;
+use crate::bitmatrix::BitMatrix;
+use crate::distance::{Metric, Rows};
 use crate::matrix::Matrix;
+
+/// How a silhouette pass reads pairwise distances: the packed popcount
+/// kernel when the caller already holds packed rows and the metric
+/// counts bits, the dense metric loop otherwise. Both produce exact
+/// integer counts on binary data, so the choice never changes a bit of
+/// the output.
+#[derive(Clone, Copy)]
+enum Access<'a> {
+    Packed(&'a BitMatrix),
+    Dense(&'a Matrix),
+}
+
+impl Access<'_> {
+    #[inline]
+    fn distance(&self, metric: &dyn Metric, i: usize, j: usize) -> f64 {
+        match self {
+            Access::Packed(b) => b.hamming(i, j) as f64,
+            Access::Dense(m) => metric.distance(m.row(i), m.row(j)),
+        }
+    }
+}
 
 /// Per-sample silhouette coefficients.
 ///
@@ -14,8 +36,16 @@ use crate::matrix::Matrix;
 /// `(β - α) / max(α, β)` (paper Eq. 5). Samples in singleton clusters
 /// get `0` (Rousseeuw's convention — nothing to cohere with), as do
 /// samples where `max(α, β) = 0`.
-pub fn silhouette_samples(data: &Matrix, assignments: &[usize], metric: &dyn Metric) -> Vec<f64> {
-    let n = data.n_rows();
+///
+/// Accepts any [`Rows`] representation; packed rows use the popcount
+/// kernel when the metric counts bits and are densified otherwise.
+pub fn silhouette_samples<'a>(
+    data: impl Into<Rows<'a>>,
+    assignments: &[usize],
+    metric: &dyn Metric,
+) -> Vec<f64> {
+    let rows = data.into();
+    let n = rows.n_rows();
     assert_eq!(assignments.len(), n, "one assignment per observation");
     let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
     let sizes = {
@@ -24,6 +54,18 @@ pub fn silhouette_samples(data: &Matrix, assignments: &[usize], metric: &dyn Met
             s[c] += 1;
         }
         s
+    };
+
+    let densified;
+    let access = match rows {
+        Rows::Packed(b) | Rows::Dual { packed: b, .. } if metric.counts_bits_on_binary() => {
+            Access::Packed(b)
+        }
+        Rows::Dense(m) | Rows::Dual { dense: m, .. } => Access::Dense(m),
+        Rows::Packed(b) => {
+            densified = b.to_dense();
+            Access::Dense(&densified)
+        }
     };
 
     // Samples are independent: each one scans all n others, so the work
@@ -42,7 +84,7 @@ pub fn silhouette_samples(data: &Matrix, assignments: &[usize], metric: &dyn Met
             let mut mean_to = vec![0.0f64; k];
             for j in 0..n {
                 if i != j {
-                    mean_to[assignments[j]] += metric.distance(data.row(i), data.row(j));
+                    mean_to[assignments[j]] += access.distance(metric, i, j);
                 }
             }
             let alpha = mean_to[ci] / (sizes[ci] - 1) as f64;
@@ -62,8 +104,12 @@ pub fn silhouette_samples(data: &Matrix, assignments: &[usize], metric: &dyn Met
 }
 
 /// Standard silhouette score: the mean of all per-sample coefficients.
-pub fn silhouette_score(data: &Matrix, assignments: &[usize], metric: &dyn Metric) -> f64 {
-    let coeffs = silhouette_samples(data, assignments, metric);
+pub fn silhouette_score<'a>(
+    data: impl Into<Rows<'a>>,
+    assignments: &[usize],
+    metric: &dyn Metric,
+) -> f64 {
+    let coeffs = silhouette_samples(data.into(), assignments, metric);
     if coeffs.is_empty() {
         return 0.0;
     }
@@ -74,8 +120,12 @@ pub fn silhouette_score(data: &Matrix, assignments: &[usize], metric: &dyn Metri
 /// cluster, then average the cluster coefficients — a macro average that
 /// weighs small clusters as much as large ones (this is what makes TD-AC
 /// prefer structurally homogeneous partitions over size-dominated ones).
-pub fn silhouette_paper(data: &Matrix, assignments: &[usize], metric: &dyn Metric) -> f64 {
-    let coeffs = silhouette_samples(data, assignments, metric);
+pub fn silhouette_paper<'a>(
+    data: impl Into<Rows<'a>>,
+    assignments: &[usize],
+    metric: &dyn Metric,
+) -> f64 {
+    let coeffs = silhouette_samples(data.into(), assignments, metric);
     macro_average(&coeffs, assignments)
 }
 
@@ -293,5 +343,28 @@ mod tests {
     #[should_panic(expected = "n×n")]
     fn dist_variant_checks_matrix_size() {
         silhouette_samples_dist(&[0.0; 3], 2, &[0, 1]);
+    }
+
+    #[test]
+    fn packed_rows_give_bit_identical_coefficients() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, 1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 1.0],
+            vec![0.0, 1.0, 1.0, 1.0],
+        ]);
+        let bits = crate::BitMatrix::pack(&data).unwrap();
+        let asg = vec![0, 0, 1, 1];
+        let dense = silhouette_samples(&data, &asg, &Hamming);
+        let packed = silhouette_samples(&bits, &asg, &Hamming);
+        for (a, b) in dense.iter().zip(&packed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A non-bit metric densifies packed rows instead of mis-counting.
+        let dense_e = silhouette_samples(&data, &asg, &Euclidean);
+        let packed_e = silhouette_samples(&bits, &asg, &Euclidean);
+        for (a, b) in dense_e.iter().zip(&packed_e) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

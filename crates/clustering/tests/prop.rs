@@ -4,9 +4,13 @@ use proptest::prelude::*;
 
 use tdac_clustering::{
     pairwise_distances, silhouette_paper, silhouette_paper_dist, silhouette_samples,
-    silhouette_samples_dist, Agglomerative, Euclidean, Hamming, KMeans, KMeansConfig, Linkage,
-    Matrix, Pam, PamConfig, SqEuclidean, Metric,
+    silhouette_samples_dist, Agglomerative, BitMatrix, DistanceOptions, Euclidean, Hamming,
+    KMeans, KMeansConfig, KernelPolicy, Linkage, Matrix, Pam, PamConfig, SqEuclidean, Metric,
 };
+
+fn disabled() -> td_obs::Observer {
+    td_obs::Observer::disabled()
+}
 
 fn arb_matrix() -> impl Strategy<Value = Matrix> {
     (2usize..10, 1usize..5).prop_flat_map(|(rows, cols)| {
@@ -15,6 +19,51 @@ fn arb_matrix() -> impl Strategy<Value = Matrix> {
             rows..=rows,
         )
         .prop_map(move |data| Matrix::from_rows(&data))
+    })
+}
+
+/// Column widths biased toward the u64 word boundary (63/64/65) where
+/// packing bugs live, plus a general range.
+fn arb_bit_width() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(63usize), Just(64), Just(65), 1usize..130]
+}
+
+/// Random 0/1 matrices for packed-vs-dense kernel parity.
+fn arb_binary_matrix() -> impl Strategy<Value = (Matrix, usize)> {
+    (2usize..10, arb_bit_width()).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![Just(0.0f64), Just(1.0)], cols..=cols),
+            rows..=rows,
+        )
+        .prop_map(move |data| (Matrix::from_rows(&data), cols))
+    })
+}
+
+/// Random 0/1 value matrices with a 0/1 observation mask; rows can be
+/// entirely unobserved (all-missing), and values ⊆ mask as in the
+/// missing-aware truth-vector build.
+fn arb_masked_binary_matrix() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (2usize..8, arb_bit_width()).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(prop_oneof![Just(0.0f64), Just(1.0)], cols..=cols),
+                // Half the rows draw a random mask, half observed
+                // nothing at all (the all-missing case).
+                prop_oneof![
+                    proptest::collection::vec(prop_oneof![Just(0.0f64), Just(1.0)], cols..=cols),
+                    Just(vec![0.0f64; cols]),
+                ],
+            ),
+            rows..=rows,
+        )
+        .prop_map(|rows| {
+            let masks: Vec<Vec<f64>> = rows.iter().map(|(_, m)| m.clone()).collect();
+            let values: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|(v, m)| v.iter().zip(m).map(|(&x, &ob)| x * ob).collect())
+                .collect();
+            (Matrix::from_rows(&values), Matrix::from_rows(&masks))
+        })
     })
 }
 
@@ -139,7 +188,7 @@ proptest! {
         let fit = KMeans::new(KMeansConfig::with_k(k)).fit(&data).expect("fit");
         let n = data.n_rows();
         for metric in [&Euclidean as &dyn Metric, &Hamming] {
-            let dist = pairwise_distances(&data, metric);
+            let dist = pairwise_distances(&data, metric, &disabled());
             let direct = silhouette_samples(&data, &fit.assignments, metric);
             let cached = silhouette_samples_dist(&dist, n, &fit.assignments);
             for (i, (a, b)) in direct.iter().zip(&cached).enumerate() {
@@ -149,6 +198,59 @@ proptest! {
                 silhouette_paper(&data, &fit.assignments, metric).to_bits(),
                 silhouette_paper_dist(&dist, n, &fit.assignments).to_bits()
             );
+        }
+    }
+
+    #[test]
+    fn packed_and_dense_hamming_are_bit_identical(
+        (data, _cols) in arb_binary_matrix(),
+    ) {
+        // The packed XOR+popcount kernel must agree with the dense f64
+        // loop exactly — integer disagreement counts are exactly
+        // representable, so the contract is `==` on bits, no epsilon.
+        let dense = DistanceOptions::builder()
+            .kernel(KernelPolicy::Dense)
+            .build()
+            .pairwise(&data, &Hamming);
+        let packed = DistanceOptions::builder()
+            .kernel(KernelPolicy::Packed)
+            .build()
+            .pairwise(&data, &Hamming);
+        let auto = pairwise_distances(&data, &Hamming, &disabled());
+        prop_assert_eq!(dense.len(), packed.len());
+        for (i, (d, p)) in dense.iter().zip(&packed).enumerate() {
+            prop_assert_eq!(d.to_bits(), p.to_bits(), "entry {}", i);
+        }
+        for (d, a) in dense.iter().zip(&auto) {
+            prop_assert_eq!(d.to_bits(), a.to_bits());
+        }
+        // Manhattan is the same count on 0/1 data and also dispatches.
+        let manhattan = pairwise_distances(&data, &tdac_clustering::Manhattan, &disabled());
+        for (d, m) in dense.iter().zip(&manhattan) {
+            prop_assert_eq!(d.to_bits(), m.to_bits());
+        }
+    }
+
+    #[test]
+    fn masked_packed_counts_match_dense_reference(
+        (values, mask) in arb_masked_binary_matrix(),
+    ) {
+        // Masked kernel parity, including rows that observed nothing at
+        // all (their co-observation count with anyone is 0).
+        let bits = BitMatrix::pack_masked(&values, &mask).expect("binary inputs pack");
+        let n = values.n_rows();
+        for i in 0..n {
+            for j in 0..n {
+                let (mut co_ref, mut diff_ref) = (0u64, 0u64);
+                for c in 0..values.n_cols() {
+                    if mask.get(i, c) > 0.0 && mask.get(j, c) > 0.0 {
+                        co_ref += 1;
+                        diff_ref += u64::from(values.get(i, c) != values.get(j, c));
+                    }
+                }
+                let (diff, co) = bits.masked_counts(i, j);
+                prop_assert_eq!((diff, co), (diff_ref, co_ref), "pair ({}, {})", i, j);
+            }
         }
     }
 

@@ -178,7 +178,7 @@ impl AccuGenPartition {
         truth: &GroundTruth,
     ) -> Result<AccuGenOutcome, AccuGenError> {
         self.search(dataset, |partition| {
-            let result = run_partition_observed(base, dataset, partition, &self.observer);
+            let result = run_partition(base, dataset, partition, &self.observer);
             let report = evaluate_fn(dataset, truth, |o, a| result.prediction(o, a));
             (report.accuracy, result)
         })
@@ -370,17 +370,10 @@ fn better(a: Option<Scored>, b: Option<Scored>) -> Option<Scored> {
 /// prefer [`AccuGenPartition::run`] / [`AccuGenPartition::run_oracle`] /
 /// [`AccuGenPartition::run_greedy`] (which return a full
 /// [`AccuGenOutcome`]) unless you already know the partition.
+/// Each per-group base run is recorded against `observer` (pass
+/// [`Observer::disabled`] when instrumentation is not wanted);
+/// observation never changes the result.
 pub fn run_partition(
-    base: &dyn TruthDiscovery,
-    dataset: &Dataset,
-    partition: &AttributePartition,
-) -> TruthResult {
-    run_partition_observed(base, dataset, partition, &Observer::disabled())
-}
-
-/// [`run_partition`] with instrumentation: each per-group base run is
-/// recorded against `observer`. Observation never changes the result.
-pub fn run_partition_observed(
     base: &dyn TruthDiscovery,
     dataset: &Dataset,
     partition: &AttributePartition,
@@ -392,6 +385,18 @@ pub fn run_partition_observed(
         .map(|group| base.discover_observed(&dataset.view_of(group), observer))
         .collect();
     TruthResult::merge_all(&partials)
+}
+
+/// Deprecated alias of [`run_partition`], kept for one release while
+/// callers migrate to the unified entry point.
+#[deprecated(note = "merged into `run_partition(base, dataset, partition, observer)`")]
+pub fn run_partition_observed(
+    base: &dyn TruthDiscovery,
+    dataset: &Dataset,
+    partition: &AttributePartition,
+    observer: &Observer,
+) -> TruthResult {
+    run_partition(base, dataset, partition, observer)
 }
 
 #[cfg(test)]
@@ -534,7 +539,7 @@ mod tests {
     #[test]
     fn run_partition_covers_all_cells_once() {
         let (d, _, planted) = dataset();
-        let r = run_partition(&MajorityVote, &d, &planted);
+        let r = run_partition(&MajorityVote, &d, &planted, &Observer::disabled());
         assert_eq!(r.len(), d.n_cells());
     }
 }

@@ -1,6 +1,6 @@
 //! Configuration of the TD-AC pipeline.
 
-use clustering::{Cosine, Euclidean, Hamming, Linkage, Metric};
+use clustering::{Cosine, Euclidean, Hamming, KernelPolicy, Linkage, Metric};
 use serde::{Deserialize, Serialize};
 use td_obs::Observer;
 
@@ -131,6 +131,17 @@ pub struct TdacConfig {
     /// perspective (ii)), the shared distance matrix, the k-sweep, and
     /// the clusterers. Deterministic at any setting.
     pub parallelism: Parallelism,
+    /// Which distance kernel the shared pairwise matrix may use:
+    /// [`KernelPolicy::Auto`] (default) picks the bit-packed popcount
+    /// kernel whenever the truth vectors are binary and the metric
+    /// counts bit disagreements; `Dense` pins the `f64` reference path;
+    /// `Packed` insists on packing where representable. All three are
+    /// bit-identical — this is a performance/verification knob, never a
+    /// semantics switch (see `docs/KERNELS.md`). Absent in serialized
+    /// configs from before the knob existed, so it deserializes via
+    /// `Default`.
+    #[serde(default)]
+    pub kernel: KernelPolicy,
     /// Instrumentation handle. The default is disabled (near-zero
     /// overhead); clone an [`Observer::enabled`] handle in to collect
     /// per-phase timings and work-unit counters on the outcome's
@@ -153,6 +164,7 @@ impl Default for TdacConfig {
             min_silhouette: None,
             missing_aware: false,
             parallelism: Parallelism::default(),
+            kernel: KernelPolicy::default(),
             observer: Observer::disabled(),
         }
     }
@@ -234,6 +246,13 @@ impl TdacConfigBuilder {
         self
     }
 
+    /// Distance-kernel policy for the shared pairwise matrix
+    /// (bit-identical under every setting).
+    pub fn kernel(mut self, kernel: KernelPolicy) -> Self {
+        self.config.kernel = kernel;
+        self
+    }
+
     /// Instrumentation handle (clone of an [`Observer::enabled`] to
     /// collect a profile).
     pub fn observer(mut self, observer: Observer) -> Self {
@@ -298,12 +317,18 @@ mod tests {
         let c = TdacConfig {
             method: ClusterMethod::Hierarchical(Linkage::Average),
             parallelism: Parallelism::Threads(3),
+            kernel: KernelPolicy::Packed,
             ..Default::default()
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: TdacConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.method, c.method);
         assert_eq!(back.parallelism, c.parallelism);
+        assert_eq!(back.kernel, c.kernel);
+        // Configs serialized before the kernel knob existed still load.
+        let legacy: TdacConfig =
+            serde_json::from_str(&json.replace(",\"kernel\":\"Packed\"", "")).unwrap();
+        assert_eq!(legacy.kernel, KernelPolicy::Auto);
     }
 
     #[test]
@@ -327,6 +352,8 @@ mod tests {
         assert_eq!(built.min_silhouette, plain.min_silhouette);
         assert_eq!(built.missing_aware, plain.missing_aware);
         assert_eq!(built.parallelism, plain.parallelism);
+        assert_eq!(built.kernel, plain.kernel);
+        assert_eq!(built.kernel, KernelPolicy::Auto);
         assert!(!built.observer.is_enabled());
     }
 
@@ -343,6 +370,7 @@ mod tests {
             .min_silhouette(0.25)
             .missing_aware(true)
             .parallelism(Parallelism::Threads(2))
+            .kernel(KernelPolicy::Dense)
             .observer(obs)
             .build()
             .unwrap();
@@ -355,6 +383,7 @@ mod tests {
         assert_eq!(c.min_silhouette, Some(0.25));
         assert!(c.missing_aware);
         assert_eq!(c.parallelism, Parallelism::Threads(2));
+        assert_eq!(c.kernel, KernelPolicy::Dense);
         assert!(c.observer.is_enabled());
     }
 

@@ -77,20 +77,28 @@ pub mod tdac;
 pub mod truth_vectors;
 
 pub use accugen::{
-    run_partition, run_partition_observed, AccuGenError, AccuGenOutcome, AccuGenPartition,
-    Weighting,
+    run_partition, AccuGenError, AccuGenOutcome, AccuGenPartition, Weighting,
 };
+#[allow(deprecated)]
+pub use accugen::run_partition_observed;
 pub use config::{
     ClusterMethod, MetricKind, Parallelism, TdacConfig, TdacConfigBuilder,
 };
 pub use error::TdError;
 pub use masked::MaskedTruthVectors;
 pub use object_clustering::{ObjectPartition, Tdoc, TdocOutcome};
-pub use partition::{all_partitions, bell_number, partitions_iter, AttributePartition, PartitionIter};
+pub use partition::{bell_number, partitions_iter, AttributePartition, PartitionIter};
 pub use tdac::{Tdac, TdacError, TdacOutcome};
 pub use truth_vectors::{
-    truth_vector_matrix, truth_vector_matrix_observed, truth_vectors_from_result,
+    truth_vector_matrix, truth_vector_set, truth_vector_set_from_result,
+    truth_vectors_from_result, TruthVectors,
 };
+#[allow(deprecated)]
+pub use truth_vectors::truth_vector_matrix_observed;
+
+// Re-export the representation-aware distance vocabulary so downstream
+// crates can pick kernels without a direct clustering dependency.
+pub use clustering::{BitMatrix, DistanceOptions, KernelPolicy, Rows};
 
 // Re-export the observability vocabulary so downstream crates can enable
 // profiling without a direct td-obs dependency.

@@ -18,12 +18,14 @@
 //! with the unmasked distance. Attribute pairs with no co-observed
 //! coordinate fall back to the neutral half-distance `L/2`.
 
-use clustering::Matrix;
+use clustering::{BitMatrix, DistanceOptions, KernelPolicy, Matrix};
 use rayon::prelude::*;
 use td_algorithms::{TruthDiscovery, TruthResult};
 use td_model::DatasetView;
 
-/// A truth-vector matrix plus its observation mask.
+/// A truth-vector matrix plus its observation mask, in both the dense
+/// representation and a bit-packed one (values + validity words) for the
+/// masked popcount kernel.
 #[derive(Debug, Clone)]
 pub struct MaskedTruthVectors {
     /// The Eq. 1 values (1 = matched reference truth, 0 otherwise).
@@ -31,20 +33,18 @@ pub struct MaskedTruthVectors {
     /// `1.0` where the source actually answered the `(object, attribute)`
     /// cell, `0.0` where the coordinate is missing.
     pub mask: Matrix,
+    /// `values` and `mask` packed into `u64` words (one bit strip each),
+    /// built in the same scatter pass so they agree by construction.
+    pub packed: BitMatrix,
 }
 
 impl MaskedTruthVectors {
     /// Builds masked truth vectors from a base algorithm's reference
     /// truth (like [`crate::truth_vector_matrix`] but tracking
-    /// observedness).
-    pub fn build(base: &dyn TruthDiscovery, view: &DatasetView<'_>) -> (Self, TruthResult) {
-        Self::build_observed(base, view, &td_obs::Observer::disabled())
-    }
-
-    /// [`MaskedTruthVectors::build`] with instrumentation: the reference
-    /// base run is recorded against `observer`. Observation never
-    /// changes the vectors or the reference.
-    pub fn build_observed(
+    /// observedness). The reference base run is recorded against
+    /// `observer`; observation never changes the vectors or the
+    /// reference.
+    pub fn build(
         base: &dyn TruthDiscovery,
         view: &DatasetView<'_>,
         observer: &td_obs::Observer,
@@ -52,6 +52,17 @@ impl MaskedTruthVectors {
         let reference = base.discover_observed(view, observer);
         let this = Self::from_result(view, &reference);
         (this, reference)
+    }
+
+    /// Deprecated alias of [`MaskedTruthVectors::build`], kept for one
+    /// release while callers migrate to the unified entry point.
+    #[deprecated(note = "merged into `MaskedTruthVectors::build(base, view, observer)`")]
+    pub fn build_observed(
+        base: &dyn TruthDiscovery,
+        view: &DatasetView<'_>,
+        observer: &td_obs::Observer,
+    ) -> (Self, TruthResult) {
+        Self::build(base, view, observer)
     }
 
     /// Builds against an existing reference truth.
@@ -68,18 +79,25 @@ impl MaskedTruthVectors {
 
         let mut values = Matrix::zeros(attrs.len(), n_cols);
         let mut mask = Matrix::zeros(attrs.len(), n_cols);
+        let mut packed = BitMatrix::zeros_masked(attrs.len(), n_cols);
         for cell in view.cells() {
             let row = row_of[cell.attribute.index()];
             let truth = reference.prediction(cell.object, cell.attribute);
             for claim in view.cell_claims(cell) {
                 let col = cell.object.index() * n_sources + claim.source.index();
                 mask.set(row, col, 1.0);
+                packed.set_observed(row, col);
                 if Some(claim.value) == truth {
                     values.set(row, col, 1.0);
+                    packed.set_bit(row, col, true);
                 }
             }
         }
-        Self { values, mask }
+        Self {
+            values,
+            mask,
+            packed,
+        }
     }
 
     /// Number of attributes (rows).
@@ -116,26 +134,75 @@ impl MaskedTruthVectors {
         diff / co as f64 * len as f64
     }
 
+    /// Masked Hamming distance between rows `i` and `j` on the packed
+    /// representation: popcounts over `(values_i ^ values_j) & mask_i &
+    /// mask_j` feed the exact formula of [`Self::masked_distance`], so
+    /// the two paths are bit-identical (every intermediate is an exact
+    /// small integer).
+    pub fn masked_distance_packed(&self, i: usize, j: usize) -> f64 {
+        let (diff, co) = self.packed.masked_counts(i, j);
+        let len = self.values.n_cols();
+        if co == 0 {
+            return len as f64 / 2.0;
+        }
+        diff as f64 / co as f64 * len as f64
+    }
+
     /// The full pairwise masked-distance matrix (row-major `n×n`). The
     /// upper triangle is computed in parallel (one strip per row) and
     /// mirrored — every entry evaluated exactly once, bit-identical at
-    /// any thread count.
-    pub fn distance_matrix(&self) -> Vec<f64> {
-        self.distance_matrix_observed(&td_obs::Observer::disabled())
+    /// any thread count. Bumps [`td_obs::Counter::DistanceEvals`] by the
+    /// `n·(n−1)/2` masked distances evaluated (plus the packed-kernel
+    /// counters when that path ran); observation never changes the
+    /// matrix. Dispatches to the packed popcount kernel under the
+    /// default [`KernelPolicy::Auto`]; see
+    /// [`MaskedTruthVectors::distance_matrix_with`] to pin a kernel.
+    pub fn distance_matrix(&self, observer: &td_obs::Observer) -> Vec<f64> {
+        self.distance_matrix_impl(KernelPolicy::Auto, observer)
     }
 
-    /// [`MaskedTruthVectors::distance_matrix`] with instrumentation:
-    /// bumps [`td_obs::Counter::DistanceEvals`] by the `n·(n−1)/2`
-    /// masked distances evaluated. Observation never changes the matrix.
+    /// [`MaskedTruthVectors::distance_matrix`] under explicit
+    /// [`DistanceOptions`] (kernel policy + observer).
+    pub fn distance_matrix_with(&self, opts: &DistanceOptions) -> Vec<f64> {
+        self.distance_matrix_impl(opts.kernel, &opts.observer)
+    }
+
+    /// Deprecated alias of [`MaskedTruthVectors::distance_matrix`], kept
+    /// for one release while callers migrate to the unified entry point.
+    #[deprecated(note = "merged into `MaskedTruthVectors::distance_matrix(observer)`")]
     pub fn distance_matrix_observed(&self, observer: &td_obs::Observer) -> Vec<f64> {
+        self.distance_matrix(observer)
+    }
+
+    fn distance_matrix_impl(&self, kernel: KernelPolicy, observer: &td_obs::Observer) -> Vec<f64> {
         let n = self.n_attributes();
-        observer.incr(
-            td_obs::Counter::DistanceEvals,
-            (n as u64 * n.saturating_sub(1) as u64) / 2,
-        );
+        if n < 2 {
+            // Nothing to evaluate: no counter traffic, no kernel choice.
+            return vec![0.0; n * n];
+        }
+        let pairs = (n as u64) * (n as u64 - 1) / 2;
+        let packed = kernel != KernelPolicy::Dense;
+        observer.incr(td_obs::Counter::DistanceEvals, pairs);
+        if packed {
+            observer.incr(td_obs::Counter::PackedKernelInvocations, 1);
+            observer.incr(
+                td_obs::Counter::WordsXored,
+                pairs * self.packed.words_per_row() as u64,
+            );
+        }
         let strips: Vec<Vec<f64>> = (0..n)
             .into_par_iter()
-            .map(|i| ((i + 1)..n).map(|j| self.masked_distance(i, j)).collect())
+            .map(|i| {
+                ((i + 1)..n)
+                    .map(|j| {
+                        if packed {
+                            self.masked_distance_packed(i, j)
+                        } else {
+                            self.masked_distance(i, j)
+                        }
+                    })
+                    .collect()
+            })
             .collect();
         let mut d = vec![0.0; n * n];
         for (i, strip) in strips.iter().enumerate() {
@@ -184,7 +251,7 @@ mod tests {
     #[test]
     fn mask_marks_observed_coordinates() {
         let d = sparse_twins();
-        let (mv, _) = MaskedTruthVectors::build(&MajorityVote, &d.view_all());
+        let (mv, _) = MaskedTruthVectors::build(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
         let a1 = d.attribute_id("a1").unwrap().index();
         let a2 = d.attribute_id("a2").unwrap().index();
         assert!(mv.observed_fraction(a1) > mv.observed_fraction(a2));
@@ -194,7 +261,7 @@ mod tests {
     #[test]
     fn masked_distance_ignores_unobserved_gap() {
         let d = sparse_twins();
-        let (mv, _) = MaskedTruthVectors::build(&MajorityVote, &d.view_all());
+        let (mv, _) = MaskedTruthVectors::build(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
         let a1 = d.attribute_id("a1").unwrap().index();
         let a2 = d.attribute_id("a2").unwrap().index();
         let a3 = d.attribute_id("a3").unwrap().index();
@@ -211,9 +278,9 @@ mod tests {
     #[test]
     fn distance_matrix_is_symmetric_with_zero_diagonal() {
         let d = sparse_twins();
-        let (mv, _) = MaskedTruthVectors::build(&MajorityVote, &d.view_all());
+        let (mv, _) = MaskedTruthVectors::build(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
         let n = mv.n_attributes();
-        let m = mv.distance_matrix();
+        let m = mv.distance_matrix(&td_obs::Observer::disabled());
         for i in 0..n {
             assert_eq!(m[i * n + i], 0.0);
             for j in 0..n {
@@ -230,15 +297,76 @@ mod tests {
         b.claim("s1", "o0", "a1", Value::int(1)).unwrap();
         b.claim("s1", "o1", "a2", Value::int(1)).unwrap();
         let d = b.build();
-        let (mv, _) = MaskedTruthVectors::build(&MajorityVote, &d.view_all());
+        let (mv, _) = MaskedTruthVectors::build(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
         let len = d.n_objects() * d.n_sources();
         assert_eq!(mv.masked_distance(0, 1), len as f64 / 2.0);
     }
 
     #[test]
+    fn packed_and_dense_masked_kernels_are_bit_identical() {
+        let d = sparse_twins();
+        let (mv, _) =
+            MaskedTruthVectors::build(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
+        let n = mv.n_attributes();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    mv.masked_distance(i, j).to_bits(),
+                    mv.masked_distance_packed(i, j).to_bits(),
+                    "pair ({i}, {j})"
+                );
+            }
+        }
+        let dense = mv.distance_matrix_with(
+            &DistanceOptions::builder().kernel(KernelPolicy::Dense).build(),
+        );
+        let packed = mv.distance_matrix_with(
+            &DistanceOptions::builder().kernel(KernelPolicy::Packed).build(),
+        );
+        let auto = mv.distance_matrix(&td_obs::Observer::disabled());
+        for (i, (a, b)) in dense.iter().zip(&packed).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "entry {i}");
+        }
+        assert_eq!(packed, auto, "Auto uses the packed kernel");
+    }
+
+    #[test]
+    fn packed_kernel_counters_fire_on_the_masked_path() {
+        let d = sparse_twins();
+        let (mv, _) =
+            MaskedTruthVectors::build(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
+        let observer = td_obs::Observer::enabled();
+        mv.distance_matrix(&observer);
+        let p = observer.profile().unwrap();
+        let n = mv.n_attributes() as u64;
+        assert_eq!(p.counter("distance_evals"), Some(n * (n - 1) / 2));
+        assert_eq!(p.counter("packed_kernel_invocations"), Some(1));
+        assert_eq!(
+            p.counter("words_xored"),
+            Some(n * (n - 1) / 2 * mv.packed.words_per_row() as u64)
+        );
+    }
+
+    #[test]
+    fn tiny_masked_inputs_skip_counter_traffic() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o0", "a1", Value::int(1)).unwrap();
+        let d = b.build();
+        let (mv, _) =
+            MaskedTruthVectors::build(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
+        assert_eq!(mv.n_attributes(), 1);
+        let observer = td_obs::Observer::enabled();
+        let dist = mv.distance_matrix(&observer);
+        assert_eq!(dist, vec![0.0]);
+        let p = observer.profile().unwrap();
+        assert_eq!(p.counter("distance_evals"), Some(0));
+        assert_eq!(p.counter("packed_kernel_invocations"), Some(0));
+    }
+
+    #[test]
     fn values_agree_with_unmasked_equation_one() {
         let d = sparse_twins();
-        let (mv, reference) = MaskedTruthVectors::build(&MajorityVote, &d.view_all());
+        let (mv, reference) = MaskedTruthVectors::build(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
         let plain = crate::truth_vectors::truth_vectors_from_result(&d.view_all(), &reference);
         assert_eq!(mv.values.as_slice(), plain.as_slice());
     }

@@ -4,8 +4,8 @@ use std::error::Error;
 use std::fmt;
 
 use clustering::{
-    pairwise_distances_observed, silhouette_paper_dist, Agglomerative, ClusterError, KMeans,
-    KMeansConfig, Matrix, Pam, PamConfig,
+    silhouette_paper_dist, Agglomerative, ClusterError, DistanceOptions, KMeans, KMeansConfig,
+    Matrix, Pam, PamConfig,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -16,7 +16,7 @@ use td_obs::{Counter, RunProfile};
 use crate::config::{ClusterMethod, TdacConfig};
 use crate::masked::MaskedTruthVectors;
 use crate::partition::AttributePartition;
-use crate::truth_vectors::truth_vector_matrix_observed;
+use crate::truth_vectors::truth_vector_set;
 
 /// Errors from a TD-AC run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,18 +157,24 @@ impl Tdac {
         // comparison), so the outcome matches the sequential sweep
         // bit-for-bit.
         let obs = &self.config.observer;
+        // One options value drives every distance-matrix build of the
+        // run: the configured kernel policy plus the run's observer.
+        let dist_opts = DistanceOptions::builder()
+            .kernel(self.config.kernel)
+            .observer(obs.clone())
+            .build();
         let ks: Vec<usize> = (self.config.k_min..=k_hi).collect();
         let evals: Vec<Result<(Vec<usize>, f64), ClusterError>> = if self.config.missing_aware {
             // Future-work variant: masked distances + PAM (k-means has no
             // feature-space form for the masked metric).
             let (masked, _reference) = {
                 let _s = obs.span("truth_vectors");
-                MaskedTruthVectors::build_observed(base, view, obs)
+                MaskedTruthVectors::build(base, view, obs)
             };
             let dist = {
                 let _s = obs.span("distance_matrix");
                 obs.incr(Counter::DistCacheMisses, 1);
-                masked.distance_matrix_observed(obs)
+                masked.distance_matrix_with(&dist_opts)
             };
             let _sweep = obs.span("k_sweep");
             ks.par_iter()
@@ -189,14 +195,17 @@ impl Tdac {
                 })
                 .collect()
         } else {
-            let (matrix, _reference) = {
+            let (vectors, _reference) = {
                 let _s = obs.span("truth_vectors");
-                truth_vector_matrix_observed(base, view, obs)
+                truth_vector_set(base, view, obs)
             };
             let dist = {
                 let _s = obs.span("distance_matrix");
                 obs.incr(Counter::DistCacheMisses, 1);
-                pairwise_distances_observed(&matrix, self.config.metric.as_metric(), obs)
+                // Dual rows: the packed side feeds the popcount kernel
+                // when the metric counts bits, the dense side everything
+                // else — bit-identical either way.
+                dist_opts.pairwise(vectors.rows(), self.config.metric.as_metric())
             };
             let _sweep = obs.span("k_sweep");
             ks.par_iter()
@@ -205,7 +214,7 @@ impl Tdac {
                     obs.incr(Counter::DistCacheHits, 1);
                     let assignments = {
                         let _c = obs.span("cluster");
-                        self.cluster_cached(&matrix, &dist, k)?
+                        self.cluster_cached(&vectors.dense, &dist, k)?
                     };
                     let sil = silhouette_paper_dist(&dist, n, &assignments);
                     Ok((assignments, sil))
@@ -523,7 +532,8 @@ mod tests {
         // metric directly in feature space (the pre-cache behaviour).
         let (d, _) = correlated_dataset();
         let out = Tdac::new(TdacConfig::default()).run(&MajorityVote, &d).unwrap();
-        let (matrix, _) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        let (matrix, _) =
+            truth_vector_matrix(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
         let metric = MetricKind::Hamming.as_metric();
         assert!(!out.k_scores.is_empty());
         for &(k, sil) in &out.k_scores {

@@ -15,9 +15,35 @@
 //! correlated — which is what lets plain k-means recover the hidden
 //! attribute grouping.
 
-use clustering::Matrix;
+use clustering::{BitMatrix, Matrix, Rows};
 use td_algorithms::{TruthDiscovery, TruthResult};
 use td_model::DatasetView;
+
+/// The attribute truth vectors of Eq. 1 in both representations the
+/// distance layer can consume: the dense `f64` matrix k-means needs and
+/// the same rows bit-packed for the popcount Hamming kernel.
+///
+/// Both are built in one scatter pass over the view's claims, so they
+/// agree by construction; [`TruthVectors::rows`] hands them to
+/// `clustering` as [`Rows::Dual`], letting the kernel choose per metric
+/// without converting.
+#[derive(Debug, Clone)]
+pub struct TruthVectors {
+    /// Dense Eq. 1 matrix (attributes × object-source pairs).
+    pub dense: Matrix,
+    /// The same 0/1 rows packed into `u64` words.
+    pub packed: BitMatrix,
+}
+
+impl TruthVectors {
+    /// Both representations, for representation-aware distance kernels.
+    pub fn rows(&self) -> Rows<'_> {
+        Rows::Dual {
+            dense: &self.dense,
+            packed: &self.packed,
+        }
+    }
+}
 
 /// Runs `base` on `view` and builds the truth-vector matrix: one row per
 /// attribute of the view (in `view.attributes()` order), one column per
@@ -25,18 +51,11 @@ use td_model::DatasetView;
 /// lexicographic).
 ///
 /// Returns the matrix and the base run's result (so TD-AC can reuse the
-/// reference truth instead of re-running `F`).
+/// reference truth instead of re-running `F`). The reference base run is
+/// recorded against `observer` (fixpoint iterations, per-algorithm
+/// label); observation never changes the matrix or the reference. Use
+/// [`truth_vector_set`] when the packed representation is wanted too.
 pub fn truth_vector_matrix(
-    base: &dyn TruthDiscovery,
-    view: &DatasetView<'_>,
-) -> (Matrix, TruthResult) {
-    truth_vector_matrix_observed(base, view, &td_obs::Observer::disabled())
-}
-
-/// [`truth_vector_matrix`] with instrumentation: the reference base run
-/// is recorded against `observer` (fixpoint iterations, per-algorithm
-/// label). Observation never changes the matrix or the reference.
-pub fn truth_vector_matrix_observed(
     base: &dyn TruthDiscovery,
     view: &DatasetView<'_>,
     observer: &td_obs::Observer,
@@ -46,10 +65,44 @@ pub fn truth_vector_matrix_observed(
     (matrix, reference)
 }
 
+/// Deprecated alias of [`truth_vector_matrix`], kept for one release
+/// while callers migrate to the unified entry point.
+#[deprecated(note = "merged into `truth_vector_matrix(base, view, observer)`")]
+pub fn truth_vector_matrix_observed(
+    base: &dyn TruthDiscovery,
+    view: &DatasetView<'_>,
+    observer: &td_obs::Observer,
+) -> (Matrix, TruthResult) {
+    truth_vector_matrix(base, view, observer)
+}
+
+/// Like [`truth_vector_matrix`] but returns the dual-representation
+/// [`TruthVectors`] (dense + bit-packed, built in one pass) — what the
+/// TD-AC pipeline feeds the representation-aware distance kernel.
+pub fn truth_vector_set(
+    base: &dyn TruthDiscovery,
+    view: &DatasetView<'_>,
+    observer: &td_obs::Observer,
+) -> (TruthVectors, TruthResult) {
+    let reference = base.discover_observed(view, observer);
+    let vectors = truth_vector_set_from_result(view, &reference);
+    (vectors, reference)
+}
+
 /// Builds the truth-vector matrix against an already-computed reference
 /// truth (Eq. 1 verbatim; useful for testing and for oracle variants
 /// where the reference is the ground truth).
 pub fn truth_vectors_from_result(view: &DatasetView<'_>, reference: &TruthResult) -> Matrix {
+    truth_vector_set_from_result(view, reference).dense
+}
+
+/// Builds both representations of the truth vectors against an
+/// already-computed reference truth, scattering each matching claim into
+/// the dense matrix and the packed words in the same pass.
+pub fn truth_vector_set_from_result(
+    view: &DatasetView<'_>,
+    reference: &TruthResult,
+) -> TruthVectors {
     let dataset = view.dataset();
     let n_objects = dataset.n_objects();
     let n_sources = dataset.n_sources();
@@ -62,7 +115,9 @@ pub fn truth_vectors_from_result(view: &DatasetView<'_>, reference: &TruthResult
         row_of[a.index()] = r;
     }
 
-    let mut m = Matrix::zeros(n_attrs, n_objects * n_sources);
+    let n_cols = n_objects * n_sources;
+    let mut m = Matrix::zeros(n_attrs, n_cols);
+    let mut bits = BitMatrix::zeros(n_attrs, n_cols);
     for cell in view.cells() {
         let Some(truth) = reference.prediction(cell.object, cell.attribute) else {
             continue;
@@ -72,10 +127,14 @@ pub fn truth_vectors_from_result(view: &DatasetView<'_>, reference: &TruthResult
             if claim.value == truth {
                 let col = cell.object.index() * n_sources + claim.source.index();
                 m.set(row, col, 1.0);
+                bits.set_bit(row, col, true);
             }
         }
     }
-    m
+    TruthVectors {
+        dense: m,
+        packed: bits,
+    }
 }
 
 #[cfg(test)]
@@ -117,7 +176,7 @@ mod tests {
     #[test]
     fn matrix_shape_is_attrs_by_object_source_pairs() {
         let d = running_example();
-        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
         assert_eq!(m.n_rows(), 3); // Q1..Q3
         assert_eq!(m.n_cols(), 2 * 3); // 2 objects × 3 sources
     }
@@ -125,7 +184,7 @@ mod tests {
     #[test]
     fn entries_match_equation_one_with_majority_reference() {
         let d = running_example();
-        let (m, reference) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        let (m, reference) = truth_vector_matrix(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
         // Majority on FB-Q1: Algeria (2 votes). s1 and s3 match.
         let fb = d.object_id("FB").unwrap();
         let q1 = d.attribute_id("Q1").unwrap();
@@ -149,7 +208,7 @@ mod tests {
         b.claim("s2", "o", "a", Value::int(1)).unwrap();
         b.source("absent");
         let d = b.build();
-        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
         let absent = d.source_id("absent").unwrap();
         assert_eq!(m.get(0, absent.index()), 0.0, "no claim ⇒ 0 (Eq. 1)");
     }
@@ -166,7 +225,7 @@ mod tests {
             }
         }
         let d = b.build();
-        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
         assert_eq!(m.row(0), m.row(1));
     }
 
@@ -174,15 +233,26 @@ mod tests {
     fn view_restriction_shrinks_rows_not_columns() {
         let d = running_example();
         let q2 = d.attribute_id("Q2").unwrap();
-        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_of(&[q2]));
+        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_of(&[q2]), &td_obs::Observer::disabled());
         assert_eq!(m.n_rows(), 1);
         assert_eq!(m.n_cols(), 6);
     }
 
     #[test]
+    fn dual_representations_agree_bit_for_bit() {
+        let d = running_example();
+        let (tv, reference) =
+            truth_vector_set(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
+        assert_eq!(tv.packed.to_dense(), tv.dense);
+        assert_eq!(tv.dense, truth_vectors_from_result(&d.view_all(), &reference));
+        assert_eq!(tv.rows().n_rows(), tv.dense.n_rows());
+        assert_eq!(tv.rows().n_cols(), tv.dense.n_cols());
+    }
+
+    #[test]
     fn values_are_binary() {
         let d = running_example();
-        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all());
+        let (m, _) = truth_vector_matrix(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
         for v in m.as_slice() {
             assert!(*v == 0.0 || *v == 1.0);
         }

@@ -63,11 +63,18 @@ pub enum Counter {
     /// Shared distance-matrix builds (each is a cache miss the whole
     /// k-sweep then amortizes).
     DistCacheMisses = 6,
+    /// Distance-matrix builds that ran on the bit-packed popcount
+    /// kernel instead of the dense `f64` loop (one per build, not per
+    /// pair — `DistanceEvals` still counts the pairs).
+    PackedKernelInvocations = 7,
+    /// Total `u64` words XORed by the packed kernel (pairs ×
+    /// words-per-row); the packed analogue of `DistanceEvals × d`.
+    WordsXored = 8,
 }
 
 impl Counter {
     /// Number of fixed counters (the backing array length).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 9;
 
     /// All fixed counters, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -78,6 +85,8 @@ impl Counter {
         Counter::PartitionsScanned,
         Counter::DistCacheHits,
         Counter::DistCacheMisses,
+        Counter::PackedKernelInvocations,
+        Counter::WordsXored,
     ];
 
     /// Stable snake_case name used in [`RunProfile`] and JSON reports.
@@ -90,6 +99,8 @@ impl Counter {
             Counter::PartitionsScanned => "partitions_scanned",
             Counter::DistCacheHits => "dist_cache_hits",
             Counter::DistCacheMisses => "dist_cache_misses",
+            Counter::PackedKernelInvocations => "packed_kernel_invocations",
+            Counter::WordsXored => "words_xored",
         }
     }
 }

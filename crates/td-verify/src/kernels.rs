@@ -1,0 +1,210 @@
+//! Kernel-parity oracles: the bit-packed popcount Hamming kernel must be
+//! a pure performance substitution — every distance it produces, and
+//! every downstream outcome built on those distances, is bit-for-bit
+//! what the dense `f64` reference path computes.
+//!
+//! Three layers of evidence, mirroring the structure of [`crate::oracle`]:
+//!
+//! 1. **Raw matrices** — [`check_kernel_parity`] builds the truth
+//!    vectors of a real dataset and compares the full pairwise matrix
+//!    under [`KernelPolicy::Dense`] vs [`KernelPolicy::Packed`] (and the
+//!    masked variant) with `to_bits` equality, no epsilon.
+//! 2. **Non-vacuity** — the packed run must actually have taken the
+//!    packed path (`packed_kernel_invocations` / `words_xored` counters
+//!    fire) and the dense run must not, so parity is never "both sides
+//!    ran the same code".
+//! 3. **End-to-end fingerprints** — full TD-AC outcomes under `Dense`,
+//!    `Packed`, and `Auto` at pinned thread counts all collapse to one
+//!    [`OutcomeFingerprint`]; [`check_ds1_kernel_parity`] does the same
+//!    for the committed DS1 golden table.
+
+use clustering::{pairwise_distances, DistanceOptions, KernelPolicy};
+use td_algorithms::TruthDiscovery;
+use td_model::Dataset;
+use tdac_core::{
+    truth_vector_set, MaskedTruthVectors, Observer, Parallelism, Tdac, TdacConfig,
+};
+
+use crate::fingerprint::OutcomeFingerprint;
+use crate::golden::{compute_ds1_with, diff_ds1, golden_path, Ds1Golden};
+
+/// Asserts `got` and `want` are bit-identical distance matrices,
+/// panicking with the first diverging entry.
+fn assert_same_matrix(got: &[f64], want: &[f64], n: usize, context: &str) {
+    assert_eq!(got.len(), want.len(), "{context}: matrix sizes differ");
+    for (idx, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{context}: d({}, {}) = {g:e} (packed) vs {w:e} (dense)",
+            idx / n,
+            idx % n,
+        );
+    }
+}
+
+/// Distance matrix of `base`'s truth vectors on `dataset` under a pinned
+/// kernel, plus the profile of the build.
+fn matrix_under(
+    base: &dyn TruthDiscovery,
+    dataset: &Dataset,
+    kernel: KernelPolicy,
+) -> (Vec<f64>, tdac_core::RunProfile) {
+    let observer = Observer::enabled();
+    let (vectors, _) = truth_vector_set(base, &dataset.view_all(), &Observer::disabled());
+    let opts = DistanceOptions::builder()
+        .kernel(kernel)
+        .observer(observer.clone())
+        .build();
+    let config = TdacConfig::default();
+    let dist = opts.pairwise(vectors.rows(), config.metric.as_metric());
+    let profile = observer.profile().expect("enabled observer yields a profile");
+    (dist, profile)
+}
+
+/// Layer 1 + 2: raw matrix parity with non-vacuity, for both the plain
+/// Eq. 1 truth vectors and the masked (missing-aware) variant.
+///
+/// Panics with the first diverging matrix entry or a vacuity failure.
+pub fn check_kernel_parity(base: &dyn TruthDiscovery, dataset: &Dataset) {
+    // Plain truth vectors.
+    let (dense, dense_profile) = matrix_under(base, dataset, KernelPolicy::Dense);
+    let (packed, packed_profile) = matrix_under(base, dataset, KernelPolicy::Packed);
+    let (auto, _) = matrix_under(base, dataset, KernelPolicy::Auto);
+    let n = dataset.n_attributes();
+    assert_same_matrix(&packed, &dense, n, "packed vs dense pairwise Hamming");
+    assert_same_matrix(&auto, &dense, n, "auto vs dense pairwise Hamming");
+
+    // Non-vacuity: the two runs must have taken different code paths.
+    assert_eq!(
+        dense_profile.counter("packed_kernel_invocations"),
+        Some(0),
+        "KernelPolicy::Dense leaked into the packed kernel"
+    );
+    if n >= 2 {
+        assert!(
+            packed_profile.counter("packed_kernel_invocations").unwrap_or(0) > 0,
+            "KernelPolicy::Packed never reached the packed kernel — parity is vacuous"
+        );
+        assert!(
+            packed_profile.counter("words_xored").unwrap_or(0) > 0,
+            "packed kernel reported no XORed words"
+        );
+        // Both paths must report identical logical work (Eq. 2 pair count).
+        assert_eq!(
+            packed_profile.counter("distance_evals"),
+            dense_profile.counter("distance_evals"),
+            "packed and dense runs disagree on the number of distance evaluations"
+        );
+    }
+
+    // The one-argument convenience entry point is the Auto path.
+    let (vectors, _) = truth_vector_set(base, &dataset.view_all(), &Observer::disabled());
+    let config = TdacConfig::default();
+    let convenience =
+        pairwise_distances(vectors.rows(), config.metric.as_metric(), &Observer::disabled());
+    assert_same_matrix(&convenience, &dense, n, "pairwise_distances() vs dense");
+
+    // Masked (missing-aware) truth vectors.
+    let masked_under = |kernel| {
+        let observer = Observer::enabled();
+        let (masked, _) = MaskedTruthVectors::build(base, &dataset.view_all(), &Observer::disabled());
+        let opts = DistanceOptions::builder()
+            .kernel(kernel)
+            .observer(observer.clone())
+            .build();
+        let dist = masked.distance_matrix_with(&opts);
+        (dist, observer.profile().expect("enabled observer yields a profile"))
+    };
+    let (m_dense, m_dense_profile) = masked_under(KernelPolicy::Dense);
+    let (m_packed, m_packed_profile) = masked_under(KernelPolicy::Packed);
+    assert_same_matrix(&m_packed, &m_dense, n, "packed vs dense masked Hamming");
+    assert_eq!(
+        m_dense_profile.counter("packed_kernel_invocations"),
+        Some(0),
+        "masked KernelPolicy::Dense leaked into the packed kernel"
+    );
+    if n >= 2 {
+        assert!(
+            m_packed_profile.counter("packed_kernel_invocations").unwrap_or(0) > 0,
+            "masked KernelPolicy::Packed never reached the packed kernel"
+        );
+    }
+}
+
+/// Layer 3: full TD-AC outcomes under every kernel policy at pinned
+/// thread counts (`0` meaning [`Parallelism::Auto`]) must collapse to
+/// one fingerprint. Returns the common fingerprint.
+pub fn check_kernel_outcome_invariance(
+    base: &(dyn TruthDiscovery + Sync),
+    dataset: &Dataset,
+    threads: &[usize],
+) -> OutcomeFingerprint {
+    let run = |kernel, parallelism| {
+        Tdac::new(TdacConfig {
+            kernel,
+            parallelism,
+            ..TdacConfig::default()
+        })
+        .run(base, dataset)
+        .expect("non-empty dataset")
+    };
+    let reference =
+        OutcomeFingerprint::of(&run(KernelPolicy::Dense, Parallelism::Threads(1)));
+    for kernel in [KernelPolicy::Dense, KernelPolicy::Packed, KernelPolicy::Auto] {
+        let mut cases = vec![Parallelism::Threads(1)];
+        cases.extend(threads.iter().map(|&t| {
+            if t == 0 {
+                Parallelism::Auto
+            } else {
+                Parallelism::Threads(t)
+            }
+        }));
+        for &parallelism in &cases {
+            let got = OutcomeFingerprint::of(&run(kernel, parallelism));
+            assert_eq!(
+                got, reference,
+                "{kernel:?} at {parallelism:?} diverges from the Dense Threads(1) reference"
+            );
+        }
+    }
+    reference
+}
+
+/// The committed DS1 golden was produced under the default
+/// `KernelPolicy::Auto`; recomputing the whole table with the kernel
+/// pinned `Dense` and pinned `Packed` — the latter at `Threads(1)`,
+/// `Threads(2)`, `Threads(8)`, and `Auto` — must reproduce it
+/// bit-exactly. Any divergence means the packed kernel changed results,
+/// which is never legitimate (it is a performance knob, not a semantics
+/// switch).
+pub fn check_ds1_kernel_parity() -> Result<(), String> {
+    let path = golden_path();
+    let committed = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read golden {}: {e}", path.display()))?;
+    let committed: Ds1Golden = serde_json::from_str(&committed)
+        .map_err(|e| format!("golden {} is not valid JSON: {e:?}", path.display()))?;
+
+    let with = |kernel, parallelism| {
+        compute_ds1_with(&TdacConfig {
+            kernel,
+            parallelism,
+            ..TdacConfig::default()
+        })
+    };
+    let cases = [
+        ("Dense @ Threads(1)", KernelPolicy::Dense, Parallelism::Threads(1)),
+        ("Packed @ Threads(1)", KernelPolicy::Packed, Parallelism::Threads(1)),
+        ("Packed @ Threads(2)", KernelPolicy::Packed, Parallelism::Threads(2)),
+        ("Packed @ Threads(8)", KernelPolicy::Packed, Parallelism::Threads(8)),
+        ("Packed @ Auto", KernelPolicy::Packed, Parallelism::Auto),
+    ];
+    for (label, kernel, parallelism) in cases {
+        if let Some(diff) = diff_ds1(&committed, &with(kernel, parallelism)) {
+            return Err(format!(
+                "DS1 under {label} diverges from the committed golden: {diff}"
+            ));
+        }
+    }
+    Ok(())
+}

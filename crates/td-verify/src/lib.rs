@@ -5,12 +5,14 @@
 //! Three independent layers of evidence that the TD-AC stack computes
 //! what the paper says, documented in `docs/VERIFICATION.md`:
 //!
-//! 1. **Differential oracles** ([`oracle`], [`worlds`]) — TD-AC checked
-//!    against the brute-force AccuGenPartition search on separable
-//!    micro-worlds where the exact optimum is known, against a replay of
-//!    its own chosen partition on any input, and against itself at
+//! 1. **Differential oracles** ([`oracle`], [`worlds`], [`kernels`]) —
+//!    TD-AC checked against the brute-force AccuGenPartition search on
+//!    separable micro-worlds where the exact optimum is known, against a
+//!    replay of its own chosen partition on any input, against itself at
 //!    pinned thread counts (`Threads(1)` / `Threads(2)` / `Threads(8)`),
-//!    all compared through bit-exact [`fingerprint`]s.
+//!    and against itself under every distance-kernel policy (`Dense` /
+//!    `Packed` / `Auto`), all compared through bit-exact
+//!    [`fingerprint`]s.
 //! 2. **Metamorphic invariants** (the `tests/` suites of this crate and
 //!    of `clustering` / `td-metrics`) — properties that must hold under
 //!    input transformations: relabeling sources/objects, shuffling claim
@@ -25,9 +27,11 @@
 
 pub mod fingerprint;
 pub mod golden;
+pub mod kernels;
 pub mod oracle;
 pub mod worlds;
 
 pub use fingerprint::{assert_bit_identical, OutcomeFingerprint, ResultFingerprint};
 pub use golden::{bless_ds1, check_ds1, compute_ds1, Ds1Golden};
+pub use kernels::{check_ds1_kernel_parity, check_kernel_outcome_invariance, check_kernel_parity};
 pub use worlds::{separable_world, SmallWorld};

@@ -11,7 +11,8 @@ use td_algorithms::{MajorityVote, TruthDiscovery};
 use td_metrics::evaluate_fn;
 use td_model::{Dataset, GroundTruth};
 use tdac_core::{
-    accugen::run_partition, truth_vector_matrix, AccuGenPartition, Parallelism, Tdac, TdacConfig,
+    accugen::run_partition, truth_vector_matrix, AccuGenPartition, Observer, Parallelism, Tdac,
+    TdacConfig,
     TdacOutcome, Weighting,
 };
 
@@ -60,7 +61,7 @@ pub fn check_tdac_consistency(
     let outcome = Tdac::new(TdacConfig::default())
         .run(base, dataset)
         .expect("non-empty dataset");
-    let replay = run_partition(base, dataset, &outcome.partition);
+    let replay = run_partition(base, dataset, &outcome.partition, &Observer::disabled());
     let mut got = ResultFingerprint::of(&outcome.result);
     let expect = ResultFingerprint::of(&replay);
     // TD-AC reports one logical pass; the raw replay keeps the base
@@ -301,7 +302,7 @@ pub fn check_cached_sweep(base: &(dyn TruthDiscovery + Sync), dataset: &Dataset)
         !outcome.k_scores.is_empty(),
         "dataset too small for a k-sweep; use ≥ 3 attributes"
     );
-    let (matrix, _) = truth_vector_matrix(base, &dataset.view_all());
+    let (matrix, _) = truth_vector_matrix(base, &dataset.view_all(), &Observer::disabled());
     let n = dataset.n_attributes();
     for &(k, cached) in &outcome.k_scores {
         let assignments = KMeans::new(KMeansConfig {
@@ -313,7 +314,8 @@ pub fn check_cached_sweep(base: &(dyn TruthDiscovery + Sync), dataset: &Dataset)
         .fit(&matrix)
         .expect("sweep k is feasible")
         .assignments;
-        let dist = pairwise_distances(&matrix, config.metric.as_metric());
+        let dist =
+            pairwise_distances(&matrix, config.metric.as_metric(), &Observer::disabled());
         let direct = silhouette_paper_dist(&dist, n, &assignments);
         assert_eq!(
             cached.to_bits(),

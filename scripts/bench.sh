@@ -57,6 +57,20 @@ with open(lines_path) as f:
             "samples": rec["samples"],
         }
 doc = {"benches": benches}
+
+# Any "<prefix>/dense" + "<prefix>/packed" pair is a kernel comparison:
+# record the dense/packed throughput ratio under "kernel_speedups".
+speedups = {}
+for bench_id, rec in benches.items():
+    if not bench_id.endswith("/dense"):
+        continue
+    prefix = bench_id[: -len("/dense")]
+    packed = benches.get(prefix + "/packed")
+    if packed and packed["median_ns"] > 0:
+        speedups[prefix] = round(rec["median_ns"] / packed["median_ns"], 2)
+if speedups:
+    doc["kernel_speedups"] = speedups
+
 if os.path.exists(profile_path):
     with open(profile_path) as f:
         doc["profile"] = json.load(f)
@@ -64,6 +78,10 @@ with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
 extra = " + profile" if "profile" in doc else ""
+if speedups:
+    extra += "; packed-kernel speedups: " + ", ".join(
+        f"{k} {v}x" for k, v in sorted(speedups.items())
+    )
 print(f"wrote {out_path} ({len(benches)} benches{extra})")
 PY
 rm -f "$tmp" "$profile_tmp"

@@ -22,6 +22,9 @@ cargo test --offline -q --workspace
 echo "== observer determinism: profiles on vs off, all thread counts =="
 cargo test --offline -q -p td-verify --test observer
 
+echo "== kernel parity: packed vs dense distance kernels, DS1 golden =="
+cargo test --offline -q -p td-verify --test kernels
+
 echo "== expensive oracles: Bell(7)/Bell(8) brute-force differentials =="
 cargo test --offline -q -p td-verify --features expensive-oracles
 

@@ -55,9 +55,9 @@ pub use tdac_core as core;
 pub use tdac_eval as eval;
 
 // The cross-layer vocabulary, hoisted to the root so applications can
-// `?` any workspace error and profile any run without digging into the
-// per-crate modules.
-pub use tdac_core::{Observer, RunProfile, TdError};
+// `?` any workspace error, profile any run, and pick a distance kernel
+// without digging into the per-crate modules.
+pub use tdac_core::{BitMatrix, DistanceOptions, KernelPolicy, Observer, RunProfile, Rows, TdError};
 
 /// The crate version, for diagnostics.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
@@ -76,6 +76,13 @@ mod tests {
         let _ = crate::eval::Scale::Small;
         let _ = crate::Observer::disabled();
         let _ = crate::RunProfile::default();
+        let _ = crate::KernelPolicy::Auto;
+        let _ = crate::BitMatrix::zeros(2, 65);
+        let _ = crate::DistanceOptions::builder()
+            .kernel(crate::KernelPolicy::Packed)
+            .build();
+        let m = crate::cluster::Matrix::zeros(2, 3);
+        let _: crate::Rows<'_> = (&m).into();
         let _: crate::TdError = crate::core::TdacError::NoAttributes.into();
         assert!(!crate::VERSION.is_empty());
     }

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use td_ac::algorithms::{registry::all_algorithms, MajorityVote, TruthDiscovery};
 use td_ac::cluster::{silhouette_paper, silhouette_samples, Hamming, KMeans, KMeansConfig, Matrix};
-use td_ac::core::{all_partitions, bell_number, AttributePartition, Tdac, TdacConfig};
+use td_ac::core::{bell_number, partitions_iter, AttributePartition, Tdac, TdacConfig};
 use td_ac::metrics::evaluate_fn;
 use td_ac::model::{AttributeId, Dataset, DatasetBuilder, GroundTruth, Value};
 
@@ -135,7 +135,7 @@ proptest! {
     #[test]
     fn partition_enumeration_matches_bell(n in 0usize..7) {
         let attrs: Vec<AttributeId> = (0..n as u32).map(AttributeId::new).collect();
-        let parts = all_partitions(&attrs);
+        let parts: Vec<AttributePartition> = partitions_iter(&attrs).collect();
         prop_assert_eq!(parts.len() as u64, bell_number(n));
         for p in &parts {
             prop_assert_eq!(p.n_attributes(), n);

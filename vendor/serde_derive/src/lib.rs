@@ -8,7 +8,8 @@
 //! `serde::Deserialize::from_value`) as source text.
 //!
 //! Supported shapes — exactly what this workspace uses:
-//! - structs with named fields (`#[serde(skip)]` honoured per field)
+//! - structs with named fields (`#[serde(skip)]` and bare
+//!   `#[serde(default)]` honoured per field)
 //! - tuple structs (newtypes serialize as their inner value, matching
 //!   serde; `#[serde(transparent)]` is accepted and implied)
 //! - unit structs
@@ -46,11 +47,13 @@ struct Attrs {
     from: Option<String>,
     into: Option<String>,
     skip: bool,
+    default: bool,
 }
 
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 struct Variant {
@@ -149,6 +152,7 @@ fn parse_serde_args(mut c: Cursor, attrs: &mut Attrs) {
             ("from", Some(v)) => attrs.from = Some(v),
             ("into", Some(v)) => attrs.into = Some(v),
             ("skip", None) => attrs.skip = true,
+            ("default", None) => attrs.default = true,
             ("transparent", None) => {}
             (other, _) => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
         }
@@ -256,7 +260,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         }
         skip_until_top_comma(&mut c);
         c.next(); // trailing comma, if any
-        fields.push(Field { name, skip: attrs.skip });
+        fields.push(Field { name, skip: attrs.skip, default: attrs.default });
     }
     fields
 }
@@ -437,6 +441,20 @@ fn gen_deserialize(item: &Item) -> String {
                     if f.skip {
                         inits.push_str(&format!(
                             "{}: ::core::default::Default::default(),",
+                            f.name
+                        ));
+                    } else if f.default {
+                        // Absent key ⇒ Default::default(); present key
+                        // deserializes normally (matching upstream serde's
+                        // bare `#[serde(default)]`).
+                        inits.push_str(&format!(
+                            "{0}: match __obj.get(\"{0}\") {{\
+                             ::core::option::Option::Some(__fv) => \
+                             ::serde::Deserialize::from_value(__fv)\
+                             .map_err(|e| e.context(\"{name}.{0}\"))?,\
+                             ::core::option::Option::None => \
+                             ::core::default::Default::default(),\
+                             }},",
                             f.name
                         ));
                     } else {
