@@ -49,6 +49,44 @@ fn bench_phases(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_limits_overhead(c: &mut Criterion) {
+    // The robustness claim of docs/ROBUSTNESS.md: arming the budget
+    // machinery (boundary probes, distance precharge, private observer)
+    // with generous caps that never fire must cost < 2% of the
+    // unlimited pipeline. `scripts/bench.sh` folds the limits_on /
+    // limits_off median ratio into BENCH_tdac.json as
+    // "limits_overhead".
+    use std::time::Duration;
+    use tdac_core::ExecutionLimits;
+
+    let (dataset, _) = exam_bench(62, 120);
+    let tf = TruthFinder::default();
+
+    // The two sides differ by well under the run-to-run noise floor, so
+    // this pair needs more samples than the other groups for the folded
+    // ratio to be trustworthy.
+    let mut group = c.benchmark_group("limits_overhead/exam62");
+    group.sample_size(40);
+
+    group.bench_function("limits_off", |b| {
+        let tdac = Tdac::new(TdacConfig::default());
+        b.iter(|| black_box(tdac.run(&tf, &dataset).expect("run")));
+    });
+    group.bench_function("limits_on", |b| {
+        let generous = ExecutionLimits::none()
+            .with_deadline(Duration::from_secs(3_600))
+            .with_max_distance_evals(u64::MAX / 2)
+            .with_max_fixpoint_iterations(u64::MAX / 2);
+        let tdac = Tdac::new(TdacConfig {
+            limits: generous,
+            ..TdacConfig::default()
+        });
+        b.iter(|| black_box(tdac.run(&tf, &dataset).expect("run")));
+    });
+
+    group.finish();
+}
+
 fn bench_exam_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6_7_time/tdac_truthfinder");
     group.sample_size(10);
@@ -63,5 +101,5 @@ fn bench_exam_sizes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_phases, bench_exam_sizes);
+criterion_group!(benches, bench_phases, bench_limits_overhead, bench_exam_sizes);
 criterion_main!(benches);

@@ -297,20 +297,6 @@ pub fn pairwise_distances<'a>(
     pairwise_impl(data.into(), metric, KernelPolicy::Auto, observer)
 }
 
-/// Deprecated alias of [`pairwise_distances`], kept for one release
-/// while callers migrate to the unified entry point.
-#[deprecated(
-    note = "merged into `pairwise_distances(data, metric, observer)`; \
-            use that or `DistanceOptions::pairwise`"
-)]
-pub fn pairwise_distances_observed(
-    data: &Matrix,
-    metric: &dyn Metric,
-    observer: &td_obs::Observer,
-) -> Vec<f64> {
-    pairwise_distances(data, metric, observer)
-}
-
 /// Mirrors parallel upper-triangle strips into a row-major `n×n`
 /// symmetric matrix with a zero diagonal.
 fn mirror_strips(strips: Vec<Vec<f64>>, n: usize) -> Vec<f64> {
@@ -490,14 +476,6 @@ mod tests {
             assert_eq!(profile.counter("packed_kernel_invocations"), Some(0));
             assert_eq!(profile.counter("words_xored"), Some(0));
         }
-    }
-
-    #[test]
-    fn deprecated_shim_still_answers() {
-        let data = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 1.0]]);
-        #[allow(deprecated)]
-        let dist = pairwise_distances_observed(&data, &Hamming, &disabled());
-        assert_eq!(dist, pairwise_distances(&data, &Hamming, &disabled()));
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub enum ClusterError {
     EmptyInput,
     /// The requested `k` range is empty or inverted.
     EmptyKRange,
+    /// `max_iterations == 0` was configured — the fit could never make
+    /// a single improvement pass, so the cap is rejected up front
+    /// instead of silently returning the initialization.
+    ZeroIterationCap,
+    /// A cooperative [`td_obs::CancelToken`] fired before any clustering
+    /// completed, so there is no best-so-far selection to return.
+    Cancelled,
 }
 
 impl fmt::Display for ClusterError {
@@ -30,6 +37,12 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::EmptyInput => write!(f, "empty observation matrix"),
             ClusterError::EmptyKRange => write!(f, "the k range to sweep is empty"),
+            ClusterError::ZeroIterationCap => {
+                write!(f, "max_iterations = 0 can never fit (use at least 1)")
+            }
+            ClusterError::Cancelled => {
+                write!(f, "cancelled before any clustering completed")
+            }
         }
     }
 }

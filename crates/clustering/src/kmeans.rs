@@ -121,6 +121,9 @@ impl KMeans {
         if k > n {
             return Err(ClusterError::TooFewObservations { k, n });
         }
+        if self.config.max_iterations == 0 {
+            return Err(ClusterError::ZeroIterationCap);
+        }
 
         // Restarts are independent (each derives its RNG from its restart
         // index alone), so they run in parallel; folding the collected

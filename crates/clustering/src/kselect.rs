@@ -37,6 +37,31 @@ pub fn select_k(
     metric: &dyn Metric,
     base: KMeansConfig,
 ) -> Result<KSelection, ClusterError> {
+    select_k_impl(data, k_range, metric, base, None)
+}
+
+/// [`select_k`] with cooperative cancellation: once `cancel` fires, the
+/// remaining `k` values are skipped and the best among the already
+/// evaluated ones is returned (its `scores` cover only the evaluated
+/// `k`s). Cancelling before any `k` completes yields
+/// [`ClusterError::Cancelled`] — there is no best-so-far to hand back.
+pub fn select_k_cancellable(
+    data: &Matrix,
+    k_range: std::ops::RangeInclusive<usize>,
+    metric: &dyn Metric,
+    base: KMeansConfig,
+    cancel: &td_obs::CancelToken,
+) -> Result<KSelection, ClusterError> {
+    select_k_impl(data, k_range, metric, base, Some(cancel))
+}
+
+fn select_k_impl(
+    data: &Matrix,
+    k_range: std::ops::RangeInclusive<usize>,
+    metric: &dyn Metric,
+    base: KMeansConfig,
+    cancel: Option<&td_obs::CancelToken>,
+) -> Result<KSelection, ClusterError> {
     if data.n_rows() == 0 {
         return Err(ClusterError::EmptyInput);
     }
@@ -55,19 +80,22 @@ pub fn select_k(
     let n = data.n_rows();
     let dist = pairwise_distances(data, metric, &td_obs::Observer::disabled());
     let ks: Vec<usize> = (lo..=hi).collect();
-    let evals: Vec<Result<(KMeansResult, f64), ClusterError>> = ks
+    let evals: Vec<Result<Option<(KMeansResult, f64)>, ClusterError>> = ks
         .par_iter()
         .map(|&k| {
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                return Ok(None); // skipped, not failed
+            }
             let result = KMeans::new(KMeansConfig { k, ..base }).fit(data)?;
             let sil = silhouette_paper_dist(&dist, n, &result.assignments);
-            Ok((result, sil))
+            Ok(Some((result, sil)))
         })
         .collect();
 
     let mut best: Option<(usize, KMeansResult, f64)> = None;
     let mut scores = Vec::with_capacity(ks.len());
     for (&k, eval) in ks.iter().zip(evals) {
-        let (result, sil) = eval?;
+        let Some((result, sil)) = eval? else { continue };
         scores.push((k, sil));
         let better = match &best {
             None => true,
@@ -77,7 +105,9 @@ pub fn select_k(
             best = Some((k, result, sil));
         }
     }
-    let (best_k, best_result, best_silhouette) = best.expect("non-empty sweep");
+    let Some((best_k, best_result, best_silhouette)) = best else {
+        return Err(ClusterError::Cancelled);
+    };
     Ok(KSelection {
         best_k,
         best_result,
@@ -215,6 +245,51 @@ mod tests {
         let data = Matrix::from_rows(&vec![vec![1.0]; 6]);
         let sel = select_k(&data, 2..=5, &Euclidean, KMeansConfig::with_k(0)).unwrap();
         assert_eq!(sel.best_k, 2);
+    }
+
+    #[test]
+    fn cancellable_sweep_matches_plain_when_never_cancelled() {
+        let token = td_obs::CancelToken::new();
+        let plain = select_k(&three_blobs(), 2..=8, &Euclidean, KMeansConfig::with_k(0)).unwrap();
+        let c = select_k_cancellable(
+            &three_blobs(),
+            2..=8,
+            &Euclidean,
+            KMeansConfig::with_k(0),
+            &token,
+        )
+        .unwrap();
+        assert_eq!(c.best_k, plain.best_k);
+        assert_eq!(c.best_silhouette.to_bits(), plain.best_silhouette.to_bits());
+        assert_eq!(c.scores, plain.scores);
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_has_no_best_so_far() {
+        let token = td_obs::CancelToken::new();
+        token.cancel();
+        assert!(matches!(
+            select_k_cancellable(
+                &three_blobs(),
+                2..=8,
+                &Euclidean,
+                KMeansConfig::with_k(0),
+                &token
+            ),
+            Err(ClusterError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn zero_iteration_cap_is_rejected() {
+        let cfg = KMeansConfig {
+            max_iterations: 0,
+            ..KMeansConfig::with_k(2)
+        };
+        assert!(matches!(
+            KMeans::new(cfg).fit(&three_blobs()),
+            Err(ClusterError::ZeroIterationCap)
+        ));
     }
 
     #[test]

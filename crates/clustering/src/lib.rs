@@ -45,8 +45,6 @@ pub mod pam;
 pub mod silhouette;
 
 pub use bitmatrix::{BitMatrix, KernelPolicy};
-#[allow(deprecated)]
-pub use distance::pairwise_distances_observed;
 pub use distance::{
     pairwise_distances, Cosine, DistanceOptions, DistanceOptionsBuilder, Euclidean, Hamming,
     Manhattan, Metric, Rows, SqEuclidean,
@@ -54,7 +52,7 @@ pub use distance::{
 pub use error::ClusterError;
 pub use hierarchical::{Agglomerative, Linkage};
 pub use kmeans::{Init, KMeans, KMeansConfig, KMeansResult};
-pub use kselect::{select_k, select_k_elbow, ElbowSelection, KSelection};
+pub use kselect::{select_k, select_k_cancellable, select_k_elbow, ElbowSelection, KSelection};
 pub use matrix::Matrix;
 pub use pam::{Pam, PamConfig, PamResult};
 pub use silhouette::{

@@ -104,6 +104,9 @@ impl Pam {
         if k > n {
             return Err(ClusterError::TooFewObservations { k, n });
         }
+        if self.config.max_iterations == 0 {
+            return Err(ClusterError::ZeroIterationCap);
+        }
         let d = |a: usize, b: usize| dist[a * n + b];
 
         // BUILD: first medoid minimizes total distance; each next medoid
@@ -247,6 +250,18 @@ mod tests {
         let mut meds = r.medoids.clone();
         meds.sort_unstable();
         assert_eq!(meds, vec![1, 4]);
+    }
+
+    #[test]
+    fn zero_iteration_cap_is_rejected() {
+        let cfg = PamConfig {
+            max_iterations: 0,
+            ..PamConfig::with_k(2)
+        };
+        assert!(matches!(
+            Pam::new(cfg).fit(&blobs(), &Euclidean),
+            Err(ClusterError::ZeroIterationCap)
+        ));
     }
 
     #[test]

@@ -29,13 +29,17 @@
 
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use td_algorithms::{TruthDiscovery, TruthResult};
 use td_metrics::evaluate_fn;
 use td_model::{Dataset, GroundTruth};
-use td_obs::{Counter, Observer, RunProfile};
+use td_obs::{
+    panic_message, Budget, Counter, Degradation, DegradationReason, ExecutionLimits, Observer,
+    RunProfile,
+};
 
 use crate::config::Parallelism;
 use crate::partition::{bell_number, partitions_iter, AttributePartition};
@@ -73,6 +77,16 @@ pub enum AccuGenError {
         /// The configured guard.
         limit: usize,
     },
+    /// A worker panicked while evaluating a partition; the panic was
+    /// caught at the task boundary (the process never aborts) and
+    /// converted into this typed error naming where it happened.
+    WorkerPanic {
+        /// The phase (span-path vocabulary) whose worker panicked, e.g.
+        /// `partition_scan/partition=7`.
+        phase: String,
+        /// The panic message, when it carried one.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AccuGenError {
@@ -85,6 +99,9 @@ impl fmt::Display for AccuGenError {
                  guard of {limit} attributes; brute force is intractable here \
                  (that is the paper's point — use TD-AC)"
             ),
+            AccuGenError::WorkerPanic { phase, detail } => {
+                write!(f, "worker panic in phase `{phase}`: {detail}")
+            }
         }
     }
 }
@@ -101,8 +118,16 @@ pub struct AccuGenOutcome {
     /// Its score under the weighting function (or its oracle accuracy).
     pub score: f64,
     /// How many partitions were evaluated (Bell(|A|) for the exhaustive
-    /// scans, the number of local-search steps for the greedy variant).
+    /// scans, the number of local-search steps for the greedy variant;
+    /// less when an execution limit truncated the search — see
+    /// `degradation`).
     pub n_partitions: u64,
+    /// `Some` when an execution limit cut the search short: the outcome
+    /// is the best partition found *so far* — still a sound, merged
+    /// truth-discovery result, just not the optimum over the full space.
+    /// `None` on a complete scan.
+    #[serde(default)]
+    pub degradation: Option<Degradation>,
     /// Per-phase timings and work-unit counters for this run when
     /// `observer` is enabled; `None` with the default handle. Always
     /// this run's delta, even when the handle is reused.
@@ -121,6 +146,12 @@ pub struct AccuGenPartition {
     /// scanned and per-run base-algorithm work, exposed on the outcome's
     /// `profile`.
     pub observer: Observer,
+    /// Execution limits (unlimited by default). With a `max_partitions`
+    /// cap the exhaustive scan is truncated to a deterministic prefix of
+    /// the enumeration order; deadline and cancellation stop the scan at
+    /// the next task boundary. Either way the outcome carries the best
+    /// partition found so far, flagged via `AccuGenOutcome::degradation`.
+    pub limits: ExecutionLimits,
 }
 
 impl Default for AccuGenPartition {
@@ -129,6 +160,7 @@ impl Default for AccuGenPartition {
             parallelism: Parallelism::Auto,
             max_attributes: 10,
             observer: Observer::disabled(),
+            limits: ExecutionLimits::default(),
         }
     }
 }
@@ -163,8 +195,8 @@ impl AccuGenPartition {
         dataset: &Dataset,
         weighting: Weighting,
     ) -> Result<AccuGenOutcome, AccuGenError> {
-        self.search(dataset, |partition| {
-            self.evaluate_weighted(base, dataset, partition, weighting)
+        self.search(dataset, |partition, obs| {
+            self.evaluate_weighted(base, dataset, partition, weighting, obs)
         })
     }
 
@@ -177,17 +209,28 @@ impl AccuGenPartition {
         dataset: &Dataset,
         truth: &GroundTruth,
     ) -> Result<AccuGenOutcome, AccuGenError> {
-        self.search(dataset, |partition| {
-            let result = run_partition(base, dataset, partition, &self.observer);
+        self.search(dataset, |partition, obs| {
+            let result = run_partition(base, dataset, partition, obs);
             let report = evaluate_fn(dataset, truth, |o, a| result.prediction(o, a));
             (report.accuracy, result)
         })
     }
 
+    /// Counter-based budgets meter observer counters, so an active limit
+    /// with a disabled user observer runs against a private enabled
+    /// handle; the user-facing profile stays keyed to their own handle.
+    fn effective_observer(&self) -> Observer {
+        if self.limits.is_active() && !self.observer.is_enabled() {
+            Observer::enabled()
+        } else {
+            self.observer.clone()
+        }
+    }
+
     fn search(
         &self,
         dataset: &Dataset,
-        score_fn: impl Fn(&AttributePartition) -> (f64, TruthResult) + Sync,
+        score_fn: impl Fn(&AttributePartition, &Observer) -> (f64, TruthResult) + Sync,
     ) -> Result<AccuGenOutcome, AccuGenError> {
         let attrs: Vec<_> = dataset.attribute_ids().collect();
         let n = attrs.len();
@@ -203,35 +246,112 @@ impl AccuGenPartition {
         }
 
         // Stream partitions lazily: workers pull from the RGS odometer on
-        // demand, fold locally with `better`, and the worker accumulators
+        // demand, fold locally with `combine`, and the worker accumulators
         // are combined with the same total order — never materializing
         // the Bell(n)-sized vector the old scan chunked over.
         let baseline = self.observer.profile();
-        let n_partitions = bell_number(n);
-        let best = self.parallelism.install(|| {
-            let _scan = self.observer.span("partition_scan");
+        let obs = self.effective_observer();
+        let bell = bell_number(n);
+        let budget = Budget::arm(&self.limits, &obs);
+        // A `max_partitions` cap truncates the *sequential* stream before
+        // the parallel bridge: the scanned set is an exact prefix of the
+        // enumeration order, identical at any thread count (and index 0 —
+        // the all-in-one-group partition — is always evaluated).
+        let limit = budget
+            .as_ref()
+            .and_then(|b| b.remaining_partitions())
+            .map_or(bell, |r| r.min(bell))
+            .max(1);
+
+        // Per-partition carrier: a budget-skipped slot is `Ok(None)`, a
+        // caught panic is `Err((index, message))` so the reduction can
+        // pick the smallest-index failure deterministically.
+        type Carrier = Result<Option<Scored>, (usize, String)>;
+        let budget_ref = budget.as_ref();
+        let obs_ref = &obs;
+        let best: Carrier = self.parallelism.install(|| {
+            let _scan = obs_ref.span("partition_scan");
             partitions_iter(&attrs)
+                .take(limit as usize)
                 .enumerate()
                 .par_bridge()
-                .map(|(index, partition)| {
-                    self.observer.incr(Counter::PartitionsScanned, 1);
-                    let (score, result) = score_fn(&partition);
-                    Some(Scored {
-                        index,
-                        score,
-                        result,
-                        partition,
-                    })
+                .map(|(index, partition)| -> Carrier {
+                    // Cheap probe only (cancel + deadline): skipped slots
+                    // drop out of the reduction, never counted as scanned.
+                    if budget_ref.is_some_and(|b| b.interrupted().is_some()) {
+                        return Ok(None);
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        obs_ref.checkpoint("partition_scan/partition");
+                        obs_ref.incr(Counter::PartitionsScanned, 1);
+                        let (score, result) = score_fn(&partition, obs_ref);
+                        Scored {
+                            index,
+                            score,
+                            result,
+                            partition,
+                        }
+                    })) {
+                        Ok(scored) => Ok(Some(scored)),
+                        Err(payload) => {
+                            obs_ref.incr(Counter::WorkerPanics, 1);
+                            Err((index, panic_message(payload.as_ref())))
+                        }
+                    }
                 })
-                .reduce(|| None, better)
+                .reduce(|| Ok(None), combine)
         });
+        let best = match best {
+            Ok(best) => best,
+            Err((index, detail)) => {
+                return Err(AccuGenError::WorkerPanic {
+                    phase: format!("partition_scan/partition={index}"),
+                    detail,
+                })
+            }
+        };
 
-        let best = best.expect("at least one partition");
+        // Degradation accounting: a truncated stream means the partitions
+        // cap fired; evaluating fewer than the streamed prefix means the
+        // cancel/deadline probe skipped slots mid-flight.
+        let mut degradation = None;
+        let mut n_partitions = bell;
+        if let Some(b) = budget_ref {
+            let scanned = b.partitions_scanned();
+            n_partitions = scanned;
+            if limit < bell {
+                let cap = b.limits().max_partitions.expect("truncation implies a cap");
+                degradation = Some(b.degrade(DegradationReason::Partitions(cap), "partition_scan"));
+            } else if scanned < limit {
+                let reason = b.interrupted().unwrap_or(DegradationReason::Cancelled);
+                degradation = Some(b.degrade(reason, "partition_scan"));
+            }
+        }
+
+        let best = match best {
+            Some(best) => best,
+            None => {
+                // Every slot was skipped (e.g. a pre-cancelled token).
+                // Best-so-far must still be *something* sound: score the
+                // first partition of the enumeration — one bounded base
+                // run over the un-split attribute set.
+                let first = partitions_iter(&attrs).next().expect("n > 0");
+                let (score, result) = score_fn(&first, obs_ref);
+                n_partitions = 1;
+                Scored {
+                    index: 0,
+                    score,
+                    result,
+                    partition: first,
+                }
+            }
+        };
         Ok(AccuGenOutcome {
             result: best.result,
             partition: best.partition,
             score: best.score,
             n_partitions,
+            degradation,
             profile: self.profile_delta(baseline),
         })
     }
@@ -263,25 +383,55 @@ impl AccuGenPartition {
             return Err(AccuGenError::NoAttributes);
         }
         let baseline = self.observer.profile();
-        let _scan = self.observer.span("partition_scan");
+        let obs = self.effective_observer();
+        let budget = Budget::arm(&self.limits, &obs);
+        let _scan = obs.span("partition_scan");
+
+        // Panic-isolated evaluation of one candidate: a poisoned
+        // candidate fails the search with a typed error, never an abort.
+        let eval = |partition: &AttributePartition| -> Result<(f64, TruthResult), AccuGenError> {
+            catch_unwind(AssertUnwindSafe(|| {
+                obs.checkpoint("partition_scan/partition");
+                obs.incr(Counter::PartitionsScanned, 1);
+                self.evaluate_weighted(base, dataset, partition, weighting, &obs)
+            }))
+            .map_err(|payload| {
+                obs.incr(Counter::WorkerPanics, 1);
+                AccuGenError::WorkerPanic {
+                    phase: "partition_scan/greedy".to_string(),
+                    detail: panic_message(payload.as_ref()),
+                }
+            })
+        };
+
         let mut current =
             AttributePartition::new(attrs.iter().map(|&a| vec![a]).collect());
-        self.observer.incr(Counter::PartitionsScanned, 1);
-        let (mut score, mut result) =
-            self.evaluate_weighted(base, dataset, &current, weighting);
+        // The all-singletons start is always evaluated (the search needs
+        // at least one sound answer); the budget binds from there on.
+        let (mut score, mut result) = eval(&current)?;
         let mut evaluated = 1u64;
+        let mut degradation = None;
 
-        loop {
+        'search: loop {
             let groups = current.groups();
             let mut best: Option<(AttributePartition, f64, TruthResult)> = None;
             for i in 0..groups.len() {
                 for j in (i + 1)..groups.len() {
+                    // The greedy walk is sequential, so the full budget
+                    // probe (cancel, deadline, counter caps) is exact and
+                    // deterministic here; on exhaustion the current local
+                    // optimum is the best-so-far answer.
+                    if let Some(b) = &budget {
+                        if let Some(deg) = b.check("partition_scan") {
+                            degradation = Some(deg);
+                            break 'search;
+                        }
+                    }
                     let mut merged: Vec<Vec<_>> = groups.to_vec();
                     let g = merged.remove(j);
                     merged[i].extend(g);
                     let candidate = AttributePartition::new(merged);
-                    self.observer.incr(Counter::PartitionsScanned, 1);
-                    let (s, r) = self.evaluate_weighted(base, dataset, &candidate, weighting);
+                    let (s, r) = eval(&candidate)?;
                     evaluated += 1;
                     if s > score && best.as_ref().is_none_or(|(_, bs, _)| s > *bs) {
                         best = Some((candidate, s, r));
@@ -304,6 +454,7 @@ impl AccuGenPartition {
             partition: current,
             score,
             n_partitions: evaluated,
+            degradation,
             profile: self.profile_delta(baseline),
         })
     }
@@ -314,12 +465,13 @@ impl AccuGenPartition {
         dataset: &Dataset,
         partition: &AttributePartition,
         weighting: Weighting,
+        obs: &Observer,
     ) -> (f64, TruthResult) {
         let mut partials = Vec::with_capacity(partition.len());
         let mut group_scores = Vec::with_capacity(partition.len());
         for group in partition.groups() {
             let view = dataset.view_of(group);
-            let partial = base.discover_observed(&view, &self.observer);
+            let partial = base.discover_observed(&view, obs);
             // Only sources actually claiming inside the group carry
             // information about the partition's quality.
             let active: Vec<f64> = dataset
@@ -363,6 +515,22 @@ fn better(a: Option<Scored>, b: Option<Scored>) -> Option<Scored> {
     }
 }
 
+/// [`better`] lifted over the panic carrier: any caught panic outranks
+/// every success, and among panics the smallest enumeration index wins —
+/// both rules are order-insensitive, so the reported failure is the same
+/// at any thread count.
+#[allow(clippy::type_complexity)]
+fn combine(
+    a: Result<Option<Scored>, (usize, String)>,
+    b: Result<Option<Scored>, (usize, String)>,
+) -> Result<Option<Scored>, (usize, String)> {
+    match (a, b) {
+        (Err(a), Err(b)) => Err(if a.0 <= b.0 { a } else { b }),
+        (Err(e), Ok(_)) | (Ok(_), Err(e)) => Err(e),
+        (Ok(a), Ok(b)) => Ok(better(a, b)),
+    }
+}
+
 /// Runs `base` once per group of `partition` and merges the results —
 /// the shared replay primitive behind every AccuGen entry point and the
 /// differential oracles in td-verify. This is the *low-level* building
@@ -385,18 +553,6 @@ pub fn run_partition(
         .map(|group| base.discover_observed(&dataset.view_of(group), observer))
         .collect();
     TruthResult::merge_all(&partials)
-}
-
-/// Deprecated alias of [`run_partition`], kept for one release while
-/// callers migrate to the unified entry point.
-#[deprecated(note = "merged into `run_partition(base, dataset, partition, observer)`")]
-pub fn run_partition_observed(
-    base: &dyn TruthDiscovery,
-    dataset: &Dataset,
-    partition: &AttributePartition,
-    observer: &Observer,
-) -> TruthResult {
-    run_partition(base, dataset, partition, observer)
 }
 
 #[cfg(test)]
@@ -541,5 +697,141 @@ mod tests {
         let (d, _, planted) = dataset();
         let r = run_partition(&MajorityVote, &d, &planted, &Observer::disabled());
         assert_eq!(r.len(), d.n_cells());
+    }
+
+    #[test]
+    fn partition_cap_truncates_deterministically() {
+        // Bell(4) = 15; a cap of 5 scans exactly the first 5 partitions
+        // of the enumeration order, at any thread count.
+        let (d, _, _) = dataset();
+        let run = |parallelism| {
+            AccuGenPartition {
+                parallelism,
+                limits: ExecutionLimits::none().with_max_partitions(5),
+                ..Default::default()
+            }
+            .run(&MajorityVote, &d, Weighting::Avg)
+            .unwrap()
+        };
+        let seq = run(crate::config::Parallelism::Threads(1));
+        let par = run(crate::config::Parallelism::Auto);
+        for out in [&seq, &par] {
+            assert_eq!(out.n_partitions, 5);
+            let deg = out.degradation.as_ref().expect("truncated scan is flagged");
+            assert_eq!(deg.reason, DegradationReason::Partitions(5));
+            assert_eq!(deg.phase, "partition_scan");
+            assert_eq!(deg.work.partitions_scanned, 5);
+        }
+        assert_eq!(seq.partition, par.partition);
+        assert_eq!(seq.score.to_bits(), par.score.to_bits());
+    }
+
+    #[test]
+    fn generous_partition_cap_changes_nothing() {
+        let (d, _, _) = dataset();
+        let plain = AccuGenPartition::default().run(&MajorityVote, &d, Weighting::Avg).unwrap();
+        let capped = AccuGenPartition {
+            limits: ExecutionLimits::none().with_max_partitions(15),
+            ..Default::default()
+        }
+        .run(&MajorityVote, &d, Weighting::Avg)
+        .unwrap();
+        assert!(capped.degradation.is_none(), "the full scan fits the cap");
+        assert_eq!(capped.n_partitions, 15);
+        assert_eq!(capped.partition, plain.partition);
+        assert_eq!(capped.score.to_bits(), plain.score.to_bits());
+    }
+
+    #[test]
+    fn pre_cancelled_scan_still_returns_a_sound_result() {
+        let (d, _, _) = dataset();
+        let token = td_obs::CancelToken::new();
+        token.cancel();
+        let out = AccuGenPartition {
+            limits: ExecutionLimits::none().with_cancel(token),
+            ..Default::default()
+        }
+        .run(&MajorityVote, &d, Weighting::Avg)
+        .unwrap();
+        let deg = out.degradation.as_ref().expect("cancelled scan is flagged");
+        assert_eq!(deg.reason, DegradationReason::Cancelled);
+        assert_eq!(out.n_partitions, 1, "only the fallback evaluation ran");
+        assert_eq!(out.result.len(), d.n_cells());
+        assert_eq!(out.partition.len(), 1, "first RGS partition: one group");
+    }
+
+    #[test]
+    fn greedy_respects_the_partition_budget() {
+        let (d, _, _) = dataset();
+        let out = AccuGenPartition {
+            limits: ExecutionLimits::none().with_max_partitions(3),
+            ..Default::default()
+        }
+        .run_greedy(&MajorityVote, &d, Weighting::Avg)
+        .unwrap();
+        assert!(out.n_partitions <= 3, "scanned {} > cap", out.n_partitions);
+        let deg = out.degradation.as_ref().expect("capped greedy walk is flagged");
+        assert_eq!(deg.reason, DegradationReason::Partitions(3));
+        assert!(deg.work.partitions_scanned <= 3);
+        assert_eq!(out.result.len(), d.n_cells());
+    }
+
+    /// A base algorithm that panics on two-group partitions' *second*
+    /// group-like views — actually simplest: panic on every view with
+    /// exactly 3 attributes, which several partitions produce.
+    struct PanicsOnTriples;
+
+    impl TruthDiscovery for PanicsOnTriples {
+        fn name(&self) -> &'static str {
+            "PanicsOnTriples"
+        }
+
+        fn discover(&self, view: &td_model::DatasetView<'_>) -> TruthResult {
+            assert_ne!(view.attributes().len(), 3, "injected scorer failure");
+            MajorityVote.discover(view)
+        }
+    }
+
+    #[test]
+    fn scan_worker_panic_is_typed_and_names_the_smallest_index() {
+        let (d, _, _) = dataset();
+        for parallelism in [
+            crate::config::Parallelism::Threads(1),
+            crate::config::Parallelism::Auto,
+        ] {
+            let err = AccuGenPartition {
+                parallelism,
+                ..Default::default()
+            }
+            .run(&PanicsOnTriples, &d, Weighting::Avg)
+            .unwrap_err();
+            let AccuGenError::WorkerPanic { phase, detail } = err else {
+                panic!("expected WorkerPanic, got {err:?}");
+            };
+            // Partition index 1 ({a0,a1,a2},{b1}) is the first in RGS
+            // order with a 3-attribute group; the reduction must report
+            // it whatever order workers finish in.
+            assert_eq!(phase, "partition_scan/partition=1");
+            assert!(detail.contains("injected scorer failure"), "{detail}");
+        }
+    }
+
+    #[test]
+    fn greedy_panic_is_typed_too() {
+        struct AlwaysPanics;
+        impl TruthDiscovery for AlwaysPanics {
+            fn name(&self) -> &'static str {
+                "AlwaysPanics"
+            }
+            fn discover(&self, _view: &td_model::DatasetView<'_>) -> TruthResult {
+                panic!("poisoned greedy step")
+            }
+        }
+        let (d, _, _) = dataset();
+        let err = AccuGenPartition::default()
+            .run_greedy(&AlwaysPanics, &d, Weighting::Avg)
+            .unwrap_err();
+        assert!(matches!(err, AccuGenError::WorkerPanic { .. }), "{err:?}");
+        assert!(err.to_string().contains("poisoned greedy step"));
     }
 }

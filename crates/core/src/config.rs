@@ -2,7 +2,7 @@
 
 use clustering::{Cosine, Euclidean, Hamming, KernelPolicy, Linkage, Metric};
 use serde::{Deserialize, Serialize};
-use td_obs::Observer;
+use td_obs::{ExecutionLimits, Observer};
 
 use crate::tdac::TdacError;
 
@@ -142,6 +142,17 @@ pub struct TdacConfig {
     /// `Default`.
     #[serde(default)]
     pub kernel: KernelPolicy,
+    /// Execution budgets and cooperative cancellation for every run of
+    /// this config: wall-clock deadline, distance-evaluation / fixpoint
+    /// / partition caps, and an optional [`td_obs::CancelToken`]. The
+    /// default is unlimited (no budget machinery is armed at all). On
+    /// exhaustion the run returns its best-so-far outcome flagged with a
+    /// [`td_obs::Degradation`] record — see `docs/ROBUSTNESS.md`. Absent
+    /// in configs serialized before limits existed, so it deserializes
+    /// via `Default` (unlimited); the cancel token itself is never
+    /// serialized.
+    #[serde(default)]
+    pub limits: ExecutionLimits,
     /// Instrumentation handle. The default is disabled (near-zero
     /// overhead); clone an [`Observer::enabled`] handle in to collect
     /// per-phase timings and work-unit counters on the outcome's
@@ -165,6 +176,7 @@ impl Default for TdacConfig {
             missing_aware: false,
             parallelism: Parallelism::default(),
             kernel: KernelPolicy::default(),
+            limits: ExecutionLimits::default(),
             observer: Observer::disabled(),
         }
     }
@@ -260,12 +272,20 @@ impl TdacConfigBuilder {
         self
     }
 
+    /// Execution budgets + cancellation (see
+    /// [`TdacConfig::limits`]); validated by `build()`.
+    pub fn limits(mut self, limits: ExecutionLimits) -> Self {
+        self.config.limits = limits;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
     /// [`TdacError::InvalidConfig`] when `k_min < 2` (a 1-cluster
     /// "partition" defeats Algorithm 1), `k_max < k_min` (empty sweep),
-    /// or `n_init == 0` (no k-means restart would run).
+    /// `n_init == 0` (no k-means restart would run), or any execution
+    /// limit is a zero budget.
     pub fn build(self) -> Result<TdacConfig, TdacError> {
         let c = &self.config;
         if c.k_min < 2 {
@@ -287,6 +307,16 @@ impl TdacConfigBuilder {
                 "n_init must be at least 1".to_string(),
             ));
         }
+        if let Some(floor) = c.min_silhouette {
+            // A NaN floor would make `silhouette <= floor` always false
+            // and silently disable the fallback it was meant to arm.
+            if !floor.is_finite() {
+                return Err(TdacError::InvalidConfig(format!(
+                    "min_silhouette must be finite, got {floor}"
+                )));
+            }
+        }
+        c.limits.validate().map_err(TdacError::InvalidConfig)?;
         Ok(self.config)
     }
 }
@@ -354,6 +384,8 @@ mod tests {
         assert_eq!(built.parallelism, plain.parallelism);
         assert_eq!(built.kernel, plain.kernel);
         assert_eq!(built.kernel, KernelPolicy::Auto);
+        assert_eq!(built.limits, plain.limits);
+        assert!(!built.limits.is_active());
         assert!(!built.observer.is_enabled());
     }
 
@@ -371,6 +403,7 @@ mod tests {
             .missing_aware(true)
             .parallelism(Parallelism::Threads(2))
             .kernel(KernelPolicy::Dense)
+            .limits(ExecutionLimits::none().with_max_distance_evals(1_000))
             .observer(obs)
             .build()
             .unwrap();
@@ -384,6 +417,8 @@ mod tests {
         assert!(c.missing_aware);
         assert_eq!(c.parallelism, Parallelism::Threads(2));
         assert_eq!(c.kernel, KernelPolicy::Dense);
+        assert_eq!(c.limits.max_distance_evals, Some(1_000));
+        assert!(c.limits.is_active());
         assert!(c.observer.is_enabled());
     }
 
@@ -394,6 +429,8 @@ mod tests {
             (TdacConfig::builder().k_min(0), "k_min"),
             (TdacConfig::builder().k_min(4).k_max(3), "k_max"),
             (TdacConfig::builder().n_init(0), "n_init"),
+            (TdacConfig::builder().min_silhouette(f64::NAN), "min_silhouette"),
+            (TdacConfig::builder().min_silhouette(f64::INFINITY), "min_silhouette"),
         ] {
             let err = builder.build().unwrap_err();
             match &err {
@@ -405,6 +442,48 @@ mod tests {
         }
         // The k_max check only fires against the configured k_min.
         assert!(TdacConfig::builder().k_min(3).k_max(3).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_budgets() {
+        for limits in [
+            ExecutionLimits { deadline_ms: Some(0), ..Default::default() },
+            ExecutionLimits { max_distance_evals: Some(0), ..Default::default() },
+            ExecutionLimits { max_fixpoint_iterations: Some(0), ..Default::default() },
+            ExecutionLimits { max_partitions: Some(0), ..Default::default() },
+        ] {
+            let err = TdacConfig::builder().limits(limits).build().unwrap_err();
+            match &err {
+                TdacError::InvalidConfig(msg) => {
+                    assert!(msg.contains("limits."), "{err} should name the limit field")
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+        // Real budgets pass, and so does an attached cancel token.
+        assert!(TdacConfig::builder()
+            .limits(
+                ExecutionLimits::none()
+                    .with_max_partitions(10)
+                    .with_cancel(td_obs::CancelToken::new())
+            )
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn legacy_config_json_deserializes_unlimited() {
+        // Configs serialized before the limits field existed still load.
+        let json = serde_json::to_string(&TdacConfig::default()).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let serde_json::Value::Object(map) = value else {
+            panic!("config serializes as an object")
+        };
+        assert!(map.contains_key("limits"));
+        let stripped: serde_json::Map = map.into_iter().filter(|(k, _)| k != "limits").collect();
+        let back: TdacConfig =
+            serde_json::from_value(&serde_json::Value::Object(stripped)).unwrap();
+        assert!(!back.limits.is_active());
     }
 
     #[test]

@@ -28,6 +28,16 @@ pub enum TdError {
     /// A data-model error (conflicting claims, unknown entities, parse
     /// failures).
     Model(ModelError),
+    /// A worker panicked inside a parallel phase; the panic was caught
+    /// at the task boundary (the process never aborts) and converted
+    /// into this typed error naming where it happened.
+    WorkerPanic {
+        /// The phase (span-path vocabulary) whose worker panicked, e.g.
+        /// `k_sweep/k=3`, `per_group_run/group=0`, `partition_scan`.
+        phase: String,
+        /// The panic message, when it carried one.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TdError {
@@ -37,6 +47,9 @@ impl fmt::Display for TdError {
             TdError::AccuGen(e) => write!(f, "accugen: {e}"),
             TdError::Cluster(e) => write!(f, "clustering: {e}"),
             TdError::Model(e) => write!(f, "model: {e}"),
+            TdError::WorkerPanic { phase, detail } => {
+                write!(f, "worker panic in phase `{phase}`: {detail}")
+            }
         }
     }
 }
@@ -48,19 +61,31 @@ impl Error for TdError {
             TdError::AccuGen(e) => Some(e),
             TdError::Cluster(e) => Some(e),
             TdError::Model(e) => Some(e),
+            TdError::WorkerPanic { .. } => None,
         }
     }
 }
 
 impl From<TdacError> for TdError {
+    /// Lossless for every variant except `WorkerPanic`, which is hoisted
+    /// to [`TdError::WorkerPanic`] so callers match one variant no
+    /// matter which layer caught the panic.
     fn from(e: TdacError) -> Self {
-        TdError::Tdac(e)
+        match e {
+            TdacError::WorkerPanic { phase, detail } => TdError::WorkerPanic { phase, detail },
+            other => TdError::Tdac(other),
+        }
     }
 }
 
 impl From<AccuGenError> for TdError {
+    /// Lossless for every variant except `WorkerPanic` (hoisted, as for
+    /// [`TdacError`]).
     fn from(e: AccuGenError) -> Self {
-        TdError::AccuGen(e)
+        match e {
+            AccuGenError::WorkerPanic { phase, detail } => TdError::WorkerPanic { phase, detail },
+            other => TdError::AccuGen(other),
+        }
     }
 }
 
@@ -93,6 +118,30 @@ mod tests {
 
         let e: TdError = ModelError::Parse("bad row".into()).into();
         assert_eq!(e, TdError::Model(ModelError::Parse("bad row".into())));
+    }
+
+    #[test]
+    fn worker_panics_hoist_to_the_top_level_variant() {
+        // A panic caught in either layer surfaces as the same TdError
+        // variant — callers never match on which crate caught it.
+        let expect = TdError::WorkerPanic {
+            phase: "k_sweep/k=3".into(),
+            detail: "boom".into(),
+        };
+        let from_tdac: TdError = TdacError::WorkerPanic {
+            phase: "k_sweep/k=3".into(),
+            detail: "boom".into(),
+        }
+        .into();
+        let from_accugen: TdError = AccuGenError::WorkerPanic {
+            phase: "k_sweep/k=3".into(),
+            detail: "boom".into(),
+        }
+        .into();
+        assert_eq!(from_tdac, expect);
+        assert_eq!(from_accugen, expect);
+        assert!(expect.to_string().contains("k_sweep/k=3"));
+        assert!(expect.source().is_none());
     }
 
     #[test]

@@ -79,8 +79,6 @@ pub mod truth_vectors;
 pub use accugen::{
     run_partition, AccuGenError, AccuGenOutcome, AccuGenPartition, Weighting,
 };
-#[allow(deprecated)]
-pub use accugen::run_partition_observed;
 pub use config::{
     ClusterMethod, MetricKind, Parallelism, TdacConfig, TdacConfigBuilder,
 };
@@ -93,13 +91,15 @@ pub use truth_vectors::{
     truth_vector_matrix, truth_vector_set, truth_vector_set_from_result,
     truth_vectors_from_result, TruthVectors,
 };
-#[allow(deprecated)]
-pub use truth_vectors::truth_vector_matrix_observed;
 
 // Re-export the representation-aware distance vocabulary so downstream
 // crates can pick kernels without a direct clustering dependency.
 pub use clustering::{BitMatrix, DistanceOptions, KernelPolicy, Rows};
 
-// Re-export the observability vocabulary so downstream crates can enable
-// profiling without a direct td-obs dependency.
-pub use td_obs::{Counter, Observer, RunProfile};
+// Re-export the observability + execution-limits vocabulary so
+// downstream crates can enable profiling and budgets without a direct
+// td-obs dependency.
+pub use td_obs::{
+    CancelToken, Counter, Degradation, DegradationReason, ExecutionLimits, Observer, PhaseHook,
+    RunProfile, WorkCompleted,
+};

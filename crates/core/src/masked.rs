@@ -54,17 +54,6 @@ impl MaskedTruthVectors {
         (this, reference)
     }
 
-    /// Deprecated alias of [`MaskedTruthVectors::build`], kept for one
-    /// release while callers migrate to the unified entry point.
-    #[deprecated(note = "merged into `MaskedTruthVectors::build(base, view, observer)`")]
-    pub fn build_observed(
-        base: &dyn TruthDiscovery,
-        view: &DatasetView<'_>,
-        observer: &td_obs::Observer,
-    ) -> (Self, TruthResult) {
-        Self::build(base, view, observer)
-    }
-
     /// Builds against an existing reference truth.
     pub fn from_result(view: &DatasetView<'_>, reference: &TruthResult) -> Self {
         let dataset = view.dataset();
@@ -165,13 +154,6 @@ impl MaskedTruthVectors {
     /// [`DistanceOptions`] (kernel policy + observer).
     pub fn distance_matrix_with(&self, opts: &DistanceOptions) -> Vec<f64> {
         self.distance_matrix_impl(opts.kernel, &opts.observer)
-    }
-
-    /// Deprecated alias of [`MaskedTruthVectors::distance_matrix`], kept
-    /// for one release while callers migrate to the unified entry point.
-    #[deprecated(note = "merged into `MaskedTruthVectors::distance_matrix(observer)`")]
-    pub fn distance_matrix_observed(&self, observer: &td_obs::Observer) -> Vec<f64> {
-        self.distance_matrix(observer)
     }
 
     fn distance_matrix_impl(&self, kernel: KernelPolicy, observer: &td_obs::Observer) -> Vec<f64> {

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use clustering::{
     silhouette_paper_dist, Agglomerative, ClusterError, DistanceOptions, KMeans, KMeansConfig,
@@ -11,7 +12,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use td_algorithms::{TruthDiscovery, TruthResult};
 use td_model::{Dataset, DatasetView};
-use td_obs::{Counter, RunProfile};
+use td_obs::{panic_message, Budget, Counter, Degradation, DegradationReason, Observer, RunProfile};
 
 use crate::config::{ClusterMethod, TdacConfig};
 use crate::masked::MaskedTruthVectors;
@@ -28,6 +29,17 @@ pub enum TdacError {
     /// [`crate::config::TdacConfigBuilder::build`] rejected the
     /// configuration; the message says which constraint failed.
     InvalidConfig(String),
+    /// A worker (or the pipeline itself) panicked; the panic was caught
+    /// at a task boundary and converted into this error instead of
+    /// aborting the process. `phase` names where (span-path
+    /// vocabulary), `detail` carries the panic message.
+    WorkerPanic {
+        /// Phase whose worker panicked (`k_sweep/k=3`,
+        /// `per_group_run/group=0`, or `pipeline` for sequential code).
+        phase: String,
+        /// The panic message, when it carried one.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TdacError {
@@ -36,6 +48,9 @@ impl fmt::Display for TdacError {
             TdacError::NoAttributes => write!(f, "dataset view has no attributes"),
             TdacError::Cluster(e) => write!(f, "clustering failed: {e}"),
             TdacError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TdacError::WorkerPanic { phase, detail } => {
+                write!(f, "worker panic in phase `{phase}`: {detail}")
+            }
         }
     }
 }
@@ -60,9 +75,16 @@ pub struct TdacOutcome {
     /// Every `(k, silhouette)` evaluated during the sweep.
     pub k_scores: Vec<(usize, f64)>,
     /// `true` when TD-AC fell back to the un-partitioned base run
-    /// (fewer than 3 attributes, or silhouette below the configured
-    /// floor).
+    /// (fewer than 3 attributes, silhouette below the configured floor,
+    /// or a budget exhausted before any partition was selected).
     pub fallback: bool,
+    /// `Some` when an execution budget was exhausted (or the run was
+    /// cancelled) and the outcome is *best-so-far* rather than complete:
+    /// the record names the reason, the phase that detected it, and the
+    /// work completed. `None` on complete runs — including every run of
+    /// an unlimited config, which never arms the budget machinery.
+    #[serde(default)]
+    pub degradation: Option<Degradation>,
     /// Per-phase timings and work-unit counters recorded during this
     /// run, when the config carries an enabled
     /// [`td_obs::Observer`]; `None` with the default (disabled) handle.
@@ -115,12 +137,38 @@ impl Tdac {
         base: &(dyn TruthDiscovery + Sync),
         view: &DatasetView<'_>,
     ) -> Result<TdacOutcome, TdacError> {
-        let baseline = self.config.observer.profile();
-        let mut outcome = self
-            .config
-            .parallelism
-            .install(|| self.run_view_inner(base, view))?;
-        outcome.profile = self.config.observer.profile().map(|p| match &baseline {
+        let user_obs = &self.config.observer;
+        let baseline = user_obs.profile();
+        // Counter-based budgets are metered on observer counters, so an
+        // active limit with a disabled user observer runs against a
+        // private enabled handle — the user's profile (and the
+        // observation-neutrality contract) is untouched.
+        let obs = if self.config.limits.is_active() && !user_obs.is_enabled() {
+            Observer::enabled()
+        } else {
+            user_obs.clone()
+        };
+        // Belt-and-braces panic isolation: per-worker boundaries inside
+        // convert parallel panics precisely; this top-level catch covers
+        // the sequential spine so *no* panic anywhere in the pipeline
+        // can cross the public entry point.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            self.config.parallelism.install(|| {
+                let budget = Budget::arm(&self.config.limits, &obs);
+                self.run_view_inner(base, view, &obs, budget.as_ref())
+            })
+        }));
+        let mut outcome = match caught {
+            Ok(result) => result?,
+            Err(payload) => {
+                obs.incr(Counter::WorkerPanics, 1);
+                return Err(TdacError::WorkerPanic {
+                    phase: "pipeline".to_string(),
+                    detail: panic_message(payload.as_ref()),
+                });
+            }
+        };
+        outcome.profile = user_obs.profile().map(|p| match &baseline {
             Some(b) => p.delta_since(b),
             None => p,
         });
@@ -131,6 +179,8 @@ impl Tdac {
         &self,
         base: &(dyn TruthDiscovery + Sync),
         view: &DatasetView<'_>,
+        obs: &Observer,
+        budget: Option<&Budget>,
     ) -> Result<TdacOutcome, TdacError> {
         let attrs = view.attributes().to_vec();
         let n = attrs.len();
@@ -143,7 +193,7 @@ impl Tdac {
         // unpartitioned.
         let k_hi = self.config.k_max.unwrap_or(n.saturating_sub(1)).min(n.saturating_sub(1));
         if n < 3 || self.config.k_min > k_hi {
-            return Ok(self.fallback(base, view, Vec::new()));
+            return Ok(self.fallback(base, view, Vec::new(), obs, None));
         }
 
         // Step 2 + 3: attribute truth vectors from the base algorithm's
@@ -156,7 +206,14 @@ impl Tdac {
         // `>` keeps the smallest k on ties, like Algorithm 1's
         // comparison), so the outcome matches the sequential sweep
         // bit-for-bit.
-        let obs = &self.config.observer;
+        //
+        // Budget probes sit at the *sequential* boundaries between
+        // phases (deterministic counter values at any thread count);
+        // inside the parallel sweep only the cheap cancel/deadline probe
+        // runs, skipping not-yet-started k values. Every degraded exit
+        // reuses the already-computed reference result as the
+        // best-so-far answer instead of starting new work.
+        //
         // One options value drives every distance-matrix build of the
         // run: the configured kernel policy plus the run's observer.
         let dist_opts = DistanceOptions::builder()
@@ -164,41 +221,56 @@ impl Tdac {
             .observer(obs.clone())
             .build();
         let ks: Vec<usize> = (self.config.k_min..=k_hi).collect();
-        let evals: Vec<Result<(Vec<usize>, f64), ClusterError>> = if self.config.missing_aware {
+        let pairs = (n * (n - 1) / 2) as u64;
+        type Eval = Result<Option<(Vec<usize>, f64)>, TdacError>;
+        let (reference, evals): (TruthResult, Vec<Eval>) = if self.config.missing_aware {
             // Future-work variant: masked distances + PAM (k-means has no
             // feature-space form for the masked metric).
-            let (masked, _reference) = {
+            let (masked, reference) = {
                 let _s = obs.span("truth_vectors");
                 MaskedTruthVectors::build(base, view, obs)
             };
+            if let Some(deg) = self.exhausted(budget, "truth_vectors", pairs) {
+                return Ok(self.degraded(reference, view, Vec::new(), deg, obs));
+            }
             let dist = {
                 let _s = obs.span("distance_matrix");
                 obs.incr(Counter::DistCacheMisses, 1);
                 masked.distance_matrix_with(&dist_opts)
             };
             let _sweep = obs.span("k_sweep");
-            ks.par_iter()
+            let evals = ks
+                .par_iter()
                 .map(|&k| {
-                    let _sk = obs.span_with(|| format!("k_sweep/k={k}"));
-                    obs.incr(Counter::DistCacheHits, 1);
-                    let assignments = {
-                        let _c = obs.span("cluster");
-                        Pam::new(PamConfig {
-                            seed: self.config.seed,
-                            ..PamConfig::with_k(k)
-                        })
-                        .fit_from_distances_observed(&dist, n, obs)?
-                        .assignments
-                    };
-                    let sil = silhouette_paper_dist(&dist, n, &assignments);
-                    Ok((assignments, sil))
+                    if budget.is_some_and(|b| b.interrupted().is_some()) {
+                        return Ok(None); // skipped, not failed
+                    }
+                    self.isolate_k(k, obs, || {
+                        let _sk = obs.span_with(|| format!("k_sweep/k={k}"));
+                        obs.incr(Counter::DistCacheHits, 1);
+                        let assignments = {
+                            let _c = obs.span("cluster");
+                            Pam::new(PamConfig {
+                                seed: self.config.seed,
+                                ..PamConfig::with_k(k)
+                            })
+                            .fit_from_distances_observed(&dist, n, obs)?
+                            .assignments
+                        };
+                        let sil = silhouette_paper_dist(&dist, n, &assignments);
+                        Ok((assignments, sil))
+                    })
                 })
-                .collect()
+                .collect();
+            (reference, evals)
         } else {
-            let (vectors, _reference) = {
+            let (vectors, reference) = {
                 let _s = obs.span("truth_vectors");
                 truth_vector_set(base, view, obs)
             };
+            if let Some(deg) = self.exhausted(budget, "truth_vectors", pairs) {
+                return Ok(self.degraded(reference, view, Vec::new(), deg, obs));
+            }
             let dist = {
                 let _s = obs.span("distance_matrix");
                 obs.incr(Counter::DistCacheMisses, 1);
@@ -208,52 +280,163 @@ impl Tdac {
                 dist_opts.pairwise(vectors.rows(), self.config.metric.as_metric())
             };
             let _sweep = obs.span("k_sweep");
-            ks.par_iter()
+            let evals = ks
+                .par_iter()
                 .map(|&k| {
-                    let _sk = obs.span_with(|| format!("k_sweep/k={k}"));
-                    obs.incr(Counter::DistCacheHits, 1);
-                    let assignments = {
-                        let _c = obs.span("cluster");
-                        self.cluster_cached(&vectors.dense, &dist, k)?
-                    };
-                    let sil = silhouette_paper_dist(&dist, n, &assignments);
-                    Ok((assignments, sil))
+                    if budget.is_some_and(|b| b.interrupted().is_some()) {
+                        return Ok(None); // skipped, not failed
+                    }
+                    self.isolate_k(k, obs, || {
+                        let _sk = obs.span_with(|| format!("k_sweep/k={k}"));
+                        obs.incr(Counter::DistCacheHits, 1);
+                        let assignments = {
+                            let _c = obs.span("cluster");
+                            self.cluster_cached(&vectors.dense, &dist, k, obs)?
+                        };
+                        let sil = silhouette_paper_dist(&dist, n, &assignments);
+                        Ok((assignments, sil))
+                    })
                 })
-                .collect()
+                .collect();
+            (reference, evals)
         };
 
         let mut best: Option<(f64, Vec<usize>, usize)> = None;
         let mut k_scores = Vec::with_capacity(ks.len());
         for (&k, eval) in ks.iter().zip(evals) {
-            let (assignments, sil) = eval?;
+            // The first error in k order wins, matching the sequential
+            // sweep; skipped (budget-interrupted) entries simply drop out.
+            let Some((assignments, sil)) = eval? else { continue };
             k_scores.push((k, sil));
             if best.as_ref().is_none_or(|(b, _, _)| sil > *b) {
                 best = Some((sil, assignments, k));
             }
         }
-        let (silhouette, assignments, _k) = best.expect("non-empty sweep");
+
+        // Skipped k values mean the budget interrupted the sweep: flag
+        // the run degraded, and keep the best among the evaluated ones
+        // (none at all ⇒ the reference result is the best-so-far).
+        let sweep_degradation = if k_scores.len() < ks.len() {
+            let b = budget.expect("k values are only skipped under a budget");
+            let reason = b.interrupted().unwrap_or(DegradationReason::Cancelled);
+            Some(b.degrade(reason, "k_sweep"))
+        } else {
+            None
+        };
+        let Some((silhouette, assignments, _k)) = best else {
+            let deg = sweep_degradation.expect("an empty sweep implies skips");
+            return Ok(self.degraded(reference, view, k_scores, deg, obs));
+        };
+        if let Some(deg) = sweep_degradation {
+            if deg.reason == DegradationReason::Cancelled {
+                // Cancellation means "stop as soon as possible": don't
+                // start the per-group phase, return the reference.
+                return Ok(self.degraded(reference, view, k_scores, deg, obs));
+            }
+            // Deadline overshoot: the best-so-far k is worth the
+            // (bounded) per-group replay — the outcome stays flagged.
+            return self.finish(base, view, &attrs, assignments, silhouette, k_scores, obs, Some(deg));
+        }
 
         if let Some(floor) = self.config.min_silhouette {
             if silhouette <= floor {
-                return Ok(self.fallback(base, view, k_scores));
+                return Ok(self.fallback(base, view, k_scores, obs, None));
             }
         }
 
-        let partition = AttributePartition::from_assignments(&attrs, &assignments);
+        // The per-group phase consumes fixpoint iterations; refuse to
+        // start it on an exhausted budget (the phase itself is atomic —
+        // a partial merge would be silently wrong, the one thing a
+        // degraded outcome must never be).
+        if let Some(b) = budget {
+            if let Some(deg) = b.check("per_group_run") {
+                return Ok(self.degraded(reference, view, k_scores, deg, obs));
+            }
+        }
+        self.finish(base, view, &attrs, assignments, silhouette, k_scores, obs, None)
+    }
+
+    /// Runs one per-k sweep body under panic isolation: a panicking
+    /// worker (clusterer bug, poisoned data) surfaces as
+    /// [`TdacError::WorkerPanic`] naming the k, never an abort.
+    fn isolate_k(
+        &self,
+        k: usize,
+        obs: &Observer,
+        body: impl FnOnce() -> Result<(Vec<usize>, f64), ClusterError>,
+    ) -> Result<Option<(Vec<usize>, f64)>, TdacError> {
+        match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(Ok(eval)) => Ok(Some(eval)),
+            Ok(Err(e)) => Err(TdacError::Cluster(e)),
+            Err(payload) => {
+                obs.incr(Counter::WorkerPanics, 1);
+                Err(TdacError::WorkerPanic {
+                    phase: format!("k_sweep/k={k}"),
+                    detail: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    /// Budget probe between the reference run and the distance-matrix
+    /// build: full boundary check first, then the distance precharge
+    /// (the build is all-or-nothing, so a cap it cannot fit under
+    /// degrades *before* the work starts).
+    fn exhausted(&self, budget: Option<&Budget>, phase: &str, pairs: u64) -> Option<Degradation> {
+        let b = budget?;
+        b.check(phase)
+            .or_else(|| b.precharge_distance_evals(pairs, "distance_matrix"))
+    }
+
+    /// Step 4 + 5: per-group base runs (parallel, panic-isolated) and
+    /// the symmetric merge.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        view: &DatasetView<'_>,
+        attrs: &[td_model::AttributeId],
+        assignments: Vec<usize>,
+        silhouette: f64,
+        k_scores: Vec<(usize, f64)>,
+        obs: &Observer,
+        degradation: Option<Degradation>,
+    ) -> Result<TdacOutcome, TdacError> {
+        let partition = AttributePartition::from_assignments(attrs, &assignments);
 
         // Step 4: base truth discovery per group (the paper's future-work
         // perspective (ii)), in parallel; partials are collected in group
         // order and merged symmetrically (union of predictions,
-        // element-wise mean trust).
+        // element-wise mean trust). Each group runs under panic
+        // isolation: one poisoned group fails the run cleanly with a
+        // typed error naming the group — the process never aborts, and
+        // no partial merge is ever returned.
         let dataset = view.dataset();
-        let partials: Vec<TruthResult> = {
+        let groups = partition.groups();
+        let isolated: Vec<Result<TruthResult, TdacError>> = {
             let _s = obs.span("per_group_run");
-            partition
-                .groups()
-                .par_iter()
-                .map(|group| base.discover_observed(&dataset.view_of(group), obs))
+            (0..groups.len())
+                .into_par_iter()
+                .map(|gi| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let _g = obs.span_with(|| format!("per_group_run/group={gi}"));
+                        base.discover_observed(&dataset.view_of(&groups[gi]), obs)
+                    }))
+                    .map_err(|payload| {
+                        obs.incr(Counter::WorkerPanics, 1);
+                        TdacError::WorkerPanic {
+                            phase: format!("per_group_run/group={gi}"),
+                            detail: panic_message(payload.as_ref()),
+                        }
+                    })
+                })
                 .collect()
         };
+        let mut partials = Vec::with_capacity(isolated.len());
+        for partial in isolated {
+            // First panic in group order wins, deterministically.
+            partials.push(partial?);
+        }
         let mut result = {
             let _s = obs.span("merge");
             TruthResult::merge_all(&partials)
@@ -267,6 +450,7 @@ impl Tdac {
             silhouette,
             k_scores,
             fallback: false,
+            degradation,
             profile: None,
         })
     }
@@ -276,8 +460,9 @@ impl Tdac {
         base: &dyn TruthDiscovery,
         view: &DatasetView<'_>,
         k_scores: Vec<(usize, f64)>,
+        obs: &Observer,
+        degradation: Option<Degradation>,
     ) -> TdacOutcome {
-        let obs = &self.config.observer;
         let mut result = {
             let _s = obs.span("per_group_run");
             base.discover_observed(view, obs)
@@ -289,6 +474,32 @@ impl Tdac {
             silhouette: 0.0,
             k_scores,
             fallback: true,
+            degradation,
+            profile: None,
+        }
+    }
+
+    /// Best-so-far outcome for a budget-exhausted run: the reference
+    /// result (already computed — no new work starts on an exhausted
+    /// budget) under the un-partitioned whole, flagged with the
+    /// degradation record.
+    fn degraded(
+        &self,
+        reference: TruthResult,
+        view: &DatasetView<'_>,
+        k_scores: Vec<(usize, f64)>,
+        degradation: Degradation,
+        _obs: &Observer,
+    ) -> TdacOutcome {
+        let mut result = reference;
+        result.iterations = 1;
+        TdacOutcome {
+            result,
+            partition: AttributePartition::whole(view.attributes()),
+            silhouette: 0.0,
+            k_scores,
+            fallback: true,
+            degradation: Some(degradation),
             profile: None,
         }
     }
@@ -303,8 +514,8 @@ impl Tdac {
         data: &Matrix,
         dist: &[f64],
         k: usize,
+        obs: &Observer,
     ) -> Result<Vec<usize>, ClusterError> {
-        let obs = &self.config.observer;
         match self.config.method {
             ClusterMethod::KMeans => {
                 let cfg = KMeansConfig {
@@ -725,5 +936,239 @@ mod tests {
             .unwrap();
         assert_eq!(out.partition.n_attributes(), 4);
         assert_eq!(out.result.len(), view.n_cells());
+    }
+
+    #[test]
+    fn unlimited_runs_are_never_flagged_degraded() {
+        let (d, _) = correlated_dataset();
+        let out = Tdac::new(TdacConfig::default()).run(&MajorityVote, &d).unwrap();
+        assert!(out.degradation.is_none());
+    }
+
+    #[test]
+    fn distance_budget_degrades_to_the_reference_result() {
+        use td_obs::ExecutionLimits;
+        // 6 attributes ⇒ the matrix needs 15 evals; a cap of 1 can never
+        // fit, so the run must degrade *before* the build and hand back
+        // the reference (un-partitioned) result, flagged.
+        let (d, _) = correlated_dataset();
+        let out = Tdac::new(TdacConfig {
+            limits: ExecutionLimits::none().with_max_distance_evals(1),
+            ..Default::default()
+        })
+        .run(&MajorityVote, &d)
+        .unwrap();
+        let deg = out.degradation.as_ref().expect("capped run must be flagged");
+        assert_eq!(deg.reason, td_obs::DegradationReason::DistanceEvals(1));
+        assert_eq!(deg.phase, "distance_matrix");
+        assert_eq!(deg.work.distance_evals, 0, "the build never started");
+        assert!(out.fallback);
+        assert_eq!(out.partition.len(), 1, "whole-set partition");
+        // Best-so-far = the base algorithm's reference run, intact.
+        let reference = MajorityVote.discover(&d.view_all());
+        assert_eq!(out.result.len(), reference.len());
+        for o in d.object_ids() {
+            for a in d.attribute_ids() {
+                assert_eq!(out.result.prediction(o, a), reference.prediction(o, a));
+            }
+        }
+    }
+
+    #[test]
+    fn generous_distance_budget_changes_nothing() {
+        use td_obs::ExecutionLimits;
+        let (d, _) = correlated_dataset();
+        let plain = Tdac::new(TdacConfig::default()).run(&MajorityVote, &d).unwrap();
+        let capped = Tdac::new(TdacConfig {
+            limits: ExecutionLimits::none().with_max_distance_evals(15),
+            ..Default::default()
+        })
+        .run(&MajorityVote, &d)
+        .unwrap();
+        // Exactly filling the cap is a *complete* run, not a degraded one.
+        assert!(capped.degradation.is_none());
+        assert_eq!(capped.partition, plain.partition);
+        assert_eq!(capped.silhouette.to_bits(), plain.silhouette.to_bits());
+        assert_eq!(capped.k_scores, plain.k_scores);
+        assert!(capped.profile.is_none(), "user observer stays disabled");
+    }
+
+    #[test]
+    fn fixpoint_budget_degrades_after_the_reference_run() {
+        use td_obs::ExecutionLimits;
+        // Accu iterates; a 1-iteration budget is consumed by the
+        // reference run itself, so the pipeline stops at the first
+        // boundary with the reference as the answer.
+        let (d, _) = correlated_dataset();
+        let out = Tdac::new(TdacConfig {
+            limits: ExecutionLimits::none().with_max_fixpoint_iterations(1),
+            ..Default::default()
+        })
+        .run(&Accu::default(), &d)
+        .unwrap();
+        let deg = out.degradation.as_ref().expect("budget must fire");
+        assert_eq!(deg.reason, td_obs::DegradationReason::FixpointIterations(1));
+        assert_eq!(deg.phase, "truth_vectors");
+        assert!(deg.work.fixpoint_iterations >= 1);
+        assert!(out.fallback);
+        assert_eq!(out.result.len(), d.n_cells());
+    }
+
+    #[test]
+    fn pre_cancelled_run_returns_flagged_reference() {
+        use td_obs::{CancelToken, ExecutionLimits};
+        let (d, _) = correlated_dataset();
+        let token = CancelToken::new();
+        token.cancel();
+        let out = Tdac::new(TdacConfig {
+            limits: ExecutionLimits::none().with_cancel(token),
+            ..Default::default()
+        })
+        .run(&MajorityVote, &d)
+        .unwrap();
+        let deg = out.degradation.as_ref().expect("cancelled run must be flagged");
+        assert_eq!(deg.reason, td_obs::DegradationReason::Cancelled);
+        assert!(out.fallback);
+        assert_eq!(out.result.len(), d.n_cells());
+    }
+
+    #[test]
+    fn counter_degraded_outcomes_are_thread_count_invariant() {
+        use td_obs::ExecutionLimits;
+        // Oracle (c) of the chaos harness, at the unit level: counter
+        // budgets are probed at sequential boundaries, so the degraded
+        // outcome is identical at any thread count (elapsed_ms aside).
+        let (d, _) = correlated_dataset();
+        let run = |parallelism| {
+            Tdac::new(TdacConfig {
+                parallelism,
+                limits: ExecutionLimits::none().with_max_distance_evals(1),
+                ..Default::default()
+            })
+            .run(&MajorityVote, &d)
+            .unwrap()
+        };
+        let seq = run(Parallelism::Threads(1));
+        for parallelism in [Parallelism::Threads(2), Parallelism::Threads(8), Parallelism::Auto] {
+            let par = run(parallelism);
+            let (a, b) = (seq.degradation.as_ref().unwrap(), par.degradation.as_ref().unwrap());
+            assert_eq!(a.reason, b.reason);
+            assert_eq!(a.phase, b.phase);
+            assert_eq!(a.work.distance_evals, b.work.distance_evals);
+            assert_eq!(a.work.fixpoint_iterations, b.work.fixpoint_iterations);
+            assert_eq!(seq.partition, par.partition);
+            let t1: Vec<u64> = seq.result.source_trust.iter().map(|t| t.to_bits()).collect();
+            let t2: Vec<u64> = par.result.source_trust.iter().map(|t| t.to_bits()).collect();
+            assert_eq!(t1, t2);
+        }
+    }
+
+    #[test]
+    fn budget_checks_are_visible_on_the_profile() {
+        use td_obs::ExecutionLimits;
+        let (d, _) = correlated_dataset();
+        let out = Tdac::new(TdacConfig {
+            observer: Observer::enabled(),
+            limits: ExecutionLimits::none().with_max_distance_evals(1),
+            ..Default::default()
+        })
+        .run(&MajorityVote, &d)
+        .unwrap();
+        let profile = out.profile.expect("enabled observer ⇒ profile");
+        assert!(profile.counter("budget_checks").unwrap() >= 1);
+        assert_eq!(profile.counter("degraded_runs"), Some(1));
+        assert_eq!(profile.counter("worker_panics"), Some(0));
+    }
+
+    /// A base algorithm that panics on any proper attribute subset —
+    /// healthy on the full view (reference run), poisoned inside the
+    /// per-group workers.
+    struct PanicsOnSubset {
+        full: usize,
+    }
+
+    impl TruthDiscovery for PanicsOnSubset {
+        fn name(&self) -> &'static str {
+            "PanicsOnSubset"
+        }
+
+        fn discover(&self, view: &DatasetView<'_>) -> TruthResult {
+            assert!(
+                view.attributes().len() >= self.full,
+                "injected per-group failure"
+            );
+            MajorityVote.discover(view)
+        }
+    }
+
+    #[test]
+    fn per_group_worker_panic_surfaces_as_typed_error() {
+        let (d, _) = correlated_dataset();
+        let base = PanicsOnSubset { full: 6 };
+        let err = Tdac::new(TdacConfig::default()).run(&base, &d).unwrap_err();
+        let TdacError::WorkerPanic { phase, detail } = err else {
+            panic!("expected WorkerPanic, got {err:?}");
+        };
+        assert!(
+            phase.starts_with("per_group_run/group="),
+            "panic must name the group, got `{phase}`"
+        );
+        assert!(detail.contains("injected per-group failure"), "{detail}");
+    }
+
+    #[test]
+    fn per_group_panics_pick_the_smallest_group_deterministically() {
+        // Both groups panic; the reported phase must be group 0 at any
+        // thread count (first-in-group-order wins).
+        let (d, _) = correlated_dataset();
+        let base = PanicsOnSubset { full: 6 };
+        for parallelism in [Parallelism::Threads(1), Parallelism::Threads(8), Parallelism::Auto] {
+            let err = Tdac::new(TdacConfig {
+                parallelism,
+                ..Default::default()
+            })
+            .run(&base, &d)
+            .unwrap_err();
+            let TdacError::WorkerPanic { phase, .. } = err else {
+                panic!("expected WorkerPanic");
+            };
+            assert_eq!(phase, "per_group_run/group=0", "{parallelism:?}");
+        }
+    }
+
+    #[test]
+    fn reference_run_panic_is_caught_at_the_pipeline_boundary() {
+        // A panic outside any worker boundary (the sequential reference
+        // run) is still converted, with the coarse `pipeline` phase.
+        struct AlwaysPanics;
+        impl TruthDiscovery for AlwaysPanics {
+            fn name(&self) -> &'static str {
+                "AlwaysPanics"
+            }
+            fn discover(&self, _view: &DatasetView<'_>) -> TruthResult {
+                panic!("poisoned base algorithm")
+            }
+        }
+        let (d, _) = correlated_dataset();
+        let err = Tdac::new(TdacConfig::default()).run(&AlwaysPanics, &d).unwrap_err();
+        let TdacError::WorkerPanic { phase, detail } = err else {
+            panic!("expected WorkerPanic, got {err:?}");
+        };
+        assert_eq!(phase, "pipeline");
+        assert!(detail.contains("poisoned base algorithm"));
+    }
+
+    #[test]
+    fn worker_panics_are_counted_on_the_observer() {
+        let (d, _) = correlated_dataset();
+        let obs = Observer::enabled();
+        let base = PanicsOnSubset { full: 6 };
+        let _ = Tdac::new(TdacConfig {
+            observer: obs.clone(),
+            ..Default::default()
+        })
+        .run(&base, &d)
+        .unwrap_err();
+        assert!(obs.counter_value(td_obs::Counter::WorkerPanics) >= 1);
     }
 }

@@ -65,17 +65,6 @@ pub fn truth_vector_matrix(
     (matrix, reference)
 }
 
-/// Deprecated alias of [`truth_vector_matrix`], kept for one release
-/// while callers migrate to the unified entry point.
-#[deprecated(note = "merged into `truth_vector_matrix(base, view, observer)`")]
-pub fn truth_vector_matrix_observed(
-    base: &dyn TruthDiscovery,
-    view: &DatasetView<'_>,
-    observer: &td_obs::Observer,
-) -> (Matrix, TruthResult) {
-    truth_vector_matrix(base, view, observer)
-}
-
 /// Like [`truth_vector_matrix`] but returns the dual-representation
 /// [`TruthVectors`] (dense + bit-packed, built in one pass) — what the
 /// TD-AC pipeline feeds the representation-aware distance kernel.

@@ -20,10 +20,11 @@ use std::process::ExitCode;
 use td_algorithms::{algorithm_by_name, registry::all_algorithms, TruthDiscovery};
 use td_metrics::{evaluate_fn, Stopwatch};
 use td_model::{csv, json, Dataset, DatasetStats, GroundTruth};
-use tdac_core::{Parallelism, Tdac, TdacConfig};
+use tdac_core::{ExecutionLimits, Parallelism, Tdac, TdacConfig};
 
 const USAGE: &str = "usage:\n  tdc run --input <data.json|claims.csv> [--truth <truth.csv>] \
---algo <name> [--tdac] [--masked] [--parallel] [--output <predictions.json>]\n  \
+--algo <name> [--tdac] [--masked] [--parallel] [--deadline-ms <n>] \
+[--output <predictions.json>]\n  \
 tdc stats --input <data.json|claims.csv> [--truth <truth.csv>]\n  tdc algos";
 
 fn main() -> ExitCode {
@@ -115,9 +116,27 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Reject degenerate inputs (empty, single-source, objectless) at the
+    // door, with the typed model error's message — not a confusing
+    // downstream failure.
+    if let Err(e) = dataset.validate_for_discovery() {
+        eprintln!("{input}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let limits = match flag_value(args, "--deadline-ms") {
+        Some(ms) => match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => ExecutionLimits::none()
+                .with_deadline(std::time::Duration::from_millis(ms)),
+            _ => {
+                eprintln!("--deadline-ms wants a positive integer, got {ms:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => ExecutionLimits::none(),
+    };
 
     let sw = Stopwatch::start();
-    let (result, partition) = if wrap_tdac {
+    let (result, partition, degradation) = if wrap_tdac {
         let config = TdacConfig {
             missing_aware: has_flag(args, "--masked"),
             parallelism: if has_flag(args, "--parallel") {
@@ -125,17 +144,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
             } else {
                 Parallelism::Threads(1)
             },
+            limits,
             ..Default::default()
         };
         match Tdac::new(config).run(algo.as_ref(), &dataset) {
-            Ok(out) => (out.result, Some(out.partition.to_string())),
+            Ok(out) => (out.result, Some(out.partition.to_string()), out.degradation),
             Err(e) => {
                 eprintln!("TD-AC failed: {e}");
                 return ExitCode::FAILURE;
             }
         }
     } else {
-        (algo.discover(&dataset.view_all()), None)
+        (algo.discover(&dataset.view_all()), None, None)
     };
     let elapsed = sw.elapsed_secs();
 
@@ -148,6 +168,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     );
     if let Some(p) = &partition {
         eprintln!("# partition: {p}");
+    }
+    if let Some(deg) = &degradation {
+        eprintln!("# DEGRADED: {deg} (best-so-far result below)");
     }
 
     // Emit predictions (stdout or --output) as JSON lines of

@@ -205,6 +205,24 @@ impl Dataset {
         DatasetView::of(self, attributes)
     }
 
+    /// Rejects datasets truth discovery cannot meaningfully run on:
+    /// no claims, no objects, or fewer than two sources (a lone source
+    /// is trivially its own truth — there is no disagreement to
+    /// resolve). Loaders and service entry points should call this
+    /// before handing the dataset to a pipeline; the library algorithms
+    /// themselves stay permissive (a single-source *view* of a larger
+    /// dataset is legitimate).
+    pub fn validate_for_discovery(&self) -> Result<(), ModelError> {
+        if self.n_claims() == 0 || self.n_objects() == 0 || self.n_sources() < 2 {
+            return Err(ModelError::DegenerateDataset {
+                n_sources: self.n_sources(),
+                n_objects: self.n_objects(),
+                n_claims: self.n_claims(),
+            });
+        }
+        Ok(())
+    }
+
     /// Rebuilds skipped interner indexes after deserialization.
     pub(crate) fn rebuild_indexes(&mut self) {
         self.sources.rebuild_index();
@@ -430,6 +448,37 @@ mod tests {
         b.truth("CS", "Q2", Value::int(1991));
         b.truth("CS", "Q3", Value::int(10));
         b.build_with_truth()
+    }
+
+    #[test]
+    fn validation_accepts_the_running_example() {
+        let (d, _) = running_example();
+        assert!(d.validate_for_discovery().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_datasets() {
+        // Empty: no claims, no sources, no objects.
+        let empty = DatasetBuilder::new().build();
+        let err = empty.validate_for_discovery().unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::DegenerateDataset {
+                n_sources: 0,
+                n_objects: 0,
+                n_claims: 0
+            }
+        );
+        assert!(err.to_string().contains("degenerate"), "{err}");
+
+        // A single source has nothing to disagree with.
+        let mut b = DatasetBuilder::new();
+        b.claim("lone", "o", "a", Value::int(1)).unwrap();
+        let single = b.build();
+        assert!(matches!(
+            single.validate_for_discovery(),
+            Err(ModelError::DegenerateDataset { n_sources: 1, .. })
+        ));
     }
 
     #[test]

@@ -32,6 +32,18 @@ pub enum ModelError {
         /// Attribute name.
         attribute: String,
     },
+    /// The dataset cannot support truth discovery: no claims at all, no
+    /// objects, or a single source (a lone source is trivially its own
+    /// truth — there is no disagreement to resolve). Carries the counts
+    /// so the message is self-describing.
+    DegenerateDataset {
+        /// Number of sources in the dataset.
+        n_sources: usize,
+        /// Number of objects in the dataset.
+        n_objects: usize,
+        /// Number of claims in the dataset.
+        n_claims: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -54,6 +66,16 @@ impl fmt::Display for ModelError {
                 f,
                 "ground truth given for cell ({object:?}, {attribute:?}) \
                  which has no claims in the dataset"
+            ),
+            ModelError::DegenerateDataset {
+                n_sources,
+                n_objects,
+                n_claims,
+            } => write!(
+                f,
+                "dataset is degenerate for truth discovery: {n_claims} claims \
+                 from {n_sources} sources over {n_objects} objects (need at \
+                 least one claim, two sources, and one object)"
             ),
         }
     }

@@ -36,6 +36,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub mod limits;
+pub use limits::{
+    panic_message, Budget, CancelToken, Degradation, DegradationReason, ExecutionLimits,
+    WorkCompleted,
+};
+
 /// Fixed work-unit counters tracked by every enabled [`Observer`].
 ///
 /// Fixed counters are plain atomics — safe to bump from rayon workers
@@ -70,11 +76,21 @@ pub enum Counter {
     /// Total `u64` words XORed by the packed kernel (pairs ×
     /// words-per-row); the packed analogue of `DistanceEvals × d`.
     WordsXored = 8,
+    /// Budget probes performed at sequential phase boundaries by an
+    /// armed [`Budget`] (zero when no [`ExecutionLimits`] are set —
+    /// limit checks never run on unlimited configs).
+    BudgetChecks = 9,
+    /// Runs that exhausted a budget (or were cancelled) and returned a
+    /// best-so-far outcome flagged with a [`Degradation`] record.
+    DegradedRuns = 10,
+    /// Worker panics caught at a task boundary and converted into a
+    /// typed `WorkerPanic` error instead of aborting the process.
+    WorkerPanics = 11,
 }
 
 impl Counter {
     /// Number of fixed counters (the backing array length).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 12;
 
     /// All fixed counters, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -87,6 +103,9 @@ impl Counter {
         Counter::DistCacheMisses,
         Counter::PackedKernelInvocations,
         Counter::WordsXored,
+        Counter::BudgetChecks,
+        Counter::DegradedRuns,
+        Counter::WorkerPanics,
     ];
 
     /// Stable snake_case name used in [`RunProfile`] and JSON reports.
@@ -101,8 +120,26 @@ impl Counter {
             Counter::DistCacheMisses => "dist_cache_misses",
             Counter::PackedKernelInvocations => "packed_kernel_invocations",
             Counter::WordsXored => "words_xored",
+            Counter::BudgetChecks => "budget_checks",
+            Counter::DegradedRuns => "degraded_runs",
+            Counter::WorkerPanics => "worker_panics",
         }
     }
+}
+
+/// A hook fired at every phase boundary an enabled observer sees: once
+/// when a span opens (`k_sweep/k=3`, `per_group_run/group=0`, …) and
+/// once per explicit [`Observer::checkpoint`]. The pipeline never
+/// installs one; it exists so test harnesses (td-verify's chaos module)
+/// can inject faults — panics, delays, cancellations — at precise
+/// points without touching pipeline code. Hooks run on whatever thread
+/// hits the boundary, so implementations must be `Send + Sync`.
+///
+/// A hook that panics is indistinguishable from pipeline code panicking
+/// at that boundary — exactly the property chaos testing needs.
+pub trait PhaseHook: Send + Sync {
+    /// Called with the `/`-separated phase path.
+    fn on_phase(&self, path: &str);
 }
 
 #[derive(Default)]
@@ -119,14 +156,22 @@ struct ObsCore {
     counters: [AtomicU64; Counter::COUNT],
     phases: Mutex<BTreeMap<String, PhaseAgg>>,
     labeled: Mutex<BTreeMap<String, u64>>,
+    /// Test-harness fault-injection point; `None` in every production
+    /// configuration (see [`PhaseHook`]).
+    hook: Option<Arc<dyn PhaseHook>>,
 }
 
 impl ObsCore {
     fn new() -> Self {
+        Self::with_hook(None)
+    }
+
+    fn with_hook(hook: Option<Arc<dyn PhaseHook>>) -> Self {
         Self {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             phases: Mutex::new(BTreeMap::new()),
             labeled: Mutex::new(BTreeMap::new()),
+            hook,
         }
     }
 }
@@ -167,9 +212,39 @@ impl Observer {
         }
     }
 
+    /// An enabled handle with a [`PhaseHook`] fired at every phase
+    /// boundary — the chaos-injection entry point used by td-verify.
+    pub fn with_hook(hook: Arc<dyn PhaseHook>) -> Self {
+        Self {
+            core: Some(Arc::new(ObsCore::with_hook(Some(hook)))),
+        }
+    }
+
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.core.is_some()
+    }
+
+    /// Current value of a fixed counter (`0` when disabled). Cheap
+    /// relaxed load; used by [`Budget`] to compare work done against
+    /// configured limits without any extra bookkeeping in hot loops.
+    pub fn counter_value(&self, counter: Counter) -> u64 {
+        match &self.core {
+            Some(core) => core.counters[counter as usize].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Fires the phase hook (if any) at an explicit boundary that has no
+    /// span of its own — e.g. once per partition inside AccuGen's scan,
+    /// where a timed span per Bell(n) item would be pure overhead. No-op
+    /// unless this handle was built with [`Observer::with_hook`].
+    pub fn checkpoint(&self, path: &str) {
+        if let Some(core) = &self.core {
+            if let Some(hook) = &core.hook {
+                hook.on_phase(path);
+            }
+        }
     }
 
     /// Adds `n` to a fixed counter. Lock-free; no-op when disabled.
@@ -211,10 +286,16 @@ impl Observer {
     /// paid when observation is on.
     pub fn span_with(&self, path: impl FnOnce() -> String) -> Span {
         Span {
-            rec: self.core.as_ref().map(|core| SpanRec {
-                core: Arc::clone(core),
-                path: path(),
-                start: Instant::now(),
+            rec: self.core.as_ref().map(|core| {
+                let path = path();
+                if let Some(hook) = &core.hook {
+                    hook.on_phase(&path);
+                }
+                SpanRec {
+                    core: Arc::clone(core),
+                    path,
+                    start: Instant::now(),
+                }
             }),
         }
     }
@@ -441,6 +522,32 @@ mod tests {
         // `cluster` did not advance after the baseline, so it drops out.
         assert!(delta.phase("cluster").is_none());
         assert_eq!(delta.phase("merge").unwrap().count, 1);
+    }
+
+    #[test]
+    fn phase_hook_fires_on_spans_and_checkpoints() {
+        struct Recorder(Mutex<Vec<String>>);
+        impl PhaseHook for Recorder {
+            fn on_phase(&self, path: &str) {
+                self.0.lock().unwrap().push(path.to_string());
+            }
+        }
+        let recorder = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let obs = Observer::with_hook(recorder.clone());
+        {
+            let _s = obs.span("distance_matrix");
+            obs.checkpoint("partition_scan/partition");
+        }
+        let _ = obs.span_with(|| "k_sweep/k=2".to_string());
+        assert_eq!(
+            *recorder.0.lock().unwrap(),
+            vec!["distance_matrix", "partition_scan/partition", "k_sweep/k=2"]
+        );
+        // Hook-bearing observers still record normally.
+        assert_eq!(obs.profile().unwrap().phase("distance_matrix").unwrap().count, 1);
+        // Disabled and plain-enabled handles never fire (or hold) a hook.
+        Observer::disabled().checkpoint("x");
+        Observer::enabled().checkpoint("x");
     }
 
     #[test]

@@ -1,0 +1,566 @@
+//! Execution limits, cooperative cancellation, and graceful degradation.
+//!
+//! A pipeline run can be bounded four ways — wall-clock deadline,
+//! distance evaluations, fixpoint iterations, partitions scanned — and
+//! cancelled cooperatively through a shared [`CancelToken`]. The limits
+//! live in [`ExecutionLimits`] (a plain-data config field); at run start
+//! the pipeline arms a [`Budget`], which snapshots the observer's
+//! counters and the clock, then probes them at **sequential phase
+//! boundaries** — never inside hot loops. The counters the pipeline
+//! already maintains for observability double as the budget meters, so
+//! an unlimited config pays nothing and a limited one pays a handful of
+//! relaxed atomic loads per run.
+//!
+//! Exhaustion is not an error: the run keeps its best-so-far answer and
+//! flags the outcome with a [`Degradation`] record naming the reason,
+//! the phase that detected it, and the work completed. Counter-based
+//! budgets are checked at deterministic points, so a degraded outcome
+//! is bit-identical at any thread count; deadline and cancellation are
+//! inherently racy in *where* they cut the run short, but the outcome is
+//! still always either complete or flagged — never silently truncated.
+
+use crate::{Counter, Observer};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shareable cooperative-cancellation flag.
+///
+/// Clones share one flag: hand a clone to the pipeline via
+/// [`ExecutionLimits::with_cancel`], keep one, and call
+/// [`CancelToken::cancel`] from any thread. The pipeline polls it at
+/// phase boundaries and winds down with a best-so-far outcome flagged
+/// [`DegradationReason::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+impl PartialEq for CancelToken {
+    /// Tokens are equal when they share the same flag (clone identity).
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+impl Eq for CancelToken {}
+
+/// Resource budgets for one pipeline run. `None` everywhere (the
+/// default) means unlimited — the budget machinery is then never armed
+/// and the run path is byte-for-byte the PR-4 behaviour.
+///
+/// Every `Some` bound must be ≥ 1; [`ExecutionLimits::validate`]
+/// rejects zero budgets (a zero budget is a request to do no work — use
+/// cancellation or don't call the pipeline).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionLimits {
+    /// Wall-clock deadline for the run, in milliseconds from entry.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// Cap on pairwise distance evaluations ([`Counter::DistanceEvals`]).
+    #[serde(default)]
+    pub max_distance_evals: Option<u64>,
+    /// Cap on base-algorithm fixpoint iterations
+    /// ([`Counter::FixpointIterations`]).
+    #[serde(default)]
+    pub max_fixpoint_iterations: Option<u64>,
+    /// Cap on attribute partitions evaluated
+    /// ([`Counter::PartitionsScanned`]); AccuGen enforces it exactly by
+    /// truncating its lazy enumeration, so the best-so-far winner is
+    /// deterministic at any thread count.
+    #[serde(default)]
+    pub max_partitions: Option<u64>,
+    /// Cooperative cancellation flag; not serialized (a config loaded
+    /// from JSON deserializes without one, like the observer handle).
+    #[serde(skip)]
+    pub cancel: Option<CancelToken>,
+}
+
+impl ExecutionLimits {
+    /// The unlimited default, spelled out.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any bound or a cancel token is set. When `false`, the
+    /// pipeline never arms a [`Budget`] and pays zero overhead.
+    pub fn is_active(&self) -> bool {
+        self.deadline_ms.is_some()
+            || self.max_distance_evals.is_some()
+            || self.max_fixpoint_iterations.is_some()
+            || self.max_partitions.is_some()
+            || self.cancel.is_some()
+    }
+
+    /// Rejects zero budgets. Called by `TdacConfigBuilder::build()`; the
+    /// message names the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, value) in [
+            ("deadline_ms", self.deadline_ms),
+            ("max_distance_evals", self.max_distance_evals),
+            ("max_fixpoint_iterations", self.max_fixpoint_iterations),
+            ("max_partitions", self.max_partitions),
+        ] {
+            if value == Some(0) {
+                return Err(format!(
+                    "limits.{name} must be at least 1 (use None for unlimited)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets the wall-clock deadline (rounded up to at least 1 ms).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline_ms = Some((deadline.as_millis() as u64).max(1));
+        self
+    }
+
+    /// Caps pairwise distance evaluations.
+    pub fn with_max_distance_evals(mut self, n: u64) -> Self {
+        self.max_distance_evals = Some(n);
+        self
+    }
+
+    /// Caps base-algorithm fixpoint iterations.
+    pub fn with_max_fixpoint_iterations(mut self, n: u64) -> Self {
+        self.max_fixpoint_iterations = Some(n);
+        self
+    }
+
+    /// Caps partitions evaluated by AccuGen.
+    pub fn with_max_partitions(mut self, n: u64) -> Self {
+        self.max_partitions = Some(n);
+        self
+    }
+
+    /// Attaches a cancellation token (keep a clone to trigger it).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Which budget cut the run short. Bounds carry the configured cap so a
+/// degradation record is self-describing without the config.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationReason {
+    /// The wall-clock deadline (payload: configured `deadline_ms`).
+    Deadline(u64),
+    /// The [`CancelToken`] fired.
+    Cancelled,
+    /// Distance-evaluation cap (payload: configured cap).
+    DistanceEvals(u64),
+    /// Fixpoint-iteration cap (payload: configured cap).
+    FixpointIterations(u64),
+    /// Partition-scan cap (payload: configured cap).
+    Partitions(u64),
+}
+
+impl fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationReason::Deadline(ms) => write!(f, "deadline of {ms} ms reached"),
+            DegradationReason::Cancelled => write!(f, "cancelled"),
+            DegradationReason::DistanceEvals(cap) => {
+                write!(f, "distance-evaluation budget of {cap} exhausted")
+            }
+            DegradationReason::FixpointIterations(cap) => {
+                write!(f, "fixpoint-iteration budget of {cap} exhausted")
+            }
+            DegradationReason::Partitions(cap) => {
+                write!(f, "partition-scan budget of {cap} exhausted")
+            }
+        }
+    }
+}
+
+/// Work the run actually completed before degrading, read from the
+/// observer counters the pipeline maintains anyway.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkCompleted {
+    /// Pairwise distance evaluations performed.
+    pub distance_evals: u64,
+    /// Base-algorithm fixpoint iterations performed.
+    pub fixpoint_iterations: u64,
+    /// Attribute partitions evaluated.
+    pub partitions_scanned: u64,
+    /// Wall-clock milliseconds elapsed since the budget was armed.
+    pub elapsed_ms: u64,
+}
+
+/// Structured record attached to a degraded (best-so-far) outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Which budget fired.
+    pub reason: DegradationReason,
+    /// The phase boundary that detected exhaustion (span-path
+    /// vocabulary: `truth_vectors`, `k_sweep`, `partition_scan`, …).
+    pub phase: String,
+    /// Counters at detection time (this run's delta, not lifetime
+    /// totals).
+    pub work: WorkCompleted,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at phase `{}`", self.reason, self.phase)
+    }
+}
+
+/// An armed budget: the runtime counterpart of [`ExecutionLimits`].
+///
+/// [`Budget::arm`] returns `None` when the limits are inactive, so the
+/// unlimited path carries no budget state at all. An armed budget
+/// snapshots the observer's counters (budgets meter *this run*, not the
+/// handle's lifetime) and the clock, then answers two questions:
+///
+/// - [`Budget::interrupted`] — cancel/deadline only; cheap enough for
+///   per-task probes inside parallel loops (one atomic load + one clock
+///   read), returning just the reason.
+/// - [`Budget::check`] — the full probe for sequential phase
+///   boundaries; also compares counter deltas against caps and builds
+///   the [`Degradation`] record on exhaustion.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    limits: ExecutionLimits,
+    obs: Observer,
+    start: Instant,
+    base_distance_evals: u64,
+    base_fixpoint_iterations: u64,
+    base_partitions: u64,
+}
+
+impl Budget {
+    /// Arms a budget against `obs` (the observer whose counters meter
+    /// the run). Returns `None` when `limits` is inactive.
+    ///
+    /// Counter-based caps require an *enabled* observer — the pipeline
+    /// guarantees this by substituting a private enabled handle when the
+    /// user's is disabled but limits are set.
+    pub fn arm(limits: &ExecutionLimits, obs: &Observer) -> Option<Budget> {
+        if !limits.is_active() {
+            return None;
+        }
+        Some(Budget {
+            limits: limits.clone(),
+            obs: obs.clone(),
+            start: Instant::now(),
+            base_distance_evals: obs.counter_value(Counter::DistanceEvals),
+            base_fixpoint_iterations: obs.counter_value(Counter::FixpointIterations),
+            base_partitions: obs.counter_value(Counter::PartitionsScanned),
+        })
+    }
+
+    /// The limits this budget enforces.
+    pub fn limits(&self) -> &ExecutionLimits {
+        &self.limits
+    }
+
+    /// Distance evaluations since arming.
+    pub fn distance_evals(&self) -> u64 {
+        self.obs
+            .counter_value(Counter::DistanceEvals)
+            .saturating_sub(self.base_distance_evals)
+    }
+
+    /// Fixpoint iterations since arming.
+    pub fn fixpoint_iterations(&self) -> u64 {
+        self.obs
+            .counter_value(Counter::FixpointIterations)
+            .saturating_sub(self.base_fixpoint_iterations)
+    }
+
+    /// Partitions evaluated since arming.
+    pub fn partitions_scanned(&self) -> u64 {
+        self.obs
+            .counter_value(Counter::PartitionsScanned)
+            .saturating_sub(self.base_partitions)
+    }
+
+    /// Snapshot of the work completed so far.
+    pub fn work(&self) -> WorkCompleted {
+        WorkCompleted {
+            distance_evals: self.distance_evals(),
+            fixpoint_iterations: self.fixpoint_iterations(),
+            partitions_scanned: self.partitions_scanned(),
+            elapsed_ms: self.start.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// How many more partitions the scan may evaluate (`None` when
+    /// unbounded). AccuGen truncates its lazy enumeration to this, which
+    /// makes partition budgets *exact* and thread-count-deterministic.
+    pub fn remaining_partitions(&self) -> Option<u64> {
+        self.limits
+            .max_partitions
+            .map(|cap| cap.saturating_sub(self.partitions_scanned()))
+    }
+
+    /// Cheap interruption probe (cancel flag, then deadline) for use
+    /// inside parallel loops. Does not build a record or touch budget
+    /// counters.
+    pub fn interrupted(&self) -> Option<DegradationReason> {
+        if let Some(token) = &self.limits.cancel {
+            if token.is_cancelled() {
+                return Some(DegradationReason::Cancelled);
+            }
+        }
+        if let Some(ms) = self.limits.deadline_ms {
+            if self.start.elapsed() >= Duration::from_millis(ms) {
+                return Some(DegradationReason::Deadline(ms));
+            }
+        }
+        None
+    }
+
+    /// Full budget probe at a sequential phase boundary named `phase`.
+    /// Bumps [`Counter::BudgetChecks`]; on exhaustion builds the
+    /// [`Degradation`] record (bumping [`Counter::DegradedRuns`]).
+    pub fn check(&self, phase: &str) -> Option<Degradation> {
+        self.obs.incr(Counter::BudgetChecks, 1);
+        let reason = self.interrupted().or_else(|| self.exhausted_counter())?;
+        Some(self.degrade(reason, phase))
+    }
+
+    /// Pre-flight probe before a distance-matrix build of `pairs`
+    /// evaluations: degrades *before* starting work that cannot fit in
+    /// the budget, keeping the cap an upper bound on work actually done.
+    pub fn precharge_distance_evals(&self, pairs: u64, phase: &str) -> Option<Degradation> {
+        let cap = self.limits.max_distance_evals?;
+        self.obs.incr(Counter::BudgetChecks, 1);
+        if self.distance_evals().saturating_add(pairs) > cap {
+            Some(self.degrade(DegradationReason::DistanceEvals(cap), phase))
+        } else {
+            None
+        }
+    }
+
+    /// Builds the degradation record for `reason` detected at `phase`
+    /// and counts it ([`Counter::DegradedRuns`]).
+    pub fn degrade(&self, reason: DegradationReason, phase: &str) -> Degradation {
+        self.obs.incr(Counter::DegradedRuns, 1);
+        Degradation {
+            reason,
+            phase: phase.to_string(),
+            work: self.work(),
+        }
+    }
+
+    fn exhausted_counter(&self) -> Option<DegradationReason> {
+        // Distance evals: strict overshoot only. The pre-charge probe is
+        // the enforcement point (a build either fits or never starts), so
+        // a run whose matrix exactly fills the cap is *complete*, not
+        // degraded. Fixpoint/partition caps use `>=` instead: the work
+        // ahead of the boundary would consume more of them.
+        if let Some(cap) = self.limits.max_distance_evals {
+            if self.distance_evals() > cap {
+                return Some(DegradationReason::DistanceEvals(cap));
+            }
+        }
+        if let Some(cap) = self.limits.max_fixpoint_iterations {
+            if self.fixpoint_iterations() >= cap {
+                return Some(DegradationReason::FixpointIterations(cap));
+            }
+        }
+        if let Some(cap) = self.limits.max_partitions {
+            if self.partitions_scanned() >= cap {
+                return Some(DegradationReason::Partitions(cap));
+            }
+        }
+        None
+    }
+}
+
+/// Renders a caught panic payload (`Box<dyn Any>`) as the human-readable
+/// message — `&str` / `String` payloads verbatim, anything else a stock
+/// placeholder. Shared by every `catch_unwind` task boundary in the
+/// pipeline so `WorkerPanic` errors read uniformly.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_clones_share_the_flag() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t, clone);
+        assert_ne!(t, CancelToken::new());
+    }
+
+    #[test]
+    fn default_limits_are_inactive_and_arm_to_none() {
+        let limits = ExecutionLimits::none();
+        assert!(!limits.is_active());
+        assert!(limits.validate().is_ok());
+        assert!(Budget::arm(&limits, &Observer::enabled()).is_none());
+    }
+
+    #[test]
+    fn zero_budgets_are_rejected() {
+        for limits in [
+            ExecutionLimits { deadline_ms: Some(0), ..Default::default() },
+            ExecutionLimits { max_distance_evals: Some(0), ..Default::default() },
+            ExecutionLimits { max_fixpoint_iterations: Some(0), ..Default::default() },
+            ExecutionLimits { max_partitions: Some(0), ..Default::default() },
+        ] {
+            let err = limits.validate().unwrap_err();
+            assert!(err.contains("at least 1"), "{err}");
+        }
+        assert!(ExecutionLimits::none().with_max_partitions(1).validate().is_ok());
+    }
+
+    #[test]
+    fn limits_serde_roundtrip_drops_the_token() {
+        let limits = ExecutionLimits::none()
+            .with_deadline(Duration::from_millis(250))
+            .with_max_distance_evals(10_000)
+            .with_cancel(CancelToken::new());
+        let json = serde_json::to_string(&limits).unwrap();
+        let back: ExecutionLimits = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.deadline_ms, Some(250));
+        assert_eq!(back.max_distance_evals, Some(10_000));
+        assert!(back.cancel.is_none(), "cancel tokens are not serialized");
+    }
+
+    #[test]
+    fn legacy_limits_json_deserializes_unlimited() {
+        // A config written before any of the bounds existed.
+        let back: ExecutionLimits = serde_json::from_str("{}").unwrap();
+        assert!(!back.is_active());
+    }
+
+    #[test]
+    fn budget_meters_this_run_not_the_handle_lifetime() {
+        let obs = Observer::enabled();
+        obs.incr(Counter::DistanceEvals, 100); // a previous run
+        let limits = ExecutionLimits::none().with_max_distance_evals(10);
+        let budget = Budget::arm(&limits, &obs).unwrap();
+        assert_eq!(budget.distance_evals(), 0);
+        assert!(budget.check("phase").is_none(), "fresh budget is not exhausted");
+        obs.incr(Counter::DistanceEvals, 10);
+        assert!(
+            budget.check("phase").is_none(),
+            "exactly filling the cap is complete, not degraded"
+        );
+        obs.incr(Counter::DistanceEvals, 1);
+        let deg = budget.check("distance_matrix").unwrap();
+        assert_eq!(deg.reason, DegradationReason::DistanceEvals(10));
+        assert_eq!(deg.phase, "distance_matrix");
+        assert_eq!(deg.work.distance_evals, 11);
+        assert_eq!(obs.counter_value(Counter::DegradedRuns), 1);
+        assert_eq!(obs.counter_value(Counter::BudgetChecks), 3);
+    }
+
+    #[test]
+    fn precharge_rejects_builds_that_cannot_fit() {
+        let obs = Observer::enabled();
+        let limits = ExecutionLimits::none().with_max_distance_evals(10);
+        let budget = Budget::arm(&limits, &obs).unwrap();
+        assert!(budget.precharge_distance_evals(10, "distance_matrix").is_none());
+        let deg = budget.precharge_distance_evals(11, "distance_matrix").unwrap();
+        assert_eq!(deg.reason, DegradationReason::DistanceEvals(10));
+        assert_eq!(deg.work.distance_evals, 0, "no work was started");
+    }
+
+    #[test]
+    fn cancellation_preempts_counter_exhaustion() {
+        let obs = Observer::enabled();
+        let token = CancelToken::new();
+        let limits = ExecutionLimits::none()
+            .with_max_fixpoint_iterations(1)
+            .with_cancel(token.clone());
+        let budget = Budget::arm(&limits, &obs).unwrap();
+        obs.incr(Counter::FixpointIterations, 5);
+        token.cancel();
+        assert_eq!(
+            budget.check("k_sweep").unwrap().reason,
+            DegradationReason::Cancelled
+        );
+        assert_eq!(budget.interrupted(), Some(DegradationReason::Cancelled));
+    }
+
+    #[test]
+    fn deadline_fires_after_it_elapses() {
+        let limits = ExecutionLimits::none().with_deadline(Duration::from_millis(1));
+        let budget = Budget::arm(&limits, &Observer::enabled()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(budget.interrupted(), Some(DegradationReason::Deadline(1)));
+    }
+
+    #[test]
+    fn remaining_partitions_counts_down() {
+        let obs = Observer::enabled();
+        let limits = ExecutionLimits::none().with_max_partitions(7);
+        let budget = Budget::arm(&limits, &obs).unwrap();
+        assert_eq!(budget.remaining_partitions(), Some(7));
+        obs.incr(Counter::PartitionsScanned, 5);
+        assert_eq!(budget.remaining_partitions(), Some(2));
+        obs.incr(Counter::PartitionsScanned, 5);
+        assert_eq!(budget.remaining_partitions(), Some(0));
+        let deg = budget.check("partition_scan").unwrap();
+        assert_eq!(deg.reason, DegradationReason::Partitions(7));
+        assert_eq!(deg.work.partitions_scanned, 10);
+    }
+
+    #[test]
+    fn degradation_serde_roundtrip_and_display() {
+        let deg = Degradation {
+            reason: DegradationReason::Partitions(42),
+            phase: "partition_scan".to_string(),
+            work: WorkCompleted {
+                partitions_scanned: 42,
+                elapsed_ms: 3,
+                ..Default::default()
+            },
+        };
+        let json = serde_json::to_string(&deg).unwrap();
+        let back: Degradation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, deg);
+        assert_eq!(
+            deg.to_string(),
+            "partition-scan budget of 42 exhausted at phase `partition_scan`"
+        );
+        assert_eq!(DegradationReason::Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn panic_message_extracts_str_and_string() {
+        let p = std::panic::catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "boom 7");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(3u32)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
+    }
+}

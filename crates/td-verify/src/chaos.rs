@@ -1,0 +1,182 @@
+//! Chaos-injection harness: faults fired at precise phase boundaries.
+//!
+//! The pipeline never installs a [`PhaseHook`] itself; this module does,
+//! turning the observability layer's span taxonomy into a fault-injection
+//! surface. A [`ChaosHook`] watches for a target phase path (`k_sweep`,
+//! `per_group_run/group=0`, `partition_scan/partition`, …) and on its
+//! n-th hit either **panics** (simulating a poisoned worker), **delays**
+//! (simulating a stall, to trip deadlines), or **cancels** a
+//! [`CancelToken`] (simulating an operator abort mid-flight).
+//!
+//! The chaos oracles (`tests/chaos.rs`) then assert the robustness
+//! contract of the execution-limits layer:
+//!
+//! 1. every injected fault surfaces as a *typed* error
+//!    (`TdError::WorkerPanic` naming the phase) or a *flagged* degraded
+//!    outcome — never a process abort, never a silently wrong result;
+//! 2. with limits disabled the pipeline is byte-identical to the
+//!    committed DS1 golden — the robustness layer is invisible when off;
+//! 3. counter-budget degraded outcomes are bit-identical at any thread
+//!    count.
+//!
+//! Because a hook panic unwinds from exactly where pipeline code would
+//! panic (the span-open or checkpoint call site), surviving chaos here
+//! is evidence the `catch_unwind` task boundaries cover the real failure
+//! points, not a parallel reimplementation of them.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tdac_core::{CancelToken, Observer, PhaseHook};
+
+/// What a [`ChaosHook`] does when its target boundary is hit.
+#[derive(Debug, Clone)]
+enum Fault {
+    /// Panic with this message (the phase path is appended).
+    Panic(String),
+    /// Sleep this long, then continue — pairs with a deadline budget.
+    Delay(Duration),
+    /// Trip this token, then continue — exercises cooperative cancel.
+    Cancel(CancelToken),
+}
+
+/// A [`PhaseHook`] that fires one fault at the n-th hit of a target
+/// phase path, and counts every hit either way.
+///
+/// Matching is exact, or by prefix when the target ends with `/` —
+/// `"k_sweep/"` matches every per-k span while `"k_sweep"` matches only
+/// the outer sweep span.
+pub struct ChaosHook {
+    target: String,
+    nth: u64,
+    fault: Fault,
+    hits: AtomicU64,
+    fired: AtomicBool,
+}
+
+impl ChaosHook {
+    fn new(target: impl Into<String>, nth: u64, fault: Fault) -> Arc<Self> {
+        assert!(nth >= 1, "faults fire on the n-th hit, counted from 1");
+        Arc::new(Self {
+            target: target.into(),
+            nth,
+            fault,
+            hits: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        })
+    }
+
+    /// Panics at the `nth` hit of `target` (counted from 1).
+    pub fn panics_at(target: impl Into<String>, nth: u64) -> Arc<Self> {
+        Self::new(target, nth, Fault::Panic("chaos: injected panic".to_string()))
+    }
+
+    /// Sleeps `delay` at the `nth` hit of `target`, then continues.
+    pub fn delays_at(target: impl Into<String>, nth: u64, delay: Duration) -> Arc<Self> {
+        Self::new(target, nth, Fault::Delay(delay))
+    }
+
+    /// Cancels `token` at the `nth` hit of `target`, then continues.
+    pub fn cancels_at(target: impl Into<String>, nth: u64, token: CancelToken) -> Arc<Self> {
+        Self::new(target, nth, Fault::Cancel(token))
+    }
+
+    /// An enabled [`Observer`] carrying this hook — what the test hands
+    /// to `TdacConfig::observer` / `AccuGenPartition::observer`.
+    pub fn observer(self: &Arc<Self>) -> Observer {
+        Observer::with_hook(Arc::clone(self) as Arc<dyn PhaseHook>)
+    }
+
+    /// How many times the target boundary was hit.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    /// Whether the fault actually fired (the n-th hit was reached).
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    fn matches(&self, path: &str) -> bool {
+        path == self.target
+            || (self.target.ends_with('/') && path.starts_with(self.target.as_str()))
+    }
+}
+
+impl PhaseHook for ChaosHook {
+    fn on_phase(&self, path: &str) {
+        if !self.matches(path) {
+            return;
+        }
+        let hit = self.hits.fetch_add(1, Ordering::SeqCst) + 1;
+        if hit == self.nth {
+            self.fired.store(true, Ordering::SeqCst);
+            match &self.fault {
+                Fault::Panic(msg) => panic!("{msg} at `{path}`"),
+                Fault::Delay(d) => std::thread::sleep(*d),
+                Fault::Cancel(token) => token.cancel(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_prefix_matching() {
+        let h = ChaosHook::delays_at("k_sweep", 99, Duration::ZERO);
+        h.on_phase("k_sweep");
+        h.on_phase("k_sweep/k=2");
+        h.on_phase("merge");
+        assert_eq!(h.hits(), 1, "bare target is exact");
+        let h = ChaosHook::delays_at("k_sweep/", 99, Duration::ZERO);
+        h.on_phase("k_sweep");
+        h.on_phase("k_sweep/k=2");
+        h.on_phase("k_sweep/k=3");
+        assert_eq!(h.hits(), 2, "trailing slash is a prefix match");
+        assert!(!h.fired());
+    }
+
+    #[test]
+    fn panic_fires_only_on_the_nth_hit() {
+        let h = ChaosHook::panics_at("cluster", 3);
+        h.on_phase("cluster");
+        h.on_phase("cluster");
+        assert!(!h.fired());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            h.on_phase("cluster");
+        }))
+        .unwrap_err();
+        assert!(h.fired());
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("chaos: injected panic at `cluster`"), "{msg}");
+        // Hits past the n-th pass through untouched.
+        h.on_phase("cluster");
+        assert_eq!(h.hits(), 4);
+    }
+
+    #[test]
+    fn cancel_fault_trips_the_token() {
+        let token = CancelToken::new();
+        let h = ChaosHook::cancels_at("truth_vectors", 1, token.clone());
+        assert!(!token.is_cancelled());
+        h.on_phase("truth_vectors");
+        assert!(token.is_cancelled());
+        assert!(h.fired());
+    }
+
+    #[test]
+    fn observer_carries_the_hook() {
+        let h = ChaosHook::cancels_at("phase_x", 1, CancelToken::new());
+        let obs = h.observer();
+        obs.checkpoint("phase_y");
+        assert_eq!(h.hits(), 0);
+        obs.checkpoint("phase_x");
+        assert_eq!(h.hits(), 1);
+        let _span = obs.span("phase_x");
+        assert_eq!(h.hits(), 2, "span opens fire the hook too");
+    }
+}

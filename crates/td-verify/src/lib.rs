@@ -20,17 +20,24 @@
 //! 3. **Paper-conformance goldens** ([`golden`]) — committed DS1 preset
 //!    tables checked bit-exactly by tier-1, regenerable only through the
 //!    explicit `--bless` flow.
+//! 4. **Chaos oracles** ([`chaos`], `tests/chaos.rs`) — faults (panics,
+//!    stalls, cancellations) injected at phase boundaries through the
+//!    observability hook, proving every failure surfaces as a typed
+//!    error or a flagged degraded outcome, never an abort or a silently
+//!    wrong result, and that the limits layer is bit-invisible when off.
 //!
 //! The expensive Bell-number oracle cases (`|A|` = 7 / 8, up to 4140
 //! partitions per sweep) sit behind the `expensive-oracles` feature so
 //! the default test run stays fast; `scripts/verify.sh` turns them on.
 
+pub mod chaos;
 pub mod fingerprint;
 pub mod golden;
 pub mod kernels;
 pub mod oracle;
 pub mod worlds;
 
+pub use chaos::ChaosHook;
 pub use fingerprint::{assert_bit_identical, OutcomeFingerprint, ResultFingerprint};
 pub use golden::{bless_ds1, check_ds1, compute_ds1, Ds1Golden};
 pub use kernels::{check_ds1_kernel_parity, check_kernel_outcome_invariance, check_kernel_parity};

@@ -1,0 +1,156 @@
+//! Property tests for the execution-limits layer: budget monotonicity
+//! and the work-never-exceeds-limits invariants, over randomly drawn
+//! budget caps (satellite of the robustness PR; see
+//! `docs/ROBUSTNESS.md`).
+//!
+//! The worlds are fixed and tiny — the randomness that matters here is
+//! the *cap*, which sweeps the boundary between "budget is generous and
+//! must be invisible" and "budget trips and must degrade soundly".
+
+use proptest::prelude::*;
+use td_algorithms::{Accu, MajorityVote, TruthDiscovery};
+use td_verify::worlds::separable_world;
+use td_verify::{OutcomeFingerprint, ResultFingerprint};
+use tdac_core::{
+    AccuGenPartition, DegradationReason, ExecutionLimits, Tdac, TdacConfig,
+};
+
+/// Bell(4): the number of partitions of the 4-attribute test world.
+const BELL_4: u64 = 15;
+
+fn capped_scan(cap: u64) -> tdac_core::AccuGenOutcome {
+    let world = separable_world(&[2, 2], 4);
+    let accugen = AccuGenPartition {
+        limits: ExecutionLimits::none().with_max_partitions(cap),
+        ..AccuGenPartition::default()
+    };
+    accugen
+        .run_oracle(&MajorityVote, &world.dataset, &world.truth)
+        .expect("a capped scan degrades, it does not error")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The partition cap truncates the enumeration to an exact prefix,
+    /// so the best score over the prefix is monotone non-decreasing in
+    /// the cap — a larger budget can only find an equal-or-better
+    /// partition, never a worse one.
+    #[test]
+    fn accugen_score_is_monotone_in_the_partition_cap(
+        cap in 1u64..=BELL_4 + 3,
+        extra in 0u64..=5,
+    ) {
+        let small = capped_scan(cap);
+        let large = capped_scan(cap + extra);
+        prop_assert!(
+            large.score >= small.score,
+            "cap {} scored {}, cap {} scored {}",
+            cap, small.score, cap + extra, large.score,
+        );
+    }
+
+    /// Exact-prefix accounting: `n_partitions` is `min(cap, Bell)`, the
+    /// outcome is flagged exactly when the cap bit into the enumeration,
+    /// and the recorded work never exceeds the cap.
+    #[test]
+    fn accugen_work_never_exceeds_the_partition_cap(cap in 1u64..=BELL_4 + 5) {
+        let outcome = capped_scan(cap);
+        prop_assert_eq!(outcome.n_partitions, cap.min(BELL_4));
+        match outcome.degradation {
+            Some(deg) => {
+                prop_assert!(cap < BELL_4, "generous cap ({cap}) must not flag");
+                prop_assert_eq!(deg.reason, DegradationReason::Partitions(cap));
+                prop_assert!(
+                    deg.work.partitions_scanned <= cap,
+                    "scanned {} > cap {cap}", deg.work.partitions_scanned,
+                );
+            }
+            None => prop_assert!(cap >= BELL_4, "tight cap ({cap}) must flag"),
+        }
+    }
+
+    /// Distance evaluations are pre-charged: a matrix build that cannot
+    /// fit under the cap never starts, so the recorded distance work
+    /// never exceeds the cap — and a cap the run fits under must leave
+    /// the outcome bit-identical to the unlimited run, unflagged.
+    #[test]
+    fn tdac_work_never_exceeds_the_distance_cap(cap in 1u64..=12) {
+        let world = separable_world(&[2, 2], 4);
+        let unlimited = Tdac::new(TdacConfig::default())
+            .run(&MajorityVote, &world.dataset)
+            .expect("unlimited run");
+        let config = TdacConfig {
+            limits: ExecutionLimits::none().with_max_distance_evals(cap),
+            ..TdacConfig::default()
+        };
+        let outcome = Tdac::new(config)
+            .run(&MajorityVote, &world.dataset)
+            .expect("a tripped budget degrades, it does not error");
+        match outcome.degradation.clone() {
+            Some(deg) => {
+                prop_assert_eq!(deg.reason, DegradationReason::DistanceEvals(cap));
+                prop_assert!(
+                    deg.work.distance_evals <= cap,
+                    "evaluated {} > cap {cap}", deg.work.distance_evals,
+                );
+                // The best-so-far answer is the sound reference bits.
+                prop_assert_eq!(
+                    ResultFingerprint::of(&outcome.result),
+                    ResultFingerprint::of(&MajorityVote.discover(&world.dataset.view_all())),
+                );
+            }
+            None => prop_assert_eq!(
+                OutcomeFingerprint::of(&outcome),
+                OutcomeFingerprint::of(&unlimited),
+            ),
+        }
+    }
+}
+
+proptest! {
+    // The fixpoint property runs a real Accu fixpoint per case; fewer
+    // cases keep the suite inside the tier-1 time budget.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A fixpoint cap either never fires (outcome bit-identical to the
+    /// unlimited run) or degrades at a *sequential* phase boundary with
+    /// the reference result — never a partial merge.
+    #[test]
+    fn tdac_fixpoint_caps_degrade_only_at_sequential_boundaries(cap in 1u64..=40) {
+        let world = separable_world(&[2, 2], 4);
+        let base = Accu::default();
+        let unlimited = Tdac::new(TdacConfig::default())
+            .run(&base, &world.dataset)
+            .expect("unlimited run");
+        let config = TdacConfig {
+            limits: ExecutionLimits::none().with_max_fixpoint_iterations(cap),
+            ..TdacConfig::default()
+        };
+        let outcome = Tdac::new(config)
+            .run(&base, &world.dataset)
+            .expect("a tripped budget degrades, it does not error");
+        match outcome.degradation.clone() {
+            Some(deg) => {
+                prop_assert_eq!(deg.reason, DegradationReason::FixpointIterations(cap));
+                prop_assert!(
+                    deg.phase == "truth_vectors" || deg.phase == "per_group_run",
+                    "unexpected detection phase {:?}", deg.phase,
+                );
+                // Degraded outcomes normalize `iterations` to 1 (the
+                // outer-merge convention); the predictions and trust
+                // vector must still be the sound reference bits.
+                let mut reference = base.discover(&world.dataset.view_all());
+                reference.iterations = 1;
+                prop_assert_eq!(
+                    ResultFingerprint::of(&outcome.result),
+                    ResultFingerprint::of(&reference),
+                );
+            }
+            None => prop_assert_eq!(
+                OutcomeFingerprint::of(&outcome),
+                OutcomeFingerprint::of(&unlimited),
+            ),
+        }
+    }
+}

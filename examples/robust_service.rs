@@ -1,0 +1,83 @@
+//! Running TD-AC inside a latency-budgeted service.
+//!
+//! A request handler cannot block on an unbounded pipeline: it needs a
+//! wall-clock deadline, a work ceiling, and a kill switch — and when a
+//! budget trips it wants the *best answer so far*, clearly flagged, not
+//! an error page. This example wires all three through
+//! [`ExecutionLimits`] and shows how a caller tells a complete outcome
+//! from a degraded one.
+//!
+//! ```sh
+//! cargo run --release --example robust_service
+//! ```
+
+use std::time::Duration;
+
+use td_ac::algorithms::Accu;
+use td_ac::core::{Tdac, TdacConfig};
+use td_ac::model::{DatasetBuilder, Value};
+use td_ac::{CancelToken, ExecutionLimits};
+
+fn main() {
+    // A store-inventory feed: supplier A is right about logistics
+    // attributes, supplier B about marketing ones, two aggregators copy
+    // noise. Structurally correlated reliability — TD-AC's home turf.
+    let mut b = DatasetBuilder::new();
+    let logistics = ["weight", "stock"];
+    let marketing = ["price", "discount"];
+    for item in 0..12i64 {
+        let obj = format!("sku-{item}");
+        for (ai, attr) in logistics.iter().chain(&marketing).enumerate() {
+            let truth = item * 100 + ai as i64;
+            let noise = 9_000 + item * 100 + ai as i64;
+            let a_val = if ai < logistics.len() { truth } else { noise };
+            let b_val = if ai < logistics.len() { noise } else { truth };
+            b.claim("supplier-a", &obj, attr, Value::int(a_val)).unwrap();
+            b.claim("supplier-b", &obj, attr, Value::int(b_val)).unwrap();
+            b.claim("aggregator-1", &obj, attr, Value::int(truth)).unwrap();
+            b.claim("aggregator-2", &obj, attr, Value::int(noise + 500 + ai as i64)).unwrap();
+        }
+    }
+    let dataset = b.build();
+
+    // Reject garbage at the door — a degenerate feed (no claims, one
+    // source) would only produce a meaningless answer downstream.
+    dataset
+        .validate_for_discovery()
+        .expect("feed is non-degenerate");
+
+    // The service budget: 250 ms of wall clock, a distance-work
+    // ceiling, and a token an admin endpoint could trip. The same
+    // token can be cloned into as many handlers as needed.
+    let cancel = CancelToken::new();
+    let limits = ExecutionLimits::none()
+        .with_deadline(Duration::from_millis(250))
+        .with_max_distance_evals(10_000)
+        .with_cancel(cancel.clone());
+    let config = TdacConfig::builder()
+        .limits(limits)
+        .build()
+        .expect("valid config");
+
+    let outcome = Tdac::new(config).run(&Accu::default(), &dataset).expect("pipeline ran");
+    match &outcome.degradation {
+        None => println!(
+            "complete: partition {} (silhouette {:.3})",
+            outcome.partition, outcome.silhouette
+        ),
+        Some(deg) => println!("DEGRADED best-so-far: {deg}"),
+    }
+
+    // The same run with a budget far too small for the sweep: the
+    // handler still gets a sound, flagged answer instead of an error.
+    let starved = TdacConfig::builder()
+        .limits(ExecutionLimits::none().with_max_distance_evals(1))
+        .build()
+        .expect("valid config");
+    let outcome = Tdac::new(starved).run(&Accu::default(), &dataset).expect("pipeline ran");
+    let deg = outcome.degradation.expect("one distance eval cannot fit the matrix");
+    println!(
+        "starved run: {deg} — returned {} predictions anyway",
+        outcome.result.len()
+    );
+}

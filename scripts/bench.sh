@@ -71,6 +71,21 @@ for bench_id, rec in benches.items():
 if speedups:
     doc["kernel_speedups"] = speedups
 
+# Any "<prefix>/limits_off" + "<prefix>/limits_on" pair measures the
+# cost of arming the execution-limits machinery with budgets that never
+# fire: record the on/off median ratio under "limits_overhead" (the
+# docs/ROBUSTNESS.md claim is < 1.02, i.e. under 2% overhead).
+overheads = {}
+for bench_id, rec in benches.items():
+    if not bench_id.endswith("/limits_off"):
+        continue
+    prefix = bench_id[: -len("/limits_off")]
+    on = benches.get(prefix + "/limits_on")
+    if on and rec["median_ns"] > 0:
+        overheads[prefix] = round(on["median_ns"] / rec["median_ns"], 4)
+if overheads:
+    doc["limits_overhead"] = overheads
+
 if os.path.exists(profile_path):
     with open(profile_path) as f:
         doc["profile"] = json.load(f)
@@ -81,6 +96,10 @@ extra = " + profile" if "profile" in doc else ""
 if speedups:
     extra += "; packed-kernel speedups: " + ", ".join(
         f"{k} {v}x" for k, v in sorted(speedups.items())
+    )
+if overheads:
+    extra += "; limits overhead: " + ", ".join(
+        f"{k} {(v - 1) * 100:+.2f}%" for k, v in sorted(overheads.items())
     )
 print(f"wrote {out_path} ({len(benches)} benches{extra})")
 PY

@@ -25,6 +25,10 @@ cargo test --offline -q -p td-verify --test observer
 echo "== kernel parity: packed vs dense distance kernels, DS1 golden =="
 cargo test --offline -q -p td-verify --test kernels
 
+echo "== chaos oracles: injected panics/stalls/cancels + budget invariants =="
+cargo test --offline -q -p td-verify --test chaos
+cargo test --offline -q -p td-verify --test limits_props
+
 echo "== expensive oracles: Bell(7)/Bell(8) brute-force differentials =="
 cargo test --offline -q -p td-verify --features expensive-oracles
 

@@ -55,9 +55,12 @@ pub use tdac_core as core;
 pub use tdac_eval as eval;
 
 // The cross-layer vocabulary, hoisted to the root so applications can
-// `?` any workspace error, profile any run, and pick a distance kernel
-// without digging into the per-crate modules.
-pub use tdac_core::{BitMatrix, DistanceOptions, KernelPolicy, Observer, RunProfile, Rows, TdError};
+// `?` any workspace error, profile any run, bound or cancel a run, and
+// pick a distance kernel without digging into the per-crate modules.
+pub use tdac_core::{
+    BitMatrix, CancelToken, Degradation, DegradationReason, DistanceOptions, ExecutionLimits,
+    KernelPolicy, Observer, RunProfile, Rows, TdError, WorkCompleted,
+};
 
 /// The crate version, for diagnostics.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
@@ -84,6 +87,11 @@ mod tests {
         let m = crate::cluster::Matrix::zeros(2, 3);
         let _: crate::Rows<'_> = (&m).into();
         let _: crate::TdError = crate::core::TdacError::NoAttributes.into();
+        let _ = crate::ExecutionLimits::none()
+            .with_max_distance_evals(100)
+            .with_cancel(crate::CancelToken::new());
+        let _ = crate::DegradationReason::Cancelled;
+        let _ = crate::WorkCompleted::default();
         assert!(!crate::VERSION.is_empty());
     }
 }
