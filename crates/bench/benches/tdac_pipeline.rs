@@ -101,5 +101,81 @@ fn bench_exam_sizes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_phases, bench_limits_overhead, bench_exam_sizes);
+fn bench_streaming(c: &mut Criterion) {
+    // The incremental engine's headline: appending a ~5% claim batch to
+    // a live session vs recomputing the whole pipeline on the
+    // accumulated claims. Both sides produce the same predictions (the
+    // td-verify incremental oracle gates the bit-level contract); the
+    // pair's median ratio is folded into BENCH_tdac.json as
+    // "streaming_speedup" by scripts/bench.sh.
+    use td_model::{ClaimBatch, DatasetBuilder, DeltaDataset};
+    use tdac_core::{RepartitionPolicy, TdacSession};
+
+    let (dataset, _) = exam_bench(62, 120);
+    let tf = TruthFinder::default();
+
+    // Defer every 20th claim whose entities are already interned: the
+    // batch adds no new sources/objects/attributes, so the session
+    // takes the pure dirty-attribute maintenance path.
+    let mut base = DatasetBuilder::new();
+    let mut batch = ClaimBatch::new();
+    let mut seen = std::collections::HashSet::new();
+    for (i, cl) in dataset.claims().iter().enumerate() {
+        let row = (
+            dataset.source_name(cl.source),
+            dataset.object_name(cl.object),
+            dataset.attribute_name(cl.attribute),
+            dataset.value(cl.value).clone(),
+        );
+        let fresh = !seen.contains(&(0u8, cl.source.index()))
+            || !seen.contains(&(1, cl.object.index()))
+            || !seen.contains(&(2, cl.attribute.index()));
+        seen.insert((0, cl.source.index()));
+        seen.insert((1, cl.object.index()));
+        seen.insert((2, cl.attribute.index()));
+        if fresh || i % 20 != 0 {
+            base.claim(row.0, row.1, row.2, row.3).expect("consistent claims");
+        } else {
+            batch.claim(row.0, row.1, row.2, row.3);
+        }
+    }
+    let base = base.build();
+    let mut accumulated = DeltaDataset::new(base.clone()).expect("valid base");
+    accumulated.apply(&batch).expect("consistent batch");
+
+    let mut group = c.benchmark_group("streaming/exam62");
+    group.sample_size(10);
+
+    group.bench_function("full_recompute", |b| {
+        let tdac = Tdac::new(TdacConfig::default());
+        let accumulated = accumulated.current();
+        b.iter(|| black_box(tdac.run(&tf, accumulated).expect("run")));
+    });
+    group.bench_function("incremental_append", |b| {
+        let session = TdacSession::start(
+            tf,
+            TdacConfig::default(),
+            RepartitionPolicy::Never,
+            base.clone(),
+        )
+        .expect("session starts");
+        // Each iteration forks the pre-batch session and ingests — the
+        // clone is part of the measured time, which only makes the
+        // speedup claim conservative.
+        b.iter(|| {
+            let mut s = session.clone();
+            black_box(s.ingest(&batch).expect("ingest"));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_phases,
+    bench_limits_overhead,
+    bench_exam_sizes,
+    bench_streaming
+);
 criterion_main!(benches);

@@ -220,6 +220,46 @@ impl BitMatrix {
         masked_hamming_words(self.row_words(i), self.row_words(j), mi, mj)
     }
 
+    /// Appends `extra` all-zero columns to every row, re-laying-out the
+    /// word strips when `words_per_row` grows. Existing bits keep their
+    /// positions and the tail-zero invariant holds for the new width
+    /// (new columns are zero, and old tail bits were already zero). The
+    /// validity mask, if any, is re-laid-out identically (new columns
+    /// unobserved).
+    pub fn append_cols(&mut self, extra: usize) {
+        if extra == 0 {
+            return;
+        }
+        let new_cols = self.cols + extra;
+        let new_words = new_cols.div_ceil(WORD_BITS);
+        if new_words != self.words_per_row {
+            self.bits = relayout(&self.bits, self.rows, self.words_per_row, new_words);
+            if let Some(mask) = &self.mask {
+                self.mask = Some(relayout(mask, self.rows, self.words_per_row, new_words));
+            }
+            self.words_per_row = new_words;
+        }
+        self.cols = new_cols;
+    }
+
+    /// Appends `extra` all-zero rows (all-unobserved when a validity
+    /// mask is attached).
+    pub fn append_zero_rows(&mut self, extra: usize) {
+        self.rows += extra;
+        self.bits.resize(self.rows * self.words_per_row, 0);
+        if let Some(mask) = &mut self.mask {
+            mask.resize(self.rows * self.words_per_row, 0);
+        }
+    }
+
+    /// Clears every bit of row `i` (the validity mask, if any, is left
+    /// untouched — callers rescattering a row re-mark observations
+    /// themselves).
+    pub fn clear_row(&mut self, i: usize) {
+        assert!(i < self.rows, "row {i} out of range");
+        self.bits[i * self.words_per_row..(i + 1) * self.words_per_row].fill(0);
+    }
+
     /// Unpacks to a dense `f64` matrix (values only; the validity mask
     /// is not representable in a plain [`Matrix`]).
     pub fn to_dense(&self) -> Matrix {
@@ -233,6 +273,17 @@ impl BitMatrix {
         }
         m
     }
+}
+
+/// Copies row strips from an `old_words`-per-row layout into a wider
+/// `new_words`-per-row buffer, zero-filling the new trailing words.
+fn relayout(words: &[u64], rows: usize, old_words: usize, new_words: usize) -> Vec<u64> {
+    let mut out = vec![0u64; rows * new_words];
+    for i in 0..rows {
+        out[i * new_words..i * new_words + old_words]
+            .copy_from_slice(&words[i * old_words..(i + 1) * old_words]);
+    }
+    out
 }
 
 /// XOR + popcount over two equal-length word strips, chunked by four
@@ -376,6 +427,60 @@ mod tests {
         assert!(BitMatrix::pack_masked(&values, &Matrix::zeros(2, 2)).is_none());
         let frac = Matrix::from_rows(&[vec![0.5, 0.0, 0.0], vec![0.0, 0.0, 0.0]]);
         assert!(BitMatrix::pack_masked(&frac, &mask).is_none());
+    }
+
+    #[test]
+    fn append_cols_preserves_bits_across_word_growth() {
+        for (cols, extra) in [(63usize, 1usize), (63, 2), (64, 1), (65, 64), (10, 0)] {
+            let mut m = BitMatrix::zeros(3, cols);
+            for j in (0..cols).step_by(3) {
+                m.set_bit(1, j, true);
+            }
+            let before = m.to_dense();
+            m.append_cols(extra);
+            assert_eq!(m.n_cols(), cols + extra);
+            assert_eq!(m.words_per_row(), (cols + extra).div_ceil(64));
+            let after = m.to_dense();
+            for i in 0..3 {
+                assert_eq!(&after.row(i)[..cols], before.row(i), "cols={cols} extra={extra}");
+                assert!(after.row(i)[cols..].iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn append_cols_preserves_mask_layout() {
+        let mut m = BitMatrix::zeros_masked(2, 64);
+        for j in 0..64 {
+            m.set_observed(0, j);
+        }
+        m.set_bit(0, 5, true);
+        m.set_bit(1, 5, true);
+        m.append_cols(6);
+        // Old co-observation untouched; new columns unobserved.
+        for j in 0..64 {
+            m.set_observed(1, j);
+        }
+        let (diff, co) = m.masked_counts(0, 1);
+        assert_eq!((diff, co), (0, 64));
+        // New columns are appendable after growth.
+        m.set_observed(0, 69);
+        m.set_observed(1, 69);
+        m.set_bit(0, 69, true);
+        let (diff, co) = m.masked_counts(0, 1);
+        assert_eq!((diff, co), (1, 65));
+    }
+
+    #[test]
+    fn append_zero_rows_and_clear_row() {
+        let mut m = BitMatrix::zeros(1, 65);
+        m.set_bit(0, 64, true);
+        m.append_zero_rows(2);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.hamming(0, 1), 1);
+        assert_eq!(m.hamming(1, 2), 0);
+        m.clear_row(0);
+        assert_eq!(m.hamming(0, 1), 0);
     }
 
     #[test]

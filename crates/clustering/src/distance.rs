@@ -241,6 +241,44 @@ impl DistanceOptions {
     pub fn pairwise<'a>(&self, data: impl Into<Rows<'a>>, metric: &dyn Metric) -> Vec<f64> {
         pairwise_impl(data.into(), metric, self.kernel, &self.observer)
     }
+
+    /// Incrementally updates a pairwise distance matrix after some rows
+    /// changed and/or rows were appended.
+    ///
+    /// `old` is the previous `old_n × old_n` matrix over the first
+    /// `old_n` rows of `data`; `dirty` lists the rows among those whose
+    /// content changed (rows `old_n..n` are implicitly dirty). Pairs
+    /// with both endpoints clean are **copied bit-for-bit** from `old`;
+    /// every pair touching a dirty row is re-evaluated with exactly the
+    /// per-pair kernel [`DistanceOptions::pairwise`] would use, so the
+    /// result is bit-identical to a full rebuild — *provided* clean
+    /// rows are unchanged up to appended all-zero columns (trailing
+    /// `(0, 0)` coordinate pairs contribute exact `+0.0` terms to every
+    /// metric in this crate, which leaves sequentially accumulated
+    /// distances bit-identical on the 0/1 truth-vector data TD-AC
+    /// feeds it).
+    ///
+    /// Instrumentation mirrors a fresh build restricted to the work
+    /// actually done: `DistanceEvals` counts only re-evaluated pairs,
+    /// and the packed counters fire only when the packed kernel ran.
+    pub fn update_pairwise<'a>(
+        &self,
+        old: &[f64],
+        old_n: usize,
+        data: impl Into<Rows<'a>>,
+        metric: &dyn Metric,
+        dirty: &[usize],
+    ) -> Vec<f64> {
+        update_pairwise_impl(
+            old,
+            old_n,
+            data.into(),
+            metric,
+            self.kernel,
+            &self.observer,
+            dirty,
+        )
+    }
 }
 
 /// Builder for [`DistanceOptions`]; every field has a default, so
@@ -369,6 +407,102 @@ fn pairwise_impl(
         .collect();
     observer.incr(td_obs::Counter::DistanceEvals, pairs);
     mirror_strips(strips, n)
+}
+
+fn update_pairwise_impl(
+    old: &[f64],
+    old_n: usize,
+    rows: Rows<'_>,
+    metric: &dyn Metric,
+    kernel: KernelPolicy,
+    observer: &td_obs::Observer,
+    dirty: &[usize],
+) -> Vec<f64> {
+    let n = rows.n_rows();
+    assert!(n >= old_n, "rows cannot shrink: {n} < {old_n}");
+    assert_eq!(old.len(), old_n * old_n, "old matrix shape mismatch");
+    if n < 2 {
+        return vec![0.0; n * n];
+    }
+    let mut is_dirty = vec![false; n];
+    for &i in dirty {
+        assert!(i < n, "dirty row {i} out of range");
+        is_dirty[i] = true;
+    }
+    for flag in &mut is_dirty[old_n..] {
+        *flag = true;
+    }
+
+    // Clean-pair entries carry over bit-for-bit; dirty entries in the
+    // copied block are overwritten below.
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..old_n {
+        dist[i * n..i * n + old_n].copy_from_slice(&old[i * old_n..(i + 1) * old_n]);
+    }
+
+    // Re-evaluate each dirty pair with the same per-pair kernel a fresh
+    // build would pick (see `pairwise_impl`).
+    let on_the_fly;
+    let packed: Option<&BitMatrix> = if kernel != KernelPolicy::Dense
+        && metric.counts_bits_on_binary()
+    {
+        match rows {
+            Rows::Packed(b) | Rows::Dual { packed: b, .. } => Some(b),
+            Rows::Dense(m) => {
+                on_the_fly = BitMatrix::pack(m);
+                on_the_fly.as_ref()
+            }
+        }
+    } else {
+        None
+    };
+    let densified;
+    let dense: Option<&Matrix> = if packed.is_some() {
+        None
+    } else {
+        Some(match rows {
+            Rows::Dense(m) | Rows::Dual { dense: m, .. } => m,
+            Rows::Packed(b) => {
+                densified = b.to_dense();
+                &densified
+            }
+        })
+    };
+
+    let strips: Vec<Vec<(usize, f64)>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            ((i + 1)..n)
+                .filter(|&j| is_dirty[i] || is_dirty[j])
+                .map(|j| {
+                    let d = match (packed, dense) {
+                        (Some(bm), _) => bm.hamming(i, j) as f64,
+                        (None, Some(m)) => metric.distance(m.row(i), m.row(j)),
+                        (None, None) => unreachable!("one representation is always picked"),
+                    };
+                    (j, d)
+                })
+                .collect()
+        })
+        .collect();
+    let recomputed: u64 = strips.iter().map(|s| s.len() as u64).sum();
+    for (i, strip) in strips.iter().enumerate() {
+        for &(j, d) in strip {
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    if recomputed > 0 {
+        observer.incr(td_obs::Counter::DistanceEvals, recomputed);
+        if let Some(bm) = packed {
+            observer.incr(td_obs::Counter::PackedKernelInvocations, 1);
+            observer.incr(
+                td_obs::Counter::WordsXored,
+                recomputed * bm.words_per_row() as u64,
+            );
+        }
+    }
+    dist
 }
 
 #[cfg(test)]
@@ -572,6 +706,58 @@ mod tests {
         assert_eq!(dual, pairwise_distances(&data, &Hamming, &disabled()));
         let p = observer.profile().unwrap();
         assert_eq!(p.counter("packed_kernel_invocations"), Some(1));
+    }
+
+    #[test]
+    fn update_pairwise_matches_full_rebuild_bitwise() {
+        // Start with 5 binary rows, mutate row 1, append two rows and
+        // three columns: the updated matrix must equal a fresh build
+        // bit-for-bit under both kernels.
+        let base: Vec<Vec<f64>> = (0..5)
+            .map(|r| (0..66).map(|c| f64::from(u8::from((r * 5 + c) % 3 == 0))).collect())
+            .collect();
+        let old = Matrix::from_rows(&base);
+        for kernel in [KernelPolicy::Dense, KernelPolicy::Packed, KernelPolicy::Auto] {
+            let opts = DistanceOptions::builder().kernel(kernel).build();
+            let before = opts.pairwise(&old, &Hamming);
+            let mut grown: Vec<Vec<f64>> =
+                base.iter().map(|r| [r.clone(), vec![0.0; 3]].concat()).collect();
+            grown[1][7] = 1.0 - grown[1][7];
+            grown[1][65] = 1.0 - grown[1][65];
+            grown.push((0..69).map(|c| f64::from(u8::from(c % 4 == 0))).collect());
+            grown.push(vec![0.0; 69]);
+            let new = Matrix::from_rows(&grown);
+            let updated = opts.update_pairwise(&before, 5, &new, &Hamming, &[1]);
+            let fresh = opts.pairwise(&new, &Hamming);
+            assert_eq!(updated.len(), fresh.len());
+            for (i, (u, f)) in updated.iter().zip(&fresh).enumerate() {
+                assert_eq!(u.to_bits(), f.to_bits(), "kernel {kernel:?} entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_pairwise_counts_only_dirty_pairs() {
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|r| (0..10).map(|c| f64::from(u8::from((r + c) % 2 == 0))).collect())
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let full = pairwise_distances(&data, &Hamming, &disabled());
+        let observer = Observer::enabled();
+        let opts = DistanceOptions::builder().observer(observer.clone()).build();
+        // One dirty row among six: 5 pairs touch it.
+        let updated = opts.update_pairwise(&full, 6, &data, &Hamming, &[2]);
+        assert_eq!(updated, full);
+        let p = observer.profile().unwrap();
+        assert_eq!(p.counter("distance_evals"), Some(5));
+        assert_eq!(p.counter("packed_kernel_invocations"), Some(1));
+
+        // No dirty rows at all: zero counter traffic.
+        let quiet = Observer::enabled();
+        let opts = DistanceOptions::builder().observer(quiet.clone()).build();
+        let updated = opts.update_pairwise(&full, 6, &data, &Hamming, &[]);
+        assert_eq!(updated, full);
+        assert_eq!(quiet.profile().unwrap().counter("distance_evals"), Some(0));
     }
 
     #[test]

@@ -255,6 +255,83 @@ proptest! {
     }
 
     #[test]
+    fn bitmatrix_append_preserves_bits_and_tail_zero_invariant(
+        (data, cols) in arb_binary_matrix(),
+        extra_cols in prop_oneof![Just(0usize), Just(1), Just(63), Just(64), Just(65), 1usize..130],
+        extra_rows in 0usize..4,
+    ) {
+        // Growth path of the incremental engine: appending columns and
+        // all-zero (all-missing) rows must keep every existing bit in
+        // place and the new region zero — at word boundaries above all.
+        let mut packed = BitMatrix::pack(&data).expect("binary input packs");
+        let before = packed.clone();
+        packed.append_cols(extra_cols);
+        packed.append_zero_rows(extra_rows);
+        prop_assert_eq!(packed.n_cols(), cols + extra_cols);
+        prop_assert_eq!(packed.n_rows(), data.n_rows() + extra_rows);
+        prop_assert_eq!(packed.words_per_row(), (cols + extra_cols).div_ceil(64));
+        for i in 0..data.n_rows() {
+            for j in 0..cols {
+                prop_assert_eq!(packed.get_bit(i, j), before.get_bit(i, j), "bit ({}, {})", i, j);
+            }
+            for j in cols..packed.n_cols() {
+                prop_assert!(!packed.get_bit(i, j), "appended column ({}, {}) not zero", i, j);
+            }
+        }
+        for i in data.n_rows()..packed.n_rows() {
+            prop_assert!(packed.row_words(i).iter().all(|&w| w == 0), "appended row {} not zero", i);
+        }
+        // The tail-zero invariant is what the unmasked XOR kernel relies
+        // on: grown matrices must produce the same Hamming distances as
+        // packing the grown dense data from scratch.
+        let mut grown_dense: Vec<Vec<f64>> = data
+            .iter_rows()
+            .map(|r| [r.to_vec(), vec![0.0; extra_cols]].concat())
+            .collect();
+        grown_dense.extend(std::iter::repeat_n(vec![0.0; cols + extra_cols], extra_rows));
+        let reference = BitMatrix::pack(&Matrix::from_rows(&grown_dense)).expect("packs");
+        prop_assert_eq!(&packed, &reference, "grown ≠ packed-from-scratch");
+        for i in 0..packed.n_rows() {
+            for j in 0..packed.n_rows() {
+                prop_assert_eq!(packed.hamming(i, j), reference.hamming(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn update_pairwise_equals_fresh_build_after_growth(
+        (data, cols) in arb_binary_matrix(),
+        extra_cols in prop_oneof![Just(0usize), Just(1), Just(64), 1usize..70],
+        dirty_seed in 0usize..64,
+        flip_col in 0usize..200,
+    ) {
+        // Metamorphic pin for the incremental distance path: mutate one
+        // row, append zero columns and one new row, then check the
+        // updated matrix equals a fresh rebuild bit-for-bit under every
+        // kernel policy.
+        let n = data.n_rows();
+        let dirty_row = dirty_seed % n;
+        let mut grown: Vec<Vec<f64>> = data
+            .iter_rows()
+            .map(|r| [r.to_vec(), vec![0.0; extra_cols]].concat())
+            .collect();
+        let w = cols + extra_cols;
+        grown[dirty_row][flip_col % w] = 1.0 - grown[dirty_row][flip_col % w];
+        grown.push((0..w).map(|c| f64::from(u8::from(c % 3 == 0))).collect());
+        let new = Matrix::from_rows(&grown);
+        for kernel in [KernelPolicy::Dense, KernelPolicy::Packed, KernelPolicy::Auto] {
+            let opts = DistanceOptions::builder().kernel(kernel).build();
+            let old = opts.pairwise(&data, &Hamming);
+            let updated = opts.update_pairwise(&old, n, &new, &Hamming, &[dirty_row]);
+            let fresh = opts.pairwise(&new, &Hamming);
+            prop_assert_eq!(updated.len(), fresh.len());
+            for (i, (u, f)) in updated.iter().zip(&fresh).enumerate() {
+                prop_assert_eq!(u.to_bits(), f.to_bits(), "{:?} entry {}", kernel, i);
+            }
+        }
+    }
+
+    #[test]
     fn metrics_satisfy_identity_and_symmetry(
         a in proptest::collection::vec(-50.0f64..50.0, 1..6),
         b_seed in proptest::collection::vec(-50.0f64..50.0, 1..6),

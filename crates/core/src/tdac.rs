@@ -92,6 +92,194 @@ pub struct TdacOutcome {
     pub profile: Option<RunProfile>,
 }
 
+/// One evaluated k of the sweep: `Ok(None)` means skipped under an
+/// interrupted budget, `Ok(Some((assignments, silhouette)))` a scored
+/// clustering, `Err` a failed one.
+pub(crate) type KEval = Result<Option<(Vec<usize>, f64)>, TdacError>;
+
+/// Runs one per-k sweep body under panic isolation: a panicking worker
+/// (clusterer bug, poisoned data) surfaces as [`TdacError::WorkerPanic`]
+/// naming the k, never an abort.
+pub(crate) fn isolate_k(
+    k: usize,
+    obs: &Observer,
+    body: impl FnOnce() -> Result<(Vec<usize>, f64), ClusterError>,
+) -> KEval {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(Ok(eval)) => Ok(Some(eval)),
+        Ok(Err(e)) => Err(TdacError::Cluster(e)),
+        Err(payload) => {
+            obs.incr(Counter::WorkerPanics, 1);
+            Err(TdacError::WorkerPanic {
+                phase: format!("k_sweep/k={k}"),
+                detail: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// One clustering of `data` into `k` groups, reusing the shared pairwise
+/// distance matrix wherever the method allows: PAM and hierarchical
+/// clustering are purely distance-based and never touch the feature
+/// vectors again; k-means still optimizes Eq. 3 inertia in feature space
+/// (centroids have no distance-matrix form).
+pub(crate) fn cluster_cached(
+    config: &TdacConfig,
+    data: &Matrix,
+    dist: &[f64],
+    k: usize,
+    obs: &Observer,
+) -> Result<Vec<usize>, ClusterError> {
+    match config.method {
+        ClusterMethod::KMeans => {
+            let cfg = KMeansConfig {
+                k,
+                n_init: config.n_init,
+                seed: config.seed,
+                ..KMeansConfig::with_k(k)
+            };
+            Ok(KMeans::new(cfg).fit_observed(data, obs)?.assignments)
+        }
+        ClusterMethod::Pam => {
+            let cfg = PamConfig {
+                seed: config.seed,
+                ..PamConfig::with_k(k)
+            };
+            Ok(Pam::new(cfg)
+                .fit_from_distances_observed(dist, data.n_rows(), obs)?
+                .assignments)
+        }
+        ClusterMethod::Hierarchical(linkage) => {
+            Agglomerative::new(linkage).fit_from_distances(dist, data.n_rows(), k)
+        }
+    }
+}
+
+/// The dense-path silhouette sweep over the shared distance matrix —
+/// the parallel body of [`Tdac::run_view`], shared verbatim with the
+/// incremental [`crate::session::TdacSession`] so both drivers stay
+/// bit-identical by construction. Independent k values run in parallel;
+/// the caller picks the winner with [`scan_winner`].
+pub(crate) fn sweep_dense(
+    config: &TdacConfig,
+    dense: &Matrix,
+    dist: &[f64],
+    ks: &[usize],
+    obs: &Observer,
+    budget: Option<&Budget>,
+) -> Vec<KEval> {
+    let n = dense.n_rows();
+    let _sweep = obs.span("k_sweep");
+    ks.par_iter()
+        .map(|&k| {
+            if budget.is_some_and(|b| b.interrupted().is_some()) {
+                return Ok(None); // skipped, not failed
+            }
+            isolate_k(k, obs, || {
+                let _sk = obs.span_with(|| format!("k_sweep/k={k}"));
+                obs.incr(Counter::DistCacheHits, 1);
+                let assignments = {
+                    let _c = obs.span("cluster");
+                    cluster_cached(config, dense, dist, k, obs)?
+                };
+                let sil = silhouette_paper_dist(dist, n, &assignments);
+                Ok((assignments, sil))
+            })
+        })
+        .collect()
+}
+
+/// Sequential winner scan over the sweep evaluations, in k order: the
+/// first error wins (matching the sequential sweep), skipped entries
+/// drop out, and strict `>` keeps the smallest k on silhouette ties
+/// like Algorithm 1's comparison. Returns the `(k, silhouette)` scores
+/// and the best `(silhouette, assignments, k)`.
+#[allow(clippy::type_complexity)]
+pub(crate) fn scan_winner(
+    ks: &[usize],
+    evals: Vec<KEval>,
+) -> Result<(Vec<(usize, f64)>, Option<(f64, Vec<usize>, usize)>), TdacError> {
+    let mut best: Option<(f64, Vec<usize>, usize)> = None;
+    let mut k_scores = Vec::with_capacity(ks.len());
+    for (&k, eval) in ks.iter().zip(evals) {
+        let Some((assignments, sil)) = eval? else { continue };
+        k_scores.push((k, sil));
+        if best.as_ref().is_none_or(|(b, _, _)| sil > *b) {
+            best = Some((sil, assignments, k));
+        }
+    }
+    Ok((k_scores, best))
+}
+
+/// Budget probe between the reference run and the distance-matrix
+/// build: full boundary check first, then the distance precharge (the
+/// build is all-or-nothing, so a cap it cannot fit under degrades
+/// *before* the work starts).
+pub(crate) fn exhausted(budget: Option<&Budget>, phase: &str, pairs: u64) -> Option<Degradation> {
+    let b = budget?;
+    b.check(phase)
+        .or_else(|| b.precharge_distance_evals(pairs, "distance_matrix"))
+}
+
+/// Step 4's per-group base runs (parallel, panic-isolated), collected in
+/// group order with the first error winning deterministically.
+///
+/// `cached` lets the incremental session substitute an
+/// already-computed partial for a group whose claims are untouched:
+/// a `Some` entry is returned as-is (counted on
+/// [`Counter::PartitionsReused`]) instead of re-running the base
+/// algorithm — bit-identical because a group run depends only on the
+/// group's claims and the source count, both unchanged for a clean
+/// group. Batch-mode callers pass `&[]`.
+pub(crate) fn per_group_partials(
+    base: &(dyn TruthDiscovery + Sync),
+    dataset: &Dataset,
+    groups: &[Vec<td_model::AttributeId>],
+    cached: &[Option<TruthResult>],
+    obs: &Observer,
+) -> Result<Vec<TruthResult>, TdacError> {
+    let isolated: Vec<Result<TruthResult, TdacError>> = {
+        let _s = obs.span("per_group_run");
+        (0..groups.len())
+            .into_par_iter()
+            .map(|gi| {
+                if let Some(hit) = cached.get(gi).and_then(|c| c.as_ref()) {
+                    obs.incr(Counter::PartitionsReused, 1);
+                    return Ok(hit.clone());
+                }
+                catch_unwind(AssertUnwindSafe(|| {
+                    let _g = obs.span_with(|| format!("per_group_run/group={gi}"));
+                    base.discover_observed(&dataset.view_of(&groups[gi]), obs)
+                }))
+                .map_err(|payload| {
+                    obs.incr(Counter::WorkerPanics, 1);
+                    TdacError::WorkerPanic {
+                        phase: format!("per_group_run/group={gi}"),
+                        detail: panic_message(payload.as_ref()),
+                    }
+                })
+            })
+            .collect()
+    };
+    let mut partials = Vec::with_capacity(isolated.len());
+    for partial in isolated {
+        // First panic in group order wins, deterministically.
+        partials.push(partial?);
+    }
+    Ok(partials)
+}
+
+/// Step 5's symmetric merge (union of predictions, element-wise mean
+/// trust), reported as the paper's single logical iteration.
+pub(crate) fn merge_partials(partials: &[TruthResult], obs: &Observer) -> TruthResult {
+    let mut result = {
+        let _s = obs.span("merge");
+        TruthResult::merge_all(partials)
+    };
+    result.iterations = 1;
+    result
+}
+
 /// The TD-AC algorithm. See the crate docs for the pipeline.
 #[derive(Debug, Clone)]
 pub struct Tdac {
@@ -222,15 +410,14 @@ impl Tdac {
             .build();
         let ks: Vec<usize> = (self.config.k_min..=k_hi).collect();
         let pairs = (n * (n - 1) / 2) as u64;
-        type Eval = Result<Option<(Vec<usize>, f64)>, TdacError>;
-        let (reference, evals): (TruthResult, Vec<Eval>) = if self.config.missing_aware {
+        let (reference, evals): (TruthResult, Vec<KEval>) = if self.config.missing_aware {
             // Future-work variant: masked distances + PAM (k-means has no
             // feature-space form for the masked metric).
             let (masked, reference) = {
                 let _s = obs.span("truth_vectors");
                 MaskedTruthVectors::build(base, view, obs)
             };
-            if let Some(deg) = self.exhausted(budget, "truth_vectors", pairs) {
+            if let Some(deg) = exhausted(budget, "truth_vectors", pairs) {
                 return Ok(self.degraded(reference, view, Vec::new(), deg, obs));
             }
             let dist = {
@@ -245,7 +432,7 @@ impl Tdac {
                     if budget.is_some_and(|b| b.interrupted().is_some()) {
                         return Ok(None); // skipped, not failed
                     }
-                    self.isolate_k(k, obs, || {
+                    isolate_k(k, obs, || {
                         let _sk = obs.span_with(|| format!("k_sweep/k={k}"));
                         obs.incr(Counter::DistCacheHits, 1);
                         let assignments = {
@@ -268,7 +455,7 @@ impl Tdac {
                 let _s = obs.span("truth_vectors");
                 truth_vector_set(base, view, obs)
             };
-            if let Some(deg) = self.exhausted(budget, "truth_vectors", pairs) {
+            if let Some(deg) = exhausted(budget, "truth_vectors", pairs) {
                 return Ok(self.degraded(reference, view, Vec::new(), deg, obs));
             }
             let dist = {
@@ -279,39 +466,13 @@ impl Tdac {
                 // else — bit-identical either way.
                 dist_opts.pairwise(vectors.rows(), self.config.metric.as_metric())
             };
-            let _sweep = obs.span("k_sweep");
-            let evals = ks
-                .par_iter()
-                .map(|&k| {
-                    if budget.is_some_and(|b| b.interrupted().is_some()) {
-                        return Ok(None); // skipped, not failed
-                    }
-                    self.isolate_k(k, obs, || {
-                        let _sk = obs.span_with(|| format!("k_sweep/k={k}"));
-                        obs.incr(Counter::DistCacheHits, 1);
-                        let assignments = {
-                            let _c = obs.span("cluster");
-                            self.cluster_cached(&vectors.dense, &dist, k, obs)?
-                        };
-                        let sil = silhouette_paper_dist(&dist, n, &assignments);
-                        Ok((assignments, sil))
-                    })
-                })
-                .collect();
+            let evals = sweep_dense(&self.config, &vectors.dense, &dist, &ks, obs, budget);
             (reference, evals)
         };
 
-        let mut best: Option<(f64, Vec<usize>, usize)> = None;
-        let mut k_scores = Vec::with_capacity(ks.len());
-        for (&k, eval) in ks.iter().zip(evals) {
-            // The first error in k order wins, matching the sequential
-            // sweep; skipped (budget-interrupted) entries simply drop out.
-            let Some((assignments, sil)) = eval? else { continue };
-            k_scores.push((k, sil));
-            if best.as_ref().is_none_or(|(b, _, _)| sil > *b) {
-                best = Some((sil, assignments, k));
-            }
-        }
+        // The first error in k order wins, matching the sequential
+        // sweep; skipped (budget-interrupted) entries simply drop out.
+        let (k_scores, best) = scan_winner(&ks, evals)?;
 
         // Skipped k values mean the budget interrupted the sweep: flag
         // the run degraded, and keep the best among the evaluated ones
@@ -356,38 +517,6 @@ impl Tdac {
         self.finish(base, view, &attrs, assignments, silhouette, k_scores, obs, None)
     }
 
-    /// Runs one per-k sweep body under panic isolation: a panicking
-    /// worker (clusterer bug, poisoned data) surfaces as
-    /// [`TdacError::WorkerPanic`] naming the k, never an abort.
-    fn isolate_k(
-        &self,
-        k: usize,
-        obs: &Observer,
-        body: impl FnOnce() -> Result<(Vec<usize>, f64), ClusterError>,
-    ) -> Result<Option<(Vec<usize>, f64)>, TdacError> {
-        match catch_unwind(AssertUnwindSafe(body)) {
-            Ok(Ok(eval)) => Ok(Some(eval)),
-            Ok(Err(e)) => Err(TdacError::Cluster(e)),
-            Err(payload) => {
-                obs.incr(Counter::WorkerPanics, 1);
-                Err(TdacError::WorkerPanic {
-                    phase: format!("k_sweep/k={k}"),
-                    detail: panic_message(payload.as_ref()),
-                })
-            }
-        }
-    }
-
-    /// Budget probe between the reference run and the distance-matrix
-    /// build: full boundary check first, then the distance precharge
-    /// (the build is all-or-nothing, so a cap it cannot fit under
-    /// degrades *before* the work starts).
-    fn exhausted(&self, budget: Option<&Budget>, phase: &str, pairs: u64) -> Option<Degradation> {
-        let b = budget?;
-        b.check(phase)
-            .or_else(|| b.precharge_distance_evals(pairs, "distance_matrix"))
-    }
-
     /// Step 4 + 5: per-group base runs (parallel, panic-isolated) and
     /// the symmetric merge.
     #[allow(clippy::too_many_arguments)]
@@ -412,37 +541,8 @@ impl Tdac {
         // typed error naming the group — the process never aborts, and
         // no partial merge is ever returned.
         let dataset = view.dataset();
-        let groups = partition.groups();
-        let isolated: Vec<Result<TruthResult, TdacError>> = {
-            let _s = obs.span("per_group_run");
-            (0..groups.len())
-                .into_par_iter()
-                .map(|gi| {
-                    catch_unwind(AssertUnwindSafe(|| {
-                        let _g = obs.span_with(|| format!("per_group_run/group={gi}"));
-                        base.discover_observed(&dataset.view_of(&groups[gi]), obs)
-                    }))
-                    .map_err(|payload| {
-                        obs.incr(Counter::WorkerPanics, 1);
-                        TdacError::WorkerPanic {
-                            phase: format!("per_group_run/group={gi}"),
-                            detail: panic_message(payload.as_ref()),
-                        }
-                    })
-                })
-                .collect()
-        };
-        let mut partials = Vec::with_capacity(isolated.len());
-        for partial in isolated {
-            // First panic in group order wins, deterministically.
-            partials.push(partial?);
-        }
-        let mut result = {
-            let _s = obs.span("merge");
-            TruthResult::merge_all(&partials)
-        };
-        // The paper reports TD-AC as a single logical iteration.
-        result.iterations = 1;
+        let partials = per_group_partials(base, dataset, partition.groups(), &[], obs)?;
+        let result = merge_partials(&partials, obs);
 
         Ok(TdacOutcome {
             result,
@@ -501,43 +601,6 @@ impl Tdac {
             fallback: true,
             degradation: Some(degradation),
             profile: None,
-        }
-    }
-
-    /// One clustering of `data` into `k` groups, reusing the shared
-    /// pairwise distance matrix wherever the method allows: PAM and
-    /// hierarchical clustering are purely distance-based and never touch
-    /// the feature vectors again; k-means still optimizes Eq. 3 inertia
-    /// in feature space (centroids have no distance-matrix form).
-    fn cluster_cached(
-        &self,
-        data: &Matrix,
-        dist: &[f64],
-        k: usize,
-        obs: &Observer,
-    ) -> Result<Vec<usize>, ClusterError> {
-        match self.config.method {
-            ClusterMethod::KMeans => {
-                let cfg = KMeansConfig {
-                    k,
-                    n_init: self.config.n_init,
-                    seed: self.config.seed,
-                    ..KMeansConfig::with_k(k)
-                };
-                Ok(KMeans::new(cfg).fit_observed(data, obs)?.assignments)
-            }
-            ClusterMethod::Pam => {
-                let cfg = PamConfig {
-                    seed: self.config.seed,
-                    ..PamConfig::with_k(k)
-                };
-                Ok(Pam::new(cfg)
-                    .fit_from_distances_observed(dist, data.n_rows(), obs)?
-                    .assignments)
-            }
-            ClusterMethod::Hierarchical(linkage) => {
-                Agglomerative::new(linkage).fit_from_distances(dist, data.n_rows(), k)
-            }
         }
     }
 }

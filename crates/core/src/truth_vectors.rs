@@ -43,6 +43,80 @@ impl TruthVectors {
             packed: &self.packed,
         }
     }
+
+    /// Appends `extra` all-zero attribute rows to both representations,
+    /// keeping them in lockstep. New attributes always arrive with
+    /// claims, so the incremental engine rescatters the appended rows
+    /// right after via [`rescatter_rows`].
+    pub fn append_attribute_rows(&mut self, extra: usize) {
+        self.dense.append_zero_rows(extra);
+        self.packed.append_zero_rows(extra);
+    }
+
+    /// Appends `extra` all-zero `(object, source)` columns to both
+    /// representations. Because the column index is
+    /// `object.index() * n_sources + source.index()`, **new objects**
+    /// extend the column space purely at the tail (their block of
+    /// `n_sources` columns comes after every existing one), so existing
+    /// entries keep their coordinates bit-for-bit. New *sources* shift
+    /// every object's block and need a full rebuild instead — the
+    /// session enforces that distinction.
+    pub fn append_pair_cols(&mut self, extra: usize) {
+        self.dense.append_cols(extra);
+        self.packed.append_cols(extra);
+    }
+}
+
+/// Rescatters the truth-vector rows of the `dirty` attributes against
+/// `reference`, leaving every other row untouched bit-for-bit.
+///
+/// A dirty row is first cleared to all-zero, then rebuilt by the same
+/// claim scatter as [`truth_vector_set_from_result`] — so a rescattered
+/// row is *identical* to the row a from-scratch build would produce,
+/// which is what lets the incremental session maintain the matrix
+/// instead of rebuilding it. Dirty attributes outside the view are
+/// ignored.
+pub fn rescatter_rows(
+    vectors: &mut TruthVectors,
+    view: &DatasetView<'_>,
+    reference: &TruthResult,
+    dirty: &[td_model::AttributeId],
+) {
+    let dataset = view.dataset();
+    let n_sources = dataset.n_sources();
+    let n_cols = vectors.dense.n_cols();
+    let mut row_of = vec![usize::MAX; dataset.n_attributes()];
+    for (r, a) in view.attributes().iter().enumerate() {
+        row_of[a.index()] = r;
+    }
+    let mut dirty_row = vec![false; view.attributes().len()];
+    for a in dirty {
+        let row = row_of[a.index()];
+        if row == usize::MAX {
+            continue;
+        }
+        dirty_row[row] = true;
+        for c in 0..n_cols {
+            vectors.dense.set(row, c, 0.0);
+        }
+        vectors.packed.clear_row(row);
+    }
+    for cell in view.cells() {
+        let row = row_of[cell.attribute.index()];
+        if row == usize::MAX || !dirty_row[row] {
+            continue;
+        }
+        let Some(truth) = reference.prediction(cell.object, cell.attribute) else {
+            continue;
+        };
+        for claim in view.cell_claims(cell) {
+            if claim.value == truth {
+                let col = cell.object.index() * n_sources + claim.source.index();
+                vectors.dense.set(row, col, 1.0);
+                vectors.packed.set_bit(row, col, true);
+            }
+        }
+    }
 }
 
 /// Runs `base` on `view` and builds the truth-vector matrix: one row per
@@ -236,6 +310,47 @@ mod tests {
         assert_eq!(tv.dense, truth_vectors_from_result(&d.view_all(), &reference));
         assert_eq!(tv.rows().n_rows(), tv.dense.n_rows());
         assert_eq!(tv.rows().n_cols(), tv.dense.n_cols());
+    }
+
+    #[test]
+    fn rescatter_matches_from_scratch_build() {
+        // Rebuild one attribute's row against a *different* reference
+        // (the ground-truth-free MajorityVote of a grown dataset) and
+        // check the maintained matrix equals the from-scratch scatter.
+        let d = running_example();
+        let view = d.view_all();
+        let (mut tv, reference) =
+            truth_vector_set(&MajorityVote, &view, &td_obs::Observer::disabled());
+
+        // Rescattering every attribute against the same reference is a
+        // no-op bit-for-bit.
+        let all: Vec<_> = d.attribute_ids().collect();
+        let before = tv.clone();
+        rescatter_rows(&mut tv, &view, &reference, &all);
+        assert_eq!(tv.dense, before.dense);
+        assert_eq!(tv.packed.to_dense(), before.packed.to_dense());
+
+        // Corrupt one row, then rescatter only that attribute: the row
+        // comes back, the others were never touched.
+        let q2 = d.attribute_id("Q2").unwrap();
+        tv.dense.set(q2.index(), 0, 0.5);
+        tv.packed.set_bit(q2.index(), 0, true);
+        rescatter_rows(&mut tv, &view, &reference, &[q2]);
+        assert_eq!(tv.dense, before.dense);
+        assert_eq!(tv.packed.to_dense(), before.packed.to_dense());
+    }
+
+    #[test]
+    fn append_keeps_representations_in_lockstep() {
+        let d = running_example();
+        let (mut tv, _) =
+            truth_vector_set(&MajorityVote, &d.view_all(), &td_obs::Observer::disabled());
+        let (rows, cols) = (tv.dense.n_rows(), tv.dense.n_cols());
+        tv.append_attribute_rows(2);
+        tv.append_pair_cols(67); // crosses a word boundary in the packed side
+        assert_eq!(tv.dense.n_rows(), rows + 2);
+        assert_eq!(tv.dense.n_cols(), cols + 67);
+        assert_eq!(tv.packed.to_dense(), tv.dense);
     }
 
     #[test]

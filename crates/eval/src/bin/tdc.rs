@@ -1,9 +1,12 @@
 //! `tdc` — run truth discovery on a JSON dataset from the command line.
 //!
 //! ```text
-//! tdc run   --input data.json|claims.csv [--truth truth.csv] --algo accu
-//!           [--tdac] [--parallel] [--masked] [--output predictions.json]
-//! tdc stats --input data.json|claims.csv [--truth truth.csv]
+//! tdc run    --input data.json|claims.csv [--truth truth.csv] --algo accu
+//!            [--tdac] [--parallel] [--masked] [--output predictions.json]
+//! tdc stream --input base.json|base.csv --algo accu --batch b1.csv [--batch b2.csv ...]
+//!            [--policy always|never|drift:<threshold>] [--parallel]
+//!            [--deadline-ms <n>] [--truth truth.csv] [--output predictions.json]
+//! tdc stats  --input data.json|claims.csv [--truth truth.csv]
 //! tdc algos
 //! ```
 //!
@@ -12,6 +15,11 @@
 //! optionally with a `--truth` CSV (`object,attribute,value`). Anything
 //! else is read as the `td-model` JSON bundle. When ground truth is
 //! available an evaluation report is printed after the predictions.
+//!
+//! `stream` runs the incremental engine: the base input starts a
+//! `TdacSession`, each `--batch` file (same claim formats) is ingested
+//! in order with a per-batch report on stderr, and the final accumulated
+//! predictions are emitted like `run`. See `docs/STREAMING.md`.
 
 use std::env;
 use std::fs;
@@ -19,18 +27,24 @@ use std::process::ExitCode;
 
 use td_algorithms::{algorithm_by_name, registry::all_algorithms, TruthDiscovery};
 use td_metrics::{evaluate_fn, Stopwatch};
-use td_model::{csv, json, Dataset, DatasetStats, GroundTruth};
-use tdac_core::{ExecutionLimits, Parallelism, Tdac, TdacConfig};
+use td_model::{csv, json, ClaimBatch, Dataset, DatasetStats, GroundTruth};
+use tdac_core::{
+    ExecutionLimits, Parallelism, RepartitionPolicy, Tdac, TdacConfig, TdacSession,
+};
 
 const USAGE: &str = "usage:\n  tdc run --input <data.json|claims.csv> [--truth <truth.csv>] \
 --algo <name> [--tdac] [--masked] [--parallel] [--deadline-ms <n>] \
 [--output <predictions.json>]\n  \
+tdc stream --input <base.json|base.csv> --algo <name> --batch <claims.csv|data.json> \
+[--batch ...] [--policy always|never|drift:<threshold>] [--parallel] [--deadline-ms <n>] \
+[--truth <truth.csv>] [--output <predictions.json>]\n  \
 tdc stats --input <data.json|claims.csv> [--truth <truth.csv>]\n  tdc algos";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("algos") => {
             for algo in all_algorithms() {
@@ -123,16 +137,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("{input}: {e}");
         return ExitCode::FAILURE;
     }
-    let limits = match flag_value(args, "--deadline-ms") {
-        Some(ms) => match ms.parse::<u64>() {
-            Ok(ms) if ms > 0 => ExecutionLimits::none()
-                .with_deadline(std::time::Duration::from_millis(ms)),
-            _ => {
-                eprintln!("--deadline-ms wants a positive integer, got {ms:?}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => ExecutionLimits::none(),
+    let limits = match parse_limits(args) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
 
     let sw = Stopwatch::start();
@@ -173,8 +183,174 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("# DEGRADED: {deg} (best-so-far result below)");
     }
 
-    // Emit predictions (stdout or --output) as JSON lines of
-    // {object, attribute, value, confidence}.
+    if let Err(e) = emit_predictions(&dataset, &result, output) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(truth) = truth {
+        let report = evaluate_fn(&dataset, &truth, |o, a| result.prediction(o, a));
+        eprintln!("# evaluation: {report}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_stream(args: &[String]) -> ExitCode {
+    let Some(input) = flag_value(args, "--input") else {
+        eprintln!("--input is required\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(algo_name) = flag_value(args, "--algo") else {
+        eprintln!("--algo is required (see `tdc algos`)\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(algo) = algorithm_by_name(&algo_name) else {
+        eprintln!("unknown algorithm {algo_name:?}; see `tdc algos`");
+        return ExitCode::FAILURE;
+    };
+    let batch_paths = flag_values(args, "--batch");
+    if batch_paths.is_empty() {
+        eprintln!("stream wants at least one --batch\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let policy = match flag_value(args, "--policy").as_deref() {
+        // Default to the mode whose outcome is bit-identical to a
+        // from-scratch `tdc run --tdac` on the accumulated claims.
+        None | Some("always") => RepartitionPolicy::Always,
+        Some("never") => RepartitionPolicy::Never,
+        Some(p) => match p.strip_prefix("drift:").and_then(|t| t.parse::<f64>().ok()) {
+            Some(t) => RepartitionPolicy::OnDrift(t),
+            None => {
+                eprintln!("--policy wants always, never, or drift:<threshold>, got {p:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let output = flag_value(args, "--output");
+
+    let truth_path = flag_value(args, "--truth");
+    let (dataset, truth) = match load(&input, truth_path.as_deref()) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let limits = match parse_limits(args) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = TdacConfig {
+        parallelism: if has_flag(args, "--parallel") {
+            Parallelism::Auto
+        } else {
+            Parallelism::Threads(1)
+        },
+        limits,
+        ..Default::default()
+    };
+
+    let sw = Stopwatch::start();
+    let mut session = match TdacSession::start(algo, config, policy, dataset) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{input}: session start failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# session on {input}: partition {} over {} claims",
+        session.partition(),
+        session.dataset().n_claims()
+    );
+    for path in &batch_paths {
+        let batch = match batch_from_file(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match session.ingest(&batch) {
+            Ok(report) => eprintln!(
+                "# {path}: +{} claims, {} dirty attrs, reused {}/{} groups{}{}{}",
+                report.summary.appended_claims,
+                report.dirty_attributes.len(),
+                report.groups_reused,
+                report.groups_total,
+                if report.rebuilt { ", rebuilt" } else { "" },
+                if report.repartitioned { ", re-partitioned" } else { "" },
+                if report.outcome.degradation.is_some() { ", DEGRADED" } else { "" },
+            ),
+            Err(e) => {
+                eprintln!("{path}: ingest failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let elapsed = sw.elapsed_secs();
+
+    let outcome = session.outcome();
+    eprintln!(
+        "# {algo_name} (streaming) on {} batches: {} predictions in {elapsed:.3}s",
+        session.batches_applied(),
+        outcome.result.len()
+    );
+    eprintln!("# partition: {}", outcome.partition);
+    if let Some(deg) = &outcome.degradation {
+        eprintln!("# DEGRADED: {deg} (best-so-far result below)");
+    }
+    if let Err(e) = emit_predictions(session.dataset(), &outcome.result, output) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(truth) = truth {
+        let report = evaluate_fn(session.dataset(), &truth, |o, a| {
+            outcome.result.prediction(o, a)
+        });
+        eprintln!("# evaluation: {report}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Reads a batch file (same formats as `--input`) into a [`ClaimBatch`]
+/// by entity name — the session re-interns against its own dataset.
+fn batch_from_file(path: &str) -> Result<ClaimBatch, String> {
+    let (d, _) = load(path, None)?;
+    let mut batch = ClaimBatch::new();
+    for c in d.claims() {
+        batch.claim(
+            d.source_name(c.source),
+            d.object_name(c.object),
+            d.attribute_name(c.attribute),
+            d.value(c.value).clone(),
+        );
+    }
+    Ok(batch)
+}
+
+fn parse_limits(args: &[String]) -> Result<ExecutionLimits, String> {
+    match flag_value(args, "--deadline-ms") {
+        Some(ms) => match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => {
+                Ok(ExecutionLimits::none().with_deadline(std::time::Duration::from_millis(ms)))
+            }
+            _ => Err(format!("--deadline-ms wants a positive integer, got {ms:?}")),
+        },
+        None => Ok(ExecutionLimits::none()),
+    }
+}
+
+/// Emits predictions (stdout or `--output`) as a JSON array of
+/// `{object, attribute, value, confidence}` rows sorted by cell.
+fn emit_predictions(
+    dataset: &Dataset,
+    result: &td_algorithms::TruthResult,
+    output: Option<String>,
+) -> Result<(), String> {
     let mut rows: Vec<serde_json::Value> = Vec::with_capacity(result.len());
     let mut sorted: Vec<_> = result.iter().collect();
     sorted.sort_by_key(|&(o, a, _, _)| (o, a));
@@ -189,20 +365,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let body = serde_json::to_string_pretty(&rows).expect("serialize predictions");
     match output {
         Some(path) => {
-            if let Err(e) = fs::write(&path, body) {
-                eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+            fs::write(&path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!("# wrote {path}");
         }
         None => println!("{body}"),
     }
-
-    if let Some(truth) = truth {
-        let report = evaluate_fn(&dataset, &truth, |o, a| result.prediction(o, a));
-        eprintln!("# evaluation: {report}");
-    }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -210,6 +378,15 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+fn flag_values(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {

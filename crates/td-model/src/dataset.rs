@@ -6,6 +6,7 @@ use std::ops::Range;
 use serde::{Deserialize, Serialize};
 
 use crate::claim::Claim;
+use crate::delta::{ClaimBatch, DeltaSummary};
 use crate::error::ModelError;
 use crate::ids::{AttributeId, Interner, ObjectId, SourceId, ValueId};
 use crate::truth::GroundTruth;
@@ -229,6 +230,157 @@ impl Dataset {
         self.objects.rebuild_index();
         self.attributes.rebuild_index();
     }
+
+    /// Looks up the claim a source asserted for a cell, if any
+    /// (binary search over the `(attribute, object, source)` sort).
+    pub fn claim_of(
+        &self,
+        source: SourceId,
+        object: ObjectId,
+        attribute: AttributeId,
+    ) -> Option<&Claim> {
+        self.claims
+            .binary_search_by_key(&(attribute, object, source), |c| {
+                (c.attribute, c.object, c.source)
+            })
+            .ok()
+            .map(|i| &self.claims[i])
+    }
+
+    /// Applies an append-only [`ClaimBatch`], producing the grown
+    /// dataset plus a [`DeltaSummary`] of what changed. `self` is
+    /// untouched (datasets are immutable); entity ids are **stable** —
+    /// existing sources/objects/attributes/values keep their ids, new
+    /// ones are appended to the interners in first-appearance order.
+    ///
+    /// Re-asserting an existing claim with the same value (in the
+    /// dataset or within the batch) is a no-op; asserting a *different*
+    /// value for an already-claimed `(source, object, attribute)` is
+    /// [`ModelError::ConflictingClaim`] — claims are append-only, never
+    /// updated in place.
+    pub fn apply_batch(&self, batch: &ClaimBatch) -> Result<(Dataset, DeltaSummary), ModelError> {
+        let mut sources = self.sources.clone();
+        let mut objects = self.objects.clone();
+        let mut attributes = self.attributes.clone();
+        let mut values = self.values.clone();
+        let mut value_index: HashMap<Value, ValueId> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), ValueId::new(i as u32)))
+            .collect();
+        let (old_sources, old_objects, old_attributes) =
+            (sources.len(), objects.len(), attributes.len());
+
+        let mut appended: Vec<Claim> = Vec::with_capacity(batch.len());
+        let mut seen: HashMap<(u32, u32, u32), ValueId> = HashMap::new();
+        for (source, object, attribute, value) in batch.rows() {
+            let s = SourceId::new(sources.intern(source));
+            let o = ObjectId::new(objects.intern(object));
+            let a = AttributeId::new(attributes.intern(attribute));
+            let v = match value_index.get(value) {
+                Some(&id) => id,
+                None => {
+                    let id = ValueId::new(values.len() as u32);
+                    values.push(value.clone());
+                    value_index.insert(value.clone(), id);
+                    id
+                }
+            };
+
+            let conflict = || ModelError::ConflictingClaim {
+                source: source.clone(),
+                object: object.clone(),
+                attribute: attribute.clone(),
+            };
+            if let Some(existing) = self.claim_of(s, o, a) {
+                if existing.value == v {
+                    continue; // duplicate of an existing claim
+                }
+                return Err(conflict());
+            }
+            match seen.insert((s.0, o.0, a.0), v) {
+                None => appended.push(Claim::new(s, o, a, v)),
+                Some(prev) if prev == v => {} // duplicate within the batch
+                Some(_) => return Err(conflict()),
+            }
+        }
+
+        let dirty: Vec<AttributeId> = {
+            let mut attrs: Vec<AttributeId> = appended.iter().map(|c| c.attribute).collect();
+            attrs.sort_unstable();
+            attrs.dedup();
+            attrs
+        };
+        let summary = DeltaSummary {
+            dirty_attributes: dirty,
+            new_sources: sources.len() - old_sources,
+            new_objects: objects.len() - old_objects,
+            new_attributes: attributes.len() - old_attributes,
+            appended_claims: appended.len(),
+        };
+
+        let mut claims = self.claims.clone();
+        claims.extend(appended);
+        claims.sort_unstable_by_key(|c| (c.attribute, c.object, c.source));
+        let (cells, cells_by_attr, by_source) =
+            index_claims(&claims, attributes.len(), sources.len());
+        let dataset = Dataset {
+            sources,
+            objects,
+            attributes,
+            values,
+            claims,
+            cells,
+            cells_by_attr,
+            by_source,
+        };
+        Ok((dataset, summary))
+    }
+}
+
+/// Indexes an `(attribute, object, source)`-sorted claim vector into
+/// cells, per-attribute cell ranges, and per-source claim indexes — the
+/// shared back half of [`DatasetBuilder::build_with_truth`] and
+/// [`Dataset::apply_batch`].
+fn index_claims(
+    claims: &[Claim],
+    n_attributes: usize,
+    n_sources: usize,
+) -> (Vec<Cell>, Vec<(u32, u32)>, Vec<Vec<u32>>) {
+    // Group contiguous runs of equal (attribute, object) into cells.
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut i = 0usize;
+    while i < claims.len() {
+        let (a, o) = (claims[i].attribute, claims[i].object);
+        let start = i;
+        while i < claims.len() && claims[i].attribute == a && claims[i].object == o {
+            i += 1;
+        }
+        cells.push(Cell {
+            object: o,
+            attribute: a,
+            claims_start: start as u32,
+            claims_end: i as u32,
+        });
+    }
+
+    // Per-attribute ranges over the cell vector.
+    let mut cells_by_attr = vec![(0u32, 0u32); n_attributes];
+    let mut j = 0usize;
+    for a in 0..n_attributes {
+        let start = j;
+        while j < cells.len() && cells[j].attribute.index() == a {
+            j += 1;
+        }
+        cells_by_attr[a] = (start as u32, j as u32);
+    }
+
+    // Per-source claim indexes.
+    let mut by_source = vec![Vec::new(); n_sources];
+    for (idx, c) in claims.iter().enumerate() {
+        by_source[c.source.index()].push(idx as u32);
+    }
+    (cells, cells_by_attr, by_source)
 }
 
 /// Incremental [`Dataset`] constructor.
@@ -361,41 +513,8 @@ impl DatasetBuilder {
             })
             .collect();
         claims.sort_unstable_by_key(|c| (c.attribute, c.object, c.source));
-
-        // Group contiguous runs of equal (attribute, object) into cells.
-        let mut cells: Vec<Cell> = Vec::new();
-        let mut i = 0usize;
-        while i < claims.len() {
-            let (a, o) = (claims[i].attribute, claims[i].object);
-            let start = i;
-            while i < claims.len() && claims[i].attribute == a && claims[i].object == o {
-                i += 1;
-            }
-            cells.push(Cell {
-                object: o,
-                attribute: a,
-                claims_start: start as u32,
-                claims_end: i as u32,
-            });
-        }
-
-        // Per-attribute ranges over the cell vector.
-        let n_attrs = self.attributes.len();
-        let mut cells_by_attr = vec![(0u32, 0u32); n_attrs];
-        let mut j = 0usize;
-        for a in 0..n_attrs {
-            let start = j;
-            while j < cells.len() && cells[j].attribute.index() == a {
-                j += 1;
-            }
-            cells_by_attr[a] = (start as u32, j as u32);
-        }
-
-        // Per-source claim indexes.
-        let mut by_source = vec![Vec::new(); self.sources.len()];
-        for (idx, c) in claims.iter().enumerate() {
-            by_source[c.source.index()].push(idx as u32);
-        }
+        let (cells, cells_by_attr, by_source) =
+            index_claims(&claims, self.attributes.len(), self.sources.len());
 
         let dataset = Dataset {
             sources: self.sources,

@@ -1,0 +1,308 @@
+//! Append-only claim deltas over an immutable [`Dataset`].
+//!
+//! The incremental truth-discovery engine (`tdac_core::TdacSession`)
+//! ingests claims in batches instead of rebuilding the dataset from
+//! scratch. The model-layer vocabulary for that lives here:
+//!
+//! * [`ClaimBatch`] — a name-based buffer of claims to append, mirroring
+//!   [`crate::DatasetBuilder::claim`]'s conflict discipline (identical
+//!   re-assertions are no-ops, contradictory ones are errors — claims
+//!   are append-only, never updated in place);
+//! * [`Dataset::apply_batch`] — merges a batch into a new dataset with
+//!   **stable entity ids** (existing sources/objects/attributes/values
+//!   keep their ids; new entities append to the interners), which is
+//!   what lets downstream caches — truth-vector rows, distance-matrix
+//!   entries, per-group results — survive an ingest;
+//! * [`DeltaSummary`] — what a batch actually changed: the sorted dirty
+//!   attribute set and the counts of new entities, driving the
+//!   dirty-attribute recomputation rules documented in
+//!   `docs/STREAMING.md`;
+//! * [`DeltaDataset`] — the accumulated dataset plus ingest bookkeeping,
+//!   enforcing the [`Dataset::validate_for_discovery`] discipline at the
+//!   base and after every batch.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::error::ModelError;
+use crate::ids::AttributeId;
+use crate::value::Value;
+
+/// A buffered batch of claims to append to a [`Dataset`], by entity
+/// name. Building a batch never fails; duplicate and conflicting rows
+/// are resolved (or rejected) when the batch is applied, against both
+/// the target dataset and the batch itself.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClaimBatch {
+    rows: Vec<(String, String, String, Value)>,
+}
+
+impl ClaimBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one claim: `source` asserts that `attribute` of `object`
+    /// has `value`.
+    pub fn claim(
+        &mut self,
+        source: impl Into<String>,
+        object: impl Into<String>,
+        attribute: impl Into<String>,
+        value: Value,
+    ) -> &mut Self {
+        self.rows
+            .push((source.into(), object.into(), attribute.into(), value));
+        self
+    }
+
+    /// Number of buffered rows (before de-duplication on apply).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The buffered `(source, object, attribute, value)` rows, in
+    /// insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = &(String, String, String, Value)> {
+        self.rows.iter()
+    }
+}
+
+/// What one applied [`ClaimBatch`] changed, as seen by incremental
+/// consumers deciding how much cached state survives.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaSummary {
+    /// Attributes touched by at least one appended claim, ascending.
+    /// (Attributes whose *reference truth* changed as a knock-on effect
+    /// are a consumer-level notion — see `tdac_core`'s session.)
+    pub dirty_attributes: Vec<AttributeId>,
+    /// Sources first seen in this batch.
+    pub new_sources: usize,
+    /// Objects first seen in this batch.
+    pub new_objects: usize,
+    /// Attributes first seen in this batch.
+    pub new_attributes: usize,
+    /// Claims actually appended (batch rows minus duplicates).
+    pub appended_claims: usize,
+}
+
+impl DeltaSummary {
+    /// Whether the batch changed nothing at all (every row was a
+    /// duplicate of an existing claim and no new entity was named).
+    pub fn is_noop(&self) -> bool {
+        self.appended_claims == 0
+            && self.new_sources == 0
+            && self.new_objects == 0
+            && self.new_attributes == 0
+    }
+
+    /// Whether the batch grew an entity dimension (new sources, objects
+    /// or attributes) rather than only adding claims between known ones.
+    pub fn grew_entities(&self) -> bool {
+        self.new_sources > 0 || self.new_objects > 0 || self.new_attributes > 0
+    }
+}
+
+/// An append-only sequence of claim batches over a validated base
+/// [`Dataset`]: the current accumulated dataset plus ingest counters.
+///
+/// Both the base and every post-batch state satisfy
+/// [`Dataset::validate_for_discovery`] (appending claims can only grow
+/// the counts that validation checks, so the per-batch re-check is a
+/// cheap invariant assertion, not a way to lose data).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeltaDataset {
+    current: Dataset,
+    batches_applied: usize,
+    claims_appended: usize,
+}
+
+impl DeltaDataset {
+    /// Starts from a base dataset, rejecting degenerate ones up front.
+    pub fn new(base: Dataset) -> Result<Self, ModelError> {
+        base.validate_for_discovery()?;
+        Ok(Self {
+            current: base,
+            batches_applied: 0,
+            claims_appended: 0,
+        })
+    }
+
+    /// The accumulated dataset (base plus every applied batch).
+    pub fn current(&self) -> &Dataset {
+        &self.current
+    }
+
+    /// Applies one batch, returning its [`DeltaSummary`]. On error the
+    /// accumulated dataset is unchanged (apply is copy-on-write).
+    pub fn apply(&mut self, batch: &ClaimBatch) -> Result<DeltaSummary, ModelError> {
+        let (next, summary) = self.current.apply_batch(batch)?;
+        next.validate_for_discovery()?;
+        self.current = next;
+        self.batches_applied += 1;
+        self.claims_appended += summary.appended_claims;
+        Ok(summary)
+    }
+
+    /// Number of batches applied since the base.
+    pub fn batches_applied(&self) -> usize {
+        self.batches_applied
+    }
+
+    /// Total claims appended since the base.
+    pub fn claims_appended(&self) -> usize {
+        self.claims_appended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::ids::{ObjectId, SourceId};
+
+    fn base() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o1", "a1", Value::int(1)).unwrap();
+        b.claim("s2", "o1", "a1", Value::int(2)).unwrap();
+        b.claim("s1", "o1", "a2", Value::int(3)).unwrap();
+        b.claim("s2", "o1", "a2", Value::int(3)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn apply_batch_appends_with_stable_ids() {
+        let d = base();
+        let (s1, o1, a1) = (
+            d.source_id("s1").unwrap(),
+            d.object_id("o1").unwrap(),
+            d.attribute_id("a1").unwrap(),
+        );
+        let mut batch = ClaimBatch::new();
+        batch
+            .claim("s3", "o1", "a1", Value::int(1))
+            .claim("s1", "o2", "a3", Value::int(9));
+        let (next, summary) = d.apply_batch(&batch).unwrap();
+        // Old ids survive.
+        assert_eq!(next.source_id("s1"), Some(s1));
+        assert_eq!(next.object_id("o1"), Some(o1));
+        assert_eq!(next.attribute_id("a1"), Some(a1));
+        // New entities appended after the old ones.
+        assert_eq!(next.source_id("s3"), Some(SourceId::new(2)));
+        assert_eq!(next.object_id("o2"), Some(ObjectId::new(1)));
+        assert_eq!(next.n_claims(), 6);
+        assert_eq!(summary.appended_claims, 2);
+        assert_eq!(summary.new_sources, 1);
+        assert_eq!(summary.new_objects, 1);
+        assert_eq!(summary.new_attributes, 1);
+        assert!(summary.grew_entities());
+        // Dirty attributes: a1 (touched) and the new a3, sorted.
+        assert_eq!(
+            summary.dirty_attributes,
+            vec![a1, next.attribute_id("a3").unwrap()]
+        );
+        // The original dataset is untouched.
+        assert_eq!(d.n_claims(), 4);
+    }
+
+    #[test]
+    fn applied_batch_matches_from_scratch_build() {
+        // Appending a batch must index identically to building the
+        // accumulated claim set in one shot (ids included, since the
+        // batch names entities in the same first-appearance order).
+        let d = base();
+        let mut batch = ClaimBatch::new();
+        batch
+            .claim("s2", "o2", "a1", Value::int(5))
+            .claim("s3", "o1", "a2", Value::int(3));
+        let (next, _) = d.apply_batch(&batch).unwrap();
+
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o1", "a1", Value::int(1)).unwrap();
+        b.claim("s2", "o1", "a1", Value::int(2)).unwrap();
+        b.claim("s1", "o1", "a2", Value::int(3)).unwrap();
+        b.claim("s2", "o1", "a2", Value::int(3)).unwrap();
+        b.claim("s2", "o2", "a1", Value::int(5)).unwrap();
+        b.claim("s3", "o1", "a2", Value::int(3)).unwrap();
+        let scratch = b.build();
+        assert_eq!(next.n_claims(), scratch.n_claims());
+        assert_eq!(next.n_cells(), scratch.n_cells());
+        for (c1, c2) in next.claims().iter().zip(scratch.claims()) {
+            assert_eq!((c1.source, c1.object, c1.attribute), (c2.source, c2.object, c2.attribute));
+            assert_eq!(next.value(c1.value), scratch.value(c2.value));
+        }
+    }
+
+    #[test]
+    fn duplicate_rows_are_noops_and_conflicts_are_errors() {
+        let d = base();
+        // Exact duplicate of an existing claim: no-op.
+        let mut dup = ClaimBatch::new();
+        dup.claim("s1", "o1", "a1", Value::int(1));
+        let (next, summary) = d.apply_batch(&dup).unwrap();
+        assert_eq!(next.n_claims(), 4);
+        assert!(summary.is_noop());
+        assert!(summary.dirty_attributes.is_empty());
+
+        // Contradicting an existing claim: error, original untouched.
+        let mut conflict = ClaimBatch::new();
+        conflict.claim("s1", "o1", "a1", Value::int(99));
+        let err = d.apply_batch(&conflict).unwrap_err();
+        assert!(matches!(err, ModelError::ConflictingClaim { .. }));
+
+        // Within-batch: duplicate collapses, contradiction errors.
+        let mut within = ClaimBatch::new();
+        within
+            .claim("s9", "o1", "a1", Value::int(7))
+            .claim("s9", "o1", "a1", Value::int(7));
+        let (next, summary) = d.apply_batch(&within).unwrap();
+        assert_eq!(summary.appended_claims, 1);
+        assert_eq!(next.n_claims(), 5);
+        let mut clash = ClaimBatch::new();
+        clash
+            .claim("s9", "o1", "a1", Value::int(7))
+            .claim("s9", "o1", "a1", Value::int(8));
+        assert!(d.apply_batch(&clash).is_err());
+    }
+
+    #[test]
+    fn delta_dataset_validates_and_accumulates() {
+        let err = DeltaDataset::new(DatasetBuilder::new().build()).unwrap_err();
+        assert!(matches!(err, ModelError::DegenerateDataset { .. }));
+
+        let mut delta = DeltaDataset::new(base()).unwrap();
+        let mut batch = ClaimBatch::new();
+        batch.claim("s3", "o1", "a1", Value::int(2));
+        let summary = delta.apply(&batch).unwrap();
+        assert_eq!(summary.appended_claims, 1);
+        assert_eq!(delta.batches_applied(), 1);
+        assert_eq!(delta.claims_appended(), 1);
+        assert_eq!(delta.current().n_claims(), 5);
+
+        // A failing batch leaves the accumulated state untouched.
+        let mut bad = ClaimBatch::new();
+        bad.claim("s1", "o1", "a1", Value::int(42));
+        assert!(delta.apply(&bad).is_err());
+        assert_eq!(delta.current().n_claims(), 5);
+        assert_eq!(delta.batches_applied(), 1);
+    }
+
+    #[test]
+    fn claim_of_finds_existing_claims() {
+        let d = base();
+        let (s1, o1, a2) = (
+            d.source_id("s1").unwrap(),
+            d.object_id("o1").unwrap(),
+            d.attribute_id("a2").unwrap(),
+        );
+        let c = d.claim_of(s1, o1, a2).unwrap();
+        assert_eq!(d.value(c.value), &Value::int(3));
+        assert!(d.claim_of(SourceId::new(7), o1, a2).is_none());
+    }
+}

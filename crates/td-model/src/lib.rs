@@ -47,6 +47,7 @@
 pub mod claim;
 pub mod csv;
 pub mod dataset;
+pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod json;
@@ -58,6 +59,7 @@ pub mod view;
 
 pub use claim::Claim;
 pub use dataset::{Cell, Dataset, DatasetBuilder};
+pub use delta::{ClaimBatch, DeltaDataset, DeltaSummary};
 pub use error::ModelError;
 pub use ids::{AttributeId, Interner, ObjectId, SourceId, ValueId};
 pub use similarity::{SimilarityConfig, ValueSimilarity};

@@ -86,11 +86,22 @@ pub enum Counter {
     /// Worker panics caught at a task boundary and converted into a
     /// typed `WorkerPanic` error instead of aborting the process.
     WorkerPanics = 11,
+    /// Attributes whose truth vectors had to be recomputed by an
+    /// incremental `ingest()` (touched by delta claims or by a changed
+    /// reference prediction).
+    DirtyAttributes = 12,
+    /// Partition groups whose cached per-group `TruthResult` was reused
+    /// by an incremental `ingest()` instead of re-running the base
+    /// algorithm.
+    PartitionsReused = 13,
+    /// Full re-partitions (k-sweeps) scheduled by the drift trigger or
+    /// forced by structural growth during incremental ingestion.
+    DriftRepartitions = 14,
 }
 
 impl Counter {
     /// Number of fixed counters (the backing array length).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 15;
 
     /// All fixed counters, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -106,6 +117,9 @@ impl Counter {
         Counter::BudgetChecks,
         Counter::DegradedRuns,
         Counter::WorkerPanics,
+        Counter::DirtyAttributes,
+        Counter::PartitionsReused,
+        Counter::DriftRepartitions,
     ];
 
     /// Stable snake_case name used in [`RunProfile`] and JSON reports.
@@ -123,6 +137,9 @@ impl Counter {
             Counter::BudgetChecks => "budget_checks",
             Counter::DegradedRuns => "degraded_runs",
             Counter::WorkerPanics => "worker_panics",
+            Counter::DirtyAttributes => "dirty_attributes",
+            Counter::PartitionsReused => "partitions_reused",
+            Counter::DriftRepartitions => "drift_repartitions",
         }
     }
 }

@@ -5,7 +5,10 @@
 //! budget trips it wants the *best answer so far*, clearly flagged, not
 //! an error page. This example wires all three through
 //! [`ExecutionLimits`] and shows how a caller tells a complete outcome
-//! from a degraded one.
+//! from a degraded one. The second half keeps the service *running*: a
+//! streaming ingest→query loop over a [`TdacSession`], where each tick
+//! appends a claim batch under the same deadline and serves the fresh
+//! truth without recomputing the clean parts of the pipeline.
 //!
 //! ```sh
 //! cargo run --release --example robust_service
@@ -15,8 +18,8 @@ use std::time::Duration;
 
 use td_ac::algorithms::Accu;
 use td_ac::core::{Tdac, TdacConfig};
-use td_ac::model::{DatasetBuilder, Value};
-use td_ac::{CancelToken, ExecutionLimits};
+use td_ac::model::{ClaimBatch, DatasetBuilder, Value};
+use td_ac::{CancelToken, ExecutionLimits, RepartitionPolicy, TdacSession};
 
 fn main() {
     // A store-inventory feed: supplier A is right about logistics
@@ -79,5 +82,80 @@ fn main() {
     println!(
         "starved run: {deg} — returned {} predictions anyway",
         outcome.result.len()
+    );
+
+    // ── Streaming: the feed keeps arriving after the first answer ──
+    //
+    // A long-lived service should not rebuild the pipeline per tick.
+    // The session ingests each batch, recomputes only the attributes
+    // the batch dirtied, and re-partitions only when the pinned
+    // grouping's silhouette drifts. Every ingest runs under the same
+    // 250 ms deadline as the one-shot handler above.
+    let limits = ExecutionLimits::none()
+        .with_deadline(Duration::from_millis(250))
+        .with_cancel(cancel.clone());
+    let config = TdacConfig::builder()
+        .limits(limits)
+        .build()
+        .expect("valid config");
+    let mut session = TdacSession::start(
+        Accu::default(),
+        config,
+        RepartitionPolicy::OnDrift(0.05),
+        dataset,
+    )
+    .expect("session starts from the validated feed");
+    println!(
+        "session live: partition {} over {} claims",
+        session.partition(),
+        session.dataset().n_claims()
+    );
+
+    // Five ticks of fresh SKUs: suppliers keep their per-group
+    // reliability, so the planted structure — and the pinned partition
+    // — should survive without a re-sweep.
+    for tick in 0..5i64 {
+        let mut batch = ClaimBatch::new();
+        let item = 12 + tick;
+        let obj = format!("sku-{item}");
+        for (ai, attr) in ["weight", "stock", "price", "discount"].iter().enumerate() {
+            let truth = item * 100 + ai as i64;
+            let noise = 9_000 + item * 100 + ai as i64;
+            let (a_val, b_val) = if ai < 2 { (truth, noise) } else { (noise, truth) };
+            batch
+                .claim("supplier-a", &obj, *attr, Value::int(a_val))
+                .claim("supplier-b", &obj, *attr, Value::int(b_val))
+                .claim("aggregator-1", &obj, *attr, Value::int(truth))
+                .claim("aggregator-2", &obj, *attr, Value::int(noise + 500 + ai as i64));
+        }
+        let report = session.ingest(&batch).expect("feed batches are consistent");
+
+        // Query side of the tick: serve the fresh truth for the SKU
+        // the batch just introduced.
+        let (o, a) = (
+            session.dataset().object_id(&obj).expect("just ingested"),
+            session.dataset().attribute_id("price").expect("known attribute"),
+        );
+        let served = report
+            .outcome
+            .result
+            .prediction(o, a)
+            .map(|v| format!("{}", session.dataset().value(v)))
+            .unwrap_or_else(|| "<no claim>".to_string());
+        println!(
+            "tick {tick}: +{} claims, {} dirty attrs, reused {}/{} groups{}{} → {obj}.price = {served}",
+            report.summary.appended_claims,
+            report.dirty_attributes.len(),
+            report.groups_reused,
+            report.groups_total,
+            if report.repartitioned { ", re-partitioned" } else { "" },
+            if report.outcome.degradation.is_some() { ", DEGRADED" } else { "" },
+        );
+    }
+    println!(
+        "session end: {} batches, {} claims appended, partition {}",
+        session.batches_applied(),
+        session.claims_appended(),
+        session.partition()
     );
 }

@@ -86,6 +86,21 @@ for bench_id, rec in benches.items():
 if overheads:
     doc["limits_overhead"] = overheads
 
+# Any "<prefix>/full_recompute" + "<prefix>/incremental_append" pair
+# compares a from-scratch pipeline run on the accumulated claims with a
+# session ingest of the same delta batch: record the full/incremental
+# throughput ratio under "streaming_speedups" (docs/STREAMING.md).
+streaming = {}
+for bench_id, rec in benches.items():
+    if not bench_id.endswith("/full_recompute"):
+        continue
+    prefix = bench_id[: -len("/full_recompute")]
+    inc = benches.get(prefix + "/incremental_append")
+    if inc and inc["median_ns"] > 0:
+        streaming[prefix] = round(rec["median_ns"] / inc["median_ns"], 2)
+if streaming:
+    doc["streaming_speedups"] = streaming
+
 if os.path.exists(profile_path):
     with open(profile_path) as f:
         doc["profile"] = json.load(f)
@@ -100,6 +115,10 @@ if speedups:
 if overheads:
     extra += "; limits overhead: " + ", ".join(
         f"{k} {(v - 1) * 100:+.2f}%" for k, v in sorted(overheads.items())
+    )
+if streaming:
+    extra += "; streaming speedups: " + ", ".join(
+        f"{k} {v}x" for k, v in sorted(streaming.items())
     )
 print(f"wrote {out_path} ({len(benches)} benches{extra})")
 PY

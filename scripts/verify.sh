@@ -29,6 +29,9 @@ echo "== chaos oracles: injected panics/stalls/cancels + budget invariants =="
 cargo test --offline -q -p td-verify --test chaos
 cargo test --offline -q -p td-verify --test limits_props
 
+echo "== incremental oracle: session ingest vs batch recompute, bit-identical =="
+cargo test --offline -q -p td-verify --test incremental
+
 echo "== expensive oracles: Bell(7)/Bell(8) brute-force differentials =="
 cargo test --offline -q -p td-verify --features expensive-oracles
 

@@ -62,6 +62,11 @@ pub use tdac_core::{
     KernelPolicy, Observer, RunProfile, Rows, TdError, WorkCompleted,
 };
 
+// The incremental (streaming) engine: claim batches in, dirty-attribute
+// recomputation out. See `docs/STREAMING.md`.
+pub use td_model::{ClaimBatch, DeltaDataset, DeltaSummary};
+pub use tdac_core::{IngestReport, RepartitionPolicy, SessionError, TdacSession};
+
 /// The crate version, for diagnostics.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
@@ -92,6 +97,9 @@ mod tests {
             .with_cancel(crate::CancelToken::new());
         let _ = crate::DegradationReason::Cancelled;
         let _ = crate::WorkCompleted::default();
+        let _ = crate::ClaimBatch::new();
+        let _ = crate::RepartitionPolicy::OnDrift(0.05);
+        let _: fn(crate::model::ModelError) -> crate::SessionError = crate::SessionError::Model;
         assert!(!crate::VERSION.is_empty());
     }
 }

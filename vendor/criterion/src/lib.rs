@@ -1,0 +1,262 @@
+//! A minimal, dependency-free, criterion-API-compatible bench harness.
+//!
+//! The TD-AC workspace vendors every dependency and builds offline, so
+//! the real criterion crate (and its tree of transitive deps) is out of
+//! reach. The benches only use a small slice of its API — groups,
+//! `bench_function` / `bench_with_input`, `sample_size`, `Throughput`,
+//! `BenchmarkId` — which this shim reimplements with a plain
+//! `Instant`-based timer:
+//!
+//! * each benchmark is calibrated once, then timed for `sample_size`
+//!   samples (default 10, override with `TDAC_BENCH_SAMPLES`), each
+//!   sample batching enough iterations to cover ~5 ms;
+//! * the per-iteration **median** is reported on stdout, and — when
+//!   `TDAC_BENCH_JSON` names a file — appended to it as one JSON line
+//!   `{"id": "<group>/<name>", "median_ns": <f64>, "samples": <n>}`,
+//!   the format `scripts/bench.sh` folds into `BENCH_tdac.json`.
+//!
+//! Statistical machinery (outlier analysis, regression detection) is
+//! deliberately absent: the repo's benches compare medians across
+//! configurations of the *same* build, where a median over batched
+//! samples is stable enough, as the committed BENCH_tdac.json shows.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Re-export so benches may use either `criterion::black_box` or
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level harness handle, created by [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group; results are reported as
+    /// `<group>/<bench name>`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Declared throughput of a benchmark. Accepted for API compatibility;
+/// the shim reports time per iteration only.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name (`group/<parameter>`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a bare parameter, as in
+    /// `BenchmarkId::from_parameter(62)`.
+    pub fn from_parameter(p: impl Display) -> Self {
+        Self { id: p.to_string() }
+    }
+
+    /// Builds a `<function>/<parameter>` id.
+    pub fn new(function: impl Into<String>, p: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), p),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares throughput (accepted, not used in reports).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark closure under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark closure over a borrowed input under
+    /// `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_bench(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is per-bench; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing handle passed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Target wall time per sample: batches of iterations are sized so one
+/// sample covers at least this long, keeping timer quantization noise
+/// well under the medians being compared.
+const SAMPLE_TARGET_NS: f64 = 5_000_000.0;
+
+fn run_bench(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let samples = std::env::var("TDAC_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(sample_size)
+        .max(1);
+
+    // Calibration run: one iteration, doubling as warm-up.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed_ns: 0.0,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed_ns.max(1.0);
+    let iters = (SAMPLE_TARGET_NS / per_iter).ceil().max(1.0) as u64;
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.iters = iters;
+        f(&mut b);
+        times.push(b.elapsed_ns / iters as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("bench times are finite"));
+    let median = if times.len() % 2 == 1 {
+        times[times.len() / 2]
+    } else {
+        (times[times.len() / 2 - 1] + times[times.len() / 2]) / 2.0
+    };
+    let median = (median * 10.0).round() / 10.0;
+
+    println!("{id}: median {median} ns/iter ({samples} samples × {iters} iters)");
+    if let Ok(path) = std::env::var("TDAC_BENCH_JSON") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"id\": {}, \"median_ns\": {median}, \"samples\": {samples}}}\n",
+                json_string(id)
+            );
+            let mut file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("cannot open TDAC_BENCH_JSON file {path}: {e}"));
+            file.write_all(line.as_bytes())
+                .expect("write bench JSON line");
+        }
+    }
+}
+
+/// Minimal JSON string encoder for benchmark ids (ASCII names with
+/// slashes and underscores in practice; escapes defensively anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Declares a bench group function compatible with criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group and ignoring
+/// the arguments `cargo bench` forwards (`--bench`, filters).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_json_roundtrip() {
+        std::env::remove_var("TDAC_BENCH_JSON");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("counts", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        group.finish();
+        assert!(calls >= 4, "calibration + 3 samples ran: {calls}");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a/b"), "\"a/b\"");
+        assert_eq!(json_string("q\"\\"), "\"q\\\"\\\\\"");
+    }
+}
