@@ -122,6 +122,67 @@ impl BitMatrix {
         Some(m)
     }
 
+    /// Reassembles a matrix from raw word buffers in the exact layout
+    /// [`BitMatrix::words`] exposes — the zero-copy load path of the
+    /// `td-store` binary format. Returns `None` unless the buffers have
+    /// exactly `rows × ⌈cols/64⌉` words **and** every row's tail bits
+    /// beyond `cols` are zero (the invariant the XOR kernels rely on);
+    /// a corrupt buffer is rejected, never repaired.
+    pub fn from_words(
+        rows: usize,
+        cols: usize,
+        bits: Vec<u64>,
+        mask: Option<Vec<u64>>,
+    ) -> Option<Self> {
+        let words_per_row = cols.div_ceil(WORD_BITS);
+        let expect = rows.checked_mul(words_per_row)?;
+        if bits.len() != expect {
+            return None;
+        }
+        if let Some(m) = &mask {
+            if m.len() != expect {
+                return None;
+            }
+        }
+        let live = cols % WORD_BITS;
+        if live != 0 && words_per_row > 0 {
+            let dead = !((1u64 << live) - 1);
+            for i in 0..rows {
+                let last = i * words_per_row + words_per_row - 1;
+                if bits[last] & dead != 0 {
+                    return None;
+                }
+                if let Some(m) = &mask {
+                    if m[last] & dead != 0 {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(Self {
+            rows,
+            cols,
+            words_per_row,
+            bits,
+            mask,
+        })
+    }
+
+    /// The whole packed word buffer, rows concatenated
+    /// (`rows × words_per_row` words) — the serialization counterpart of
+    /// [`BitMatrix::from_words`].
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// The whole validity-mask word buffer (same layout as
+    /// [`BitMatrix::words`]), when a mask is attached.
+    #[inline]
+    pub fn mask_words_all(&self) -> Option<&[u64]> {
+        self.mask.as_deref()
+    }
+
     /// Number of rows (observations).
     #[inline]
     pub fn n_rows(&self) -> usize {

@@ -12,6 +12,7 @@ use std::fmt;
 
 use clustering::ClusterError;
 use td_model::ModelError;
+use td_store::StoreError;
 
 use crate::accugen::AccuGenError;
 use crate::tdac::TdacError;
@@ -28,6 +29,8 @@ pub enum TdError {
     /// A data-model error (conflicting claims, unknown entities, parse
     /// failures).
     Model(ModelError),
+    /// A `.tds` dataset-store error (i/o, validation, or decoding).
+    Store(StoreError),
     /// A worker panicked inside a parallel phase; the panic was caught
     /// at the task boundary (the process never aborts) and converted
     /// into this typed error naming where it happened.
@@ -47,6 +50,7 @@ impl fmt::Display for TdError {
             TdError::AccuGen(e) => write!(f, "accugen: {e}"),
             TdError::Cluster(e) => write!(f, "clustering: {e}"),
             TdError::Model(e) => write!(f, "model: {e}"),
+            TdError::Store(e) => write!(f, "store: {e}"),
             TdError::WorkerPanic { phase, detail } => {
                 write!(f, "worker panic in phase `{phase}`: {detail}")
             }
@@ -61,6 +65,7 @@ impl Error for TdError {
             TdError::AccuGen(e) => Some(e),
             TdError::Cluster(e) => Some(e),
             TdError::Model(e) => Some(e),
+            TdError::Store(e) => Some(e),
             TdError::WorkerPanic { .. } => None,
         }
     }
@@ -101,6 +106,12 @@ impl From<ModelError> for TdError {
     }
 }
 
+impl From<StoreError> for TdError {
+    fn from(e: StoreError) -> Self {
+        TdError::Store(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +129,9 @@ mod tests {
 
         let e: TdError = ModelError::Parse("bad row".into()).into();
         assert_eq!(e, TdError::Model(ModelError::Parse("bad row".into())));
+
+        let e: TdError = StoreError::BadMagic { found: *b"NOPE" }.into();
+        assert_eq!(e, TdError::Store(StoreError::BadMagic { found: *b"NOPE" }));
     }
 
     #[test]
@@ -151,6 +165,10 @@ mod tests {
             (AccuGenError::NoAttributes.into(), "accugen:"),
             (ClusterError::ZeroK.into(), "clustering:"),
             (ModelError::Parse("x".into()).into(), "model:"),
+            (
+                StoreError::ChecksumMismatch { section: "claims" }.into(),
+                "store:",
+            ),
         ];
         for (err, prefix) in cases {
             assert!(err.to_string().starts_with(prefix), "{err}");

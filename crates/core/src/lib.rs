@@ -98,6 +98,11 @@ pub use truth_vectors::{
 // crates can pick kernels without a direct clustering dependency.
 pub use clustering::{BitMatrix, DistanceOptions, KernelPolicy, Rows};
 
+// Re-export the persistent dataset-store vocabulary so downstream
+// crates can pack and load `.tds` files without a direct td-store
+// dependency.
+pub use td_store::{DatasetStore, StoreError, TruthPage};
+
 // Re-export the observability + execution-limits vocabulary so
 // downstream crates can enable profiling and budgets without a direct
 // td-obs dependency.

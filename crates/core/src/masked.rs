@@ -89,6 +89,31 @@ impl MaskedTruthVectors {
         }
     }
 
+    /// Rebuilds the dual representation from an already-packed matrix
+    /// carrying a validity mask — the `td-store` load path. Returns
+    /// `None` when `packed` has no mask attached. Both dense matrices
+    /// are unpacked from the words, so the result is bit-identical to
+    /// the scatter-pass build against the same reference.
+    pub fn from_packed(packed: BitMatrix) -> Option<Self> {
+        packed.mask_words_all()?;
+        let (rows, cols) = (packed.n_rows(), packed.n_cols());
+        let values = packed.to_dense();
+        let mut mask = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let words = packed.mask_words(i).expect("mask presence checked");
+            for j in 0..cols {
+                if words[j / 64] >> (j % 64) & 1 == 1 {
+                    mask.set(i, j, 1.0);
+                }
+            }
+        }
+        Some(Self {
+            values,
+            mask,
+            packed,
+        })
+    }
+
     /// Number of attributes (rows).
     pub fn n_attributes(&self) -> usize {
         self.values.n_rows()

@@ -57,12 +57,13 @@ use td_model::{
     AttributeId, ClaimBatch, Dataset, DeltaDataset, DeltaSummary, ModelError,
 };
 use td_obs::{panic_message, Budget, Counter, Degradation, DegradationReason, Observer};
+use td_store::DatasetStore;
 
 use crate::config::TdacConfig;
 use crate::partition::AttributePartition;
 use crate::tdac::{
-    exhausted, merge_partials, per_group_partials, scan_winner, sweep_dense, TdacError,
-    TdacOutcome,
+    exhausted, merge_partials, page_matches, per_group_partials, scan_winner, sweep_dense,
+    TdacError, TdacOutcome,
 };
 use crate::truth_vectors::{
     rescatter_rows, truth_vector_set, truth_vector_set_from_result, TruthVectors,
@@ -222,6 +223,40 @@ impl<B: TruthDiscovery + Sync> TdacSession<B> {
         policy: RepartitionPolicy,
         dataset: Dataset,
     ) -> Result<Self, SessionError> {
+        Self::start_inner(base, config, policy, dataset, None)
+    }
+
+    /// Starts a session from a store-backed dataset.
+    ///
+    /// When the store carries a [`td_store::TruthPage`] for this base
+    /// algorithm's dense pipeline whose dimensions match the dataset,
+    /// the initial full pass reuses the page's reference truth instead
+    /// of re-running the base algorithm — the build phase a stream
+    /// restart would otherwise repeat. The resulting session state is
+    /// bit-identical to [`TdacSession::start`] on the same dataset
+    /// because the page stores the reference verbatim and the truth
+    /// vectors are rescattered deterministically from it. A missing or
+    /// mismatched page falls back to the from-scratch start.
+    pub fn start_store(
+        base: B,
+        config: TdacConfig,
+        policy: RepartitionPolicy,
+        store: &DatasetStore,
+    ) -> Result<Self, SessionError> {
+        let seed = store
+            .page(base.name(), false)
+            .filter(|p| page_matches(p, &store.dataset, false))
+            .map(|p| p.reference.clone());
+        Self::start_inner(base, config, policy, store.dataset.clone(), seed)
+    }
+
+    fn start_inner(
+        base: B,
+        config: TdacConfig,
+        policy: RepartitionPolicy,
+        dataset: Dataset,
+        seed: Option<TruthResult>,
+    ) -> Result<Self, SessionError> {
         if config.missing_aware {
             return Err(SessionError::Tdac(TdacError::InvalidConfig(
                 "the incremental session supports only the dense Eq. 1 pipeline; \
@@ -245,7 +280,7 @@ impl<B: TruthDiscovery + Sync> TdacSession<B> {
         let caught = catch_unwind(AssertUnwindSafe(|| {
             config.parallelism.install(|| {
                 let budget = Budget::arm(&config.limits, &obs);
-                pass_full(&base, &config, delta.current(), None, &cache, &obs, budget.as_ref())
+                pass_full(&base, &config, delta.current(), seed, &cache, &obs, budget.as_ref())
             })
         }));
         let mut pass = match caught {
@@ -999,6 +1034,45 @@ mod tests {
                 cell.attribute
             );
         }
+    }
+
+    #[test]
+    fn start_store_matches_start_and_skips_the_reference_run() {
+        let d = correlated_dataset();
+        let store = Tdac::new(TdacConfig::default()).pack(&MajorityVote, &d);
+        let plain =
+            TdacSession::start(MajorityVote, TdacConfig::default(), RepartitionPolicy::Always, d.clone())
+                .unwrap();
+        let run_seeded = || {
+            let config = TdacConfig {
+                observer: Observer::enabled(),
+                ..Default::default()
+            };
+            TdacSession::start_store(MajorityVote, config, RepartitionPolicy::Always, &store)
+                .unwrap()
+        };
+        let seeded = run_seeded();
+        assert_same_outcome(seeded.outcome(), plain.outcome());
+        assert_same_predictions(&d, &seeded.outcome().result, &plain.outcome().result);
+        // The seeded start rescatters vectors from the page's reference
+        // instead of re-running the base algorithm over the full view:
+        // fewer recorded fixpoint iterations than a fresh observed start.
+        let fresh_obs = {
+            let config = TdacConfig {
+                observer: Observer::enabled(),
+                ..Default::default()
+            };
+            TdacSession::start(MajorityVote, config, RepartitionPolicy::Always, d.clone()).unwrap()
+        };
+        let iters = |s: &TdacSession<MajorityVote>| {
+            s.outcome()
+                .profile
+                .as_ref()
+                .unwrap()
+                .counter("fixpoint_iterations")
+                .unwrap_or(0)
+        };
+        assert!(iters(&seeded) < iters(&fresh_obs));
     }
 
     #[test]

@@ -13,11 +13,12 @@ use serde::{Deserialize, Serialize};
 use td_algorithms::{TruthDiscovery, TruthResult};
 use td_model::{Dataset, DatasetView};
 use td_obs::{panic_message, Budget, Counter, Degradation, DegradationReason, Observer, RunProfile};
+use td_store::{DatasetStore, TruthPage};
 
 use crate::config::{ClusterMethod, TdacConfig};
 use crate::masked::MaskedTruthVectors;
 use crate::partition::AttributePartition;
-use crate::truth_vectors::truth_vector_set;
+use crate::truth_vectors::{truth_vector_set, TruthVectors};
 
 /// Errors from a TD-AC run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -280,6 +281,17 @@ pub(crate) fn merge_partials(partials: &[TruthResult], obs: &Observer) -> TruthR
     result
 }
 
+/// Whether a store page's cached intermediates actually fit `dataset`:
+/// one matrix row per attribute, one column per `(object, source)` pair,
+/// and a validity mask exactly when the masked pipeline needs one. A
+/// page that fails this check is ignored (the run recomputes from
+/// scratch) — stale pages must never corrupt an outcome.
+pub(crate) fn page_matches(page: &TruthPage, dataset: &Dataset, missing_aware: bool) -> bool {
+    page.matrix.n_rows() == dataset.n_attributes()
+        && page.matrix.n_cols() == dataset.n_objects() * dataset.n_sources()
+        && page.matrix.mask_words_all().is_some() == missing_aware
+}
+
 /// The TD-AC algorithm. See the crate docs for the pipeline.
 #[derive(Debug, Clone)]
 pub struct Tdac {
@@ -325,6 +337,71 @@ impl Tdac {
         base: &(dyn TruthDiscovery + Sync),
         view: &DatasetView<'_>,
     ) -> Result<TdacOutcome, TdacError> {
+        self.run_view_seeded(base, view, None)
+    }
+
+    /// Runs TD-AC against a store-backed dataset.
+    ///
+    /// When the store carries a [`TruthPage`] for this base algorithm
+    /// and pipeline mode (dense vs `missing_aware`) whose dimensions
+    /// match the dataset, the pipeline's **build phase is skipped
+    /// entirely**: the reference truth and the Eq. 1 truth-vector matrix
+    /// come straight from the page instead of re-running the base
+    /// algorithm and the scatter pass. Because the page stores the
+    /// reference verbatim (trust and confidence at full `f64` bit
+    /// precision) and the packed matrix in its canonical word layout,
+    /// the outcome is bit-identical to [`Tdac::run`] on the same
+    /// dataset. A missing or mismatched page degrades gracefully to the
+    /// from-scratch path — never an error.
+    ///
+    /// Pages are produced by [`Tdac::pack`] (or `tdc pack`).
+    pub fn run_store(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        store: &DatasetStore,
+    ) -> Result<TdacOutcome, TdacError> {
+        let seed = store
+            .page(base.name(), self.config.missing_aware)
+            .filter(|p| page_matches(p, &store.dataset, self.config.missing_aware));
+        self.run_view_seeded(base, &store.dataset.view_all(), seed)
+    }
+
+    /// Packs `dataset` into a [`DatasetStore`] carrying one
+    /// [`TruthPage`] for this configuration's pipeline mode: the base
+    /// algorithm's reference truth plus the bit-packed Eq. 1 matrix,
+    /// exactly the intermediates [`Tdac::run_store`] needs to skip the
+    /// build phase. The base run is recorded against the configured
+    /// observer like any other run.
+    pub fn pack(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        dataset: &Dataset,
+    ) -> DatasetStore {
+        let view = dataset.view_all();
+        let obs = &self.config.observer;
+        let (matrix, reference) = if self.config.missing_aware {
+            let (masked, reference) = MaskedTruthVectors::build(base, &view, obs);
+            (masked.packed, reference)
+        } else {
+            let (vectors, reference) = truth_vector_set(base, &view, obs);
+            (vectors.packed, reference)
+        };
+        let mut store = DatasetStore::new(dataset.clone());
+        store.push_page(TruthPage {
+            algorithm: base.name().to_string(),
+            masked: self.config.missing_aware,
+            matrix,
+            reference,
+        });
+        store
+    }
+
+    fn run_view_seeded(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        view: &DatasetView<'_>,
+        seed: Option<&TruthPage>,
+    ) -> Result<TdacOutcome, TdacError> {
         let user_obs = &self.config.observer;
         let baseline = user_obs.profile();
         // Counter-based budgets are metered on observer counters, so an
@@ -343,7 +420,7 @@ impl Tdac {
         let caught = catch_unwind(AssertUnwindSafe(|| {
             self.config.parallelism.install(|| {
                 let budget = Budget::arm(&self.config.limits, &obs);
-                self.run_view_inner(base, view, &obs, budget.as_ref())
+                self.run_view_inner(base, view, &obs, budget.as_ref(), seed)
             })
         }));
         let mut outcome = match caught {
@@ -369,6 +446,7 @@ impl Tdac {
         view: &DatasetView<'_>,
         obs: &Observer,
         budget: Option<&Budget>,
+        seed: Option<&TruthPage>,
     ) -> Result<TdacOutcome, TdacError> {
         let attrs = view.attributes().to_vec();
         let n = attrs.len();
@@ -415,7 +493,17 @@ impl Tdac {
             // feature-space form for the masked metric).
             let (masked, reference) = {
                 let _s = obs.span("truth_vectors");
-                MaskedTruthVectors::build(base, view, obs)
+                // A matching store page replaces both the reference base
+                // run and the scatter pass; the masked dual
+                // representation is rebuilt from the page's packed words
+                // (bit-identical — the words are canonical).
+                match seed.and_then(|p| {
+                    MaskedTruthVectors::from_packed(p.matrix.clone())
+                        .map(|m| (m, p.reference.clone()))
+                }) {
+                    Some(pair) => pair,
+                    None => MaskedTruthVectors::build(base, view, obs),
+                }
             };
             if let Some(deg) = exhausted(budget, "truth_vectors", pairs) {
                 return Ok(self.degraded(reference, view, Vec::new(), deg, obs));
@@ -453,7 +541,15 @@ impl Tdac {
         } else {
             let (vectors, reference) = {
                 let _s = obs.span("truth_vectors");
-                truth_vector_set(base, view, obs)
+                // A matching store page replaces both the reference base
+                // run and the scatter pass (see `run_store`).
+                match seed {
+                    Some(p) => (
+                        TruthVectors::from_packed(p.matrix.clone()),
+                        p.reference.clone(),
+                    ),
+                    None => truth_vector_set(base, view, obs),
+                }
             };
             if let Some(deg) = exhausted(budget, "truth_vectors", pairs) {
                 return Ok(self.degraded(reference, view, Vec::new(), deg, obs));
@@ -673,6 +769,110 @@ mod tests {
         let out = Tdac::new(TdacConfig::default()).run(&MajorityVote, &d).unwrap();
         let ks: Vec<usize> = out.k_scores.iter().map(|&(k, _)| k).collect();
         assert_eq!(ks, vec![2, 3, 4, 5], "k ∈ [2, |A|-1] for |A| = 6");
+    }
+
+    /// Serializes the parts of an outcome the store path must preserve
+    /// bit-for-bit (the canonical serde repr sorts predictions, and
+    /// floats round-trip exactly through serde_json).
+    fn outcome_key(out: &TdacOutcome) -> (String, String, Vec<(usize, u64)>, u64, bool) {
+        (
+            serde_json::to_string(&out.result).unwrap(),
+            out.partition.to_string(),
+            out.k_scores.iter().map(|&(k, s)| (k, s.to_bits())).collect(),
+            out.silhouette.to_bits(),
+            out.fallback,
+        )
+    }
+
+    #[test]
+    fn store_backed_run_is_bit_identical_to_in_memory() {
+        let (d, _) = correlated_dataset();
+        let tdac = Tdac::new(TdacConfig::default());
+        let fresh = tdac.run(&MajorityVote, &d).unwrap();
+        let store = tdac.pack(&MajorityVote, &d);
+        let seeded = tdac.run_store(&MajorityVote, &store).unwrap();
+        assert_eq!(outcome_key(&fresh), outcome_key(&seeded));
+    }
+
+    #[test]
+    fn store_backed_masked_run_is_bit_identical_to_in_memory() {
+        let (d, _) = correlated_dataset();
+        let config = TdacConfig::builder().missing_aware(true).build().unwrap();
+        let tdac = Tdac::new(config);
+        let fresh = tdac.run(&MajorityVote, &d).unwrap();
+        let store = tdac.pack(&MajorityVote, &d);
+        assert!(store.page("MajorityVote", true).is_some());
+        let seeded = tdac.run_store(&MajorityVote, &store).unwrap();
+        assert_eq!(outcome_key(&fresh), outcome_key(&seeded));
+    }
+
+    #[test]
+    fn mismatched_page_falls_back_to_fresh_compute() {
+        let (d, _) = correlated_dataset();
+        let tdac = Tdac::new(TdacConfig::default());
+        // A page packed from a *different* dataset (one attribute group
+        // only) must be rejected by the dimension check, not trusted.
+        let mut b = DatasetBuilder::new();
+        for o in 0..6 {
+            let obj = format!("o{o}");
+            for ai in 0..3u32 {
+                let a = format!("a{ai}");
+                b.claim("g1", &obj, &a, Value::int(o)).unwrap();
+                b.claim("g2", &obj, &a, Value::int(o)).unwrap();
+            }
+        }
+        let small = b.build();
+        let stale_page = tdac
+            .pack(&MajorityVote, &small)
+            .page("MajorityVote", false)
+            .cloned()
+            .unwrap();
+        let mut store = td_store::DatasetStore::new(d.clone());
+        store.push_page(stale_page);
+        assert!(!page_matches(
+            store.page("MajorityVote", false).unwrap(),
+            &store.dataset,
+            false
+        ));
+        let fresh = tdac.run(&MajorityVote, &d).unwrap();
+        let seeded = tdac.run_store(&MajorityVote, &store).unwrap();
+        assert_eq!(outcome_key(&fresh), outcome_key(&seeded));
+    }
+
+    #[test]
+    fn store_run_skips_the_reference_base_run() {
+        // With a valid page the base algorithm only runs in the
+        // per-group phase; the reference run over the full view is
+        // loaded from the page, so the store-backed profile records
+        // strictly fewer fixpoint iterations.
+        let (d, _) = correlated_dataset();
+        let store = Tdac::new(TdacConfig::default()).pack(&MajorityVote, &d);
+        let run = |seeded: bool| {
+            let config = TdacConfig::builder()
+                .observer(Observer::enabled())
+                .build()
+                .unwrap();
+            let tdac = Tdac::new(config);
+            let out = if seeded {
+                tdac.run_store(&MajorityVote, &store).unwrap()
+            } else {
+                tdac.run(&MajorityVote, &d).unwrap()
+            };
+            let iters = out
+                .profile
+                .as_ref()
+                .unwrap()
+                .counter("fixpoint_iterations")
+                .unwrap_or(0);
+            (outcome_key(&out), iters)
+        };
+        let (fresh_key, fresh_iters) = run(false);
+        let (seeded_key, seeded_iters) = run(true);
+        assert_eq!(fresh_key, seeded_key);
+        assert!(
+            seeded_iters < fresh_iters,
+            "store path must skip the reference run ({seeded_iters} vs {fresh_iters})"
+        );
     }
 
     #[test]

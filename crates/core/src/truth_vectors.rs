@@ -36,6 +36,18 @@ pub struct TruthVectors {
 }
 
 impl TruthVectors {
+    /// Rebuilds the dual representation from an already-packed matrix —
+    /// the `td-store` load path. The dense side is unpacked from the
+    /// words; since truth vectors are exactly 0/1, the result is
+    /// bit-identical to the matrix the scatter pass would have built
+    /// against the same reference.
+    pub fn from_packed(packed: BitMatrix) -> Self {
+        Self {
+            dense: packed.to_dense(),
+            packed,
+        }
+    }
+
     /// Both representations, for representation-aware distance kernels.
     pub fn rows(&self) -> Rows<'_> {
         Rows::Dual {

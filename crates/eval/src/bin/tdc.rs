@@ -1,20 +1,26 @@
 //! `tdc` — run truth discovery on a JSON dataset from the command line.
 //!
 //! ```text
-//! tdc run    --input data.json|claims.csv [--truth truth.csv] --algo accu
-//!            [--tdac] [--parallel] [--masked] [--output predictions.json]
-//! tdc stream --input base.json|base.csv --algo accu --batch b1.csv [--batch b2.csv ...]
-//!            [--policy always|never|drift:<threshold>] [--parallel]
-//!            [--deadline-ms <n>] [--truth truth.csv] [--output predictions.json]
-//! tdc stats  --input data.json|claims.csv [--truth truth.csv]
+//! tdc run     --input data.json|claims.csv|store.tds [--truth truth.csv] --algo accu
+//!             [--tdac] [--parallel] [--masked] [--output predictions.json]
+//! tdc stream  --input base.json|base.csv|base.tds --algo accu --batch b1.csv [--batch b2.csv ...]
+//!             [--policy always|never|drift:<threshold>] [--parallel]
+//!             [--deadline-ms <n>] [--truth truth.csv] [--output predictions.json]
+//! tdc pack    --input data.json|claims.csv --algo accu [--masked] --output store.tds
+//! tdc inspect --input store.tds
+//! tdc stats   --input data.json|claims.csv|store.tds [--truth truth.csv]
 //! tdc algos
 //! ```
 //!
 //! Inputs ending in `.csv` are parsed as claims tables
 //! (`source,object,attribute,value` with header; see `td_model::csv`),
-//! optionally with a `--truth` CSV (`object,attribute,value`). Anything
-//! else is read as the `td-model` JSON bundle. When ground truth is
-//! available an evaluation report is printed after the predictions.
+//! optionally with a `--truth` CSV (`object,attribute,value`). Inputs
+//! ending in `.tds` are loaded as `td-store` binary stores; when the
+//! store carries a truth page for the selected algorithm and mode,
+//! `run --tdac` and `stream` skip the build phase entirely (see
+//! `docs/STORAGE.md`). Anything else is read as the `td-model` JSON
+//! bundle. When ground truth is available an evaluation report is
+//! printed after the predictions.
 //!
 //! `stream` runs the incremental engine: the base input starts a
 //! `TdacSession`, each `--batch` file (same claim formats) is ingested
@@ -28,23 +34,28 @@ use std::process::ExitCode;
 use td_algorithms::{algorithm_by_name, registry::all_algorithms, TruthDiscovery};
 use td_metrics::{evaluate_fn, Stopwatch};
 use td_model::{csv, json, ClaimBatch, Dataset, DatasetStats, GroundTruth};
+use td_store::{section_table, DatasetStore};
 use tdac_core::{
     ExecutionLimits, Parallelism, RepartitionPolicy, Tdac, TdacConfig, TdacSession,
 };
 
-const USAGE: &str = "usage:\n  tdc run --input <data.json|claims.csv> [--truth <truth.csv>] \
+const USAGE: &str = "usage:\n  tdc run --input <data.json|claims.csv|store.tds> [--truth <truth.csv>] \
 --algo <name> [--tdac] [--masked] [--parallel] [--deadline-ms <n>] \
 [--output <predictions.json>]\n  \
-tdc stream --input <base.json|base.csv> --algo <name> --batch <claims.csv|data.json> \
+tdc stream --input <base.json|base.csv|base.tds> --algo <name> --batch <claims.csv|data.json> \
 [--batch ...] [--policy always|never|drift:<threshold>] [--parallel] [--deadline-ms <n>] \
 [--truth <truth.csv>] [--output <predictions.json>]\n  \
-tdc stats --input <data.json|claims.csv> [--truth <truth.csv>]\n  tdc algos";
+tdc pack --input <data.json|claims.csv> --algo <name> [--masked] --output <store.tds>\n  \
+tdc inspect --input <store.tds>\n  \
+tdc stats --input <data.json|claims.csv|store.tds> [--truth <truth.csv>]\n  tdc algos";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("pack") => cmd_pack(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("algos") => {
             for algo in all_algorithms() {
@@ -59,7 +70,27 @@ fn main() -> ExitCode {
     }
 }
 
+/// Loads a `.tds` input when the path says so; `None` for other formats.
+/// Surfaced separately from [`load`] because the store carries more than
+/// a dataset (truth pages let `run`/`stream` skip the build phase).
+fn load_store(path: &str, truth_path: Option<&str>) -> Option<Result<DatasetStore, String>> {
+    if !path.ends_with(".tds") {
+        return None;
+    }
+    if truth_path.is_some() {
+        return Some(Err(
+            "--truth is not supported with a .tds input (pack the claims and keep the \
+             truth CSV alongside a claims table instead)"
+                .to_string(),
+        ));
+    }
+    Some(DatasetStore::load(path).map_err(|e| format!("cannot load {path}: {e}")))
+}
+
 fn load(path: &str, truth_path: Option<&str>) -> Result<(Dataset, Option<GroundTruth>), String> {
+    if let Some(store) = load_store(path, truth_path) {
+        return store.map(|s| (s.dataset, None));
+    }
     let body = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if path.ends_with(".csv") {
         match truth_path {
@@ -123,12 +154,23 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let output = flag_value(args, "--output");
 
     let truth_path = flag_value(args, "--truth");
-    let (dataset, truth) = match load(&input, truth_path.as_deref()) {
-        Ok(x) => x,
-        Err(e) => {
+    let store = match load_store(&input, truth_path.as_deref()) {
+        Some(Ok(s)) => Some(s),
+        Some(Err(e)) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
+        None => None,
+    };
+    let (dataset, truth) = match &store {
+        Some(s) => (s.dataset.clone(), None),
+        None => match load(&input, truth_path.as_deref()) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     // Reject degenerate inputs (empty, single-source, objectless) at the
     // door, with the typed model error's message — not a confusing
@@ -157,7 +199,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
             limits,
             ..Default::default()
         };
-        match Tdac::new(config).run(algo.as_ref(), &dataset) {
+        let tdac = Tdac::new(config);
+        // A store-backed input reuses its truth page (when one matches
+        // the algorithm and mode) to skip the reference run — the
+        // outcome is bit-identical either way.
+        let run = match &store {
+            Some(s) => tdac.run_store(algo.as_ref(), s),
+            None => tdac.run(algo.as_ref(), &dataset),
+        };
+        match run {
             Ok(out) => (out.result, Some(out.partition.to_string()), out.degradation),
             Err(e) => {
                 eprintln!("TD-AC failed: {e}");
@@ -229,12 +279,23 @@ fn cmd_stream(args: &[String]) -> ExitCode {
     let output = flag_value(args, "--output");
 
     let truth_path = flag_value(args, "--truth");
-    let (dataset, truth) = match load(&input, truth_path.as_deref()) {
-        Ok(x) => x,
-        Err(e) => {
+    let store = match load_store(&input, truth_path.as_deref()) {
+        Some(Ok(s)) => Some(s),
+        Some(Err(e)) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
+        None => None,
+    };
+    let (dataset, truth) = match &store {
+        Some(s) => (s.dataset.clone(), None),
+        None => match load(&input, truth_path.as_deref()) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     let limits = match parse_limits(args) {
         Ok(l) => l,
@@ -254,7 +315,13 @@ fn cmd_stream(args: &[String]) -> ExitCode {
     };
 
     let sw = Stopwatch::start();
-    let mut session = match TdacSession::start(algo, config, policy, dataset) {
+    // Store-backed restarts reuse the packed truth page so the initial
+    // full pass skips the reference base run (bit-identical outcome).
+    let started = match &store {
+        Some(s) => TdacSession::start_store(algo, config, policy, s),
+        None => TdacSession::start(algo, config, policy, dataset),
+    };
+    let mut session = match started {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{input}: session start failed: {e}");
@@ -312,6 +379,119 @@ fn cmd_stream(args: &[String]) -> ExitCode {
             outcome.result.prediction(o, a)
         });
         eprintln!("# evaluation: {report}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `tdc pack`: parse a claims input, run the base algorithm once, and
+/// save dataset + truth page as a `.tds` store. A later
+/// `tdc run --tdac --input store.tds` (or `tdc stream`) with the same
+/// algorithm and mode skips the build phase entirely.
+fn cmd_pack(args: &[String]) -> ExitCode {
+    let Some(input) = flag_value(args, "--input") else {
+        eprintln!("--input is required\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(output) = flag_value(args, "--output") else {
+        eprintln!("pack wants --output <store.tds>\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(algo_name) = flag_value(args, "--algo") else {
+        eprintln!("--algo is required (see `tdc algos`)\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(algo) = algorithm_by_name(&algo_name) else {
+        eprintln!("unknown algorithm {algo_name:?}; see `tdc algos`");
+        return ExitCode::FAILURE;
+    };
+    if input.ends_with(".tds") {
+        eprintln!("pack reads claims inputs (.json/.csv), not an existing .tds store");
+        return ExitCode::FAILURE;
+    }
+    let (dataset, _) = match load(&input, None) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = dataset.validate_for_discovery() {
+        eprintln!("{input}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let config = TdacConfig {
+        missing_aware: has_flag(args, "--masked"),
+        ..Default::default()
+    };
+    let sw = Stopwatch::start();
+    let store = Tdac::new(config).pack(algo.as_ref(), &dataset);
+    if let Err(e) = store.save(&output) {
+        eprintln!("cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let bytes = store.to_bytes().len();
+    eprintln!(
+        "# packed {input} with {} ({}) in {:.3}s: {bytes} bytes -> {output}",
+        algo.name(),
+        if has_flag(args, "--masked") { "masked" } else { "dense" },
+        sw.elapsed_secs(),
+    );
+    ExitCode::SUCCESS
+}
+
+/// `tdc inspect`: print a `.tds` store's section table (offsets,
+/// lengths, checksums — validated) and the decoded dataset + truth-page
+/// summary.
+fn cmd_inspect(args: &[String]) -> ExitCode {
+    let Some(input) = flag_value(args, "--input") else {
+        eprintln!("--input is required\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let bytes = match fs::read(&input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sections = match section_table(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("file         : {input} ({} bytes)", bytes.len());
+    println!("sections     :");
+    for s in &sections {
+        println!(
+            "  {:<12} offset {:>8}  len {:>8}  fnv1a {:016x}",
+            s.name, s.offset, s.len, s.checksum
+        );
+    }
+    let store = match DatasetStore::from_bytes(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let st = DatasetStats::of(&store.dataset);
+    println!("sources      : {}", st.n_sources);
+    println!("objects      : {}", st.n_objects);
+    println!("attributes   : {}", st.n_attributes);
+    println!("observations : {}", st.n_observations);
+    println!("truth pages  : {}", store.pages.len());
+    for p in &store.pages {
+        println!(
+            "  {:<14} {}  {}x{} bits, {} predictions, {} iterations",
+            p.algorithm,
+            if p.masked { "masked" } else { "dense " },
+            p.matrix.n_rows(),
+            p.matrix.n_cols(),
+            p.reference.len(),
+            p.reference.iterations,
+        );
     }
     ExitCode::SUCCESS
 }

@@ -336,6 +336,64 @@ impl Dataset {
         };
         Ok((dataset, summary))
     }
+
+    /// Reassembles a dataset from already-interned parts — the loader
+    /// fast path used by the `td-store` binary format, which persists
+    /// the interner tables and claim vector directly. Claims are
+    /// (re)sorted into the canonical `(attribute, object, source)` order
+    /// and fully validated: every id must be in range for its table and
+    /// no `(source, object, attribute)` triple may appear twice, so a
+    /// hostile or corrupt input can produce an error but never a
+    /// malformed dataset.
+    pub fn from_interned_parts(
+        sources: Interner,
+        objects: Interner,
+        attributes: Interner,
+        values: Vec<Value>,
+        mut claims: Vec<Claim>,
+    ) -> Result<Dataset, ModelError> {
+        let (ns, no, na, nv) = (sources.len(), objects.len(), attributes.len(), values.len());
+        for c in &claims {
+            let oob = if c.source.index() >= ns {
+                Some(("source", c.source.index()))
+            } else if c.object.index() >= no {
+                Some(("object", c.object.index()))
+            } else if c.attribute.index() >= na {
+                Some(("attribute", c.attribute.index()))
+            } else if c.value.index() >= nv {
+                Some(("value", c.value.index()))
+            } else {
+                None
+            };
+            if let Some((kind, index)) = oob {
+                return Err(ModelError::UnknownEntity {
+                    kind,
+                    name: format!("#{index}"),
+                });
+            }
+        }
+        claims.sort_unstable_by_key(|c| (c.attribute, c.object, c.source));
+        if let Some(w) = claims.windows(2).find(|w| {
+            (w[0].attribute, w[0].object, w[0].source) == (w[1].attribute, w[1].object, w[1].source)
+        }) {
+            return Err(ModelError::ConflictingClaim {
+                source: sources.name(w[0].source.0).unwrap_or("?").to_owned(),
+                object: objects.name(w[0].object.0).unwrap_or("?").to_owned(),
+                attribute: attributes.name(w[0].attribute.0).unwrap_or("?").to_owned(),
+            });
+        }
+        let (cells, cells_by_attr, by_source) = index_claims(&claims, na, ns);
+        Ok(Dataset {
+            sources,
+            objects,
+            attributes,
+            values,
+            claims,
+            cells,
+            cells_by_attr,
+            by_source,
+        })
+    }
 }
 
 /// Indexes an `(attribute, object, source)`-sorted claim vector into

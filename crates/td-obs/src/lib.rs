@@ -97,11 +97,18 @@ pub enum Counter {
     /// Full re-partitions (k-sweeps) scheduled by the drift trigger or
     /// forced by structural growth during incremental ingestion.
     DriftRepartitions = 14,
+    /// Bytes brought in from disk by `td-store` loads (file length per
+    /// successful open, whether the sections decode zero-copy or not).
+    BytesMapped = 15,
+    /// Store sections whose packed words were viewed as `&[u64]` in
+    /// place (8-byte-aligned buffer) instead of being decoded word by
+    /// word. One per aligned section view, not per word.
+    ZeroCopyLoads = 16,
 }
 
 impl Counter {
     /// Number of fixed counters (the backing array length).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
 
     /// All fixed counters, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -120,6 +127,8 @@ impl Counter {
         Counter::DirtyAttributes,
         Counter::PartitionsReused,
         Counter::DriftRepartitions,
+        Counter::BytesMapped,
+        Counter::ZeroCopyLoads,
     ];
 
     /// Stable snake_case name used in [`RunProfile`] and JSON reports.
@@ -140,6 +149,8 @@ impl Counter {
             Counter::DirtyAttributes => "dirty_attributes",
             Counter::PartitionsReused => "partitions_reused",
             Counter::DriftRepartitions => "drift_repartitions",
+            Counter::BytesMapped => "bytes_mapped",
+            Counter::ZeroCopyLoads => "zero_copy_loads",
         }
     }
 }

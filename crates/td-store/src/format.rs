@@ -1,0 +1,382 @@
+//! Byte-level plumbing for the `.tds` format: the little-endian
+//! writer, the 8-byte-aligned load buffer, bounds-checked cursors, and
+//! the FNV-1a section checksum.
+//!
+//! Everything on the read side is defensive: every length and offset is
+//! validated against the bytes actually present *before* any
+//! allocation, so a hostile file can produce a [`StoreError`] but never
+//! a panic or an attacker-sized `Vec`.
+
+use crate::error::StoreError;
+
+/// Bytes per alignment unit: every section (and every packed word run
+/// inside the truth-page section) starts on an 8-byte boundary so the
+/// loader can hand out `&[u64]` views without copying.
+pub const ALIGN: usize = 8;
+
+/// FNV-1a 64-bit over a byte slice — the per-section checksum. Chosen
+/// for being dependency-free and fully specified, not for cryptographic
+/// strength; the checksum catches corruption, not adversaries (the
+/// decoder's validation handles those).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian append-only byte writer with explicit 8-byte padding.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far (also the offset of the next write).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    /// Pads with zero bytes up to the next multiple of [`ALIGN`].
+    pub fn align8(&mut self) {
+        while self.buf.len() % ALIGN != 0 {
+            self.buf.push(0);
+        }
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a run of little-endian `u64` words.
+    pub fn put_words(&mut self, words: &[u64]) {
+        for &w in words {
+            self.put_u64(w);
+        }
+    }
+
+    /// Overwrites `ALIGN`-many… no: overwrites bytes at `offset` (used
+    /// to back-patch the section table once payload offsets are known).
+    pub fn patch(&mut self, offset: usize, bytes: &[u8]) {
+        self.buf[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Consumes the writer, yielding the finished byte buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// The whole file, loaded into an 8-byte-aligned allocation.
+///
+/// The backing storage is a `Vec<u64>`, so the buffer's base address is
+/// always 8-byte aligned without any `unsafe`: a section whose file
+/// offset is a multiple of 8 can be viewed as a plain subslice of the
+/// word vector ([`AlignedBuf::word_slice`]) — the zero-copy path. Byte
+/// granular reads extract from the words arithmetically.
+///
+/// The format is little-endian on disk; on a little-endian target the
+/// in-memory words *are* the on-disk words, which is what makes the
+/// subslice view exact. (On a big-endian target [`AlignedBuf::word_slice`]
+/// reports misalignment so callers take the decode fallback — see
+/// `docs/STORAGE.md`.)
+pub struct AlignedBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Copies `bytes` into a fresh aligned buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut words = vec![0u64; bytes.len().div_ceil(ALIGN)];
+        for (i, &b) in bytes.iter().enumerate() {
+            words[i / ALIGN] |= u64::from(b) << ((i % ALIGN) * 8);
+        }
+        Self {
+            words,
+            len: bytes.len(),
+        }
+    }
+
+    /// Total byte length of the file.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file was empty.
+    /// Byte at `i`, or `None` past the end.
+    #[inline]
+    pub fn byte(&self, i: usize) -> Option<u8> {
+        if i >= self.len {
+            return None;
+        }
+        Some((self.words[i / ALIGN] >> ((i % ALIGN) * 8)) as u8)
+    }
+
+    /// A borrowed `&[u64]` view of `n_words` words starting at byte
+    /// `offset` — **no copy** — when the offset is 8-byte aligned, the
+    /// range is in bounds, and the target is little-endian. `None`
+    /// means "take the decode fallback", never "error".
+    pub fn word_slice(&self, offset: usize, n_words: usize) -> Option<&[u64]> {
+        if cfg!(target_endian = "big") || offset % ALIGN != 0 {
+            return None;
+        }
+        let start = offset / ALIGN;
+        let end = start.checked_add(n_words)?;
+        let byte_end = offset.checked_add(n_words.checked_mul(ALIGN)?)?;
+        if byte_end > self.len || end > self.words.len() {
+            return None;
+        }
+        Some(&self.words[start..end])
+    }
+
+    /// Copies the byte range into a fresh vector (bounds-checked).
+    pub fn copy_bytes(&self, offset: usize, len: usize) -> Option<Vec<u8>> {
+        let end = offset.checked_add(len)?;
+        if end > self.len {
+            return None;
+        }
+        Some((offset..end).map(|i| self.byte(i).unwrap_or(0)).collect())
+    }
+
+    /// FNV-1a over the byte range (bounds-checked).
+    pub fn checksum(&self, offset: usize, len: usize) -> Option<u64> {
+        let end = offset.checked_add(len)?;
+        if end > self.len {
+            return None;
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for i in offset..end {
+            h ^= u64::from(self.byte(i).unwrap_or(0));
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Some(h)
+    }
+}
+
+/// Bounds-checked sequential reader over one section of an
+/// [`AlignedBuf`]. Every read that would escape the section yields a
+/// [`StoreError::Corrupt`] naming the section.
+pub struct SectionReader<'a> {
+    buf: &'a AlignedBuf,
+    /// Absolute byte offset of the next read.
+    pos: usize,
+    /// Absolute byte offset one past the section's last byte.
+    end: usize,
+    /// Section name for error reporting.
+    pub section: &'static str,
+}
+
+impl<'a> SectionReader<'a> {
+    /// A reader over `[offset, offset + len)` of `buf`. The range is
+    /// assumed already validated against the file length (the section
+    /// table check does that).
+    pub fn new(buf: &'a AlignedBuf, offset: usize, len: usize, section: &'static str) -> Self {
+        Self {
+            buf,
+            pos: offset,
+            end: offset + len,
+            section,
+        }
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            section: self.section,
+            detail: detail.into(),
+        }
+    }
+
+    /// Bytes left in the section.
+    pub fn remaining(&self) -> usize {
+        self.end - self.pos
+    }
+
+    /// Skips zero padding up to the next multiple of [`ALIGN`].
+    pub fn align8(&mut self) -> Result<(), StoreError> {
+        while self.pos % ALIGN != 0 {
+            let b = self.read_u8()?;
+            if b != 0 {
+                return Err(self.corrupt("non-zero padding byte"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> Result<u8, StoreError> {
+        if self.pos >= self.end {
+            return Err(self.corrupt("unexpected end of section"));
+        }
+        let b = self.buf.byte(self.pos).ok_or_else(|| self.corrupt("read past file end"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, StoreError> {
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= u32::from(self.read_u8()?) << (i * 8);
+        }
+        Ok(v)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, StoreError> {
+        let mut v = 0u64;
+        for i in 0..8 {
+            v |= u64::from(self.read_u8()?) << (i * 8);
+        }
+        Ok(v)
+    }
+
+    /// Reads `len` raw bytes. `len` is checked against the section
+    /// remainder *before* allocating.
+    pub fn read_bytes(&mut self, len: usize) -> Result<Vec<u8>, StoreError> {
+        if len > self.remaining() {
+            return Err(self.corrupt(format!(
+                "declared byte run of {len} exceeds the {} bytes left in the section",
+                self.remaining()
+            )));
+        }
+        let out = self
+            .buf
+            .copy_bytes(self.pos, len)
+            .ok_or_else(|| self.corrupt("read past file end"))?;
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn read_string(&mut self) -> Result<String, StoreError> {
+        let len = self.read_u32()? as usize;
+        let bytes = self.read_bytes(len)?;
+        String::from_utf8(bytes).map_err(|_| self.corrupt("non-UTF-8 string"))
+    }
+
+    /// Reads `n_words` little-endian `u64` words. Prefers the aligned
+    /// zero-copy view (reported via `zero_copy`), falling back to a
+    /// word-by-word decode on misalignment. `n_words` is validated
+    /// against the section remainder before any allocation.
+    pub fn read_words(&mut self, n_words: usize, zero_copy: &mut bool) -> Result<Vec<u64>, StoreError> {
+        let bytes = n_words
+            .checked_mul(ALIGN)
+            .ok_or_else(|| self.corrupt("word count overflows"))?;
+        if bytes > self.remaining() {
+            return Err(self.corrupt(format!(
+                "declared word run of {n_words} words exceeds the {} bytes left in the section",
+                self.remaining()
+            )));
+        }
+        if let Some(view) = self.buf.word_slice(self.pos, n_words) {
+            *zero_copy = true;
+            let out = view.to_vec();
+            self.pos += bytes;
+            return Ok(out);
+        }
+        let mut out = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            out.push(self.read_u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Checks the section was consumed exactly.
+    pub fn expect_exhausted(&self) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u32(7);
+        w.put_u8(0xAB);
+        w.align8();
+        w.put_words(&[u64::MAX, 42]);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len() % ALIGN, 0);
+
+        let buf = AlignedBuf::from_bytes(&bytes);
+        let mut r = SectionReader::new(&buf, 0, bytes.len(), "test");
+        assert_eq!(r.read_u32().unwrap(), 7);
+        assert_eq!(r.read_u8().unwrap(), 0xAB);
+        r.align8().unwrap();
+        let mut zc = false;
+        assert_eq!(r.read_words(2, &mut zc).unwrap(), vec![u64::MAX, 42]);
+        assert!(zc, "aligned word run should be a zero-copy view");
+        r.expect_exhausted().unwrap();
+    }
+
+    #[test]
+    fn misaligned_words_fall_back_to_decode() {
+        let mut w = ByteWriter::new();
+        w.put_u32(0); // 4-byte prefix => words start misaligned
+        w.put_words(&[0x0102_0304_0506_0708]);
+        let bytes = w.into_bytes();
+        let buf = AlignedBuf::from_bytes(&bytes);
+        let mut r = SectionReader::new(&buf, 0, bytes.len(), "test");
+        r.read_u32().unwrap();
+        let mut zc = false;
+        assert_eq!(r.read_words(1, &mut zc).unwrap(), vec![0x0102_0304_0506_0708]);
+        assert!(!zc, "misaligned run must decode, not view");
+    }
+
+    #[test]
+    fn oversized_declared_lengths_error_before_allocating() {
+        let buf = AlignedBuf::from_bytes(&[0xFF; 16]);
+        let mut r = SectionReader::new(&buf, 0, 16, "test");
+        // u32::MAX-length byte run: must error, not try to allocate 4 GiB.
+        assert!(r.read_bytes(u32::MAX as usize).is_err());
+        let mut zc = false;
+        assert!(r.read_words(usize::MAX / 2, &mut zc).is_err());
+    }
+
+    #[test]
+    fn checksum_over_subrange_matches_slice_fnv() {
+        let bytes: Vec<u8> = (0..64u8).collect();
+        let buf = AlignedBuf::from_bytes(&bytes);
+        assert_eq!(buf.checksum(5, 20), Some(fnv1a(&bytes[5..25])));
+        assert_eq!(buf.checksum(60, 10), None, "range past end");
+    }
+}

@@ -1,26 +1,47 @@
 //! Golden snapshot driver.
 //!
-//! * `td-verify` — recompute the DS1 table and check it against the
-//!   committed snapshot (exit 1 on divergence).
-//! * `td-verify --bless` — regenerate the snapshot in place; review and
-//!   commit the diff.
+//! * `td-verify` — recompute the DS1 table and the DS1 binary store and
+//!   check both against the committed snapshots (exit 1 on divergence).
+//! * `td-verify --bless` — regenerate both snapshots in place; review
+//!   and commit the diff.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
-        [] => match td_verify::check_ds1() {
-            Ok(()) => {
-                println!("golden check passed: {}", td_verify::golden::golden_path().display());
-                ExitCode::SUCCESS
+        [] => {
+            let mut ok = true;
+            match td_verify::check_ds1() {
+                Ok(()) => println!(
+                    "golden check passed: {}",
+                    td_verify::golden::golden_path().display()
+                ),
+                Err(diff) => {
+                    eprintln!("{diff}");
+                    ok = false;
+                }
             }
-            Err(diff) => {
-                eprintln!("{diff}");
+            match td_verify::check_ds1_store() {
+                Ok(()) => println!(
+                    "store golden check passed: {}",
+                    td_verify::store::store_golden_path().display()
+                ),
+                Err(diff) => {
+                    eprintln!("{diff}");
+                    ok = false;
+                }
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
                 ExitCode::FAILURE
             }
-        },
-        ["--bless"] => match td_verify::bless_ds1() {
+        }
+        ["--bless"] => match td_verify::bless_ds1().and_then(|p| {
+            println!("blessed {}", p.display());
+            td_verify::bless_ds1_store()
+        }) {
             Ok(path) => {
                 println!("blessed {}", path.display());
                 ExitCode::SUCCESS

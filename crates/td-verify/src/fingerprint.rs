@@ -144,6 +144,40 @@ impl OutcomeFingerprint {
             fallback: false,
         }
     }
+
+    /// First difference against another outcome fingerprint, as a
+    /// human-readable description — `None` when bit-identical.
+    pub fn diff(&self, other: &OutcomeFingerprint) -> Option<String> {
+        if let Some(d) = self.result.diff(&other.result) {
+            return Some(d);
+        }
+        if self.partition != other.partition {
+            return Some(format!(
+                "partition: {} vs {}",
+                self.partition, other.partition
+            ));
+        }
+        if self.silhouette != other.silhouette {
+            return Some(format!(
+                "silhouette: {:e} vs {:e}",
+                f64::from_bits(self.silhouette),
+                f64::from_bits(other.silhouette)
+            ));
+        }
+        if self.k_scores != other.k_scores {
+            return Some(format!(
+                "k_scores: {:?} vs {:?}",
+                self.k_scores, other.k_scores
+            ));
+        }
+        if self.fallback != other.fallback {
+            return Some(format!(
+                "fallback: {} vs {}",
+                self.fallback, other.fallback
+            ));
+        }
+        None
+    }
 }
 
 /// Panics with a contextualized first-difference message unless the two

@@ -17,9 +17,12 @@
 //!    of `clustering` / `td-metrics`) — properties that must hold under
 //!    input transformations: relabeling sources/objects, shuffling claim
 //!    order, duplicating claims, removing claims (DCR monotonicity).
-//! 3. **Paper-conformance goldens** ([`golden`]) — committed DS1 preset
-//!    tables checked bit-exactly by tier-1, regenerable only through the
-//!    explicit `--bless` flow.
+//! 3. **Paper-conformance goldens** ([`golden`], [`store`]) — committed
+//!    DS1 preset tables plus a committed `.tds` binary store, both
+//!    checked bit-exactly by tier-1 and regenerable only through the
+//!    explicit `--bless` flow. The store golden additionally gates the
+//!    hostile-input contract of the `.tds` decoder (`tests/store.rs`:
+//!    corruption matrix, fuzzing, round-trip properties).
 //! 4. **Chaos oracles** ([`chaos`], `tests/chaos.rs`) — faults (panics,
 //!    stalls, cancellations) injected at phase boundaries through the
 //!    observability hook, proving every failure surfaces as a typed
@@ -35,10 +38,12 @@ pub mod fingerprint;
 pub mod golden;
 pub mod kernels;
 pub mod oracle;
+pub mod store;
 pub mod worlds;
 
 pub use chaos::ChaosHook;
 pub use fingerprint::{assert_bit_identical, OutcomeFingerprint, ResultFingerprint};
 pub use golden::{bless_ds1, check_ds1, compute_ds1, Ds1Golden};
+pub use store::{bless_ds1_store, check_ds1_store, compute_ds1_store};
 pub use kernels::{check_ds1_kernel_parity, check_kernel_outcome_invariance, check_kernel_parity};
 pub use worlds::{separable_world, SmallWorld};

@@ -1,0 +1,148 @@
+//! Binary-store conformance golden: a committed `.tds` snapshot of the
+//! scaled DS1 world with one truth page per standard algorithm.
+//!
+//! The golden pins two independent contracts at once:
+//!
+//! * **byte stability** — re-packing the deterministic DS1 world must
+//!   reproduce the committed file byte-for-byte (interner order, claim
+//!   sort, prediction sort, page layout, checksums); and
+//! * **semantic fidelity** — running TD-AC *from the committed file*
+//!   (build phase skipped via the stored truth pages) must produce an
+//!   [`OutcomeFingerprint`] bit-identical to the from-scratch run on
+//!   the freshly generated world, for every standard algorithm.
+//!
+//! Blessing rides the existing flow: `cargo run -p td-verify -- --bless`
+//! (or `TDAC_BLESS=1`) regenerates `goldens/ds1.tds` alongside
+//! `goldens/ds1.json`; review the diff like any code change.
+
+use std::fs;
+use std::path::PathBuf;
+
+use datagen::{generate_synthetic, SyntheticConfig};
+use td_algorithms::standard_algorithms;
+use tdac_core::{DatasetStore, Tdac, TdacConfig};
+
+use crate::fingerprint::OutcomeFingerprint;
+use crate::golden::{BLESS_ENV, DS1_GOLDEN_OBJECTS};
+
+/// Where the committed `.tds` snapshot lives (next to `ds1.json`).
+pub fn store_golden_path() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/goldens/ds1.tds"))
+}
+
+/// Packs the scaled DS1 world into a store carrying one dense truth
+/// page per standard algorithm — any of the five can later skip its
+/// build phase from this one file.
+pub fn compute_ds1_store() -> DatasetStore {
+    let config = SyntheticConfig::ds1().scaled(DS1_GOLDEN_OBJECTS);
+    let world = generate_synthetic(&config);
+    let tdac = Tdac::new(TdacConfig::default());
+    let mut store = DatasetStore::new(world.dataset.clone());
+    for base in standard_algorithms() {
+        for page in tdac.pack(base.as_ref(), &world.dataset).pages {
+            store.push_page(page);
+        }
+    }
+    store
+}
+
+/// Writes the freshly packed snapshot to [`store_golden_path`],
+/// returning the path.
+pub fn bless_ds1_store() -> std::io::Result<PathBuf> {
+    let path = store_golden_path();
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(&path, compute_ds1_store().to_bytes())?;
+    Ok(path)
+}
+
+/// Checks the committed `.tds` snapshot: byte equality against a fresh
+/// pack, load round-trip byte stability, and fingerprint equality of
+/// store-backed runs against from-scratch runs for every standard
+/// algorithm. With `TDAC_BLESS=1` the snapshot is rewritten instead.
+pub fn check_ds1_store() -> Result<(), String> {
+    if std::env::var(BLESS_ENV).is_ok_and(|v| v == "1") {
+        let path = bless_ds1_store().map_err(|e| format!("blessing failed: {e}"))?;
+        eprintln!("blessed {}", path.display());
+        return Ok(());
+    }
+    let path = store_golden_path();
+    let committed = fs::read(&path).map_err(|e| {
+        format!(
+            "cannot read store golden {}: {e}\nrun `cargo run -p td-verify -- --bless` to create it",
+            path.display()
+        )
+    })?;
+
+    // Byte stability: the deterministic pack must reproduce the file.
+    let fresh_bytes = compute_ds1_store().to_bytes();
+    if committed != fresh_bytes {
+        let first = committed
+            .iter()
+            .zip(&fresh_bytes)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| committed.len().min(fresh_bytes.len()));
+        return Err(format!(
+            "ds1.tds diverged from the committed golden: lengths {} vs {}, first differing \
+             byte at offset {first}.\nIf the format or the pipeline changed intentionally, \
+             regenerate with `cargo run -p td-verify -- --bless` and commit the diff.",
+            committed.len(),
+            fresh_bytes.len()
+        ));
+    }
+
+    // Load round-trip: decoding and re-encoding the committed bytes must
+    // be the identity (canonical layout has exactly one encoding).
+    let store = DatasetStore::from_bytes(&committed)
+        .map_err(|e| format!("committed ds1.tds does not decode: {e}"))?;
+    if store.to_bytes() != committed {
+        return Err("ds1.tds load->save is not byte-stable".to_string());
+    }
+
+    // Semantic fidelity: the store-backed run (build phase skipped via
+    // the truth page) must fingerprint identically to the from-scratch
+    // run for every standard algorithm.
+    let world = generate_synthetic(&SyntheticConfig::ds1().scaled(DS1_GOLDEN_OBJECTS));
+    let tdac = Tdac::new(TdacConfig::default());
+    for base in standard_algorithms() {
+        let from_store = tdac
+            .run_store(base.as_ref(), &store)
+            .map_err(|e| format!("{}: store-backed run failed: {e}", base.name()))?;
+        let from_scratch = tdac
+            .run(base.as_ref(), &world.dataset)
+            .map_err(|e| format!("{}: from-scratch run failed: {e}", base.name()))?;
+        let a = OutcomeFingerprint::of(&from_store);
+        let b = OutcomeFingerprint::of(&from_scratch);
+        if let Some(diff) = a.diff(&b) {
+            return Err(format!(
+                "{}: store-backed outcome diverged from the from-scratch run:\n  {diff}",
+                base.name()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_is_byte_deterministic() {
+        assert_eq!(compute_ds1_store().to_bytes(), compute_ds1_store().to_bytes());
+    }
+
+    #[test]
+    fn store_carries_one_page_per_standard_algorithm() {
+        let store = compute_ds1_store();
+        assert_eq!(store.pages.len(), standard_algorithms().len());
+        for base in standard_algorithms() {
+            assert!(
+                store.page(base.name(), false).is_some(),
+                "missing page for {}",
+                base.name()
+            );
+        }
+    }
+}

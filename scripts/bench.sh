@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the TD-AC criterion benches (tdac_pipeline, clustering,
-# partitioning) and aggregates their per-bench medians into
+# partitioning, store) and aggregates their per-bench medians into
 # BENCH_tdac.json at the repo root.
 #
 # The vendored criterion shim emits one JSON line per benchmark when
@@ -29,7 +29,7 @@ profile_tmp="$repo_root/.bench_profile.bench.tmp.json"
 out="$repo_root/BENCH_tdac.json"
 rm -f "$tmp" "$profile_tmp"
 
-for bench in tdac_pipeline clustering partitioning; do
+for bench in tdac_pipeline clustering partitioning store; do
     echo "== cargo bench --bench $bench =="
     TDAC_BENCH_JSON="$tmp" cargo bench --offline -p tdac-bench --bench "$bench" "$@"
 done
@@ -101,6 +101,21 @@ for bench_id, rec in benches.items():
 if streaming:
     doc["streaming_speedups"] = streaming
 
+# Any "<prefix>/rebuild" + "<prefix>/cold_load" pair compares a full
+# from-scratch TD-AC run with decoding a packed `.tds` store and running
+# from its truth page (build phase skipped): record the rebuild/cold_load
+# throughput ratio under "store_speedups" (docs/STORAGE.md).
+store = {}
+for bench_id, rec in benches.items():
+    if not bench_id.endswith("/rebuild"):
+        continue
+    prefix = bench_id[: -len("/rebuild")]
+    cold = benches.get(prefix + "/cold_load")
+    if cold and cold["median_ns"] > 0:
+        store[prefix] = round(rec["median_ns"] / cold["median_ns"], 2)
+if store:
+    doc["store_speedups"] = store
+
 if os.path.exists(profile_path):
     with open(profile_path) as f:
         doc["profile"] = json.load(f)
@@ -119,6 +134,10 @@ if overheads:
 if streaming:
     extra += "; streaming speedups: " + ", ".join(
         f"{k} {v}x" for k, v in sorted(streaming.items())
+    )
+if store:
+    extra += "; store speedups: " + ", ".join(
+        f"{k} {v}x" for k, v in sorted(store.items())
     )
 print(f"wrote {out_path} ({len(benches)} benches{extra})")
 PY

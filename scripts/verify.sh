@@ -32,6 +32,10 @@ cargo test --offline -q -p td-verify --test limits_props
 echo "== incremental oracle: session ingest vs batch recompute, bit-identical =="
 cargo test --offline -q -p td-verify --test incremental
 
+echo "== store: .tds corruption matrix, fuzzing, round-trip bit-identity =="
+cargo test --offline -q -p td-verify --test store
+cargo run --offline --release -q -p td-verify
+
 echo "== expensive oracles: Bell(7)/Bell(8) brute-force differentials =="
 cargo test --offline -q -p td-verify --features expensive-oracles
 

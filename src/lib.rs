@@ -67,6 +67,12 @@ pub use tdac_core::{
 pub use td_model::{ClaimBatch, DeltaDataset, DeltaSummary};
 pub use tdac_core::{IngestReport, RepartitionPolicy, SessionError, TdacSession};
 
+// The persistent binary dataset store (`.tds`): interned columnar
+// sections plus precomputed truth-vector pages that let `Tdac::run_store`
+// and `TdacSession::start_store` skip the build phase bit-identically.
+// See `docs/STORAGE.md`.
+pub use tdac_core::{DatasetStore, StoreError, TruthPage};
+
 /// The crate version, for diagnostics.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
@@ -99,6 +105,8 @@ mod tests {
         let _ = crate::WorkCompleted::default();
         let _ = crate::ClaimBatch::new();
         let _ = crate::RepartitionPolicy::OnDrift(0.05);
+        let _ = crate::DatasetStore::new(crate::model::DatasetBuilder::new().build());
+        let _: fn(crate::StoreError) -> crate::TdError = crate::TdError::Store;
         let _: fn(crate::model::ModelError) -> crate::SessionError = crate::SessionError::Model;
         assert!(!crate::VERSION.is_empty());
     }

@@ -17,3 +17,10 @@ fn ds1_results_match_the_committed_golden() {
         panic!("{diff}");
     }
 }
+
+#[test]
+fn ds1_store_matches_the_committed_golden() {
+    if let Err(diff) = td_verify::check_ds1_store() {
+        panic!("{diff}");
+    }
+}

@@ -1,11 +1,14 @@
 //! Failure-injection integration tests: how the algorithms and TD-AC
 //! degrade under dropped claims, injected copiers and truth-flipping
-//! noise.
+//! noise — and that the robustness machinery treats store-backed runs
+//! exactly like in-memory ones.
 
 use td_ac::algorithms::{Accu, MajorityVote, TruthDiscovery};
 use td_ac::core::{Tdac, TdacConfig};
 use td_ac::data::{add_noise, drop_claims, generate_synthetic, inject_copiers, SyntheticConfig};
 use td_ac::metrics::evaluate_fn;
+use td_ac::{CancelToken, DegradationReason, ExecutionLimits};
+use td_verify::{ChaosHook, OutcomeFingerprint};
 
 /// Cell-level accuracy (fraction of cells answered exactly right) — the
 /// right measure for degradation tests: the instance-level accuracy of
@@ -99,4 +102,74 @@ fn composed_corruption_pipeline_stays_sound() {
         let r = algo.discover(&d.view_all());
         assert_eq!(r.len(), d.n_cells(), "{}", algo.name());
     }
+}
+
+/// A store-backed run lives under the same execution-limits contract as
+/// an in-memory run: a distance-eval budget must trip at the same
+/// boundary and degrade to the *same bits*. The stored truth page only
+/// skips the build phase, which spends no distance evaluations.
+#[test]
+fn store_backed_run_degrades_identically_under_a_distance_budget() {
+    let data = generate_synthetic(&SyntheticConfig::ds1().scaled(40));
+    let store = Tdac::new(TdacConfig::default()).pack(&MajorityVote, &data.dataset);
+    let config = || TdacConfig {
+        limits: ExecutionLimits::none().with_max_distance_evals(10),
+        ..TdacConfig::default()
+    };
+    let in_memory = Tdac::new(config())
+        .run(&MajorityVote, &data.dataset)
+        .expect("a blown budget degrades, it does not error");
+    let from_store = Tdac::new(config())
+        .run_store(&MajorityVote, &store)
+        .expect("store-backed runs degrade the same way");
+    let (a, b) = (&in_memory.degradation, &from_store.degradation);
+    assert!(a.is_some(), "10 evals cannot cover the sweep");
+    assert_eq!(
+        a.as_ref().map(|d| (&d.reason, &d.phase)),
+        b.as_ref().map(|d| (&d.reason, &d.phase)),
+        "both paths must flag the same budget exhaustion"
+    );
+    assert_eq!(
+        OutcomeFingerprint::of(&in_memory),
+        OutcomeFingerprint::of(&from_store),
+        "degraded outcomes must be bit-identical"
+    );
+}
+
+/// A chaos cancellation fired at the sweep boundary must yield the same
+/// flagged, sound fallback outcome whether the run started from a `.tds`
+/// store or from the in-memory dataset.
+#[test]
+fn store_backed_run_cancels_identically_under_chaos() {
+    let data = generate_synthetic(&SyntheticConfig::ds1().scaled(40));
+    let store = Tdac::new(TdacConfig::default()).pack(&MajorityVote, &data.dataset);
+    let run = |store_backed: bool| {
+        let token = CancelToken::new();
+        let hook = ChaosHook::cancels_at("k_sweep", 1, token.clone());
+        let tdac = Tdac::new(TdacConfig {
+            observer: hook.observer(),
+            limits: ExecutionLimits::none().with_cancel(token),
+            ..TdacConfig::default()
+        });
+        let outcome = if store_backed {
+            tdac.run_store(&MajorityVote, &store)
+        } else {
+            tdac.run(&MajorityVote, &data.dataset)
+        }
+        .expect("cancellation degrades, it does not error");
+        assert!(hook.fired(), "the chaos hook must have injected");
+        outcome
+    };
+    let in_memory = run(false);
+    let from_store = run(true);
+    for outcome in [&in_memory, &from_store] {
+        let deg = outcome.degradation.as_ref().expect("must be flagged");
+        assert_eq!(deg.reason, DegradationReason::Cancelled);
+        assert!(outcome.fallback, "best-so-far is the un-partitioned run");
+    }
+    assert_eq!(
+        OutcomeFingerprint::of(&in_memory),
+        OutcomeFingerprint::of(&from_store),
+        "cancelled outcomes must be bit-identical"
+    );
 }
