@@ -1,0 +1,135 @@
+//! Bench: td-serve query throughput over loopback TCP, with and
+//! without chaos injection.
+//!
+//! `query_clean` round-trips `TruthQuery::All` against a server whose
+//! session ran to completion; `query_chaos` does the same against a
+//! generation produced under injected chaos (a `ChaosHook` stall plus a
+//! starved request deadline on the ingest that built it). The serving
+//! contract under chaos is *graceful degradation*: the server answers
+//! at full speed from its best-so-far snapshot and every answer carries
+//! the degradation flag — no panics, no unflagged partial answers.
+//!
+//! `scripts/bench.sh` folds each `serve/*` median into
+//! `BENCH_tdac.json` under `serve_throughput` as requests/sec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use td_algorithms::algorithm_by_name;
+use td_model::{Dataset, Value};
+use td_serve::{Client, ResponseBody, ServeConfig, Server, WireClaim};
+use td_verify::ChaosHook;
+use tdac_bench::exam_bench;
+use tdac_core::{RepartitionPolicy, TdacConfig, TdacSession, TruthQuery};
+
+/// A fresh-object claim batch over existing sources/attributes, so the
+/// chaos ingest below is consistent with the exam base.
+fn fresh_object_batch(dataset: &Dataset) -> Vec<WireClaim> {
+    let sources: Vec<String> = (0..3)
+        .map(|s| dataset.source_name(td_model::SourceId::new(s)).to_string())
+        .collect();
+    let attrs: Vec<String> = (0..4)
+        .map(|a| dataset.attribute_name(td_model::AttributeId::new(a)).to_string())
+        .collect();
+    let mut wire = Vec::new();
+    for (si, source) in sources.iter().enumerate() {
+        for (ai, attr) in attrs.iter().enumerate() {
+            wire.push(WireClaim {
+                source: source.clone(),
+                object: "bench-chaos-object".to_string(),
+                attribute: attr.clone(),
+                value: Value::int((si * 100 + ai) as i64),
+            });
+        }
+    }
+    wire
+}
+
+fn serve(config: TdacConfig, dataset: Dataset) -> (Server, Client) {
+    let session = TdacSession::start(
+        algorithm_by_name("majorityvote").expect("known algorithm"),
+        config,
+        RepartitionPolicy::Always,
+        dataset,
+    )
+    .expect("session starts");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        session,
+        ServeConfig {
+            max_inflight: 8,
+            workers: 2,
+            default_deadline_ms: None,
+        },
+    )
+    .expect("server binds");
+    let client = Client::connect(server.local_addr()).expect("client connects");
+    (server, client)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let (exam, _) = exam_bench(62, 120);
+    let mut group = c.benchmark_group("serve/exam62");
+    group.sample_size(20);
+
+    // ── Clean: queries against a fully-converged generation ──
+    let (mut server, mut client) = serve(TdacConfig::default(), exam.clone());
+    group.bench_function("query_clean", |b| {
+        b.iter(|| {
+            let resp = client
+                .query(TruthQuery::All, Some(30_000))
+                .expect("query round-trips");
+            let ResponseBody::Query(q) = &resp.body else {
+                panic!("clean query failed: {:?}", resp.body);
+            };
+            assert!(q.degradation.is_none(), "clean generation is complete");
+            black_box(resp)
+        });
+    });
+    server.shutdown();
+
+    // ── Chaos: the served generation was built under an injected stall
+    // and a starved deadline, so it is degraded-but-published. Queries
+    // must keep answering at speed, every answer flagged. (The sweep's
+    // first hit is the session's start pass; hit 2 is the ingest's
+    // re-sweep under RepartitionPolicy::Always.)
+    let hook = ChaosHook::delays_at("k_sweep", 2, Duration::from_millis(200));
+    let config = TdacConfig::builder()
+        .observer(hook.observer())
+        .build()
+        .expect("valid config");
+    let (mut server, mut client) = serve(config, exam.clone());
+    let resp = client
+        .ingest(fresh_object_batch(&exam), Some(50))
+        .expect("ingest round-trips");
+    let ResponseBody::Ingest(ack) = resp.body else {
+        panic!("chaos ingest must ack flagged, got {:?}", resp.body);
+    };
+    assert!(hook.fired(), "the chaos stall actually ran");
+    assert!(
+        ack.degradation.is_some(),
+        "a 200ms stall under a 50ms deadline must degrade the generation"
+    );
+    group.bench_function("query_chaos", |b| {
+        b.iter(|| {
+            let resp = client
+                .query(TruthQuery::All, Some(30_000))
+                .expect("query round-trips");
+            let ResponseBody::Query(q) = &resp.body else {
+                panic!("chaos query failed: {:?}", resp.body);
+            };
+            assert!(
+                q.degradation.is_some(),
+                "answers from the degraded generation must be flagged"
+            );
+            black_box(resp)
+        });
+    });
+    server.shutdown();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

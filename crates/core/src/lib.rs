@@ -73,6 +73,7 @@ pub mod error;
 pub mod masked;
 pub mod object_clustering;
 pub mod partition;
+pub mod query;
 pub mod session;
 pub mod tdac;
 pub mod truth_vectors;
@@ -87,6 +88,7 @@ pub use error::TdError;
 pub use masked::MaskedTruthVectors;
 pub use object_clustering::{ObjectPartition, Tdoc, TdocOutcome};
 pub use partition::{bell_number, partitions_iter, AttributePartition, PartitionIter};
+pub use query::{Prediction, QueryResponse, SourceTrust, TruthQuery};
 pub use session::{IngestReport, RepartitionPolicy, SessionError, TdacSession};
 pub use tdac::{Tdac, TdacError, TdacOutcome};
 pub use truth_vectors::{

@@ -648,6 +648,30 @@ impl<B: TruthDiscovery + Sync> TdacSession<B> {
     pub fn claims_appended(&self) -> usize {
         self.delta.claims_appended()
     }
+
+    /// Replaces the execution limits applied to subsequent ingests.
+    ///
+    /// A serving front end maps each request's remaining deadline onto
+    /// the session before ingesting, so one slow batch degrades (flagged
+    /// best-so-far outcome) instead of stalling the queue behind it.
+    /// Only the limits change; observer, parallelism and every pipeline
+    /// knob are untouched, preserving the bit-identity contract for
+    /// work that completes within budget.
+    ///
+    /// # Errors
+    /// [`TdacError::InvalidConfig`] when the limits fail
+    /// [`td_obs::ExecutionLimits::validate`] (zero budgets); the
+    /// session keeps its previous limits.
+    pub fn set_limits(
+        &mut self,
+        limits: td_obs::ExecutionLimits,
+    ) -> Result<(), TdacError> {
+        limits
+            .validate()
+            .map_err(TdacError::InvalidConfig)?;
+        self.config.limits = limits;
+        Ok(())
+    }
 }
 
 impl<B: fmt::Debug> fmt::Debug for TdacSession<B> {

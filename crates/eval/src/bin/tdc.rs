@@ -9,6 +9,11 @@
 //! tdc pack    --input data.json|claims.csv --algo accu [--masked] --output store.tds
 //! tdc inspect --input store.tds
 //! tdc stats   --input data.json|claims.csv|store.tds [--truth truth.csv]
+//! tdc serve   --input base.json|base.csv|base.tds --algo accu [--addr 127.0.0.1:7431]
+//!             [--max-inflight n] [--workers n] [--deadline-ms n]
+//!             [--policy always|never|drift:<threshold>] [--parallel]
+//! tdc query   --addr 127.0.0.1:7431 [--object o [--attribute a] | --source s]
+//!             [--ingest claims.csv]... [--deadline-ms n] [--output predictions.json]
 //! tdc algos
 //! ```
 //!
@@ -26,6 +31,12 @@
 //! `TdacSession`, each `--batch` file (same claim formats) is ingested
 //! in order with a per-batch report on stderr, and the final accumulated
 //! predictions are emitted like `run`. See `docs/STREAMING.md`.
+//!
+//! `serve` turns the same session into a long-lived TCP service
+//! speaking the td-serve line-delimited JSON protocol; `query` is its
+//! client (the default query is "everything", so `tdc query --addr …
+//! --output p.json` against a freshly served store emits exactly what
+//! `tdc run --tdac` would). See `docs/SERVING.md`.
 
 use std::env;
 use std::fs;
@@ -35,8 +46,10 @@ use td_algorithms::{algorithm_by_name, registry::all_algorithms, TruthDiscovery}
 use td_metrics::{evaluate_fn, Stopwatch};
 use td_model::{csv, json, ClaimBatch, Dataset, DatasetStats, GroundTruth};
 use td_store::{section_table, DatasetStore};
+use td_serve::{Client, ResponseBody, ServeConfig, Server, WireClaim};
 use tdac_core::{
-    ExecutionLimits, Parallelism, RepartitionPolicy, Tdac, TdacConfig, TdacSession,
+    ExecutionLimits, Parallelism, QueryResponse, RepartitionPolicy, Tdac, TdacConfig,
+    TdacSession, TruthQuery,
 };
 
 const USAGE: &str = "usage:\n  tdc run --input <data.json|claims.csv|store.tds> [--truth <truth.csv>] \
@@ -47,7 +60,13 @@ tdc stream --input <base.json|base.csv|base.tds> --algo <name> --batch <claims.c
 [--truth <truth.csv>] [--output <predictions.json>]\n  \
 tdc pack --input <data.json|claims.csv> --algo <name> [--masked] --output <store.tds>\n  \
 tdc inspect --input <store.tds>\n  \
-tdc stats --input <data.json|claims.csv|store.tds> [--truth <truth.csv>]\n  tdc algos";
+tdc stats --input <data.json|claims.csv|store.tds> [--truth <truth.csv>]\n  \
+tdc serve --input <base.json|base.csv|base.tds> --algo <name> [--addr <host:port>] \
+[--max-inflight <n>] [--workers <n>] [--deadline-ms <n>] \
+[--policy always|never|drift:<threshold>] [--parallel]\n  \
+tdc query --addr <host:port> [--object <o> [--attribute <a>] | --source <s>] \
+[--ingest <claims.csv|data.json>]... [--deadline-ms <n>] [--output <predictions.json>]\n  \
+tdc algos";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -57,6 +76,8 @@ fn main() -> ExitCode {
         Some("pack") => cmd_pack(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("algos") => {
             for algo in all_algorithms() {
                 println!("{}", algo.name());
@@ -525,23 +546,50 @@ fn parse_limits(args: &[String]) -> Result<ExecutionLimits, String> {
 }
 
 /// Emits predictions (stdout or `--output`) as a JSON array of
-/// `{object, attribute, value, confidence}` rows sorted by cell.
+/// `{object, attribute, value, confidence}` rows sorted by cell, going
+/// through the shared [`TruthQuery`] surface — the same path `tdc
+/// query` takes over the wire, so local and served output are
+/// byte-identical on identical results.
 fn emit_predictions(
     dataset: &Dataset,
     result: &td_algorithms::TruthResult,
     output: Option<String>,
 ) -> Result<(), String> {
-    let mut rows: Vec<serde_json::Value> = Vec::with_capacity(result.len());
-    let mut sorted: Vec<_> = result.iter().collect();
-    sorted.sort_by_key(|&(o, a, _, _)| (o, a));
-    for (o, a, v, c) in sorted {
-        rows.push(serde_json::json!({
-            "object": dataset.object_name(o),
-            "attribute": dataset.attribute_name(a),
-            "value": dataset.value(v).to_string(),
-            "confidence": c,
-        }));
-    }
+    let response = TruthQuery::All
+        .answer_result(dataset, result)
+        .map_err(|e| e.to_string())?;
+    emit_response(&response, output)
+}
+
+/// Emits a [`QueryResponse`]'s predictions (or, for source queries, its
+/// trust scores) as pretty JSON to stdout or `--output`.
+fn emit_response(response: &QueryResponse, output: Option<String>) -> Result<(), String> {
+    let rows: Vec<serde_json::Value> =
+        if response.predictions.is_empty() && !response.sources.is_empty() {
+            response
+                .sources
+                .iter()
+                .map(|s| {
+                    serde_json::json!({
+                        "source": s.source,
+                        "trust": s.trust,
+                    })
+                })
+                .collect()
+        } else {
+            response
+                .predictions
+                .iter()
+                .map(|p| {
+                    serde_json::json!({
+                        "object": p.object,
+                        "attribute": p.attribute,
+                        "value": p.value.to_string(),
+                        "confidence": p.confidence,
+                    })
+                })
+                .collect()
+        };
     let body = serde_json::to_string_pretty(&rows).expect("serialize predictions");
     match output {
         Some(path) => {
@@ -551,6 +599,240 @@ fn emit_predictions(
         None => println!("{body}"),
     }
     Ok(())
+}
+
+/// `tdc serve`: start a session (like `stream`, store-backed inputs
+/// skip the build phase) and serve it over TCP until killed. The bound
+/// address is printed as the first stdout line so scripts can pick it
+/// up even with `--addr 127.0.0.1:0`.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let Some(input) = flag_value(args, "--input") else {
+        eprintln!("--input is required\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(algo_name) = flag_value(args, "--algo") else {
+        eprintln!("--algo is required (see `tdc algos`)\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(algo) = algorithm_by_name(&algo_name) else {
+        eprintln!("unknown algorithm {algo_name:?}; see `tdc algos`");
+        return ExitCode::FAILURE;
+    };
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7431".to_string());
+    let mut serve_config = ServeConfig::default();
+    if let Some(n) = flag_value(args, "--max-inflight") {
+        match n.parse::<usize>() {
+            Ok(n) if n > 0 => serve_config.max_inflight = n,
+            _ => {
+                eprintln!("--max-inflight wants a positive integer, got {n:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--workers") {
+        match n.parse::<usize>() {
+            Ok(n) if n > 0 => serve_config.workers = n,
+            _ => {
+                eprintln!("--workers wants a positive integer, got {n:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // For `serve`, --deadline-ms is the *default per-request* deadline
+    // (requests may override); the session's own limits stay unbounded.
+    if let Some(ms) = flag_value(args, "--deadline-ms") {
+        match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => serve_config.default_deadline_ms = Some(ms),
+            _ => {
+                eprintln!("--deadline-ms wants a positive integer, got {ms:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let policy = match flag_value(args, "--policy").as_deref() {
+        None | Some("always") => RepartitionPolicy::Always,
+        Some("never") => RepartitionPolicy::Never,
+        Some(p) => match p.strip_prefix("drift:").and_then(|t| t.parse::<f64>().ok()) {
+            Some(t) => RepartitionPolicy::OnDrift(t),
+            None => {
+                eprintln!("--policy wants always, never, or drift:<threshold>, got {p:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let store = match load_store(&input, None) {
+        Some(Ok(s)) => Some(s),
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
+    let config = TdacConfig {
+        parallelism: if has_flag(args, "--parallel") {
+            Parallelism::Auto
+        } else {
+            Parallelism::Threads(1)
+        },
+        ..Default::default()
+    };
+    let started = match &store {
+        Some(s) => TdacSession::start_store(algo, config, policy, s),
+        None => match load(&input, None) {
+            Ok((dataset, _)) => TdacSession::start(algo, config, policy, dataset),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let session = match started {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{input}: session start failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n_claims = session.dataset().n_claims();
+    let server = match Server::bind(addr.as_str(), session, serve_config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // First stdout line: the resolved address, for scripts.
+    println!("{}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "# serving {algo_name} on {} ({n_claims} claims, max_inflight={}, workers={}, \
+         default deadline {})",
+        server.local_addr(),
+        serve_config.max_inflight,
+        serve_config.workers,
+        serve_config
+            .default_deadline_ms
+            .map_or("none".to_string(), |ms| format!("{ms}ms")),
+    );
+    server.join();
+    ExitCode::SUCCESS
+}
+
+/// `tdc query`: drive a running `tdc serve` instance. `--ingest` files
+/// are sent first (in order), then the query — default "everything" —
+/// is answered and emitted like `tdc run`.
+fn cmd_query(args: &[String]) -> ExitCode {
+    let Some(addr) = flag_value(args, "--addr") else {
+        eprintln!("--addr is required\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let deadline_ms = match flag_value(args, "--deadline-ms") {
+        Some(ms) => match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => Some(ms),
+            _ => {
+                eprintln!("--deadline-ms wants a positive integer, got {ms:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let query = match (
+        flag_value(args, "--object"),
+        flag_value(args, "--attribute"),
+        flag_value(args, "--source"),
+    ) {
+        (Some(o), Some(a), None) => TruthQuery::Attribute(o, a),
+        (Some(o), None, None) => TruthQuery::Object(o),
+        (None, None, Some(s)) => TruthQuery::Source(s),
+        (None, None, None) => TruthQuery::All,
+        _ => {
+            eprintln!(
+                "--attribute wants --object, and --source excludes both\n{USAGE}"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let output = flag_value(args, "--output");
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for path in flag_values(args, "--ingest") {
+        let batch = match batch_from_file(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let claims: Vec<WireClaim> = batch
+            .rows()
+            .map(|(s, o, a, v)| WireClaim {
+                source: s.clone(),
+                object: o.clone(),
+                attribute: a.clone(),
+                value: v.clone(),
+            })
+            .collect();
+        match client.ingest(claims, deadline_ms) {
+            Ok(resp) => match resp.body {
+                ResponseBody::Ingest(ack) => eprintln!(
+                    "# {path}: +{} claims -> generation {}{}",
+                    ack.appended_claims,
+                    resp.generation,
+                    if ack.degradation.is_some() { ", DEGRADED" } else { "" },
+                ),
+                ResponseBody::Error(err) => {
+                    eprintln!("{path}: ingest rejected ({:?}): {}", err.kind, err.message);
+                    return ExitCode::FAILURE;
+                }
+                other => {
+                    eprintln!("{path}: unexpected response {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: ingest failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match client.query(query, deadline_ms) {
+        Ok(resp) => match resp.body {
+            ResponseBody::Query(q) => {
+                eprintln!(
+                    "# generation {}: {} predictions, {} trust scores",
+                    resp.generation,
+                    q.predictions.len(),
+                    q.sources.len()
+                );
+                if let Some(deg) = &q.degradation {
+                    eprintln!("# DEGRADED: {deg} (best-so-far answer below)");
+                }
+                if let Err(e) = emit_response(&q, output) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                ExitCode::SUCCESS
+            }
+            ResponseBody::Error(err) => {
+                eprintln!("query rejected ({:?}): {}", err.kind, err.message);
+                ExitCode::FAILURE
+            }
+            other => {
+                eprintln!("unexpected response {other:?}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {

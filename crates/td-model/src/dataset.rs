@@ -219,6 +219,10 @@ impl Dataset {
                 n_sources: self.n_sources(),
                 n_objects: self.n_objects(),
                 n_claims: self.n_claims(),
+                // Name the offender when there is exactly one: serving
+                // entry points forward it on the wire.
+                lone_source: (self.n_sources() == 1)
+                    .then(|| self.source_name(SourceId::new(0)).to_string()),
             });
         }
         Ok(())
@@ -643,19 +647,24 @@ mod tests {
             ModelError::DegenerateDataset {
                 n_sources: 0,
                 n_objects: 0,
-                n_claims: 0
+                n_claims: 0,
+                lone_source: None,
             }
         );
         assert!(err.to_string().contains("degenerate"), "{err}");
 
-        // A single source has nothing to disagree with.
+        // A single source has nothing to disagree with — and the error
+        // names it, so a service can report which feed claims alone.
         let mut b = DatasetBuilder::new();
         b.claim("lone", "o", "a", Value::int(1)).unwrap();
         let single = b.build();
+        let err = single.validate_for_discovery().unwrap_err();
         assert!(matches!(
-            single.validate_for_discovery(),
-            Err(ModelError::DegenerateDataset { n_sources: 1, .. })
+            &err,
+            ModelError::DegenerateDataset { n_sources: 1, lone_source: Some(name), .. }
+                if name == "lone"
         ));
+        assert!(err.to_string().contains("\"lone\""), "{err}");
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub enum ModelError {
     /// The dataset cannot support truth discovery: no claims at all, no
     /// objects, or a single source (a lone source is trivially its own
     /// truth — there is no disagreement to resolve). Carries the counts
-    /// so the message is self-describing.
+    /// so the message is self-describing, and — when the degeneracy is
+    /// exactly one source — that source's name, so service entry points
+    /// can report *which* feed is claiming alone instead of a bare
+    /// count.
     DegenerateDataset {
         /// Number of sources in the dataset.
         n_sources: usize,
@@ -43,6 +46,9 @@ pub enum ModelError {
         n_objects: usize,
         /// Number of claims in the dataset.
         n_claims: usize,
+        /// The single source's name when `n_sources == 1`; `None` for
+        /// the other degeneracies (nothing to name).
+        lone_source: Option<String>,
     },
 }
 
@@ -71,12 +77,19 @@ impl fmt::Display for ModelError {
                 n_sources,
                 n_objects,
                 n_claims,
-            } => write!(
-                f,
-                "dataset is degenerate for truth discovery: {n_claims} claims \
-                 from {n_sources} sources over {n_objects} objects (need at \
-                 least one claim, two sources, and one object)"
-            ),
+                lone_source,
+            } => {
+                write!(
+                    f,
+                    "dataset is degenerate for truth discovery: {n_claims} claims \
+                     from {n_sources} sources over {n_objects} objects (need at \
+                     least one claim, two sources, and one object)"
+                )?;
+                if let Some(name) = lone_source {
+                    write!(f, "; the only claiming source is {name:?}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -1,0 +1,229 @@
+//! Chaos oracles for the td-serve front end: faults injected into the
+//! pipeline *behind* a live server must surface on the wire as typed
+//! error responses or flagged degradations — never hangs, never
+//! connection drops, never a poisoned server.
+//!
+//! This extends the robustness contract of `tests/chaos.rs` (typed
+//! errors / flagged outcomes at the library boundary) across the
+//! network boundary: a serving client sees the same taxonomy, one
+//! protocol layer up.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use td_algorithms::algorithm_by_name;
+use td_model::{DatasetBuilder, Value};
+use td_serve::{
+    Client, ResponseBody, ServeConfig, Server, WireClaim, WireErrorKind,
+};
+use td_verify::ChaosHook;
+use tdac_core::{
+    CancelToken, ExecutionLimits, RepartitionPolicy, TdacConfig, TdacSession,
+    TruthQuery,
+};
+
+/// Planted two-group dataset with `n` objects.
+fn dataset(n: i64) -> td_model::Dataset {
+    let mut b = DatasetBuilder::new();
+    for o in 0..n {
+        let obj = format!("obj-{o}");
+        for (ai, attr) in ["g1a", "g1b", "g2a", "g2b"].iter().enumerate() {
+            let truth = o * 10 + ai as i64;
+            let noise = 5_000 + o * 10 + ai as i64;
+            let (a_val, b_val) =
+                if ai < 2 { (truth, noise) } else { (noise, truth) };
+            b.claim("src-a", &obj, *attr, Value::int(a_val)).unwrap();
+            b.claim("src-b", &obj, *attr, Value::int(b_val)).unwrap();
+            b.claim("src-c", &obj, *attr, Value::int(truth)).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// One fresh-object wire batch disjoint from `dataset(n)`.
+fn batch(o: i64) -> Vec<WireClaim> {
+    let obj = format!("obj-{o}");
+    ["g1a", "g1b", "g2a", "g2b"]
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, attr)| {
+            let truth = o * 10 + ai as i64;
+            [
+                ("src-a", truth),
+                ("src-b", 5_000 + truth),
+                ("src-c", truth),
+            ]
+            .map(|(s, v)| WireClaim {
+                source: s.to_string(),
+                object: obj.clone(),
+                attribute: attr.to_string(),
+                value: Value::int(v),
+            })
+        })
+        .collect()
+}
+
+fn serve_with(config: TdacConfig) -> (Server, Client) {
+    let session = TdacSession::start(
+        algorithm_by_name("majorityvote").unwrap(),
+        config,
+        RepartitionPolicy::Always,
+        dataset(5),
+    )
+    .expect("session starts");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        session,
+        ServeConfig {
+            max_inflight: 8,
+            workers: 2,
+            default_deadline_ms: None,
+        },
+    )
+    .expect("server binds");
+    let client = Client::connect(server.local_addr()).expect("client connects");
+    (server, client)
+}
+
+#[test]
+fn injected_worker_panic_is_a_typed_internal_error_and_server_survives() {
+    // Hit 2: the served ingest's re-sweep (hit 1 is the start pass).
+    let hook = ChaosHook::panics_at("k_sweep", 2);
+    let config = TdacConfig::builder()
+        .observer(hook.observer())
+        .build()
+        .expect("valid config");
+    let (mut server, mut client) = serve_with(config);
+
+    let resp = client.ingest(batch(5), None).expect("the wire stays up");
+    assert!(hook.fired(), "the panic actually fired");
+    let ResponseBody::Error(err) = resp.body else {
+        panic!("a poisoned ingest must be a typed error, got {:?}", resp.body);
+    };
+    assert_eq!(err.kind, WireErrorKind::Internal);
+    assert!(
+        err.message.contains("panic"),
+        "the error names the failure: {}",
+        err.message
+    );
+
+    // The server survives the panic: the dataset kept the batch (the
+    // session invalidates caches, not data), the next ingest rebuilds,
+    // and queries keep answering.
+    let resp = client.ingest(batch(6), None).expect("wire still up");
+    assert!(
+        matches!(resp.body, ResponseBody::Ingest(_)),
+        "post-panic ingest recovers: {:?}",
+        resp.body
+    );
+    let resp = client
+        .query(TruthQuery::All, Some(10_000))
+        .expect("wire still up");
+    let ResponseBody::Query(q) = resp.body else {
+        panic!("expected query body, got {:?}", resp.body);
+    };
+    assert!(q.degradation.is_none(), "the recovered generation is complete");
+    server.shutdown();
+}
+
+#[test]
+fn injected_cancellation_is_a_flagged_degradation_not_a_hang() {
+    // The session's own limits carry a cancel token the chaos hook
+    // trips mid-sweep of the served ingest. The server layers request
+    // deadlines *on top of* these base limits, so the token survives
+    // per-request overrides.
+    let token = CancelToken::new();
+    let hook = ChaosHook::cancels_at("k_sweep", 2, token.clone());
+    let config = TdacConfig::builder()
+        .observer(hook.observer())
+        .limits(ExecutionLimits::none().with_cancel(token))
+        .build()
+        .expect("valid config");
+    let (mut server, mut client) = serve_with(config);
+
+    let resp = client
+        .ingest(batch(5), Some(30_000))
+        .expect("the wire stays up");
+    assert!(hook.fired(), "the cancel actually fired");
+    let ResponseBody::Ingest(ack) = resp.body else {
+        panic!("a cancelled ingest still acks, flagged: {:?}", resp.body);
+    };
+    let deg = ack
+        .degradation
+        .expect("cancellation mid-ingest must flag the new generation");
+    assert_eq!(format!("{:?}", deg.reason), "Cancelled");
+
+    // Queries against the degraded generation carry the flag; the
+    // server never hangs on the tripped token.
+    let resp = client
+        .query(TruthQuery::All, Some(10_000))
+        .expect("wire still up");
+    assert_eq!(resp.generation, 1);
+    let ResponseBody::Query(q) = resp.body else {
+        panic!("expected query body, got {:?}", resp.body);
+    };
+    assert!(
+        q.degradation.is_some(),
+        "answers from the cancelled generation must be flagged"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn overload_rejections_never_leak_admission_slots() {
+    // Sequential hammering against max_inflight = 1: every request
+    // that reaches the handler is admitted (the previous one released
+    // its slot), so nothing is rejected and nothing leaks — the RAII
+    // guard's release is exercised hundreds of times.
+    let session = TdacSession::start(
+        algorithm_by_name("majorityvote").unwrap(),
+        TdacConfig::default(),
+        RepartitionPolicy::Always,
+        dataset(5),
+    )
+    .expect("session starts");
+    let mut server = Server::bind(
+        "127.0.0.1:0",
+        session,
+        ServeConfig {
+            max_inflight: 1,
+            workers: 1,
+            default_deadline_ms: None,
+        },
+    )
+    .expect("server binds");
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+    for i in 0..200 {
+        let resp = client
+            .query(TruthQuery::All, Some(10_000))
+            .expect("wire stays up");
+        assert!(
+            matches!(resp.body, ResponseBody::Query(_)),
+            "sequential request {i} was rejected — a slot leaked: {:?}",
+            resp.body
+        );
+    }
+    server.shutdown();
+}
+
+/// td-verify's chaos delay helper needs an Arc to inspect `fired`;
+/// re-exported sanity check that the serve tests' nth-hit arithmetic
+/// (start pass = hit 1) holds — if the pipeline ever stops sweeping on
+/// start, the serve chaos tests above would silently stop injecting.
+#[test]
+fn start_pass_hits_the_sweep_once() {
+    let hook: Arc<ChaosHook> =
+        ChaosHook::delays_at("k_sweep", 99, Duration::ZERO);
+    let config = TdacConfig::builder()
+        .observer(hook.observer())
+        .build()
+        .expect("valid config");
+    let _session = TdacSession::start(
+        algorithm_by_name("majorityvote").unwrap(),
+        config,
+        RepartitionPolicy::Always,
+        dataset(5),
+    )
+    .expect("session starts");
+    assert_eq!(hook.hits(), 1, "start runs exactly one k-sweep");
+}

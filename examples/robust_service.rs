@@ -19,7 +19,7 @@ use std::time::Duration;
 use td_ac::algorithms::Accu;
 use td_ac::core::{Tdac, TdacConfig};
 use td_ac::model::{ClaimBatch, DatasetBuilder, Value};
-use td_ac::{CancelToken, ExecutionLimits, RepartitionPolicy, TdacSession};
+use td_ac::{CancelToken, ExecutionLimits, RepartitionPolicy, TdacSession, TruthQuery};
 
 fn main() {
     // A store-inventory feed: supplier A is right about logistics
@@ -130,17 +130,22 @@ fn main() {
         }
         let report = session.ingest(&batch).expect("feed batches are consistent");
 
-        // Query side of the tick: serve the fresh truth for the SKU
-        // the batch just introduced.
-        let (o, a) = (
-            session.dataset().object_id(&obj).expect("just ingested"),
-            session.dataset().attribute_id("price").expect("known attribute"),
+        // Query side of the tick: serve the fresh truth for the SKU the
+        // batch just introduced, through the typed query surface a real
+        // handler would expose (name-addressed in, name-resolved out,
+        // degradation flagged on the answer itself).
+        let answer = TruthQuery::Attribute(obj.clone(), "price".into())
+            .answer(session.dataset(), &report.outcome)
+            .expect("the SKU was just ingested");
+        assert_eq!(
+            answer.degradation.is_some(),
+            report.outcome.degradation.is_some(),
+            "the answer carries the run's degradation flag"
         );
-        let served = report
-            .outcome
-            .result
-            .prediction(o, a)
-            .map(|v| format!("{}", session.dataset().value(v)))
+        let served = answer
+            .predictions
+            .first()
+            .map(|p| p.value.to_string())
             .unwrap_or_else(|| "<no claim>".to_string());
         println!(
             "tick {tick}: +{} claims, {} dirty attrs, reused {}/{} groups{}{} → {obj}.price = {served}",

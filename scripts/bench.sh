@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the TD-AC criterion benches (tdac_pipeline, clustering,
-# partitioning, store) and aggregates their per-bench medians into
-# BENCH_tdac.json at the repo root.
+# partitioning, store, serve) and aggregates their per-bench medians
+# into BENCH_tdac.json at the repo root.
 #
 # The vendored criterion shim emits one JSON line per benchmark when
 # TDAC_BENCH_JSON is set; this script collects those lines into a single
@@ -29,7 +29,7 @@ profile_tmp="$repo_root/.bench_profile.bench.tmp.json"
 out="$repo_root/BENCH_tdac.json"
 rm -f "$tmp" "$profile_tmp"
 
-for bench in tdac_pipeline clustering partitioning store; do
+for bench in tdac_pipeline clustering partitioning store serve; do
     echo "== cargo bench --bench $bench =="
     TDAC_BENCH_JSON="$tmp" cargo bench --offline -p tdac-bench --bench "$bench" "$@"
 done
@@ -116,6 +116,17 @@ for bench_id, rec in benches.items():
 if store:
     doc["store_speedups"] = store
 
+# Any "serve/*" bench measures one query round-trip over loopback TCP:
+# record requests/sec (1e9 / median_ns) under "serve_throughput". The
+# chaos-injected variant serves a degraded-but-flagged generation, so
+# clean vs chaos shows the graceful-degradation cost (docs/SERVING.md).
+serve = {}
+for bench_id, rec in benches.items():
+    if bench_id.startswith("serve/") and rec["median_ns"] > 0:
+        serve[bench_id] = round(1e9 / rec["median_ns"], 1)
+if serve:
+    doc["serve_throughput"] = serve
+
 if os.path.exists(profile_path):
     with open(profile_path) as f:
         doc["profile"] = json.load(f)
@@ -138,6 +149,10 @@ if streaming:
 if store:
     extra += "; store speedups: " + ", ".join(
         f"{k} {v}x" for k, v in sorted(store.items())
+    )
+if serve:
+    extra += "; serve throughput: " + ", ".join(
+        f"{k} {v} req/s" for k, v in sorted(serve.items())
     )
 print(f"wrote {out_path} ({len(benches)} benches{extra})")
 PY

@@ -36,6 +36,34 @@ echo "== store: .tds corruption matrix, fuzzing, round-trip bit-identity =="
 cargo test --offline -q -p td-verify --test store
 cargo run --offline --release -q -p td-verify
 
+echo "== serve: protocol units, concurrent bit-identity, chaos-behind-the-wire =="
+cargo test --offline -q -p td-serve
+cargo test --offline -q --test serving
+cargo test --offline -q -p td-verify --test serve
+
+echo "== serve: tdc serve/query round-trip is bit-identical to tdc run =="
+serve_tmp="$(mktemp -d)"
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$serve_tmp"' EXIT
+cargo build --release --offline -q -p tdac-eval --bin tdc
+tdc="$repo_root/target/release/tdc"
+"$tdc" serve --input crates/td-verify/goldens/ds1.tds --algo majorityvote \
+    --addr 127.0.0.1:0 > "$serve_tmp/addr" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    addr="$(head -n1 "$serve_tmp/addr" 2>/dev/null || true)"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "${addr:-}" ]] || { echo "verify: tdc serve never printed its address" >&2; exit 1; }
+"$tdc" query --addr "$addr" --deadline-ms 30000 --output "$serve_tmp/served.json"
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+"$tdc" run --input crates/td-verify/goldens/ds1.tds --algo majorityvote --tdac \
+    --output "$serve_tmp/local.json"
+diff "$serve_tmp/served.json" "$serve_tmp/local.json" \
+    || { echo "verify: served answers diverged from the in-process run" >&2; exit 1; }
+echo "served == in-process (bit-identical)"
+
 echo "== expensive oracles: Bell(7)/Bell(8) brute-force differentials =="
 cargo test --offline -q -p td-verify --features expensive-oracles
 

@@ -21,7 +21,9 @@
 //! * [`core`] — TD-AC itself and the AccuGenPartition baseline
 //!   ([`tdac_core`]);
 //! * [`data`] — the workload generators ([`datagen`]);
-//! * [`eval`] — the table/figure reproduction harness ([`tdac_eval`]).
+//! * [`eval`] — the table/figure reproduction harness ([`tdac_eval`]);
+//! * [`serve`] — the batched, deadline-aware TCP serving front end
+//!   ([`td_serve`]).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub use datagen as data;
 pub use td_algorithms as algorithms;
 pub use td_metrics as metrics;
 pub use td_model as model;
+pub use td_serve as serve;
 pub use tdac_core as core;
 pub use tdac_eval as eval;
 
@@ -66,6 +69,11 @@ pub use tdac_core::{
 // recomputation out. See `docs/STREAMING.md`.
 pub use td_model::{ClaimBatch, DeltaDataset, DeltaSummary};
 pub use tdac_core::{IngestReport, RepartitionPolicy, SessionError, TdacSession};
+
+// The typed query surface shared by the server, `tdc` and examples:
+// name-addressed truth queries with name-resolved, degradation-flagged
+// answers. See `docs/SERVING.md`.
+pub use tdac_core::{Prediction, QueryResponse, SourceTrust, TruthQuery};
 
 // The persistent binary dataset store (`.tds`): interned columnar
 // sections plus precomputed truth-vector pages that let `Tdac::run_store`
@@ -105,6 +113,20 @@ mod tests {
         let _ = crate::WorkCompleted::default();
         let _ = crate::ClaimBatch::new();
         let _ = crate::RepartitionPolicy::OnDrift(0.05);
+        let _ = crate::TruthQuery::Attribute("o".into(), "a".into());
+        let _ = crate::QueryResponse::default();
+        let _ = crate::Prediction {
+            object: "o".into(),
+            attribute: "a".into(),
+            value: crate::model::Value::int(1),
+            confidence: 1.0,
+        };
+        let _ = crate::SourceTrust {
+            source: "s".into(),
+            trust: 0.5,
+        };
+        let _ = crate::serve::ServeConfig::default();
+        let _ = crate::serve::WireErrorKind::Overloaded;
         let _ = crate::DatasetStore::new(crate::model::DatasetBuilder::new().build());
         let _: fn(crate::StoreError) -> crate::TdError = crate::TdError::Store;
         let _: fn(crate::model::ModelError) -> crate::SessionError = crate::SessionError::Model;

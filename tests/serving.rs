@@ -1,0 +1,314 @@
+//! Integration oracles for the td-serve front end.
+//!
+//! The serving contract under real concurrency:
+//!
+//! 1. **bit-identity** — answers served under interleaved multi-client
+//!    query/ingest load are byte-identical to from-scratch
+//!    [`Tdac::run`] outcomes on the same accumulated claim set, for
+//!    every generation a client observes;
+//! 2. **bounded admission** — load past `max_inflight` is rejected with
+//!    a typed overload response, never queued without bound;
+//! 3. **deadline degradation** — a starved ingest produces a *flagged*
+//!    best-so-far generation, and queries answered from it carry the
+//!    flag too.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use td_ac::algorithms::{algorithm_by_name, MajorityVote};
+use td_ac::core::{Tdac, TdacConfig, TdacSession};
+use td_ac::model::{ClaimBatch, DatasetBuilder, DeltaDataset, Value};
+use td_ac::serve::{Client, ResponseBody, ServeConfig, Server, WireClaim, WireErrorKind};
+use td_ac::{RepartitionPolicy, TruthQuery};
+use td_verify::ChaosHook;
+
+/// A structurally-correlated base: two attribute groups, four sources
+/// with group-dependent reliability, `n_objects` objects.
+fn planted_dataset(n_objects: i64) -> td_ac::model::Dataset {
+    let mut b = DatasetBuilder::new();
+    for o in 0..n_objects {
+        append_object(&mut b, o);
+    }
+    b.build()
+}
+
+fn append_object(b: &mut DatasetBuilder, o: i64) {
+    let obj = format!("obj-{o}");
+    for (ai, attr) in ["g1a", "g1b", "g2a", "g2b"].iter().enumerate() {
+        let truth = o * 10 + ai as i64;
+        let noise = 7_000 + o * 10 + ai as i64;
+        let (a_val, b_val) = if ai < 2 { (truth, noise) } else { (noise, truth) };
+        b.claim("src-a", &obj, *attr, Value::int(a_val)).unwrap();
+        b.claim("src-b", &obj, *attr, Value::int(b_val)).unwrap();
+        b.claim("src-c", &obj, *attr, Value::int(truth)).unwrap();
+        b.claim("src-d", &obj, *attr, Value::int(noise + 13)).unwrap();
+    }
+}
+
+/// The claim batch extending the planted base with object `o`.
+fn object_batch(o: i64) -> (ClaimBatch, Vec<WireClaim>) {
+    let mut b = DatasetBuilder::new();
+    append_object(&mut b, o);
+    let d = b.build();
+    let mut batch = ClaimBatch::new();
+    let mut wire = Vec::new();
+    for c in d.claims() {
+        let (s, obj, a, v) = (
+            d.source_name(c.source),
+            d.object_name(c.object),
+            d.attribute_name(c.attribute),
+            d.value(c.value).clone(),
+        );
+        batch.claim(s, obj, a, v.clone());
+        wire.push(WireClaim {
+            source: s.to_string(),
+            object: obj.to_string(),
+            attribute: a.to_string(),
+            value: v,
+        });
+    }
+    (batch, wire)
+}
+
+/// The comparison key for one generation's answer: predictions and
+/// trust scores serialized (JSON floats round-trip f64 bits), with the
+/// per-request profile excluded (its timings differ per request by
+/// construction).
+fn answer_key(resp: &td_ac::QueryResponse) -> String {
+    format!(
+        "{}|{}|{}",
+        serde_json::to_string(&resp.predictions).unwrap(),
+        serde_json::to_string(&resp.sources).unwrap(),
+        resp.degradation.is_some(),
+    )
+}
+
+#[test]
+fn interleaved_clients_see_bit_identical_generations() {
+    const BATCHES: i64 = 4;
+    const BASE_OBJECTS: i64 = 6;
+
+    // Oracle: for each generation, the from-scratch TD-AC outcome on
+    // the accumulated claim set, answered through the same query type.
+    let base = planted_dataset(BASE_OBJECTS);
+    let mut accumulated = DeltaDataset::new(base.clone()).expect("valid base");
+    let tdac = Tdac::new(TdacConfig::default());
+    let mut oracle: HashMap<u64, String> = HashMap::new();
+    for gen in 0..=BATCHES as u64 {
+        if gen > 0 {
+            let (batch, _) = object_batch(BASE_OBJECTS + gen as i64 - 1);
+            accumulated.apply(&batch).expect("consistent batch");
+        }
+        let outcome = tdac
+            .run(&MajorityVote, accumulated.current())
+            .expect("oracle run");
+        let resp = TruthQuery::All
+            .answer(accumulated.current(), &outcome)
+            .expect("oracle answer");
+        oracle.insert(gen, answer_key(&resp));
+    }
+    let oracle = Arc::new(oracle);
+
+    // Policy Always is the bit-identity mode: every served generation
+    // must match the from-scratch oracle byte for byte.
+    let session = TdacSession::start(
+        algorithm_by_name("majorityvote").unwrap(),
+        TdacConfig::default(),
+        RepartitionPolicy::Always,
+        base,
+    )
+    .expect("session starts");
+    let mut server = Server::bind(
+        "127.0.0.1:0",
+        session,
+        ServeConfig {
+            max_inflight: 16,
+            workers: 4,
+            default_deadline_ms: None,
+        },
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+
+    // Three concurrent query clients hammer the server while the main
+    // thread ingests; every answer must match its generation's oracle.
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let oracle = Arc::clone(&oracle);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connects");
+                let mut checked = 0u64;
+                for _ in 0..60 {
+                    let resp = client
+                        .query(TruthQuery::All, Some(30_000))
+                        .expect("query round-trips");
+                    match resp.body {
+                        ResponseBody::Query(q) => {
+                            let expected = oracle
+                                .get(&resp.generation)
+                                .unwrap_or_else(|| panic!("generation {}", resp.generation));
+                            assert_eq!(
+                                &answer_key(&q),
+                                expected,
+                                "generation {} answer diverged from the \
+                                 from-scratch oracle",
+                                resp.generation
+                            );
+                            checked += 1;
+                        }
+                        ResponseBody::Error(e) => {
+                            panic!("query failed mid-load: {:?}: {}", e.kind, e.message)
+                        }
+                        other => panic!("unexpected body {other:?}"),
+                    }
+                }
+                checked
+            })
+        })
+        .collect();
+
+    let mut writer = Client::connect(addr).expect("writer connects");
+    for g in 0..BATCHES {
+        let (_, wire) = object_batch(BASE_OBJECTS + g);
+        let resp = writer
+            .ingest(wire, Some(60_000))
+            .expect("ingest round-trips");
+        assert_eq!(resp.generation, g as u64 + 1);
+        let ResponseBody::Ingest(ack) = resp.body else {
+            panic!("expected ingest ack, got {:?}", resp.body);
+        };
+        assert!(ack.degradation.is_none(), "ample deadline must not degrade");
+        // Let the readers observe this generation before the next one.
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    let total: u64 = readers.into_iter().map(|r| r.join().expect("reader ok")).sum();
+    assert_eq!(total, 180, "every concurrent query was verified");
+
+    // The final served generation equals the final oracle generation.
+    let resp = writer
+        .query(TruthQuery::All, Some(30_000))
+        .expect("final query");
+    assert_eq!(resp.generation, BATCHES as u64);
+    server.shutdown();
+}
+
+#[test]
+fn load_past_max_inflight_is_rejected_typed() {
+    // A chaos delay makes the served ingest hold its admission slot
+    // ~600ms, giving the prober a wide window against max_inflight = 1.
+    // The sweep's first hit is the session's own start pass; the second
+    // is the ingest's re-sweep (policy Always re-sweeps every ingest).
+    let hook = ChaosHook::delays_at("k_sweep", 2, Duration::from_millis(600));
+    let config = TdacConfig::builder()
+        .observer(hook.observer())
+        .build()
+        .expect("valid config");
+    let session = TdacSession::start(
+        algorithm_by_name("majorityvote").unwrap(),
+        config,
+        RepartitionPolicy::Always,
+        planted_dataset(5),
+    )
+    .expect("session starts");
+    let mut server = Server::bind(
+        "127.0.0.1:0",
+        session,
+        ServeConfig {
+            max_inflight: 1,
+            workers: 3,
+            default_deadline_ms: None,
+        },
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("slow client connects");
+        let (_, wire) = object_batch(5);
+        client.ingest(wire, None).expect("slow ingest round-trips")
+    });
+
+    // Probe while the slot is held: at least one probe must bounce off
+    // the admission gate with the typed overload error.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut prober = Client::connect(addr).expect("prober connects");
+    let mut overloaded = 0;
+    for _ in 0..20 {
+        let resp = prober.query(TruthQuery::All, None).expect("probe round-trips");
+        if let ResponseBody::Error(e) = &resp.body {
+            assert_eq!(
+                e.kind,
+                WireErrorKind::Overloaded,
+                "the only expected in-band failure is the admission gate: {e:?}"
+            );
+            overloaded += 1;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        overloaded > 0,
+        "no probe was rejected while a 600ms ingest held the only slot"
+    );
+    assert!(hook.fired(), "the chaos delay actually ran");
+
+    let resp = slow.join().expect("slow client ok");
+    assert!(
+        matches!(resp.body, ResponseBody::Ingest(_)),
+        "the slow ingest itself succeeds: {:?}",
+        resp.body
+    );
+
+    // Slot released: queries are admitted again.
+    let resp = prober.query(TruthQuery::All, None).expect("post-load query");
+    assert!(matches!(resp.body, ResponseBody::Query(_)));
+    server.shutdown();
+}
+
+#[test]
+fn starved_deadline_degrades_flagged_not_hung() {
+    // The chaos delay stalls the pipeline well past the request
+    // deadline, so the ingest must come back *flagged*, and queries on
+    // the degraded generation must carry the flag too. Hit 2 targets
+    // the ingest's re-sweep (hit 1 is the session's start pass).
+    let hook = ChaosHook::delays_at("k_sweep", 2, Duration::from_millis(300));
+    let config = TdacConfig::builder()
+        .observer(hook.observer())
+        .build()
+        .expect("valid config");
+    let session = TdacSession::start(
+        algorithm_by_name("majorityvote").unwrap(),
+        config,
+        RepartitionPolicy::Always,
+        planted_dataset(5),
+    )
+    .expect("session starts");
+    let mut server = Server::bind("127.0.0.1:0", session, ServeConfig::default())
+        .expect("server binds");
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+
+    let (_, wire) = object_batch(5);
+    let resp = client.ingest(wire, Some(50)).expect("ingest round-trips");
+    assert!(hook.fired(), "the stall actually happened");
+    let ResponseBody::Ingest(ack) = resp.body else {
+        panic!("a starved ingest still acks (flagged), got {:?}", resp.body);
+    };
+    let deg = ack
+        .degradation
+        .expect("blowing a 50ms deadline on a 300ms stall must flag the ack");
+    assert_eq!(resp.generation, 1, "the degraded generation is published");
+
+    let q = client
+        .query(TruthQuery::All, Some(10_000))
+        .expect("query round-trips");
+    assert_eq!(q.generation, 1);
+    let ResponseBody::Query(answer) = q.body else {
+        panic!("expected query body, got {:?}", q.body);
+    };
+    let q_deg = answer
+        .degradation
+        .expect("answers from a degraded generation must be flagged");
+    assert_eq!(q_deg.reason, deg.reason, "the same degradation is surfaced");
+    server.shutdown();
+}
