@@ -1,0 +1,104 @@
+//! Shard-scaling sweep: wall-clock of the sharded backend at 1/2/4/8
+//! workers against the single-process run, on a large DS1-shaped
+//! synthetic workload (default ≈10M observations).
+//!
+//! Prints one JSON document to stdout; `scripts/bench.sh` folds it into
+//! `BENCH_tdac.json` under `"shard_scaling"`. The numbers are **honest
+//! wall-clock on this machine** — the document records the core count,
+//! because process-level sharding cannot beat physics: on a single-core
+//! box 8 workers time-slice one CPU and the sweep mostly measures the
+//! slice/spawn/serialize overhead, not the speedup a real 8-core host
+//! would see (see docs/SHARDING.md).
+//!
+//! Every sharded outcome is fingerprint-checked against the in-process
+//! run before its time is reported — a fast wrong answer is not a
+//! benchmark.
+//!
+//! Env knobs: `TDAC_SHARD_OBJECTS` (default 166667 objects ≈ 10M
+//! observations at DS1's 6 attributes × 10 sources), `TDAC_SHARD_COUNTS`
+//! (default `1,2,4,8`).
+
+use td_algorithms::MajorityVote;
+use td_shard::ShardRunner;
+use td_store::DatasetStore;
+use td_verify::OutcomeFingerprint;
+use tdac_core::{ExecutionBackend, Parallelism, ShardPlan, ShardStrategy, Tdac, TdacConfig};
+
+fn main() {
+    // Fork-of-self worker arm, same contract as `tdc worker`.
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        std::process::exit(td_shard::worker_main());
+    }
+
+    let n_objects: usize = std::env::var("TDAC_SHARD_OBJECTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(166_667);
+    let shard_counts: Vec<usize> = std::env::var("TDAC_SHARD_COUNTS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|n| n.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!("# generating DS1 scaled to {n_objects} objects…");
+    let synth = datagen::generate_synthetic(&datagen::SyntheticConfig::ds1().scaled(n_objects));
+    let observations = synth.dataset.n_claims();
+    let store = DatasetStore::new(synth.dataset);
+
+    let config = TdacConfig {
+        parallelism: Parallelism::Threads(1),
+        ..TdacConfig::default()
+    };
+
+    eprintln!("# in-process baseline ({observations} observations)…");
+    let start = std::time::Instant::now();
+    let baseline = Tdac::new(config.clone())
+        .run_store(&MajorityVote, &store)
+        .expect("baseline run");
+    let in_process_ms = start.elapsed().as_secs_f64() * 1e3;
+    let reference = OutcomeFingerprint::of(&baseline);
+
+    // Object hashing is the scale-out strategy: worker count is not
+    // capped by the attribute-group count (DS1 partitions into ~4
+    // groups, so attribute dealing tops out at 4 busy workers).
+    let strategy = ShardStrategy::HashByObject;
+    let mut sharded_ms: Vec<(usize, f64)> = Vec::new();
+    for &shards in &shard_counts {
+        eprintln!("# sharded run: {shards} worker(s)…");
+        let mut plan = ShardPlan::new(strategy, shards);
+        plan.worker_parallelism = Parallelism::Threads(1);
+        // Default worker command = this very binary re-run as `worker`
+        // (the argv arm above), so the sweep is self-contained.
+        let runner = ShardRunner::new(TdacConfig {
+            backend: ExecutionBackend::Sharded(plan),
+            ..config.clone()
+        })
+        .expect("sharded config");
+        let start = std::time::Instant::now();
+        let outcome = runner
+            .run_store("MajorityVote", &store)
+            .unwrap_or_else(|e| panic!("sharded run with {shards} workers failed: {e}"));
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some(diff) = reference.diff(&OutcomeFingerprint::of(&outcome)) {
+            panic!("sharded outcome at {shards} workers diverged from in-process:\n{diff}");
+        }
+        sharded_ms.push((shards, ms));
+    }
+
+    let entries: Vec<String> = sharded_ms
+        .iter()
+        .map(|(s, ms)| format!("\"{s}\": {ms:.1}"))
+        .collect();
+    let speedups: Vec<String> = sharded_ms
+        .iter()
+        .map(|(s, ms)| format!("\"{s}\": {:.2}", in_process_ms / ms))
+        .collect();
+    println!(
+        "{{\n  \"observations\": {observations},\n  \"cores\": {cores},\n  \
+         \"strategy\": \"hash-object\",\n  \"worker_parallelism\": 1,\n  \
+         \"in_process_ms\": {in_process_ms:.1},\n  \
+         \"sharded_ms\": {{{}}},\n  \"speedup\": {{{}}}\n}}",
+        entries.join(", "),
+        speedups.join(", ")
+    );
+}

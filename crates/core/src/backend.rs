@@ -1,0 +1,328 @@
+//! Where a TD-AC run executes: the unified `ExecutionBackend` knob.
+//!
+//! Before this module the config carried two loose parallelism knobs
+//! (`parallelism`, `kernel`) and no way to express multi-process
+//! execution at all. [`ExecutionBackend`] collapses them into one typed
+//! choice: run everything inside this process under a rayon pool
+//! ([`ExecutionBackend::InProcess`]), or distribute the per-group base
+//! runs across worker *processes* according to a [`ShardPlan`]
+//! ([`ExecutionBackend::Sharded`]). The legacy fields remain as
+//! doc-deprecated shims for one release — see
+//! [`crate::TdacConfig::effective_parallelism`].
+//!
+//! The sharded backend is *planned* here (the types live in the core
+//! crate so [`crate::TdacConfig`] can carry and validate them) but
+//! *executed* by the `td-shard` crate's coordinator, which spawns the
+//! workers and merges their partials. [`crate::Tdac::run`] itself
+//! rejects a sharded config with a typed error rather than silently
+//! running in-process — picking the executor is the caller's decision,
+//! not a fallback.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Parallelism;
+use clustering::KernelPolicy;
+
+/// How claims are partitioned across worker processes.
+///
+/// Both strategies are *exact*: the coordinator performs model
+/// selection (reference run, truth vectors, silhouette sweep) globally
+/// and distributes only step 4's per-group base runs, so the merged
+/// outcome is bit-identical to a single-process run. They differ in
+/// what each worker's store slice contains and which base algorithms
+/// they support — see `docs/SHARDING.md` for the trade-offs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardStrategy {
+    /// Slice by object: claims whose object name FNV-1a-hashes into a
+    /// shard's bucket go to that shard, and every shard runs every
+    /// attribute group restricted to its bucket. Balances load even
+    /// when one attribute group dominates, but requires a base
+    /// algorithm whose per-cell predictions are cell-local and whose
+    /// trust is reconstructible from predictions (e.g. `MajorityVote`);
+    /// others are rejected with a typed error.
+    HashByObject,
+    /// Slice by attribute group: group `i` of the selected partition is
+    /// assigned to shard `i mod shards`, and each shard's slice holds
+    /// its groups' claims in full. Exact for *any* base algorithm (a
+    /// group run sees exactly the claims it would see in-process), but
+    /// load balance is only as good as the group-size distribution.
+    ByAttributeGroup,
+}
+
+/// A coordinator's plan for one sharded run: the partitioning strategy,
+/// the worker-process count, and per-worker execution settings.
+///
+/// Carried by [`ExecutionBackend::Sharded`] and validated by
+/// [`crate::TdacConfigBuilder::build`] (zero shards are rejected).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// How claims are split across workers.
+    pub strategy: ShardStrategy,
+    /// Number of worker processes (must be at least 1).
+    pub shards: usize,
+    /// Thread budget *inside each worker process*; defaults to one
+    /// thread per worker, the honest setting for measuring process
+    /// scaling.
+    pub worker_parallelism: Parallelism,
+    /// Per-shard wall-clock deadline in milliseconds, mapped onto each
+    /// worker's [`td_obs::ExecutionLimits`] exactly like a td-serve
+    /// request deadline. A worker that blows it reports a flagged
+    /// degradation — the coordinator then returns a *degraded* outcome,
+    /// never a partial merge. `None` leaves workers unlimited.
+    pub worker_deadline_ms: Option<u64>,
+}
+
+// The vendored serde derive shim supports neither struct enum variants
+// nor `#[serde(default = "fn")]`, so the plan and backend carry
+// hand-written value-tree impls. The wire shapes match what upstream
+// serde would emit for the same derives (externally tagged enum, named
+// fields, defaulted absences), so configs are portable either way.
+
+impl Serialize for ShardPlan {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("strategy".to_string(), self.strategy.to_value());
+        m.insert("shards".to_string(), self.shards.to_value());
+        m.insert(
+            "worker_parallelism".to_string(),
+            self.worker_parallelism.to_value(),
+        );
+        m.insert(
+            "worker_deadline_ms".to_string(),
+            self.worker_deadline_ms.to_value(),
+        );
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for ShardPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for ShardPlan"))?;
+        let field = |name: &str| obj.get(name).unwrap_or(&serde::Value::Null);
+        Ok(ShardPlan {
+            strategy: Deserialize::from_value(field("strategy"))
+                .map_err(|e| e.context("ShardPlan.strategy"))?,
+            shards: Deserialize::from_value(field("shards"))
+                .map_err(|e| e.context("ShardPlan.shards"))?,
+            worker_parallelism: match obj.get("worker_parallelism") {
+                Some(fv) => Deserialize::from_value(fv)
+                    .map_err(|e| e.context("ShardPlan.worker_parallelism"))?,
+                None => single_thread(),
+            },
+            worker_deadline_ms: match obj.get("worker_deadline_ms") {
+                Some(fv) => Deserialize::from_value(fv)
+                    .map_err(|e| e.context("ShardPlan.worker_deadline_ms"))?,
+                None => None,
+            },
+        })
+    }
+}
+
+fn single_thread() -> Parallelism {
+    Parallelism::Threads(1)
+}
+
+impl ShardPlan {
+    /// A plan with `shards` workers under the given strategy,
+    /// single-threaded workers, and no deadline.
+    pub fn new(strategy: ShardStrategy, shards: usize) -> Self {
+        Self {
+            strategy,
+            shards,
+            worker_parallelism: single_thread(),
+            worker_deadline_ms: None,
+        }
+    }
+
+    /// Validates the plan; the message names the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("backend.shards must be at least 1".to_string());
+        }
+        if self.worker_deadline_ms == Some(0) {
+            return Err(
+                "backend.worker_deadline_ms must be positive when set (zero would degrade \
+                 every shard instantly); use None for unlimited"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// The unified execution knob on [`crate::TdacConfig`].
+///
+/// Serialized configs from before this knob existed deserialize to
+/// [`ExecutionBackend::default`] (in-process, auto parallelism), and
+/// the legacy `parallelism` / `kernel` fields still win whenever the
+/// backend carries the corresponding default — so every pre-existing
+/// config keeps its exact meaning. See
+/// [`crate::TdacConfig::effective_parallelism`] /
+/// [`crate::TdacConfig::effective_kernel`] for the resolution rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecutionBackend {
+    /// Everything runs inside this process under a rayon pool — the
+    /// classic path, bit-identical at any thread count.
+    InProcess {
+        /// Thread budget for every parallel kernel (distance matrices,
+        /// the k-sweep, per-group runs).
+        parallelism: Parallelism,
+        /// Distance-kernel policy for the shared pairwise matrix.
+        kernels: KernelPolicy,
+    },
+    /// The per-group base runs are distributed across worker processes
+    /// by the `td-shard` coordinator according to the plan.
+    /// [`crate::Tdac::run`] rejects this backend with
+    /// [`crate::TdacError::InvalidConfig`]; hand the config to
+    /// `td_shard::ShardRunner` (or `tdc shard`) instead.
+    Sharded(ShardPlan),
+}
+
+impl Serialize for ExecutionBackend {
+    fn to_value(&self) -> serde::Value {
+        let mut outer = serde::Map::new();
+        match self {
+            ExecutionBackend::InProcess { parallelism, kernels } => {
+                let mut m = serde::Map::new();
+                m.insert("parallelism".to_string(), parallelism.to_value());
+                m.insert("kernels".to_string(), kernels.to_value());
+                outer.insert("InProcess".to_string(), serde::Value::Object(m));
+            }
+            ExecutionBackend::Sharded(plan) => {
+                outer.insert("Sharded".to_string(), plan.to_value());
+            }
+        }
+        serde::Value::Object(outer)
+    }
+}
+
+impl Deserialize for ExecutionBackend {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v.as_object().ok_or_else(|| {
+            serde::Error::custom("expected single-key object for ExecutionBackend")
+        })?;
+        if let Some(inner) = obj.get("InProcess") {
+            let m = inner.as_object().ok_or_else(|| {
+                serde::Error::custom("expected object payload for ExecutionBackend::InProcess")
+            })?;
+            return Ok(ExecutionBackend::InProcess {
+                parallelism: match m.get("parallelism") {
+                    Some(fv) => Deserialize::from_value(fv)
+                        .map_err(|e| e.context("InProcess.parallelism"))?,
+                    None => Parallelism::default(),
+                },
+                kernels: match m.get("kernels") {
+                    Some(fv) => Deserialize::from_value(fv)
+                        .map_err(|e| e.context("InProcess.kernels"))?,
+                    None => KernelPolicy::default(),
+                },
+            });
+        }
+        if let Some(inner) = obj.get("Sharded") {
+            return Ok(ExecutionBackend::Sharded(
+                Deserialize::from_value(inner).map_err(|e| e.context("Sharded"))?,
+            ));
+        }
+        Err(serde::Error::custom(
+            "unknown ExecutionBackend variant (expected `InProcess` or `Sharded`)",
+        ))
+    }
+}
+
+impl Default for ExecutionBackend {
+    fn default() -> Self {
+        ExecutionBackend::InProcess {
+            parallelism: Parallelism::default(),
+            kernels: KernelPolicy::default(),
+        }
+    }
+}
+
+impl ExecutionBackend {
+    /// Whether this backend distributes work across processes.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, ExecutionBackend::Sharded(_))
+    }
+
+    /// The plan of a sharded backend, if any.
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        match self {
+            ExecutionBackend::Sharded(plan) => Some(plan),
+            ExecutionBackend::InProcess { .. } => None,
+        }
+    }
+
+    /// Validates the backend; the message names the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ExecutionBackend::InProcess { .. } => Ok(()),
+            ExecutionBackend::Sharded(plan) => plan.validate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_in_process_auto() {
+        let b = ExecutionBackend::default();
+        assert_eq!(
+            b,
+            ExecutionBackend::InProcess {
+                parallelism: Parallelism::Auto,
+                kernels: KernelPolicy::Auto,
+            }
+        );
+        assert!(!b.is_sharded());
+        assert!(b.shard_plan().is_none());
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn plan_new_defaults_are_single_threaded_and_unlimited() {
+        let p = ShardPlan::new(ShardStrategy::HashByObject, 4);
+        assert_eq!(p.shards, 4);
+        assert_eq!(p.worker_parallelism, Parallelism::Threads(1));
+        assert_eq!(p.worker_deadline_ms, None);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_shards_and_zero_deadlines_are_rejected() {
+        let p = ShardPlan::new(ShardStrategy::ByAttributeGroup, 0);
+        assert!(p.validate().unwrap_err().contains("backend.shards"));
+        let p = ShardPlan {
+            worker_deadline_ms: Some(0),
+            ..ShardPlan::new(ShardStrategy::ByAttributeGroup, 2)
+        };
+        assert!(p.validate().unwrap_err().contains("worker_deadline_ms"));
+        assert!(ExecutionBackend::Sharded(p).validate().is_err());
+    }
+
+    #[test]
+    fn backend_serde_round_trips() {
+        let b = ExecutionBackend::Sharded(ShardPlan {
+            worker_deadline_ms: Some(5_000),
+            ..ShardPlan::new(ShardStrategy::HashByObject, 8)
+        });
+        let json = serde_json::to_string(&b).unwrap();
+        let back: ExecutionBackend = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+        assert!(back.is_sharded());
+        assert_eq!(back.shard_plan().unwrap().shards, 8);
+    }
+
+    #[test]
+    fn plan_deserializes_with_defaulted_worker_fields() {
+        // Plans written before worker_parallelism / worker_deadline_ms
+        // existed (or hand-written minimal ones) still load.
+        let json = r#"{"strategy":"ByAttributeGroup","shards":2}"#;
+        let p: ShardPlan = serde_json::from_str(json).unwrap();
+        assert_eq!(p.worker_parallelism, Parallelism::Threads(1));
+        assert_eq!(p.worker_deadline_ms, None);
+    }
+}

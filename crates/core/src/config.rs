@@ -4,6 +4,7 @@ use clustering::{Cosine, Euclidean, Hamming, KernelPolicy, Linkage, Metric};
 use serde::{Deserialize, Serialize};
 use td_obs::{ExecutionLimits, Observer};
 
+use crate::backend::ExecutionBackend;
 use crate::tdac::TdacError;
 
 /// Which distance the silhouette model selection uses.
@@ -126,22 +127,43 @@ pub struct TdacConfig {
     /// coordinates (see [`crate::masked`]) using PAM, instead of plain
     /// k-means over Eq. 1 vectors. Helps on sparse data (low DCR).
     pub missing_aware: bool,
-    /// Thread budget for every parallel kernel in the pipeline —
-    /// per-group base-algorithm runs (the paper's future-work
-    /// perspective (ii)), the shared distance matrix, the k-sweep, and
-    /// the clusterers. Deterministic at any setting.
+    /// **Deprecated shim** — use [`TdacConfig::backend`] with
+    /// [`ExecutionBackend::InProcess`] instead; this field will be
+    /// removed after one release. Thread budget for every parallel
+    /// kernel in the pipeline — per-group base-algorithm runs (the
+    /// paper's future-work perspective (ii)), the shared distance
+    /// matrix, the k-sweep, and the clusterers. Deterministic at any
+    /// setting. Still honoured whenever the backend carries the default
+    /// parallelism (see [`TdacConfig::effective_parallelism`]), so
+    /// existing configs and struct literals keep their exact meaning.
     pub parallelism: Parallelism,
-    /// Which distance kernel the shared pairwise matrix may use:
-    /// [`KernelPolicy::Auto`] (default) picks the bit-packed popcount
-    /// kernel whenever the truth vectors are binary and the metric
-    /// counts bit disagreements; `Dense` pins the `f64` reference path;
-    /// `Packed` insists on packing where representable. All three are
-    /// bit-identical — this is a performance/verification knob, never a
-    /// semantics switch (see `docs/KERNELS.md`). Absent in serialized
-    /// configs from before the knob existed, so it deserializes via
-    /// `Default`.
+    /// **Deprecated shim** — use [`TdacConfig::backend`] with
+    /// [`ExecutionBackend::InProcess`] instead; this field will be
+    /// removed after one release. Which distance kernel the shared
+    /// pairwise matrix may use: [`KernelPolicy::Auto`] (default) picks
+    /// the bit-packed popcount kernel whenever the truth vectors are
+    /// binary and the metric counts bit disagreements; `Dense` pins the
+    /// `f64` reference path; `Packed` insists on packing where
+    /// representable. All three are bit-identical — this is a
+    /// performance/verification knob, never a semantics switch (see
+    /// `docs/KERNELS.md`). Absent in serialized configs from before the
+    /// knob existed, so it deserializes via `Default`. Still honoured
+    /// whenever the backend carries the default kernel policy (see
+    /// [`TdacConfig::effective_kernel`]).
     #[serde(default)]
     pub kernel: KernelPolicy,
+    /// Where runs of this config execute: in-process under a rayon pool
+    /// (the default) or distributed across worker processes by the
+    /// `td-shard` coordinator. This is the *unified* parallelism knob —
+    /// the loose `parallelism` / `kernel` fields above are deprecated
+    /// shims that only apply while the backend carries the
+    /// corresponding defaults. Absent in serialized configs from before
+    /// the knob existed, so legacy configs deserialize to the
+    /// in-process default. [`crate::Tdac::run`] rejects a sharded
+    /// backend with a typed error; use `td_shard::ShardRunner` (or
+    /// `tdc shard`) to execute one.
+    #[serde(default)]
+    pub backend: ExecutionBackend,
     /// Execution budgets and cooperative cancellation for every run of
     /// this config: wall-clock deadline, distance-evaluation / fixpoint
     /// / partition caps, and an optional [`td_obs::CancelToken`]. The
@@ -176,6 +198,7 @@ impl Default for TdacConfig {
             missing_aware: false,
             parallelism: Parallelism::default(),
             kernel: KernelPolicy::default(),
+            backend: ExecutionBackend::default(),
             limits: ExecutionLimits::default(),
             observer: Observer::disabled(),
         }
@@ -192,6 +215,38 @@ impl TdacConfig {
     pub fn builder() -> TdacConfigBuilder {
         TdacConfigBuilder {
             config: TdacConfig::default(),
+        }
+    }
+
+    /// The thread budget every in-process kernel actually runs under.
+    ///
+    /// Resolution rule for the one-release deprecation window: an
+    /// explicit non-default parallelism on an
+    /// [`ExecutionBackend::InProcess`] backend wins; otherwise the
+    /// legacy [`TdacConfig::parallelism`] field applies (so configs and
+    /// struct literals written against the old knob keep their exact
+    /// meaning). A sharded backend resolves to the legacy field too —
+    /// that is what the coordinator's own sequential phases use.
+    pub fn effective_parallelism(&self) -> Parallelism {
+        match &self.backend {
+            ExecutionBackend::InProcess { parallelism, .. }
+                if *parallelism != Parallelism::default() =>
+            {
+                *parallelism
+            }
+            _ => self.parallelism,
+        }
+    }
+
+    /// The distance-kernel policy the shared pairwise matrix actually
+    /// uses; same resolution rule as
+    /// [`TdacConfig::effective_parallelism`].
+    pub fn effective_kernel(&self) -> KernelPolicy {
+        match &self.backend {
+            ExecutionBackend::InProcess { kernels, .. } if *kernels != KernelPolicy::Auto => {
+                *kernels
+            }
+            _ => self.kernel,
         }
     }
 }
@@ -253,6 +308,10 @@ impl TdacConfigBuilder {
     }
 
     /// Thread budget for every parallel kernel.
+    ///
+    /// **Deprecated shim** — prefer [`TdacConfigBuilder::backend`] with
+    /// [`ExecutionBackend::InProcess`]; kept for one release so
+    /// existing callers migrate without breakage.
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.config.parallelism = parallelism;
         self
@@ -260,8 +319,21 @@ impl TdacConfigBuilder {
 
     /// Distance-kernel policy for the shared pairwise matrix
     /// (bit-identical under every setting).
+    ///
+    /// **Deprecated shim** — prefer [`TdacConfigBuilder::backend`] with
+    /// [`ExecutionBackend::InProcess`]; kept for one release so
+    /// existing callers migrate without breakage.
     pub fn kernel(mut self, kernel: KernelPolicy) -> Self {
         self.config.kernel = kernel;
+        self
+    }
+
+    /// Execution backend: in-process (with its parallelism and kernel
+    /// policy in one place) or sharded across worker processes. The
+    /// unified replacement for the deprecated `parallelism` / `kernel`
+    /// knobs; validated by `build()` (zero shards are rejected).
+    pub fn backend(mut self, backend: ExecutionBackend) -> Self {
+        self.config.backend = backend;
         self
     }
 
@@ -284,8 +356,9 @@ impl TdacConfigBuilder {
     /// # Errors
     /// [`TdacError::InvalidConfig`] when `k_min < 2` (a 1-cluster
     /// "partition" defeats Algorithm 1), `k_max < k_min` (empty sweep),
-    /// `n_init == 0` (no k-means restart would run), or any execution
-    /// limit is a zero budget.
+    /// `n_init == 0` (no k-means restart would run), the backend is
+    /// invalid (a sharded plan with zero shards or a zero worker
+    /// deadline), or any execution limit is a zero budget.
     pub fn build(self) -> Result<TdacConfig, TdacError> {
         let c = &self.config;
         if c.k_min < 2 {
@@ -316,6 +389,7 @@ impl TdacConfigBuilder {
                 )));
             }
         }
+        c.backend.validate().map_err(TdacError::InvalidConfig)?;
         c.limits.validate().map_err(TdacError::InvalidConfig)?;
         Ok(self.config)
     }
@@ -498,6 +572,96 @@ mod tests {
         assert!(!json.contains("observer"));
         let back: TdacConfig = serde_json::from_str(&json).unwrap();
         assert!(!back.observer.is_enabled());
+    }
+
+    #[test]
+    fn builder_rejects_zero_shard_backends() {
+        use crate::backend::{ShardPlan, ShardStrategy};
+        let err = TdacConfig::builder()
+            .backend(ExecutionBackend::Sharded(ShardPlan::new(
+                ShardStrategy::HashByObject,
+                0,
+            )))
+            .build()
+            .unwrap_err();
+        match &err {
+            TdacError::InvalidConfig(msg) => {
+                assert!(msg.contains("backend.shards"), "{err}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // A real plan passes.
+        assert!(TdacConfig::builder()
+            .backend(ExecutionBackend::Sharded(ShardPlan::new(
+                ShardStrategy::ByAttributeGroup,
+                4,
+            )))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn legacy_config_json_defaults_to_in_process_backend() {
+        // Configs serialized before the backend knob existed still load
+        // — and mean exactly what they meant then.
+        let json = serde_json::to_string(&TdacConfig {
+            parallelism: Parallelism::Threads(2),
+            kernel: KernelPolicy::Packed,
+            ..Default::default()
+        })
+        .unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let serde_json::Value::Object(map) = value else {
+            panic!("config serializes as an object")
+        };
+        assert!(map.contains_key("backend"));
+        let stripped: serde_json::Map = map.into_iter().filter(|(k, _)| k != "backend").collect();
+        let back: TdacConfig =
+            serde_json::from_value(&serde_json::Value::Object(stripped)).unwrap();
+        assert_eq!(back.backend, ExecutionBackend::default());
+        assert!(!back.backend.is_sharded());
+        // The deprecated shim fields still drive the effective settings.
+        assert_eq!(back.effective_parallelism(), Parallelism::Threads(2));
+        assert_eq!(back.effective_kernel(), KernelPolicy::Packed);
+    }
+
+    #[test]
+    fn backend_wins_over_legacy_fields_when_explicit() {
+        let c = TdacConfig {
+            parallelism: Parallelism::Threads(7), // legacy shim, overridden
+            kernel: KernelPolicy::Packed,         // legacy shim, overridden
+            backend: ExecutionBackend::InProcess {
+                parallelism: Parallelism::Threads(2),
+                kernels: KernelPolicy::Dense,
+            },
+            ..Default::default()
+        };
+        assert_eq!(c.effective_parallelism(), Parallelism::Threads(2));
+        assert_eq!(c.effective_kernel(), KernelPolicy::Dense);
+        // A default backend defers to the legacy shims.
+        let c = TdacConfig {
+            parallelism: Parallelism::Threads(7),
+            kernel: KernelPolicy::Packed,
+            ..Default::default()
+        };
+        assert_eq!(c.effective_parallelism(), Parallelism::Threads(7));
+        assert_eq!(c.effective_kernel(), KernelPolicy::Packed);
+    }
+
+    #[test]
+    fn sharded_backend_round_trips_through_serde() {
+        use crate::backend::{ShardPlan, ShardStrategy};
+        let c = TdacConfig::builder()
+            .backend(ExecutionBackend::Sharded(ShardPlan {
+                worker_deadline_ms: Some(30_000),
+                ..ShardPlan::new(ShardStrategy::HashByObject, 8)
+            }))
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TdacConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.backend, c.backend);
+        assert_eq!(back.backend.shard_plan().unwrap().shards, 8);
     }
 
     #[test]

@@ -68,6 +68,7 @@
 //! ```
 
 pub mod accugen;
+pub mod backend;
 pub mod config;
 pub mod error;
 pub mod masked;
@@ -81,6 +82,7 @@ pub mod truth_vectors;
 pub use accugen::{
     run_partition, AccuGenError, AccuGenOutcome, AccuGenPartition, Weighting,
 };
+pub use backend::{ExecutionBackend, ShardPlan, ShardStrategy};
 pub use config::{
     ClusterMethod, MetricKind, Parallelism, TdacConfig, TdacConfigBuilder,
 };
@@ -90,7 +92,7 @@ pub use object_clustering::{ObjectPartition, Tdoc, TdocOutcome};
 pub use partition::{bell_number, partitions_iter, AttributePartition, PartitionIter};
 pub use query::{Prediction, QueryResponse, SourceTrust, TruthQuery};
 pub use session::{IngestReport, RepartitionPolicy, SessionError, TdacSession};
-pub use tdac::{Tdac, TdacError, TdacOutcome};
+pub use tdac::{ModelSelection, PartitionedModel, Tdac, TdacError, TdacOutcome};
 pub use truth_vectors::{
     truth_vector_matrix, truth_vector_set, truth_vector_set_from_result,
     truth_vectors_from_result, TruthVectors,

@@ -264,6 +264,14 @@ impl<B: TruthDiscovery + Sync> TdacSession<B> {
                     .to_string(),
             )));
         }
+        if config.backend.is_sharded() {
+            return Err(SessionError::Tdac(TdacError::InvalidConfig(
+                "config.backend is Sharded: the incremental session executes in-process \
+                 only — hand this config to td_shard::ShardRunner (or `tdc shard`) for \
+                 batch runs instead"
+                    .to_string(),
+            )));
+        }
         if let RepartitionPolicy::OnDrift(threshold) = policy {
             if !threshold.is_finite() || threshold < 0.0 {
                 return Err(SessionError::Tdac(TdacError::InvalidConfig(format!(
@@ -278,7 +286,7 @@ impl<B: TruthDiscovery + Sync> TdacSession<B> {
         let obs = run_observer(&config, &user_obs);
         let cache = HashMap::new();
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            config.parallelism.install(|| {
+            config.effective_parallelism().install(|| {
                 let budget = Budget::arm(&config.limits, &obs);
                 pass_full(&base, &config, delta.current(), seed, &cache, &obs, budget.as_ref())
             })
@@ -328,7 +336,7 @@ impl<B: TruthDiscovery + Sync> TdacSession<B> {
         let user_obs = self.config.observer.clone();
         let baseline = user_obs.profile();
         let obs = run_observer(&self.config, &user_obs);
-        let parallelism = self.config.parallelism;
+        let parallelism = self.config.effective_parallelism();
         let limits = self.config.limits.clone();
         let caught = catch_unwind(AssertUnwindSafe(|| {
             parallelism.install(|| {
@@ -494,7 +502,7 @@ impl<B: TruthDiscovery + Sync> TdacSession<B> {
             let _s = obs.span("distance_matrix");
             obs.incr(Counter::DistCacheMisses, 1);
             let dist_opts = DistanceOptions::builder()
-                .kernel(config.kernel)
+                .kernel(config.effective_kernel())
                 .observer(obs.clone())
                 .build();
             let updated = dist_opts.update_pairwise(
@@ -856,7 +864,7 @@ fn pass_full(
         let _s = obs.span("distance_matrix");
         obs.incr(Counter::DistCacheMisses, 1);
         let dist_opts = DistanceOptions::builder()
-            .kernel(config.kernel)
+            .kernel(config.effective_kernel())
             .observer(obs.clone())
             .build();
         dist_opts.pairwise(vectors.rows(), config.metric.as_metric())

@@ -93,6 +93,96 @@ pub struct TdacOutcome {
     pub profile: Option<RunProfile>,
 }
 
+/// What TD-AC's model-selection phase (steps 1–3 of Algorithm 1)
+/// decided, separated from the per-group execution phase (steps 4–5).
+///
+/// [`Tdac::run`] performs both phases in-process. An external
+/// coordinator — the `td-shard` crate — calls
+/// [`Tdac::select_model_store`] instead, executes the selected groups
+/// in worker processes, and merges with [`PartitionedModel::assemble`]:
+/// because selection and merge are *this* code, byte for byte, the
+/// distributed outcome is bit-identical to the in-process one by
+/// construction.
+#[derive(Debug, Clone)]
+pub enum ModelSelection {
+    /// Model selection already produced the final outcome — a fallback
+    /// (too few attributes, silhouette floor) or a budget-degraded run.
+    /// No per-group work remains.
+    Complete(TdacOutcome),
+    /// A partition was selected; step 4's per-group base runs and the
+    /// step 5 merge remain.
+    Partitioned(PartitionedModel),
+}
+
+/// A selected partition awaiting its per-group base runs.
+///
+/// Produced by [`Tdac::select_model_store`] /
+/// [`Tdac::select_model_view`]. Run the base algorithm once per group
+/// of `partition` (each on `dataset.view_of(&group)`), collect the
+/// partials **in group order**, and hand them to
+/// [`PartitionedModel::assemble`].
+#[derive(Debug, Clone)]
+pub struct PartitionedModel {
+    /// The base algorithm's reference truth over the whole view —
+    /// the best-so-far answer should the per-group phase have to be
+    /// abandoned (see [`PartitionedModel::into_degraded`]).
+    pub reference: TruthResult,
+    /// The selected attribute partition; its groups are the units of
+    /// per-group execution.
+    pub partition: AttributePartition,
+    /// Silhouette value of the selected partition.
+    pub silhouette: f64,
+    /// Every `(k, silhouette)` evaluated during the sweep.
+    pub k_scores: Vec<(usize, f64)>,
+    /// `Some` when the sweep overshot a deadline but still selected a
+    /// partition: the assembled outcome stays flagged.
+    pub degradation: Option<Degradation>,
+}
+
+impl PartitionedModel {
+    /// Step 5: merges the per-group partials (collected in group order)
+    /// exactly as [`Tdac::run`] does — union of predictions,
+    /// element-wise mean trust, one logical iteration.
+    pub fn assemble(self, partials: &[TruthResult], obs: &Observer) -> TdacOutcome {
+        let result = merge_partials(partials, obs);
+        TdacOutcome {
+            result,
+            partition: self.partition,
+            silhouette: self.silhouette,
+            k_scores: self.k_scores,
+            fallback: false,
+            degradation: self.degradation,
+            profile: None,
+        }
+    }
+
+    /// Best-so-far outcome for a per-group phase that could not finish
+    /// (a worker blew its budget): the reference result under the
+    /// un-partitioned whole, flagged — the same shape [`Tdac::run`]
+    /// produces when its own per-group phase is refused. A partial
+    /// merge is never an option.
+    pub fn into_degraded(self, degradation: Degradation) -> TdacOutcome {
+        let mut attrs: Vec<td_model::AttributeId> = self
+            .partition
+            .groups()
+            .iter()
+            .flat_map(|g| g.iter().copied())
+            .collect();
+        attrs.sort_unstable();
+        let mut result = self.reference;
+        result.iterations = 1;
+        TdacOutcome {
+            result,
+            partition: AttributePartition::whole(&attrs),
+            silhouette: 0.0,
+            k_scores: self.k_scores,
+            fallback: true,
+            degradation: Some(degradation),
+            profile: None,
+        }
+    }
+}
+
 /// One evaluated k of the sweep: `Ok(None)` means skipped under an
 /// interrupted budget, `Ok(Some((assignments, silhouette)))` a scored
 /// clustering, `Err` a failed one.
@@ -328,10 +418,17 @@ impl Tdac {
     ///
     /// Every parallel kernel inside (distance matrices, the k-sweep, the
     /// per-group base runs) executes under the configured
-    /// [`crate::config::Parallelism`]; the outcome is bit-identical at
-    /// any thread count. When the config carries an enabled
-    /// [`td_obs::Observer`], the outcome's `profile` holds this run's
-    /// phase timings and counter deltas.
+    /// [`crate::config::Parallelism`] (resolved through
+    /// [`crate::TdacConfig::effective_parallelism`]); the outcome is
+    /// bit-identical at any thread count. When the config carries an
+    /// enabled [`td_obs::Observer`], the outcome's `profile` holds this
+    /// run's phase timings and counter deltas.
+    ///
+    /// # Errors
+    /// [`TdacError::InvalidConfig`] when the config's backend is
+    /// [`crate::ExecutionBackend::Sharded`] — this entry point executes
+    /// in-process only; hand a sharded config to `td_shard::ShardRunner`
+    /// (or `tdc shard`) instead.
     pub fn run_view(
         &self,
         base: &(dyn TruthDiscovery + Sync),
@@ -396,31 +493,123 @@ impl Tdac {
         store
     }
 
+    /// Model selection only (steps 1–3), for an external coordinator
+    /// that will execute the per-group runs itself — see
+    /// [`ModelSelection`]. Runs under the same parallelism, budget, and
+    /// panic-isolation spine as [`Tdac::run_view`]; a `Complete`
+    /// selection carries the run's profile, a `Partitioned` one leaves
+    /// profiling to the coordinator (the run is not over).
+    ///
+    /// Unlike [`Tdac::run_view`], this accepts a sharded backend — it
+    /// is the coordinator half of executing one.
+    pub fn select_model_view(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        view: &DatasetView<'_>,
+    ) -> Result<ModelSelection, TdacError> {
+        self.select_model_seeded(base, view, None)
+    }
+
+    /// [`Tdac::select_model_view`] against a store-backed dataset,
+    /// seeding the build phase from a matching [`TruthPage`] exactly
+    /// like [`Tdac::run_store`].
+    pub fn select_model_store(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        store: &DatasetStore,
+    ) -> Result<ModelSelection, TdacError> {
+        let seed = store
+            .page(base.name(), self.config.missing_aware)
+            .filter(|p| page_matches(p, &store.dataset, self.config.missing_aware));
+        self.select_model_seeded(base, &store.dataset.view_all(), seed)
+    }
+
+    fn select_model_seeded(
+        &self,
+        base: &(dyn TruthDiscovery + Sync),
+        view: &DatasetView<'_>,
+        seed: Option<&TruthPage>,
+    ) -> Result<ModelSelection, TdacError> {
+        let user_obs = &self.config.observer;
+        let baseline = user_obs.profile();
+        let obs = self.budget_observer();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            self.config.effective_parallelism().install(|| {
+                let budget = Budget::arm(&self.config.limits, &obs);
+                self.select_inner(base, view, &obs, budget.as_ref(), seed)
+            })
+        }));
+        let mut selection = match caught {
+            Ok(result) => result?,
+            Err(payload) => {
+                obs.incr(Counter::WorkerPanics, 1);
+                return Err(TdacError::WorkerPanic {
+                    phase: "pipeline".to_string(),
+                    detail: panic_message(payload.as_ref()),
+                });
+            }
+        };
+        if let ModelSelection::Complete(outcome) = &mut selection {
+            outcome.profile = user_obs.profile().map(|p| match &baseline {
+                Some(b) => p.delta_since(b),
+                None => p,
+            });
+        }
+        Ok(selection)
+    }
+
+    /// Counter-based budgets are metered on observer counters, so an
+    /// active limit with a disabled user observer runs against a
+    /// private enabled handle — the user's profile (and the
+    /// observation-neutrality contract) is untouched.
+    fn budget_observer(&self) -> Observer {
+        let user_obs = &self.config.observer;
+        if self.config.limits.is_active() && !user_obs.is_enabled() {
+            Observer::enabled()
+        } else {
+            user_obs.clone()
+        }
+    }
+
     fn run_view_seeded(
         &self,
         base: &(dyn TruthDiscovery + Sync),
         view: &DatasetView<'_>,
         seed: Option<&TruthPage>,
     ) -> Result<TdacOutcome, TdacError> {
+        if self.config.backend.is_sharded() {
+            return Err(TdacError::InvalidConfig(
+                "config.backend is Sharded: Tdac::run executes in-process only — hand this \
+                 config to td_shard::ShardRunner (or `tdc shard`) instead"
+                    .to_string(),
+            ));
+        }
         let user_obs = &self.config.observer;
         let baseline = user_obs.profile();
-        // Counter-based budgets are metered on observer counters, so an
-        // active limit with a disabled user observer runs against a
-        // private enabled handle — the user's profile (and the
-        // observation-neutrality contract) is untouched.
-        let obs = if self.config.limits.is_active() && !user_obs.is_enabled() {
-            Observer::enabled()
-        } else {
-            user_obs.clone()
-        };
+        let obs = self.budget_observer();
         // Belt-and-braces panic isolation: per-worker boundaries inside
         // convert parallel panics precisely; this top-level catch covers
         // the sequential spine so *no* panic anywhere in the pipeline
         // can cross the public entry point.
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            self.config.parallelism.install(|| {
+            self.config.effective_parallelism().install(|| {
                 let budget = Budget::arm(&self.config.limits, &obs);
-                self.run_view_inner(base, view, &obs, budget.as_ref(), seed)
+                match self.select_inner(base, view, &obs, budget.as_ref(), seed)? {
+                    ModelSelection::Complete(outcome) => Ok::<_, TdacError>(outcome),
+                    ModelSelection::Partitioned(model) => {
+                        // Step 4 + 5: per-group base runs (parallel,
+                        // panic-isolated, collected in group order) and
+                        // the symmetric merge.
+                        let partials = per_group_partials(
+                            base,
+                            view.dataset(),
+                            model.partition.groups(),
+                            &[],
+                            &obs,
+                        )?;
+                        Ok(model.assemble(&partials, &obs))
+                    }
+                }
             })
         }));
         let mut outcome = match caught {
@@ -440,14 +629,14 @@ impl Tdac {
         Ok(outcome)
     }
 
-    fn run_view_inner(
+    fn select_inner(
         &self,
         base: &(dyn TruthDiscovery + Sync),
         view: &DatasetView<'_>,
         obs: &Observer,
         budget: Option<&Budget>,
         seed: Option<&TruthPage>,
-    ) -> Result<TdacOutcome, TdacError> {
+    ) -> Result<ModelSelection, TdacError> {
         let attrs = view.attributes().to_vec();
         let n = attrs.len();
         if n == 0 {
@@ -459,7 +648,9 @@ impl Tdac {
         // unpartitioned.
         let k_hi = self.config.k_max.unwrap_or(n.saturating_sub(1)).min(n.saturating_sub(1));
         if n < 3 || self.config.k_min > k_hi {
-            return Ok(self.fallback(base, view, Vec::new(), obs, None));
+            return Ok(ModelSelection::Complete(
+                self.fallback(base, view, Vec::new(), obs, None),
+            ));
         }
 
         // Step 2 + 3: attribute truth vectors from the base algorithm's
@@ -483,7 +674,7 @@ impl Tdac {
         // One options value drives every distance-matrix build of the
         // run: the configured kernel policy plus the run's observer.
         let dist_opts = DistanceOptions::builder()
-            .kernel(self.config.kernel)
+            .kernel(self.config.effective_kernel())
             .observer(obs.clone())
             .build();
         let ks: Vec<usize> = (self.config.k_min..=k_hi).collect();
@@ -506,7 +697,9 @@ impl Tdac {
                 }
             };
             if let Some(deg) = exhausted(budget, "truth_vectors", pairs) {
-                return Ok(self.degraded(reference, view, Vec::new(), deg, obs));
+                return Ok(ModelSelection::Complete(
+                    self.degraded(reference, view, Vec::new(), deg, obs),
+                ));
             }
             let dist = {
                 let _s = obs.span("distance_matrix");
@@ -552,7 +745,9 @@ impl Tdac {
                 }
             };
             if let Some(deg) = exhausted(budget, "truth_vectors", pairs) {
-                return Ok(self.degraded(reference, view, Vec::new(), deg, obs));
+                return Ok(ModelSelection::Complete(
+                    self.degraded(reference, view, Vec::new(), deg, obs),
+                ));
             }
             let dist = {
                 let _s = obs.span("distance_matrix");
@@ -582,22 +777,34 @@ impl Tdac {
         };
         let Some((silhouette, assignments, _k)) = best else {
             let deg = sweep_degradation.expect("an empty sweep implies skips");
-            return Ok(self.degraded(reference, view, k_scores, deg, obs));
+            return Ok(ModelSelection::Complete(
+                self.degraded(reference, view, k_scores, deg, obs),
+            ));
         };
         if let Some(deg) = sweep_degradation {
             if deg.reason == DegradationReason::Cancelled {
                 // Cancellation means "stop as soon as possible": don't
                 // start the per-group phase, return the reference.
-                return Ok(self.degraded(reference, view, k_scores, deg, obs));
+                return Ok(ModelSelection::Complete(
+                    self.degraded(reference, view, k_scores, deg, obs),
+                ));
             }
             // Deadline overshoot: the best-so-far k is worth the
             // (bounded) per-group replay — the outcome stays flagged.
-            return self.finish(base, view, &attrs, assignments, silhouette, k_scores, obs, Some(deg));
+            return Ok(ModelSelection::Partitioned(PartitionedModel {
+                reference,
+                partition: AttributePartition::from_assignments(&attrs, &assignments),
+                silhouette,
+                k_scores,
+                degradation: Some(deg),
+            }));
         }
 
         if let Some(floor) = self.config.min_silhouette {
             if silhouette <= floor {
-                return Ok(self.fallback(base, view, k_scores, obs, None));
+                return Ok(ModelSelection::Complete(
+                    self.fallback(base, view, k_scores, obs, None),
+                ));
             }
         }
 
@@ -607,48 +814,18 @@ impl Tdac {
         // degraded outcome must never be).
         if let Some(b) = budget {
             if let Some(deg) = b.check("per_group_run") {
-                return Ok(self.degraded(reference, view, k_scores, deg, obs));
+                return Ok(ModelSelection::Complete(
+                    self.degraded(reference, view, k_scores, deg, obs),
+                ));
             }
         }
-        self.finish(base, view, &attrs, assignments, silhouette, k_scores, obs, None)
-    }
-
-    /// Step 4 + 5: per-group base runs (parallel, panic-isolated) and
-    /// the symmetric merge.
-    #[allow(clippy::too_many_arguments)]
-    fn finish(
-        &self,
-        base: &(dyn TruthDiscovery + Sync),
-        view: &DatasetView<'_>,
-        attrs: &[td_model::AttributeId],
-        assignments: Vec<usize>,
-        silhouette: f64,
-        k_scores: Vec<(usize, f64)>,
-        obs: &Observer,
-        degradation: Option<Degradation>,
-    ) -> Result<TdacOutcome, TdacError> {
-        let partition = AttributePartition::from_assignments(attrs, &assignments);
-
-        // Step 4: base truth discovery per group (the paper's future-work
-        // perspective (ii)), in parallel; partials are collected in group
-        // order and merged symmetrically (union of predictions,
-        // element-wise mean trust). Each group runs under panic
-        // isolation: one poisoned group fails the run cleanly with a
-        // typed error naming the group — the process never aborts, and
-        // no partial merge is ever returned.
-        let dataset = view.dataset();
-        let partials = per_group_partials(base, dataset, partition.groups(), &[], obs)?;
-        let result = merge_partials(&partials, obs);
-
-        Ok(TdacOutcome {
-            result,
-            partition,
+        Ok(ModelSelection::Partitioned(PartitionedModel {
+            reference,
+            partition: AttributePartition::from_assignments(&attrs, &assignments),
             silhouette,
             k_scores,
-            fallback: false,
-            degradation,
-            profile: None,
-        })
+            degradation: None,
+        }))
     }
 
     fn fallback(

@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! tdc run     --input data.json|claims.csv|store.tds [--truth truth.csv] --algo accu
-//!             [--tdac] [--parallel] [--masked] [--output predictions.json]
+//!             [--tdac] [--parallel] [--masked] [--backend inprocess|sharded]
+//!             [--shards n] [--strategy attr-group|hash-object] [--output predictions.json]
+//! tdc shard   --input data.json|claims.csv|store.tds --algo accu [--shards n]
+//!             [--strategy attr-group|hash-object] [--worker-deadline-ms n]
+//!             [--masked] [--parallel] [--output predictions.json]
+//! tdc worker  (internal: one shard-job line on stdin, partial stream on stdout)
 //! tdc stream  --input base.json|base.csv|base.tds --algo accu --batch b1.csv [--batch b2.csv ...]
 //!             [--policy always|never|drift:<threshold>] [--parallel]
 //!             [--deadline-ms <n>] [--truth truth.csv] [--output predictions.json]
@@ -37,6 +42,14 @@
 //! client (the default query is "everything", so `tdc query --addr …
 //! --output p.json` against a freshly served store emits exactly what
 //! `tdc run --tdac` would). See `docs/SERVING.md`.
+//!
+//! `shard` is `run --tdac` with a sharded execution backend forced on:
+//! the per-group base runs execute in `tdc worker` child processes
+//! (fork-of-self) and the merged outcome — and therefore the emitted
+//! predictions — is bit-identical to the in-process run. `run` accepts
+//! the same `--backend/--shards/--strategy` flags; `stream` and
+//! `serve` reject a sharded backend (the incremental session is
+//! in-process only). See `docs/SHARDING.md`.
 
 use std::env;
 use std::fs;
@@ -47,14 +60,20 @@ use td_metrics::{evaluate_fn, Stopwatch};
 use td_model::{csv, json, ClaimBatch, Dataset, DatasetStats, GroundTruth};
 use td_store::{section_table, DatasetStore};
 use td_serve::{Client, ResponseBody, ServeConfig, Server, WireClaim};
+use td_shard::ShardRunner;
 use tdac_core::{
-    ExecutionLimits, Parallelism, QueryResponse, RepartitionPolicy, Tdac, TdacConfig,
-    TdacSession, TruthQuery,
+    ExecutionBackend, ExecutionLimits, KernelPolicy, Parallelism, QueryResponse,
+    RepartitionPolicy, ShardPlan, ShardStrategy, Tdac, TdacConfig, TdacOutcome, TdacSession,
+    TruthQuery,
 };
 
 const USAGE: &str = "usage:\n  tdc run --input <data.json|claims.csv|store.tds> [--truth <truth.csv>] \
 --algo <name> [--tdac] [--masked] [--parallel] [--deadline-ms <n>] \
+[--backend inprocess|sharded] [--shards <n>] [--strategy attr-group|hash-object] \
 [--output <predictions.json>]\n  \
+tdc shard --input <data.json|claims.csv|store.tds> --algo <name> [--shards <n>] \
+[--strategy attr-group|hash-object] [--worker-deadline-ms <n>] [--masked] [--parallel] \
+[--deadline-ms <n>] [--output <predictions.json>]\n  \
 tdc stream --input <base.json|base.csv|base.tds> --algo <name> --batch <claims.csv|data.json> \
 [--batch ...] [--policy always|never|drift:<threshold>] [--parallel] [--deadline-ms <n>] \
 [--truth <truth.csv>] [--output <predictions.json>]\n  \
@@ -71,7 +90,11 @@ tdc algos";
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("run") => cmd_run(&args[1..]),
+        Some("run") => cmd_run(&args[1..], false),
+        Some("shard") => cmd_run(&args[1..], true),
+        // The worker half of `tdc shard` — fork-of-self, so the shard
+        // coordinator needs no separate worker binary on PATH.
+        Some("worker") => ExitCode::from(td_shard::worker_main().clamp(0, 255) as u8),
         Some("stream") => cmd_stream(&args[1..]),
         Some("pack") => cmd_pack(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
@@ -158,7 +181,11 @@ fn cmd_stats(args: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_run(args: &[String]) -> ExitCode {
+/// `tdc run` and `tdc shard` — one code path; `shard` just forces the
+/// sharded backend on (and implies `--tdac`: sharding distributes
+/// TD-AC's per-group runs, so there is nothing to shard without the
+/// wrapper).
+fn cmd_run(args: &[String], force_sharded: bool) -> ExitCode {
     let Some(input) = flag_value(args, "--input") else {
         eprintln!("--input is required\n{USAGE}");
         return ExitCode::FAILURE;
@@ -171,7 +198,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("unknown algorithm {algo_name:?}; see `tdc algos`");
         return ExitCode::FAILURE;
     };
-    let wrap_tdac = has_flag(args, "--tdac") || has_flag(args, "--masked");
+    let backend = match parse_backend(args, force_sharded) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A sharded backend implies the TD-AC wrapper: sharding distributes
+    // the per-group runs, so a bare base-algorithm pass has nothing to
+    // distribute.
+    let wrap_tdac =
+        has_flag(args, "--tdac") || has_flag(args, "--masked") || backend.is_sharded();
     let output = flag_value(args, "--output");
 
     let truth_path = flag_value(args, "--truth");
@@ -209,24 +247,33 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
 
     let sw = Stopwatch::start();
+    let sharded = backend.is_sharded();
     let (result, partition, degradation) = if wrap_tdac {
         let config = TdacConfig {
             missing_aware: has_flag(args, "--masked"),
-            parallelism: if has_flag(args, "--parallel") {
-                Parallelism::Auto
-            } else {
-                Parallelism::Threads(1)
-            },
+            backend,
             limits,
             ..Default::default()
         };
-        let tdac = Tdac::new(config);
         // A store-backed input reuses its truth page (when one matches
         // the algorithm and mode) to skip the reference run — the
-        // outcome is bit-identical either way.
-        let run = match &store {
-            Some(s) => tdac.run_store(algo.as_ref(), s),
-            None => tdac.run(algo.as_ref(), &dataset),
+        // outcome is bit-identical either way. So is the backend: the
+        // sharded path's predictions byte-match the in-process ones
+        // (td-verify's shard oracle holds it to that).
+        let run: Result<TdacOutcome, String> = if sharded {
+            ShardRunner::new(config)
+                .and_then(|runner| match &store {
+                    Some(s) => runner.run_store(algo.name(), s),
+                    None => runner.run(algo.name(), &dataset),
+                })
+                .map_err(|e| e.to_string())
+        } else {
+            let tdac = Tdac::new(config);
+            match &store {
+                Some(s) => tdac.run_store(algo.as_ref(), s),
+                None => tdac.run(algo.as_ref(), &dataset),
+            }
+            .map_err(|e| e.to_string())
         };
         match run {
             Ok(out) => (out.result, Some(out.partition.to_string()), out.degradation),
@@ -243,7 +290,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
     eprintln!(
         "# {}{} on {}: {} predictions in {elapsed:.3}s",
         algo.name(),
-        if wrap_tdac { " (TD-AC)" } else { "" },
+        if wrap_tdac {
+            if sharded {
+                " (TD-AC, sharded)"
+            } else {
+                " (TD-AC)"
+            }
+        } else {
+            ""
+        },
         input,
         result.len()
     );
@@ -325,12 +380,22 @@ fn cmd_stream(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let backend = match parse_backend(args, false) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if backend.is_sharded() {
+        eprintln!(
+            "stream executes in-process only (the incremental session cannot shard); \
+             use `tdc shard` for batch runs"
+        );
+        return ExitCode::FAILURE;
+    }
     let config = TdacConfig {
-        parallelism: if has_flag(args, "--parallel") {
-            Parallelism::Auto
-        } else {
-            Parallelism::Threads(1)
-        },
+        backend,
         limits,
         ..Default::default()
     };
@@ -533,6 +598,71 @@ fn batch_from_file(path: &str) -> Result<ClaimBatch, String> {
     Ok(batch)
 }
 
+/// The one grammar for `--backend`, `--shards`, `--strategy`,
+/// `--worker-deadline-ms` and `--parallel`, shared by `run`, `shard`,
+/// `stream` and `serve` — the execution backend is parsed in exactly
+/// one place.
+///
+/// `--backend sharded` (or any of `--shards`/`--strategy`, or the
+/// `tdc shard` subcommand via `force_sharded`) selects a sharded
+/// backend; `--parallel` then governs each *worker's* thread pool.
+/// Otherwise the flags build the in-process backend the old
+/// `--parallel`-only grammar built.
+fn parse_backend(args: &[String], force_sharded: bool) -> Result<ExecutionBackend, String> {
+    let parallelism = if has_flag(args, "--parallel") {
+        Parallelism::Auto
+    } else {
+        Parallelism::Threads(1)
+    };
+    let kind = flag_value(args, "--backend");
+    match kind.as_deref() {
+        None | Some("inprocess") | Some("in-process") | Some("sharded") => {}
+        Some(k) => return Err(format!("--backend wants inprocess or sharded, got {k:?}")),
+    }
+    let shard_flags =
+        flag_value(args, "--shards").is_some() || flag_value(args, "--strategy").is_some();
+    let sharded = force_sharded
+        || matches!(kind.as_deref(), Some("sharded"))
+        || (kind.is_none() && shard_flags);
+    if !sharded {
+        if shard_flags {
+            return Err("--shards/--strategy make no sense with --backend inprocess".to_string());
+        }
+        return Ok(ExecutionBackend::InProcess {
+            parallelism,
+            kernels: KernelPolicy::Auto,
+        });
+    }
+    let shards = match flag_value(args, "--shards") {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return Err(format!("--shards wants a positive integer, got {n:?}")),
+        },
+        None => 2,
+    };
+    let strategy = match flag_value(args, "--strategy").as_deref() {
+        // Attribute-group dealing is exact for any base algorithm, so
+        // it is the default; object hashing needs the algorithm's
+        // trust_from_predictions hook.
+        None | Some("attr-group") => ShardStrategy::ByAttributeGroup,
+        Some("hash-object") => ShardStrategy::HashByObject,
+        Some(s) => return Err(format!("--strategy wants attr-group or hash-object, got {s:?}")),
+    };
+    let mut plan = ShardPlan::new(strategy, shards);
+    plan.worker_parallelism = parallelism;
+    if let Some(ms) = flag_value(args, "--worker-deadline-ms") {
+        match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => plan.worker_deadline_ms = Some(ms),
+            _ => {
+                return Err(format!(
+                    "--worker-deadline-ms wants a positive integer, got {ms:?}"
+                ))
+            }
+        }
+    }
+    Ok(ExecutionBackend::Sharded(plan))
+}
+
 fn parse_limits(args: &[String]) -> Result<ExecutionLimits, String> {
     match flag_value(args, "--deadline-ms") {
         Some(ms) => match ms.parse::<u64>() {
@@ -668,12 +798,22 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
         None => None,
     };
+    let backend = match parse_backend(args, false) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if backend.is_sharded() {
+        eprintln!(
+            "serve executes in-process only (the serving session cannot shard); \
+             use `tdc shard` for batch runs"
+        );
+        return ExitCode::FAILURE;
+    }
     let config = TdacConfig {
-        parallelism: if has_flag(args, "--parallel") {
-            Parallelism::Auto
-        } else {
-            Parallelism::Threads(1)
-        },
+        backend,
         ..Default::default()
     };
     let started = match &store {

@@ -63,6 +63,46 @@ impl TruthDiscovery for MajorityVote {
         }
         result
     }
+
+    // Majority trust is a pure function of the predictions: a source's
+    // trust is the fraction of its claims agreeing with the per-cell
+    // winner. Replaying that count against an externally supplied
+    // prediction set reproduces `discover`'s trust bit-for-bit — the
+    // tallies are integers, so the result is independent of cell
+    // iteration order and of how the predictions were computed (one
+    // process or unioned from object shards).
+    fn trust_from_predictions(
+        &self,
+        view: &DatasetView<'_>,
+        result: &TruthResult,
+    ) -> Option<Vec<f64>> {
+        let n_sources = view.n_sources();
+        let mut agree = vec![0u64; n_sources];
+        let mut total = vec![0u64; n_sources];
+        for cell in view.cells() {
+            let Some(winner) = result.prediction(cell.object, cell.attribute) else {
+                continue;
+            };
+            for claim in view.cell_claims(cell) {
+                let s = claim.source.index();
+                total[s] += 1;
+                if claim.value == winner {
+                    agree[s] += 1;
+                }
+            }
+        }
+        Some(
+            (0..n_sources)
+                .map(|s| {
+                    if total[s] == 0 {
+                        0.5
+                    } else {
+                        agree[s] as f64 / total[s] as f64
+                    }
+                })
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +179,61 @@ mod tests {
         assert!(r.prediction(o, a1).is_some());
         assert!(r.prediction(o, a2).is_none());
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn trust_from_predictions_is_bit_identical_to_discover() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o1", "a1", Value::int(1)).unwrap();
+        b.claim("s2", "o1", "a1", Value::int(1)).unwrap();
+        b.claim("s3", "o1", "a1", Value::int(2)).unwrap();
+        b.claim("s1", "o2", "a1", Value::int(7)).unwrap();
+        b.claim("s3", "o2", "a1", Value::int(7)).unwrap();
+        b.claim("s2", "o1", "a2", Value::text("x")).unwrap();
+        b.source("idle");
+        let d = b.build();
+        let view = d.view_all();
+        let r = MajorityVote.discover(&view);
+        let trust = MajorityVote.trust_from_predictions(&view, &r).unwrap();
+        assert_eq!(trust.len(), r.source_trust.len());
+        for (got, want) in trust.iter().zip(r.source_trust.iter()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // Through trait objects too — the blanket impls must forward the
+        // override, not fall back to the default `None`.
+        let boxed: Box<dyn TruthDiscovery + Send + Sync> = Box::new(MajorityVote);
+        assert!(boxed.trust_from_predictions(&view, &r).is_some());
+        let dyn_ref: &(dyn TruthDiscovery + Sync) = &MajorityVote;
+        assert!((&dyn_ref).trust_from_predictions(&view, &r).is_some());
+    }
+
+    #[test]
+    fn trust_from_predictions_unions_exactly_across_object_shards() {
+        // Split the objects in two, discover each half separately, union
+        // the predictions, and re-derive trust: bit-identical to the
+        // whole-view run — the contract object-hash sharding leans on.
+        let mut b = DatasetBuilder::new();
+        for (i, o) in ["o1", "o2", "o3", "o4"].iter().enumerate() {
+            b.claim("s1", o, "a", Value::int(i as i64)).unwrap();
+            b.claim("s2", o, "a", Value::int(i as i64)).unwrap();
+            b.claim("s3", o, "a", Value::int(99)).unwrap();
+        }
+        let d = b.build();
+        let view = d.view_all();
+        let whole = MajorityVote.discover(&view);
+
+        let mut unioned = TruthResult::with_sources(d.n_sources(), 0.0);
+        unioned.iterations = 1;
+        for cell in view.cells() {
+            let half = MajorityVote.discover(&view); // same view; predictions are cell-local
+            let v = half.prediction(cell.object, cell.attribute).unwrap();
+            let c = half.confidence(cell.object, cell.attribute).unwrap();
+            unioned.set_prediction(cell.object, cell.attribute, v, c);
+        }
+        let trust = MajorityVote.trust_from_predictions(&view, &unioned).unwrap();
+        for (got, want) in trust.iter().zip(whole.source_trust.iter()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
     }
 
     #[test]

@@ -36,6 +36,32 @@ pub trait TruthDiscovery {
         observer.record_discovery(self.name(), result.iterations as u64);
         result
     }
+
+    /// Reconstructs the trust vector this algorithm would report for
+    /// `view` from an already-computed prediction set, or `None` when
+    /// trust is not a pure function of the predictions.
+    ///
+    /// This is the opt-in contract behind object-hash sharding
+    /// (`ShardStrategy::HashByObject` in `tdac-core`): when a view's
+    /// objects are split across worker processes, per-cell predictions
+    /// union exactly for cell-local algorithms, but the *global* trust
+    /// vector spans every object — so the coordinator re-derives it
+    /// from the merged predictions via this hook. An implementation
+    /// must be **bit-exact**: given `result = self.discover(view)`,
+    /// `trust_from_predictions(view, &result)` must return
+    /// `Some(result.source_trust)` with every `f64` identical to the
+    /// bit. Algorithms whose trust depends on iteration history or
+    /// other non-prediction state keep the default `None`, and the
+    /// shard coordinator rejects them for object sharding with a typed
+    /// error instead of merging approximately.
+    fn trust_from_predictions(
+        &self,
+        view: &DatasetView<'_>,
+        result: &TruthResult,
+    ) -> Option<Vec<f64>> {
+        let _ = (view, result);
+        None
+    }
 }
 
 // Allow passing algorithms around as trait objects (the TD-AC API takes
@@ -49,6 +75,16 @@ impl<T: TruthDiscovery + ?Sized> TruthDiscovery for &T {
     fn discover(&self, view: &DatasetView<'_>) -> TruthResult {
         (**self).discover(view)
     }
+
+    // Forwarded explicitly: falling through to the provided default
+    // would silently erase an override behind a trait object.
+    fn trust_from_predictions(
+        &self,
+        view: &DatasetView<'_>,
+        result: &TruthResult,
+    ) -> Option<Vec<f64>> {
+        (**self).trust_from_predictions(view, result)
+    }
 }
 
 impl<T: TruthDiscovery + ?Sized> TruthDiscovery for Box<T> {
@@ -58,6 +94,14 @@ impl<T: TruthDiscovery + ?Sized> TruthDiscovery for Box<T> {
 
     fn discover(&self, view: &DatasetView<'_>) -> TruthResult {
         (**self).discover(view)
+    }
+
+    fn trust_from_predictions(
+        &self,
+        view: &DatasetView<'_>,
+        result: &TruthResult,
+    ) -> Option<Vec<f64>> {
+        (**self).trust_from_predictions(view, result)
     }
 }
 

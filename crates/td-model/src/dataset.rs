@@ -398,6 +398,29 @@ impl Dataset {
             by_source,
         })
     }
+
+    /// A new dataset holding only the claims `keep` accepts, with every
+    /// interner table cloned **in full** — ids are global, so a
+    /// `SourceId`/`ObjectId`/`AttributeId`/`ValueId` means the same
+    /// entity in the subset as in `self`. This is the shard-extraction
+    /// primitive behind `td-shard`: a worker's slice keeps the parent
+    /// id space, so its partial `TruthResult`s merge into the
+    /// coordinator's global result without any id translation.
+    ///
+    /// The kept claims are re-sorted into the canonical
+    /// `(attribute, object, source)` order and re-indexed from scratch
+    /// (via [`Dataset::from_interned_parts`]), so a subset serializes
+    /// byte-identically no matter how `self`'s claims were ordered.
+    pub fn subset_where(&self, mut keep: impl FnMut(&Claim) -> bool) -> Result<Dataset, ModelError> {
+        let claims: Vec<Claim> = self.claims.iter().filter(|c| keep(c)).copied().collect();
+        Dataset::from_interned_parts(
+            self.sources.clone(),
+            self.objects.clone(),
+            self.attributes.clone(),
+            self.values.clone(),
+            claims,
+        )
+    }
 }
 
 /// Indexes an `(attribute, object, source)`-sorted claim vector into
@@ -789,6 +812,40 @@ mod tests {
         assert_eq!(d.n_claims(), 0);
         assert_eq!(d.n_cells(), 0);
         assert!(d.cells().is_empty());
+    }
+
+    #[test]
+    fn subset_where_keeps_global_ids_and_canonical_order() {
+        let (d, _) = running_example();
+        let fb = d.object_id("FB").unwrap();
+        let sub = d.subset_where(|c| c.object == fb).unwrap();
+        // Interners are cloned in full: same entity tables, same ids.
+        assert_eq!(sub.n_sources(), d.n_sources());
+        assert_eq!(sub.n_objects(), d.n_objects());
+        assert_eq!(sub.n_attributes(), d.n_attributes());
+        assert_eq!(sub.n_values(), d.n_values());
+        assert_eq!(sub.object_id("FB"), Some(fb));
+        // Only FB claims survive, still canonically sorted.
+        assert_eq!(sub.n_claims(), 9);
+        assert!(sub.claims().iter().all(|c| c.object == fb));
+        let keys: Vec<_> = sub
+            .claims()
+            .iter()
+            .map(|c| (c.attribute, c.object, c.source))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // Claims reference the parent's value table verbatim.
+        for (c, pc) in sub.claims().iter().zip(
+            d.claims().iter().filter(|c| c.object == fb),
+        ) {
+            assert_eq!(c, pc);
+        }
+        // An empty filter still builds (an empty shard is legal).
+        let none = d.subset_where(|_| false).unwrap();
+        assert_eq!(none.n_claims(), 0);
+        assert_eq!(none.n_sources(), d.n_sources());
     }
 
     #[test]

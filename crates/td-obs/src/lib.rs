@@ -104,11 +104,20 @@ pub enum Counter {
     /// place (8-byte-aligned buffer) instead of being decoded word by
     /// word. One per aligned section view, not per word.
     ZeroCopyLoads = 16,
+    /// Worker processes spawned by the `td-shard` coordinator (one per
+    /// shard actually launched, including chaos-killed ones).
+    ShardsSpawned = 17,
+    /// Per-group partial `TruthResult`s received from shard workers and
+    /// accepted into the merge.
+    ShardPartials = 18,
+    /// Shards that failed (died, timed out, or reported a typed error)
+    /// and aborted the distributed phase.
+    ShardFailures = 19,
 }
 
 impl Counter {
     /// Number of fixed counters (the backing array length).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 20;
 
     /// All fixed counters, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -129,6 +138,9 @@ impl Counter {
         Counter::DriftRepartitions,
         Counter::BytesMapped,
         Counter::ZeroCopyLoads,
+        Counter::ShardsSpawned,
+        Counter::ShardPartials,
+        Counter::ShardFailures,
     ];
 
     /// Stable snake_case name used in [`RunProfile`] and JSON reports.
@@ -151,6 +163,9 @@ impl Counter {
             Counter::DriftRepartitions => "drift_repartitions",
             Counter::BytesMapped => "bytes_mapped",
             Counter::ZeroCopyLoads => "zero_copy_loads",
+            Counter::ShardsSpawned => "shards_spawned",
+            Counter::ShardPartials => "shard_partials",
+            Counter::ShardFailures => "shard_failures",
         }
     }
 }

@@ -1,0 +1,130 @@
+//! Typed failures of the shard coordinator and worker protocol.
+
+use tdac_core::ShardStrategy;
+
+/// Everything that can go wrong between "validate the plan" and "merge
+/// the last partial".
+///
+/// Worker-side failures are *typed and attributed*: a shard that dies,
+/// stalls, or talks garbage surfaces as [`ShardError::ShardFailed`],
+/// [`ShardError::ShardTimeout`] or [`ShardError::Protocol`] naming the
+/// shard index — never as a silently thinner merge.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The coordinator's own TD-AC phases (model selection, config
+    /// validation) failed.
+    Tdac(tdac_core::TdacError),
+    /// Building a shard slice dataset failed.
+    Model(td_model::ModelError),
+    /// Persisting or loading a `.tds` slice failed.
+    Store(td_store::StoreError),
+    /// Spawning or talking to a worker process failed at the OS level.
+    Io(std::io::Error),
+    /// A worker emitted a line the coordinator could not parse.
+    Protocol {
+        /// Which shard misbehaved.
+        shard: usize,
+        /// What was wrong with the line.
+        detail: String,
+    },
+    /// A worker died (exited without its `Done` marker) or reported an
+    /// internal error.
+    ShardFailed {
+        /// Which shard failed.
+        shard: usize,
+        /// The worker's error report, or a description of how it died.
+        detail: String,
+    },
+    /// A worker blew past its deadline without even reporting the
+    /// degradation itself — the coordinator gave up waiting.
+    ShardTimeout {
+        /// Which shard stalled.
+        shard: usize,
+        /// How long the coordinator waited before declaring it dead.
+        waited_ms: u64,
+    },
+    /// The base algorithm cannot run under this strategy:
+    /// `HashByObject` needs `TruthDiscovery::trust_from_predictions`
+    /// (trust as a pure function of the predictions), which this
+    /// algorithm does not implement.
+    StrategyUnsupported {
+        /// The algorithm that refused.
+        algorithm: String,
+        /// The strategy it refused under.
+        strategy: ShardStrategy,
+    },
+    /// `algorithm_by_name` did not recognize the requested base
+    /// algorithm.
+    UnknownAlgorithm(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Tdac(e) => write!(f, "{e}"),
+            ShardError::Model(e) => write!(f, "{e}"),
+            ShardError::Store(e) => write!(f, "{e}"),
+            ShardError::Io(e) => write!(f, "worker process i/o: {e}"),
+            ShardError::Protocol { shard, detail } => {
+                write!(f, "shard {shard} protocol violation: {detail}")
+            }
+            ShardError::ShardFailed { shard, detail } => {
+                write!(f, "shard {shard} failed: {detail}")
+            }
+            ShardError::ShardTimeout { shard, waited_ms } => {
+                write!(
+                    f,
+                    "shard {shard} timed out: no progress after {waited_ms} ms"
+                )
+            }
+            ShardError::StrategyUnsupported {
+                algorithm,
+                strategy,
+            } => write!(
+                f,
+                "algorithm {algorithm:?} does not support {strategy:?} sharding: \
+                 its source trust is not a pure function of the predictions \
+                 (no trust_from_predictions override)"
+            ),
+            ShardError::UnknownAlgorithm(name) => {
+                write!(f, "unknown base algorithm {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Tdac(e) => Some(e),
+            ShardError::Model(e) => Some(e),
+            ShardError::Store(e) => Some(e),
+            ShardError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tdac_core::TdacError> for ShardError {
+    fn from(e: tdac_core::TdacError) -> Self {
+        ShardError::Tdac(e)
+    }
+}
+
+impl From<td_model::ModelError> for ShardError {
+    fn from(e: td_model::ModelError) -> Self {
+        ShardError::Model(e)
+    }
+}
+
+impl From<td_store::StoreError> for ShardError {
+    fn from(e: td_store::StoreError) -> Self {
+        ShardError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}

@@ -1,0 +1,160 @@
+//! The coordinator ⇄ worker wire protocol.
+//!
+//! Same idiom as td-serve's client protocol: one JSON document per
+//! line, typed on both ends, unknown garbage rejected loudly. The
+//! coordinator writes exactly one [`ShardJob`] line to the worker's
+//! stdin and then closes it; the worker answers with a stream of
+//! [`ShardMsg`] lines on stdout, terminated by [`ShardMsg::Done`].
+//! Anything on stderr is free-form logging and never parsed.
+//!
+//! A worker that exits before `Done` — crash, kill, chaos — is
+//! detected by the EOF on its stdout and surfaces as
+//! [`ShardFailed`](crate::ShardError::ShardFailed); the merge never
+//! quietly proceeds with fewer partials.
+
+use serde::{Deserialize, Serialize};
+use td_algorithms::TruthResult;
+use td_model::AttributeId;
+use td_obs::Degradation;
+use tdac_core::Parallelism;
+
+/// Environment variable for chaos testing: when set to a worker's own
+/// shard index, that worker exits abruptly after emitting its first
+/// partial — simulating a mid-run crash. The coordinator must turn
+/// this into a typed [`ShardFailed`](crate::ShardError::ShardFailed)
+/// naming the shard. Set it on the coordinator's
+/// [`WorkerCommand`](crate::WorkerCommand) envs, never globally.
+pub const CHAOS_EXIT_ENV: &str = "TD_SHARD_CHAOS_EXIT";
+
+/// One attribute group a worker must run, tagged with its index in the
+/// *global* partition so partials reassemble in group order no matter
+/// how groups were dealt across shards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupAssignment {
+    /// Index of this group in the coordinator's global partition.
+    pub group: usize,
+    /// The group's attributes (global ids, valid in the slice store —
+    /// slices keep the parent's interner tables).
+    pub attributes: Vec<AttributeId>,
+}
+
+/// The single job line a worker reads from stdin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardJob {
+    /// This worker's shard index (also its chaos-injection key).
+    pub shard: usize,
+    /// Base algorithm name, resolved via
+    /// `td_algorithms::registry::algorithm_by_name`.
+    pub algorithm: String,
+    /// Path of the `.tds` slice the coordinator extracted for this
+    /// shard. Workers seed through the store's zero-copy load path.
+    pub store_path: String,
+    /// Rayon parallelism for the worker's own group loop
+    /// (`ShardPlan::worker_parallelism`).
+    pub parallelism: Parallelism,
+    /// Per-shard deadline in milliseconds (`ShardPlan::worker_deadline_ms`):
+    /// the worker stops at the next group boundary past it and reports
+    /// a [`ShardMsg::Degraded`] instead of more partials.
+    pub deadline_ms: Option<u64>,
+    /// The groups this shard executes.
+    pub groups: Vec<GroupAssignment>,
+}
+
+/// One finished per-group base run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupPartial {
+    /// Index of the group in the coordinator's global partition.
+    pub group: usize,
+    /// The base algorithm's result over the shard's view of the group.
+    pub result: TruthResult,
+}
+
+/// A worker-side error report (panic in the base algorithm, unreadable
+/// slice, unknown algorithm) — the worker's last line before exiting
+/// non-zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerFailure {
+    /// Which phase failed (`"load"`, `"resolve"`, `"group_run"`).
+    pub phase: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// A worker → coordinator message; one per stdout line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ShardMsg {
+    /// One group's base run finished.
+    Partial(GroupPartial),
+    /// The worker hit its deadline: no further partials will come, and
+    /// the coordinator must degrade the whole run (a partial merge is
+    /// never an option).
+    Degraded(Degradation),
+    /// The worker failed; `ShardMsg::Done` will not follow.
+    Failed(WorkerFailure),
+    /// Clean end-of-stream marker: every assigned group was reported.
+    Done,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_model::{DatasetBuilder, Value};
+
+    #[test]
+    fn job_round_trips_through_json_lines() {
+        let mut b = DatasetBuilder::new();
+        b.claim("s", "o", "a1", Value::int(1)).unwrap();
+        b.claim("s", "o", "a2", Value::int(2)).unwrap();
+        let d = b.build();
+        let attrs: Vec<AttributeId> = d.attribute_ids().collect();
+        let job = ShardJob {
+            shard: 3,
+            algorithm: "MajorityVote".into(),
+            store_path: "/tmp/slice.tds".into(),
+            parallelism: Parallelism::Threads(2),
+            deadline_ms: Some(750),
+            groups: vec![
+                GroupAssignment {
+                    group: 0,
+                    attributes: vec![attrs[0]],
+                },
+                GroupAssignment {
+                    group: 1,
+                    attributes: vec![attrs[1]],
+                },
+            ],
+        };
+        let line = serde_json::to_string(&job).unwrap();
+        assert!(!line.contains('\n'), "wire format is one line per job");
+        let back: ShardJob = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, job);
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        let mut result = TruthResult::with_sources(2, 0.0);
+        result.iterations = 1;
+        let msgs = [
+            ShardMsg::Partial(GroupPartial { group: 4, result }),
+            ShardMsg::Failed(WorkerFailure {
+                phase: "group_run".into(),
+                detail: "base algorithm panicked".into(),
+            }),
+            ShardMsg::Done,
+        ];
+        for msg in &msgs {
+            let line = serde_json::to_string(msg).unwrap();
+            let back: ShardMsg = serde_json::from_str(&line).unwrap();
+            match (msg, &back) {
+                (ShardMsg::Partial(a), ShardMsg::Partial(b)) => {
+                    assert_eq!(a.group, b.group);
+                    assert_eq!(a.result.iterations, b.result.iterations);
+                    assert_eq!(a.result.source_trust, b.result.source_trust);
+                }
+                (ShardMsg::Failed(a), ShardMsg::Failed(b)) => assert_eq!(a, b),
+                (ShardMsg::Done, ShardMsg::Done) => {}
+                _ => panic!("variant changed across the wire"),
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The worker half: runs inside a `tdc worker` / `td-verify worker`
+//! child process, executing one shard's groups against its `.tds`
+//! slice.
+//!
+//! A worker is deliberately dumb: it does **no** model selection, no
+//! merging, no strategy logic. It loads the slice, resolves the base
+//! algorithm, runs `discover` once per assigned group, and streams the
+//! partials back. Everything clever — and everything that must be
+//! bit-identical to the in-process path — lives in the coordinator.
+
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use td_algorithms::registry::algorithm_by_name;
+use td_algorithms::TruthDiscovery;
+use td_obs::{Budget, ExecutionLimits, Observer};
+use td_store::DatasetStore;
+
+use crate::protocol::{GroupPartial, ShardJob, ShardMsg, WorkerFailure, CHAOS_EXIT_ENV};
+
+/// Reads one [`ShardJob`] line from real stdin, streams [`ShardMsg`]
+/// lines to real stdout, and returns the process exit code. Binary
+/// front ends (`tdc worker`, `td-verify worker`) call this and
+/// `std::process::exit` the result.
+pub fn worker_main() -> i32 {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    run_worker(stdin.lock(), stdout.lock())
+}
+
+/// [`worker_main`] over caller-supplied streams, for in-process tests.
+pub fn run_worker(mut input: impl BufRead, mut out: impl Write) -> i32 {
+    let mut line = String::new();
+    if let Err(e) = input.read_line(&mut line) {
+        return fail(&mut out, "load", format!("reading job line: {e}"));
+    }
+    let job: ShardJob = match serde_json::from_str(line.trim()) {
+        Ok(job) => job,
+        Err(e) => return fail(&mut out, "load", format!("parsing job line: {e}")),
+    };
+    let store = match DatasetStore::load(&job.store_path) {
+        Ok(store) => store,
+        Err(e) => {
+            return fail(
+                &mut out,
+                "load",
+                format!("loading slice {:?}: {e}", job.store_path),
+            )
+        }
+    };
+    let Some(base) = algorithm_by_name(&job.algorithm) else {
+        return fail(
+            &mut out,
+            "resolve",
+            format!("unknown base algorithm {:?}", job.algorithm),
+        );
+    };
+    // Chaos hook: when told to, this worker dies abruptly after its
+    // first partial (or right before Done if it had no groups) so
+    // tests can prove the coordinator notices missing shards.
+    let chaos = std::env::var(CHAOS_EXIT_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        == Some(job.shard);
+    let limits = match job.deadline_ms {
+        Some(ms) => ExecutionLimits::none().with_deadline(Duration::from_millis(ms)),
+        None => ExecutionLimits::none(),
+    };
+    let obs = Observer::disabled();
+    let budget = Budget::arm(&limits, &obs);
+
+    job.parallelism.install(|| {
+        for assignment in &job.groups {
+            // Deadlines are honored at group boundaries: the shard
+            // stops early and reports the degradation itself; a shard
+            // stuck *inside* a base run is the coordinator's timeout
+            // to catch.
+            if let Some(budget) = budget.as_ref() {
+                if let Some(deg) = budget.check("shard_group_run") {
+                    if emit(&mut out, &ShardMsg::Degraded(deg)).is_err() {
+                        return 1;
+                    }
+                    return finish(&mut out);
+                }
+            }
+            let view = store.dataset.view_of(&assignment.attributes);
+            let result = match catch_unwind(AssertUnwindSafe(|| base.discover(&view))) {
+                Ok(result) => result,
+                Err(_) => {
+                    return fail(
+                        &mut out,
+                        "group_run",
+                        format!("base algorithm panicked on group {}", assignment.group),
+                    )
+                }
+            };
+            let partial = GroupPartial {
+                group: assignment.group,
+                result,
+            };
+            if emit(&mut out, &ShardMsg::Partial(partial)).is_err() {
+                return 1;
+            }
+            if chaos {
+                return 101; // die without Done — the coordinator must notice
+            }
+        }
+        if chaos {
+            return 101;
+        }
+        finish(&mut out)
+    })
+}
+
+fn finish(out: &mut impl Write) -> i32 {
+    match emit(out, &ShardMsg::Done) {
+        Ok(()) => 0,
+        Err(_) => 1,
+    }
+}
+
+fn fail(out: &mut impl Write, phase: &str, detail: String) -> i32 {
+    let msg = ShardMsg::Failed(WorkerFailure {
+        phase: phase.to_string(),
+        detail,
+    });
+    let _ = emit(out, &msg);
+    2
+}
+
+fn emit(out: &mut impl Write, msg: &ShardMsg) -> std::io::Result<()> {
+    let line = serde_json::to_string(msg)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writeln!(out, "{line}")?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::GroupAssignment;
+    use td_model::{AttributeId, DatasetBuilder, Value};
+    use tdac_core::Parallelism;
+
+    fn slice_on_disk() -> (DatasetStore, std::path::PathBuf, Vec<AttributeId>) {
+        let mut b = DatasetBuilder::new();
+        b.claim("s1", "o", "a1", Value::int(1)).unwrap();
+        b.claim("s2", "o", "a1", Value::int(1)).unwrap();
+        b.claim("s1", "o", "a2", Value::int(2)).unwrap();
+        let d = b.build();
+        let attrs: Vec<AttributeId> = d.attribute_ids().collect();
+        let store = DatasetStore::new(d);
+        let path = std::env::temp_dir().join(format!(
+            "td-shard-worker-test-{}-{:p}.tds",
+            std::process::id(),
+            &store
+        ));
+        store.save(&path).unwrap();
+        (store, path, attrs)
+    }
+
+    fn run_job(job: &ShardJob) -> (i32, Vec<ShardMsg>) {
+        let input = format!("{}\n", serde_json::to_string(job).unwrap());
+        let mut out = Vec::new();
+        let code = run_worker(input.as_bytes(), &mut out);
+        let msgs = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str::<ShardMsg>(l).unwrap())
+            .collect();
+        (code, msgs)
+    }
+
+    #[test]
+    fn runs_groups_and_reports_done() {
+        let (store, path, attrs) = slice_on_disk();
+        let job = ShardJob {
+            shard: 0,
+            algorithm: "MajorityVote".into(),
+            store_path: path.display().to_string(),
+            parallelism: Parallelism::Threads(1),
+            deadline_ms: None,
+            groups: vec![
+                GroupAssignment {
+                    group: 0,
+                    attributes: vec![attrs[0]],
+                },
+                GroupAssignment {
+                    group: 1,
+                    attributes: vec![attrs[1]],
+                },
+            ],
+        };
+        let (code, msgs) = run_job(&job);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(code, 0);
+        assert_eq!(msgs.len(), 3);
+        let ShardMsg::Partial(p0) = &msgs[0] else {
+            panic!("expected first partial")
+        };
+        assert_eq!(p0.group, 0);
+        // Bit-identical to an in-process discover over the same view.
+        let direct = td_algorithms::MajorityVote.discover(&store.dataset.view_of(&attrs[..1]));
+        assert_eq!(
+            p0.result.iter().collect::<Vec<_>>(),
+            direct.iter().collect::<Vec<_>>()
+        );
+        for (got, want) in p0.result.source_trust.iter().zip(&direct.source_trust) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        assert!(matches!(msgs[1], ShardMsg::Partial(_)));
+        assert!(matches!(msgs[2], ShardMsg::Done));
+    }
+
+    #[test]
+    fn unknown_algorithm_is_a_typed_failure() {
+        let (_store, path, attrs) = slice_on_disk();
+        let job = ShardJob {
+            shard: 0,
+            algorithm: "NoSuchAlgorithm".into(),
+            store_path: path.display().to_string(),
+            parallelism: Parallelism::Threads(1),
+            deadline_ms: None,
+            groups: vec![GroupAssignment {
+                group: 0,
+                attributes: attrs,
+            }],
+        };
+        let (code, msgs) = run_job(&job);
+        std::fs::remove_file(&path).ok();
+        assert_ne!(code, 0);
+        assert_eq!(msgs.len(), 1);
+        let ShardMsg::Failed(f) = &msgs[0] else {
+            panic!("expected a failure report")
+        };
+        assert_eq!(f.phase, "resolve");
+    }
+
+    #[test]
+    fn garbage_job_line_fails_cleanly() {
+        let mut out = Vec::new();
+        let code = run_worker("not json at all\n".as_bytes(), &mut out);
+        assert_ne!(code, 0);
+        let text = String::from_utf8(out).unwrap();
+        let msg: ShardMsg = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert!(matches!(msg, ShardMsg::Failed(_)));
+    }
+
+    #[test]
+    fn blown_deadline_degrades_at_a_group_boundary() {
+        // A 1 ms deadline against hundreds of repeated base runs over a
+        // real dataset: the budget check between groups must fire long
+        // before the queue drains, yielding Degraded + Done instead of
+        // the full partial stream.
+        let synth = datagen::generate_synthetic(&datagen::SyntheticConfig::ds1());
+        let attrs: Vec<AttributeId> = synth.dataset.attribute_ids().collect();
+        let store = DatasetStore::new(synth.dataset);
+        let path = std::env::temp_dir().join(format!(
+            "td-shard-worker-deadline-{}.tds",
+            std::process::id()
+        ));
+        store.save(&path).unwrap();
+        let repeats = 512;
+        let job = ShardJob {
+            shard: 0,
+            algorithm: "MajorityVote".into(),
+            store_path: path.display().to_string(),
+            parallelism: Parallelism::Threads(1),
+            deadline_ms: Some(1),
+            groups: (0..repeats)
+                .map(|i| GroupAssignment {
+                    group: i,
+                    attributes: attrs.clone(),
+                })
+                .collect(),
+        };
+        let (code, msgs) = run_job(&job);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(code, 0);
+        let degraded = msgs
+            .iter()
+            .position(|m| matches!(m, ShardMsg::Degraded(_)))
+            .expect("deadline must surface as a Degraded message");
+        assert!(degraded < repeats, "degraded before the queue drained");
+        assert!(msgs[..degraded]
+            .iter()
+            .all(|m| matches!(m, ShardMsg::Partial(_))));
+        assert!(matches!(msgs[degraded + 1], ShardMsg::Done));
+        assert_eq!(msgs.len(), degraded + 2);
+    }
+}

@@ -155,6 +155,23 @@ impl DatasetStore {
             .find(|p| p.algorithm == algorithm && p.masked == masked)
     }
 
+    /// Packs the subset of claims `keep` accepts into a fresh store —
+    /// the shard-slice primitive behind `td-shard`. The slice keeps the
+    /// parent's full interner tables (ids stay global, so worker
+    /// partials merge without translation), re-canonicalizes the claim
+    /// sort to `(attribute, object, source)` via
+    /// [`td_model::Dataset::subset_where`], and **drops every truth
+    /// page**: pages were computed over the *full* claim set, so their
+    /// dimensions would still match the subset's interners while their
+    /// content silently described claims the slice no longer holds —
+    /// exactly the stale seed a worker must never load.
+    pub fn subset_where(
+        &self,
+        keep: impl FnMut(&td_model::Claim) -> bool,
+    ) -> Result<DatasetStore, td_model::ModelError> {
+        Ok(DatasetStore::new(self.dataset.subset_where(keep)?))
+    }
+
     /// Serializes to the `.tds` byte format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let payloads = [
@@ -733,6 +750,51 @@ mod tests {
         assert_eq!(back.dataset.n_claims(), 0);
         assert!(back.pages.is_empty());
         assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn subset_where_recanonicalizes_order_and_drops_pages() {
+        let dataset = sample_dataset();
+        let mut store = DatasetStore::new(dataset.clone());
+        store.push_page(sample_page(&dataset, false));
+        let a1 = dataset.attribute_id("a1").unwrap();
+
+        let slice = store.subset_where(|c| c.attribute == a1).unwrap();
+        // The ordering invariant: slice claims are (attribute, object,
+        // source)-sorted no matter what order the filter visited them in.
+        let keys: Vec<_> = slice
+            .dataset
+            .claims()
+            .iter()
+            .map(|c| (c.attribute, c.object, c.source))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert!(slice.dataset.claims().iter().all(|c| c.attribute == a1));
+        // Ids stay global: the full interner tables ride along.
+        assert_eq!(slice.dataset.n_sources(), dataset.n_sources());
+        assert_eq!(slice.dataset.n_values(), dataset.n_values());
+        // Truth pages are dropped — they described the *full* claim set,
+        // and their dimensions would still pass a shape check against
+        // the subset's (unchanged) interners.
+        assert!(slice.pages.is_empty());
+
+        // Byte stability per shard: two differently-expressed filters
+        // selecting the same claims pack to identical bytes.
+        let objs: Vec<_> = dataset
+            .claims()
+            .iter()
+            .filter(|c| c.attribute == a1)
+            .map(|c| c.object)
+            .collect();
+        let slice2 = store
+            .subset_where(|c| c.attribute == a1 && objs.contains(&c.object))
+            .unwrap();
+        assert_eq!(slice.to_bytes(), slice2.to_bytes());
+        // And the slice round-trips like any store.
+        let back = DatasetStore::from_bytes(&slice.to_bytes()).unwrap();
+        assert_eq!(back.to_bytes(), slice.to_bytes());
     }
 
     #[test]

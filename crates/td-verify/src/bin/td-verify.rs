@@ -4,12 +4,17 @@
 //!   check both against the committed snapshots (exit 1 on divergence).
 //! * `td-verify --bless` — regenerate both snapshots in place; review
 //!   and commit the diff.
+//! * `td-verify worker` — run as a td-shard worker process (reads one
+//!   shard-job line on stdin). Exists so the shard oracle tests can
+//!   spawn real worker processes out of the test binary's own
+//!   workspace without depending on `tdc` being built.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        ["worker"] => ExitCode::from(td_shard::worker_main().clamp(0, 255) as u8),
         [] => {
             let mut ok = true;
             match td_verify::check_ds1() {

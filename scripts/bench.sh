@@ -7,27 +7,35 @@
 # TDAC_BENCH_JSON is set; this script collects those lines into a single
 # JSON object keyed by "group/name" with the median ns per iteration.
 #
-# Usage: scripts/bench.sh [--profile] [extra cargo bench args...]
+# Usage: scripts/bench.sh [--profile] [--no-shard] [extra cargo bench args...]
 #   --profile                also run the observer-instrumented DS1
 #                            pipeline (crates/bench/src/bin/tdac_profile)
 #                            and fold its per-phase wall times + counter
 #                            deltas into BENCH_tdac.json under "profile"
+#   --no-shard               skip the multi-process shard-scaling sweep
+#                            (crates/bench/src/bin/shard_scaling; folded
+#                            under "shard_scaling" with the host's core
+#                            count — see docs/SHARDING.md)
 #   TDAC_BENCH_SAMPLES=<n>   override sample count (default: per-group)
+#   TDAC_SHARD_OBJECTS=<n>   shard-sweep dataset size in objects
+#                            (default 166667 ≈ 10M observations)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
 profile=0
-if [[ "${1:-}" == "--profile" ]]; then
-    profile=1
+shard=1
+while [[ "${1:-}" == "--profile" || "${1:-}" == "--no-shard" ]]; do
+    if [[ "$1" == "--profile" ]]; then profile=1; else shard=0; fi
     shift
-fi
+done
 
 tmp="$repo_root/.bench_lines.bench.tmp.json"
 profile_tmp="$repo_root/.bench_profile.bench.tmp.json"
+shard_tmp="$repo_root/.bench_shard.bench.tmp.json"
 out="$repo_root/BENCH_tdac.json"
-rm -f "$tmp" "$profile_tmp"
+rm -f "$tmp" "$profile_tmp" "$shard_tmp"
 
 for bench in tdac_pipeline clustering partitioning store serve; do
     echo "== cargo bench --bench $bench =="
@@ -39,12 +47,18 @@ if [[ "$profile" == 1 ]]; then
     cargo run --offline --release -q -p tdac-bench --bin tdac_profile > "$profile_tmp"
 fi
 
+if [[ "$shard" == 1 ]]; then
+    echo "== cargo run --bin shard_scaling (multi-process sweep, 1/2/4/8 workers) =="
+    cargo run --offline --release -q -p tdac-bench --bin shard_scaling > "$shard_tmp"
+fi
+
 # Fold the JSON lines into one object: {"id": median_ns, ...}; with
-# --profile, attach the tdac_profile document under "profile".
-python3 - "$tmp" "$out" "$profile_tmp" <<'PY'
+# --profile, attach the tdac_profile document under "profile"; the
+# shard sweep document lands under "shard_scaling".
+python3 - "$tmp" "$out" "$profile_tmp" "$shard_tmp" <<'PY'
 import json, os, sys
 
-lines_path, out_path, profile_path = sys.argv[1], sys.argv[2], sys.argv[3]
+lines_path, out_path, profile_path, shard_path = sys.argv[1:5]
 benches = {}
 with open(lines_path) as f:
     for line in f:
@@ -130,6 +144,17 @@ if serve:
 if os.path.exists(profile_path):
     with open(profile_path) as f:
         doc["profile"] = json.load(f)
+
+# The shard_scaling bin emits one self-describing document: observation
+# count, host core count, per-worker-count wall ms and speedup vs the
+# single-process run. Speedup is bounded by physical cores — the
+# "cores" field is the honest context for reading "speedup".
+shard = None
+if os.path.exists(shard_path):
+    with open(shard_path) as f:
+        shard = json.load(f)
+    doc["shard_scaling"] = shard
+
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
@@ -154,6 +179,12 @@ if serve:
     extra += "; serve throughput: " + ", ".join(
         f"{k} {v} req/s" for k, v in sorted(serve.items())
     )
+if shard:
+    best = max(shard["speedup"].items(), key=lambda kv: kv[1])
+    extra += (
+        f"; shard scaling: {best[1]}x at {best[0]} worker(s) "
+        f"on {shard['cores']} core(s)"
+    )
 print(f"wrote {out_path} ({len(benches)} benches{extra})")
 PY
-rm -f "$tmp" "$profile_tmp"
+rm -f "$tmp" "$profile_tmp" "$shard_tmp"

@@ -64,6 +64,21 @@ diff "$serve_tmp/served.json" "$serve_tmp/local.json" \
     || { echo "verify: served answers diverged from the in-process run" >&2; exit 1; }
 echo "served == in-process (bit-identical)"
 
+echo "== shard: worker protocol units + multi-process bit-identity oracle =="
+cargo test --offline -q -p td-shard
+cargo test --offline -q -p td-verify --test shard
+
+echo "== shard: tdc shard is byte-identical to tdc run, both strategies =="
+"$tdc" run --input crates/td-verify/goldens/ds1.tds --algo majorityvote --tdac \
+    --output "$serve_tmp/inproc.json"
+for strategy in attr-group hash-object; do
+    "$tdc" shard --input crates/td-verify/goldens/ds1.tds --algo majorityvote \
+        --shards 4 --strategy "$strategy" --output "$serve_tmp/sharded.json"
+    diff "$serve_tmp/inproc.json" "$serve_tmp/sharded.json" \
+        || { echo "verify: sharded ($strategy) diverged from the in-process run" >&2; exit 1; }
+    echo "sharded ($strategy, 4 workers) == in-process (byte-identical)"
+done
+
 echo "== expensive oracles: Bell(7)/Bell(8) brute-force differentials =="
 cargo test --offline -q -p td-verify --features expensive-oracles
 

@@ -23,7 +23,9 @@
 //! * [`data`] — the workload generators ([`datagen`]);
 //! * [`eval`] — the table/figure reproduction harness ([`tdac_eval`]);
 //! * [`serve`] — the batched, deadline-aware TCP serving front end
-//!   ([`td_serve`]).
+//!   ([`td_serve`]);
+//! * [`shard`] — sharded multi-process execution behind
+//!   [`ExecutionBackend::Sharded`] ([`td_shard`]).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@ pub use td_algorithms as algorithms;
 pub use td_metrics as metrics;
 pub use td_model as model;
 pub use td_serve as serve;
+pub use td_shard as shard;
 pub use tdac_core as core;
 pub use tdac_eval as eval;
 
@@ -80,6 +83,13 @@ pub use tdac_core::{Prediction, QueryResponse, SourceTrust, TruthQuery};
 // and `TdacSession::start_store` skip the build phase bit-identically.
 // See `docs/STORAGE.md`.
 pub use tdac_core::{DatasetStore, StoreError, TruthPage};
+
+// The execution backend vocabulary: every config names where it runs —
+// in-process (threads) or sharded across worker processes — and the
+// shard subsystem's coordinator/typed errors ride along. See
+// `docs/SHARDING.md`.
+pub use td_shard::{ShardError, ShardRunner, WorkerCommand};
+pub use tdac_core::{ExecutionBackend, ShardPlan, ShardStrategy};
 
 /// The crate version, for diagnostics.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
@@ -128,6 +138,14 @@ mod tests {
         let _ = crate::serve::ServeConfig::default();
         let _ = crate::serve::WireErrorKind::Overloaded;
         let _ = crate::DatasetStore::new(crate::model::DatasetBuilder::new().build());
+        let _ = crate::ExecutionBackend::Sharded(crate::ShardPlan::new(
+            crate::ShardStrategy::HashByObject,
+            4,
+        ));
+        let _ = crate::ExecutionBackend::default();
+        let _ = crate::shard::object_shard("o", 4);
+        let _: fn(crate::core::TdacError) -> crate::ShardError = crate::ShardError::Tdac;
+        let _ = crate::WorkerCommand::new("tdc", vec!["worker".into()]);
         let _: fn(crate::StoreError) -> crate::TdError = crate::TdError::Store;
         let _: fn(crate::model::ModelError) -> crate::SessionError = crate::SessionError::Model;
         assert!(!crate::VERSION.is_empty());
