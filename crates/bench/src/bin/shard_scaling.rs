@@ -22,7 +22,9 @@ use td_algorithms::MajorityVote;
 use td_shard::ShardRunner;
 use td_store::DatasetStore;
 use td_verify::OutcomeFingerprint;
-use tdac_core::{ExecutionBackend, Parallelism, ShardPlan, ShardStrategy, Tdac, TdacConfig};
+use tdac_core::{
+    ExecutionBackend, Parallelism, RetryPolicy, ShardPlan, ShardStrategy, Tdac, TdacConfig,
+};
 
 fn main() {
     // Fork-of-self worker arm, same contract as `tdc worker`.
@@ -46,7 +48,7 @@ fn main() {
     let store = DatasetStore::new(synth.dataset);
 
     let config = TdacConfig {
-        parallelism: Parallelism::Threads(1),
+        backend: ExecutionBackend::in_process(Parallelism::Threads(1)),
         ..TdacConfig::default()
     };
 
@@ -85,6 +87,39 @@ fn main() {
         sharded_ms.push((shards, ms));
     }
 
+    // Retry-supervisor overhead on the clean path: the same 2-worker
+    // run with the fault supervisor armed (3 attempts) — no fault ever
+    // fires, so the delta is the pure cost of per-shard lifecycle
+    // bookkeeping, attempt tagging, and end-of-run partial folding
+    // versus the fail-fast sweep measurement above.
+    let retry_workers = 2usize;
+    eprintln!("# retry-armed run: {retry_workers} worker(s), 3 attempts, no faults…");
+    let mut plan = ShardPlan::new(strategy, retry_workers);
+    plan.worker_parallelism = Parallelism::Threads(1);
+    plan.retry = RetryPolicy::with_attempts(3);
+    let runner = ShardRunner::new(TdacConfig {
+        backend: ExecutionBackend::Sharded(plan),
+        ..config.clone()
+    })
+    .expect("retry-armed config");
+    let start = std::time::Instant::now();
+    let outcome = runner
+        .run_store("MajorityVote", &store)
+        .expect("retry-armed run");
+    let armed_ms = start.elapsed().as_secs_f64() * 1e3;
+    if let Some(diff) = reference.diff(&OutcomeFingerprint::of(&outcome)) {
+        panic!("retry-armed outcome diverged from in-process:\n{diff}");
+    }
+    assert!(
+        outcome.degradation.is_none(),
+        "a clean retry-armed run must not be flagged"
+    );
+    let fail_fast_ms = sharded_ms
+        .iter()
+        .find(|(s, _)| *s == retry_workers)
+        .map(|(_, ms)| *ms)
+        .unwrap_or(armed_ms);
+
     let entries: Vec<String> = sharded_ms
         .iter()
         .map(|(s, ms)| format!("\"{s}\": {ms:.1}"))
@@ -97,8 +132,12 @@ fn main() {
         "{{\n  \"observations\": {observations},\n  \"cores\": {cores},\n  \
          \"strategy\": \"hash-object\",\n  \"worker_parallelism\": 1,\n  \
          \"in_process_ms\": {in_process_ms:.1},\n  \
-         \"sharded_ms\": {{{}}},\n  \"speedup\": {{{}}}\n}}",
+         \"sharded_ms\": {{{}}},\n  \"speedup\": {{{}}},\n  \
+         \"retry_overhead\": {{\"workers\": {retry_workers}, \
+         \"fail_fast_ms\": {fail_fast_ms:.1}, \"armed_ms\": {armed_ms:.1}, \
+         \"ratio\": {:.3}}}\n}}",
         entries.join(", "),
-        speedups.join(", ")
+        speedups.join(", "),
+        armed_ms / fail_fast_ms
     );
 }

@@ -129,16 +129,6 @@ pub struct TdacConfig {
     pub missing_aware: bool,
     /// **Deprecated shim** — use [`TdacConfig::backend`] with
     /// [`ExecutionBackend::InProcess`] instead; this field will be
-    /// removed after one release. Thread budget for every parallel
-    /// kernel in the pipeline — per-group base-algorithm runs (the
-    /// paper's future-work perspective (ii)), the shared distance
-    /// matrix, the k-sweep, and the clusterers. Deterministic at any
-    /// setting. Still honoured whenever the backend carries the default
-    /// parallelism (see [`TdacConfig::effective_parallelism`]), so
-    /// existing configs and struct literals keep their exact meaning.
-    pub parallelism: Parallelism,
-    /// **Deprecated shim** — use [`TdacConfig::backend`] with
-    /// [`ExecutionBackend::InProcess`] instead; this field will be
     /// removed after one release. Which distance kernel the shared
     /// pairwise matrix may use: [`KernelPolicy::Auto`] (default) picks
     /// the bit-packed popcount kernel whenever the truth vectors are
@@ -196,7 +186,6 @@ impl Default for TdacConfig {
             seed: 42,
             min_silhouette: None,
             missing_aware: false,
-            parallelism: Parallelism::default(),
             kernel: KernelPolicy::default(),
             backend: ExecutionBackend::default(),
             limits: ExecutionLimits::default(),
@@ -220,21 +209,18 @@ impl TdacConfig {
 
     /// The thread budget every in-process kernel actually runs under.
     ///
-    /// Resolution rule for the one-release deprecation window: an
-    /// explicit non-default parallelism on an
-    /// [`ExecutionBackend::InProcess`] backend wins; otherwise the
-    /// legacy [`TdacConfig::parallelism`] field applies (so configs and
-    /// struct literals written against the old knob keep their exact
-    /// meaning). A sharded backend resolves to the legacy field too —
-    /// that is what the coordinator's own sequential phases use.
+    /// [`ExecutionBackend::InProcess`] resolves to its own parallelism;
+    /// a sharded backend resolves to [`Parallelism::default`] — that is
+    /// what the coordinator's own sequential phases (model selection,
+    /// reassembly) use, while each worker runs under the plan's
+    /// `worker_parallelism`. The bare `parallelism` field this method
+    /// once shimmed is gone; old serialized configs that still carry the
+    /// key load fine (unknown keys are ignored) but the backend is the
+    /// sole authority.
     pub fn effective_parallelism(&self) -> Parallelism {
         match &self.backend {
-            ExecutionBackend::InProcess { parallelism, .. }
-                if *parallelism != Parallelism::default() =>
-            {
-                *parallelism
-            }
-            _ => self.parallelism,
+            ExecutionBackend::InProcess { parallelism, .. } => *parallelism,
+            ExecutionBackend::Sharded(_) => Parallelism::default(),
         }
     }
 
@@ -307,13 +293,17 @@ impl TdacConfigBuilder {
         self
     }
 
-    /// Thread budget for every parallel kernel.
-    ///
-    /// **Deprecated shim** — prefer [`TdacConfigBuilder::backend`] with
-    /// [`ExecutionBackend::InProcess`]; kept for one release so
-    /// existing callers migrate without breakage.
+    /// Thread budget for every parallel kernel — a convenience that
+    /// rewrites the backend to [`ExecutionBackend::InProcess`] with the
+    /// given parallelism, preserving an in-process backend's kernel
+    /// policy (a previously set sharded backend is replaced; set
+    /// parallelism through the [`crate::ShardPlan`] in that case).
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
-        self.config.parallelism = parallelism;
+        let kernels = match self.config.backend {
+            ExecutionBackend::InProcess { kernels, .. } => kernels,
+            ExecutionBackend::Sharded(_) => KernelPolicy::default(),
+        };
+        self.config.backend = ExecutionBackend::InProcess { parallelism, kernels };
         self
     }
 
@@ -420,14 +410,15 @@ mod tests {
     fn config_serde_roundtrip() {
         let c = TdacConfig {
             method: ClusterMethod::Hierarchical(Linkage::Average),
-            parallelism: Parallelism::Threads(3),
+            backend: ExecutionBackend::in_process(Parallelism::Threads(3)),
             kernel: KernelPolicy::Packed,
             ..Default::default()
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: TdacConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.method, c.method);
-        assert_eq!(back.parallelism, c.parallelism);
+        assert_eq!(back.backend, c.backend);
+        assert_eq!(back.effective_parallelism(), Parallelism::Threads(3));
         assert_eq!(back.kernel, c.kernel);
         // Configs serialized before the kernel knob existed still load.
         let legacy: TdacConfig =
@@ -455,7 +446,8 @@ mod tests {
         assert_eq!(built.seed, plain.seed);
         assert_eq!(built.min_silhouette, plain.min_silhouette);
         assert_eq!(built.missing_aware, plain.missing_aware);
-        assert_eq!(built.parallelism, plain.parallelism);
+        assert_eq!(built.backend, plain.backend);
+        assert_eq!(built.effective_parallelism(), Parallelism::Auto);
         assert_eq!(built.kernel, plain.kernel);
         assert_eq!(built.kernel, KernelPolicy::Auto);
         assert_eq!(built.limits, plain.limits);
@@ -489,7 +481,12 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert_eq!(c.min_silhouette, Some(0.25));
         assert!(c.missing_aware);
-        assert_eq!(c.parallelism, Parallelism::Threads(2));
+        // `.parallelism()` rewrites the backend in place.
+        assert_eq!(
+            c.backend,
+            ExecutionBackend::in_process(Parallelism::Threads(2))
+        );
+        assert_eq!(c.effective_parallelism(), Parallelism::Threads(2));
         assert_eq!(c.kernel, KernelPolicy::Dense);
         assert_eq!(c.limits.max_distance_evals, Some(1_000));
         assert!(c.limits.is_active());
@@ -602,10 +599,11 @@ mod tests {
 
     #[test]
     fn legacy_config_json_defaults_to_in_process_backend() {
-        // Configs serialized before the backend knob existed still load
-        // — and mean exactly what they meant then.
+        // Configs serialized before the backend knob existed still load:
+        // no "backend" key → in-process default, and a stale bare
+        // "parallelism" key (removed after its one-release deprecation
+        // window) is ignored rather than rejected.
         let json = serde_json::to_string(&TdacConfig {
-            parallelism: Parallelism::Threads(2),
             kernel: KernelPolicy::Packed,
             ..Default::default()
         })
@@ -615,21 +613,26 @@ mod tests {
             panic!("config serializes as an object")
         };
         assert!(map.contains_key("backend"));
-        let stripped: serde_json::Map = map.into_iter().filter(|(k, _)| k != "backend").collect();
+        let mut stripped: serde_json::Map =
+            map.into_iter().filter(|(k, _)| k != "backend").collect();
+        stripped.insert(
+            "parallelism".to_string(),
+            serde_json::from_str(r#"{"Threads":2}"#).unwrap(),
+        );
         let back: TdacConfig =
             serde_json::from_value(&serde_json::Value::Object(stripped)).unwrap();
         assert_eq!(back.backend, ExecutionBackend::default());
         assert!(!back.backend.is_sharded());
-        // The deprecated shim fields still drive the effective settings.
-        assert_eq!(back.effective_parallelism(), Parallelism::Threads(2));
+        // The removed field no longer steers anything; the kernel shim
+        // (still in its deprecation window) does.
+        assert_eq!(back.effective_parallelism(), Parallelism::Auto);
         assert_eq!(back.effective_kernel(), KernelPolicy::Packed);
     }
 
     #[test]
-    fn backend_wins_over_legacy_fields_when_explicit() {
+    fn backend_wins_over_legacy_kernel_field_when_explicit() {
         let c = TdacConfig {
-            parallelism: Parallelism::Threads(7), // legacy shim, overridden
-            kernel: KernelPolicy::Packed,         // legacy shim, overridden
+            kernel: KernelPolicy::Packed, // legacy shim, overridden
             backend: ExecutionBackend::InProcess {
                 parallelism: Parallelism::Threads(2),
                 kernels: KernelPolicy::Dense,
@@ -638,13 +641,17 @@ mod tests {
         };
         assert_eq!(c.effective_parallelism(), Parallelism::Threads(2));
         assert_eq!(c.effective_kernel(), KernelPolicy::Dense);
-        // A default backend defers to the legacy shims.
+        // A default backend defers to the legacy kernel shim, and a
+        // sharded backend resolves coordinator parallelism to Auto.
         let c = TdacConfig {
-            parallelism: Parallelism::Threads(7),
             kernel: KernelPolicy::Packed,
+            backend: ExecutionBackend::Sharded(crate::backend::ShardPlan::new(
+                crate::backend::ShardStrategy::ByAttributeGroup,
+                2,
+            )),
             ..Default::default()
         };
-        assert_eq!(c.effective_parallelism(), Parallelism::Threads(7));
+        assert_eq!(c.effective_parallelism(), Parallelism::Auto);
         assert_eq!(c.effective_kernel(), KernelPolicy::Packed);
     }
 

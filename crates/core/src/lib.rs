@@ -82,7 +82,7 @@ pub mod truth_vectors;
 pub use accugen::{
     run_partition, AccuGenError, AccuGenOutcome, AccuGenPartition, Weighting,
 };
-pub use backend::{ExecutionBackend, ShardPlan, ShardStrategy};
+pub use backend::{ExecutionBackend, RetryPolicy, ShardPlan, ShardStrategy};
 pub use config::{
     ClusterMethod, MetricKind, Parallelism, TdacConfig, TdacConfigBuilder,
 };
@@ -112,5 +112,5 @@ pub use td_store::{DatasetStore, StoreError, TruthPage};
 // td-obs dependency.
 pub use td_obs::{
     CancelToken, Counter, Degradation, DegradationReason, ExecutionLimits, Observer, PhaseHook,
-    RunProfile, WorkCompleted,
+    RunProfile, ShardFault, WorkCompleted,
 };

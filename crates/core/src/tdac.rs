@@ -1142,13 +1142,13 @@ mod tests {
         let (d, _) = correlated_dataset();
         for base in [&Accu::default() as &(dyn TruthDiscovery + Sync), &MajorityVote] {
             let seq = Tdac::new(TdacConfig {
-                parallelism: Parallelism::Threads(1),
+                backend: crate::ExecutionBackend::in_process(Parallelism::Threads(1)),
                 ..Default::default()
             })
             .run(base, &d)
             .unwrap();
             let par = Tdac::new(TdacConfig {
-                parallelism: Parallelism::Auto,
+                backend: crate::ExecutionBackend::in_process(Parallelism::Auto),
                 ..Default::default()
             })
             .run(base, &d)
@@ -1205,7 +1205,7 @@ mod tests {
         let (d, _) = correlated_dataset();
         let cfg = |parallelism| TdacConfig {
             missing_aware: true,
-            parallelism,
+            backend: crate::ExecutionBackend::in_process(parallelism),
             ..Default::default()
         };
         let seq = Tdac::new(cfg(Parallelism::Threads(1))).run(&MajorityVote, &d).unwrap();
@@ -1481,7 +1481,7 @@ mod tests {
         let (d, _) = correlated_dataset();
         let run = |parallelism| {
             Tdac::new(TdacConfig {
-                parallelism,
+                backend: crate::ExecutionBackend::in_process(parallelism),
                 limits: ExecutionLimits::none().with_max_distance_evals(1),
                 ..Default::default()
             })
@@ -1564,7 +1564,7 @@ mod tests {
         let base = PanicsOnSubset { full: 6 };
         for parallelism in [Parallelism::Threads(1), Parallelism::Threads(8), Parallelism::Auto] {
             let err = Tdac::new(TdacConfig {
-                parallelism,
+                backend: crate::ExecutionBackend::in_process(parallelism),
                 ..Default::default()
             })
             .run(&base, &d)

@@ -6,6 +6,7 @@
 //!             [--shards n] [--strategy attr-group|hash-object] [--output predictions.json]
 //! tdc shard   --input data.json|claims.csv|store.tds --algo accu [--shards n]
 //!             [--strategy attr-group|hash-object] [--worker-deadline-ms n]
+//!             [--retry-attempts n] [--retry-backoff-ms b]
 //!             [--masked] [--parallel] [--output predictions.json]
 //! tdc worker  (internal: one shard-job line on stdin, partial stream on stdout)
 //! tdc stream  --input base.json|base.csv|base.tds --algo accu --batch b1.csv [--batch b2.csv ...]
@@ -72,7 +73,8 @@ const USAGE: &str = "usage:\n  tdc run --input <data.json|claims.csv|store.tds> 
 [--backend inprocess|sharded] [--shards <n>] [--strategy attr-group|hash-object] \
 [--output <predictions.json>]\n  \
 tdc shard --input <data.json|claims.csv|store.tds> --algo <name> [--shards <n>] \
-[--strategy attr-group|hash-object] [--worker-deadline-ms <n>] [--masked] [--parallel] \
+[--strategy attr-group|hash-object] [--worker-deadline-ms <n>] [--retry-attempts <n>] \
+[--retry-backoff-ms <b>] [--masked] [--parallel] \
 [--deadline-ms <n>] [--output <predictions.json>]\n  \
 tdc stream --input <base.json|base.csv|base.tds> --algo <name> --batch <claims.csv|data.json> \
 [--batch ...] [--policy always|never|drift:<threshold>] [--parallel] [--deadline-ms <n>] \
@@ -619,14 +621,20 @@ fn parse_backend(args: &[String], force_sharded: bool) -> Result<ExecutionBacken
         None | Some("inprocess") | Some("in-process") | Some("sharded") => {}
         Some(k) => return Err(format!("--backend wants inprocess or sharded, got {k:?}")),
     }
-    let shard_flags =
-        flag_value(args, "--shards").is_some() || flag_value(args, "--strategy").is_some();
+    let shard_flags = flag_value(args, "--shards").is_some()
+        || flag_value(args, "--strategy").is_some()
+        || flag_value(args, "--retry-attempts").is_some()
+        || flag_value(args, "--retry-backoff-ms").is_some();
     let sharded = force_sharded
         || matches!(kind.as_deref(), Some("sharded"))
         || (kind.is_none() && shard_flags);
     if !sharded {
         if shard_flags {
-            return Err("--shards/--strategy make no sense with --backend inprocess".to_string());
+            return Err(
+                "--shards/--strategy/--retry-attempts/--retry-backoff-ms make no sense with \
+                 --backend inprocess"
+                    .to_string(),
+            );
         }
         return Ok(ExecutionBackend::InProcess {
             parallelism,
@@ -656,6 +664,32 @@ fn parse_backend(args: &[String], force_sharded: bool) -> Result<ExecutionBacken
             _ => {
                 return Err(format!(
                     "--worker-deadline-ms wants a positive integer, got {ms:?}"
+                ))
+            }
+        }
+    }
+    // --retry-attempts <n> arms the fault supervisor: n-1 re-spawns of
+    // a faulted shard, then the flagged in-process fallback. The
+    // default (1) keeps today's fail-fast semantics.
+    if let Some(n) = flag_value(args, "--retry-attempts") {
+        match n.parse::<u32>() {
+            Ok(n) if n > 0 => plan.retry.max_attempts = n,
+            _ => {
+                return Err(format!(
+                    "--retry-attempts wants a positive integer, got {n:?}"
+                ))
+            }
+        }
+    }
+    if let Some(ms) = flag_value(args, "--retry-backoff-ms") {
+        match ms.parse::<u64>() {
+            Ok(ms) => {
+                plan.retry.backoff_base_ms = ms;
+                plan.retry.backoff_cap_ms = ms.saturating_mul(10).max(ms);
+            }
+            _ => {
+                return Err(format!(
+                    "--retry-backoff-ms wants a non-negative integer, got {ms:?}"
                 ))
             }
         }

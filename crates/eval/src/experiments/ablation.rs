@@ -142,7 +142,7 @@ pub fn run(scale: Scale) -> AblationExperiment {
     variants.push((
         "parallel per-group execution".into(),
         TdacConfig {
-            parallelism: tdac_core::Parallelism::Auto,
+            backend: tdac_core::ExecutionBackend::in_process(tdac_core::Parallelism::Auto),
             ..Default::default()
         },
     ));

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use datagen::{generate_synthetic, SyntheticConfig};
 use td_algorithms::{Accu, TruthDiscovery};
 use td_metrics::Stopwatch;
-use tdac_core::{Parallelism, Tdac, TdacConfig};
+use tdac_core::{ExecutionBackend, Parallelism, Tdac, TdacConfig};
 
 use crate::scale::Scale;
 
@@ -50,7 +50,7 @@ fn measure(cfg: &SyntheticConfig, x: usize) -> ScalePoint {
     let (_, base_d) = Stopwatch::time(|| base.discover(&view));
     let (_, tdac_d) = Stopwatch::time(|| {
         Tdac::new(TdacConfig {
-            parallelism: Parallelism::Threads(1),
+            backend: ExecutionBackend::in_process(Parallelism::Threads(1)),
             ..Default::default()
         })
         .run(&base, &data.dataset)
@@ -58,7 +58,7 @@ fn measure(cfg: &SyntheticConfig, x: usize) -> ScalePoint {
     });
     let (_, par_d) = Stopwatch::time(|| {
         Tdac::new(TdacConfig {
-            parallelism: Parallelism::Auto,
+            backend: ExecutionBackend::in_process(Parallelism::Auto),
             ..Default::default()
         })
         .run(&base, &data.dataset)

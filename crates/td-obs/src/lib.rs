@@ -39,7 +39,7 @@ use std::time::Instant;
 pub mod limits;
 pub use limits::{
     panic_message, Budget, CancelToken, Degradation, DegradationReason, ExecutionLimits,
-    WorkCompleted,
+    ShardFault, WorkCompleted,
 };
 
 /// Fixed work-unit counters tracked by every enabled [`Observer`].
@@ -110,14 +110,27 @@ pub enum Counter {
     /// Per-group partial `TruthResult`s received from shard workers and
     /// accepted into the merge.
     ShardPartials = 18,
-    /// Shards that failed (died, timed out, or reported a typed error)
-    /// and aborted the distributed phase.
+    /// Shard attempts that faulted (worker death, stall past the
+    /// coordinator's patience, or protocol garble). Under the default
+    /// fail-fast policy a fault aborts the distributed phase; under a
+    /// retry policy it schedules a retry or an in-process fallback
+    /// instead — either way the fault itself is tallied here.
     ShardFailures = 19,
+    /// Shard faults answered with a scheduled retry (backoff + respawn)
+    /// instead of aborting the run.
+    ShardRetries = 20,
+    /// Worker processes re-spawned from their persisted `.tds` slice
+    /// after a backoff window elapsed.
+    ShardRespawns = 21,
+    /// Shards whose retry budget exhausted and whose jobs the
+    /// coordinator therefore ran in-process, flagging the outcome with
+    /// a `ShardFallback` degradation (never thinning the merge).
+    ShardFallbacks = 22,
 }
 
 impl Counter {
     /// Number of fixed counters (the backing array length).
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 23;
 
     /// All fixed counters, in serialization order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -141,6 +154,9 @@ impl Counter {
         Counter::ShardsSpawned,
         Counter::ShardPartials,
         Counter::ShardFailures,
+        Counter::ShardRetries,
+        Counter::ShardRespawns,
+        Counter::ShardFallbacks,
     ];
 
     /// Stable snake_case name used in [`RunProfile`] and JSON reports.
@@ -166,6 +182,9 @@ impl Counter {
             Counter::ShardsSpawned => "shards_spawned",
             Counter::ShardPartials => "shard_partials",
             Counter::ShardFailures => "shard_failures",
+            Counter::ShardRetries => "shard_retries",
+            Counter::ShardRespawns => "shard_respawns",
+            Counter::ShardFallbacks => "shard_fallbacks",
         }
     }
 }

@@ -160,6 +160,23 @@ impl ExecutionLimits {
     }
 }
 
+/// A shard whose worker attempts were exhausted and whose jobs the
+/// coordinator completed in-process instead — the payload of
+/// [`DegradationReason::ShardFallback`]. Self-describing: the record
+/// names the shard, how many spawn attempts it burned, and what the
+/// last fault looked like.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardFault {
+    /// The shard whose workers kept dying.
+    pub shard: usize,
+    /// Worker-process attempts consumed before falling back (the
+    /// policy's `max_attempts`).
+    pub attempts: u32,
+    /// The last fault observed (death, stall, protocol garble), plus
+    /// any other shards that fell back in the same run.
+    pub detail: String,
+}
+
 /// Which budget cut the run short. Bounds carry the configured cap so a
 /// degradation record is self-describing without the config.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -174,6 +191,12 @@ pub enum DegradationReason {
     FixpointIterations(u64),
     /// Partition-scan cap (payload: configured cap).
     Partitions(u64),
+    /// A shard exhausted its worker-process retry budget and its jobs
+    /// ran in-process instead (the `td-shard` supervisor's last rung:
+    /// degrade, never die — and never thin the merge). Unlike the
+    /// budget reasons above, the *result is complete*; the flag records
+    /// that the execution path was not the configured one.
+    ShardFallback(ShardFault),
 }
 
 impl fmt::Display for DegradationReason {
@@ -190,6 +213,11 @@ impl fmt::Display for DegradationReason {
             DegradationReason::Partitions(cap) => {
                 write!(f, "partition-scan budget of {cap} exhausted")
             }
+            DegradationReason::ShardFallback(fault) => write!(
+                f,
+                "shard {} exhausted {} worker attempt(s) and ran in-process: {}",
+                fault.shard, fault.attempts, fault.detail
+            ),
         }
     }
 }

@@ -29,31 +29,49 @@
 //!   with [`ShardError::StrategyUnsupported`] rather than merged
 //!   approximately.
 //!
-//! # Failure semantics
+//! # Failure semantics: the retry ladder
 //!
-//! Degraded shards are flagged, never silently dropped: a worker that
-//! reports [`ShardMsg::Degraded`] aborts the distributed phase and the
-//! run returns [`PartitionedModel::into_degraded`] — the reference
-//! result, `fallback: true`, the degradation attached — exactly the
-//! shape the in-process path produces when its per-group phase is
-//! refused. A worker that dies (EOF before `Done`) or reports an
-//! internal error is a typed [`ShardError::ShardFailed`] naming the
-//! shard; a worker that stalls past its deadline (plus grace) is a
-//! typed [`ShardError::ShardTimeout`]. A partial merge is never an
-//! option.
+//! A worker *fault* — death before `Done`, unparseable output, or no
+//! progress within the coordinator's patience — climbs a ladder
+//! governed by the plan's [`RetryPolicy`](tdac_core::RetryPolicy):
+//!
+//! 1. **Fail-fast** (`max_attempts == 1`, the default): the first
+//!    fault aborts the run with the matching typed error —
+//!    [`ShardError::ShardFailed`], [`ShardError::Protocol`], or
+//!    [`ShardError::ShardTimeout`] — exactly as before the supervisor
+//!    existed.
+//! 2. **Retry** (`max_attempts > 1`): only the faulted worker is
+//!    killed; its buffered partials are discarded and a fresh worker
+//!    re-spawns from the shard's persisted `.tds` slice after a
+//!    deterministic capped-exponential backoff. Because partials are
+//!    keyed by group and replacement is whole-shard, the eventual
+//!    merge is bit-identical to a clean run by construction.
+//! 3. **Fallback**: when attempts exhaust, the coordinator runs the
+//!    shard's jobs *in-process* through the same worker group loop
+//!    (chaos injection explicitly disabled) and flags the outcome with
+//!    [`DegradationReason::ShardFallback`]. The merge is complete —
+//!    never thinned — the flag records that the execution path was not
+//!    the configured one.
+//!
+//! A worker that *reports* [`ShardMsg::Degraded`] is not a fault: its
+//! budget fired deterministically, retrying would burn the same budget
+//! again, so the run returns [`PartitionedModel::into_degraded`] — the
+//! reference result, `fallback: true`, the degradation attached —
+//! exactly the shape the in-process path produces when its per-group
+//! phase is refused. A partial merge is never an option on any rung.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use td_algorithms::registry::algorithm_by_name;
 use td_algorithms::{TruthDiscovery, TruthResult};
 use td_model::{AttributeId, Dataset};
-use td_obs::{Counter, Observer};
+use td_obs::{Counter, Degradation, DegradationReason, Observer, ShardFault, WorkCompleted};
 use td_store::{fnv1a, DatasetStore};
 use tdac_core::{
     ModelSelection, PartitionedModel, ShardPlan, ShardStrategy, Tdac, TdacConfig, TdacError,
@@ -61,7 +79,8 @@ use tdac_core::{
 };
 
 use crate::error::ShardError;
-use crate::protocol::{GroupAssignment, ShardJob, ShardMsg};
+use crate::protocol::{GroupAssignment, GroupPartial, ShardJob, ShardMsg};
+use crate::worker::ChaosAction;
 
 /// Which shard [`ShardStrategy::HashByObject`] routes an object to:
 /// FNV-1a of the object's interned name, modulo the shard count. Name
@@ -77,7 +96,8 @@ pub fn object_shard(name: &str, shards: usize) -> usize {
 /// The default is fork-of-self: the current executable re-invoked with
 /// a single `worker` argument, which both `tdc` and `td-verify` route
 /// to [`crate::worker_main`]. Tests inject chaos by adding a
-/// [`crate::protocol::CHAOS_EXIT_ENV`] entry to `envs` — per command,
+/// [`crate::protocol::CHAOS_EXIT_ENV`] or
+/// [`crate::protocol::CHAOS_PLAN_ENV`] entry to `envs` — per command,
 /// never via global process environment mutation.
 #[derive(Debug, Clone)]
 pub struct WorkerCommand {
@@ -239,9 +259,15 @@ impl ShardRunner {
             }
         }
 
+        // The RAII guard owns every slice file from the moment its path
+        // is allocated: any early return (or panic) below runs its Drop
+        // and removes whatever was written. Slices are retained while a
+        // shard might still need them (re-spawn, fallback) and released
+        // eagerly the moment the shard completes.
         let mut slices = SliceFiles::default();
-        let mut workers: Vec<WorkerHandle> = Vec::new();
         let (tx, rx) = mpsc::channel::<Event>();
+        let mut slots: BTreeMap<usize, Slot> = BTreeMap::new();
+        let mut workers: HashMap<usize, WorkerHandle> = HashMap::new();
 
         let spawn_result = (|| -> Result<(), ShardError> {
             for (shard, jobs) in assignments.iter().enumerate() {
@@ -260,22 +286,54 @@ impl ShardRunner {
                     store_path: path.display().to_string(),
                     parallelism: self.plan.worker_parallelism,
                     deadline_ms: self.plan.worker_deadline_ms,
+                    attempt: 1,
                     groups: jobs.clone(),
                 };
-                workers.push(self.spawn(shard, &job, tx.clone())?);
+                workers.insert(shard, self.spawn(shard, &job, tx.clone())?);
                 obs.incr(Counter::ShardsSpawned, 1);
+                slots.insert(
+                    shard,
+                    Slot {
+                        job,
+                        attempt: 1,
+                        state: SlotState::Running,
+                        partials: Vec::new(),
+                        last_event: Instant::now(),
+                    },
+                );
             }
             Ok(())
         })();
-        drop(tx);
         if let Err(e) = spawn_result {
             kill_all(&mut workers);
             return Err(e);
         }
 
-        let merged = self.collect(&mut workers, &rx, &groups, store, base, model, obs);
-        kill_all(&mut workers); // no-op for cleanly exited workers; reaps zombies
-        merged
+        let mut sup = Supervisor {
+            runner: self,
+            groups: &groups,
+            store,
+            base,
+            obs,
+            tx,
+            rx,
+            slots,
+            workers,
+            slices: &mut slices,
+            fallbacks: Vec::new(),
+        };
+        let driven = sup.drive();
+        kill_all(&mut sup.workers); // no-op for cleanly exited workers; reaps zombies
+        match driven {
+            Err(e) => Err(e),
+            Ok(Some(degradation)) => {
+                // One shard over budget degrades the whole run —
+                // flagged, never a thinner merge.
+                obs.incr(Counter::DegradedRuns, 1);
+                Ok(model.into_degraded(degradation))
+            }
+            Ok(None) => sup.fold(model),
+        }
     }
 
     /// The claim subset shard `shard` may see, as a page-free store
@@ -327,210 +385,524 @@ impl ShardRunner {
             writeln!(stdin, "{line}")?;
         } // close stdin: the worker reads exactly one line
         let stdout = child.stdout.take().expect("stdout piped");
+        // Every event is tagged with the attempt it belongs to, so the
+        // supervisor can discard messages a killed predecessor left in
+        // flight after a re-spawn.
+        let attempt = job.attempt;
         let reader = std::thread::spawn(move || {
             let mut lines = BufReader::new(stdout).lines();
             loop {
                 match lines.next() {
                     Some(Ok(line)) => {
                         let event = match serde_json::from_str::<ShardMsg>(&line) {
-                            Ok(msg) => Event::Msg(shard, msg),
-                            Err(e) => Event::Bad(shard, format!("unparseable line: {e}")),
+                            Ok(msg) => Event::Msg(shard, attempt, msg),
+                            Err(e) => Event::Bad(shard, attempt, format!("unparseable line: {e}")),
                         };
                         if tx.send(event).is_err() {
                             return; // coordinator gave up
                         }
                     }
                     Some(Err(e)) => {
-                        let _ = tx.send(Event::Bad(shard, format!("reading stdout: {e}")));
+                        let _ = tx.send(Event::Bad(shard, attempt, format!("reading stdout: {e}")));
                         return;
                     }
                     None => {
-                        let _ = tx.send(Event::Eof(shard));
+                        let _ = tx.send(Event::Eof(shard, attempt));
                         return;
                     }
                 }
             }
         });
         Ok(WorkerHandle {
-            shard,
             child,
             reader: Some(reader),
         })
     }
+}
 
-    /// Drains worker events until every spawned shard reports `Done`,
-    /// then reassembles the outcome.
-    #[allow(clippy::too_many_arguments)]
-    fn collect(
-        &self,
-        workers: &mut Vec<WorkerHandle>,
-        rx: &mpsc::Receiver<Event>,
-        groups: &[Vec<AttributeId>],
-        store: &DatasetStore,
-        base: &(dyn TruthDiscovery + Sync),
-        model: PartitionedModel,
-        obs: &Observer,
-    ) -> Result<TdacOutcome, ShardError> {
-        // Coordinator-side stall guard: the worker polices its own
-        // deadline at group boundaries, so give it the deadline plus
-        // generous grace for slice loading and one overshooting base
-        // run before declaring it hung.
-        let patience = self
-            .plan
-            .worker_deadline_ms
-            .map(|ms| Duration::from_millis(ms.saturating_mul(4).max(ms.saturating_add(5_000))));
+/// A worker fault the supervisor must answer: the three retryable
+/// event shapes, each mapped to its typed fail-fast error.
+enum Fault {
+    /// Worker died (EOF before `Done`) or reported an internal error.
+    Died(String),
+    /// Worker wrote something the protocol cannot parse.
+    Garbled(String),
+    /// No event from the worker within the coordinator's patience.
+    Stalled(u64),
+}
 
-        let mut done: HashMap<usize, bool> =
-            workers.iter().map(|w| (w.shard, false)).collect();
-        let mut pending = done.len();
-        // ByAttributeGroup: one partial per group, straight into its
-        // slot. HashByObject: per-group prediction unions accumulated
-        // across shards; trust re-derived after the fan-in.
-        let mut partials: Vec<Option<TruthResult>> = vec![None; groups.len()];
+impl Fault {
+    fn describe(&self) -> String {
+        match self {
+            Fault::Died(detail) => detail.clone(),
+            Fault::Garbled(detail) => format!("protocol violation: {detail}"),
+            Fault::Stalled(waited_ms) => format!("no progress within {waited_ms} ms"),
+        }
+    }
 
-        while pending > 0 {
-            let event = match patience {
-                Some(limit) => match rx.recv_timeout(limit) {
-                    Ok(event) => event,
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        let shard = stalled_shard(&done);
-                        kill_all(workers);
-                        obs.incr(Counter::ShardFailures, 1);
-                        return Err(ShardError::ShardTimeout {
-                            shard,
-                            waited_ms: limit.as_millis() as u64,
-                        });
+    fn into_error(self, shard: usize) -> ShardError {
+        match self {
+            Fault::Died(detail) => ShardError::ShardFailed { shard, detail },
+            Fault::Garbled(detail) => ShardError::Protocol { shard, detail },
+            Fault::Stalled(waited_ms) => ShardError::ShardTimeout { shard, waited_ms },
+        }
+    }
+}
+
+/// Per-shard lifecycle: where one shard currently sits on the retry
+/// ladder.
+enum SlotState {
+    /// A worker process is (believed to be) executing this attempt.
+    Running,
+    /// Faulted; the next attempt spawns once the backoff deadline
+    /// passes.
+    Backoff(Instant),
+    /// Reported `Done`; its partials are final.
+    Done,
+    /// Attempts exhausted; its partials came from the in-process
+    /// fallback.
+    Fallback,
+}
+
+/// One shard's supervision record.
+struct Slot {
+    /// The job template; `attempt` is stamped per spawn.
+    job: ShardJob,
+    /// Current (or next, while in backoff) attempt number, 1-based.
+    attempt: u32,
+    state: SlotState,
+    /// Partials buffered until the shard completes — discarded whole
+    /// on a fault, which is what keeps retried merges exact.
+    partials: Vec<GroupPartial>,
+    /// Last activity, for per-shard stall detection.
+    last_event: Instant,
+}
+
+/// The event loop state: per-shard slots, live worker handles, and the
+/// channel both ends of the reader threads share. Owns the retry
+/// ladder; `drive` runs it to completion, `fold` reassembles.
+struct Supervisor<'a> {
+    runner: &'a ShardRunner,
+    groups: &'a [Vec<AttributeId>],
+    store: &'a DatasetStore,
+    base: &'a (dyn TruthDiscovery + Sync),
+    obs: &'a Observer,
+    /// Kept alive for re-spawns; reader threads hold clones.
+    tx: mpsc::Sender<Event>,
+    rx: mpsc::Receiver<Event>,
+    slots: BTreeMap<usize, Slot>,
+    workers: HashMap<usize, WorkerHandle>,
+    slices: &'a mut SliceFiles,
+    /// `(shard, last fault detail)` for every shard that fell back.
+    fallbacks: Vec<(usize, String)>,
+}
+
+impl Supervisor<'_> {
+    /// How long a worker may go silent before it is declared stalled:
+    /// the deadline plus the plan's explicit grace when set, otherwise
+    /// the legacy formula (4× the deadline, min deadline + 5 s). No
+    /// deadline means unbounded trust, as before.
+    fn patience(&self) -> Option<Duration> {
+        let plan = &self.runner.plan;
+        plan.worker_deadline_ms.map(|ms| {
+            Duration::from_millis(match plan.worker_grace_ms {
+                Some(grace) => ms.saturating_add(grace),
+                None => ms.saturating_mul(4).max(ms.saturating_add(5_000)),
+            })
+        })
+    }
+
+    fn pending(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|s| matches!(s.state, SlotState::Running | SlotState::Backoff(_)))
+            .count()
+    }
+
+    /// Whether `(shard, attempt)` identifies the *current* attempt of a
+    /// running slot — anything else is a stale echo of a killed worker
+    /// (or a completed shard's EOF) and must be ignored.
+    fn current(&self, shard: usize, attempt: u32) -> bool {
+        self.slots
+            .get(&shard)
+            .map(|s| matches!(s.state, SlotState::Running) && s.attempt == attempt.max(1))
+            .unwrap_or(false)
+    }
+
+    /// Runs the event loop until every shard is `Done` or `Fallback`.
+    /// `Ok(Some(d))` is the terminal worker-degradation outcome;
+    /// `Ok(None)` means all partials are buffered and ready to fold.
+    fn drive(&mut self) -> Result<Option<Degradation>, ShardError> {
+        let patience = self.patience();
+        while self.pending() > 0 {
+            let now = Instant::now();
+
+            // Backoff deadlines that came due: re-spawn those shards.
+            let due: Vec<usize> = self
+                .slots
+                .iter()
+                .filter_map(|(&s, slot)| match slot.state {
+                    SlotState::Backoff(until) if until <= now => Some(s),
+                    _ => None,
+                })
+                .collect();
+            for shard in due {
+                if let Some(d) = self.respawn(shard)? {
+                    return Ok(Some(d));
+                }
+            }
+
+            // Stall detection, per shard: only running workers are on
+            // the clock, and every event from the current attempt
+            // resets that shard's clock.
+            if let Some(limit) = patience {
+                let stalled: Vec<(usize, u64)> = self
+                    .slots
+                    .iter()
+                    .filter_map(|(&s, slot)| {
+                        let waited = now.saturating_duration_since(slot.last_event);
+                        (matches!(slot.state, SlotState::Running) && waited >= limit)
+                            .then(|| (s, waited.as_millis() as u64))
+                    })
+                    .collect();
+                for (shard, waited_ms) in stalled {
+                    if let Some(d) = self.fault(shard, Fault::Stalled(waited_ms))? {
+                        return Ok(Some(d));
                     }
-                    Err(mpsc::RecvTimeoutError::Disconnected) => {
-                        let shard = stalled_shard(&done);
-                        kill_all(workers);
-                        return Err(ShardError::Protocol {
-                            shard,
-                            detail: "event channel closed before completion".to_string(),
-                        });
+                }
+            }
+            if self.pending() == 0 {
+                break;
+            }
+
+            // Sleep until the earliest deadline (a backoff expiry or a
+            // running shard's patience), or indefinitely when nothing
+            // is on a clock.
+            let wake: Option<Instant> = self
+                .slots
+                .values()
+                .filter_map(|slot| match slot.state {
+                    SlotState::Backoff(until) => Some(until),
+                    SlotState::Running => patience.map(|p| slot.last_event + p),
+                    _ => None,
+                })
+                .min();
+            let event = match wake {
+                Some(deadline) => {
+                    let timeout = deadline.saturating_duration_since(Instant::now());
+                    match self.rx.recv_timeout(timeout) {
+                        Ok(event) => Some(event),
+                        Err(mpsc::RecvTimeoutError::Timeout) => None, // re-check clocks
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            return Err(self.channel_closed())
+                        }
                     }
-                },
-                None => match rx.recv() {
-                    Ok(event) => event,
-                    Err(_) => {
-                        let shard = stalled_shard(&done);
-                        kill_all(workers);
-                        return Err(ShardError::Protocol {
-                            shard,
-                            detail: "event channel closed before completion".to_string(),
-                        });
-                    }
+                }
+                None => match self.rx.recv() {
+                    Ok(event) => Some(event),
+                    Err(_) => return Err(self.channel_closed()),
                 },
             };
-            match event {
-                Event::Msg(shard, ShardMsg::Partial(p)) => {
-                    if p.group >= groups.len() {
-                        kill_all(workers);
+            if let Some(event) = event {
+                if let Some(d) = self.handle(event)? {
+                    return Ok(Some(d));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn handle(&mut self, event: Event) -> Result<Option<Degradation>, ShardError> {
+        match event {
+            Event::Msg(shard, attempt, msg) => {
+                if !self.current(shard, attempt) {
+                    return Ok(None); // stale echo from a killed worker
+                }
+                match msg {
+                    ShardMsg::Partial(p) => {
+                        if p.group >= self.groups.len() {
+                            return self.fault(
+                                shard,
+                                Fault::Garbled(format!(
+                                    "partial for group {} but the partition has {}",
+                                    p.group,
+                                    self.groups.len()
+                                )),
+                            );
+                        }
+                        self.obs.incr(Counter::ShardPartials, 1);
+                        let slot = self.slots.get_mut(&shard).expect("current slot");
+                        slot.partials.push(p);
+                        slot.last_event = Instant::now();
+                        Ok(None)
+                    }
+                    // Terminal by design: the worker's budget fired
+                    // deterministically; a retry would burn the same
+                    // budget again.
+                    ShardMsg::Degraded(degradation) => Ok(Some(degradation)),
+                    ShardMsg::Failed(f) => self.fault(
+                        shard,
+                        Fault::Died(format!("{}: {}", f.phase, f.detail)),
+                    ),
+                    ShardMsg::Done => {
+                        let slot = self.slots.get_mut(&shard).expect("current slot");
+                        slot.state = SlotState::Done;
+                        // The slice can go the moment its shard is
+                        // final — nothing will re-read it.
+                        self.slices.release(shard);
+                        Ok(None)
+                    }
+                }
+            }
+            Event::Eof(shard, attempt) => {
+                if !self.current(shard, attempt) {
+                    return Ok(None); // EOF after Done, or a stale reader
+                }
+                self.fault(
+                    shard,
+                    Fault::Died("worker exited before reporting completion".to_string()),
+                )
+            }
+            Event::Bad(shard, attempt, detail) => {
+                if !self.current(shard, attempt) {
+                    return Ok(None);
+                }
+                self.fault(shard, Fault::Garbled(detail))
+            }
+        }
+    }
+
+    /// One rung up the ladder for `shard`: abort (fail-fast), schedule
+    /// a retry, or run the in-process fallback.
+    fn fault(&mut self, shard: usize, fault: Fault) -> Result<Option<Degradation>, ShardError> {
+        self.obs.incr(Counter::ShardFailures, 1);
+        let retry = self.runner.plan.retry;
+        if retry.is_fail_fast() {
+            return Err(fault.into_error(shard));
+        }
+        // Kill only this worker; everyone else keeps streaming.
+        kill_one(self.workers.remove(&shard));
+        let detail = fault.describe();
+        let slot = self.slots.get_mut(&shard).expect("faulted slot");
+        // Whole-shard discard: partial replacement is what keeps the
+        // retried merge bit-identical.
+        slot.partials.clear();
+        if slot.attempt < retry.max_attempts {
+            slot.attempt += 1;
+            let delay = retry.backoff_delay_ms(shard, slot.attempt);
+            slot.state = SlotState::Backoff(Instant::now() + Duration::from_millis(delay));
+            self.obs.incr(Counter::ShardRetries, 1);
+            Ok(None)
+        } else {
+            self.fallback(shard, detail)
+        }
+    }
+
+    /// Spawns the next attempt of a shard whose backoff expired. A
+    /// spawn error is itself a fault and consumes an attempt.
+    fn respawn(&mut self, shard: usize) -> Result<Option<Degradation>, ShardError> {
+        let slot = self.slots.get_mut(&shard).expect("backoff slot");
+        let mut job = slot.job.clone();
+        job.attempt = slot.attempt;
+        slot.state = SlotState::Running;
+        slot.last_event = Instant::now();
+        match self.runner.spawn(shard, &job, self.tx.clone()) {
+            Ok(handle) => {
+                self.workers.insert(shard, handle);
+                self.obs.incr(Counter::ShardsSpawned, 1);
+                self.obs.incr(Counter::ShardRespawns, 1);
+                Ok(None)
+            }
+            Err(e) => self.fault(shard, Fault::Died(format!("re-spawn failed: {e}"))),
+        }
+    }
+
+    /// The last rung: run the shard's jobs in-process through the same
+    /// worker group loop, chaos explicitly disabled (the coordinator's
+    /// own environment may carry the chaos variables its children
+    /// inherit). Degrade, never die — and never thin the merge.
+    fn fallback(&mut self, shard: usize, detail: String) -> Result<Option<Degradation>, ShardError> {
+        let _span = self.obs.span("shard/fallback");
+        let slot = self.slots.get_mut(&shard).expect("fallback slot");
+        let mut job = slot.job.clone();
+        job.attempt = slot.attempt;
+        let mut buf: Vec<u8> = Vec::new();
+        let code = crate::worker::execute(&job, ChaosAction::None, &mut buf);
+        let text = String::from_utf8_lossy(&buf);
+
+        let mut partials: Vec<GroupPartial> = Vec::new();
+        let mut degraded: Option<Degradation> = None;
+        let mut done = false;
+        for line in text.lines() {
+            match serde_json::from_str::<ShardMsg>(line) {
+                Ok(ShardMsg::Partial(p)) => {
+                    if p.group >= self.groups.len() {
                         return Err(ShardError::Protocol {
                             shard,
                             detail: format!(
-                                "partial for group {} but the partition has {}",
+                                "fallback partial for group {} but the partition has {}",
                                 p.group,
-                                groups.len()
+                                self.groups.len()
                             ),
                         });
                     }
-                    obs.incr(Counter::ShardPartials, 1);
-                    match self.plan.strategy {
-                        ShardStrategy::ByAttributeGroup => {
-                            partials[p.group] = Some(p.result);
-                        }
-                        ShardStrategy::HashByObject => {
-                            let acc = partials[p.group].get_or_insert_with(TruthResult::default);
-                            for (o, a, v, c) in p.result.iter() {
-                                acc.set_prediction(o, a, v, c);
-                            }
-                            acc.iterations = acc.iterations.max(p.result.iterations);
-                        }
-                    }
+                    partials.push(p);
                 }
-                Event::Msg(_, ShardMsg::Degraded(degradation)) => {
-                    // One shard over budget degrades the whole run —
-                    // flagged, never a thinner merge.
-                    kill_all(workers);
-                    obs.incr(Counter::DegradedRuns, 1);
-                    return Ok(model.into_degraded(degradation));
-                }
-                Event::Msg(shard, ShardMsg::Failed(f)) => {
-                    kill_all(workers);
-                    obs.incr(Counter::ShardFailures, 1);
+                Ok(ShardMsg::Degraded(d)) => degraded = Some(d),
+                Ok(ShardMsg::Failed(f)) => {
                     return Err(ShardError::ShardFailed {
                         shard,
-                        detail: format!("{}: {}", f.phase, f.detail),
-                    });
+                        detail: format!(
+                            "in-process fallback failed after {} worker attempt(s) — {}: {}",
+                            self.runner.plan.retry.max_attempts, f.phase, f.detail
+                        ),
+                    })
                 }
-                Event::Msg(shard, ShardMsg::Done) => {
-                    if let Some(flag) = done.get_mut(&shard) {
-                        if !*flag {
-                            *flag = true;
-                            pending -= 1;
+                Ok(ShardMsg::Done) => done = true,
+                Err(e) => {
+                    return Err(ShardError::Protocol {
+                        shard,
+                        detail: format!("in-process fallback emitted an unparseable line: {e}"),
+                    })
+                }
+            }
+        }
+        if let Some(d) = degraded {
+            // The shard's own budget fired during the fallback — the
+            // same terminal degradation a worker would have reported.
+            return Ok(Some(d));
+        }
+        if !done || code != 0 {
+            return Err(ShardError::ShardFailed {
+                shard,
+                detail: format!(
+                    "in-process fallback exited {code} without completing after {} worker attempt(s)",
+                    self.runner.plan.retry.max_attempts
+                ),
+            });
+        }
+        self.obs.incr(Counter::ShardPartials, partials.len() as u64);
+        self.obs.incr(Counter::ShardFallbacks, 1);
+        let slot = self.slots.get_mut(&shard).expect("fallback slot");
+        slot.partials = partials;
+        slot.state = SlotState::Fallback;
+        self.slices.release(shard);
+        self.fallbacks.push((shard, detail));
+        // The fallback ran on the coordinator's thread and may have
+        // taken a while; don't let that time count against the other
+        // workers' patience.
+        let now = Instant::now();
+        for s in self.slots.values_mut() {
+            if matches!(s.state, SlotState::Running) {
+                s.last_event = now;
+            }
+        }
+        Ok(None)
+    }
+
+    fn channel_closed(&self) -> ShardError {
+        let shard = self
+            .slots
+            .iter()
+            .find(|(_, s)| matches!(s.state, SlotState::Running | SlotState::Backoff(_)))
+            .map(|(&s, _)| s)
+            .unwrap_or(0);
+        ShardError::Protocol {
+            shard,
+            detail: "event channel closed before completion".to_string(),
+        }
+    }
+
+    /// Every shard completed: fold the buffered partials in ascending
+    /// shard order and reassemble through the same merge as
+    /// `Tdac::run`. Flags the outcome when any shard came through the
+    /// fallback path.
+    fn fold(mut self, mut model: PartitionedModel) -> Result<TdacOutcome, ShardError> {
+        // ByAttributeGroup: one partial per group, straight into its
+        // slot. HashByObject: per-group prediction unions across
+        // shards (object buckets are disjoint, so the union is
+        // order-independent; BTreeMap order makes it deterministic
+        // anyway); trust re-derived after the fan-in.
+        let mut merged: Vec<Option<TruthResult>> = vec![None; self.groups.len()];
+        for (_, slot) in std::mem::take(&mut self.slots) {
+            for p in slot.partials {
+                match self.runner.plan.strategy {
+                    ShardStrategy::ByAttributeGroup => {
+                        merged[p.group] = Some(p.result);
+                    }
+                    ShardStrategy::HashByObject => {
+                        let acc = merged[p.group].get_or_insert_with(TruthResult::default);
+                        for (o, a, v, c) in p.result.iter() {
+                            acc.set_prediction(o, a, v, c);
                         }
+                        acc.iterations = acc.iterations.max(p.result.iterations);
                     }
-                }
-                Event::Eof(shard) => {
-                    if !done.get(&shard).copied().unwrap_or(true) {
-                        kill_all(workers);
-                        obs.incr(Counter::ShardFailures, 1);
-                        return Err(ShardError::ShardFailed {
-                            shard,
-                            detail: "worker exited before reporting completion".to_string(),
-                        });
-                    }
-                }
-                Event::Bad(shard, detail) => {
-                    kill_all(workers);
-                    obs.incr(Counter::ShardFailures, 1);
-                    return Err(ShardError::Protocol { shard, detail });
                 }
             }
         }
 
-        // Every shard reported Done; reassemble in group order.
-        let mut ordered: Vec<TruthResult> = Vec::with_capacity(groups.len());
-        for (gi, slot) in partials.into_iter().enumerate() {
+        let mut ordered: Vec<TruthResult> = Vec::with_capacity(self.groups.len());
+        for (gi, slot) in merged.into_iter().enumerate() {
             let mut partial = slot.ok_or_else(|| ShardError::Protocol {
                 shard: 0,
                 detail: format!("no partial received for group {gi}"),
             })?;
-            if self.plan.strategy == ShardStrategy::HashByObject {
+            if self.runner.plan.strategy == ShardStrategy::HashByObject {
                 // The global trust vector spans every object, so it is
                 // re-derived from the unioned predictions over the FULL
                 // dataset's view of the group — bit-exact per the
                 // trust_from_predictions contract.
-                let view = store.dataset.view_of(&groups[gi]);
-                partial.source_trust =
-                    base.trust_from_predictions(&view, &partial).ok_or_else(|| {
-                        ShardError::StrategyUnsupported {
-                            algorithm: base.name().to_string(),
-                            strategy: self.plan.strategy,
-                        }
+                let view = self.store.dataset.view_of(&self.groups[gi]);
+                partial.source_trust = self
+                    .base
+                    .trust_from_predictions(&view, &partial)
+                    .ok_or_else(|| ShardError::StrategyUnsupported {
+                        algorithm: self.base.name().to_string(),
+                        strategy: self.runner.plan.strategy,
                     })?;
             }
             ordered.push(partial);
         }
-        Ok(model.assemble(&ordered, obs))
+
+        if let Some((shard, detail)) = self.fallbacks.first() {
+            if model.degradation.is_none() {
+                let detail = if self.fallbacks.len() > 1 {
+                    let others: Vec<String> = self.fallbacks[1..]
+                        .iter()
+                        .map(|(s, _)| s.to_string())
+                        .collect();
+                    format!("{detail}; shard(s) {} also fell back", others.join(", "))
+                } else {
+                    detail.clone()
+                };
+                model.degradation = Some(Degradation {
+                    reason: DegradationReason::ShardFallback(ShardFault {
+                        shard: *shard,
+                        attempts: self.runner.plan.retry.max_attempts,
+                        detail,
+                    }),
+                    phase: "shard/fallback".to_string(),
+                    work: WorkCompleted::default(),
+                });
+            }
+        }
+        Ok(model.assemble(&ordered, self.obs))
     }
 }
 
 enum Event {
-    Msg(usize, ShardMsg),
-    Bad(usize, String),
-    Eof(usize),
+    Msg(usize, u32, ShardMsg),
+    Bad(usize, u32, String),
+    Eof(usize, u32),
 }
 
 struct WorkerHandle {
-    shard: usize,
     child: Child,
     reader: Option<std::thread::JoinHandle<()>>,
 }
 
-fn kill_all(workers: &mut Vec<WorkerHandle>) {
-    for w in workers.iter_mut() {
+fn kill_one(handle: Option<WorkerHandle>) {
+    if let Some(mut w) = handle {
         let _ = w.child.kill();
         let _ = w.child.wait();
         if let Some(reader) = w.reader.take() {
@@ -539,20 +911,21 @@ fn kill_all(workers: &mut Vec<WorkerHandle>) {
     }
 }
 
-fn stalled_shard(done: &HashMap<usize, bool>) -> usize {
-    done.iter()
-        .filter(|(_, &d)| !d)
-        .map(|(&s, _)| s)
-        .min()
-        .unwrap_or(0)
+fn kill_all(workers: &mut HashMap<usize, WorkerHandle>) {
+    for (_, handle) in workers.drain() {
+        kill_one(Some(handle));
+    }
 }
 
-/// Temp-file book-keeping for the `.tds` slices, removed on drop.
-/// Names are collision-free without a tempfile dependency: process id
-/// plus a process-global counter.
+/// RAII guard for the per-shard `.tds` slice files: every allocated
+/// path is removed on drop — including on an early error return or a
+/// coordinator panic — and [`SliceFiles::release`] removes a single
+/// shard's slice eagerly once nothing can re-read it. Names are
+/// collision-free without a tempfile dependency: process id plus a
+/// process-global counter.
 #[derive(Default)]
 struct SliceFiles {
-    paths: Vec<PathBuf>,
+    paths: HashMap<usize, PathBuf>,
 }
 
 static SLICE_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -566,14 +939,22 @@ impl SliceFiles {
             seq,
             shard
         ));
-        self.paths.push(path.clone());
+        self.paths.insert(shard, path.clone());
         path
+    }
+
+    /// Removes one shard's slice now instead of at drop time. Safe to
+    /// call for shards that never allocated (or already released).
+    fn release(&mut self, shard: usize) {
+        if let Some(p) = self.paths.remove(&shard) {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }
 
 impl Drop for SliceFiles {
     fn drop(&mut self) {
-        for p in &self.paths {
+        for p in self.paths.values() {
             let _ = std::fs::remove_file(p);
         }
     }
@@ -606,5 +987,29 @@ mod tests {
         assert!(!config.backend.is_sharded());
         let err = ShardRunner::new(config).unwrap_err();
         assert!(matches!(err, ShardError::Tdac(TdacError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn slice_guard_releases_eagerly_and_cleans_on_drop() {
+        let (p0, p1, p2);
+        {
+            let mut slices = SliceFiles::default();
+            p0 = slices.alloc(0);
+            p1 = slices.alloc(1);
+            p2 = slices.alloc(2);
+            for p in [&p0, &p1, &p2] {
+                std::fs::write(p, b"slice bytes").unwrap();
+            }
+            // Eager release removes exactly the named shard's file.
+            slices.release(1);
+            assert!(p0.exists() && !p1.exists() && p2.exists());
+            // Releasing a shard with no slice (never allocated, or
+            // already released) is a no-op, not a panic.
+            slices.release(1);
+            slices.release(99);
+        }
+        // Drop sweeps whatever was still allocated — the early-return
+        // and panic paths ride this.
+        assert!(!p0.exists() && !p2.exists());
     }
 }

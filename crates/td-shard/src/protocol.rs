@@ -20,11 +20,25 @@ use tdac_core::Parallelism;
 
 /// Environment variable for chaos testing: when set to a worker's own
 /// shard index, that worker exits abruptly after emitting its first
-/// partial — simulating a mid-run crash. The coordinator must turn
-/// this into a typed [`ShardFailed`](crate::ShardError::ShardFailed)
-/// naming the shard. Set it on the coordinator's
+/// partial — simulating a mid-run crash, on **every** attempt. Under
+/// the default fail-fast [`RetryPolicy`](tdac_core::RetryPolicy) the
+/// coordinator must turn this into a typed
+/// [`ShardFailed`](crate::ShardError::ShardFailed) naming the shard;
+/// with retries armed the shard burns every attempt and lands in the
+/// in-process fallback. Set it on the coordinator's
 /// [`WorkerCommand`](crate::WorkerCommand) envs, never globally.
 pub const CHAOS_EXIT_ENV: &str = "TD_SHARD_CHAOS_EXIT";
+
+/// Environment variable for per-attempt chaos schedules:
+/// `"<shard>:<letters>"`, where letter *i* (1-indexed by the job's
+/// `attempt`) picks the behavior of that attempt — `F` fail (exit
+/// without `Done` after the first partial), `H` hang (sleep forever
+/// after the first partial, forcing the coordinator's stall detection),
+/// anything else or past the end of the string: succeed normally. So
+/// `"1:F"` makes shard 1 die once and succeed on retry, `"0:FH"` makes
+/// shard 0 die, then hang, then succeed. [`CHAOS_EXIT_ENV`] wins when
+/// both are set.
+pub const CHAOS_PLAN_ENV: &str = "TD_SHARD_CHAOS_PLAN";
 
 /// One attribute group a worker must run, tagged with its index in the
 /// *global* partition so partials reassemble in group order no matter
@@ -56,6 +70,12 @@ pub struct ShardJob {
     /// the worker stops at the next group boundary past it and reports
     /// a [`ShardMsg::Degraded`] instead of more partials.
     pub deadline_ms: Option<u64>,
+    /// Which spawn attempt this job belongs to, 1-based — the
+    /// supervisor's retry counter, echoed here so chaos schedules
+    /// ([`CHAOS_PLAN_ENV`]) can vary behavior per attempt. Absent in
+    /// job lines from pre-retry coordinators; workers treat 0 as 1.
+    #[serde(default)]
+    pub attempt: u32,
     /// The groups this shard executes.
     pub groups: Vec<GroupAssignment>,
 }
@@ -113,6 +133,7 @@ mod tests {
             store_path: "/tmp/slice.tds".into(),
             parallelism: Parallelism::Threads(2),
             deadline_ms: Some(750),
+            attempt: 2,
             groups: vec![
                 GroupAssignment {
                     group: 0,
@@ -128,6 +149,18 @@ mod tests {
         assert!(!line.contains('\n'), "wire format is one line per job");
         let back: ShardJob = serde_json::from_str(&line).unwrap();
         assert_eq!(back, job);
+
+        // Job lines from pre-retry coordinators carry no `attempt` key;
+        // they deserialize to 0 (which workers treat as attempt 1).
+        let value: serde_json::Value = serde_json::from_str(&line).unwrap();
+        let serde_json::Value::Object(map) = value else {
+            panic!("job serializes as an object")
+        };
+        let stripped: serde_json::Map = map.into_iter().filter(|(k, _)| k != "attempt").collect();
+        let legacy: ShardJob =
+            serde_json::from_value(&serde_json::Value::Object(stripped)).unwrap();
+        assert_eq!(legacy.attempt, 0);
+        assert_eq!(legacy.groups, job.groups);
     }
 
     #[test]

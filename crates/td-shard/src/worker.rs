@@ -17,7 +17,60 @@ use td_algorithms::TruthDiscovery;
 use td_obs::{Budget, ExecutionLimits, Observer};
 use td_store::DatasetStore;
 
-use crate::protocol::{GroupPartial, ShardJob, ShardMsg, WorkerFailure, CHAOS_EXIT_ENV};
+use crate::protocol::{
+    GroupPartial, ShardJob, ShardMsg, WorkerFailure, CHAOS_EXIT_ENV, CHAOS_PLAN_ENV,
+};
+
+/// What chaos injection asks of this worker run, resolved once from the
+/// environment before the group loop starts. Fallback execution inside
+/// the coordinator passes [`ChaosAction::None`] explicitly — the
+/// coordinator process often *inherits* the chaos variables it set for
+/// its children, and the in-process fallback must be immune to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Run normally.
+    None,
+    /// Exit abruptly (no `Done`) after the first partial.
+    Exit,
+    /// Sleep forever after the first partial, forcing the
+    /// coordinator's stall detection to fire.
+    Hang,
+}
+
+/// Resolves the chaos action for `(shard, attempt)` from the process
+/// environment: [`CHAOS_EXIT_ENV`] (always die) wins over
+/// [`CHAOS_PLAN_ENV`] (per-attempt schedule).
+fn chaos_from_env(shard: usize, attempt: u32) -> ChaosAction {
+    if std::env::var(CHAOS_EXIT_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        == Some(shard)
+    {
+        return ChaosAction::Exit;
+    }
+    match std::env::var(CHAOS_PLAN_ENV) {
+        Ok(plan) => chaos_from_plan(&plan, shard, attempt),
+        Err(_) => ChaosAction::None,
+    }
+}
+
+/// The pure schedule lookup behind [`CHAOS_PLAN_ENV`]:
+/// `"<shard>:<letters>"`, letter `attempt` (1-indexed) ∈ {`F`ail,
+/// `H`ang, anything else = succeed}; past the end = succeed.
+fn chaos_from_plan(plan: &str, shard: usize, attempt: u32) -> ChaosAction {
+    let Some((target, letters)) = plan.split_once(':') else {
+        return ChaosAction::None;
+    };
+    if target.trim().parse::<usize>().ok() != Some(shard) {
+        return ChaosAction::None;
+    }
+    let idx = (attempt.max(1) - 1) as usize;
+    match letters.chars().nth(idx) {
+        Some('F') | Some('f') => ChaosAction::Exit,
+        Some('H') | Some('h') => ChaosAction::Hang,
+        _ => ChaosAction::None,
+    }
+}
 
 /// Reads one [`ShardJob`] line from real stdin, streams [`ShardMsg`]
 /// lines to real stdout, and returns the process exit code. Binary
@@ -39,11 +92,22 @@ pub fn run_worker(mut input: impl BufRead, mut out: impl Write) -> i32 {
         Ok(job) => job,
         Err(e) => return fail(&mut out, "load", format!("parsing job line: {e}")),
     };
+    let chaos = chaos_from_env(job.shard, job.attempt);
+    execute(&job, chaos, &mut out)
+}
+
+/// The worker's group loop over an already-parsed job: load the slice,
+/// resolve the base algorithm, stream partials, finish with `Done`.
+/// Shared verbatim between child processes ([`run_worker`]) and the
+/// coordinator's in-process fallback after exhausted retries — the one
+/// difference is that the fallback pins `chaos` to
+/// [`ChaosAction::None`].
+pub(crate) fn execute(job: &ShardJob, chaos: ChaosAction, out: &mut impl Write) -> i32 {
     let store = match DatasetStore::load(&job.store_path) {
         Ok(store) => store,
         Err(e) => {
             return fail(
-                &mut out,
+                out,
                 "load",
                 format!("loading slice {:?}: {e}", job.store_path),
             )
@@ -51,18 +115,11 @@ pub fn run_worker(mut input: impl BufRead, mut out: impl Write) -> i32 {
     };
     let Some(base) = algorithm_by_name(&job.algorithm) else {
         return fail(
-            &mut out,
+            out,
             "resolve",
             format!("unknown base algorithm {:?}", job.algorithm),
         );
     };
-    // Chaos hook: when told to, this worker dies abruptly after its
-    // first partial (or right before Done if it had no groups) so
-    // tests can prove the coordinator notices missing shards.
-    let chaos = std::env::var(CHAOS_EXIT_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        == Some(job.shard);
     let limits = match job.deadline_ms {
         Some(ms) => ExecutionLimits::none().with_deadline(Duration::from_millis(ms)),
         None => ExecutionLimits::none(),
@@ -78,10 +135,10 @@ pub fn run_worker(mut input: impl BufRead, mut out: impl Write) -> i32 {
             // to catch.
             if let Some(budget) = budget.as_ref() {
                 if let Some(deg) = budget.check("shard_group_run") {
-                    if emit(&mut out, &ShardMsg::Degraded(deg)).is_err() {
+                    if emit(out, &ShardMsg::Degraded(deg)).is_err() {
                         return 1;
                     }
-                    return finish(&mut out);
+                    return finish(out);
                 }
             }
             let view = store.dataset.view_of(&assignment.attributes);
@@ -89,7 +146,7 @@ pub fn run_worker(mut input: impl BufRead, mut out: impl Write) -> i32 {
                 Ok(result) => result,
                 Err(_) => {
                     return fail(
-                        &mut out,
+                        out,
                         "group_run",
                         format!("base algorithm panicked on group {}", assignment.group),
                     )
@@ -99,17 +156,25 @@ pub fn run_worker(mut input: impl BufRead, mut out: impl Write) -> i32 {
                 group: assignment.group,
                 result,
             };
-            if emit(&mut out, &ShardMsg::Partial(partial)).is_err() {
+            if emit(out, &ShardMsg::Partial(partial)).is_err() {
                 return 1;
             }
-            if chaos {
-                return 101; // die without Done — the coordinator must notice
+            match chaos {
+                ChaosAction::None => {}
+                // Die without Done — the coordinator must notice.
+                ChaosAction::Exit => return 101,
+                ChaosAction::Hang => loop {
+                    std::thread::sleep(Duration::from_secs(3_600));
+                },
             }
         }
-        if chaos {
-            return 101;
+        match chaos {
+            ChaosAction::None => finish(out),
+            ChaosAction::Exit => 101,
+            ChaosAction::Hang => loop {
+                std::thread::sleep(Duration::from_secs(3_600));
+            },
         }
-        finish(&mut out)
     })
 }
 
@@ -181,6 +246,7 @@ mod tests {
             store_path: path.display().to_string(),
             parallelism: Parallelism::Threads(1),
             deadline_ms: None,
+            attempt: 1,
             groups: vec![
                 GroupAssignment {
                     group: 0,
@@ -222,6 +288,7 @@ mod tests {
             store_path: path.display().to_string(),
             parallelism: Parallelism::Threads(1),
             deadline_ms: None,
+            attempt: 1,
             groups: vec![GroupAssignment {
                 group: 0,
                 attributes: attrs,
@@ -268,6 +335,7 @@ mod tests {
             store_path: path.display().to_string(),
             parallelism: Parallelism::Threads(1),
             deadline_ms: Some(1),
+            attempt: 1,
             groups: (0..repeats)
                 .map(|i| GroupAssignment {
                     group: i,
@@ -288,5 +356,26 @@ mod tests {
             .all(|m| matches!(m, ShardMsg::Partial(_))));
         assert!(matches!(msgs[degraded + 1], ShardMsg::Done));
         assert_eq!(msgs.len(), degraded + 2);
+    }
+
+    #[test]
+    fn chaos_plan_schedules_per_attempt() {
+        // "1:FH": shard 1 fails on attempt 1, hangs on attempt 2,
+        // succeeds from attempt 3 on; other shards never match.
+        assert_eq!(chaos_from_plan("1:FH", 1, 1), ChaosAction::Exit);
+        assert_eq!(chaos_from_plan("1:FH", 1, 2), ChaosAction::Hang);
+        assert_eq!(chaos_from_plan("1:FH", 1, 3), ChaosAction::None);
+        assert_eq!(chaos_from_plan("1:FH", 0, 1), ChaosAction::None);
+        assert_eq!(chaos_from_plan("1:FH", 2, 2), ChaosAction::None);
+        // Lowercase letters and explicit succeed markers work too.
+        assert_eq!(chaos_from_plan("0:sfh", 0, 1), ChaosAction::None);
+        assert_eq!(chaos_from_plan("0:sfh", 0, 2), ChaosAction::Exit);
+        assert_eq!(chaos_from_plan("0:sfh", 0, 3), ChaosAction::Hang);
+        // Pre-retry job lines carry attempt 0; it reads as attempt 1.
+        assert_eq!(chaos_from_plan("3:F", 3, 0), ChaosAction::Exit);
+        // Malformed plans are inert, never a panic.
+        assert_eq!(chaos_from_plan("", 0, 1), ChaosAction::None);
+        assert_eq!(chaos_from_plan("nonsense", 0, 1), ChaosAction::None);
+        assert_eq!(chaos_from_plan("x:F", 0, 1), ChaosAction::None);
     }
 }

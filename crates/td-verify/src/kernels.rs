@@ -143,7 +143,7 @@ pub fn check_kernel_outcome_invariance(
     let run = |kernel, parallelism| {
         Tdac::new(TdacConfig {
             kernel,
-            parallelism,
+            backend: tdac_core::ExecutionBackend::in_process(parallelism),
             ..TdacConfig::default()
         })
         .run(base, dataset)
@@ -188,7 +188,7 @@ pub fn check_ds1_kernel_parity() -> Result<(), String> {
     let with = |kernel, parallelism| {
         compute_ds1_with(&TdacConfig {
             kernel,
-            parallelism,
+            backend: tdac_core::ExecutionBackend::in_process(parallelism),
             ..TdacConfig::default()
         })
     };

@@ -161,7 +161,7 @@ pub fn check_thread_invariance(
 ) -> OutcomeFingerprint {
     let run = |parallelism| {
         Tdac::new(TdacConfig {
-            parallelism,
+            backend: tdac_core::ExecutionBackend::in_process(parallelism),
             ..TdacConfig::default()
         })
         .run(base, dataset)
@@ -213,7 +213,7 @@ pub fn check_observer_neutrality(
 ) -> OutcomeFingerprint {
     let run = |parallelism, observer: tdac_core::Observer| {
         Tdac::new(TdacConfig {
-            parallelism,
+            backend: tdac_core::ExecutionBackend::in_process(parallelism),
             observer,
             ..TdacConfig::default()
         })

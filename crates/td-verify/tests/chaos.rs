@@ -24,7 +24,8 @@ use td_verify::golden::{check_ds1, compute_ds1, compute_ds1_with, diff_ds1};
 use td_verify::worlds::separable_world;
 use td_verify::{ChaosHook, OutcomeFingerprint, ResultFingerprint};
 use tdac_core::{
-    AccuGenError, AccuGenPartition, CancelToken, DegradationReason, ExecutionLimits, Parallelism,
+    AccuGenError, AccuGenPartition, CancelToken, DegradationReason, ExecutionBackend,
+    ExecutionLimits, Parallelism,
     Tdac, TdacConfig, TdacError,
 };
 
@@ -55,7 +56,7 @@ fn injected_worker_panics_surface_as_typed_errors_naming_the_phase() {
             let hook = ChaosHook::panics_at(target, 1);
             let config = TdacConfig {
                 observer: hook.observer(),
-                parallelism: parallelism(threads),
+                backend: ExecutionBackend::in_process(parallelism(threads)),
                 ..TdacConfig::default()
             };
             let err = Tdac::new(config)
@@ -105,7 +106,7 @@ fn clusterer_panics_are_attributed_to_their_k() {
     let hook = ChaosHook::panics_at("cluster", 1);
     let config = TdacConfig {
         observer: hook.observer(),
-        parallelism: Parallelism::Threads(1),
+        backend: ExecutionBackend::in_process(Parallelism::Threads(1)),
         ..TdacConfig::default()
     };
     match Tdac::new(config).run(&MajorityVote, &world.dataset) {
@@ -169,7 +170,7 @@ fn chaos_cancellation_yields_a_flagged_sound_outcome() {
         let hook = ChaosHook::cancels_at("k_sweep", 1, token.clone());
         let config = TdacConfig {
             observer: hook.observer(),
-            parallelism: parallelism(threads),
+            backend: ExecutionBackend::in_process(parallelism(threads)),
             limits: ExecutionLimits::none().with_cancel(token),
             ..TdacConfig::default()
         };
@@ -269,7 +270,7 @@ fn counter_budget_degraded_outcomes_are_bit_identical_at_any_thread_count() {
         .iter()
         .map(|&threads| {
             let config = TdacConfig {
-                parallelism: parallelism(threads),
+                backend: ExecutionBackend::in_process(parallelism(threads)),
                 limits: ExecutionLimits::none().with_max_fixpoint_iterations(1),
                 ..TdacConfig::default()
             };

@@ -17,7 +17,8 @@ use td_model::{ClaimBatch, Dataset, DatasetBuilder, Value};
 use td_verify::worlds::separable_world;
 use td_verify::{OutcomeFingerprint, ResultFingerprint};
 use tdac_core::{
-    run_partition, KernelPolicy, Observer, Parallelism, RepartitionPolicy, Tdac, TdacConfig,
+    run_partition, ExecutionBackend, KernelPolicy, Observer, Parallelism, RepartitionPolicy,
+    Tdac, TdacConfig,
     TdacSession,
 };
 
@@ -67,12 +68,13 @@ const THREADS: &[usize] = &[1, 2, 8, 0];
 const KERNELS: &[KernelPolicy] = &[KernelPolicy::Dense, KernelPolicy::Packed];
 
 fn config(threads: usize, kernel: KernelPolicy) -> TdacConfig {
+    let parallelism = if threads == 0 {
+        Parallelism::Auto
+    } else {
+        Parallelism::Threads(threads)
+    };
     TdacConfig {
-        parallelism: if threads == 0 {
-            Parallelism::Auto
-        } else {
-            Parallelism::Threads(threads)
-        },
+        backend: ExecutionBackend::in_process(parallelism),
         kernel,
         ..Default::default()
     }

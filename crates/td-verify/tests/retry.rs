@@ -1,0 +1,360 @@
+//! The retry-supervisor oracle (tentpole of the fault-tolerant
+//! sharding PR; see `docs/SHARDING.md` § failure semantics).
+//!
+//! Headline invariants, enforced against real worker processes (this
+//! test binary re-invoked as `td-verify worker`):
+//!
+//! * **retry is invisible in the bits** — a worker chaos-killed on its
+//!   first attempt that succeeds on re-spawn yields an outcome
+//!   bit-identical to the clean sharded run (itself bit-identical to
+//!   the in-process run), across both [`ShardStrategy`]s and both
+//!   distance kernels, with no degradation flag;
+//! * **exhausted retries degrade, never thin** — when every attempt
+//!   dies, the shard's jobs run in-process and the outcome is flagged
+//!   with [`DegradationReason::ShardFallback`] naming the shard and the
+//!   attempt count, while the merged bits still match the clean run
+//!   exactly (the flag records the execution path, not a different
+//!   answer);
+//! * **hangs are faults too** — a worker that stalls past the
+//!   coordinator's patience (deadline + grace) is killed and retried
+//!   like any crash;
+//! * **accounting holds** — `shard_retries` / `shard_respawns` /
+//!   `shard_fallbacks` are non-vacuous under chaos and zero on clean
+//!   runs.
+//!
+//! A proptest closes the gaps: for ANY per-attempt chaos schedule over
+//! {fail, hang, succeed}, the run either produces the canonical bits
+//! unflagged, or the canonical bits flagged as a shard fallback —
+//! never an error, never an unflagged divergent result.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use td_shard::{ShardRunner, WorkerCommand, CHAOS_EXIT_ENV, CHAOS_PLAN_ENV};
+use td_verify::OutcomeFingerprint;
+use tdac_core::{
+    DegradationReason, ExecutionBackend, KernelPolicy, Observer, RetryPolicy, ShardPlan,
+    ShardStrategy, Tdac, TdacConfig, TdacOutcome,
+};
+
+/// The real worker: this test binary re-invoked with `worker`.
+fn worker_cmd() -> WorkerCommand {
+    WorkerCommand::new(env!("CARGO_BIN_EXE_td-verify"), vec!["worker".to_string()])
+}
+
+/// Same oracle dataset as the shard suite: DS1 scaled down, still
+/// partitioning into several attribute groups.
+fn oracle_dataset() -> &'static td_model::Dataset {
+    static DATASET: OnceLock<td_model::Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| {
+        datagen::generate_synthetic(&datagen::SyntheticConfig::ds1().scaled(200)).dataset
+    })
+}
+
+/// The clean in-process reference for a kernel, computed once.
+fn reference(kernel: KernelPolicy) -> OutcomeFingerprint {
+    static DENSE: OnceLock<OutcomeFingerprint> = OnceLock::new();
+    static PACKED: OnceLock<OutcomeFingerprint> = OnceLock::new();
+    let cell = match kernel {
+        KernelPolicy::Packed => &PACKED,
+        _ => &DENSE,
+    };
+    cell.get_or_init(|| {
+        let outcome = Tdac::new(TdacConfig {
+            kernel,
+            ..TdacConfig::default()
+        })
+        .run(&td_algorithms::MajorityVote, oracle_dataset())
+        .expect("in-process reference run");
+        assert!(
+            !outcome.fallback && outcome.partition.groups().len() >= 2,
+            "oracle dataset must actually partition"
+        );
+        OutcomeFingerprint::of(&outcome)
+    })
+    .clone()
+}
+
+fn config(kernel: KernelPolicy, plan: ShardPlan) -> TdacConfig {
+    TdacConfig {
+        kernel,
+        backend: ExecutionBackend::Sharded(plan),
+        ..TdacConfig::default()
+    }
+}
+
+/// A 2-shard plan with `attempts` total tries per shard and zero
+/// backoff (determinism does not need real waiting; the backoff math
+/// has its own unit oracle in `tdac_core::backend`).
+fn retry_plan(strategy: ShardStrategy, attempts: u32) -> ShardPlan {
+    let mut plan = ShardPlan::new(strategy, 2);
+    plan.retry = RetryPolicy {
+        max_attempts: attempts,
+        backoff_base_ms: 0,
+        backoff_cap_ms: 0,
+    };
+    plan
+}
+
+fn run_with(
+    kernel: KernelPolicy,
+    plan: ShardPlan,
+    worker: WorkerCommand,
+    obs: Option<Observer>,
+) -> Result<TdacOutcome, td_shard::ShardError> {
+    let mut cfg = config(kernel, plan);
+    if let Some(obs) = obs {
+        cfg.observer = obs;
+    }
+    ShardRunner::new(cfg)
+        .expect("valid sharded config")
+        .with_worker(worker)
+        .run("MajorityVote", oracle_dataset())
+}
+
+#[test]
+fn killed_worker_retries_to_a_bit_identical_unflagged_outcome() {
+    // "1:F": shard 1's first attempt dies after its first partial; the
+    // re-spawned attempt 2 runs past the end of the schedule and
+    // succeeds. Both strategies, both kernels.
+    for kernel in [KernelPolicy::Dense, KernelPolicy::Packed] {
+        let want = reference(kernel);
+        for strategy in [ShardStrategy::ByAttributeGroup, ShardStrategy::HashByObject] {
+            let outcome = run_with(
+                kernel,
+                retry_plan(strategy, 2),
+                worker_cmd().env(CHAOS_PLAN_ENV, "1:F"),
+                None,
+            )
+            .unwrap_or_else(|e| panic!("retried run ({strategy:?}, {kernel:?}) failed: {e}"));
+            assert!(
+                outcome.degradation.is_none() && !outcome.fallback,
+                "a successful retry leaves no flag ({strategy:?}, {kernel:?})"
+            );
+            if let Some(diff) = want.diff(&OutcomeFingerprint::of(&outcome)) {
+                panic!("retried outcome diverged ({strategy:?}, {kernel:?}):\n{diff}");
+            }
+        }
+    }
+}
+
+#[test]
+fn exhausted_retries_fall_back_in_process_flagged_and_bit_identical() {
+    // CHAOS_EXIT kills shard 1 on *every* attempt, so both attempts
+    // burn and the coordinator must run shard 1's jobs in-process —
+    // flagged with the shard and the attempt count, bits unchanged.
+    // The fallback pins chaos off internally, which this test also
+    // proves: the worker env rides on the WorkerCommand, and the
+    // fallback runs the very same job the chaos env would have killed.
+    for strategy in [ShardStrategy::ByAttributeGroup, ShardStrategy::HashByObject] {
+        let outcome = run_with(
+            KernelPolicy::Auto,
+            retry_plan(strategy, 2),
+            worker_cmd().env(CHAOS_EXIT_ENV, "1"),
+            None,
+        )
+        .unwrap_or_else(|e| panic!("fallback run ({strategy:?}) errored: {e}"));
+        assert!(
+            !outcome.fallback,
+            "the merge is complete — fallback of one shard is not the reference fallback"
+        );
+        let deg = outcome
+            .degradation
+            .as_ref()
+            .expect("an in-process fallback must flag the outcome");
+        assert_eq!(deg.phase, "shard/fallback");
+        match &deg.reason {
+            DegradationReason::ShardFallback(fault) => {
+                assert_eq!(fault.shard, 1, "the flag names the shard that fell back");
+                assert_eq!(fault.attempts, 2, "and how many attempts it burned");
+                assert!(
+                    fault.detail.contains("exited before"),
+                    "detail records the last fault: {}",
+                    fault.detail
+                );
+            }
+            other => panic!("expected ShardFallback, got {other:?}"),
+        }
+        if let Some(diff) = reference(KernelPolicy::Auto).diff(&OutcomeFingerprint::of(&outcome)) {
+            panic!("fallback outcome diverged ({strategy:?}):\n{diff}");
+        }
+    }
+}
+
+#[test]
+fn hanging_worker_trips_patience_and_retries_clean() {
+    // "1:H": shard 1's first attempt hangs after its first partial. The
+    // plan's explicit grace keeps the stall detection fast: patience is
+    // deadline + grace = ~600 ms, after which the supervisor kills the
+    // hung worker and the re-spawn succeeds.
+    let mut plan = retry_plan(ShardStrategy::ByAttributeGroup, 2);
+    plan.worker_deadline_ms = Some(200);
+    plan.worker_grace_ms = Some(400);
+    let outcome = run_with(
+        KernelPolicy::Auto,
+        plan,
+        worker_cmd().env(CHAOS_PLAN_ENV, "1:H"),
+        None,
+    )
+    .expect("a hung worker is retried, not fatal");
+    assert!(outcome.degradation.is_none(), "the retry succeeded");
+    if let Some(diff) = reference(KernelPolicy::Auto).diff(&OutcomeFingerprint::of(&outcome)) {
+        panic!("post-hang retried outcome diverged:\n{diff}");
+    }
+}
+
+#[test]
+fn retry_counters_are_nonvacuous_under_chaos_and_zero_when_clean() {
+    // Clean run, retries armed: the supervisor machinery is live but
+    // must count nothing.
+    let obs = Observer::enabled();
+    run_with(
+        KernelPolicy::Auto,
+        retry_plan(ShardStrategy::ByAttributeGroup, 3),
+        worker_cmd(),
+        Some(obs.clone()),
+    )
+    .expect("clean run");
+    let profile = obs.profile().expect("enabled observer yields a profile");
+    for counter in ["shard_failures", "shard_retries", "shard_respawns", "shard_fallbacks"] {
+        assert_eq!(
+            profile.counter(counter).unwrap_or(0),
+            0,
+            "{counter} must stay zero on a clean run"
+        );
+    }
+
+    // One crash, one successful re-spawn.
+    let obs = Observer::enabled();
+    run_with(
+        KernelPolicy::Auto,
+        retry_plan(ShardStrategy::ByAttributeGroup, 2),
+        worker_cmd().env(CHAOS_PLAN_ENV, "1:F"),
+        Some(obs.clone()),
+    )
+    .expect("retried run");
+    let profile = obs.profile().expect("profile");
+    assert_eq!(profile.counter("shard_failures"), Some(1));
+    assert_eq!(profile.counter("shard_retries"), Some(1));
+    assert_eq!(profile.counter("shard_respawns"), Some(1));
+    assert_eq!(profile.counter("shard_fallbacks").unwrap_or(0), 0);
+
+    // Every attempt crashes: both failures counted, one retry burned,
+    // one fallback taken.
+    let obs = Observer::enabled();
+    run_with(
+        KernelPolicy::Auto,
+        retry_plan(ShardStrategy::ByAttributeGroup, 2),
+        worker_cmd().env(CHAOS_EXIT_ENV, "1"),
+        Some(obs.clone()),
+    )
+    .expect("fallback run");
+    let profile = obs.profile().expect("profile");
+    assert_eq!(profile.counter("shard_failures"), Some(2));
+    assert_eq!(profile.counter("shard_retries"), Some(1));
+    assert_eq!(profile.counter("shard_respawns"), Some(1));
+    assert_eq!(profile.counter("shard_fallbacks"), Some(1));
+}
+
+/// Temp slice files carry a `td-shard-<pid>-` prefix; the coordinator
+/// runs inside this test process, so its slices are ours to audit.
+fn live_slices() -> HashSet<std::path::PathBuf> {
+    let prefix = format!("td-shard-{}-", std::process::id());
+    std::fs::read_dir(std::env::temp_dir())
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with(&prefix))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[test]
+fn slice_files_are_cleaned_up_even_through_retries_and_fallback() {
+    let before = live_slices();
+    run_with(
+        KernelPolicy::Auto,
+        retry_plan(ShardStrategy::ByAttributeGroup, 2),
+        worker_cmd().env(CHAOS_EXIT_ENV, "1"),
+        None,
+    )
+    .expect("fallback run");
+    // Other tests in this binary may have slices in flight (same pid,
+    // parallel test threads), so only our run's leftovers — paths that
+    // appeared since the snapshot — count, and transient ones get a
+    // few chances to drain.
+    for wait in 0..4 {
+        let leaked: Vec<_> = live_slices().difference(&before).cloned().collect();
+        if leaked.is_empty() {
+            return;
+        }
+        if wait == 3 {
+            panic!("slice files leaked past the RAII guard: {leaked:?}");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For ANY chaos schedule of up to three per-attempt actions over
+    /// {fail, hang, succeed} against one shard, a retry-armed run with
+    /// three attempts either returns the canonical bits unflagged (some
+    /// attempt succeeded) or the canonical bits flagged as a shard
+    /// fallback (every attempt faulted) — never an error and never an
+    /// unflagged divergent merge.
+    #[test]
+    fn any_chaos_schedule_yields_canonical_bits_or_a_flagged_fallback(
+        schedule in proptest::collection::vec(0u32..3, 1..=3),
+    ) {
+        let letters: String = schedule
+            .iter()
+            .map(|a| match a {
+                0 => 'F',
+                1 => 'H',
+                _ => 'S',
+            })
+            .collect();
+        let mut plan = retry_plan(ShardStrategy::ByAttributeGroup, 3);
+        // Short deadline + explicit grace keeps hang detection quick;
+        // healthy group runs on the scaled dataset finish in well under
+        // the deadline, so only the chaos hang ever trips it.
+        plan.worker_deadline_ms = Some(200);
+        plan.worker_grace_ms = Some(400);
+        let run = run_with(
+            KernelPolicy::Auto,
+            plan,
+            worker_cmd().env(CHAOS_PLAN_ENV, format!("1:{letters}")),
+            None,
+        );
+        prop_assert!(run.is_ok(), "schedule {letters:?} errored: {:?}", run.err());
+        let outcome = run.unwrap();
+
+        let all_faulty = schedule.len() >= 3 && schedule.iter().all(|&a| a != 2);
+        match &outcome.degradation {
+            None => prop_assert!(!all_faulty, "schedule {letters:?} must exhaust attempts"),
+            Some(deg) => {
+                prop_assert!(all_faulty, "schedule {letters:?} has a succeeding attempt");
+                prop_assert!(
+                    matches!(deg.reason, DegradationReason::ShardFallback(_)),
+                    "wrong flag for {letters:?}: {:?}",
+                    deg.reason
+                );
+            }
+        }
+        let diff = reference(KernelPolicy::Auto).diff(&OutcomeFingerprint::of(&outcome));
+        prop_assert!(
+            diff.is_none(),
+            "schedule {letters:?} diverged from the canonical bits:\n{}",
+            diff.unwrap_or_default()
+        );
+    }
+}

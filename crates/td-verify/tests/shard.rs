@@ -20,7 +20,7 @@ use td_shard::{ShardError, ShardRunner, WorkerCommand, CHAOS_EXIT_ENV};
 use td_verify::worlds::separable_world;
 use td_verify::OutcomeFingerprint;
 use tdac_core::{
-    ExecutionBackend, KernelPolicy, Parallelism, ShardPlan, ShardStrategy, Tdac, TdacConfig,
+    ExecutionBackend, KernelPolicy, ShardPlan, ShardStrategy, Tdac, TdacConfig,
 };
 
 /// The real worker: this test binary re-invoked with `worker`.
@@ -37,7 +37,6 @@ fn oracle_dataset() -> td_model::Dataset {
 fn config(kernel: KernelPolicy, backend: ExecutionBackend) -> TdacConfig {
     TdacConfig {
         kernel,
-        parallelism: Parallelism::Threads(1),
         backend,
         ..TdacConfig::default()
     }

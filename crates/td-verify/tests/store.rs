@@ -11,7 +11,7 @@ use td_algorithms::MajorityVote;
 use td_model::{Dataset, DatasetBuilder, Value};
 use td_store::{fnv1a, section_table, DatasetStore, StoreError};
 use td_verify::OutcomeFingerprint;
-use tdac_core::{KernelPolicy, Parallelism, Tdac, TdacConfig};
+use tdac_core::{ExecutionBackend, KernelPolicy, Parallelism, Tdac, TdacConfig};
 
 /// A small planted-structure dataset with a packed truth page — the
 /// corruption matrix's victim file.
@@ -267,7 +267,7 @@ proptest! {
         for threads in [1usize, 2, 8] {
             for kernel in [KernelPolicy::Dense, KernelPolicy::Packed] {
                 let config = TdacConfig {
-                    parallelism: Parallelism::Threads(threads),
+                    backend: ExecutionBackend::in_process(Parallelism::Threads(threads)),
                     kernel,
                     ..Default::default()
                 };

@@ -15,7 +15,9 @@
 #   --no-shard               skip the multi-process shard-scaling sweep
 #                            (crates/bench/src/bin/shard_scaling; folded
 #                            under "shard_scaling" with the host's core
-#                            count — see docs/SHARDING.md)
+#                            count, plus "retry_overhead" — the clean-path
+#                            cost of arming the fault supervisor — see
+#                            docs/SHARDING.md)
 #   TDAC_BENCH_SAMPLES=<n>   override sample count (default: per-group)
 #   TDAC_SHARD_OBJECTS=<n>   shard-sweep dataset size in objects
 #                            (default 166667 ≈ 10M observations)
@@ -153,6 +155,11 @@ shard = None
 if os.path.exists(shard_path):
     with open(shard_path) as f:
         shard = json.load(f)
+    # The retry-supervisor overhead (clean path, supervisor armed vs
+    # fail-fast) is its own top-level entry.
+    retry = shard.pop("retry_overhead", None)
+    if retry is not None:
+        doc["retry_overhead"] = retry
     doc["shard_scaling"] = shard
 
 with open(out_path, "w") as f:

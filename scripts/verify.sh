@@ -79,6 +79,31 @@ for strategy in attr-group hash-object; do
     echo "sharded ($strategy, 4 workers) == in-process (byte-identical)"
 done
 
+echo "== shard retry: supervisor oracle suite (chaos kills/hangs, fallback) =="
+cargo test --offline -q -p td-verify --test retry
+
+echo "== shard retry: chaos-killed worker retries to byte-identical output =="
+# Shard 1 dies once ("1:F") and succeeds on the re-spawn: the retried
+# run must emit exactly the bytes the in-process run emits. The chaos
+# env rides on the coordinator's environment here — workers inherit it,
+# and the in-process fallback path is pinned chaos-free by design.
+TD_SHARD_CHAOS_PLAN="1:F" "$tdc" shard --input crates/td-verify/goldens/ds1.tds \
+    --algo majorityvote --shards 2 --retry-attempts 2 --retry-backoff-ms 0 \
+    --output "$serve_tmp/retried.json"
+diff "$serve_tmp/inproc.json" "$serve_tmp/retried.json" \
+    || { echo "verify: retried shard run diverged from the in-process run" >&2; exit 1; }
+echo "retried (1 chaos kill, 2 attempts) == in-process (byte-identical)"
+
+echo "== shard retry: exhausted attempts fall back in-process, byte-identical =="
+# Shard 1 dies on every attempt: both attempts burn, the coordinator
+# runs shard 1's jobs itself, and the predictions still byte-match.
+TD_SHARD_CHAOS_EXIT=1 "$tdc" shard --input crates/td-verify/goldens/ds1.tds \
+    --algo majorityvote --shards 2 --retry-attempts 2 --retry-backoff-ms 0 \
+    --output "$serve_tmp/fellback.json"
+diff "$serve_tmp/inproc.json" "$serve_tmp/fellback.json" \
+    || { echo "verify: fallback shard run diverged from the in-process run" >&2; exit 1; }
+echo "fallback (all attempts killed) == in-process (byte-identical)"
+
 echo "== expensive oracles: Bell(7)/Bell(8) brute-force differentials =="
 cargo test --offline -q -p td-verify --features expensive-oracles
 

@@ -65,7 +65,7 @@ pub use tdac_eval as eval;
 // pick a distance kernel without digging into the per-crate modules.
 pub use tdac_core::{
     BitMatrix, CancelToken, Degradation, DegradationReason, DistanceOptions, ExecutionLimits,
-    KernelPolicy, Observer, RunProfile, Rows, TdError, WorkCompleted,
+    KernelPolicy, Observer, RunProfile, Rows, ShardFault, TdError, WorkCompleted,
 };
 
 // The incremental (streaming) engine: claim batches in, dirty-attribute
@@ -89,7 +89,7 @@ pub use tdac_core::{DatasetStore, StoreError, TruthPage};
 // shard subsystem's coordinator/typed errors ride along. See
 // `docs/SHARDING.md`.
 pub use td_shard::{ShardError, ShardRunner, WorkerCommand};
-pub use tdac_core::{ExecutionBackend, ShardPlan, ShardStrategy};
+pub use tdac_core::{ExecutionBackend, RetryPolicy, ShardPlan, ShardStrategy};
 
 /// The crate version, for diagnostics.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
